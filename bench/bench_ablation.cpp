@@ -1,0 +1,152 @@
+/// Ablations beyond the paper's tables (DESIGN.md §6): LLP fan-out scaling
+/// per invocation, EIB-contention sensitivity, and the mailbox-vs-direct
+/// signaling gap as worker count grows (the paper's observation that the
+/// comm optimization "scales with parallelism").
+
+#include <cstdio>
+
+#include "core/port.h"
+#include "seq/seqgen.h"
+#include "support/stopwatch.h"
+
+using namespace rxc;
+
+namespace {
+
+void llp_scaling(const seq::PatternAlignment& pa) {
+  const lh::EngineConfig ec;
+  search::SearchOptions so;
+  so.max_rounds = 2;
+  std::printf("--- LLP fan-out: per-task serial virtual time (one "
+              "bootstrap across k SPEs) ---\n");
+  std::printf("%-8s %14s %10s\n", "ways", "vtime[s]", "speedup");
+  double base = 0.0;
+  for (const int ways : {1, 2, 4, 8}) {
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
+    cfg.llp_ways = ways;
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
+    const double sec = trace.serial_cycles() / machine.params().clock_hz;
+    if (ways == 1) base = sec;
+    std::printf("%-8d %14.3f %10.2f\n", ways, sec, base / sec);
+  }
+}
+
+void eib_contention(const seq::PatternAlignment& pa) {
+  const lh::EngineConfig ec;
+  search::SearchOptions so;
+  so.max_rounds = 2;
+  std::printf("--- EIB contention sensitivity (per-task serial vtime) ---\n");
+  std::printf("%-12s %14s\n", "factor", "vtime[s]");
+  for (const double factor : {1.0, 1.25, 1.5, 2.0, 4.0}) {
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(core::Stage::kIntCond);  // no dbuf
+    cfg.eib_contention = factor;
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
+    std::printf("%-12.2f %14.3f\n", factor,
+                trace.serial_cycles() / machine.params().clock_hz);
+  }
+}
+
+void comm_scaling(const seq::PatternAlignment& pa) {
+  std::printf("--- mailbox vs direct signaling as parallelism grows "
+              "(paper: 2%% -> 11%%) ---\n");
+  std::printf("%-20s %14s %14s %10s\n", "row", "mailbox[s]", "direct[s]",
+              "gain");
+  struct Row { int workers, bootstraps; };
+  for (const Row row : {Row{1, 1}, Row{2, 4}, Row{2, 8}}) {
+    double t[2];
+    for (const bool direct : {false, true}) {
+      core::CellRunConfig cfg;
+      cfg.stage = direct ? core::Stage::kDirectComm : core::Stage::kVectorize;
+      cfg.scheduler = core::SchedulerModel::kNaiveMpi;
+      cfg.workers = row.workers;
+      cfg.trace_samples = 2;
+      const auto tasks = search::make_analysis(0, row.bootstraps);
+      t[direct] = core::run_on_cell(pa, cfg, tasks).virtual_seconds;
+    }
+    std::printf("%dw x %-2d bootstraps   %14.3f %14.3f %9.1f%%\n",
+                row.workers, row.bootstraps, t[0], t[1],
+                100.0 * (t[0] - t[1]) / t[0]);
+  }
+}
+
+void cat_vs_gamma(const seq::PatternAlignment& pa) {
+  // DESIGN.md extension: the paper cites [25] on CAT-vs-Gamma as an HPC
+  // trade-off — CAT computes one category per pattern, Gamma all of them.
+  std::printf("--- CAT vs GAMMA rate heterogeneity (per-task serial vtime "
+              "on the simulated SPE) ---\n");
+  std::printf("%-22s %14s %14s\n", "model", "vtime[s]", "final lnl");
+  struct Cfg { const char* label; lh::RateMode mode; int cats; };
+  for (const Cfg c : {Cfg{"CAT-25", lh::RateMode::kCat, 25},
+                      Cfg{"GAMMA-4", lh::RateMode::kGamma, 4},
+                      Cfg{"GAMMA-8", lh::RateMode::kGamma, 8}}) {
+    lh::EngineConfig ec;
+    ec.mode = c.mode;
+    ec.categories = c.cats;
+    ec.alpha = 0.7;
+    search::SearchOptions so;
+    so.max_rounds = 2;
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
+    std::printf("%-22s %14.3f %14.2f\n", c.label,
+                trace.serial_cycles() / machine.params().clock_hz,
+                trace.log_likelihood);
+  }
+}
+
+void category_sweep(const seq::PatternAlignment& pa) {
+  // §5.2.5: the "first loop" runs 4-25 iterations (one per rate category)
+  // and is where the exp() calls live — per-task virtual time vs the
+  // category count, CAT mode on the fully optimized SPE.
+  std::printf("--- rate-category sweep (first-loop trip count, §5.2.5) ---\n");
+  std::printf("%-8s %14s %16s\n", "ncat", "vtime[s]", "exp calls/task");
+  for (const int ncat : {4, 8, 16, 25}) {
+    lh::EngineConfig ec;
+    ec.mode = lh::RateMode::kCat;
+    ec.categories = ncat;
+    search::SearchOptions so;
+    so.max_rounds = 2;
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
+    std::printf("%-8d %14.3f %16llu\n", ncat,
+                trace.serial_cycles() / machine.params().clock_hz,
+                static_cast<unsigned long long>(trace.counters.exp_calls));
+  }
+}
+
+}  // namespace
+
+int main() {
+  try {
+    Stopwatch wall;
+    const auto sim = seq::make_42sc();
+    const auto pa = seq::PatternAlignment::compress(sim.alignment);
+    std::printf("=== Ablations (design-choice studies beyond the paper's "
+                "tables) ===\n");
+    llp_scaling(pa);
+    eib_contention(pa);
+    comm_scaling(pa);
+    cat_vs_gamma(pa);
+    category_sweep(pa);
+    std::printf("[wall %.1fs]\n\n", wall.seconds());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench failed: %s\n", e.what());
+    return 1;
+  }
+}

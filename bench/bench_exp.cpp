@@ -1,0 +1,64 @@
+/// Microbenchmark for paper §5.2.2: libm exp() vs the SDK-style numerical
+/// exponential, on the input range the likelihood kernels produce
+/// (lambda * rate * branch, all <= 0).  On the real 2006 SPE the swap cut
+/// newview() roughly in half because the SPE libm exp was a slow, branchy
+/// software routine.  Modern glibc's exp is itself a tight polynomial, so
+/// on the host the two are comparable — this bench documents the per-call
+/// cost scale; the SPE-era gap is carried by the simulator's cost model
+/// (cell/cost_params.h: 2140 vs 60 cycles).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "likelihood/fast_exp.h"
+#include "support/rng.h"
+
+namespace {
+
+std::vector<double> kernel_inputs(std::size_t n) {
+  rxc::Rng rng(42);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = -rxc::lh::kExpDomain * rng.uniform();
+  return xs;
+}
+
+void BM_ExpLibm(benchmark::State& state) {
+  const auto xs = kernel_inputs(4096);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double x : xs) sum += rxc::lh::exp_libm(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_ExpLibm);
+
+void BM_ExpSdk(benchmark::State& state) {
+  const auto xs = kernel_inputs(4096);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double x : xs) sum += rxc::lh::exp_sdk(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_ExpSdk);
+
+/// The per-newview usage pattern: 150 calls (2 matrices x 25 categories x
+/// 3 non-zero eigenvalues), as the paper counts them.
+void BM_ExpPerNewviewInvocation(benchmark::State& state) {
+  const auto xs = kernel_inputs(150);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double x : xs) sum += rxc::lh::exp_sdk(x);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ExpPerNewviewInvocation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+/// Microbenchmarks of the likelihood kernels (paper §5.2.5, Figure 2):
+/// scalar vs SIMD newview bodies, transition-matrix construction with both
+/// exp() variants, and the makenewz inner kernels — measured as real host
+/// wall time on a 42_SC-shaped strip (252 patterns).
+
+#include <benchmark/benchmark.h>
+
+#include "likelihood/kernels.h"
+#include "model/dna_model.h"
+#include "support/aligned.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace rxc;
+
+constexpr std::size_t kNp = 252;  // 42_SC pattern count
+constexpr int kNcat = 25;
+
+struct KernelData {
+  model::EigenSystem es;
+  std::vector<double> rates;
+  aligned_vector<double> pmat1, pmat2;
+  aligned_vector<double> partial1, partial2, out;
+  std::vector<std::int32_t> scale1, scale2, scale_out;
+  std::vector<int> cat;
+  std::vector<double> weights;
+  aligned_vector<double> sumtable;
+
+  KernelData()
+      : es(model::decompose(model::DnaModel::gtr(
+            {1.2, 3.1, 0.9, 1.1, 3.4, 1.0}, {0.30, 0.21, 0.24, 0.25}))),
+        pmat1(kNcat * 16),
+        pmat2(kNcat * 16),
+        partial1(kNp * 4),
+        partial2(kNp * 4),
+        out(kNp * 4),
+        scale1(kNp, 0),
+        scale2(kNp, 0),
+        scale_out(kNp),
+        cat(kNp),
+        weights(kNp, 4.6),
+        sumtable(kNp * 4) {
+    Rng rng(1);
+    rates.resize(kNcat);
+    for (int c = 0; c < kNcat; ++c) rates[c] = 0.05 * (c + 1);
+    lh::build_pmatrices(es, rates.data(), kNcat, 0.13, &lh::exp_libm,
+                        pmat1.data());
+    lh::build_pmatrices(es, rates.data(), kNcat, 0.27, &lh::exp_libm,
+                        pmat2.data());
+    for (double& x : partial1) x = rng.uniform() * 1e-2;
+    for (double& x : partial2) x = rng.uniform() * 1e-2;
+    for (auto& c : cat) c = static_cast<int>(rng.below(kNcat));
+  }
+
+  lh::NewviewArgs newview_args() {
+    lh::NewviewArgs a;
+    a.pmat1 = pmat1.data();
+    a.pmat2 = pmat2.data();
+    a.ncat = kNcat;
+    a.cat = cat.data();
+    a.np = kNp;
+    a.partial1 = partial1.data();
+    a.scale1 = scale1.data();
+    a.partial2 = partial2.data();
+    a.scale2 = scale2.data();
+    a.out = out.data();
+    a.scale_out = scale_out.data();
+    a.scaling = lh::ScalingCheck::kIntCast;
+    return a;
+  }
+};
+
+void BM_NewviewCatScalar(benchmark::State& state) {
+  KernelData d;
+  auto args = d.newview_args();
+  for (auto _ : state) benchmark::DoNotOptimize(lh::newview_cat(args));
+  state.SetItemsProcessed(state.iterations() * kNp);
+}
+BENCHMARK(BM_NewviewCatScalar);
+
+void BM_NewviewCatSimd(benchmark::State& state) {
+  KernelData d;
+  auto args = d.newview_args();
+  for (auto _ : state) benchmark::DoNotOptimize(lh::newview_cat_simd(args));
+  state.SetItemsProcessed(state.iterations() * kNp);
+}
+BENCHMARK(BM_NewviewCatSimd);
+
+void BM_PmatricesLibm(benchmark::State& state) {
+  KernelData d;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lh::build_pmatrices(
+        d.es, d.rates.data(), kNcat, 0.2, &lh::exp_libm, d.pmat1.data()));
+  }
+}
+BENCHMARK(BM_PmatricesLibm);
+
+void BM_PmatricesSdk(benchmark::State& state) {
+  KernelData d;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lh::build_pmatrices(
+        d.es, d.rates.data(), kNcat, 0.2, &lh::exp_sdk, d.pmat1.data()));
+  }
+}
+BENCHMARK(BM_PmatricesSdk);
+
+void BM_EvaluateCat(benchmark::State& state) {
+  KernelData d;
+  lh::EvaluateArgs a;
+  a.pmat = d.pmat1.data();
+  a.freqs = d.es.freqs.data();
+  a.ncat = kNcat;
+  a.cat = d.cat.data();
+  a.np = kNp;
+  a.partial1 = d.partial1.data();
+  a.scale1 = d.scale1.data();
+  a.partial2 = d.partial2.data();
+  a.scale2 = d.scale2.data();
+  a.weights = d.weights.data();
+  for (auto _ : state) benchmark::DoNotOptimize(lh::evaluate_cat(a));
+  state.SetItemsProcessed(state.iterations() * kNp);
+}
+BENCHMARK(BM_EvaluateCat);
+
+void BM_SumtableCat(benchmark::State& state) {
+  KernelData d;
+  lh::SumtableArgs a;
+  a.es = &d.es;
+  a.ncat = kNcat;
+  a.np = kNp;
+  a.partial1 = d.partial1.data();
+  a.partial2 = d.partial2.data();
+  a.out = d.sumtable.data();
+  for (auto _ : state) {
+    lh::make_sumtable_cat(a);
+    benchmark::DoNotOptimize(d.sumtable.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kNp);
+}
+BENCHMARK(BM_SumtableCat);
+
+void BM_NrDerivativesCat(benchmark::State& state) {
+  KernelData d;
+  lh::SumtableArgs sa;
+  sa.es = &d.es;
+  sa.ncat = kNcat;
+  sa.np = kNp;
+  sa.partial1 = d.partial1.data();
+  sa.partial2 = d.partial2.data();
+  sa.out = d.sumtable.data();
+  lh::make_sumtable_cat(sa);
+  lh::NrArgs a;
+  a.sumtable = d.sumtable.data();
+  a.lambda = d.es.lambda.data();
+  a.rates = d.rates.data();
+  a.ncat = kNcat;
+  a.cat = d.cat.data();
+  a.np = kNp;
+  a.weights = d.weights.data();
+  a.t = 0.17;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lh::nr_derivatives_cat(a));
+  }
+  state.SetItemsProcessed(state.iterations() * kNp);
+}
+BENCHMARK(BM_NrDerivativesCat);
+
+void BM_NewviewGammaScalarVsSimd(benchmark::State& state) {
+  // Parameterized over SIMD (0/1) via the range argument.
+  const bool simd = state.range(0) != 0;
+  constexpr int kGcat = 4;
+  KernelData d;
+  aligned_vector<double> gp1(kNp * kGcat * 4), gp2(kNp * kGcat * 4),
+      gout(kNp * kGcat * 4);
+  Rng rng(3);
+  for (double& x : gp1) x = rng.uniform();
+  for (double& x : gp2) x = rng.uniform();
+  lh::NewviewArgs a;
+  a.pmat1 = d.pmat1.data();
+  a.pmat2 = d.pmat2.data();
+  a.ncat = kGcat;
+  a.np = kNp;
+  a.partial1 = gp1.data();
+  a.scale1 = d.scale1.data();
+  a.partial2 = gp2.data();
+  a.scale2 = d.scale2.data();
+  a.out = gout.data();
+  a.scale_out = d.scale_out.data();
+  a.scaling = lh::ScalingCheck::kIntCast;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd ? lh::newview_gamma_simd(a)
+                                  : lh::newview_gamma(a));
+  }
+  state.SetItemsProcessed(state.iterations() * kNp * kGcat);
+}
+BENCHMARK(BM_NewviewGammaScalarVsSimd)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+/// Table 1 (paper §5.2.1): the starting point.  (a) the whole application
+/// on the PPE; (b) newview() naively offloaded to one SPE per worker —
+/// which is 2.9x SLOWER, the paper's motivating observation: merely
+/// exposing parallelism to Cell is not enough.
+
+#include "table_common.h"
+
+int main() {
+  using namespace rxc::bench;
+  int rc = run_table({
+      "Table 1(a): whole application on the PPE",
+      "paper: 36.9 / 207.67 / 427.95 / 824 s",
+      rxc::core::Stage::kPpeOnly,
+      standard_rows(36.9, 207.67, 427.95, 824.0),
+  });
+  rc |= run_table({
+      "Table 1(b): newview() naively offloaded (libm exp, branchy "
+      "conditional, no double buffering, scalar, mailboxes)",
+      "paper: 106.37 / 459.16 / 915.75 / 1836.6 s (2.2-2.9x SLOWER than "
+      "the PPE)",
+      rxc::core::Stage::kOffloadNewview,
+      standard_rows(106.37, 459.16, 915.75, 1836.6),
+  });
+  return rc;
+}

@@ -1,0 +1,14 @@
+/// Table 2 (paper §5.2.2): the libm exp() — 50% of naive SPE newview time
+/// at ~150 calls per invocation — is replaced with the Cell-SDK numerical
+/// exponential.  Paper: 37-41% faster than Table 1(b).
+
+#include "table_common.h"
+
+int main() {
+  return rxc::bench::run_table({
+      "Table 2: + Cell-SDK exp() on the SPE",
+      "paper: 62.8 / 285.25 / 572.92 / 1138.5 s",
+      rxc::core::Stage::kFastExp,
+      rxc::bench::standard_rows(62.8, 285.25, 572.92, 1138.5),
+  });
+}

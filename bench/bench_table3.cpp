@@ -1,0 +1,15 @@
+/// Table 3 (paper §5.2.3): the numerical-scaling conditional (8 hard-to-
+/// predict conditions, ~45% of newview time) is cast to sign-magnitude
+/// integer compares and vectorized, dropping to ~6%.  Paper: a further
+/// 19-21% off Table 2.
+
+#include "table_common.h"
+
+int main() {
+  return rxc::bench::run_table({
+      "Table 3: + cast & vectorized scaling conditional",
+      "paper: 49.3 / 230 / 460.43 / 917.09 s",
+      rxc::core::Stage::kIntCond,
+      rxc::bench::standard_rows(49.3, 230.0, 460.43, 917.09),
+  });
+}

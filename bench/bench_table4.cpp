@@ -1,0 +1,14 @@
+/// Table 4 (paper §5.2.4): double buffering overlaps the strip-mined
+/// likelihood-vector DMA (11.4% idle time) with computation.  Paper: 4-5%
+/// off Table 3.
+
+#include "table_common.h"
+
+int main() {
+  return rxc::bench::run_table({
+      "Table 4: + double-buffered 2KB strip DMA",
+      "paper: 47 / 220.92 / 441.39 / 884.47 s",
+      rxc::core::Stage::kDoubleBuffer,
+      rxc::bench::standard_rows(47.0, 220.92, 441.39, 884.47),
+  });
+}

@@ -1,0 +1,15 @@
+/// Table 5 (paper §5.2.5, Figure 2): the two hot loops are vectorized with
+/// 2-wide double SIMD (spu_splats/spu_madd; FP instruction counts 36->24
+/// and 44->22, +25 vector-construction instructions).  Paper: 9-13% off
+/// Table 4 — notably LESS than the conditional vectorization bought.
+
+#include "table_common.h"
+
+int main() {
+  return rxc::bench::run_table({
+      "Table 5: + SIMD likelihood loops",
+      "paper: 40.9 / 195.7 / 393 / 800.9 s",
+      rxc::core::Stage::kVectorize,
+      rxc::bench::standard_rows(40.9, 195.7, 393.0, 800.9),
+  });
+}

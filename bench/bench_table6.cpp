@@ -1,0 +1,14 @@
+/// Table 6 (paper §5.2.6): PPE<->SPE signaling moves from mailboxes to
+/// direct memory-to-memory transfers.  Paper: 2-11% off Table 5, growing
+/// with the number of workers/bootstraps (communication intensity).
+
+#include "table_common.h"
+
+int main() {
+  return rxc::bench::run_table({
+      "Table 6: + direct memory-to-memory signaling",
+      "paper: 39.9 / 180.46 / 357.08 / 712.2 s",
+      rxc::core::Stage::kDirectComm,
+      rxc::bench::standard_rows(39.9, 180.46, 357.08, 712.2),
+  });
+}

@@ -1,0 +1,94 @@
+#pragma once
+/// \file table_common.h
+/// Shared driver for the Table 1-7 benches.  Each §5.2 table reports the
+/// same four rows (1 worker x 1 bootstrap, 2 workers x 8/16/32 bootstraps)
+/// at one cumulative optimization stage.  The benches regenerate those rows
+/// as virtual seconds on the simulated Cell; since absolute seconds depend
+/// on the authors' testbed and exact workload, the comparable quantity is
+/// each row's RATIO to the PPE-only baseline (Table 1(a)) — printed next to
+/// the paper's own ratio.  See EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/port.h"
+#include "seq/patterns.h"
+#include "seq/seqgen.h"
+#include "support/stopwatch.h"
+
+namespace rxc::bench {
+
+struct TableRow {
+  int workers;
+  int bootstraps;
+  double paper_seconds;       ///< this stage, from the paper's table
+  double paper_ppe_seconds;   ///< same row in Table 1(a)
+};
+
+/// The four standard rows; Table 1(a) baseline: 36.9 / 207.67 / 427.95 /
+/// 824 seconds.
+inline std::vector<TableRow> standard_rows(double r1, double r2, double r3,
+                                           double r4) {
+  return {{1, 1, r1, 36.9},
+          {2, 8, r2, 207.67},
+          {2, 16, r3, 427.95},
+          {2, 32, r4, 824.0}};
+}
+
+struct TableSpec {
+  std::string title;
+  std::string paper_ref;
+  core::Stage stage;
+  std::vector<TableRow> rows;
+  core::SchedulerModel scheduler = core::SchedulerModel::kNaiveMpi;
+};
+
+inline double run_row(const seq::PatternAlignment& pa, core::Stage stage,
+                      core::SchedulerModel scheduler, const TableRow& row,
+                      std::size_t trace_samples = 4) {
+  core::CellRunConfig cfg;
+  cfg.stage = stage;
+  cfg.scheduler = scheduler;
+  cfg.workers = row.workers;
+  cfg.trace_samples = trace_samples;
+  const auto tasks = search::make_analysis(0, row.bootstraps);
+  return core::run_on_cell(pa, cfg, tasks).virtual_seconds;
+}
+
+inline int run_table(const TableSpec& spec) {
+  try {
+    rxc::Stopwatch wall;
+    const auto sim = seq::make_42sc();
+    const auto pa = seq::PatternAlignment::compress(sim.alignment);
+    std::printf("=== %s ===\n", spec.title.c_str());
+    std::printf("(%s; workload: synthetic 42_SC, %zu taxa x %zu sites, "
+                "%zu patterns, CAT-25; ratios are vs the PPE-only run of "
+                "the same row)\n",
+                spec.paper_ref.c_str(), pa.taxon_count(), pa.site_count(),
+                pa.pattern_count());
+    std::printf("%-22s %12s %12s | %12s %12s | %10s %10s\n", "row",
+                "vtime[s]", "ppe-only[s]", "paper[s]", "paper-ppe[s]",
+                "ratio", "paper");
+
+    for (const auto& row : spec.rows) {
+      const double vsec = run_row(pa, spec.stage, spec.scheduler, row);
+      const double base =
+          run_row(pa, core::Stage::kPpeOnly,
+                  core::SchedulerModel::kNaiveMpi, row);
+      char label[64];
+      std::snprintf(label, sizeof label, "%d worker(s) x %d bs", row.workers,
+                    row.bootstraps);
+      std::printf("%-22s %12.3f %12.3f | %12.2f %12.2f | %10.3f %10.3f\n",
+                  label, vsec, base, row.paper_seconds, row.paper_ppe_seconds,
+                  vsec / base, row.paper_seconds / row.paper_ppe_seconds);
+    }
+    std::printf("[wall %.1fs]\n\n", wall.seconds());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace rxc::bench

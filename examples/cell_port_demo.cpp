@@ -1,0 +1,85 @@
+/// The Cell port in action: run the same bootstrap analysis on the
+/// simulated Cell Broadband Engine at three points of the paper's story —
+/// the PPE-only baseline, the naive newview() offload (slower!), and the
+/// fully optimized MGPS configuration — and show that the virtual time
+/// moves exactly as §5 describes while the RESULTS stay bit-for-bit
+/// comparable.
+///
+/// Usage: cell_port_demo [--bootstraps N]
+
+#include <cstdio>
+
+#include "core/port.h"
+#include "seq/seqgen.h"
+#include "support/options.h"
+#include "support/str.h"
+
+int main(int argc, char** argv) {
+  using namespace rxc;
+  try {
+    const Options opt(argc, argv);
+    opt.check_known({"bootstraps"});
+    const std::size_t bootstraps =
+        static_cast<std::size_t>(opt.get_int("bootstraps", 8));
+
+    const auto data = seq::make_42sc();
+    const auto patterns = seq::PatternAlignment::compress(data.alignment);
+    std::printf("workload: synthetic 42_SC (%zu taxa x %zu sites, %zu "
+                "patterns), %zu bootstraps\n\n",
+                patterns.taxon_count(), patterns.site_count(),
+                patterns.pattern_count(), bootstraps);
+    const auto tasks = search::make_analysis(0, bootstraps);
+
+    struct Config {
+      const char* label;
+      core::Stage stage;
+      core::SchedulerModel scheduler;
+      int workers;
+    };
+    const Config configs[] = {
+        {"PPE only (Table 1a)", core::Stage::kPpeOnly,
+         core::SchedulerModel::kNaiveMpi, 2},
+        {"naive newview offload (Table 1b)", core::Stage::kOffloadNewview,
+         core::SchedulerModel::kNaiveMpi, 2},
+        {"all optimizations, naive scheduler (Table 7)",
+         core::Stage::kOffloadAll, core::SchedulerModel::kNaiveMpi, 2},
+        {"all optimizations + MGPS (Table 8)", core::Stage::kOffloadAll,
+         core::SchedulerModel::kMgps, 2},
+    };
+
+    double first_lnl = 0.0;
+    for (const Config& c : configs) {
+      core::CellRunConfig cfg;
+      cfg.stage = c.stage;
+      cfg.scheduler = c.scheduler;
+      cfg.workers = c.workers;
+      cfg.trace_samples = 3;
+      const auto r = core::run_on_cell(patterns, cfg, tasks);
+      if (first_lnl == 0.0) first_lnl = r.task_log_likelihoods.at(0);
+      std::printf("%-48s %10.3f virtual s   (task-0 lnL %.4f)\n", c.label,
+                  r.virtual_seconds, r.task_log_likelihoods.at(0));
+      std::printf("  %s signaled offloads, %s PPE context switches, "
+                  "SPE busy %s Mcycles\n",
+                  with_thousands(r.schedule.signaled_offloads).c_str(),
+                  with_thousands(r.schedule.context_switches).c_str(),
+                  fixed(r.schedule.spe_busy / 1e6, 1).c_str());
+      std::printf("  profile: newview %.1f%%  makenewz %.1f%%  evaluate "
+                  "%.1f%%   (paper gprof: 76.8 / 19.2 / 2.4)\n",
+                  100.0 * r.profile.share(core::KernelKind::kNewview),
+                  100.0 * (r.profile.share(core::KernelKind::kSumtable) +
+                           r.profile.share(core::KernelKind::kNrDerivatives)),
+                  100.0 * r.profile.share(core::KernelKind::kEvaluate));
+      // The paper's invariant: optimizations change time, never results.
+      if (std::abs(r.task_log_likelihoods.at(0) - first_lnl) > 1e-6) {
+        std::fprintf(stderr, "RESULT MISMATCH — simulator bug!\n");
+        return 1;
+      }
+    }
+    std::printf("\nall configurations produced identical task results — "
+                "only the (virtual) clock moved.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+/// Amino-acid analysis: the paper's RAxML analyzes "alignments of DNA or
+/// AA sequences" — this example runs the 20-state path end to end:
+/// simulate a protein alignment, infer the ML tree under POISSON+Gamma
+/// (or any PAML-format empirical matrix such as WAG via --model FILE.dat),
+/// optimize the Gamma shape by Brent's method, and compare against the
+/// generating tree.
+///
+/// Usage: protein_phylogeny [--taxa N] [--sites N] [--model wag.dat]
+
+#include <cstdio>
+
+#include "search/model_opt.h"
+#include "search/protein_search.h"
+#include "seq/aa_alignment.h"
+#include "support/options.h"
+#include "support/stopwatch.h"
+#include "tree/tree.h"
+
+int main(int argc, char** argv) {
+  using namespace rxc;
+  try {
+    const Options opt(argc, argv);
+    opt.check_known({"taxa", "sites", "model", "seed"});
+
+    seq::AaSimOptions sim;
+    sim.ntaxa = static_cast<std::size_t>(opt.get_int("taxa", 12));
+    sim.nsites = static_cast<std::size_t>(opt.get_int("sites", 400));
+    sim.gamma_alpha = 0.7;
+    sim.branch_scale = 0.12;
+    sim.seed = static_cast<std::uint64_t>(opt.get_int("seed", 11));
+    if (opt.has("model"))
+      sim.model = model::AaModel::from_paml_dat_file(opt.get("model", ""));
+    const auto data = seq::simulate_aa_alignment(sim);
+    const auto patterns = seq::AaPatternAlignment::compress(data.alignment);
+    std::printf("protein alignment: %zu taxa x %zu sites -> %zu patterns "
+                "(model %s)\n",
+                patterns.taxon_count(), patterns.site_count(),
+                patterns.pattern_count(), sim.model.name.c_str());
+
+    lh::ProteinEngineConfig engine_cfg;
+    engine_cfg.model = sim.model;
+    engine_cfg.model.freqs = data.alignment.empirical_freqs();
+    engine_cfg.mode = lh::RateMode::kGamma;
+    engine_cfg.categories = 4;
+    engine_cfg.alpha = 1.0;
+
+    Stopwatch timer;
+    search::SearchOptions search_opt;
+    lh::ProteinEngine engine(patterns, engine_cfg);
+    auto result = search::run_protein_search(patterns, engine, search_opt,
+                                             sim.seed);
+
+    // Re-attach the found tree and polish the Gamma shape by ML.
+    engine.set_tree(&result.tree);
+    const double lnl_before_alpha = result.log_likelihood;
+    const double lnl = search::optimize_gamma_alpha(engine);
+    std::printf("search lnL %.4f; after alpha optimization %.4f "
+                "(alpha-hat = %.3f, simulated with 0.7)\n",
+                lnl_before_alpha, lnl, engine.gamma_alpha());
+    engine.set_tree(nullptr);
+
+    const auto truth = tree::Tree::from_newick_string(data.true_tree_newick,
+                                                      patterns.names());
+    std::printf("Robinson-Foulds distance to the generating tree: %zu\n",
+                tree::Tree::rf_distance(result.tree, truth));
+    std::printf("wall %.2fs\ntree: %s\n", timer.seconds(),
+                result.tree.to_newick(patterns.names()).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

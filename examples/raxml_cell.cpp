@@ -1,0 +1,263 @@
+/// raxml_cell — the command-line face of the library, in the spirit of the
+/// original RAxML binary: read an alignment, run multiple ML inferences
+/// plus bootstraps (checkpointed), write the best tree with bootstrap
+/// support values, and optionally replay the whole analysis on the
+/// simulated Cell to report virtual time per optimization stage.
+///
+/// Examples:
+///   raxml_cell --phylip data.phy --inferences 5 --bootstraps 100 \
+///              --checkpoint run1.ckp --out run1
+///   raxml_cell --demo --bootstraps 16 --cell mgps
+///
+/// Options:
+///   --phylip FILE | --fasta FILE | --demo     input (demo = synthetic 42_SC)
+///   --model jc|k80|hky|gtr                    substitution model (def. gtr)
+///   --mode cat|gamma  --categories N  --alpha X
+///   --inferences N  --bootstraps N  --seed N
+///   --radius N                                 SPR rearrangement radius
+///   --threads N                                loop-level host parallelism
+///   --opt-model                                ML model-parameter optimization
+///   --checkpoint FILE                          resume/persist task results
+///   --out PREFIX                               write PREFIX.best.tree,
+///                                              PREFIX.support.tree
+///   --evaluate FILE                            no search: optimize branch
+///                                              lengths + lnL of this tree
+///                                              (RAxML's -f e mode)
+///   --cell off|naive|edtlp|mgps                also simulate on the Cell
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/port.h"
+#include "io/phylip.h"
+#include "io/tree_list.h"
+#include "likelihood/threaded_executor.h"
+#include "search/checkpoint.h"
+#include "search/model_opt.h"
+#include "seq/seqgen.h"
+#include "support/options.h"
+#include "support/stopwatch.h"
+#include "tree/consensus.h"
+
+namespace {
+
+rxc::model::DnaModel parse_model(const std::string& name,
+                                 const rxc::seq::Alignment& aln) {
+  using rxc::model::DnaModel;
+  if (name == "jc") return DnaModel::jc69();
+  if (name == "k80") return DnaModel::k80(2.0);
+  if (name == "hky")
+    return DnaModel::hky85(2.0, aln.empirical_base_freqs());
+  if (name == "gtr") {
+    DnaModel m = DnaModel::gtr({1, 1, 1, 1, 1, 1}, aln.empirical_base_freqs());
+    return m;
+  }
+  throw rxc::Error("unknown --model '" + name + "' (jc|k80|hky|gtr)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rxc;
+  try {
+    const Options opt(argc, argv);
+    opt.check_known({"phylip", "fasta", "demo", "model", "mode", "categories",
+                     "alpha", "inferences", "bootstraps", "seed", "radius",
+                     "threads", "opt-model", "checkpoint", "out", "cell",
+                     "evaluate", "support-from", "tree"});
+
+    // --- input ----------------------------------------------------------
+    std::vector<io::SeqRecord> records;
+    if (opt.has("phylip")) {
+      records = io::read_phylip_file(opt.get("phylip", ""));
+    } else if (opt.has("fasta")) {
+      records = io::read_fasta_file(opt.get("fasta", ""));
+    } else {
+      std::puts("(--demo: synthetic 42_SC workload)");
+      records = seq::make_42sc().alignment.to_records();
+    }
+    const auto alignment = seq::Alignment::from_records(records);
+    const auto patterns = seq::PatternAlignment::compress(alignment);
+    std::printf("alignment: %zu taxa x %zu sites -> %zu patterns\n",
+                alignment.taxon_count(), alignment.site_count(),
+                patterns.pattern_count());
+
+    // --- configuration -----------------------------------------------------
+    lh::EngineConfig engine_cfg;
+    engine_cfg.model = parse_model(opt.get("model", "gtr"), alignment);
+    const std::string mode = opt.get("mode", "cat");
+    RXC_REQUIRE(mode == "cat" || mode == "gamma", "--mode must be cat|gamma");
+    engine_cfg.mode =
+        mode == "cat" ? lh::RateMode::kCat : lh::RateMode::kGamma;
+    engine_cfg.categories = static_cast<int>(
+        opt.get_int("categories", mode == "cat" ? 25 : 4));
+    engine_cfg.alpha = opt.get_double("alpha", 1.0);
+
+    search::SearchOptions search_opt;
+    search_opt.radius = static_cast<int>(opt.get_int("radius", 5));
+
+    // Support-annotation mode: best tree + an existing replicate-tree list
+    // in, support-labeled Newick out (no likelihood computation).
+    if (opt.has("support-from")) {
+      RXC_REQUIRE(opt.has("tree"), "--support-from requires --tree FILE");
+      std::ifstream tin(opt.get("tree", ""));
+      RXC_REQUIRE(tin.good(), "cannot open --tree file");
+      std::string best_newick((std::istreambuf_iterator<char>(tin)),
+                              std::istreambuf_iterator<char>());
+      const auto best_tree =
+          tree::Tree::from_newick_string(best_newick, patterns.names());
+      std::vector<tree::Tree> replicates;
+      for (const auto& n :
+           io::read_tree_list_file(opt.get("support-from", "")))
+        replicates.push_back(
+            tree::Tree::from_newick_string(n, patterns.names()));
+      std::printf("%s\n",
+                  tree::newick_with_support(best_tree, patterns.names(),
+                                            replicates)
+                      .c_str());
+      return 0;
+    }
+
+    // Evaluate-only mode: read a user tree, optimize its branch lengths
+    // (and optionally the model), report the log-likelihood, and exit.
+    if (opt.has("evaluate")) {
+      std::ifstream in(opt.get("evaluate", ""));
+      RXC_REQUIRE(in.good(), "cannot open --evaluate tree file");
+      std::string newick((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+      auto user_tree =
+          tree::Tree::from_newick_string(newick, patterns.names());
+      lh::LikelihoodEngine engine(patterns, engine_cfg);
+      engine.set_tree(&user_tree);
+      double lnl = engine.optimize_all_branches(4);
+      if (opt.get_bool("opt-model", false))
+        lnl = search::optimize_model(engine);
+      std::printf("evaluated tree: lnL %.6f (branch lengths optimized)\n",
+                  lnl);
+      std::printf("%s\n", user_tree.to_newick(patterns.names()).c_str());
+      engine.set_tree(nullptr);
+      return 0;
+    }
+
+    const std::size_t inferences =
+        static_cast<std::size_t>(opt.get_int("inferences", 3));
+    const std::size_t bootstraps =
+        static_cast<std::size_t>(opt.get_int("bootstraps", 20));
+    const auto tasks = search::make_analysis(
+        inferences, bootstraps,
+        static_cast<std::uint64_t>(opt.get_int("seed", 1)));
+
+    // --- run -----------------------------------------------------------------
+    Stopwatch wall;
+    std::vector<search::TaskResult> results;
+    if (opt.has("checkpoint")) {
+      results = search::run_analysis_checkpointed(
+          patterns, engine_cfg, search_opt, tasks, opt.get("checkpoint", ""));
+    } else {
+      const int threads = static_cast<int>(opt.get_int("threads", 1));
+      lh::ThreadedExecutor exec(threads, engine_cfg.kernels);
+      results.reserve(tasks.size());
+      for (const auto& task : tasks) {
+        results.push_back(search::run_task(patterns, engine_cfg, search_opt,
+                                           task,
+                                           threads > 1 ? &exec : nullptr));
+        std::printf("  task %zu/%zu (%s, seed %llu): lnL %.4f\n",
+                    results.size(), tasks.size(),
+                    task.kind == search::TaskKind::kBootstrap ? "bootstrap"
+                                                              : "inference",
+                    static_cast<unsigned long long>(task.seed),
+                    results.back().log_likelihood);
+      }
+    }
+
+    const std::size_t best = search::best_inference(results, tasks);
+    auto best_tree =
+        tree::Tree::from_newick_string(results[best].newick, patterns.names());
+    double best_lnl = results[best].log_likelihood;
+    std::printf("best-known ML tree: task %zu, lnL %.4f (wall %.1fs)\n", best,
+                best_lnl, wall.seconds());
+
+    // Optional ML model-parameter polish on the best tree.
+    if (opt.get_bool("opt-model", false)) {
+      lh::LikelihoodEngine engine(patterns, engine_cfg);
+      engine.set_tree(&best_tree);
+      best_lnl = search::optimize_model(engine);
+      std::printf("after model optimization: lnL %.4f", best_lnl);
+      if (engine_cfg.mode == lh::RateMode::kGamma)
+        std::printf(" (alpha-hat %.3f)", engine.gamma_alpha());
+      std::printf("\n");
+      engine.set_tree(nullptr);
+    }
+
+    // Bootstrap support.
+    std::vector<tree::Tree> replicates;
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      if (tasks[i].kind == search::TaskKind::kBootstrap)
+        replicates.push_back(tree::Tree::from_newick_string(
+            results[i].newick, patterns.names()));
+
+    std::string support_newick;
+    if (!replicates.empty()) {
+      support_newick =
+          tree::newick_with_support(best_tree, patterns.names(), replicates);
+      std::printf("bootstrap replicates: %zu; majority-rule splits: %zu\n",
+                  replicates.size(),
+                  tree::majority_splits(replicates).size());
+    }
+
+    // --- outputs ---------------------------------------------------------------
+    if (opt.has("out")) {
+      const std::string prefix = opt.get("out", "rxc");
+      {
+        std::ofstream f(prefix + ".best.tree");
+        f << best_tree.to_newick(patterns.names()) << '\n';
+      }
+      if (!support_newick.empty()) {
+        std::ofstream f(prefix + ".support.tree");
+        f << support_newick << '\n';
+        // All replicate trees, one per line (RAxML_bootstrap-style).
+        std::ofstream reps(prefix + ".bootstraps.trees");
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+          if (tasks[i].kind == search::TaskKind::kBootstrap)
+            reps << results[i].newick << '\n';
+      }
+      std::printf("wrote %s.best.tree%s\n", prefix.c_str(),
+                  support_newick.empty()
+                      ? ""
+                      : ", .support.tree and .bootstraps.trees");
+    } else {
+      std::printf("best tree: %s\n",
+                  best_tree.to_newick(patterns.names()).c_str());
+    }
+
+    // --- optional Cell simulation ------------------------------------------------
+    const std::string cell = opt.get("cell", "off");
+    if (cell != "off") {
+      core::CellRunConfig cfg;
+      cfg.stage = core::Stage::kOffloadAll;
+      cfg.engine = engine_cfg;
+      cfg.search = search_opt;
+      cfg.trace_samples = 4;
+      if (cell == "naive") {
+        cfg.scheduler = core::SchedulerModel::kNaiveMpi;
+        cfg.workers = 2;
+      } else if (cell == "edtlp") {
+        cfg.scheduler = core::SchedulerModel::kEdtlp;
+      } else if (cell == "mgps") {
+        cfg.scheduler = core::SchedulerModel::kMgps;
+      } else {
+        throw Error("unknown --cell '" + cell + "' (off|naive|edtlp|mgps)");
+      }
+      const auto run = core::run_on_cell(patterns, cfg, tasks);
+      std::printf("simulated Cell (%s, all optimizations): %.3f virtual s, "
+                  "%llu offload signals\n",
+                  cell.c_str(), run.virtual_seconds,
+                  static_cast<unsigned long long>(
+                      run.schedule.signaled_offloads));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

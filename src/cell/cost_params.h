@@ -1,0 +1,148 @@
+#pragma once
+/// \file cost_params.h
+/// Cycle-cost model of the Cell BE (3.2 GHz) used by the timing simulator.
+///
+/// Sources for the constants:
+///  * Cell BE specs quoted in the paper (§4): 3.2 GHz clock; SPU issues two
+///    double-precision FP operations every six cycles (partially pipelined)
+///    and one single-precision op per cycle; local store 256 KB; DMA
+///    transfers <= 16 KB, 128-bit aligned; EIB 204.8 GB/s aggregate
+///    (25.6 GB/s = 8 B/cycle per port); ~20-cycle branch-miss penalty
+///    (§5.2.3, citing the CBE tutorial).
+///  * Paper-reported shares used as calibration anchors (§5.2.1-5.2.6):
+///    libm exp() = 50% of naive SPE newview time at ~150 calls/invocation;
+///    SDK exp swap cuts runtime 37-41%; the scaling conditional costs 45%
+///    of newview before the cast optimization and 6% after; DMA waits are
+///    11.4% before double buffering; the two hot loops drop 19.57 s ->
+///    11.48 s with vectorization; mailbox -> direct-memory signaling buys
+///    2-11%.
+///
+/// Absolute per-invocation times are NOT fitted to the paper's testbed —
+/// EXPERIMENTS.md compares stage-to-stage ratios, which is where the model
+/// carries information.
+
+#include <cstdint>
+
+namespace rxc::cell {
+
+/// Simulated cycles (virtual time unit).  Converted to seconds at clock_hz.
+using Cycles = std::uint64_t;
+
+struct CostParams {
+  double clock_hz = 3.2e9;
+
+  // --- SPU arithmetic ---------------------------------------------------
+  /// Scalar double-precision FP op: DP pipeline throughput is one 2-lane
+  /// instruction per ~6 cycles; scalar code wastes the second lane.
+  double spu_dp_flop_cycles = 6.0;
+  /// One 2-lane vector DP instruction (counts as 2 flops when both lanes
+  /// carry data).
+  double spu_dp_vector_instr_cycles = 6.0;
+  /// Vector-construction overhead (splats/gathers) per vectorized pattern
+  /// slot — the paper's "25 new instructions for creating vectors".
+  double spu_vector_build_cycles = 26.0;
+  /// Local-store touch per likelihood entry processed (load+store, even
+  /// pipelining): folded per-pattern overhead.
+  double spu_ls_cycles_per_pattern = 200.0;
+
+  // --- exp() variants (per call) -----------------------------------------
+  /// libm exp on the SPU: huge (software pipeline unfriendly, double
+  /// precision, branchy range handling).  Calibrated against the 50% share.
+  double spu_exp_libm_cycles = 2140.0;
+  /// Cell SDK numerical exp (exp.h): short polynomial, branch-free.
+  double spu_exp_sdk_cycles = 60.0;
+  /// libm log on the SPU (evaluate() calls it per pattern; §5.2.1 names
+  /// exp() and log() together as the math-library bottleneck).
+  double spu_log_libm_cycles = 900.0;
+  /// SDK numerical log.
+  double spu_log_sdk_cycles = 70.0;
+
+  // --- scaling conditional (per pattern) ----------------------------------
+  /// Original form: 4x fabs + 4 double compares + short-circuit branches;
+  /// the 8 hard-to-predict conditions cost ~20 cycles each on mispredict.
+  double spu_cond_fp_cycles = 410.0;
+  /// Cast + vectorized form: sign-mask AND, integer compares, no branches.
+  double spu_cond_int_cycles = 5.0;
+  double spu_branch_miss_cycles = 20.0;  ///< documented penalty (unused
+                                         ///< directly; folded into cond_fp)
+
+  // --- DMA / EIB ----------------------------------------------------------
+  /// Startup latency of one MFC DMA command (tag issue to first beat).
+  double dma_startup_cycles = 490.0;
+  /// Per-SPE port bandwidth: 25.6 GB/s at 3.2 GHz = 8 bytes/cycle.
+  double dma_bytes_per_cycle = 8.0;
+  /// Multiplicative EIB slowdown per additional concurrently-DMAing SPE
+  /// (aggregate 204.8 GB/s is ample for 8 ports; contention is mild).
+  double eib_contention_per_spe = 0.03;
+
+  // --- PPE <-> SPE signaling (per offloaded call, round trip halves) ------
+  /// Mailbox write/read through MMIO: hundreds of cycles each way.
+  double mailbox_signal_cycles = 3300.0;
+  /// Direct memory-to-memory signaling (§5.2.6): PPE stores to the SPE's
+  /// local store / SPE commits straight to main memory.
+  double direct_signal_cycles = 200.0;
+  /// SPE-side busy-wait poll granularity (adds to offload start latency).
+  double spe_poll_cycles = 40.0;
+
+  // --- PPE ------------------------------------------------------------------
+  /// PPE double-precision FP op (dual-issue in-order PowerPC with fused
+  /// madd; likelihood code sustains roughly 1 flop/cycle).
+  double ppe_dp_flop_cycles = 3.4;
+  /// PPE libm exp call.
+  double ppe_exp_libm_cycles = 265.0;
+  /// PPE libm log call.
+  double ppe_log_cycles = 375.0;
+  /// SMT slowdown: when both PPE hardware threads compute, each runs this
+  /// factor slower than alone (Table 1(a): 2 workers x 4 bootstraps take
+  /// 207.67 s vs 4 x 36.9 s sequential => ~1.41).
+  double ppe_smt_factor = 1.41;
+  /// PPE scaling conditional per pattern (good branch predictor, but 8
+  /// data-dependent compares).
+  double ppe_cond_cycles = 16.0;
+  /// PPE per-pattern bookkeeping (loads/stores through the cache).
+  double ppe_mem_cycles_per_pattern = 128.0;
+  /// PPE-side orchestration around one offloaded call (argument marshal,
+  /// result wait, scheduler touch).  Dominant at the hot functions' fine
+  /// granularity — newview averages 71 us per invocation (§5.2.6), so ~10 us
+  /// of per-call PPE overhead is what makes the naive port lose to the PPE.
+  double ppe_offload_overhead_cycles = 30000.0;
+  /// Per-call dispatch once ALL three functions live on the SPE (§5.2.7):
+  /// nested newview calls from makenewz/evaluate run SPE-side without any
+  /// PPE round trip.
+  double ppe_chained_overhead_cycles = 600.0;
+  /// EDTLP context switch on offload (paper §5.3): performed whenever more
+  /// MPI processes than hardware threads are multiplexed.  A full Linux
+  /// process switch (save/restore, run-queue, cache/TLB disturbance) on the
+  /// 2006-era kernel costs several microseconds; calibrated against the
+  /// paper's naive-vs-MGPS speedup of ~2.67x.
+  double ppe_context_switch_cycles = 36000.0;
+
+  // --- LLP (loop-level parallelization) -------------------------------------
+  /// Per-invocation cost of forking a loop across SPEs and joining results
+  /// (extra signals + partial-result merge), charged per participating SPE.
+  double llp_fork_join_cycles = 2600.0;
+
+  double seconds(Cycles cycles) const {
+    return static_cast<double>(cycles) / clock_hz;
+  }
+};
+
+/// Default parameters (see file comment for provenance).
+inline constexpr CostParams kDefaultCostParams{};
+
+// --- hardware architecture constants (functional simulator) ---------------
+
+inline constexpr std::size_t kLocalStoreBytes = 256 * 1024;
+inline constexpr std::size_t kDmaMaxBytes = 16 * 1024;
+inline constexpr std::size_t kDmaListMaxEntries = 2048;
+inline constexpr int kSpeCount = 8;
+inline constexpr int kPpeThreads = 2;
+inline constexpr int kMailboxInDepth = 4;   ///< PPE -> SPU inbound mailbox
+inline constexpr int kMailboxOutDepth = 1;  ///< SPU -> PPE outbound mailbox
+
+/// Code footprint of the offloaded module (newview + makenewz + evaluate),
+/// reserved at the bottom of local store: the paper measures 117 KB total,
+/// leaving 139 KB for stack/heap/static data.
+inline constexpr std::size_t kOffloadCodeBytes = 117 * 1024;
+
+}  // namespace rxc::cell

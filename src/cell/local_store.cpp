@@ -1,0 +1,40 @@
+#include "cell/local_store.h"
+
+#include "cell/cost_params.h"
+
+namespace rxc::cell {
+
+LocalStore::LocalStore(std::size_t code_bytes)
+    : bytes_(kLocalStoreBytes),
+      code_bytes_(round_up(code_bytes, kDmaAlignment)),
+      top_(code_bytes_) {
+  RXC_REQUIRE(code_bytes_ < kLocalStoreBytes,
+              "code image exceeds local store");
+}
+
+LsAddr LocalStore::alloc(std::size_t size) {
+  const std::size_t aligned = round_up(size, kDmaAlignment);
+  if (top_ + aligned > capacity())
+    throw HardwareError("local store overflow: need " +
+                        std::to_string(aligned) + " bytes, " +
+                        std::to_string(free_bytes()) + " free");
+  const LsAddr addr = static_cast<LsAddr>(top_);
+  top_ += aligned;
+  return addr;
+}
+
+void LocalStore::reset() { top_ = code_bytes_; }
+
+std::byte* LocalStore::data(LsAddr addr, std::size_t size) {
+  if (static_cast<std::size_t>(addr) + size > capacity())
+    throw HardwareError("local store access out of bounds");
+  return bytes_.data() + addr;
+}
+
+const std::byte* LocalStore::data(LsAddr addr, std::size_t size) const {
+  if (static_cast<std::size_t>(addr) + size > capacity())
+    throw HardwareError("local store access out of bounds");
+  return bytes_.data() + addr;
+}
+
+}  // namespace rxc::cell

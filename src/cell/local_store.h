@@ -1,0 +1,59 @@
+#pragma once
+/// \file local_store.h
+/// The SPE's 256 KB software-managed local store.  Unified code+data: the
+/// offloaded code image is reserved at the bottom (the paper's 117 KB
+/// module), and kernel buffers are carved from the remainder with a
+/// watermark allocator.  Capacity and alignment violations throw
+/// HardwareError — on silicon they would corrupt the running image.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/aligned.h"
+#include "support/error.h"
+
+namespace rxc::cell {
+
+/// Offset into local store.
+using LsAddr = std::uint32_t;
+
+class LocalStore {
+public:
+  /// Reserves `code_bytes` at the bottom for the loaded code image.
+  explicit LocalStore(std::size_t code_bytes);
+
+  std::size_t capacity() const { return bytes_.size(); }
+  std::size_t code_bytes() const { return code_bytes_; }
+  std::size_t allocated() const { return top_; }
+  std::size_t free_bytes() const { return capacity() - top_; }
+
+  /// Allocates `size` bytes aligned to 16 (the DMA requirement).  Throws
+  /// HardwareError when the local store would overflow.
+  LsAddr alloc(std::size_t size);
+
+  /// Resets the allocator to the post-code-load watermark (buffers are
+  /// reused across kernel invocations, like the real port's static
+  /// buffers).
+  void reset();
+
+  /// Raw access for the MFC and kernel code.  Bounds-checked.
+  std::byte* data(LsAddr addr, std::size_t size);
+  const std::byte* data(LsAddr addr, std::size_t size) const;
+
+  template <class T>
+  T* as(LsAddr addr, std::size_t count) {
+    return reinterpret_cast<T*>(data(addr, count * sizeof(T)));
+  }
+  template <class T>
+  const T* as(LsAddr addr, std::size_t count) const {
+    return reinterpret_cast<const T*>(data(addr, count * sizeof(T)));
+  }
+
+private:
+  aligned_vector<std::byte> bytes_;
+  std::size_t code_bytes_;
+  std::size_t top_;
+};
+
+}  // namespace rxc::cell

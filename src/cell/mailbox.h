@@ -1,0 +1,47 @@
+#pragma once
+/// \file mailbox.h
+/// SPU mailboxes: the CBE's architected 32-bit signaling channels.  The
+/// inbound (PPE -> SPU) mailbox holds four entries, the outbound (SPU ->
+/// PPE) a single entry; writing to a full mailbox or reading an empty one
+/// stalls on silicon — here the would-be stall is surfaced to the caller,
+/// and overflow beyond the architectural depth is a hard error (the paper's
+/// baseline signaling path before the direct-memory optimization, §5.2.6).
+
+#include <cstdint>
+#include <deque>
+
+#include "cell/cost_params.h"
+#include "support/error.h"
+
+namespace rxc::cell {
+
+class Mailbox {
+public:
+  explicit Mailbox(int depth) : depth_(depth) { RXC_ASSERT(depth >= 1); }
+
+  int depth() const { return depth_; }
+  std::size_t pending() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= static_cast<std::size_t>(depth_); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Writes an entry; the caller must have checked full() (a real writer
+  /// stalls; our schedulers model that stall explicitly).
+  void write(std::uint32_t value) {
+    if (full()) throw HardwareError("mailbox overflow (depth " +
+                                    std::to_string(depth_) + ")");
+    entries_.push_back(value);
+  }
+
+  std::uint32_t read() {
+    if (empty()) throw HardwareError("read from empty mailbox");
+    const std::uint32_t v = entries_.front();
+    entries_.pop_front();
+    return v;
+  }
+
+private:
+  int depth_;
+  std::deque<std::uint32_t> entries_;
+};
+
+}  // namespace rxc::cell

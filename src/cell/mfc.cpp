@@ -1,0 +1,92 @@
+#include "cell/mfc.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rxc::cell {
+
+Mfc::Mfc(LocalStore& ls, const CostParams& params)
+    : ls_(&ls), params_(&params) {}
+
+void Mfc::set_contention(double factor) {
+  RXC_REQUIRE(factor >= 1.0, "EIB contention factor must be >= 1");
+  contention_ = factor;
+}
+
+void Mfc::validate(const void* ea, LsAddr ls_addr, std::size_t size) const {
+  if (size == 0 || size > kDmaMaxBytes)
+    throw HardwareError("DMA size " + std::to_string(size) +
+                        " outside (0, 16K]");
+  const bool small_ok =
+      size == 1 || size == 2 || size == 4 || size == 8;
+  if (!small_ok && size % 16 != 0)
+    throw HardwareError("DMA size " + std::to_string(size) +
+                        " must be 1/2/4/8 or a multiple of 16");
+  if (!small_ok) {
+    if (!is_aligned(ea, 16))
+      throw HardwareError("DMA effective address not 128-bit aligned");
+    if (ls_addr % 16 != 0)
+      throw HardwareError("DMA local-store address not 128-bit aligned");
+  } else {
+    // Small transfers require natural alignment on both sides.
+    if (reinterpret_cast<std::uintptr_t>(ea) % size != 0 ||
+        ls_addr % size != 0)
+      throw HardwareError("small DMA transfer not naturally aligned");
+  }
+}
+
+VCycles Mfc::transfer_cycles(std::size_t bytes) const {
+  return params_->dma_startup_cycles +
+         static_cast<double>(bytes) /
+             (params_->dma_bytes_per_cycle / contention_);
+}
+
+void Mfc::get(LsAddr dst, const void* src, std::size_t size, int tag,
+              VCycles now) {
+  RXC_ASSERT(tag >= 0 && tag < kMfcTagCount);
+  validate(src, dst, size);
+  std::memcpy(ls_->data(dst, size), src, size);
+  tag_done_[tag] = std::max(tag_done_[tag], now) + transfer_cycles(size);
+  ++counters_.transfers;
+  counters_.bytes += size;
+}
+
+void Mfc::put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now) {
+  RXC_ASSERT(tag >= 0 && tag < kMfcTagCount);
+  validate(dst, src, size);
+  std::memcpy(dst, ls_->data(src, size), size);
+  tag_done_[tag] = std::max(tag_done_[tag], now) + transfer_cycles(size);
+  ++counters_.transfers;
+  counters_.bytes += size;
+}
+
+void Mfc::get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
+                   VCycles now) {
+  if (list.size() > kDmaListMaxEntries)
+    throw HardwareError("DMA list exceeds 2048 entries");
+  VCycles done = std::max(tag_done_[tag], now);
+  LsAddr cursor = dst;
+  for (const auto& entry : list) {
+    validate(entry.ea, cursor, entry.size);
+    std::memcpy(ls_->data(cursor, entry.size), entry.ea, entry.size);
+    done += transfer_cycles(entry.size);
+    cursor += round_up(entry.size, kDmaAlignment);
+    ++counters_.transfers;
+    counters_.bytes += entry.size;
+  }
+  tag_done_[tag] = done;
+  ++counters_.list_transfers;
+}
+
+VCycles Mfc::completion(int tag) const {
+  RXC_ASSERT(tag >= 0 && tag < kMfcTagCount);
+  return tag_done_[tag];
+}
+
+VCycles Mfc::wait(int tag, VCycles now) {
+  const VCycles stall = std::max(0.0, completion(tag) - now);
+  counters_.stall_cycles += stall;
+  return stall;
+}
+
+}  // namespace rxc::cell

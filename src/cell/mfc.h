@@ -1,0 +1,81 @@
+#pragma once
+/// \file mfc.h
+/// Memory Flow Controller: the SPE's DMA engine.
+///
+/// Functional semantics: transfers actually move bytes between host memory
+/// ("main memory") and the local store.  Architectural rules are enforced
+/// exactly as documented for the CBE (§4 of the paper): transfer sizes of
+/// 1, 2, 4, 8 bytes or multiples of 16 up to 16 KB; 128-bit alignment on
+/// both addresses for block transfers; DMA lists of up to 2,048 entries.
+///
+/// Timing semantics: each command completes at
+///   issue_time + startup + bytes / (bandwidth / contention)
+/// per tag group; wait(tag) advances the SPU clock to the group's
+/// completion and reports the stall — double buffering shows up naturally
+/// as wait() returning 0 because computation covered the latency.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "cell/cost_params.h"
+#include "cell/local_store.h"
+
+namespace rxc::cell {
+
+/// Virtual time in cycles (fractional cycles keep the arithmetic exact).
+using VCycles = double;
+
+inline constexpr int kMfcTagCount = 32;
+
+struct DmaListEntry {
+  const void* ea = nullptr;  ///< main-memory address
+  std::uint32_t size = 0;
+};
+
+struct MfcCounters {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t list_transfers = 0;
+  VCycles stall_cycles = 0.0;
+};
+
+class Mfc {
+public:
+  Mfc(LocalStore& ls, const CostParams& params);
+
+  /// EIB contention factor (>= 1): effective bandwidth = nominal / factor.
+  /// Set by the scheduler according to how many SPEs it runs concurrently.
+  void set_contention(double factor);
+
+  /// DMA get: main memory -> local store.  `now` is the SPU issue time.
+  void get(LsAddr dst, const void* src, std::size_t size, int tag,
+           VCycles now);
+  /// DMA put: local store -> main memory.
+  void put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now);
+  /// DMA-list get: scatter/gather of up to 2,048 entries into contiguous
+  /// local store starting at dst.
+  void get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
+                VCycles now);
+
+  /// Completion time of everything issued on `tag` so far.
+  VCycles completion(int tag) const;
+  /// Blocks (virtually) until the tag group completes; returns the stall
+  /// added to the SPU clock and accumulates it in the counters.
+  VCycles wait(int tag, VCycles now);
+
+  const MfcCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+private:
+  void validate(const void* ea, LsAddr ls_addr, std::size_t size) const;
+  VCycles transfer_cycles(std::size_t bytes) const;
+
+  LocalStore* ls_;
+  const CostParams* params_;
+  double contention_ = 1.0;
+  std::array<VCycles, kMfcTagCount> tag_done_{};
+  MfcCounters counters_;
+};
+
+}  // namespace rxc::cell

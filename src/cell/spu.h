@@ -1,0 +1,94 @@
+#pragma once
+/// \file spu.h
+/// One Synergistic Processing Element: SPU clock + local store + MFC +
+/// mailboxes.  Kernel code running "on" the SPE charges its virtual clock
+/// through this interface; the scheduler reads the accumulated busy time.
+
+#include <memory>
+
+#include "cell/cost_params.h"
+#include "cell/local_store.h"
+#include "cell/mailbox.h"
+#include "cell/mfc.h"
+
+namespace rxc::cell {
+
+struct SpuCounters {
+  VCycles busy_cycles = 0.0;      ///< compute (excludes DMA stalls)
+  VCycles dma_stall_cycles = 0.0;
+  std::uint64_t kernel_invocations = 0;
+};
+
+class Spu {
+public:
+  Spu(int id, const CostParams& params)
+      : id_(id),
+        params_(&params),
+        ls_(kOffloadCodeBytes),
+        mfc_(ls_, params),
+        inbox_(kMailboxInDepth),
+        outbox_(kMailboxOutDepth) {}
+
+  int id() const { return id_; }
+  const CostParams& params() const { return *params_; }
+  LocalStore& ls() { return ls_; }
+  Mfc& mfc() { return mfc_; }
+  Mailbox& inbox() { return inbox_; }
+  Mailbox& outbox() { return outbox_; }
+
+  VCycles now() const { return now_; }
+  void reset_clock() { now_ = 0.0; }
+
+  /// Charges compute cycles.
+  void charge(double cycles) {
+    RXC_ASSERT(cycles >= 0.0);
+    now_ += cycles;
+    counters_.busy_cycles += cycles;
+  }
+
+  /// Waits for a DMA tag group; stall advances the clock but not busy time.
+  void wait_dma(int tag) {
+    const VCycles stall = mfc_.wait(tag, now_);
+    now_ += stall;
+    counters_.dma_stall_cycles += stall;
+  }
+
+  void count_invocation() { ++counters_.kernel_invocations; }
+
+  const SpuCounters& counters() const { return counters_; }
+  void reset_counters() {
+    counters_ = {};
+    mfc_.reset_counters();
+  }
+
+private:
+  int id_;
+  const CostParams* params_;
+  LocalStore ls_;
+  Mfc mfc_;
+  Mailbox inbox_;
+  Mailbox outbox_;
+  VCycles now_ = 0.0;
+  SpuCounters counters_;
+};
+
+/// The machine: one PPE (2 hardware threads, modeled by the schedulers) and
+/// eight SPEs.
+class CellMachine {
+public:
+  explicit CellMachine(CostParams params = kDefaultCostParams)
+      : params_(params) {
+    for (int i = 0; i < kSpeCount; ++i)
+      spes_.push_back(std::make_unique<Spu>(i, params_));
+  }
+
+  const CostParams& params() const { return params_; }
+  Spu& spe(int i) { return *spes_.at(i); }
+  int spe_count() const { return static_cast<int>(spes_.size()); }
+
+private:
+  CostParams params_;
+  std::vector<std::unique_ptr<Spu>> spes_;
+};
+
+}  // namespace rxc::cell

@@ -1,0 +1,51 @@
+#pragma once
+/// \file timeline.h
+/// Resource timelines for the scheduling simulation: a resource serves one
+/// segment at a time; acquire() returns the start time of a segment that
+/// becomes ready at `ready` and runs for `duration`.  The schedulers in
+/// src/core compose PPE-thread and SPE timelines with per-task event
+/// streams into a makespan (greedy list scheduling — what the paper's
+/// runtime actually does).
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "cell/mfc.h"  // VCycles
+#include "support/error.h"
+
+namespace rxc::cell {
+
+class ResourceTimeline {
+public:
+  /// Serves a segment: starts at max(ready, free time); returns start.
+  VCycles acquire(VCycles ready, VCycles duration) {
+    RXC_ASSERT(duration >= 0.0);
+    const VCycles start = std::max(ready, free_at_);
+    free_at_ = start + duration;
+    busy_ += duration;
+    return start;
+  }
+
+  VCycles free_at() const { return free_at_; }
+  VCycles busy() const { return busy_; }
+
+private:
+  VCycles free_at_ = 0.0;
+  VCycles busy_ = 0.0;
+};
+
+/// Picks the timeline that can start a segment earliest (FIFO tie-break),
+/// acquires it, and reports which one was used.
+inline VCycles acquire_earliest(std::span<ResourceTimeline> pool,
+                                VCycles ready, VCycles duration,
+                                std::size_t* which = nullptr) {
+  RXC_ASSERT(!pool.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pool.size(); ++i)
+    if (pool[i].free_at() < pool[best].free_at()) best = i;
+  if (which != nullptr) *which = best;
+  return pool[best].acquire(ready, duration);
+}
+
+}  // namespace rxc::cell

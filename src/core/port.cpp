@@ -1,0 +1,185 @@
+#include "core/port.h"
+
+#include <algorithm>
+
+#include "seq/bootstrap.h"
+#include "support/error.h"
+#include "support/log.h"
+
+namespace rxc::core {
+
+std::string stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kPpeOnly: return "ppe-only";
+    case Stage::kOffloadNewview: return "offload-newview";
+    case Stage::kFastExp: return "fast-exp";
+    case Stage::kIntCond: return "int-cond";
+    case Stage::kDoubleBuffer: return "double-buffer";
+    case Stage::kVectorize: return "vectorize";
+    case Stage::kDirectComm: return "direct-comm";
+    case Stage::kOffloadAll: return "offload-all";
+  }
+  return "?";
+}
+
+TaskTrace execute_task(const seq::PatternAlignment& pa,
+                       const lh::EngineConfig& engine_config,
+                       const search::SearchOptions& search_options,
+                       const search::AnalysisTask& task,
+                       SpeExecutor& executor) {
+  executor.begin_task();
+  lh::LikelihoodEngine engine(pa, engine_config);
+  engine.set_executor(&executor);
+  if (task.kind == search::TaskKind::kBootstrap) {
+    Rng rng(task.seed ^ 0xb005eedULL);
+    engine.set_pattern_weights(seq::bootstrap_weights(pa, rng));
+  }
+  const search::SearchResult sr =
+      search::run_search(pa, engine, search_options, task.seed);
+  TaskTrace trace = executor.take_trace();
+  trace.log_likelihood = sr.log_likelihood;
+  trace.newick = sr.tree.to_newick(pa.names());
+  return trace;
+}
+
+int mgps_llp_ways(std::size_t remaining) {
+  if (remaining <= 1) return 8;
+  if (remaining == 2) return 4;
+  if (remaining <= 4) return 2;
+  return 1;
+}
+
+namespace {
+
+/// Executes (or replays) a batch of tasks with a given LLP fan-out and
+/// returns the trace pointers in task order plus the executed traces.
+struct TraceBatch {
+  std::vector<TaskTrace> owned;
+  std::vector<const TaskTrace*> order;
+};
+
+TraceBatch build_traces(const seq::PatternAlignment& pa,
+                        const CellRunConfig& cfg,
+                        std::span<const search::AnalysisTask> tasks,
+                        int llp_ways, double eib_contention,
+                        int concurrent_workers, CellRunResult& result) {
+  cell::CellMachine machine(cfg.params);
+  SpeExecConfig exec_cfg;
+  exec_cfg.toggles = stage_toggles(cfg.stage);
+  exec_cfg.llp_ways = llp_ways;
+  exec_cfg.eib_contention = eib_contention;
+  exec_cfg.mailbox_contention = std::max(1, concurrent_workers);
+  SpeExecutor executor(machine, exec_cfg);
+
+  TraceBatch batch;
+  const std::size_t to_execute =
+      cfg.trace_samples == 0
+          ? tasks.size()
+          : std::min<std::size_t>(cfg.trace_samples, tasks.size());
+  batch.owned.reserve(to_execute);
+  for (std::size_t i = 0; i < to_execute; ++i) {
+    batch.owned.push_back(
+        execute_task(pa, cfg.engine, cfg.search, tasks[i], executor));
+    const TaskTrace& t = batch.owned.back();
+    result.task_log_likelihoods.push_back(t.log_likelihood);
+    result.task_newicks.push_back(t.newick);
+    result.counters += t.counters;
+    result.profile += t.profile();
+    ++result.executed_tasks;
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    batch.order.push_back(&batch.owned[i % to_execute]);
+    if (i >= to_execute) ++result.replayed_tasks;
+  }
+  return batch;
+}
+
+double contention_for(const cell::CostParams& params, int active_spes) {
+  return 1.0 + params.eib_contention_per_spe * std::max(0, active_spes - 1);
+}
+
+}  // namespace
+
+CellRunResult run_on_cell(const seq::PatternAlignment& pa,
+                          const CellRunConfig& config,
+                          const std::vector<search::AnalysisTask>& tasks) {
+  RXC_REQUIRE(!tasks.empty(), "run_on_cell: no tasks");
+  CellRunResult result;
+  const std::span<const search::AnalysisTask> all(tasks);
+
+  switch (config.scheduler) {
+    case SchedulerModel::kNaiveMpi: {
+      RXC_REQUIRE(config.workers >= 1 && config.workers <= cell::kPpeThreads,
+                  "naive port supports 1 or 2 workers (PPE SMT width)");
+      const TraceBatch batch = build_traces(
+          pa, config, all, 1,
+          contention_for(config.params, config.workers), config.workers,
+          result);
+      ScheduleConfig sc{Policy::kNaive, config.workers};
+      result.schedule = schedule_traces(config.params, batch.order, sc);
+      break;
+    }
+    case SchedulerModel::kEdtlp: {
+      const TraceBatch batch = build_traces(
+          pa, config, all, 1, contention_for(config.params, cell::kSpeCount),
+          cell::kSpeCount, result);
+      ScheduleConfig sc{Policy::kEdtlp, cell::kSpeCount};
+      result.schedule = schedule_traces(config.params, batch.order, sc);
+      break;
+    }
+    case SchedulerModel::kLlp: {
+      RXC_REQUIRE(config.llp_ways >= 1 && config.llp_ways <= cell::kSpeCount,
+                  "llp_ways must be 1..8");
+      const TraceBatch batch = build_traces(
+          pa, config, all, config.llp_ways,
+          contention_for(config.params, cell::kSpeCount),
+          std::max(1, cell::kSpeCount / config.llp_ways), result);
+      ScheduleConfig sc{Policy::kLlp,
+                        std::max(1, cell::kSpeCount / config.llp_ways)};
+      result.schedule = schedule_traces(config.params, batch.order, sc);
+      break;
+    }
+    case SchedulerModel::kMgps: {
+      // Batches of eight run EDTLP; the remainder switches to LLP with the
+      // widest fan-out that keeps all SPEs fed (§5.3).
+      const std::size_t full = tasks.size() / cell::kSpeCount * cell::kSpeCount;
+      ScheduleResult total;
+      if (full > 0) {
+        const TraceBatch batch = build_traces(
+            pa, config, all.subspan(0, full), 1,
+            contention_for(config.params, cell::kSpeCount), cell::kSpeCount,
+            result);
+        ScheduleConfig sc{Policy::kEdtlp, cell::kSpeCount};
+        total = schedule_traces(config.params, batch.order, sc);
+      }
+      const std::size_t rem = tasks.size() - full;
+      if (rem > 0) {
+        const int ways = mgps_llp_ways(rem);
+        const TraceBatch batch = build_traces(
+            pa, config, all.subspan(full), ways,
+            contention_for(config.params, cell::kSpeCount),
+            static_cast<int>(rem), result);
+        ScheduleConfig sc{ways > 1 ? Policy::kLlp : Policy::kEdtlp,
+                          static_cast<int>(rem)};
+        const ScheduleResult tail =
+            schedule_traces(config.params, batch.order, sc);
+        total.makespan += tail.makespan;
+        total.ppe_busy += tail.ppe_busy;
+        total.spe_busy += tail.spe_busy;
+        total.signaled_offloads += tail.signaled_offloads;
+        total.context_switches += tail.context_switches;
+      }
+      result.schedule = total;
+      break;
+    }
+  }
+
+  result.virtual_seconds =
+      result.schedule.makespan / config.params.clock_hz;
+  log_info("cell run: stage=" + stage_name(config.stage) + " tasks=" +
+           std::to_string(tasks.size()) + " vtime=" +
+           std::to_string(result.virtual_seconds) + "s");
+  return result;
+}
+
+}  // namespace rxc::core

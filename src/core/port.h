@@ -1,0 +1,84 @@
+#pragma once
+/// \file port.h
+/// Top-level API of the RAxML-Cell port: run a full analysis (multiple
+/// inferences + bootstraps) on the simulated Cell under a chosen
+/// optimization stage and scheduling model, and report virtual time.
+///
+/// This is the entry point the table/figure benches drive; it is also a
+/// real analysis — the trees and likelihoods it returns are genuine results
+/// computed through the simulated SPEs.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cell/spu.h"
+#include "core/scheduler.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "search/analysis.h"
+
+namespace rxc::core {
+
+enum class SchedulerModel {
+  kNaiveMpi,  ///< Table 1-7 rows: W MPI processes on the PPE threads
+  kEdtlp,     ///< event-driven task-level (8 processes)
+  kLlp,       ///< loop-level across SPEs
+  kMgps,      ///< dynamic hybrid (Table 8 / Figure 3)
+};
+
+struct CellRunConfig {
+  Stage stage = Stage::kOffloadAll;
+  SchedulerModel scheduler = SchedulerModel::kNaiveMpi;
+  /// MPI processes for kNaiveMpi (1 or 2, the PPE's SMT width).
+  int workers = 1;
+  /// SPEs per offloaded loop for kLlp.
+  int llp_ways = 8;
+  lh::EngineConfig engine;
+  search::SearchOptions search;
+  /// Execute only this many distinct tasks and replay their traces for the
+  /// rest (0 = execute everything).  Replayed tasks reuse timing but not
+  /// results; the benches use this to keep wall time low on 128-bootstrap
+  /// sweeps.
+  std::size_t trace_samples = 0;
+  cell::CostParams params = cell::kDefaultCostParams;
+};
+
+struct CellRunResult {
+  double virtual_seconds = 0.0;
+  ScheduleResult schedule;
+  /// Functional outputs of the tasks that actually executed.
+  std::vector<double> task_log_likelihoods;
+  std::vector<std::string> task_newicks;
+  /// Aggregate kernel work of the executed tasks.
+  lh::KernelCounters counters;
+  /// Virtual-time breakdown by kernel kind over executed tasks (the
+  /// simulator's gprof: the paper reports newview 76.8%, makenewz 19.2%,
+  /// evaluate 2.4% on the PPE build).
+  KernelProfile profile;
+  /// Executed tasks vs replayed tasks.
+  std::size_t executed_tasks = 0;
+  std::size_t replayed_tasks = 0;
+};
+
+/// Executes one task through a simulated-SPE executor and returns its trace
+/// (functional results included).
+TaskTrace execute_task(const seq::PatternAlignment& pa,
+                       const lh::EngineConfig& engine_config,
+                       const search::SearchOptions& search_options,
+                       const search::AnalysisTask& task,
+                       SpeExecutor& executor);
+
+/// Runs `tasks` on the simulated Cell.
+CellRunResult run_on_cell(const seq::PatternAlignment& pa,
+                          const CellRunConfig& config,
+                          const std::vector<search::AnalysisTask>& tasks);
+
+/// LLP fan-out MGPS uses for a remainder of r (< 8) tasks: 1 task -> 8
+/// SPEs, 2 -> 4, 3-4 -> 2, 5+ -> 1 ("loop-level parallelism can be
+/// extracted from up to four simultaneously executing MPI processes, using
+/// two SPEs per loop", §5.3).
+int mgps_llp_ways(std::size_t remaining);
+
+}  // namespace rxc::core

@@ -1,0 +1,104 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.h"
+
+namespace rxc::core {
+
+ScheduleResult schedule_traces(const cell::CostParams& params,
+                               const std::vector<const TaskTrace*>& tasks,
+                               const ScheduleConfig& config) {
+  RXC_REQUIRE(config.processes >= 1, "need at least one process");
+  switch (config.policy) {
+    case Policy::kNaive:
+      RXC_REQUIRE(config.processes <= cell::kPpeThreads,
+                  "naive port: one MPI process per PPE thread");
+      break;
+    case Policy::kEdtlp:
+      RXC_REQUIRE(config.processes <= cell::kSpeCount,
+                  "EDTLP: at most one process per SPE");
+      break;
+    case Policy::kLlp:
+      break;  // validated against llp_ways by the caller
+  }
+
+  const int nproc = std::min<int>(config.processes,
+                                  static_cast<int>(tasks.size()));
+  ScheduleResult result;
+  if (nproc == 0) return result;
+
+  const bool oversubscribed = nproc > cell::kPpeThreads;
+  const double smt = nproc >= 2 ? params.ppe_smt_factor : 1.0;
+
+  std::vector<cell::ResourceTimeline> ppe(cell::kPpeThreads);
+
+  struct ProcState {
+    int id;
+    cell::VCycles ready = 0.0;
+    const TaskTrace* trace = nullptr;
+    std::size_t seg = 0;
+  };
+  struct Later {
+    bool operator()(const ProcState& a, const ProcState& b) const {
+      return a.ready > b.ready;
+    }
+  };
+  std::priority_queue<ProcState, std::vector<ProcState>, Later> heap;
+  std::size_t next_task = 0;
+
+  for (int p = 0; p < nproc; ++p) {
+    ProcState ps{p};
+    ps.trace = tasks[next_task++];
+    heap.push(ps);
+  }
+
+  cell::VCycles makespan = 0.0;
+  while (!heap.empty()) {
+    ProcState ps = heap.top();
+    heap.pop();
+    if (ps.seg >= ps.trace->segments.size()) {
+      // Task finished: pull the next one from the queue (dynamic
+      // master-worker distribution).
+      makespan = std::max(makespan, ps.ready);
+      if (next_task < tasks.size()) {
+        ps.trace = tasks[next_task++];
+        ps.seg = 0;
+        heap.push(ps);
+      }
+      continue;
+    }
+    const TraceSegment& seg = ps.trace->segments[ps.seg++];
+
+    double ppe_cycles = seg.ppe_cycles * smt;
+    if (seg.signaled) {
+      ++result.signaled_offloads;
+      if (oversubscribed && config.policy != Policy::kLlp) {
+        // Switch-on-offload: the scheduler yields the PPE thread whenever a
+        // process dispatches work to an SPE (§5.3).
+        ppe_cycles += params.ppe_context_switch_cycles * smt;
+        ++result.context_switches;
+      }
+    }
+    cell::VCycles t = ps.ready;
+    if (ppe_cycles > 0.0) {
+      const cell::VCycles start =
+          cell::acquire_earliest(ppe, t, ppe_cycles);
+      result.ppe_busy += ppe_cycles;
+      t = start + ppe_cycles;
+    }
+    // The process's SPE(s) are private and therefore immediately available.
+    if (seg.spe_cycles > 0.0) {
+      t += seg.spe_cycles;
+      result.spe_busy += seg.spe_cycles * seg.llp_ways;
+    }
+    ps.ready = t;
+    heap.push(ps);
+  }
+
+  result.makespan = makespan;
+  return result;
+}
+
+}  // namespace rxc::core

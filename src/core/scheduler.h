@@ -1,0 +1,58 @@
+#pragma once
+/// \file scheduler.h
+/// Schedulers mapping task traces onto the machine (paper §5.1, §5.3).
+///
+///  * kNaive — the initial port: one MPI process per PPE hardware thread
+///    (max 2), each offloading to its own SPE; six SPEs idle.
+///  * kEdtlp — event-driven task-level parallelization: up to eight MPI
+///    processes multiplexed on the two PPE threads with a switch-on-offload
+///    policy; every SPE serves one process.
+///  * kLlp — loop-level parallelization: few processes, each spreading its
+///    offloaded loops across several SPEs (traces must be generated with
+///    the matching llp_ways).
+///
+/// MGPS (the dynamic hybrid) is composed from these in port.h: batches of
+/// eight run EDTLP, the remainder runs LLP — "More MPI processes are served
+/// in batches of eight" (§5.3).
+///
+/// The model: processes execute their segments sequentially; SPEs are
+/// private to a process; the two PPE hardware threads are the shared
+/// resource (greedy earliest-free, SMT slowdown when more than one process
+/// computes, context switch per signaled offload when oversubscribed).
+
+#include <vector>
+
+#include "cell/cost_params.h"
+#include "cell/timeline.h"
+#include "core/trace.h"
+
+namespace rxc::core {
+
+enum class Policy { kNaive, kEdtlp, kLlp };
+
+struct ScheduleConfig {
+  Policy policy = Policy::kNaive;
+  /// Concurrent processes: kNaive <= 2; kEdtlp <= 8; kLlp: processes *
+  /// llp_ways <= 8.
+  int processes = 2;
+};
+
+struct ScheduleResult {
+  cell::VCycles makespan = 0.0;
+  cell::VCycles ppe_busy = 0.0;  ///< summed over both hardware threads
+  cell::VCycles spe_busy = 0.0;  ///< summed over all SPEs
+  std::uint64_t signaled_offloads = 0;
+  std::uint64_t context_switches = 0;
+
+  double seconds(const cell::CostParams& params) const {
+    return params.seconds(static_cast<cell::Cycles>(makespan));
+  }
+};
+
+/// Replays `tasks` (a work queue; processes pull dynamically) onto the
+/// machine.  Traces are borrowed; the same trace may appear many times.
+ScheduleResult schedule_traces(const cell::CostParams& params,
+                               const std::vector<const TaskTrace*>& tasks,
+                               const ScheduleConfig& config);
+
+}  // namespace rxc::core

@@ -1,0 +1,694 @@
+#include "core/spe_executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace rxc::core {
+namespace {
+
+using cell::LsAddr;
+using cell::VCycles;
+
+/// DMA-legal byte count for a strip of `n` elements of `size` bytes.
+constexpr std::size_t dma_bytes(std::size_t n, std::size_t size) {
+  return rxc::round_up(n * size, 16);
+}
+
+/// Scalar-equivalent FP work per pattern in the newview body (two 4x4
+/// mat-vecs + elementwise product): the modeling constant behind stage V.
+constexpr double kNewviewFlopsPerPattern = 56.0;
+constexpr double kEvaluateFlopsPerPattern = 36.0;
+constexpr double kSumtableFlopsPerPattern = 64.0;
+constexpr double kNrFlopsPerPattern = 24.0;
+/// FP work of building one transition matrix set (per category):
+/// U * diag * V as 4x4x4 multiply-adds plus the diagonal products.
+constexpr double kPmatFlopsPerCategory = 112.0;
+
+}  // namespace
+
+SpeExecutor::SpeExecutor(cell::CellMachine& machine, SpeExecConfig config)
+    : machine_(&machine),
+      cfg_(config),
+      // The PPE runs the *original* code: libm exp, branchy conditional,
+      // no SIMD — stage toggles only affect the SPE side.
+      ppe_exec_(lh::KernelConfig{&lh::exp_libm,
+                                 lh::ScalingCheck::kFloatBranch, false}) {
+  RXC_REQUIRE(cfg_.llp_ways >= 1 && cfg_.llp_ways <= machine.spe_count(),
+              "llp_ways out of range");
+  RXC_REQUIRE(cfg_.strip_bytes >= 256, "strip buffer too small");
+}
+
+void SpeExecutor::begin_task() {
+  segments_.clear();
+  reset_counters();
+  ppe_exec_.reset_counters();
+  for (int i = 0; i < machine_->spe_count(); ++i)
+    machine_->spe(i).reset_counters();
+}
+
+TaskTrace SpeExecutor::take_trace() {
+  TaskTrace trace;
+  trace.segments = std::move(segments_);
+  trace.counters = counters_;
+  segments_ = {};
+  return trace;
+}
+
+void SpeExecutor::begin_compound() {
+  in_compound_ = true;
+  compound_signaled_ = false;
+  sumtable_resident_ = false;
+}
+
+void SpeExecutor::end_compound() {
+  in_compound_ = false;
+  sumtable_resident_ = false;
+}
+
+// --- cost helpers -----------------------------------------------------------
+
+double SpeExecutor::spe_exp_cycles() const {
+  const auto& p = machine_->params();
+  return cfg_.toggles.sdk_exp ? p.spu_exp_sdk_cycles : p.spu_exp_libm_cycles;
+}
+
+double SpeExecutor::spe_log_cycles() const {
+  const auto& p = machine_->params();
+  return cfg_.toggles.sdk_exp ? p.spu_log_sdk_cycles : p.spu_log_libm_cycles;
+}
+
+double SpeExecutor::spe_flop_cycles(double flops) const {
+  const auto& p = machine_->params();
+  if (!cfg_.toggles.vectorized) return flops * p.spu_dp_flop_cycles;
+  // Two lanes per DP vector instruction, plus vector-construction overhead
+  // amortized into the per-instruction charge elsewhere (callers add the
+  // per-pattern build cost separately).
+  return flops * 0.5 * p.spu_dp_vector_instr_cycles;
+}
+
+double SpeExecutor::spe_cond_cycles() const {
+  const auto& p = machine_->params();
+  return cfg_.toggles.int_cond ? p.spu_cond_int_cycles : p.spu_cond_fp_cycles;
+}
+
+double SpeExecutor::offload_ppe_cycles(int ways) {
+  const auto& p = machine_->params();
+  const double signal =
+      cfg_.toggles.direct_comm
+          ? p.direct_signal_cycles
+          : p.mailbox_signal_cycles * cfg_.mailbox_contention;
+  if (in_compound_ && compound_signaled_) {
+    last_offload_signaled_ = false;
+    return 0.0;
+  }
+  if (in_compound_) compound_signaled_ = true;
+  last_offload_signaled_ = true;
+  // Once all three functions are SPE-resident, calls chain on the SPE and
+  // the PPE's per-call marshal/wait work collapses (§5.2.7).
+  const double overhead = cfg_.toggles.offload_rest
+                              ? p.ppe_chained_overhead_cycles
+                              : p.ppe_offload_overhead_cycles;
+  // Send + result-return signal per cooperating SPE, plus orchestration.
+  return overhead + 2.0 * signal * ways;
+}
+
+void SpeExecutor::record(KernelKind kind, double ppe, double spe, int ways,
+                         bool signaled) {
+  if (signaled && !cfg_.toggles.direct_comm) {
+    // Functional mailbox round trip (the pre-§5.2.6 signaling path): the
+    // PPE writes the command word into each cooperating SPU's inbound
+    // mailbox, the SPU consumes it, and returns the completion word through
+    // the 1-deep outbound mailbox.  Exercises the architected depths.
+    for (int w = 0; w < ways; ++w) {
+      cell::Spu& spu = machine_->spe(w);
+      spu.inbox().write(static_cast<std::uint32_t>(kind));
+      (void)spu.inbox().read();
+      spu.outbox().write(1u);
+      (void)spu.outbox().read();
+    }
+  }
+  TraceSegment seg;
+  seg.kind = kind;
+  seg.ppe_cycles = ppe;
+  seg.spe_cycles = spe;
+  seg.llp_ways = static_cast<std::uint8_t>(ways);
+  seg.signaled = signaled;
+  segments_.push_back(seg);
+}
+
+template <class Body>
+double SpeExecutor::run_chunks(std::size_t np, std::size_t pattern_bytes,
+                               int ways, const Body& body) {
+  // Chunk starts must be multiples of 16 patterns so every strip transfer
+  // stays 128-bit aligned (DnaCode rows are byte-granular).
+  const std::size_t quota =
+      rxc::round_up((np + ways - 1) / static_cast<std::size_t>(ways), 16);
+  // Strip length in patterns, floored to a multiple of 16 so every strip's
+  // byte offset is 128-bit aligned for all element widths (tip codes are
+  // 1 byte/pattern, the narrowest).
+  const std::size_t strip_patterns = cfg_.strip_bytes / pattern_bytes;
+  const std::size_t strip =
+      std::max<std::size_t>(16, strip_patterns / 16 * 16);
+
+  double max_elapsed = 0.0;
+  for (int w = 0; w < ways; ++w) {
+    const std::size_t lo = static_cast<std::size_t>(w) * quota;
+    if (lo >= np) break;
+    const std::size_t n = std::min(quota, np - lo);
+    cell::Spu& spu = machine_->spe(w);
+    spu.mfc().set_contention(cfg_.eib_contention);
+    const VCycles start = spu.now();
+    body(spu, lo, n, strip);
+    double elapsed = spu.now() - start;
+    if (ways > 1) elapsed += machine_->params().llp_fork_join_cycles;
+    max_elapsed = std::max(max_elapsed, elapsed);
+    spu.count_invocation();
+  }
+  return max_elapsed;
+}
+
+// --- PPE cost estimates (original code path) ---------------------------------
+
+double SpeExecutor::ppe_newview_cycles(const lh::NewviewTask& task) const {
+  const auto& p = machine_->params();
+  const double ncat = task.ctx.ncat;
+  const double np = static_cast<double>(task.np);
+  const double per_pattern =
+      task.ctx.mode == lh::RateMode::kCat ? 1.0 : ncat;
+  const double flops =
+      2.0 * ncat * kPmatFlopsPerCategory +
+      np * kNewviewFlopsPerPattern * per_pattern;
+  return flops * p.ppe_dp_flop_cycles + 6.0 * ncat * p.ppe_exp_libm_cycles +
+         np * p.ppe_cond_cycles + np * per_pattern * p.ppe_mem_cycles_per_pattern;
+}
+
+double SpeExecutor::ppe_evaluate_cycles(const lh::EvaluateTask& task) const {
+  const auto& p = machine_->params();
+  const double ncat = task.ctx.ncat;
+  const double np = static_cast<double>(task.np);
+  const double per_pattern =
+      task.ctx.mode == lh::RateMode::kCat ? 1.0 : ncat;
+  const double flops = ncat * kPmatFlopsPerCategory +
+                       np * kEvaluateFlopsPerPattern * per_pattern;
+  return flops * p.ppe_dp_flop_cycles + 3.0 * ncat * p.ppe_exp_libm_cycles +
+         np * p.ppe_log_cycles + np * per_pattern * p.ppe_mem_cycles_per_pattern;
+}
+
+double SpeExecutor::ppe_sumtable_cycles(const lh::SumtableTask& task) const {
+  const auto& p = machine_->params();
+  const double np = static_cast<double>(task.np);
+  const double per_pattern =
+      task.ctx.mode == lh::RateMode::kCat ? 1.0 : task.ctx.ncat;
+  return np * kSumtableFlopsPerPattern * per_pattern * p.ppe_dp_flop_cycles +
+         np * per_pattern * p.ppe_mem_cycles_per_pattern;
+}
+
+double SpeExecutor::ppe_nr_cycles(const lh::NrTask& task) const {
+  const auto& p = machine_->params();
+  const double np = static_cast<double>(task.np);
+  const double per_pattern =
+      task.ctx.mode == lh::RateMode::kCat ? 1.0 : task.ctx.ncat;
+  return 3.0 * task.ctx.ncat * p.ppe_exp_libm_cycles +
+         np * kNrFlopsPerPattern * per_pattern * p.ppe_dp_flop_cycles +
+         np * p.ppe_log_cycles +
+         np * per_pattern * p.ppe_mem_cycles_per_pattern;
+}
+
+// --- kernel dispatch ----------------------------------------------------------
+
+void SpeExecutor::newview(const lh::NewviewTask& task) {
+  if (!cfg_.toggles.offload_newview) {
+    ppe_exec_.newview(task);
+    counters_ += ppe_exec_.counters();
+    ppe_exec_.reset_counters();
+    record(KernelKind::kNewview, ppe_newview_cycles(task), 0.0, 1, false);
+    return;
+  }
+
+  const auto& ctx = task.ctx;
+  const auto& p = machine_->params();
+  const int ncat = ctx.ncat;
+  const bool cat_mode = ctx.mode == lh::RateMode::kCat;
+  const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
+  const lh::ExpFn exp_fn =
+      cfg_.toggles.sdk_exp ? &lh::exp_sdk : &lh::exp_libm;
+  const lh::ScalingCheck check = cfg_.toggles.int_cond
+                                     ? lh::ScalingCheck::kIntCast
+                                     : lh::ScalingCheck::kFloatBranch;
+  std::uint64_t scale_events = 0;
+
+  const double spe = run_chunks(
+      task.np, pp, cfg_.llp_ways,
+      [&](cell::Spu& spu, std::size_t lo, std::size_t n, std::size_t strip) {
+        auto& ls = spu.ls();
+        auto& mfc = spu.mfc();
+        ls.reset();
+
+        // Transition matrices: built in local store at invocation start
+        // (the paper's "first loop" — where exp() lives).
+        const std::size_t pm_bytes = static_cast<std::size_t>(ncat) * 128;
+        const LsAddr pm1 = ls.alloc(pm_bytes);
+        const LsAddr pm2 = ls.alloc(pm_bytes);
+        lh::build_pmatrices(*ctx.es, ctx.rates, ncat, task.brlen1, exp_fn,
+                            ls.as<double>(pm1, ncat * 16));
+        lh::build_pmatrices(*ctx.es, ctx.rates, ncat, task.brlen2, exp_fn,
+                            ls.as<double>(pm2, ncat * 16));
+        spu.charge(6.0 * ncat * spe_exp_cycles() +
+                   spe_flop_cycles(2.0 * ncat * kPmatFlopsPerCategory));
+
+        const int nbuf = cfg_.toggles.double_buffer ? 2 : 1;
+        struct Buffers {
+          LsAddr in1, sc1, in2, sc2, cat, out, outsc;
+        };
+        Buffers buf[2];
+        for (int b = 0; b < nbuf; ++b) {
+          buf[b].in1 = task.tip1 ? ls.alloc(dma_bytes(strip, 1))
+                                 : ls.alloc(strip * pp);
+          buf[b].sc1 = task.scale1 ? ls.alloc(dma_bytes(strip, 4)) : 0;
+          buf[b].in2 = task.tip2 ? ls.alloc(dma_bytes(strip, 1))
+                                 : ls.alloc(strip * pp);
+          buf[b].sc2 = task.scale2 ? ls.alloc(dma_bytes(strip, 4)) : 0;
+          buf[b].cat = ctx.cat ? ls.alloc(dma_bytes(strip, 4)) : 0;
+          buf[b].out = ls.alloc(strip * pp);
+          buf[b].outsc = ls.alloc(dma_bytes(strip, 4));
+        }
+
+        const std::size_t nstrips = (n + strip - 1) / strip;
+        const auto issue = [&](std::size_t s) {
+          const std::size_t base = lo + s * strip;
+          const std::size_t cnt = std::min(strip, lo + n - base);
+          const Buffers& b = buf[s % nbuf];
+          const int tag = static_cast<int>(s % nbuf);
+          if (task.tip1) {
+            mfc.get(b.in1, task.tip1 + base, dma_bytes(cnt, 1), tag,
+                    spu.now());
+          } else {
+            const std::size_t stride_d = pp / 8;
+            mfc.get(b.in1, task.partial1 + base * stride_d, cnt * pp, tag,
+                    spu.now());
+            mfc.get(b.sc1, task.scale1 + base, dma_bytes(cnt, 4), tag,
+                    spu.now());
+          }
+          if (task.tip2) {
+            mfc.get(b.in2, task.tip2 + base, dma_bytes(cnt, 1), tag,
+                    spu.now());
+          } else {
+            const std::size_t stride_d = pp / 8;
+            mfc.get(b.in2, task.partial2 + base * stride_d, cnt * pp, tag,
+                    spu.now());
+            mfc.get(b.sc2, task.scale2 + base, dma_bytes(cnt, 4), tag,
+                    spu.now());
+          }
+          if (ctx.cat)
+            mfc.get(b.cat, ctx.cat + base, dma_bytes(cnt, 4), tag, spu.now());
+        };
+
+        issue(0);
+        for (std::size_t s = 0; s < nstrips; ++s) {
+          if (cfg_.toggles.double_buffer) {
+            // Overlap: bring in the next strip while computing this one.
+            if (s + 1 < nstrips) issue(s + 1);
+          } else if (s > 0) {
+            issue(s);  // plain: fetch, then stall on the wait below
+          }
+          const int tag = static_cast<int>(s % nbuf);
+          const int out_tag = 2 + static_cast<int>(s % nbuf);
+          spu.wait_dma(tag);
+          if (s >= static_cast<std::size_t>(nbuf))
+            spu.wait_dma(out_tag);  // out buffer must have drained
+
+          const std::size_t base = lo + s * strip;
+          const std::size_t cnt = std::min(strip, lo + n - base);
+          const Buffers& b = buf[s % nbuf];
+
+          lh::NewviewArgs args;
+          args.pmat1 = ls.as<const double>(pm1, ncat * 16);
+          args.pmat2 = ls.as<const double>(pm2, ncat * 16);
+          args.ncat = ncat;
+          args.cat = ctx.cat ? ls.as<const int>(b.cat, cnt) : nullptr;
+          args.np = cnt;
+          args.tip1 =
+              task.tip1 ? ls.as<const seq::DnaCode>(b.in1, cnt) : nullptr;
+          args.partial1 =
+              task.tip1 ? nullptr : ls.as<const double>(b.in1, cnt * pp / 8);
+          args.scale1 =
+              task.scale1 ? ls.as<const std::int32_t>(b.sc1, cnt) : nullptr;
+          args.tip2 =
+              task.tip2 ? ls.as<const seq::DnaCode>(b.in2, cnt) : nullptr;
+          args.partial2 =
+              task.tip2 ? nullptr : ls.as<const double>(b.in2, cnt * pp / 8);
+          args.scale2 =
+              task.scale2 ? ls.as<const std::int32_t>(b.sc2, cnt) : nullptr;
+          args.out = ls.as<double>(b.out, cnt * pp / 8);
+          args.scale_out = ls.as<std::int32_t>(b.outsc, cnt);
+          args.scaling = check;
+
+          std::uint64_t events;
+          if (cat_mode) {
+            events = cfg_.toggles.vectorized ? lh::newview_cat_simd(args)
+                                             : lh::newview_cat(args);
+          } else {
+            events = cfg_.toggles.vectorized ? lh::newview_gamma_simd(args)
+                                             : lh::newview_gamma(args);
+          }
+          scale_events += events;
+
+          const double per_pattern_cats =
+              cat_mode ? 1.0 : static_cast<double>(ncat);
+          double compute =
+              spe_flop_cycles(kNewviewFlopsPerPattern * per_pattern_cats) +
+              spe_cond_cycles() + p.spu_ls_cycles_per_pattern;
+          if (cfg_.toggles.vectorized)
+            compute += p.spu_vector_build_cycles * per_pattern_cats;
+          spu.charge(compute * static_cast<double>(cnt) +
+                     static_cast<double>(events) * 8.0 *
+                         p.spu_dp_flop_cycles);
+
+          const std::size_t stride_d = pp / 8;
+          mfc.put(task.out + base * stride_d, b.out, cnt * pp, out_tag,
+                  spu.now());
+          mfc.put(task.scale_out + base, b.outsc, dma_bytes(cnt, 4), out_tag,
+                  spu.now());
+        }
+        // Drain outstanding puts.
+        spu.wait_dma(2);
+        spu.wait_dma(3);
+      });
+
+  counters_.scale_events += scale_events;
+  ++counters_.newview_calls;
+  counters_.newview_patterns += task.np;
+  counters_.pmatrix_builds += 2 * cfg_.llp_ways;
+  counters_.exp_calls += 6ull * ncat * cfg_.llp_ways;
+  const double ppe_cost = offload_ppe_cycles(cfg_.llp_ways);
+  record(KernelKind::kNewview, ppe_cost, spe, cfg_.llp_ways,
+         last_offload_signaled_);
+}
+
+double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
+  if (!cfg_.toggles.offload_rest) {
+    const double result = ppe_exec_.evaluate(task);
+    counters_ += ppe_exec_.counters();
+    ppe_exec_.reset_counters();
+    record(KernelKind::kEvaluate, ppe_evaluate_cycles(task), 0.0, 1, false);
+    return result;
+  }
+
+  const auto& ctx = task.ctx;
+  const auto& p = machine_->params();
+  const int ncat = ctx.ncat;
+  const bool cat_mode = ctx.mode == lh::RateMode::kCat;
+  const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
+  const lh::ExpFn exp_fn =
+      cfg_.toggles.sdk_exp ? &lh::exp_sdk : &lh::exp_libm;
+  double lnl = 0.0;
+
+  // evaluate() is light; the port never loop-parallelizes it (ways = 1).
+  const double spe = run_chunks(
+      task.np, pp, 1,
+      [&](cell::Spu& spu, std::size_t lo, std::size_t n, std::size_t strip) {
+        auto& ls = spu.ls();
+        auto& mfc = spu.mfc();
+        ls.reset();
+        const std::size_t pm_bytes = static_cast<std::size_t>(ncat) * 128;
+        const LsAddr pm = ls.alloc(pm_bytes);
+        lh::build_pmatrices(*ctx.es, ctx.rates, ncat, task.brlen, exp_fn,
+                            ls.as<double>(pm, ncat * 16));
+        spu.charge(3.0 * ncat * spe_exp_cycles() +
+                   spe_flop_cycles(ncat * kPmatFlopsPerCategory));
+
+        const LsAddr in1 = task.tip1 ? ls.alloc(dma_bytes(strip, 1))
+                                     : ls.alloc(strip * pp);
+        const LsAddr sc1 = task.scale1 ? ls.alloc(dma_bytes(strip, 4)) : 0;
+        const LsAddr in2 = ls.alloc(strip * pp);
+        const LsAddr sc2 = task.scale2 ? ls.alloc(dma_bytes(strip, 4)) : 0;
+        const LsAddr wts = ls.alloc(dma_bytes(strip, 8));
+        const LsAddr catb = ctx.cat ? ls.alloc(dma_bytes(strip, 4)) : 0;
+        const LsAddr site =
+            task.site_lnl_out ? ls.alloc(dma_bytes(strip, 8)) : 0;
+
+        const std::size_t nstrips = (n + strip - 1) / strip;
+        for (std::size_t s = 0; s < nstrips; ++s) {
+          const std::size_t base = lo + s * strip;
+          const std::size_t cnt = std::min(strip, lo + n - base);
+          const std::size_t stride_d = pp / 8;
+          if (task.tip1) {
+            mfc.get(in1, task.tip1 + base, dma_bytes(cnt, 1), 0, spu.now());
+          } else {
+            mfc.get(in1, task.partial1 + base * stride_d, cnt * pp, 0,
+                    spu.now());
+            mfc.get(sc1, task.scale1 + base, dma_bytes(cnt, 4), 0, spu.now());
+          }
+          mfc.get(in2, task.partial2 + base * stride_d, cnt * pp, 0,
+                  spu.now());
+          if (task.scale2)
+            mfc.get(sc2, task.scale2 + base, dma_bytes(cnt, 4), 0, spu.now());
+          mfc.get(wts, task.weights + base, dma_bytes(cnt, 8), 0, spu.now());
+          if (ctx.cat)
+            mfc.get(catb, ctx.cat + base, dma_bytes(cnt, 4), 0, spu.now());
+          spu.wait_dma(0);
+
+          lh::EvaluateArgs args;
+          args.pmat = ls.as<const double>(pm, ncat * 16);
+          args.freqs = ctx.es->freqs.data();
+          args.ncat = ncat;
+          args.cat = ctx.cat ? ls.as<const int>(catb, cnt) : nullptr;
+          args.np = cnt;
+          args.tip1 =
+              task.tip1 ? ls.as<const seq::DnaCode>(in1, cnt) : nullptr;
+          args.partial1 =
+              task.tip1 ? nullptr : ls.as<const double>(in1, cnt * pp / 8);
+          args.scale1 =
+              task.scale1 ? ls.as<const std::int32_t>(sc1, cnt) : nullptr;
+          args.partial2 = ls.as<const double>(in2, cnt * pp / 8);
+          args.scale2 =
+              task.scale2 ? ls.as<const std::int32_t>(sc2, cnt) : nullptr;
+          args.weights = ls.as<const double>(wts, cnt);
+          args.site_lnl_out =
+              task.site_lnl_out ? ls.as<double>(site, cnt) : nullptr;
+
+          if (cfg_.toggles.vectorized) {
+            lnl += cat_mode ? lh::evaluate_cat_simd(args)
+                            : lh::evaluate_gamma_simd(args);
+          } else {
+            lnl += cat_mode ? lh::evaluate_cat(args)
+                            : lh::evaluate_gamma(args);
+          }
+
+          const double per_pattern_cats =
+              cat_mode ? 1.0 : static_cast<double>(ncat);
+          spu.charge((spe_flop_cycles(kEvaluateFlopsPerPattern *
+                                      per_pattern_cats) +
+                      spe_log_cycles() + p.spu_ls_cycles_per_pattern) *
+                     static_cast<double>(cnt));
+
+          if (task.site_lnl_out) {
+            mfc.put(task.site_lnl_out + base, site, dma_bytes(cnt, 8), 1,
+                    spu.now());
+          }
+        }
+        spu.wait_dma(1);
+      });
+
+  ++counters_.evaluate_calls;
+  ++counters_.pmatrix_builds;
+  counters_.exp_calls += 3ull * ncat;
+  const double ppe_cost = offload_ppe_cycles(1);
+  record(KernelKind::kEvaluate, ppe_cost, spe, 1, last_offload_signaled_);
+  return lnl;
+}
+
+void SpeExecutor::sumtable(const lh::SumtableTask& task) {
+  if (!cfg_.toggles.offload_rest) {
+    ppe_exec_.sumtable(task);
+    counters_ += ppe_exec_.counters();
+    ppe_exec_.reset_counters();
+    record(KernelKind::kSumtable, ppe_sumtable_cycles(task), 0.0, 1, false);
+    return;
+  }
+
+  const auto& ctx = task.ctx;
+  const auto& p = machine_->params();
+  const int ncat = ctx.ncat;
+  const bool cat_mode = ctx.mode == lh::RateMode::kCat;
+  const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
+
+  const double spe = run_chunks(
+      task.np, pp, 1,
+      [&](cell::Spu& spu, std::size_t lo, std::size_t n, std::size_t strip) {
+        auto& ls = spu.ls();
+        auto& mfc = spu.mfc();
+        ls.reset();
+        const LsAddr in1 = task.tip1 ? ls.alloc(dma_bytes(strip, 1))
+                                     : ls.alloc(strip * pp);
+        const LsAddr in2 = ls.alloc(strip * pp);
+        const LsAddr out = ls.alloc(strip * pp);
+
+        const std::size_t nstrips = (n + strip - 1) / strip;
+        for (std::size_t s = 0; s < nstrips; ++s) {
+          const std::size_t base = lo + s * strip;
+          const std::size_t cnt = std::min(strip, lo + n - base);
+          const std::size_t stride_d = pp / 8;
+          if (task.tip1) {
+            mfc.get(in1, task.tip1 + base, dma_bytes(cnt, 1), 0, spu.now());
+          } else {
+            mfc.get(in1, task.partial1 + base * stride_d, cnt * pp, 0,
+                    spu.now());
+          }
+          mfc.get(in2, task.partial2 + base * stride_d, cnt * pp, 0,
+                  spu.now());
+          spu.wait_dma(0);
+
+          lh::SumtableArgs args;
+          args.es = ctx.es;
+          args.ncat = ncat;
+          args.np = cnt;
+          args.tip1 =
+              task.tip1 ? ls.as<const seq::DnaCode>(in1, cnt) : nullptr;
+          args.partial1 =
+              task.tip1 ? nullptr : ls.as<const double>(in1, cnt * pp / 8);
+          args.partial2 = ls.as<const double>(in2, cnt * pp / 8);
+          args.out = ls.as<double>(out, cnt * pp / 8);
+          if (cfg_.toggles.vectorized) {
+            cat_mode ? lh::make_sumtable_cat_simd(args)
+                     : lh::make_sumtable_gamma_simd(args);
+          } else {
+            cat_mode ? lh::make_sumtable_cat(args)
+                     : lh::make_sumtable_gamma(args);
+          }
+          const double per_pattern_cats =
+              cat_mode ? 1.0 : static_cast<double>(ncat);
+          spu.charge((spe_flop_cycles(kSumtableFlopsPerPattern *
+                                      per_pattern_cats) +
+                      p.spu_ls_cycles_per_pattern) *
+                     static_cast<double>(cnt));
+          mfc.put(task.out + base * stride_d, out, cnt * pp, 1, spu.now());
+        }
+        spu.wait_dma(1);
+      });
+
+  ++counters_.sumtable_calls;
+  // If the whole sumtable (plus weights and categories) fits in the local
+  // store, the offloaded makenewz keeps it there across Newton iterations.
+  const std::size_t resident_bytes =
+      task.np * pp + dma_bytes(task.np, 8) + dma_bytes(task.np, 4);
+  sumtable_resident_ =
+      in_compound_ &&
+      resident_bytes + 4096 < cell::kLocalStoreBytes - cell::kOffloadCodeBytes;
+  const double ppe_cost = offload_ppe_cycles(1);
+  record(KernelKind::kSumtable, ppe_cost, spe, 1, last_offload_signaled_);
+}
+
+lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
+  if (!cfg_.toggles.offload_rest) {
+    const lh::NrResult result = ppe_exec_.nr_derivatives(task);
+    counters_ += ppe_exec_.counters();
+    ppe_exec_.reset_counters();
+    record(KernelKind::kNrDerivatives, ppe_nr_cycles(task), 0.0, 1, false);
+    return result;
+  }
+
+  const auto& ctx = task.ctx;
+  const auto& p = machine_->params();
+  const int ncat = ctx.ncat;
+  const bool cat_mode = ctx.mode == lh::RateMode::kCat;
+  const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
+  const lh::ExpFn exp_fn =
+      cfg_.toggles.sdk_exp ? &lh::exp_sdk : &lh::exp_libm;
+  lh::NrResult total;
+
+  if (sumtable_resident_) {
+    // Sumtable, weights and categories are already in local store from the
+    // sumtable step: the iteration is pure SPU compute.  Values are
+    // identical whichever buffer the kernel reads, so compute from the
+    // main-memory mirror.
+    lh::NrArgs args;
+    args.sumtable = task.sumtable;
+    args.lambda = ctx.es->lambda.data();
+    args.rates = ctx.rates;
+    args.ncat = ncat;
+    args.cat = ctx.cat;
+    args.np = task.np;
+    args.weights = task.weights;
+    args.t = task.t;
+    args.exp_fn = exp_fn;
+    total = cat_mode ? lh::nr_derivatives_cat(args)
+                     : lh::nr_derivatives_gamma(args);
+    const double per_pattern_cats = cat_mode ? 1.0 : static_cast<double>(ncat);
+    cell::Spu& spu = machine_->spe(0);
+    const cell::VCycles start = spu.now();
+    spu.charge(3.0 * ncat * spe_exp_cycles() +
+               (spe_flop_cycles(kNrFlopsPerPattern * per_pattern_cats) +
+                spe_log_cycles() + p.spu_ls_cycles_per_pattern) *
+                   static_cast<double>(task.np));
+    ++counters_.nr_calls;
+    counters_.exp_calls += 3ull * ncat;
+    const double resident_ppe = offload_ppe_cycles(1);
+    record(KernelKind::kNrDerivatives, resident_ppe, spu.now() - start, 1,
+           last_offload_signaled_);
+    return total;
+  }
+
+  const double spe = run_chunks(
+      task.np, pp, 1,
+      [&](cell::Spu& spu, std::size_t lo, std::size_t n, std::size_t strip) {
+        auto& ls = spu.ls();
+        auto& mfc = spu.mfc();
+        ls.reset();
+        const LsAddr st = ls.alloc(strip * pp);
+        const LsAddr wts = ls.alloc(dma_bytes(strip, 8));
+        const LsAddr catb = ctx.cat ? ls.alloc(dma_bytes(strip, 4)) : 0;
+
+        // The exponent table is computed once per invocation on silicon;
+        // charge it once (the strip loop below recomputes it functionally,
+        // which is value-identical).
+        spu.charge(3.0 * ncat * spe_exp_cycles());
+
+        const std::size_t nstrips = (n + strip - 1) / strip;
+        for (std::size_t s = 0; s < nstrips; ++s) {
+          const std::size_t base = lo + s * strip;
+          const std::size_t cnt = std::min(strip, lo + n - base);
+          const std::size_t stride_d = pp / 8;
+          mfc.get(st, task.sumtable + base * stride_d, cnt * pp, 0,
+                  spu.now());
+          mfc.get(wts, task.weights + base, dma_bytes(cnt, 8), 0, spu.now());
+          if (ctx.cat)
+            mfc.get(catb, ctx.cat + base, dma_bytes(cnt, 4), 0, spu.now());
+          spu.wait_dma(0);
+
+          lh::NrArgs args;
+          args.sumtable = ls.as<const double>(st, cnt * pp / 8);
+          args.lambda = ctx.es->lambda.data();
+          args.rates = ctx.rates;
+          args.ncat = ncat;
+          args.cat = ctx.cat ? ls.as<const int>(catb, cnt) : nullptr;
+          args.np = cnt;
+          args.weights = ls.as<const double>(wts, cnt);
+          args.t = task.t;
+          args.exp_fn = exp_fn;
+          const lh::NrResult r = cat_mode ? lh::nr_derivatives_cat(args)
+                                          : lh::nr_derivatives_gamma(args);
+          total.lnl += r.lnl;
+          total.d1 += r.d1;
+          total.d2 += r.d2;
+
+          const double per_pattern_cats =
+              cat_mode ? 1.0 : static_cast<double>(ncat);
+          spu.charge(
+              (spe_flop_cycles(kNrFlopsPerPattern * per_pattern_cats) +
+               spe_log_cycles() + p.spu_ls_cycles_per_pattern) *
+              static_cast<double>(cnt));
+        }
+      });
+
+  ++counters_.nr_calls;
+  counters_.exp_calls += 3ull * ncat;
+  const double ppe_cost = offload_ppe_cycles(1);
+  record(KernelKind::kNrDerivatives, ppe_cost, spe, 1,
+         last_offload_signaled_);
+  return total;
+}
+
+}  // namespace rxc::core

@@ -1,0 +1,109 @@
+#pragma once
+/// \file spe_executor.h
+/// Kernel executor that runs the likelihood kernels "on" the simulated Cell
+/// (the port proper).  Routing follows the stage toggles:
+///
+///  * offloaded kernels execute strip-mined on SPE local stores — inputs
+///    are DMA'd in 2 KB strips through the simulated MFC (with or without
+///    double buffering), the real kernel code runs on the local-store
+///    buffers, outputs are DMA'd back, and the SPU clock is charged with
+///    the cost model;
+///  * non-offloaded kernels execute on the host with PPE cycle accounting
+///    (the original scalar/libm code path, like RAxML's PPE build).
+///
+/// Results are numerically equal to the host executor's up to summation
+/// reassociation across strips.  Every invocation appends a TraceSegment;
+/// the schedulers replay the trace onto machine resources.
+
+#include <vector>
+
+#include "cell/spu.h"
+#include "core/stage.h"
+#include "core/trace.h"
+#include "likelihood/executor.h"
+
+namespace rxc::core {
+
+struct SpeExecConfig {
+  StageToggles toggles;
+  /// SPEs cooperating on each offloaded invocation (loop-level
+  /// parallelization); 1 = plain task-level offload.
+  int llp_ways = 1;
+  /// EIB contention factor the scheduler anticipates (>= 1).
+  double eib_contention = 1.0;
+  /// Mailbox signaling contention: the PPE serializes MMIO mailbox polls
+  /// across the worker processes it runs, so the per-signal cost grows with
+  /// parallelism (the paper's §5.2.6 observation that the direct-memory
+  /// optimization "scales with parallelism").  Direct memory-to-memory
+  /// signaling is unaffected.  Set by the port to the concurrent worker
+  /// count.
+  double mailbox_contention = 1.0;
+  /// Strip buffer size (the paper settles on 2 KB, §5.2.4).
+  std::size_t strip_bytes = 2048;
+};
+
+class SpeExecutor final : public lh::KernelExecutor {
+public:
+  /// Uses machine.spe(0 .. llp_ways-1).  The machine must outlive this.
+  SpeExecutor(cell::CellMachine& machine, SpeExecConfig config);
+
+  void newview(const lh::NewviewTask& task) override;
+  double evaluate(const lh::EvaluateTask& task) override;
+  void sumtable(const lh::SumtableTask& task) override;
+  lh::NrResult nr_derivatives(const lh::NrTask& task) override;
+  void begin_compound() override;
+  void end_compound() override;
+
+  /// Clears the trace (call at task start).
+  void begin_task();
+  /// Moves the accumulated trace out (segments + kernel counters).
+  TaskTrace take_trace();
+
+  const SpeExecConfig& config() const { return cfg_; }
+
+private:
+  // --- cost model helpers -------------------------------------------------
+  double spe_exp_cycles() const;
+  double spe_log_cycles() const;
+  /// SPU cycles for `flops` scalar-equivalent FP operations under the
+  /// configured vectorization.
+  double spe_flop_cycles(double flops) const;
+  double spe_cond_cycles() const;
+  /// PPE-side signal+orchestration for one offload; 0 inside a compound
+  /// after its first signaled segment.  Sets last_offload_signaled_.
+  double offload_ppe_cycles(int ways);
+
+  /// Appends a segment and handles compound bookkeeping.
+  void record(KernelKind kind, double ppe, double spe, int ways,
+              bool signaled);
+
+  /// Runs `body(spu, lo, n, strip)` over pattern chunks on `ways` SPEs and
+  /// returns the max per-SPE elapsed cycles.  `pattern_bytes` is the
+  /// per-pattern footprint used to derive the strip length.
+  template <class Body>
+  double run_chunks(std::size_t np, std::size_t pattern_bytes, int ways,
+                    const Body& body);
+
+  // PPE (host) execution of non-offloaded kernels, with cycle estimate.
+  double ppe_newview_cycles(const lh::NewviewTask& task) const;
+  double ppe_evaluate_cycles(const lh::EvaluateTask& task) const;
+  double ppe_sumtable_cycles(const lh::SumtableTask& task) const;
+  double ppe_nr_cycles(const lh::NrTask& task) const;
+
+  cell::CellMachine* machine_;
+  SpeExecConfig cfg_;
+  lh::HostExecutor ppe_exec_;  ///< original code path (libm, branchy, scalar)
+  std::vector<TraceSegment> segments_;
+  bool in_compound_ = false;
+  bool compound_signaled_ = false;
+  /// Whether the most recent offload_ppe_cycles() call actually dispatched
+  /// (false for compound continuations, which run SPE-side without a PPE
+  /// round trip).
+  bool last_offload_signaled_ = true;
+  /// Set when the compound's sumtable fits in local store: the offloaded
+  /// makenewz keeps it resident, so Newton iterations run DMA-free (the
+  /// communication saving §5.2.7 reports).
+  bool sumtable_resident_ = false;
+};
+
+}  // namespace rxc::core

@@ -1,0 +1,66 @@
+#pragma once
+/// \file stage.h
+/// The paper's cumulative optimization stages (§5.2, Tables 1-7).  Each
+/// stage is the previous one plus a single code change, exactly as the
+/// paper applies them; `stage_config` expands a stage into the executor
+/// toggles.
+
+#include <string>
+
+namespace rxc::core {
+
+enum class Stage {
+  kPpeOnly,         ///< Table 1(a): everything runs on the PPE
+  kOffloadNewview,  ///< Table 1(b): naive newview() offload
+  kFastExp,         ///< Table 2: + Cell-SDK exp()
+  kIntCond,         ///< Table 3: + cast/vectorized scaling conditional
+  kDoubleBuffer,    ///< Table 4: + double-buffered strip DMA
+  kVectorize,       ///< Table 5: + SIMD likelihood loops
+  kDirectComm,      ///< Table 6: + direct memory-to-memory signaling
+  kOffloadAll,      ///< Table 7: + makenewz()/evaluate() offloaded too
+};
+
+/// Executor-level toggles implied by a stage.
+struct StageToggles {
+  bool offload_newview = false;
+  bool offload_rest = false;   ///< evaluate + makenewz inner kernels
+  bool sdk_exp = false;        ///< SPE exp variant
+  bool int_cond = false;       ///< scaling-conditional variant
+  bool double_buffer = false;  ///< overlap strip DMA with compute
+  bool vectorized = false;     ///< SIMD loop bodies
+  bool direct_comm = false;    ///< direct-memory PPE<->SPE signaling
+};
+
+constexpr StageToggles stage_toggles(Stage stage) {
+  StageToggles t;
+  switch (stage) {
+    case Stage::kOffloadAll:
+      t.offload_rest = true;
+      [[fallthrough]];
+    case Stage::kDirectComm:
+      t.direct_comm = true;
+      [[fallthrough]];
+    case Stage::kVectorize:
+      t.vectorized = true;
+      [[fallthrough]];
+    case Stage::kDoubleBuffer:
+      t.double_buffer = true;
+      [[fallthrough]];
+    case Stage::kIntCond:
+      t.int_cond = true;
+      [[fallthrough]];
+    case Stage::kFastExp:
+      t.sdk_exp = true;
+      [[fallthrough]];
+    case Stage::kOffloadNewview:
+      t.offload_newview = true;
+      break;
+    case Stage::kPpeOnly:
+      break;
+  }
+  return t;
+}
+
+std::string stage_name(Stage stage);
+
+}  // namespace rxc::core

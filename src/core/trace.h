@@ -1,0 +1,86 @@
+#pragma once
+/// \file trace.h
+/// Offload traces: the timing record one task (inference or bootstrap)
+/// leaves behind when executed through the simulated-SPE executor.  The
+/// schedulers replay traces onto machine resources to compute makespans —
+/// the same separation the real system has between what a task computes
+/// (fixed) and where/when the scheduler runs it.
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/mfc.h"  // VCycles
+#include "likelihood/kernels.h"
+
+namespace rxc::core {
+
+enum class KernelKind : std::uint8_t {
+  kNewview,
+  kEvaluate,
+  kSumtable,
+  kNrDerivatives,
+};
+
+/// One engine-level kernel invocation.
+struct TraceSegment {
+  KernelKind kind = KernelKind::kNewview;
+  /// PPE-side cycles: orchestration + signaling (+ the whole kernel when it
+  /// is not offloaded).
+  cell::VCycles ppe_cycles = 0.0;
+  /// SPE-side cycles for this invocation: busy + DMA stalls.  Zero when the
+  /// kernel ran on the PPE.  Under LLP this is the per-SPE maximum.
+  cell::VCycles spe_cycles = 0.0;
+  /// SPEs that cooperated on this invocation (1 = plain offload).
+  std::uint8_t llp_ways = 1;
+  /// True when this invocation was signaled individually (false inside a
+  /// makenewz compound, which signals once).
+  bool signaled = true;
+};
+
+/// Virtual-time breakdown per kernel kind (the simulator's analogue of the
+/// paper's gprof profile: newview 76.8%, makenewz 19.2%, evaluate 2.4%).
+struct KernelProfile {
+  cell::VCycles cycles[4] = {0, 0, 0, 0};  ///< indexed by KernelKind
+
+  cell::VCycles total() const {
+    return cycles[0] + cycles[1] + cycles[2] + cycles[3];
+  }
+  double share(KernelKind kind) const {
+    const cell::VCycles t = total();
+    return t > 0 ? cycles[static_cast<int>(kind)] / t : 0.0;
+  }
+  KernelProfile& operator+=(const KernelProfile& o) {
+    for (int i = 0; i < 4; ++i) cycles[i] += o.cycles[i];
+    return *this;
+  }
+};
+
+struct TaskTrace {
+  std::vector<TraceSegment> segments;
+  lh::KernelCounters counters;  ///< aggregated kernel work (platform models)
+  double log_likelihood = 0.0;  ///< functional result, for verification
+  std::string newick;
+
+  cell::VCycles total_ppe() const {
+    cell::VCycles sum = 0;
+    for (const auto& s : segments) sum += s.ppe_cycles;
+    return sum;
+  }
+  cell::VCycles total_spe() const {
+    cell::VCycles sum = 0;
+    for (const auto& s : segments) sum += s.spe_cycles;
+    return sum;
+  }
+  /// Serial single-resource duration (PPE + SPE strictly alternating).
+  cell::VCycles serial_cycles() const { return total_ppe() + total_spe(); }
+
+  /// Where the task's time went, by kernel kind (PPE + SPE cycles).
+  KernelProfile profile() const {
+    KernelProfile prof;
+    for (const auto& s : segments)
+      prof.cycles[static_cast<int>(s.kind)] += s.ppe_cycles + s.spe_cycles;
+    return prof;
+  }
+};
+
+}  // namespace rxc::core

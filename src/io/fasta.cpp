@@ -1,0 +1,58 @@
+#include "io/fasta.h"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rxc::io {
+
+std::vector<SeqRecord> read_fasta(std::istream& in) {
+  std::vector<SeqRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == ';') continue;  // classic FASTA comment
+    if (trimmed.front() == '>') {
+      const std::string_view name = trim(trimmed.substr(1));
+      if (name.empty()) throw ParseError("FASTA: empty sequence name");
+      records.push_back({std::string(name), {}});
+    } else {
+      if (records.empty())
+        throw ParseError("FASTA: sequence data before first '>' header");
+      for (char c : trimmed)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+          records.back().data.push_back(c);
+    }
+  }
+  if (records.empty()) throw ParseError("FASTA: no records found");
+  return records;
+}
+
+std::vector<SeqRecord> read_fasta_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_fasta(in);
+}
+
+std::vector<SeqRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<SeqRecord>& records,
+                 std::size_t width) {
+  RXC_ASSERT(width > 0);
+  for (const auto& rec : records) {
+    out << '>' << rec.name << '\n';
+    for (std::size_t i = 0; i < rec.data.size(); i += width)
+      out << rec.data.substr(i, width) << '\n';
+  }
+}
+
+}  // namespace rxc::io

@@ -1,0 +1,31 @@
+#pragma once
+/// \file fasta.h
+/// FASTA reading/writing.  Produces raw (name, sequence) records; encoding
+/// and validation happen in seq/alignment.h.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rxc::io {
+
+struct SeqRecord {
+  std::string name;
+  std::string data;  ///< raw characters, whitespace stripped
+};
+
+/// Parses FASTA from a stream.  Throws rxc::ParseError on malformed input
+/// (text before the first '>', empty names, zero records).
+std::vector<SeqRecord> read_fasta(std::istream& in);
+
+/// Convenience: parse a whole string.
+std::vector<SeqRecord> read_fasta_string(const std::string& text);
+
+/// Reads the file at `path`.  Throws rxc::Error if it cannot be opened.
+std::vector<SeqRecord> read_fasta_file(const std::string& path);
+
+/// Writes records, wrapping sequence lines at `width` characters.
+void write_fasta(std::ostream& out, const std::vector<SeqRecord>& records,
+                 std::size_t width = 70);
+
+}  // namespace rxc::io

@@ -1,0 +1,172 @@
+#include "io/newick.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace rxc::io {
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(const std::string& text) : s_(text) {}
+
+  char peek() {
+    skip_space_and_comments();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  char take() {
+    const char c = peek();
+    if (c != '\0') ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    const char got = take();
+    if (got != c)
+      throw ParseError(std::string("Newick: expected '") + c + "' got '" +
+                       (got ? std::string(1, got) : std::string("<eof>")) +
+                       "' at offset " + std::to_string(pos_));
+  }
+
+  /// Label: quoted ('...' with '' escape) or unquoted run of label chars.
+  std::string label() {
+    skip_space_and_comments();
+    std::string out;
+    if (pos_ < s_.size() && s_[pos_] == '\'') {
+      ++pos_;
+      while (pos_ < s_.size()) {
+        if (s_[pos_] == '\'') {
+          if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '\'') {
+            out.push_back('\'');
+            pos_ += 2;
+          } else {
+            ++pos_;
+            return out;
+          }
+        } else {
+          out.push_back(s_[pos_++]);
+        }
+      }
+      throw ParseError("Newick: unterminated quoted label");
+    }
+    while (pos_ < s_.size() && is_label_char(s_[pos_]))
+      out.push_back(s_[pos_++]);
+    return out;
+  }
+
+  std::optional<double> branch_length() {
+    if (peek() != ':') return std::nullopt;
+    take();
+    skip_space_and_comments();
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) throw ParseError("Newick: missing branch length after ':'");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+private:
+  static bool is_label_char(char c) {
+    return !std::isspace(static_cast<unsigned char>(c)) && c != '(' &&
+           c != ')' && c != ',' && c != ':' && c != ';' && c != '[';
+  }
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < s_.size() &&
+             std::isspace(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+      if (pos_ < s_.size() && s_[pos_] == '[') {
+        const auto close = s_.find(']', pos_);
+        if (close == std::string::npos)
+          throw ParseError("Newick: unterminated [comment]");
+        pos_ = close + 1;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::unique_ptr<NewickNode> parse_subtree(Lexer& lex) {
+  auto node = std::make_unique<NewickNode>();
+  if (lex.peek() == '(') {
+    lex.take();
+    for (;;) {
+      node->children.push_back(parse_subtree(lex));
+      const char c = lex.take();
+      if (c == ',') continue;
+      if (c == ')') break;
+      throw ParseError("Newick: expected ',' or ')' in children list");
+    }
+    node->label = lex.label();  // optional inner label
+  } else {
+    node->label = lex.label();
+    if (node->label.empty())
+      throw ParseError("Newick: empty leaf label");
+  }
+  node->length = lex.branch_length();
+  return node;
+}
+
+void write_node(const NewickNode& node, std::ostringstream& out) {
+  if (!node.children.empty()) {
+    out << '(';
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      if (i) out << ',';
+      write_node(*node.children[i], out);
+    }
+    out << ')';
+  }
+  // Quote labels containing Newick metacharacters.
+  const bool needs_quote =
+      node.label.find_first_of(" (),:;[]'") != std::string::npos;
+  if (needs_quote) {
+    out << '\'';
+    for (char c : node.label) {
+      if (c == '\'') out << "''";
+      else out << c;
+    }
+    out << '\'';
+  } else {
+    out << node.label;
+  }
+  if (node.length) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", *node.length);
+    out << ':' << buf;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<NewickNode> parse_newick(const std::string& text) {
+  Lexer lex(text);
+  auto root = parse_subtree(lex);
+  if (lex.peek() == ';') lex.take();
+  if (lex.peek() != '\0')
+    throw ParseError("Newick: trailing characters after tree");
+  return root;
+}
+
+std::string write_newick(const NewickNode& root) {
+  std::ostringstream out;
+  write_node(root, out);
+  out << ';';
+  return out.str();
+}
+
+std::size_t leaf_count(const NewickNode& node) {
+  if (node.is_leaf()) return 1;
+  std::size_t n = 0;
+  for (const auto& c : node.children) n += leaf_count(*c);
+  return n;
+}
+
+}  // namespace rxc::io

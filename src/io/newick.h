@@ -1,0 +1,33 @@
+#pragma once
+/// \file newick.h
+/// Newick tree text format.  This layer parses into a plain recursive node
+/// structure; tree/tree.h converts to the unrooted phylogeny representation
+/// used by the likelihood code.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rxc::io {
+
+struct NewickNode {
+  std::string label;                 ///< taxon name (tips) or support label
+  std::optional<double> length;      ///< branch length to parent
+  std::vector<std::unique_ptr<NewickNode>> children;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// Parses one Newick tree (terminated by ';', which may be omitted).
+/// Supports quoted labels ('...'), underscores, comments in [...] (skipped),
+/// and branch lengths after ':'.  Throws rxc::ParseError on syntax errors.
+std::unique_ptr<NewickNode> parse_newick(const std::string& text);
+
+/// Serializes; emits branch lengths with full double precision when present.
+std::string write_newick(const NewickNode& root);
+
+/// Number of leaves under `node`.
+std::size_t leaf_count(const NewickNode& node);
+
+}  // namespace rxc::io

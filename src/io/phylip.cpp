@@ -1,0 +1,100 @@
+#include "io/phylip.h"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rxc::io {
+namespace {
+
+void append_sequence_chars(std::string& dst, std::string_view src) {
+  for (char c : src)
+    if (!std::isspace(static_cast<unsigned char>(c))) dst.push_back(c);
+}
+
+}  // namespace
+
+std::vector<SeqRecord> read_phylip(std::istream& in) {
+  std::string line;
+  // Header.
+  std::size_t ntaxa = 0, nsites = 0;
+  while (std::getline(in, line)) {
+    const auto fields = split_ws(line);
+    if (fields.empty()) continue;
+    if (fields.size() < 2)
+      throw ParseError("PHYLIP: header must be '<ntaxa> <nsites>'");
+    ntaxa = std::stoull(fields[0]);
+    nsites = std::stoull(fields[1]);
+    break;
+  }
+  if (ntaxa == 0 || nsites == 0)
+    throw ParseError("PHYLIP: missing or zero header counts");
+
+  // First block: every line starts with a taxon name.
+  std::vector<SeqRecord> records;
+  records.reserve(ntaxa);
+  while (records.size() < ntaxa && std::getline(in, line)) {
+    const std::string_view t = trim(line);
+    if (t.empty()) continue;
+    // Name is the first whitespace-delimited token (relaxed PHYLIP).
+    std::size_t name_end = 0;
+    while (name_end < t.size() &&
+           !std::isspace(static_cast<unsigned char>(t[name_end])))
+      ++name_end;
+    SeqRecord rec;
+    rec.name = std::string(t.substr(0, name_end));
+    append_sequence_chars(rec.data, t.substr(name_end));
+    records.push_back(std::move(rec));
+  }
+  if (records.size() < ntaxa)
+    throw ParseError("PHYLIP: fewer taxa than header declares");
+
+  // Remaining blocks (interleaved continuation): lines cycle through taxa in
+  // order, containing sequence data only.
+  std::size_t next = 0;
+  while (std::getline(in, line)) {
+    const std::string_view t = trim(line);
+    if (t.empty()) {
+      next = 0;  // blank line separates interleaved blocks
+      continue;
+    }
+    append_sequence_chars(records[next].data, t);
+    next = (next + 1) % ntaxa;
+  }
+
+  std::set<std::string> seen;
+  for (const auto& rec : records) {
+    if (rec.data.size() != nsites)
+      throw ParseError("PHYLIP: taxon '" + rec.name + "' has " +
+                       std::to_string(rec.data.size()) + " sites, header says " +
+                       std::to_string(nsites));
+    if (!seen.insert(rec.name).second)
+      throw ParseError("PHYLIP: duplicate taxon name '" + rec.name + "'");
+  }
+  return records;
+}
+
+std::vector<SeqRecord> read_phylip_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_phylip(in);
+}
+
+std::vector<SeqRecord> read_phylip_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open PHYLIP file: " + path);
+  return read_phylip(in);
+}
+
+void write_phylip(std::ostream& out, const std::vector<SeqRecord>& records) {
+  RXC_REQUIRE(!records.empty(), "PHYLIP: no records to write");
+  out << records.size() << ' ' << records.front().data.size() << '\n';
+  for (const auto& rec : records) out << rec.name << ' ' << rec.data << '\n';
+}
+
+}  // namespace rxc::io

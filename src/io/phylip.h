@@ -1,0 +1,26 @@
+#pragma once
+/// \file phylip.h
+/// PHYLIP alignment reading/writing — the input format RAxML uses (the
+/// paper's 42_SC workload is a PHYLIP file).  Supports both sequential and
+/// interleaved layouts with relaxed (whitespace-delimited) names.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/fasta.h"  // SeqRecord
+
+namespace rxc::io {
+
+/// Parses PHYLIP.  Auto-detects sequential vs interleaved layout.
+/// Header line: "<ntaxa> <nsites>".  Throws rxc::ParseError on any
+/// inconsistency (wrong counts, ragged sequences, duplicate names).
+std::vector<SeqRecord> read_phylip(std::istream& in);
+
+std::vector<SeqRecord> read_phylip_string(const std::string& text);
+std::vector<SeqRecord> read_phylip_file(const std::string& path);
+
+/// Writes relaxed sequential PHYLIP.
+void write_phylip(std::ostream& out, const std::vector<SeqRecord>& records);
+
+}  // namespace rxc::io

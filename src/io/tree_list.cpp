@@ -1,0 +1,45 @@
+#include "io/tree_list.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "io/newick.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rxc::io {
+
+std::vector<std::string> read_tree_list(std::istream& in) {
+  std::vector<std::string> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    try {
+      (void)parse_newick(std::string(trimmed));  // validate
+    } catch (const ParseError& e) {
+      throw ParseError("tree list line " + std::to_string(lineno) + ": " +
+                       e.what());
+    }
+    out.emplace_back(trimmed);
+  }
+  RXC_REQUIRE(!out.empty(), "tree list contains no trees");
+  return out;
+}
+
+std::vector<std::string> read_tree_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open tree list: " + path);
+  return read_tree_list(in);
+}
+
+void write_tree_list(std::ostream& out,
+                     const std::vector<std::string>& newicks) {
+  for (const auto& n : newicks) out << n << '\n';
+}
+
+}  // namespace rxc::io

@@ -1,0 +1,22 @@
+#pragma once
+/// \file tree_list.h
+/// Reading/writing files of Newick trees, one per line — the
+/// RAxML_bootstrap file format the CLI writes (`PREFIX.bootstraps.trees`)
+/// and consumes for support computation.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rxc::io {
+
+/// Reads all non-empty lines as Newick strings (validated by parsing).
+/// Throws rxc::ParseError on the first malformed tree.
+std::vector<std::string> read_tree_list(std::istream& in);
+std::vector<std::string> read_tree_list_file(const std::string& path);
+
+/// Writes one tree per line.
+void write_tree_list(std::ostream& out,
+                     const std::vector<std::string>& newicks);
+
+}  // namespace rxc::io

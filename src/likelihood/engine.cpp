@@ -1,0 +1,533 @@
+#include "likelihood/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+
+namespace rxc::lh {
+
+LikelihoodEngine::LikelihoodEngine(const seq::PatternAlignment& pa,
+                                   EngineConfig config)
+    : pa_(&pa),
+      cfg_(config),
+      es_(model::decompose(config.model)),
+      host_exec_(config.kernels),
+      exec_(&host_exec_),
+      np_(pa.pattern_count()),
+      scale_stride_(round_up(pa.pattern_count(), 4)) {
+  RXC_REQUIRE(cfg_.categories >= 1, "need at least one rate category");
+  weights_.assign(round_up(np_, 2), 0.0);
+  std::copy(pa.weights().begin(), pa.weights().end(), weights_.begin());
+  if (cfg_.mode == RateMode::kCat) {
+    rates_ = model::CatRates::make(static_cast<std::size_t>(cfg_.categories))
+                 .rates;
+    // Until assign_cat_categories() runs, every pattern sits in the category
+    // whose rate is closest to 1 — behaves like a homogeneous model.
+    int neutral = 0;
+    for (std::size_t c = 1; c < rates_.size(); ++c)
+      if (std::fabs(rates_[c] - 1.0) < std::fabs(rates_[neutral] - 1.0))
+        neutral = static_cast<int>(c);
+    cat_.assign(round_up(np_, 4), neutral);
+    stride_ = np_ * 4;
+  } else {
+    rates_ = model::DiscreteGamma::make(cfg_.alpha,
+                                        static_cast<std::size_t>(cfg_.categories))
+                 .rates;
+    stride_ = np_ * static_cast<std::size_t>(cfg_.categories) * 4;
+  }
+}
+
+void LikelihoodEngine::set_tree(tree::Tree* tree) {
+  if (tree == nullptr) {  // detach (e.g. the observed tree is going away)
+    tree_ = nullptr;
+    std::fill(valid_.begin(), valid_.end(), 0);
+    return;
+  }
+  RXC_REQUIRE(tree->tip_count() == pa_->taxon_count(),
+              "tree taxon count != alignment taxon count");
+  tree_ = tree;
+  ndirs_ = tree_->directed_count();
+  partials_.resize((ndirs_ + 1) * stride_);
+  scales_.assign((ndirs_ + 1) * scale_stride_, 0);
+  valid_.assign(ndirs_, 0);
+  ++epoch_;
+}
+
+void LikelihoodEngine::set_executor(KernelExecutor* executor) {
+  exec_ = executor ? executor : &host_exec_;
+}
+
+void LikelihoodEngine::set_pattern_weights(const std::vector<double>& weights) {
+  RXC_REQUIRE(weights.size() == np_, "weight vector size != pattern count");
+  std::copy(weights.begin(), weights.end(), weights_.begin());
+  ++epoch_;
+}
+
+TaskContext LikelihoodEngine::context() const {
+  TaskContext ctx;
+  ctx.es = &es_;
+  ctx.rates = rates_.data();
+  ctx.ncat = cfg_.categories;
+  ctx.cat = cfg_.mode == RateMode::kCat ? cat_.data() : nullptr;
+  ctx.mode = cfg_.mode;
+  return ctx;
+}
+
+LikelihoodEngine::ChildRef LikelihoodEngine::child_ref(int child_node,
+                                                       int edge) {
+  ChildRef ref;
+  if (tree_->is_tip(child_node)) {
+    ref.tip = pa_->row(child_node);
+  } else {
+    const int dir = tree_->dir_index(child_node, edge);
+    ref.partial = partial_ptr(dir);
+    ref.scale = scale_ptr(dir);
+  }
+  return ref;
+}
+
+void LikelihoodEngine::compute_partial(int dir) {
+  const auto [u, edge] = tree_->dir_nodes(dir);
+  RXC_ASSERT(!tree_->is_tip(u));
+
+  // The two children: u's neighbors other than across `edge`.
+  int child_node[2], child_edge[2];
+  int count = 0;
+  for (const auto& nb : tree_->neighbors(u)) {
+    if (nb.edge == edge) continue;
+    child_node[count] = nb.node;
+    child_edge[count] = nb.edge;
+    ++count;
+  }
+  RXC_ASSERT(count == 2);
+
+  // Canonical order: a tip child goes first.
+  if (!tree_->is_tip(child_node[0]) && tree_->is_tip(child_node[1])) {
+    std::swap(child_node[0], child_node[1]);
+    std::swap(child_edge[0], child_edge[1]);
+  }
+
+  NewviewTask task;
+  task.ctx = context();
+  task.brlen1 = tree_->branch_length(child_edge[0]);
+  task.brlen2 = tree_->branch_length(child_edge[1]);
+  task.np = np_;
+  const ChildRef c1 = child_ref(child_node[0], child_edge[0]);
+  const ChildRef c2 = child_ref(child_node[1], child_edge[1]);
+  task.tip1 = c1.tip;
+  task.partial1 = c1.partial;
+  task.scale1 = c1.scale;
+  task.tip2 = c2.tip;
+  task.partial2 = c2.partial;
+  task.scale2 = c2.scale;
+  task.out = partial_ptr(dir);
+  task.scale_out = scale_ptr(dir);
+  exec_->newview(task);
+  valid_[dir] = 1;
+}
+
+void LikelihoodEngine::ensure_partial(int dir) {
+  RXC_ASSERT(tree_ != nullptr);
+  std::vector<int> stack{dir};
+  while (!stack.empty()) {
+    const int d = stack.back();
+    if (valid_[d]) {
+      stack.pop_back();
+      continue;
+    }
+    const auto [u, edge] = tree_->dir_nodes(d);
+    RXC_ASSERT_MSG(!tree_->is_tip(u), "partial requested at a tip");
+    bool ready = true;
+    for (const auto& nb : tree_->neighbors(u)) {
+      if (nb.edge == edge || tree_->is_tip(nb.node)) continue;
+      const int cd = tree_->dir_index(nb.node, nb.edge);
+      if (!valid_[cd]) {
+        stack.push_back(cd);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    compute_partial(d);
+    stack.pop_back();
+  }
+}
+
+double LikelihoodEngine::evaluate(int edge) {
+  auto [u, v] = tree_->edge_nodes(edge);
+  // Side 2 must be inner; side 1 may be a tip.
+  if (tree_->is_tip(v)) std::swap(u, v);
+  RXC_ASSERT_MSG(!tree_->is_tip(v), "evaluate: tip-tip edge");
+
+  EvaluateTask task;
+  task.ctx = context();
+  task.brlen = tree_->branch_length(edge);
+  task.np = np_;
+  if (tree_->is_tip(u)) {
+    task.tip1 = pa_->row(u);
+  } else {
+    const int du = tree_->dir_index(u, edge);
+    ensure_partial(du);
+    task.partial1 = partial_ptr(du);
+    task.scale1 = scale_ptr(du);
+  }
+  const int dv = tree_->dir_index(v, edge);
+  ensure_partial(dv);
+  task.partial2 = partial_ptr(dv);
+  task.scale2 = scale_ptr(dv);
+  task.weights = weights_.data();
+  return exec_->evaluate(task);
+}
+
+double LikelihoodEngine::log_likelihood() {
+  for (std::size_t e = 0; e < tree_->edge_slots(); ++e)
+    if (tree_->edge_alive(static_cast<int>(e)))
+      return evaluate(static_cast<int>(e));
+  RXC_ASSERT_MSG(false, "tree has no live edges");
+  return 0.0;
+}
+
+std::vector<double> LikelihoodEngine::site_log_likelihoods(int edge) {
+  // DMA-capable scratch (padded + aligned); copied into the plain result.
+  if (site_scratch_.size() < round_up(np_, 2))
+    site_scratch_.resize(round_up(np_, 2));
+  auto [u, v] = tree_->edge_nodes(edge);
+  if (tree_->is_tip(v)) std::swap(u, v);
+  EvaluateTask task;
+  task.ctx = context();
+  task.brlen = tree_->branch_length(edge);
+  task.np = np_;
+  if (tree_->is_tip(u)) {
+    task.tip1 = pa_->row(u);
+  } else {
+    const int du = tree_->dir_index(u, edge);
+    ensure_partial(du);
+    task.partial1 = partial_ptr(du);
+    task.scale1 = scale_ptr(du);
+  }
+  const int dv = tree_->dir_index(v, edge);
+  ensure_partial(dv);
+  task.partial2 = partial_ptr(dv);
+  task.scale2 = scale_ptr(dv);
+  task.weights = weights_.data();
+  task.site_lnl_out = site_scratch_.data();
+  exec_->evaluate(task);
+  return {site_scratch_.begin(), site_scratch_.begin() + np_};
+}
+
+void LikelihoodEngine::prepare_branch(int edge) {
+  auto [u, v] = tree_->edge_nodes(edge);
+  if (tree_->is_tip(v)) std::swap(u, v);
+  RXC_ASSERT(!tree_->is_tip(v));
+
+  SumtableTask st;
+  st.ctx = context();
+  st.np = np_;
+  if (tree_->is_tip(u)) {
+    st.tip1 = pa_->row(u);
+  } else {
+    const int du = tree_->dir_index(u, edge);
+    ensure_partial(du);
+    st.partial1 = partial_ptr(du);
+  }
+  const int dv = tree_->dir_index(v, edge);
+  ensure_partial(dv);
+  st.partial2 = partial_ptr(dv);
+  const std::size_t st_size =
+      cfg_.mode == RateMode::kCat
+          ? np_ * 4
+          : np_ * static_cast<std::size_t>(cfg_.categories) * 4;
+  if (sumtable_.size() < st_size) sumtable_.resize(st_size);
+  st.out = sumtable_.data();
+  exec_->sumtable(st);
+}
+
+NrResult LikelihoodEngine::branch_derivatives(double t) {
+  NrTask nr;
+  nr.ctx = context();
+  nr.sumtable = sumtable_.data();
+  nr.np = np_;
+  nr.weights = weights_.data();
+  nr.t = t;
+  return exec_->nr_derivatives(nr);
+}
+
+double LikelihoodEngine::optimize_branch(int edge, int max_iterations) {
+  auto [u, v] = tree_->edge_nodes(edge);
+  if (tree_->is_tip(v)) std::swap(u, v);
+  RXC_ASSERT(!tree_->is_tip(v));
+
+  // Prerequisite newviews run (and are signaled) outside the compound;
+  // everything from the sumtable on is one offloaded makenewz unit.
+  if (!tree_->is_tip(u)) ensure_partial(tree_->dir_index(u, edge));
+  ensure_partial(tree_->dir_index(v, edge));
+  struct CompoundGuard {
+    KernelExecutor* exec;
+    explicit CompoundGuard(KernelExecutor* e) : exec(e) {}
+    ~CompoundGuard() { exec->end_compound(); }
+  };
+  exec_->begin_compound();
+  CompoundGuard compound(exec_);
+  prepare_branch(edge);
+
+  NrTask nr;
+  nr.ctx = context();
+  nr.sumtable = sumtable_.data();
+  nr.np = np_;
+  nr.weights = weights_.data();
+
+  double t = std::clamp(tree_->branch_length(edge), kMinBranch, kMaxBranch);
+  double best_t = t;
+  double best_lnl = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    nr.t = t;
+    const NrResult res = exec_->nr_derivatives(nr);
+    if (res.lnl > best_lnl) {
+      best_lnl = res.lnl;
+      best_t = t;
+    }
+    double t_new;
+    if (res.d2 < 0.0) {
+      t_new = t - res.d1 / res.d2;  // Newton step toward the maximum
+    } else {
+      t_new = res.d1 > 0.0 ? t * 2.0 : t * 0.5;  // fall back to doubling
+    }
+    t_new = std::clamp(t_new, kMinBranch, kMaxBranch);
+    if (std::fabs(t_new - t) < 1e-10 * (1.0 + t)) {
+      t = t_new;
+      nr.t = t;
+      const NrResult final_res = exec_->nr_derivatives(nr);
+      if (final_res.lnl > best_lnl) {
+        best_lnl = final_res.lnl;
+        best_t = t;
+      }
+      break;
+    }
+    t = t_new;
+  }
+
+  tree_->set_branch_length(edge, best_t);
+  on_branch_changed(edge);
+  // best_lnl excludes the (t-independent) scaling corrections; fold them in
+  // so callers get the absolute log-likelihood.  The dir-toward partials
+  // stay valid across the branch change.
+  const int dv = tree_->dir_index(v, edge);
+  const std::int32_t* sv = scale_ptr(dv);
+  const std::int32_t* su =
+      tree_->is_tip(u) ? nullptr : scale_ptr(tree_->dir_index(u, edge));
+  for (std::size_t p = 0; p < np_; ++p) {
+    const double count =
+        static_cast<double>(sv[p] + (su ? su[p] : 0));
+    best_lnl -= count * weights_[p] * kLogScaleFactor;
+  }
+  return best_lnl;
+}
+
+double LikelihoodEngine::optimize_all_branches(int max_passes,
+                                               double epsilon) {
+  double prev = log_likelihood();
+  for (int pass = 0; pass < max_passes; ++pass) {
+    for (std::size_t e = 0; e < tree_->edge_slots(); ++e)
+      if (tree_->edge_alive(static_cast<int>(e)))
+        optimize_branch(static_cast<int>(e));
+    const double now = log_likelihood();
+    RXC_ASSERT_MSG(now > prev - 1e-4,
+                   "branch optimization decreased the likelihood");
+    if (now - prev < epsilon) return now;
+    prev = now;
+  }
+  return prev;
+}
+
+void LikelihoodEngine::assign_cat_categories() {
+  RXC_REQUIRE(cfg_.mode == RateMode::kCat,
+              "assign_cat_categories requires CAT mode");
+  // Score every pattern under every palette rate by forcing all patterns
+  // into category c and reading site log-likelihoods.
+  int eval_edge = -1;
+  for (std::size_t e = 0; e < tree_->edge_slots(); ++e)
+    if (tree_->edge_alive(static_cast<int>(e))) {
+      eval_edge = static_cast<int>(e);
+      break;
+    }
+  RXC_ASSERT(eval_edge >= 0);
+
+
+  std::vector<double> best_lnl(np_, -std::numeric_limits<double>::infinity());
+  std::vector<int> best_cat(np_, 0);
+  for (int c = 0; c < cfg_.categories; ++c) {
+    std::fill(cat_.begin(), cat_.end(), c);
+    invalidate_all();
+    const std::vector<double> site = site_log_likelihoods(eval_edge);
+    for (std::size_t p = 0; p < np_; ++p) {
+      if (site[p] > best_lnl[p]) {
+        best_lnl[p] = site[p];
+        best_cat[p] = c;
+      }
+    }
+  }
+  std::copy(best_cat.begin(), best_cat.end(), cat_.begin());
+
+  // Renormalize palette: weighted mean rate == 1.
+  double wsum = 0.0, rsum = 0.0;
+  for (std::size_t p = 0; p < np_; ++p) {
+    wsum += weights_[p];
+    rsum += weights_[p] * rates_[cat_[p]];
+  }
+  RXC_ASSERT(rsum > 0.0);
+  const double scale = wsum / rsum;
+  for (double& r : rates_) r *= scale;
+  invalidate_all();
+}
+
+void LikelihoodEngine::set_gamma_alpha(double alpha) {
+  RXC_REQUIRE(cfg_.mode == RateMode::kGamma,
+              "set_gamma_alpha requires GAMMA mode");
+  RXC_REQUIRE(alpha > 0.0, "alpha must be positive");
+  cfg_.alpha = alpha;
+  rates_ = model::DiscreteGamma::make(alpha,
+                                      static_cast<std::size_t>(cfg_.categories))
+               .rates;
+  invalidate_all();
+  ++epoch_;
+}
+
+void LikelihoodEngine::set_model(const model::DnaModel& m) {
+  m.validate();
+  cfg_.model = m;
+  es_ = model::decompose(m);
+  invalidate_all();
+  ++epoch_;
+}
+
+double LikelihoodEngine::score_insertion(const tree::Tree::PruneRecord& rec,
+                                         int target_edge) {
+  RXC_ASSERT(tree_->edge_alive(target_edge));
+  RXC_ASSERT(target_edge != rec.merged_edge);
+  const int edge_xs = tree_->edge_between(rec.x, rec.s);
+  RXC_ASSERT(edge_xs >= 0);
+
+  const auto [c, d] = tree_->edge_nodes(target_edge);
+  const double half = tree_->branch_length(target_edge) * 0.5;
+
+  // Step 1: newview into the scratch slot — the partial at the would-be
+  // inserted node x, looking toward d: combine the moved subtree (through
+  // the x—s branch) with c's subtree (through half the target branch).
+  const int scratch = static_cast<int>(ndirs_);
+  NewviewTask task;
+  task.ctx = context();
+  task.np = np_;
+
+  ChildRef moved;
+  if (tree_->is_tip(rec.s)) {
+    moved.tip = pa_->row(rec.s);
+  } else {
+    const int ds = tree_->dir_index(rec.s, edge_xs);
+    ensure_partial(ds);
+    moved.partial = partial_ptr(ds);
+    moved.scale = scale_ptr(ds);
+  }
+  ChildRef cside = [&]() -> ChildRef {
+    ChildRef ref;
+    if (tree_->is_tip(c)) {
+      ref.tip = pa_->row(c);
+    } else {
+      const int dc = tree_->dir_index(c, target_edge);
+      ensure_partial(dc);
+      ref.partial = partial_ptr(dc);
+      ref.scale = scale_ptr(dc);
+    }
+    return ref;
+  }();
+
+  // Canonical order: tip child first.
+  const bool moved_first = moved.tip != nullptr || cside.tip == nullptr;
+  const ChildRef& first = moved_first ? moved : cside;
+  const ChildRef& second = moved_first ? cside : moved;
+  task.brlen1 = moved_first ? tree_->branch_length(edge_xs) : half;
+  task.brlen2 = moved_first ? half : tree_->branch_length(edge_xs);
+  task.tip1 = first.tip;
+  task.partial1 = first.partial;
+  task.scale1 = first.scale;
+  task.tip2 = second.tip;
+  task.partial2 = second.partial;
+  task.scale2 = second.scale;
+  task.out = partial_ptr(scratch);
+  task.scale_out = scale_ptr(scratch);
+  exec_->newview(task);
+
+  // Step 2: evaluate across the remaining half-branch to d's subtree.
+  EvaluateTask ev;
+  ev.ctx = context();
+  ev.brlen = half;
+  ev.np = np_;
+  if (tree_->is_tip(d)) {
+    ev.tip1 = pa_->row(d);
+  } else {
+    const int dd = tree_->dir_index(d, target_edge);
+    ensure_partial(dd);
+    ev.partial1 = partial_ptr(dd);
+    ev.scale1 = scale_ptr(dd);
+  }
+  ev.partial2 = partial_ptr(scratch);
+  ev.scale2 = scale_ptr(scratch);
+  ev.weights = weights_.data();
+  return exec_->evaluate(ev);
+}
+
+// --- invalidation ---------------------------------------------------------
+
+void LikelihoodEngine::invalidate_all() {
+  std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+void LikelihoodEngine::invalidate_away(int from_node, int via_edge) {
+  // Iterative DFS marking dir(n -> next) for every step leading away from
+  // via_edge: those partials' subtrees contain the changed edge.
+  std::vector<std::pair<int, int>> stack{{from_node, via_edge}};
+  while (!stack.empty()) {
+    const auto [node, via] = stack.back();
+    stack.pop_back();
+    for (const auto& nb : tree_->neighbors(node)) {
+      if (nb.edge == via) continue;
+      valid_[tree_->dir_index(node, nb.edge)] = 0;
+      if (!tree_->is_tip(nb.node)) stack.push_back({nb.node, nb.edge});
+    }
+  }
+}
+
+void LikelihoodEngine::invalidate_slot(int edge) {
+  valid_[2 * edge] = 0;
+  valid_[2 * edge + 1] = 0;
+}
+
+void LikelihoodEngine::on_branch_changed(int edge) {
+  const auto [a, b] = tree_->edge_nodes(edge);
+  invalidate_away(a, edge);
+  invalidate_away(b, edge);
+}
+
+void LikelihoodEngine::on_prune(const tree::Tree::PruneRecord& rec) {
+  invalidate_slot(rec.merged_edge);
+  invalidate_slot(rec.edge_xb);  // dead slot: stale contents
+  const auto [a, b] = tree_->edge_nodes(rec.merged_edge);
+  invalidate_away(a, rec.merged_edge);
+  invalidate_away(b, rec.merged_edge);
+}
+
+void LikelihoodEngine::on_regraft(int target_edge, int reuse_edge) {
+  invalidate_slot(target_edge);
+  invalidate_slot(reuse_edge);
+  for (const int e : {target_edge, reuse_edge}) {
+    const auto [a, b] = tree_->edge_nodes(e);
+    invalidate_away(a, e);
+    invalidate_away(b, e);
+  }
+}
+
+void LikelihoodEngine::on_restore(const tree::Tree::PruneRecord& rec) {
+  on_regraft(rec.edge_xa, rec.edge_xb);
+}
+
+}  // namespace rxc::lh

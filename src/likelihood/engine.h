@@ -1,0 +1,191 @@
+#pragma once
+/// \file engine.h
+/// Likelihood engine: owns partial-likelihood caches keyed by directed tree
+/// edge, tracks their validity across tree edits, and exposes the three
+/// RAxML hot operations on top of a pluggable KernelExecutor:
+///
+///   evaluate(edge)        — log-likelihood across one branch (paper's
+///                           evaluate(), 2.37% of runtime)
+///   ensure / newview      — partial-vector recomputation (newview(), 76.8%)
+///   optimize_branch(edge) — Newton-Raphson branch length (makenewz(), 19.2%)
+///
+/// plus lazy-SPR insertion scoring (score_insertion) used by the search.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "likelihood/executor.h"
+#include "model/rates.h"
+#include "seq/patterns.h"
+#include "support/aligned.h"
+#include "tree/tree.h"
+
+namespace rxc::lh {
+
+struct EngineConfig {
+  model::DnaModel model = model::DnaModel::gtr(
+      {1.2, 3.1, 0.9, 1.1, 3.4, 1.0}, {0.30, 0.21, 0.24, 0.25});
+  RateMode mode = RateMode::kCat;
+  /// Rate categories: Gamma quadrature points, or the CAT palette size
+  /// (RAxML uses up to 25; the paper's exp-call count implies 25).
+  int categories = 25;
+  /// Gamma shape (mode == kGamma only).
+  double alpha = 1.0;
+  /// Kernel knobs for the built-in host executor (stages II/III/V).
+  KernelConfig kernels;
+};
+
+class LikelihoodEngine {
+public:
+  /// The engine keeps pointers into `pa`; it must outlive the engine.
+  LikelihoodEngine(const seq::PatternAlignment& pa, EngineConfig config);
+
+  /// Attaches a tree (must have all taxa of `pa`, fully grown).  The engine
+  /// observes but does not own it.  Invalidates all caches.
+  void set_tree(tree::Tree* tree);
+  tree::Tree* tree() const { return tree_; }
+
+  /// Routes kernels through `executor` (e.g. the simulated-Cell executor).
+  /// Pass nullptr to return to the built-in host executor.
+  void set_executor(KernelExecutor* executor);
+  KernelExecutor& executor() { return *exec_; }
+  HostExecutor& host_executor() { return host_exec_; }
+
+  /// Replaces per-pattern weights (bootstrap replicate).  Partials are
+  /// unaffected; only evaluate/optimize results change.
+  void set_pattern_weights(const std::vector<double>& weights);
+  std::span<const double> pattern_weights() const {
+    return {weights_.data(), np_};
+  }
+
+  // --- core operations --------------------------------------------------
+
+  /// Log-likelihood across `edge` (recomputes stale partials on demand).
+  double evaluate(int edge);
+
+  /// Log-likelihood at an arbitrary edge — by the pulley principle the
+  /// value is independent of the choice.
+  double log_likelihood();
+
+  /// Per-pattern log-likelihoods at `edge` (size pattern_count()).
+  std::vector<double> site_log_likelihoods(int edge);
+
+  /// Newton-Raphson branch-length optimization of `edge`.  Returns the
+  /// optimized log-likelihood contribution measure (full lnl at this edge).
+  double optimize_branch(int edge, int max_iterations = 32);
+
+  /// Lower-level makenewz pieces for external optimizers (the partitioned
+  /// engine's joint branch optimization): prepare_branch builds the
+  /// sumtable for `edge`; branch_derivatives then evaluates (lnl, d1, d2)
+  /// at candidate lengths without rebuilding it.  The returned lnl excludes
+  /// the t-independent scaling corrections.
+  void prepare_branch(int edge);
+  NrResult branch_derivatives(double t);
+
+  /// Optimizes every branch, up to `max_passes` sweeps or until a sweep
+  /// improves the log-likelihood by less than `epsilon`.  Returns final lnl.
+  double optimize_all_branches(int max_passes = 8, double epsilon = 1e-3);
+
+  /// CAT mode: assigns each pattern the palette category that maximizes its
+  /// site likelihood on the current tree, then renormalizes the palette so
+  /// the weighted mean rate is 1.  Call after an initial branch-length
+  /// optimization pass.
+  void assign_cat_categories();
+
+  /// GAMMA mode: replaces the shape parameter (rates are re-derived) and
+  /// invalidates all caches.  Used by the model-parameter optimizer.
+  void set_gamma_alpha(double alpha);
+  double gamma_alpha() const { return cfg_.alpha; }
+
+  /// Replaces the substitution model (re-decomposes Q) and invalidates all
+  /// caches.  Frequencies and exchangeabilities both come from `model`.
+  void set_model(const model::DnaModel& m);
+  const model::DnaModel& model() const { return cfg_.model; }
+
+  /// Lazy-SPR insertion score: likelihood of regrafting the pruned subtree
+  /// (from `rec`, tree currently in pruned state) into `target_edge`,
+  /// WITHOUT modifying the tree.  Uses one newview into scratch plus one
+  /// evaluate — the exact kernel mix RAxML's insertion test offloads.
+  double score_insertion(const tree::Tree::PruneRecord& rec, int target_edge);
+
+  // --- cache invalidation hooks (call after the matching tree edit) ------
+
+  void invalidate_all();
+  void on_branch_changed(int edge);
+  void on_prune(const tree::Tree::PruneRecord& rec);
+  void on_regraft(int target_edge, int reuse_edge);
+  void on_restore(const tree::Tree::PruneRecord& rec);
+
+  // --- introspection ------------------------------------------------------
+
+  const KernelCounters& counters() const { return exec_->counters(); }
+  void reset_counters() { exec_->reset_counters(); }
+  const model::EigenSystem& eigen() const { return es_; }
+  const std::vector<double>& rates() const { return rates_; }
+  std::span<const int> cat_assignment() const { return {cat_.data(), cat_.empty() ? 0 : np_}; }
+  /// Bumps whenever weights or CAT assignments change (lets executors with
+  /// staged copies refresh lazily).
+  std::uint64_t mutation_epoch() const { return epoch_; }
+  std::size_t pattern_count() const { return np_; }
+  /// Entries per partial strip (np*4 for CAT, np*ncat*4 for GAMMA).
+  std::size_t partial_stride() const { return stride_; }
+  /// Direct read access to a directed-edge partial (tests).
+  const double* partial_data(int dir) const {
+    return partials_.data() + static_cast<std::size_t>(dir) * stride_;
+  }
+  bool partial_valid(int dir) const { return valid_[dir] != 0; }
+
+private:
+  TaskContext context() const;
+  double* partial_ptr(int dir) {
+    return partials_.data() + static_cast<std::size_t>(dir) * stride_;
+  }
+  std::int32_t* scale_ptr(int dir) {
+    return scales_.data() + static_cast<std::size_t>(dir) * scale_stride_;
+  }
+  /// Recomputes (iteratively) all stale partials the directed edge needs.
+  void ensure_partial(int dir);
+  /// Computes one partial assuming its children are fresh.
+  void compute_partial(int dir);
+  /// Marks invalid every directed edge pointing away from `edge`, on the
+  /// `from_node` side.
+  void invalidate_away(int from_node, int via_edge);
+  /// Invalidates both directions of `edge`'s slot.
+  void invalidate_slot(int edge);
+
+  /// Fills task child fields for the subtree behind directed edge
+  /// (child_node -> parent), canonicalizing tips.
+  struct ChildRef {
+    const seq::DnaCode* tip = nullptr;
+    const double* partial = nullptr;
+    const std::int32_t* scale = nullptr;
+  };
+  ChildRef child_ref(int child_node, int edge);
+
+  const seq::PatternAlignment* pa_;
+  EngineConfig cfg_;
+  model::EigenSystem es_;
+  std::vector<double> rates_;
+  // cat_/weights_ are padded to DMA-legal strides (see support/aligned.h)
+  // so the simulated-SPE executor can strip-DMA them directly.
+  aligned_vector<int> cat_;
+  aligned_vector<double> weights_;
+  std::uint64_t epoch_ = 0;
+  tree::Tree* tree_ = nullptr;
+
+  HostExecutor host_exec_;
+  KernelExecutor* exec_;
+
+  std::size_t np_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t scale_stride_ = 0;  ///< padded to a multiple of 4 entries
+  std::size_t ndirs_ = 0;  ///< 2*edge_slots, fixed once a tree is attached
+  aligned_vector<double> partials_;     ///< (ndirs+1) strips; last is scratch
+  std::vector<std::int32_t> scales_;    ///< (ndirs+1) x np
+  std::vector<std::uint8_t> valid_;
+  aligned_vector<double> sumtable_;
+  aligned_vector<double> site_scratch_;  ///< padded per-site lnl output
+};
+
+}  // namespace rxc::lh

@@ -1,0 +1,117 @@
+#include "likelihood/executor.h"
+
+#include "support/error.h"
+
+namespace rxc::lh {
+
+HostExecutor::HostExecutor(KernelConfig config) : config_(config) {}
+
+double* HostExecutor::pmat_scratch(int ncat) {
+  const std::size_t need = 2 * static_cast<std::size_t>(ncat) * 16;
+  if (pmat_.size() < need) pmat_.resize(need);
+  return pmat_.data();
+}
+
+void HostExecutor::newview(const NewviewTask& task) {
+  const auto& ctx = task.ctx;
+  double* pm = pmat_scratch(ctx.ncat);
+  double* pm2 = pm + static_cast<std::size_t>(ctx.ncat) * 16;
+  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
+                                         task.brlen1, config_.exp_fn, pm);
+  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
+                                         task.brlen2, config_.exp_fn, pm2);
+  counters_.pmatrix_builds += 2;
+
+  NewviewArgs args;
+  args.pmat1 = pm;
+  args.pmat2 = pm2;
+  args.ncat = ctx.ncat;
+  args.cat = ctx.cat;
+  args.np = task.np;
+  args.tip1 = task.tip1;
+  args.partial1 = task.partial1;
+  args.scale1 = task.scale1;
+  args.tip2 = task.tip2;
+  args.partial2 = task.partial2;
+  args.scale2 = task.scale2;
+  args.out = task.out;
+  args.scale_out = task.scale_out;
+  args.scaling = config_.scaling;
+
+  std::uint64_t scale_events;
+  if (ctx.mode == RateMode::kCat) {
+    scale_events = config_.simd ? newview_cat_simd(args) : newview_cat(args);
+  } else {
+    scale_events =
+        config_.simd ? newview_gamma_simd(args) : newview_gamma(args);
+  }
+  counters_.scale_events += scale_events;
+  ++counters_.newview_calls;
+  counters_.newview_patterns += task.np;
+}
+
+double HostExecutor::evaluate(const EvaluateTask& task) {
+  const auto& ctx = task.ctx;
+  double* pm = pmat_scratch(ctx.ncat);
+  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
+                                         task.brlen, config_.exp_fn, pm);
+  ++counters_.pmatrix_builds;
+
+  EvaluateArgs args;
+  args.pmat = pm;
+  args.freqs = ctx.es->freqs.data();
+  args.ncat = ctx.ncat;
+  args.cat = ctx.cat;
+  args.np = task.np;
+  args.tip1 = task.tip1;
+  args.partial1 = task.partial1;
+  args.scale1 = task.scale1;
+  args.partial2 = task.partial2;
+  args.scale2 = task.scale2;
+  args.weights = task.weights;
+  args.site_lnl_out = task.site_lnl_out;
+
+  ++counters_.evaluate_calls;
+  if (ctx.mode == RateMode::kCat)
+    return config_.simd ? evaluate_cat_simd(args) : evaluate_cat(args);
+  return config_.simd ? evaluate_gamma_simd(args) : evaluate_gamma(args);
+}
+
+void HostExecutor::sumtable(const SumtableTask& task) {
+  SumtableArgs args;
+  args.es = task.ctx.es;
+  args.ncat = task.ctx.ncat;
+  args.np = task.np;
+  args.tip1 = task.tip1;
+  args.partial1 = task.partial1;
+  args.partial2 = task.partial2;
+  args.out = task.out;
+  ++counters_.sumtable_calls;
+  if (task.ctx.mode == RateMode::kCat) {
+    config_.simd ? make_sumtable_cat_simd(args) : make_sumtable_cat(args);
+  } else {
+    config_.simd ? make_sumtable_gamma_simd(args)
+                 : make_sumtable_gamma(args);
+  }
+}
+
+NrResult HostExecutor::nr_derivatives(const NrTask& task) {
+  NrArgs args;
+  args.sumtable = task.sumtable;
+  args.lambda = task.ctx.es->lambda.data();
+  args.rates = task.ctx.rates;
+  args.ncat = task.ctx.ncat;
+  args.cat = task.ctx.cat;
+  args.np = task.np;
+  args.weights = task.weights;
+  args.t = task.t;
+  args.exp_fn = config_.exp_fn;
+  ++counters_.nr_calls;
+  const NrResult result = task.ctx.mode == RateMode::kCat
+                              ? nr_derivatives_cat(args)
+                              : nr_derivatives_gamma(args);
+  counters_.exp_calls += result.exp_calls;
+  return result;
+}
+
+}  // namespace rxc::lh

@@ -1,0 +1,123 @@
+#pragma once
+/// \file executor.h
+/// Kernel execution boundary.
+///
+/// The LikelihoodEngine (engine.h) decides *what* to compute — which
+/// partials are stale, which branch to optimize — and hands each kernel
+/// invocation to a KernelExecutor.  HostExecutor runs the kernels directly
+/// on host memory; the Cell port (core/spe_executor.h) runs the *same*
+/// kernels on simulated SPE local stores behind DMA, charging virtual
+/// cycles.  This mirrors the paper's function-offloading boundary: the
+/// offloaded units are exactly newview, evaluate, and the two inner pieces
+/// of makenewz.
+///
+/// Tasks carry branch lengths rather than prebuilt transition matrices:
+/// the matrices are built inside the invocation (the paper's "first loop",
+/// where exp() lives), so the executor owns that cost.
+
+#include <cstdint>
+
+#include "likelihood/kernels.h"
+#include "model/dna_model.h"
+#include "support/aligned.h"
+
+namespace rxc::lh {
+
+/// Shared rate/model context for one task.
+struct TaskContext {
+  const model::EigenSystem* es = nullptr;
+  const double* rates = nullptr;  ///< ncat category rates
+  int ncat = 1;
+  const int* cat = nullptr;       ///< per-pattern categories (CAT) or null
+  RateMode mode = RateMode::kCat;
+};
+
+struct NewviewTask {
+  TaskContext ctx;
+  double brlen1 = 0.0, brlen2 = 0.0;
+  std::size_t np = 0;
+  const seq::DnaCode* tip1 = nullptr;
+  const double* partial1 = nullptr;
+  const std::int32_t* scale1 = nullptr;
+  const seq::DnaCode* tip2 = nullptr;
+  const double* partial2 = nullptr;
+  const std::int32_t* scale2 = nullptr;
+  double* out = nullptr;
+  std::int32_t* scale_out = nullptr;
+};
+
+struct EvaluateTask {
+  TaskContext ctx;
+  double brlen = 0.0;
+  std::size_t np = 0;
+  const seq::DnaCode* tip1 = nullptr;
+  const double* partial1 = nullptr;
+  const std::int32_t* scale1 = nullptr;
+  const double* partial2 = nullptr;
+  const std::int32_t* scale2 = nullptr;
+  const double* weights = nullptr;
+  double* site_lnl_out = nullptr;
+};
+
+struct SumtableTask {
+  TaskContext ctx;
+  std::size_t np = 0;
+  const seq::DnaCode* tip1 = nullptr;
+  const double* partial1 = nullptr;
+  const double* partial2 = nullptr;
+  double* out = nullptr;
+};
+
+struct NrTask {
+  TaskContext ctx;
+  const double* sumtable = nullptr;
+  std::size_t np = 0;
+  const double* weights = nullptr;
+  double t = 0.0;
+};
+
+class KernelExecutor {
+public:
+  virtual ~KernelExecutor() = default;
+  virtual void newview(const NewviewTask& task) = 0;
+  virtual double evaluate(const EvaluateTask& task) = 0;
+  virtual void sumtable(const SumtableTask& task) = 0;
+  virtual NrResult nr_derivatives(const NrTask& task) = 0;
+
+  /// Brackets a makenewz sequence (one sumtable + its Newton iterations).
+  /// RAxML offloads makenewz as a single unit, so an offloading executor
+  /// signals once per compound rather than once per inner kernel.  Default:
+  /// no-op.
+  virtual void begin_compound() {}
+  virtual void end_compound() {}
+
+  const KernelCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+protected:
+  KernelCounters counters_;
+};
+
+/// Runs kernels directly on host memory with a given KernelConfig
+/// (exp variant, conditional variant, SIMD on/off).
+class HostExecutor final : public KernelExecutor {
+public:
+  explicit HostExecutor(KernelConfig config = {});
+
+  void set_config(KernelConfig config) { config_ = config; }
+  const KernelConfig& config() const { return config_; }
+
+  void newview(const NewviewTask& task) override;
+  double evaluate(const EvaluateTask& task) override;
+  void sumtable(const SumtableTask& task) override;
+  NrResult nr_derivatives(const NrTask& task) override;
+
+private:
+  /// Grows and returns the pmatrix scratch (2 * ncat * 16 doubles).
+  double* pmat_scratch(int ncat);
+
+  KernelConfig config_;
+  aligned_vector<double> pmat_;
+};
+
+}  // namespace rxc::lh

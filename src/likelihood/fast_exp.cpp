@@ -1,0 +1,57 @@
+#include "likelihood/fast_exp.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace rxc::lh {
+
+double exp_libm(double x) { return std::exp(x); }
+
+double exp_sdk(double x) {
+  // exp(x) = 2^(x * log2(e)) = 2^n * 2^f,  n integer, f in [-0.5, 0.5].
+  if (x > 709.0) return std::numeric_limits<double>::infinity();
+  if (x < -708.0) return 0.0;
+
+  constexpr double kLog2e = 1.4426950408889634074;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;  // ln2 split for
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;  // exact reduction
+  const double t = x * kLog2e;
+  const double n = std::nearbyint(t);
+  // r = x - n*ln2, computed in two pieces to keep r fully accurate.
+  const double r = (x - n * kLn2Hi) - n * kLn2Lo;
+
+  // e^r on r in [-0.347, 0.347]: Taylor through degree 11 (truncation error
+  // r^12/12! < 4e-14 at the interval edge, well below double rounding noise
+  // after the 2^n scale).  Horner.
+  const double r2 = r * r;
+  double p = 1.0 / 39916800.0;   // 1/11!
+  p = p * r + 1.0 / 3628800.0;   // 1/10!
+  p = p * r + 1.0 / 362880.0;    // 1/9!
+  p = p * r + 1.0 / 40320.0;     // 1/8!
+  p = p * r + 1.0 / 5040.0;
+  p = p * r + 1.0 / 720.0;
+  p = p * r + 1.0 / 120.0;
+  p = p * r + 1.0 / 24.0;
+  p = p * r + 1.0 / 6.0;
+  p = p * r + 0.5;
+  const double er = 1.0 + r + p * r2;
+
+  // Assemble 2^n via the exponent field; n in [-1074, 1024] here.
+  const auto ni = static_cast<std::int64_t>(n);
+  if (ni < -1020 || ni > 1020) {
+    // Near the under/overflow edges split the scale in two to avoid
+    // constructing a denormal/inf scale factor directly.
+    const std::int64_t half = ni / 2;
+    const double s1 =
+        std::bit_cast<double>(static_cast<std::uint64_t>(half + 1023) << 52);
+    const double s2 = std::bit_cast<double>(
+        static_cast<std::uint64_t>(ni - half + 1023) << 52);
+    return er * s1 * s2;
+  }
+  const double scale =
+      std::bit_cast<double>(static_cast<std::uint64_t>(ni + 1023) << 52);
+  return er * scale;
+}
+
+}  // namespace rxc::lh

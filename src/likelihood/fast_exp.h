@@ -1,0 +1,33 @@
+#pragma once
+/// \file fast_exp.h
+/// Exponential function variants (paper §5.2.2).
+///
+/// On the real SPE, libm's exp() dominated newview() (50% of SPE time at
+/// ~150 calls per invocation) and was replaced with the Cell SDK's numerical
+/// exp.  We reproduce both sides of that swap: `exp_libm` forwards to the
+/// host libm, `exp_sdk` is a from-scratch numerical method in the SDK's
+/// style (range reduction by log2(e), 2^f via a degree-6 minimax polynomial,
+/// exponent reassembly through the IEEE-754 bit layout).  The simulator
+/// charges different cycle costs for the two (cell/cost_params.h).
+
+#include <cstdint>
+
+namespace rxc::lh {
+
+/// Function-pointer type the transition-matrix kernels accept.
+using ExpFn = double (*)(double);
+
+/// Forwarding wrapper around std::exp (the "math library" baseline).
+double exp_libm(double x);
+
+/// SDK-style numerical exp.  Max relative error below 3e-14 on
+/// [-60, 1] (the range of lambda*rate*branch products the kernels produce;
+/// lambda <= 0 and branch lengths are capped).  Saturates to 0 for
+/// x < -708 and to +inf for x > 709 like libm.
+double exp_sdk(double x);
+
+/// Upper bound for |branch * rate * lambda| inputs the kernels generate;
+/// tests verify exp_sdk's error bound over [-kExpDomain, 1].
+inline constexpr double kExpDomain = 60.0;
+
+}  // namespace rxc::lh

@@ -1,0 +1,325 @@
+#include "likelihood/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include "likelihood/tip_table.h"
+#include "support/error.h"
+
+namespace rxc::lh {
+
+KernelCounters& KernelCounters::operator+=(const KernelCounters& o) {
+  newview_calls += o.newview_calls;
+  newview_patterns += o.newview_patterns;
+  evaluate_calls += o.evaluate_calls;
+  sumtable_calls += o.sumtable_calls;
+  nr_calls += o.nr_calls;
+  pmatrix_builds += o.pmatrix_builds;
+  exp_calls += o.exp_calls;
+  scale_events += o.scale_events;
+  return *this;
+}
+
+std::uint64_t build_pmatrices(const model::EigenSystem& es,
+                              const double* rates, int ncat, double brlen,
+                              ExpFn exp_fn, double* out) {
+  RXC_ASSERT(brlen >= 0.0);
+  std::uint64_t exp_calls = 0;
+  for (int c = 0; c < ncat; ++c) {
+    double diag[4];
+    diag[0] = 1.0;  // lambda[0] == 0: exp(0) == 1, no call (paper counts 3/cat)
+    for (int k = 1; k < 4; ++k) {
+      diag[k] = exp_fn(es.lambda[k] * rates[c] * brlen);
+      ++exp_calls;
+    }
+    double* p = out + c * 16;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        double sum = 0.0;
+        for (int k = 0; k < 4; ++k)
+          sum += es.u[i * 4 + k] * diag[k] * es.v[k * 4 + j];
+        p[i * 4 + j] = sum;
+      }
+  }
+  return exp_calls;
+}
+
+namespace {
+
+/// Fetches the 4-vector of child conditional likelihoods for pattern p:
+/// either a tip-table row or a slice of an inner partial.
+inline const double* child_vec_cat(const seq::DnaCode* tip,
+                                   const double* partial, std::size_t p) {
+  return tip ? kTipTable.row(tip[p]) : partial + p * 4;
+}
+
+inline std::int32_t scale_of(const std::int32_t* scale, std::size_t p) {
+  return scale ? scale[p] : 0;
+}
+
+}  // namespace
+
+namespace {
+
+/// The CAT newview loop, specialized per child-type combination — RAxML
+/// keeps "distinct, highly optimized versions of the loop" for the
+/// tip-tip / tip-inner / inner-inner cases (paper §5.2.3); the templates
+/// let the compiler drop the per-pattern child-type branches.
+template <bool kTip1, bool kTip2>
+std::uint64_t newview_cat_loop(const NewviewArgs& a) {
+  std::uint64_t scale_events = 0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double* p1 = a.pmat1 + c * 16;
+    const double* p2 = a.pmat2 + c * 16;
+    const double* l1 =
+        kTip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    const double* l2 =
+        kTip2 ? kTipTable.row(a.tip2[p]) : a.partial2 + p * 4;
+    double* out = a.out + p * 4;
+    for (int i = 0; i < 4; ++i) {
+      const double s1 = p1[i * 4 + 0] * l1[0] + p1[i * 4 + 1] * l1[1] +
+                        p1[i * 4 + 2] * l1[2] + p1[i * 4 + 3] * l1[3];
+      const double s2 = p2[i * 4 + 0] * l2[0] + p2[i * 4 + 1] * l2[1] +
+                        p2[i * 4 + 2] * l2[2] + p2[i * 4 + 3] * l2[3];
+      out[i] = s1 * s2;
+    }
+    // Tip children carry no scale counts; the compiler elides the reads.
+    std::int32_t scale = (kTip1 ? 0 : scale_of(a.scale1, p)) +
+                         (kTip2 ? 0 : scale_of(a.scale2, p));
+    if (needs_scaling(a.scaling, out, 4)) {
+      for (int i = 0; i < 4; ++i) out[i] *= kScaleFactor;
+      ++scale;
+      ++scale_events;
+    }
+    a.scale_out[p] = scale;
+  }
+  return scale_events;
+}
+
+}  // namespace
+
+std::uint64_t newview_cat(const NewviewArgs& a) {
+  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  RXC_ASSERT(a.tip2 || a.partial2);
+  RXC_ASSERT(!(a.tip2 && a.partial1));  // canonical order: tip first
+  if (a.tip1 && a.tip2) return newview_cat_loop<true, true>(a);
+  if (a.tip1) return newview_cat_loop<true, false>(a);
+  return newview_cat_loop<false, false>(a);
+}
+
+std::uint64_t newview_gamma(const NewviewArgs& a) {
+  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  RXC_ASSERT(a.tip2 || a.partial2);
+  RXC_ASSERT(!(a.tip2 && a.partial1));
+  const int ncat = a.ncat;
+  std::uint64_t scale_events = 0;
+
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double* out = a.out + p * static_cast<std::size_t>(ncat) * 4;
+    for (int c = 0; c < ncat; ++c) {
+      const double* p1 = a.pmat1 + c * 16;
+      const double* p2 = a.pmat2 + c * 16;
+      const double* l1 =
+          a.tip1 ? kTipTable.row(a.tip1[p])
+                 : a.partial1 + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* l2 =
+          a.tip2 ? kTipTable.row(a.tip2[p])
+                 : a.partial2 + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      double* o = out + c * 4;
+      for (int i = 0; i < 4; ++i) {
+        const double s1 = p1[i * 4 + 0] * l1[0] + p1[i * 4 + 1] * l1[1] +
+                          p1[i * 4 + 2] * l1[2] + p1[i * 4 + 3] * l1[3];
+        const double s2 = p2[i * 4 + 0] * l2[0] + p2[i * 4 + 1] * l2[1] +
+                          p2[i * 4 + 2] * l2[2] + p2[i * 4 + 3] * l2[3];
+        o[i] = s1 * s2;
+      }
+    }
+    std::int32_t scale = scale_of(a.scale1, p) + scale_of(a.scale2, p);
+    if (needs_scaling(a.scaling, out, ncat * 4)) {
+      for (int i = 0; i < ncat * 4; ++i) out[i] *= kScaleFactor;
+      ++scale;
+      ++scale_events;
+    }
+    a.scale_out[p] = scale;
+  }
+  return scale_events;
+}
+
+double evaluate_cat(const EvaluateArgs& a) {
+  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  double lnl = 0.0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double* pm = a.pmat + c * 16;
+    const double* va = child_vec_cat(a.tip1, a.partial1, p);
+    const double* vb = a.partial2 + p * 4;
+    double term = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      const double bi = pm[i * 4 + 0] * vb[0] + pm[i * 4 + 1] * vb[1] +
+                        pm[i * 4 + 2] * vb[2] + pm[i * 4 + 3] * vb[3];
+      term += a.freqs[i] * va[i] * bi;
+    }
+    if (term < 1e-300) term = 1e-300;
+    const double scale =
+        static_cast<double>(scale_of(a.scale1, p) + scale_of(a.scale2, p));
+    const double site = std::log(term) - scale * kLogScaleFactor;
+    if (a.site_lnl_out) a.site_lnl_out[p] = site;
+    lnl += a.weights[p] * site;
+  }
+  return lnl;
+}
+
+double evaluate_gamma(const EvaluateArgs& a) {
+  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  const int ncat = a.ncat;
+  const double catw = 1.0 / static_cast<double>(ncat);
+  double lnl = 0.0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double term = 0.0;
+    for (int c = 0; c < ncat; ++c) {
+      const double* pm = a.pmat + c * 16;
+      const double* va =
+          a.tip1 ? kTipTable.row(a.tip1[p])
+                 : a.partial1 + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* vb = a.partial2 + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      for (int i = 0; i < 4; ++i) {
+        const double bi = pm[i * 4 + 0] * vb[0] + pm[i * 4 + 1] * vb[1] +
+                          pm[i * 4 + 2] * vb[2] + pm[i * 4 + 3] * vb[3];
+        term += a.freqs[i] * va[i] * bi;
+      }
+    }
+    term *= catw;
+    if (term < 1e-300) term = 1e-300;
+    const double scale =
+        static_cast<double>(scale_of(a.scale1, p) + scale_of(a.scale2, p));
+    const double site = std::log(term) - scale * kLogScaleFactor;
+    if (a.site_lnl_out) a.site_lnl_out[p] = site;
+    lnl += a.weights[p] * site;
+  }
+  return lnl;
+}
+
+void make_sumtable_cat(const SumtableArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.out);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  const auto& es = *a.es;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const double* va = child_vec_cat(a.tip1, a.partial1, p);
+    const double* vb = a.partial2 + p * 4;
+    double* s = a.out + p * 4;
+    for (int k = 0; k < 4; ++k) {
+      double left = 0.0, right = 0.0;
+      for (int i = 0; i < 4; ++i) {
+        left += es.freqs[i] * va[i] * es.u[i * 4 + k];
+        right += es.v[k * 4 + i] * vb[i];
+      }
+      s[k] = left * right;
+    }
+  }
+}
+
+void make_sumtable_gamma(const SumtableArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.out);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  const auto& es = *a.es;
+  const int ncat = a.ncat;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    for (int c = 0; c < ncat; ++c) {
+      const double* va =
+          a.tip1 ? kTipTable.row(a.tip1[p])
+                 : a.partial1 + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* vb = a.partial2 + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      double* s = a.out + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      for (int k = 0; k < 4; ++k) {
+        double left = 0.0, right = 0.0;
+        for (int i = 0; i < 4; ++i) {
+          left += es.freqs[i] * va[i] * es.u[i * 4 + k];
+          right += es.v[k * 4 + i] * vb[i];
+        }
+        s[k] = left * right;
+      }
+    }
+  }
+}
+
+NrResult nr_derivatives_cat(const NrArgs& a) {
+  RXC_ASSERT(a.sumtable && a.lambda && a.rates && a.weights);
+  NrResult r;
+  // Shared exponent table: e^{lambda_k * rate_c * t} for all (c, k).
+  // lambda[0] == 0 -> factor 1, no exp call (matches the paper's counting).
+  std::vector<double> etab(static_cast<std::size_t>(a.ncat) * 4);
+  for (int c = 0; c < a.ncat; ++c) {
+    etab[c * 4 + 0] = 1.0;
+    for (int k = 1; k < 4; ++k) {
+      etab[c * 4 + k] = a.exp_fn(a.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double rate = a.rates[c];
+    const double* s = a.sumtable + p * 4;
+    const double* e = etab.data() + c * 4;
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const double lam = a.lambda[k] * rate;
+      const double term = s[k] * e[k];
+      v += term;
+      d1 += lam * term;
+      d2 += lam * lam * term;
+    }
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+NrResult nr_derivatives_gamma(const NrArgs& a) {
+  RXC_ASSERT(a.sumtable && a.lambda && a.rates && a.weights);
+  NrResult r;
+  const int ncat = a.ncat;
+  std::vector<double> etab(static_cast<std::size_t>(ncat) * 4);
+  for (int c = 0; c < ncat; ++c) {
+    etab[c * 4 + 0] = 1.0;
+    for (int k = 1; k < 4; ++k) {
+      etab[c * 4 + k] = a.exp_fn(a.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  const double catw = 1.0 / static_cast<double>(ncat);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int c = 0; c < ncat; ++c) {
+      const double* s = a.sumtable + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* e = etab.data() + c * 4;
+      for (int k = 0; k < 4; ++k) {
+        const double lam = a.lambda[k] * a.rates[c];
+        const double term = s[k] * e[k];
+        v += term;
+        d1 += lam * term;
+        d2 += lam * lam * term;
+      }
+    }
+    v *= catw;
+    d1 *= catw;
+    d2 *= catw;
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+}  // namespace rxc::lh

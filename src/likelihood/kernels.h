@@ -1,0 +1,176 @@
+#pragma once
+/// \file kernels.h
+/// The three likelihood computation cores the paper offloads to SPEs
+/// (§5.2): partial-likelihood computation (newview), log-likelihood
+/// evaluation (evaluate) and the inner operations of branch-length
+/// optimization (makenewz: sumtable construction + Newton-Raphson
+/// derivatives).  All kernels are pure pointer-based strip functions so the
+/// same code runs on host memory and on simulated SPE local-store buffers.
+///
+/// Two among-site rate modes:
+///  - kCat:   each pattern has one rate category (RAxML's CAT, the paper's
+///            default with up to 25 categories).  Partial layout:
+///            [pattern][state], np*4 doubles.
+///  - kGamma: every pattern is averaged over all categories (discrete
+///            Gamma).  Partial layout: [pattern][cat][state], np*ncat*4.
+///
+/// Transition matrices are rebuilt inside every newview invocation (the
+/// paper's "first loop", the source of the ~150 exp() calls per call), via
+/// a pluggable ExpFn (stage II) and checked by a pluggable scaling
+/// conditional (stage III).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "likelihood/fast_exp.h"
+#include "likelihood/scaling.h"
+#include "model/dna_model.h"
+#include "seq/alignment.h"
+
+namespace rxc::lh {
+
+enum class RateMode { kCat, kGamma };
+
+/// Branch-length bounds (expected substitutions/site), RAxML-style; shared
+/// by the DNA and protein engines' Newton-Raphson optimizers.
+inline constexpr double kMinBranch = 1e-8;
+inline constexpr double kMaxBranch = 10.0;
+
+/// Kernel implementation knobs (paper optimization stages II, III, V).
+struct KernelConfig {
+  ExpFn exp_fn = &exp_libm;
+  ScalingCheck scaling = ScalingCheck::kFloatBranch;
+  bool simd = false;
+};
+
+/// Per-run observable kernel counters (used by tests and the cost model).
+struct KernelCounters {
+  std::uint64_t newview_calls = 0;
+  std::uint64_t newview_patterns = 0;  ///< sum of strip lengths
+  std::uint64_t evaluate_calls = 0;
+  std::uint64_t sumtable_calls = 0;
+  std::uint64_t nr_calls = 0;
+  std::uint64_t pmatrix_builds = 0;    ///< one per (matrix, invocation)
+  std::uint64_t exp_calls = 0;
+  std::uint64_t scale_events = 0;
+
+  KernelCounters& operator+=(const KernelCounters& o);
+};
+
+/// Builds `ncat` transition matrices P(brlen * rate[c]) into out[c*16..].
+/// Skips the exp for the zero eigenvalue (3 exp calls per category, per the
+/// paper's accounting).  Returns the number of exp() calls made.
+std::uint64_t build_pmatrices(const model::EigenSystem& es,
+                              const double* rates, int ncat, double brlen,
+                              ExpFn exp_fn, double* out);
+
+// ---------------------------------------------------------------------
+// newview
+
+struct NewviewArgs {
+  // Transition matrices for the two child branches, ncat*16 doubles each
+  // (built by the caller via build_pmatrices — on the SPE path they are
+  // built in local store).
+  const double* pmat1 = nullptr;
+  const double* pmat2 = nullptr;
+  int ncat = 1;
+  const int* cat = nullptr;  ///< per-pattern category (CAT mode; may be null => 0)
+
+  std::size_t np = 0;  ///< patterns in this strip
+
+  // Child 1: exactly one of tip1/partial1 set.  If exactly one child is a
+  // tip, it must be child 1 (callers canonicalize).
+  const seq::DnaCode* tip1 = nullptr;
+  const double* partial1 = nullptr;
+  const std::int32_t* scale1 = nullptr;  ///< per-pattern counts (inner child)
+  const seq::DnaCode* tip2 = nullptr;
+  const double* partial2 = nullptr;
+  const std::int32_t* scale2 = nullptr;
+
+  double* out = nullptr;            ///< np*4 (CAT) or np*ncat*4 (GAMMA)
+  std::int32_t* scale_out = nullptr;  ///< np entries
+  ScalingCheck scaling = ScalingCheck::kFloatBranch;
+};
+
+/// Scalar kernels.  Return the number of scaling events.
+std::uint64_t newview_cat(const NewviewArgs& a);
+std::uint64_t newview_gamma(const NewviewArgs& a);
+
+/// SIMD (2-wide double) kernels; exact same contract.  Fall back to scalar
+/// when the build lacks SSE2.
+std::uint64_t newview_cat_simd(const NewviewArgs& a);
+std::uint64_t newview_gamma_simd(const NewviewArgs& a);
+
+// ---------------------------------------------------------------------
+// evaluate
+
+struct EvaluateArgs {
+  const double* pmat = nullptr;  ///< connecting branch, ncat*16
+  const double* freqs = nullptr; ///< stationary distribution, 4
+  int ncat = 1;
+  const int* cat = nullptr;
+
+  std::size_t np = 0;
+
+  // Side 1 may be a tip; side 2 is always an inner partial.
+  const seq::DnaCode* tip1 = nullptr;
+  const double* partial1 = nullptr;
+  const std::int32_t* scale1 = nullptr;
+  const double* partial2 = nullptr;
+  const std::int32_t* scale2 = nullptr;
+
+  const double* weights = nullptr;  ///< per-pattern multiplicities
+  double* site_lnl_out = nullptr;   ///< optional per-pattern log-likelihoods
+};
+
+/// Returns the weighted log-likelihood of the strip.
+double evaluate_cat(const EvaluateArgs& a);
+double evaluate_gamma(const EvaluateArgs& a);
+
+/// SIMD variants (2-wide double; scalar fallback without SSE2).
+double evaluate_cat_simd(const EvaluateArgs& a);
+double evaluate_gamma_simd(const EvaluateArgs& a);
+
+// ---------------------------------------------------------------------
+// makenewz inner kernels
+
+struct SumtableArgs {
+  const model::EigenSystem* es = nullptr;
+  int ncat = 1;
+  std::size_t np = 0;
+
+  const seq::DnaCode* tip1 = nullptr;   ///< or partial1 (canonical: tip first)
+  const double* partial1 = nullptr;
+  const double* partial2 = nullptr;     ///< always inner
+
+  double* out = nullptr;  ///< np*4 (CAT) or np*ncat*4 (GAMMA)
+};
+
+void make_sumtable_cat(const SumtableArgs& a);
+void make_sumtable_gamma(const SumtableArgs& a);
+void make_sumtable_cat_simd(const SumtableArgs& a);
+void make_sumtable_gamma_simd(const SumtableArgs& a);
+
+struct NrArgs {
+  const double* sumtable = nullptr;
+  const double* lambda = nullptr;  ///< 4 eigenvalues
+  const double* rates = nullptr;   ///< ncat rates
+  int ncat = 1;
+  const int* cat = nullptr;        ///< CAT only
+  std::size_t np = 0;
+  const double* weights = nullptr;
+  double t = 0.0;                  ///< candidate branch length
+  ExpFn exp_fn = &exp_libm;
+};
+
+struct NrResult {
+  double lnl = 0.0;  ///< log-likelihood at t, *excluding* scale corrections
+  double d1 = 0.0;   ///< d lnl / dt
+  double d2 = 0.0;   ///< d^2 lnl / dt^2
+  std::uint64_t exp_calls = 0;
+};
+
+NrResult nr_derivatives_cat(const NrArgs& a);
+NrResult nr_derivatives_gamma(const NrArgs& a);
+
+}  // namespace rxc::lh

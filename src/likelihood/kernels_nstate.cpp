@@ -1,0 +1,301 @@
+#include "likelihood/kernels_nstate.h"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+
+namespace rxc::lh {
+namespace {
+
+inline const double* child_vec(int n, const double* tipvec,
+                               const std::uint8_t* tip, const double* partial,
+                               std::size_t p, std::size_t stride) {
+  return tip ? tipvec + static_cast<std::size_t>(tip[p]) * n
+             : partial + p * stride;
+}
+
+inline std::int32_t scale_of(const std::int32_t* scale, std::size_t p) {
+  return scale ? scale[p] : 0;
+}
+
+/// out[i] = (P1 * l1)[i] * (P2 * l2)[i] for one pattern slot.
+inline void newview_body(int n, const double* p1, const double* p2,
+                         const double* l1, const double* l2, double* out) {
+  for (int i = 0; i < n; ++i) {
+    double s1 = 0.0, s2 = 0.0;
+    const double* row1 = p1 + static_cast<std::size_t>(i) * n;
+    const double* row2 = p2 + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      s1 += row1[j] * l1[j];
+      s2 += row2[j] * l2[j];
+    }
+    out[i] = s1 * s2;
+  }
+}
+
+}  // namespace
+
+std::uint64_t build_pmatrices_nstate(const model::EigenSystemN& es,
+                                     const double* rates, int ncat,
+                                     double brlen, ExpFn exp_fn,
+                                     double* out) {
+  const int n = es.n;
+  std::uint64_t exp_calls = 0;
+  std::vector<double> diag(n);
+  for (int c = 0; c < ncat; ++c) {
+    diag[0] = 1.0;
+    for (int k = 1; k < n; ++k) {
+      diag[k] = exp_fn(es.lambda[k] * rates[c] * brlen);
+      ++exp_calls;
+    }
+    double* p = out + static_cast<std::size_t>(c) * n * n;
+    for (int i = 0; i < n; ++i) {
+      double* row = p + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) row[j] = 0.0;
+      for (int k = 0; k < n; ++k) {
+        const double uik = es.u[i * n + k] * diag[k];
+        const double* vk = es.v.data() + static_cast<std::size_t>(k) * n;
+        for (int j = 0; j < n; ++j) row[j] += uik * vk[j];
+      }
+    }
+  }
+  return exp_calls;
+}
+
+std::uint64_t newview_nstate_cat(const NewviewArgsN& a) {
+  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+  const int n = a.n;
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  std::uint64_t scale_events = 0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double* l1 = child_vec(n, a.tipvec, a.tip1, a.partial1, p, n);
+    const double* l2 = child_vec(n, a.tipvec, a.tip2, a.partial2, p, n);
+    double* out = a.out + p * n;
+    newview_body(n, a.pmat1 + c * nn, a.pmat2 + c * nn, l1, l2, out);
+    std::int32_t scale = scale_of(a.scale1, p) + scale_of(a.scale2, p);
+    if (needs_scaling(a.scaling, out, n)) {
+      for (int i = 0; i < n; ++i) out[i] *= kScaleFactor;
+      ++scale;
+      ++scale_events;
+    }
+    a.scale_out[p] = scale;
+  }
+  return scale_events;
+}
+
+std::uint64_t newview_nstate_gamma(const NewviewArgsN& a) {
+  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+  const int n = a.n;
+  const int ncat = a.ncat;
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  const std::size_t stride = static_cast<std::size_t>(ncat) * n;
+  std::uint64_t scale_events = 0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double* out = a.out + p * stride;
+    for (int c = 0; c < ncat; ++c) {
+      const double* l1 =
+          a.tip1 ? a.tipvec + static_cast<std::size_t>(a.tip1[p]) * n
+                 : a.partial1 + p * stride + static_cast<std::size_t>(c) * n;
+      const double* l2 =
+          a.tip2 ? a.tipvec + static_cast<std::size_t>(a.tip2[p]) * n
+                 : a.partial2 + p * stride + static_cast<std::size_t>(c) * n;
+      newview_body(n, a.pmat1 + c * nn, a.pmat2 + c * nn, l1, l2,
+                   out + static_cast<std::size_t>(c) * n);
+    }
+    std::int32_t scale = scale_of(a.scale1, p) + scale_of(a.scale2, p);
+    if (needs_scaling(a.scaling, out, static_cast<int>(stride))) {
+      for (std::size_t i = 0; i < stride; ++i) out[i] *= kScaleFactor;
+      ++scale;
+      ++scale_events;
+    }
+    a.scale_out[p] = scale;
+  }
+  return scale_events;
+}
+
+double evaluate_nstate_cat(const EvaluateArgsN& a) {
+  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+  const int n = a.n;
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  double lnl = 0.0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double* pm = a.pmat + c * nn;
+    const double* va = child_vec(n, a.tipvec, a.tip1, a.partial1, p, n);
+    const double* vb = a.partial2 + p * n;
+    double term = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double bi = 0.0;
+      const double* row = pm + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) bi += row[j] * vb[j];
+      term += a.freqs[i] * va[i] * bi;
+    }
+    if (term < 1e-300) term = 1e-300;
+    const double scale =
+        static_cast<double>(scale_of(a.scale1, p) + scale_of(a.scale2, p));
+    const double site = std::log(term) - scale * kLogScaleFactor;
+    if (a.site_lnl_out) a.site_lnl_out[p] = site;
+    lnl += a.weights[p] * site;
+  }
+  return lnl;
+}
+
+double evaluate_nstate_gamma(const EvaluateArgsN& a) {
+  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+  const int n = a.n;
+  const int ncat = a.ncat;
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  const std::size_t stride = static_cast<std::size_t>(ncat) * n;
+  const double catw = 1.0 / static_cast<double>(ncat);
+  double lnl = 0.0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double term = 0.0;
+    for (int c = 0; c < ncat; ++c) {
+      const double* pm = a.pmat + c * nn;
+      const double* va =
+          a.tip1 ? a.tipvec + static_cast<std::size_t>(a.tip1[p]) * n
+                 : a.partial1 + p * stride + static_cast<std::size_t>(c) * n;
+      const double* vb = a.partial2 + p * stride + static_cast<std::size_t>(c) * n;
+      for (int i = 0; i < n; ++i) {
+        double bi = 0.0;
+        const double* row = pm + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) bi += row[j] * vb[j];
+        term += a.freqs[i] * va[i] * bi;
+      }
+    }
+    term *= catw;
+    if (term < 1e-300) term = 1e-300;
+    const double scale =
+        static_cast<double>(scale_of(a.scale1, p) + scale_of(a.scale2, p));
+    const double site = std::log(term) - scale * kLogScaleFactor;
+    if (a.site_lnl_out) a.site_lnl_out[p] = site;
+    lnl += a.weights[p] * site;
+  }
+  return lnl;
+}
+
+void make_sumtable_nstate_cat(const SumtableArgsN& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.out);
+  const int n = a.n;
+  const auto& es = *a.es;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const double* va = child_vec(n, a.tipvec, a.tip1, a.partial1, p, n);
+    const double* vb = a.partial2 + p * n;
+    double* s = a.out + p * n;
+    for (int k = 0; k < n; ++k) {
+      double left = 0.0, right = 0.0;
+      for (int i = 0; i < n; ++i) {
+        left += es.freqs[i] * va[i] * es.u[i * n + k];
+        right += es.v[k * n + i] * vb[i];
+      }
+      s[k] = left * right;
+    }
+  }
+}
+
+void make_sumtable_nstate_gamma(const SumtableArgsN& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.out);
+  const int n = a.n;
+  const int ncat = a.ncat;
+  const std::size_t stride = static_cast<std::size_t>(ncat) * n;
+  const auto& es = *a.es;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    for (int c = 0; c < ncat; ++c) {
+      const double* va =
+          a.tip1 ? a.tipvec + static_cast<std::size_t>(a.tip1[p]) * n
+                 : a.partial1 + p * stride + static_cast<std::size_t>(c) * n;
+      const double* vb = a.partial2 + p * stride + static_cast<std::size_t>(c) * n;
+      double* s = a.out + p * stride + static_cast<std::size_t>(c) * n;
+      for (int k = 0; k < n; ++k) {
+        double left = 0.0, right = 0.0;
+        for (int i = 0; i < n; ++i) {
+          left += es.freqs[i] * va[i] * es.u[i * n + k];
+          right += es.v[k * n + i] * vb[i];
+        }
+        s[k] = left * right;
+      }
+    }
+  }
+}
+
+NrResult nr_derivatives_nstate_cat(const NrArgsN& a) {
+  RXC_ASSERT(a.sumtable && a.lambda && a.rates && a.weights);
+  const int n = a.n;
+  NrResult r;
+  std::vector<double> etab(static_cast<std::size_t>(a.ncat) * n);
+  for (int c = 0; c < a.ncat; ++c) {
+    etab[static_cast<std::size_t>(c) * n] = 1.0;
+    for (int k = 1; k < n; ++k) {
+      etab[static_cast<std::size_t>(c) * n + k] =
+          a.exp_fn(a.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double rate = a.rates[c];
+    const double* s = a.sumtable + p * n;
+    const double* e = etab.data() + static_cast<std::size_t>(c) * n;
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const double lam = a.lambda[k] * rate;
+      const double term = s[k] * e[k];
+      v += term;
+      d1 += lam * term;
+      d2 += lam * lam * term;
+    }
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+NrResult nr_derivatives_nstate_gamma(const NrArgsN& a) {
+  RXC_ASSERT(a.sumtable && a.lambda && a.rates && a.weights);
+  const int n = a.n;
+  const int ncat = a.ncat;
+  const std::size_t stride = static_cast<std::size_t>(ncat) * n;
+  NrResult r;
+  std::vector<double> etab(stride);
+  for (int c = 0; c < ncat; ++c) {
+    etab[static_cast<std::size_t>(c) * n] = 1.0;
+    for (int k = 1; k < n; ++k) {
+      etab[static_cast<std::size_t>(c) * n + k] =
+          a.exp_fn(a.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  const double catw = 1.0 / static_cast<double>(ncat);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int c = 0; c < ncat; ++c) {
+      const double* s = a.sumtable + p * stride + static_cast<std::size_t>(c) * n;
+      const double* e = etab.data() + static_cast<std::size_t>(c) * n;
+      for (int k = 0; k < n; ++k) {
+        const double lam = a.lambda[k] * a.rates[c];
+        const double term = s[k] * e[k];
+        v += term;
+        d1 += lam * term;
+        d2 += lam * lam * term;
+      }
+    }
+    v *= catw;
+    d1 *= catw;
+    d2 *= catw;
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+}  // namespace rxc::lh

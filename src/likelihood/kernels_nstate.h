@@ -1,0 +1,103 @@
+#pragma once
+/// \file kernels_nstate.h
+/// Likelihood kernels for a runtime state count (the 20-state protein
+/// path).  Mirrors kernels.h's 4-state DNA kernels; RAxML likewise keeps
+/// separate specialized DNA and generic AA implementations.  Partial
+/// layout: CAT [pattern][state] (np*n doubles), GAMMA
+/// [pattern][cat][state] (np*ncat*n).  Tip columns index into a caller-
+/// built tip-vector table (kAaCodeCount rows of n doubles for protein).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "likelihood/fast_exp.h"
+#include "likelihood/kernels.h"  // NrResult
+#include "likelihood/scaling.h"
+#include "model/eigen_n.h"
+
+namespace rxc::lh {
+
+/// Builds `ncat` n x n transition matrices into out[c*n*n..].  Returns exp
+/// call count (ncat * (n-1): the zero eigenvalue is skipped).
+std::uint64_t build_pmatrices_nstate(const model::EigenSystemN& es,
+                                     const double* rates, int ncat,
+                                     double brlen, ExpFn exp_fn, double* out);
+
+struct NewviewArgsN {
+  int n = 20;                     ///< states
+  const double* pmat1 = nullptr;  ///< ncat * n * n
+  const double* pmat2 = nullptr;
+  int ncat = 1;
+  const int* cat = nullptr;       ///< per-pattern category (CAT) or null
+  std::size_t np = 0;
+
+  /// Tip-vector table: one row of n doubles per tip code.
+  const double* tipvec = nullptr;
+
+  const std::uint8_t* tip1 = nullptr;  ///< per-pattern tip codes, or
+  const double* partial1 = nullptr;    ///< inner partial
+  const std::int32_t* scale1 = nullptr;
+  const std::uint8_t* tip2 = nullptr;
+  const double* partial2 = nullptr;
+  const std::int32_t* scale2 = nullptr;
+
+  double* out = nullptr;
+  std::int32_t* scale_out = nullptr;
+  ScalingCheck scaling = ScalingCheck::kIntCast;
+};
+
+std::uint64_t newview_nstate_cat(const NewviewArgsN& a);
+std::uint64_t newview_nstate_gamma(const NewviewArgsN& a);
+
+struct EvaluateArgsN {
+  int n = 20;
+  const double* pmat = nullptr;
+  const double* freqs = nullptr;
+  int ncat = 1;
+  const int* cat = nullptr;
+  std::size_t np = 0;
+  const double* tipvec = nullptr;
+  const std::uint8_t* tip1 = nullptr;
+  const double* partial1 = nullptr;
+  const std::int32_t* scale1 = nullptr;
+  const double* partial2 = nullptr;
+  const std::int32_t* scale2 = nullptr;
+  const double* weights = nullptr;
+  double* site_lnl_out = nullptr;
+};
+
+double evaluate_nstate_cat(const EvaluateArgsN& a);
+double evaluate_nstate_gamma(const EvaluateArgsN& a);
+
+struct SumtableArgsN {
+  int n = 20;
+  const model::EigenSystemN* es = nullptr;
+  int ncat = 1;
+  std::size_t np = 0;
+  const double* tipvec = nullptr;
+  const std::uint8_t* tip1 = nullptr;
+  const double* partial1 = nullptr;
+  const double* partial2 = nullptr;
+  double* out = nullptr;
+};
+
+void make_sumtable_nstate_cat(const SumtableArgsN& a);
+void make_sumtable_nstate_gamma(const SumtableArgsN& a);
+
+struct NrArgsN {
+  int n = 20;
+  const double* sumtable = nullptr;
+  const double* lambda = nullptr;
+  const double* rates = nullptr;
+  int ncat = 1;
+  const int* cat = nullptr;
+  std::size_t np = 0;
+  const double* weights = nullptr;
+  double t = 0.0;
+  ExpFn exp_fn = &exp_libm;
+};
+
+NrResult nr_derivatives_nstate_cat(const NrArgsN& a);
+NrResult nr_derivatives_nstate_gamma(const NrArgsN& a);
+
+}  // namespace rxc::lh

@@ -1,0 +1,323 @@
+/// \file kernels_simd.cpp
+/// 2-wide double SIMD newview kernels (paper §5.2.5, Figure 2).
+///
+/// The SPE's 128-bit vector registers hold two doubles; the paper's
+/// vectorization splats each child likelihood entry (spu_splats) and
+/// multiply-adds gathered transition-matrix columns (spu_madd).  On the
+/// host we mirror that scheme with SSE2: _mm_set1_pd for the splats,
+/// _mm_set_pd gathers for the matrix columns, mul+add for the madds, and
+/// _mm_cmplt_pd/_mm_movemask_pd for the vectorized scaling conditional.
+/// Builds without SSE2 fall back to the scalar kernels.
+
+#include <cmath>
+
+#include "likelihood/kernels.h"
+#include "likelihood/tip_table.h"
+#include "support/error.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace rxc::lh {
+
+#if defined(__SSE2__)
+
+namespace {
+
+/// Two rows (r, r+1) of the 4x4 matvec P * l, as one vector.
+inline __m128d matvec_pair(const double* p, int row, __m128d l0, __m128d l1,
+                           __m128d l2, __m128d l3) {
+  // Column j over rows {row, row+1}: low lane = row, high lane = row+1.
+  const __m128d c0 = _mm_set_pd(p[(row + 1) * 4 + 0], p[row * 4 + 0]);
+  const __m128d c1 = _mm_set_pd(p[(row + 1) * 4 + 1], p[row * 4 + 1]);
+  const __m128d c2 = _mm_set_pd(p[(row + 1) * 4 + 2], p[row * 4 + 2]);
+  const __m128d c3 = _mm_set_pd(p[(row + 1) * 4 + 3], p[row * 4 + 3]);
+  __m128d acc = _mm_mul_pd(c0, l0);
+  acc = _mm_add_pd(acc, _mm_mul_pd(c1, l1));
+  acc = _mm_add_pd(acc, _mm_mul_pd(c2, l2));
+  acc = _mm_add_pd(acc, _mm_mul_pd(c3, l3));
+  return acc;
+}
+
+/// Branch-free "all 4 entries < kMinLikelihood" over out[0..3].
+inline bool all_below_ml(const double* out) {
+  const __m128d ml = _mm_set1_pd(kMinLikelihood);
+  const __m128d abs_mask =
+      _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL));
+  const __m128d v01 = _mm_and_pd(_mm_loadu_pd(out), abs_mask);
+  const __m128d v23 = _mm_and_pd(_mm_loadu_pd(out + 2), abs_mask);
+  const int m01 = _mm_movemask_pd(_mm_cmplt_pd(v01, ml));
+  const int m23 = _mm_movemask_pd(_mm_cmplt_pd(v23, ml));
+  return (m01 & m23) == 0x3;
+}
+
+#if defined(__AVX2__)
+
+/// 4-wide AVX2 body: all four states of (P*l) in one register — the modern
+/// host's widening of the paper's 2-wide SPE scheme.  Uses FMA when the
+/// target has it.
+inline __m256d matvec_avx(const double* p, __m256d l0, __m256d l1,
+                          __m256d l2, __m256d l3) {
+  // Column j of P over all four rows (stride-4 gather).
+  const __m256d c0 = _mm256_set_pd(p[12], p[8], p[4], p[0]);
+  const __m256d c1 = _mm256_set_pd(p[13], p[9], p[5], p[1]);
+  const __m256d c2 = _mm256_set_pd(p[14], p[10], p[6], p[2]);
+  const __m256d c3 = _mm256_set_pd(p[15], p[11], p[7], p[3]);
+#if defined(__FMA__)
+  __m256d acc = _mm256_mul_pd(c0, l0);
+  acc = _mm256_fmadd_pd(c1, l1, acc);
+  acc = _mm256_fmadd_pd(c2, l2, acc);
+  acc = _mm256_fmadd_pd(c3, l3, acc);
+#else
+  __m256d acc = _mm256_mul_pd(c0, l0);
+  acc = _mm256_add_pd(acc, _mm256_mul_pd(c1, l1));
+  acc = _mm256_add_pd(acc, _mm256_mul_pd(c2, l2));
+  acc = _mm256_add_pd(acc, _mm256_mul_pd(c3, l3));
+#endif
+  return acc;
+}
+
+inline void newview_body(const double* p1, const double* p2, const double* l1,
+                         const double* l2, double* out) {
+  const __m256d s1 =
+      matvec_avx(p1, _mm256_set1_pd(l1[0]), _mm256_set1_pd(l1[1]),
+                 _mm256_set1_pd(l1[2]), _mm256_set1_pd(l1[3]));
+  const __m256d s2 =
+      matvec_avx(p2, _mm256_set1_pd(l2[0]), _mm256_set1_pd(l2[1]),
+                 _mm256_set1_pd(l2[2]), _mm256_set1_pd(l2[3]));
+  _mm256_storeu_pd(out, _mm256_mul_pd(s1, s2));
+}
+
+#else  // SSE2 only
+
+/// One pattern-slot of the vectorized newview body: out[0..3] =
+/// (P1*l1) .* (P2*l2).
+inline void newview_body(const double* p1, const double* p2, const double* l1,
+                         const double* l2, double* out) {
+  const __m128d a0 = _mm_set1_pd(l1[0]);
+  const __m128d a1 = _mm_set1_pd(l1[1]);
+  const __m128d a2 = _mm_set1_pd(l1[2]);
+  const __m128d a3 = _mm_set1_pd(l1[3]);
+  const __m128d b0 = _mm_set1_pd(l2[0]);
+  const __m128d b1 = _mm_set1_pd(l2[1]);
+  const __m128d b2 = _mm_set1_pd(l2[2]);
+  const __m128d b3 = _mm_set1_pd(l2[3]);
+  const __m128d s1_01 = matvec_pair(p1, 0, a0, a1, a2, a3);
+  const __m128d s1_23 = matvec_pair(p1, 2, a0, a1, a2, a3);
+  const __m128d s2_01 = matvec_pair(p2, 0, b0, b1, b2, b3);
+  const __m128d s2_23 = matvec_pair(p2, 2, b0, b1, b2, b3);
+  _mm_storeu_pd(out, _mm_mul_pd(s1_01, s2_01));
+  _mm_storeu_pd(out + 2, _mm_mul_pd(s1_23, s2_23));
+}
+
+#endif  // __AVX2__
+
+}  // namespace
+
+std::uint64_t newview_cat_simd(const NewviewArgs& a) {
+  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+  std::uint64_t scale_events = 0;
+  const __m128d scale_v = _mm_set1_pd(kScaleFactor);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double* l1 =
+        a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    const double* l2 =
+        a.tip2 ? kTipTable.row(a.tip2[p]) : a.partial2 + p * 4;
+    double* out = a.out + p * 4;
+    newview_body(a.pmat1 + c * 16, a.pmat2 + c * 16, l1, l2, out);
+
+    std::int32_t scale = (a.scale1 ? a.scale1[p] : 0) +
+                         (a.scale2 ? a.scale2[p] : 0);
+    const bool below = a.scaling == ScalingCheck::kIntCast
+                           ? all_below_ml(out)
+                           : needs_scaling_fp(out, 4);
+    if (below) {
+      _mm_storeu_pd(out, _mm_mul_pd(_mm_loadu_pd(out), scale_v));
+      _mm_storeu_pd(out + 2, _mm_mul_pd(_mm_loadu_pd(out + 2), scale_v));
+      ++scale;
+      ++scale_events;
+    }
+    a.scale_out[p] = scale;
+  }
+  return scale_events;
+}
+
+std::uint64_t newview_gamma_simd(const NewviewArgs& a) {
+  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+  const int ncat = a.ncat;
+  std::uint64_t scale_events = 0;
+  const __m128d scale_v = _mm_set1_pd(kScaleFactor);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double* out = a.out + p * static_cast<std::size_t>(ncat) * 4;
+    for (int c = 0; c < ncat; ++c) {
+      const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* l1 =
+          a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      const double* l2 =
+          a.tip2 ? kTipTable.row(a.tip2[p]) : a.partial2 + idx;
+      newview_body(a.pmat1 + c * 16, a.pmat2 + c * 16, l1, l2, out + c * 4);
+    }
+    std::int32_t scale = (a.scale1 ? a.scale1[p] : 0) +
+                         (a.scale2 ? a.scale2[p] : 0);
+    bool below = true;
+    for (int c = 0; below && c < ncat; ++c) {
+      below = a.scaling == ScalingCheck::kIntCast
+                  ? all_below_ml(out + c * 4)
+                  : needs_scaling_fp(out + c * 4, 4);
+    }
+    if (below) {
+      for (int i = 0; i < 2 * ncat; ++i) {
+        const __m128d v = _mm_loadu_pd(out + i * 2);
+        _mm_storeu_pd(out + i * 2, _mm_mul_pd(v, scale_v));
+      }
+      ++scale;
+      ++scale_events;
+    }
+    a.scale_out[p] = scale;
+  }
+  return scale_events;
+}
+
+double evaluate_cat_simd(const EvaluateArgs& a) {
+  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+  double lnl = 0.0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double* pm = a.pmat + c * 16;
+    const double* va =
+        a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    const double* vb = a.partial2 + p * 4;
+    // b' = P * vb over row pairs, then term = sum_i f_i * va_i * b'_i.
+    const __m128d b0 = _mm_set1_pd(vb[0]);
+    const __m128d b1 = _mm_set1_pd(vb[1]);
+    const __m128d b2 = _mm_set1_pd(vb[2]);
+    const __m128d b3 = _mm_set1_pd(vb[3]);
+    const __m128d bp01 = matvec_pair(pm, 0, b0, b1, b2, b3);
+    const __m128d bp23 = matvec_pair(pm, 2, b0, b1, b2, b3);
+    const __m128d f01 = _mm_loadu_pd(a.freqs);
+    const __m128d f23 = _mm_loadu_pd(a.freqs + 2);
+    const __m128d va01 = _mm_loadu_pd(va);
+    const __m128d va23 = _mm_loadu_pd(va + 2);
+    const __m128d t01 = _mm_mul_pd(_mm_mul_pd(f01, va01), bp01);
+    const __m128d t23 = _mm_mul_pd(_mm_mul_pd(f23, va23), bp23);
+    const __m128d sum2 = _mm_add_pd(t01, t23);
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, sum2);
+    double term = lanes[0] + lanes[1];
+    if (term < 1e-300) term = 1e-300;
+    const double scale = static_cast<double>(
+        (a.scale1 ? a.scale1[p] : 0) + (a.scale2 ? a.scale2[p] : 0));
+    const double site = std::log(term) - scale * kLogScaleFactor;
+    if (a.site_lnl_out) a.site_lnl_out[p] = site;
+    lnl += a.weights[p] * site;
+  }
+  return lnl;
+}
+
+double evaluate_gamma_simd(const EvaluateArgs& a) {
+  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+  const int ncat = a.ncat;
+  const double catw = 1.0 / static_cast<double>(ncat);
+  double lnl = 0.0;
+  const __m128d f01 = _mm_loadu_pd(a.freqs);
+  const __m128d f23 = _mm_loadu_pd(a.freqs + 2);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    __m128d acc = _mm_setzero_pd();
+    for (int c = 0; c < ncat; ++c) {
+      const double* pm = a.pmat + c * 16;
+      const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* va =
+          a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      const double* vb = a.partial2 + idx;
+      const __m128d b0 = _mm_set1_pd(vb[0]);
+      const __m128d b1 = _mm_set1_pd(vb[1]);
+      const __m128d b2 = _mm_set1_pd(vb[2]);
+      const __m128d b3 = _mm_set1_pd(vb[3]);
+      const __m128d bp01 = matvec_pair(pm, 0, b0, b1, b2, b3);
+      const __m128d bp23 = matvec_pair(pm, 2, b0, b1, b2, b3);
+      const __m128d va01 = _mm_loadu_pd(va);
+      const __m128d va23 = _mm_loadu_pd(va + 2);
+      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_mul_pd(f01, va01), bp01));
+      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_mul_pd(f23, va23), bp23));
+    }
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, acc);
+    double term = (lanes[0] + lanes[1]) * catw;
+    if (term < 1e-300) term = 1e-300;
+    const double scale = static_cast<double>(
+        (a.scale1 ? a.scale1[p] : 0) + (a.scale2 ? a.scale2[p] : 0));
+    const double site = std::log(term) - scale * kLogScaleFactor;
+    if (a.site_lnl_out) a.site_lnl_out[p] = site;
+    lnl += a.weights[p] * site;
+  }
+  return lnl;
+}
+
+namespace {
+
+/// One pattern-slot of the sumtable: s_k = (sum_i f_i va_i U_ik)
+/// (sum_j V_kj vb_j), vectorized over k pairs.
+inline void sumtable_body(const model::EigenSystem& es, const double* va,
+                          const double* vb, double* s) {
+  // left_k over k pairs: gather U columns.
+  for (int k = 0; k < 4; k += 2) {
+    __m128d left = _mm_setzero_pd();
+    __m128d right = _mm_setzero_pd();
+    for (int i = 0; i < 4; ++i) {
+      const __m128d u_pair =
+          _mm_set_pd(es.u[i * 4 + k + 1], es.u[i * 4 + k]);
+      const __m128d v_pair =
+          _mm_set_pd(es.v[(k + 1) * 4 + i], es.v[k * 4 + i]);
+      left = _mm_add_pd(left,
+                        _mm_mul_pd(_mm_set1_pd(es.freqs[i] * va[i]), u_pair));
+      right = _mm_add_pd(right, _mm_mul_pd(_mm_set1_pd(vb[i]), v_pair));
+    }
+    _mm_storeu_pd(s + k, _mm_mul_pd(left, right));
+  }
+}
+
+}  // namespace
+
+void make_sumtable_cat_simd(const SumtableArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.out);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const double* va =
+        a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    sumtable_body(*a.es, va, a.partial2 + p * 4, a.out + p * 4);
+  }
+}
+
+void make_sumtable_gamma_simd(const SumtableArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.out);
+  const int ncat = a.ncat;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    for (int c = 0; c < ncat; ++c) {
+      const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* va =
+          a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      sumtable_body(*a.es, va, a.partial2 + idx, a.out + idx);
+    }
+  }
+}
+
+#else  // !__SSE2__
+
+std::uint64_t newview_cat_simd(const NewviewArgs& a) { return newview_cat(a); }
+std::uint64_t newview_gamma_simd(const NewviewArgs& a) {
+  return newview_gamma(a);
+}
+double evaluate_cat_simd(const EvaluateArgs& a) { return evaluate_cat(a); }
+double evaluate_gamma_simd(const EvaluateArgs& a) { return evaluate_gamma(a); }
+void make_sumtable_cat_simd(const SumtableArgs& a) { make_sumtable_cat(a); }
+void make_sumtable_gamma_simd(const SumtableArgs& a) {
+  make_sumtable_gamma(a);
+}
+
+#endif
+
+}  // namespace rxc::lh

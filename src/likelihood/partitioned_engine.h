@@ -1,0 +1,80 @@
+#pragma once
+/// \file partitioned_engine.h
+/// Partitioned (multi-gene) analysis: each gene gets its own substitution
+/// model and rate heterogeneity while all genes share the topology and
+/// branch lengths — RAxML's "mixed models" mode, and the workload class the
+/// paper highlights ("large memory-intensive multi-gene alignments", §3).
+///
+/// The joint log-likelihood is the sum over partitions; branch lengths are
+/// optimized jointly by summing the partitions' Newton-Raphson derivatives.
+/// The engine mirrors LikelihoodEngine's surface, so the lazy-SPR
+/// hill-climb template runs on it unchanged.
+
+#include <memory>
+#include <vector>
+
+#include "likelihood/engine.h"
+#include "seq/alignment.h"
+
+namespace rxc::lh {
+
+struct PartitionDef {
+  std::string name;
+  /// Site range [first, last) in the full alignment.
+  std::size_t first_site = 0;
+  std::size_t last_site = 0;
+  EngineConfig config;
+};
+
+class PartitionedEngine {
+public:
+  /// Slices `alignment` into per-partition alignments (ranges must be
+  /// non-empty, in-bounds, non-overlapping, and cover sites in order; gaps
+  /// between partitions are allowed and simply ignored).
+  PartitionedEngine(const seq::Alignment& alignment,
+                    std::vector<PartitionDef> defs);
+
+  std::size_t partition_count() const { return parts_.size(); }
+  const PartitionDef& definition(std::size_t index) const {
+    return defs_[index];
+  }
+  LikelihoodEngine& engine(std::size_t index) { return *parts_[index]; }
+
+  void set_tree(tree::Tree* tree);
+  tree::Tree* tree() const { return tree_; }
+
+  double evaluate(int edge);
+  double log_likelihood();
+  double optimize_branch(int edge, int max_iterations = 32);
+  double optimize_all_branches(int max_passes = 8, double epsilon = 1e-3);
+  double score_insertion(const tree::Tree::PruneRecord& rec, int target_edge);
+
+  /// CAT partitions get per-site rate assignments; GAMMA partitions are
+  /// untouched.  cat_assignment() reports whether ANY partition uses CAT
+  /// (the search uses it only for an emptiness check).
+  void assign_cat_categories();
+  std::span<const int> cat_assignment() const;
+
+  void invalidate_all();
+  void on_branch_changed(int edge);
+  void on_prune(const tree::Tree::PruneRecord& rec);
+  void on_regraft(int target_edge, int reuse_edge);
+  void on_restore(const tree::Tree::PruneRecord& rec);
+
+  /// Aggregate kernel counters over all partitions.
+  KernelCounters counters() const;
+
+private:
+  std::vector<PartitionDef> defs_;
+  std::vector<seq::PatternAlignment> patterns_;
+  std::vector<std::unique_ptr<LikelihoodEngine>> parts_;
+  tree::Tree* tree_ = nullptr;
+};
+
+/// Parses a RAxML-style partition file: one "name = first-last" line per
+/// partition, 1-based inclusive ranges (e.g. "gene1 = 1-450").  The model
+/// settings come from `base` (per-partition model files are out of scope).
+std::vector<PartitionDef> parse_partition_ranges(const std::string& text,
+                                                 const EngineConfig& base);
+
+}  // namespace rxc::lh

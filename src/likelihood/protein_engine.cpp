@@ -1,0 +1,515 @@
+#include "likelihood/protein_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+
+namespace rxc::lh {
+
+ProteinEngine::ProteinEngine(const seq::AaPatternAlignment& pa,
+                             ProteinEngineConfig config)
+    : pa_(&pa),
+      cfg_(config),
+      es_(config.model.decompose()),
+      np_(pa.pattern_count()) {
+  RXC_REQUIRE(cfg_.categories >= 1, "need at least one rate category");
+  weights_.assign(round_up(np_, 2), 0.0);
+  std::copy(pa.weights().begin(), pa.weights().end(), weights_.begin());
+  if (cfg_.mode == RateMode::kCat) {
+    rates_ = model::CatRates::make(static_cast<std::size_t>(cfg_.categories))
+                 .rates;
+    int neutral = 0;
+    for (std::size_t c = 1; c < rates_.size(); ++c)
+      if (std::fabs(rates_[c] - 1.0) < std::fabs(rates_[neutral] - 1.0))
+        neutral = static_cast<int>(c);
+    cat_.assign(np_, neutral);
+    stride_ = np_ * kN;
+  } else {
+    rates_ = model::DiscreteGamma::make(
+                 cfg_.alpha, static_cast<std::size_t>(cfg_.categories))
+                 .rates;
+    stride_ = np_ * static_cast<std::size_t>(cfg_.categories) * kN;
+  }
+  // Tip vectors from the code masks.
+  tipvec_.assign(static_cast<std::size_t>(seq::kAaCodeCount) * kN, 0.0);
+  for (int code = 0; code < seq::kAaCodeCount; ++code) {
+    const std::uint32_t mask =
+        seq::aa_code_mask(static_cast<seq::AaCode>(code));
+    for (int i = 0; i < kN; ++i)
+      tipvec_[static_cast<std::size_t>(code) * kN + i] =
+          (mask & (1u << i)) ? 1.0 : 0.0;
+  }
+}
+
+void ProteinEngine::set_tree(tree::Tree* tree) {
+  if (tree == nullptr) {
+    tree_ = nullptr;
+    std::fill(valid_.begin(), valid_.end(), 0);
+    return;
+  }
+  RXC_REQUIRE(tree->tip_count() == pa_->taxon_count(),
+              "tree taxon count != alignment taxon count");
+  tree_ = tree;
+  ndirs_ = tree_->directed_count();
+  partials_.resize((ndirs_ + 1) * stride_);
+  scales_.assign((ndirs_ + 1) * np_, 0);
+  valid_.assign(ndirs_, 0);
+}
+
+void ProteinEngine::set_pattern_weights(const std::vector<double>& weights) {
+  RXC_REQUIRE(weights.size() == np_, "weight vector size != pattern count");
+  std::copy(weights.begin(), weights.end(), weights_.begin());
+}
+
+double* ProteinEngine::pmat_scratch(int slots) {
+  const std::size_t need = static_cast<std::size_t>(slots) * cfg_.categories *
+                           kN * kN;
+  if (pmat_.size() < need) pmat_.resize(need);
+  return pmat_.data();
+}
+
+ProteinEngine::ChildRef ProteinEngine::child_ref(int child_node, int edge) {
+  ChildRef ref;
+  if (tree_->is_tip(child_node)) {
+    ref.tip = pa_->row(child_node);
+  } else {
+    const int dir = tree_->dir_index(child_node, edge);
+    ref.partial = partial_ptr(dir);
+    ref.scale = scale_ptr(dir);
+  }
+  return ref;
+}
+
+void ProteinEngine::compute_partial(int dir) {
+  const auto [u, edge] = tree_->dir_nodes(dir);
+  RXC_ASSERT(!tree_->is_tip(u));
+  int child_node[2], child_edge[2];
+  int count = 0;
+  for (const auto& nb : tree_->neighbors(u)) {
+    if (nb.edge == edge) continue;
+    child_node[count] = nb.node;
+    child_edge[count] = nb.edge;
+    ++count;
+  }
+  RXC_ASSERT(count == 2);
+  if (!tree_->is_tip(child_node[0]) && tree_->is_tip(child_node[1])) {
+    std::swap(child_node[0], child_node[1]);
+    std::swap(child_edge[0], child_edge[1]);
+  }
+
+  const std::size_t slot = static_cast<std::size_t>(cfg_.categories) * kN * kN;
+  double* pm = pmat_scratch(2);
+  counters_.exp_calls += build_pmatrices_nstate(
+      es_, rates_.data(), cfg_.categories,
+      tree_->branch_length(child_edge[0]), cfg_.exp_fn, pm);
+  counters_.exp_calls += build_pmatrices_nstate(
+      es_, rates_.data(), cfg_.categories,
+      tree_->branch_length(child_edge[1]), cfg_.exp_fn, pm + slot);
+  counters_.pmatrix_builds += 2;
+
+  NewviewArgsN args;
+  args.n = kN;
+  args.pmat1 = pm;
+  args.pmat2 = pm + slot;
+  args.ncat = cfg_.categories;
+  args.cat = cfg_.mode == RateMode::kCat ? cat_.data() : nullptr;
+  args.np = np_;
+  args.tipvec = tipvec_.data();
+  const ChildRef c1 = child_ref(child_node[0], child_edge[0]);
+  const ChildRef c2 = child_ref(child_node[1], child_edge[1]);
+  args.tip1 = c1.tip;
+  args.partial1 = c1.partial;
+  args.scale1 = c1.scale;
+  args.tip2 = c2.tip;
+  args.partial2 = c2.partial;
+  args.scale2 = c2.scale;
+  args.out = partial_ptr(dir);
+  args.scale_out = scale_ptr(dir);
+  args.scaling = cfg_.scaling;
+  counters_.scale_events += cfg_.mode == RateMode::kCat
+                                ? newview_nstate_cat(args)
+                                : newview_nstate_gamma(args);
+  ++counters_.newview_calls;
+  counters_.newview_patterns += np_;
+  valid_[dir] = 1;
+}
+
+void ProteinEngine::ensure_partial(int dir) {
+  RXC_ASSERT(tree_ != nullptr);
+  std::vector<int> stack{dir};
+  while (!stack.empty()) {
+    const int d = stack.back();
+    if (valid_[d]) {
+      stack.pop_back();
+      continue;
+    }
+    const auto [u, edge] = tree_->dir_nodes(d);
+    RXC_ASSERT_MSG(!tree_->is_tip(u), "partial requested at a tip");
+    bool ready = true;
+    for (const auto& nb : tree_->neighbors(u)) {
+      if (nb.edge == edge || tree_->is_tip(nb.node)) continue;
+      const int cd = tree_->dir_index(nb.node, nb.edge);
+      if (!valid_[cd]) {
+        stack.push_back(cd);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    compute_partial(d);
+    stack.pop_back();
+  }
+}
+
+double ProteinEngine::evaluate_impl(int edge, double* site_out) {
+  auto [u, v] = tree_->edge_nodes(edge);
+  if (tree_->is_tip(v)) std::swap(u, v);
+  RXC_ASSERT_MSG(!tree_->is_tip(v), "evaluate: tip-tip edge");
+
+  EvaluateArgsN args;
+  args.n = kN;
+  args.freqs = es_.freqs.data();
+  args.ncat = cfg_.categories;
+  args.cat = cfg_.mode == RateMode::kCat ? cat_.data() : nullptr;
+  args.np = np_;
+  args.tipvec = tipvec_.data();
+  // Ensure partials FIRST: compute_partial shares the pmat scratch.
+  if (tree_->is_tip(u)) {
+    args.tip1 = pa_->row(u);
+  } else {
+    const int du = tree_->dir_index(u, edge);
+    ensure_partial(du);
+    args.partial1 = partial_ptr(du);
+    args.scale1 = scale_ptr(du);
+  }
+  const int dv = tree_->dir_index(v, edge);
+  ensure_partial(dv);
+  args.partial2 = partial_ptr(dv);
+  args.scale2 = scale_ptr(dv);
+
+  double* pm = pmat_scratch(1);
+  counters_.exp_calls +=
+      build_pmatrices_nstate(es_, rates_.data(), cfg_.categories,
+                             tree_->branch_length(edge), cfg_.exp_fn, pm);
+  ++counters_.pmatrix_builds;
+  args.pmat = pm;
+  args.weights = weights_.data();
+  args.site_lnl_out = site_out;
+  ++counters_.evaluate_calls;
+  return cfg_.mode == RateMode::kCat ? evaluate_nstate_cat(args)
+                                     : evaluate_nstate_gamma(args);
+}
+
+double ProteinEngine::evaluate(int edge) { return evaluate_impl(edge, nullptr); }
+
+double ProteinEngine::log_likelihood() {
+  for (std::size_t e = 0; e < tree_->edge_slots(); ++e)
+    if (tree_->edge_alive(static_cast<int>(e)))
+      return evaluate(static_cast<int>(e));
+  RXC_ASSERT_MSG(false, "tree has no live edges");
+  return 0.0;
+}
+
+std::vector<double> ProteinEngine::site_log_likelihoods(int edge) {
+  std::vector<double> site(np_);
+  evaluate_impl(edge, site.data());
+  return site;
+}
+
+double ProteinEngine::optimize_branch(int edge, int max_iterations) {
+  auto [u, v] = tree_->edge_nodes(edge);
+  if (tree_->is_tip(v)) std::swap(u, v);
+  RXC_ASSERT(!tree_->is_tip(v));
+
+  SumtableArgsN st;
+  st.n = kN;
+  st.es = &es_;
+  st.ncat = cfg_.categories;
+  st.np = np_;
+  st.tipvec = tipvec_.data();
+  if (tree_->is_tip(u)) {
+    st.tip1 = pa_->row(u);
+  } else {
+    const int du = tree_->dir_index(u, edge);
+    ensure_partial(du);
+    st.partial1 = partial_ptr(du);
+  }
+  const int dv = tree_->dir_index(v, edge);
+  ensure_partial(dv);
+  st.partial2 = partial_ptr(dv);
+  if (sumtable_.size() < stride_) sumtable_.resize(stride_);
+  st.out = sumtable_.data();
+  ++counters_.sumtable_calls;
+  if (cfg_.mode == RateMode::kCat) {
+    make_sumtable_nstate_cat(st);
+  } else {
+    make_sumtable_nstate_gamma(st);
+  }
+
+  NrArgsN nr;
+  nr.n = kN;
+  nr.sumtable = sumtable_.data();
+  nr.lambda = es_.lambda.data();
+  nr.rates = rates_.data();
+  nr.ncat = cfg_.categories;
+  nr.cat = cfg_.mode == RateMode::kCat ? cat_.data() : nullptr;
+  nr.np = np_;
+  nr.weights = weights_.data();
+  nr.exp_fn = cfg_.exp_fn;
+
+  double t = std::clamp(tree_->branch_length(edge), kMinBranch, kMaxBranch);
+  double best_t = t;
+  double best_lnl = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    nr.t = t;
+    ++counters_.nr_calls;
+    const NrResult res = cfg_.mode == RateMode::kCat
+                             ? nr_derivatives_nstate_cat(nr)
+                             : nr_derivatives_nstate_gamma(nr);
+    counters_.exp_calls += res.exp_calls;
+    if (res.lnl > best_lnl) {
+      best_lnl = res.lnl;
+      best_t = t;
+    }
+    double t_new;
+    if (res.d2 < 0.0) {
+      t_new = t - res.d1 / res.d2;
+    } else {
+      t_new = res.d1 > 0.0 ? t * 2.0 : t * 0.5;
+    }
+    t_new = std::clamp(t_new, kMinBranch, kMaxBranch);
+    if (std::fabs(t_new - t) < 1e-10 * (1.0 + t)) {
+      t = t_new;
+      nr.t = t;
+      ++counters_.nr_calls;
+      const NrResult final_res = cfg_.mode == RateMode::kCat
+                                     ? nr_derivatives_nstate_cat(nr)
+                                     : nr_derivatives_nstate_gamma(nr);
+      counters_.exp_calls += final_res.exp_calls;
+      if (final_res.lnl > best_lnl) {
+        best_lnl = final_res.lnl;
+        best_t = t;
+      }
+      break;
+    }
+    t = t_new;
+  }
+  tree_->set_branch_length(edge, best_t);
+  on_branch_changed(edge);
+
+  const std::int32_t* sv = scale_ptr(dv);
+  const std::int32_t* su =
+      tree_->is_tip(u) ? nullptr : scale_ptr(tree_->dir_index(u, edge));
+  for (std::size_t p = 0; p < np_; ++p) {
+    const double count = static_cast<double>(sv[p] + (su ? su[p] : 0));
+    best_lnl -= count * weights_[p] * kLogScaleFactor;
+  }
+  return best_lnl;
+}
+
+double ProteinEngine::optimize_all_branches(int max_passes, double epsilon) {
+  double prev = log_likelihood();
+  for (int pass = 0; pass < max_passes; ++pass) {
+    for (std::size_t e = 0; e < tree_->edge_slots(); ++e)
+      if (tree_->edge_alive(static_cast<int>(e)))
+        optimize_branch(static_cast<int>(e));
+    const double now = log_likelihood();
+    RXC_ASSERT_MSG(now > prev - 1e-4,
+                   "branch optimization decreased the likelihood");
+    if (now - prev < epsilon) return now;
+    prev = now;
+  }
+  return prev;
+}
+
+void ProteinEngine::assign_cat_categories() {
+  RXC_REQUIRE(cfg_.mode == RateMode::kCat,
+              "assign_cat_categories requires CAT mode");
+  int eval_edge = -1;
+  for (std::size_t e = 0; e < tree_->edge_slots(); ++e)
+    if (tree_->edge_alive(static_cast<int>(e))) {
+      eval_edge = static_cast<int>(e);
+      break;
+    }
+  RXC_ASSERT(eval_edge >= 0);
+  std::vector<double> best_lnl(np_, -std::numeric_limits<double>::infinity());
+  std::vector<int> best_cat(np_, 0);
+  for (int c = 0; c < cfg_.categories; ++c) {
+    std::fill(cat_.begin(), cat_.end(), c);
+    invalidate_all();
+    const auto site = site_log_likelihoods(eval_edge);
+    for (std::size_t p = 0; p < np_; ++p) {
+      if (site[p] > best_lnl[p]) {
+        best_lnl[p] = site[p];
+        best_cat[p] = c;
+      }
+    }
+  }
+  cat_ = best_cat;
+  double wsum = 0.0, rsum = 0.0;
+  for (std::size_t p = 0; p < np_; ++p) {
+    wsum += weights_[p];
+    rsum += weights_[p] * rates_[cat_[p]];
+  }
+  RXC_ASSERT(rsum > 0.0);
+  const double scale = wsum / rsum;
+  for (double& r : rates_) r *= scale;
+  invalidate_all();
+}
+
+void ProteinEngine::set_gamma_alpha(double alpha) {
+  RXC_REQUIRE(cfg_.mode == RateMode::kGamma,
+              "set_gamma_alpha requires GAMMA mode");
+  RXC_REQUIRE(alpha > 0.0, "alpha must be positive");
+  cfg_.alpha = alpha;
+  rates_ = model::DiscreteGamma::make(alpha,
+                                      static_cast<std::size_t>(cfg_.categories))
+               .rates;
+  invalidate_all();
+}
+
+double ProteinEngine::score_insertion(const tree::Tree::PruneRecord& rec,
+                                      int target_edge) {
+  RXC_ASSERT(tree_->edge_alive(target_edge));
+  RXC_ASSERT(target_edge != rec.merged_edge);
+  const int edge_xs = tree_->edge_between(rec.x, rec.s);
+  RXC_ASSERT(edge_xs >= 0);
+  const auto [c, d] = tree_->edge_nodes(target_edge);
+  const double half = tree_->branch_length(target_edge) * 0.5;
+
+  const int scratch = static_cast<int>(ndirs_);
+  const std::size_t slot = static_cast<std::size_t>(cfg_.categories) * kN * kN;
+  double* pm = pmat_scratch(2);
+
+  NewviewArgsN task;
+  task.n = kN;
+  task.ncat = cfg_.categories;
+  task.cat = cfg_.mode == RateMode::kCat ? cat_.data() : nullptr;
+  task.np = np_;
+  task.tipvec = tipvec_.data();
+  task.scaling = cfg_.scaling;
+
+  ChildRef moved;
+  if (tree_->is_tip(rec.s)) {
+    moved.tip = pa_->row(rec.s);
+  } else {
+    const int ds = tree_->dir_index(rec.s, edge_xs);
+    ensure_partial(ds);
+    moved.partial = partial_ptr(ds);
+    moved.scale = scale_ptr(ds);
+  }
+  ChildRef cside;
+  if (tree_->is_tip(c)) {
+    cside.tip = pa_->row(c);
+  } else {
+    const int dc = tree_->dir_index(c, target_edge);
+    ensure_partial(dc);
+    cside.partial = partial_ptr(dc);
+    cside.scale = scale_ptr(dc);
+  }
+  const bool moved_first = moved.tip != nullptr || cside.tip == nullptr;
+  const ChildRef& first = moved_first ? moved : cside;
+  const ChildRef& second = moved_first ? cside : moved;
+  const double len1 = moved_first ? tree_->branch_length(edge_xs) : half;
+  const double len2 = moved_first ? half : tree_->branch_length(edge_xs);
+  counters_.exp_calls += build_pmatrices_nstate(
+      es_, rates_.data(), cfg_.categories, len1, cfg_.exp_fn, pm);
+  counters_.exp_calls += build_pmatrices_nstate(
+      es_, rates_.data(), cfg_.categories, len2, cfg_.exp_fn, pm + slot);
+  counters_.pmatrix_builds += 2;
+  task.pmat1 = pm;
+  task.pmat2 = pm + slot;
+  task.tip1 = first.tip;
+  task.partial1 = first.partial;
+  task.scale1 = first.scale;
+  task.tip2 = second.tip;
+  task.partial2 = second.partial;
+  task.scale2 = second.scale;
+  task.out = partial_ptr(scratch);
+  task.scale_out = scale_ptr(scratch);
+  counters_.scale_events += cfg_.mode == RateMode::kCat
+                                ? newview_nstate_cat(task)
+                                : newview_nstate_gamma(task);
+  ++counters_.newview_calls;
+  counters_.newview_patterns += np_;
+
+  EvaluateArgsN ev;
+  ev.n = kN;
+  ev.freqs = es_.freqs.data();
+  ev.ncat = cfg_.categories;
+  ev.cat = task.cat;
+  ev.np = np_;
+  ev.tipvec = tipvec_.data();
+  // Ensure d's partial before rebuilding the pmat scratch.
+  if (tree_->is_tip(d)) {
+    ev.tip1 = pa_->row(d);
+  } else {
+    const int dd = tree_->dir_index(d, target_edge);
+    ensure_partial(dd);
+    ev.partial1 = partial_ptr(dd);
+    ev.scale1 = scale_ptr(dd);
+  }
+  counters_.exp_calls += build_pmatrices_nstate(
+      es_, rates_.data(), cfg_.categories, half, cfg_.exp_fn, pm);
+  ++counters_.pmatrix_builds;
+  ev.pmat = pm;
+  ev.partial2 = partial_ptr(scratch);
+  ev.scale2 = scale_ptr(scratch);
+  ev.weights = weights_.data();
+  ++counters_.evaluate_calls;
+  return cfg_.mode == RateMode::kCat ? evaluate_nstate_cat(ev)
+                                     : evaluate_nstate_gamma(ev);
+}
+
+void ProteinEngine::invalidate_all() {
+  std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+void ProteinEngine::invalidate_away(int from_node, int via_edge) {
+  std::vector<std::pair<int, int>> stack{{from_node, via_edge}};
+  while (!stack.empty()) {
+    const auto [node, via] = stack.back();
+    stack.pop_back();
+    for (const auto& nb : tree_->neighbors(node)) {
+      if (nb.edge == via) continue;
+      valid_[tree_->dir_index(node, nb.edge)] = 0;
+      if (!tree_->is_tip(nb.node)) stack.push_back({nb.node, nb.edge});
+    }
+  }
+}
+
+void ProteinEngine::invalidate_slot(int edge) {
+  valid_[2 * edge] = 0;
+  valid_[2 * edge + 1] = 0;
+}
+
+void ProteinEngine::on_branch_changed(int edge) {
+  const auto [a, b] = tree_->edge_nodes(edge);
+  invalidate_away(a, edge);
+  invalidate_away(b, edge);
+}
+
+void ProteinEngine::on_prune(const tree::Tree::PruneRecord& rec) {
+  invalidate_slot(rec.merged_edge);
+  invalidate_slot(rec.edge_xb);
+  const auto [a, b] = tree_->edge_nodes(rec.merged_edge);
+  invalidate_away(a, rec.merged_edge);
+  invalidate_away(b, rec.merged_edge);
+}
+
+void ProteinEngine::on_regraft(int target_edge, int reuse_edge) {
+  invalidate_slot(target_edge);
+  invalidate_slot(reuse_edge);
+  for (const int e : {target_edge, reuse_edge}) {
+    const auto [a, b] = tree_->edge_nodes(e);
+    invalidate_away(a, e);
+    invalidate_away(b, e);
+  }
+}
+
+void ProteinEngine::on_restore(const tree::Tree::PruneRecord& rec) {
+  on_regraft(rec.edge_xa, rec.edge_xb);
+}
+
+}  // namespace rxc::lh

@@ -1,0 +1,63 @@
+#pragma once
+/// \file scaling.h
+/// Numerical underflow scaling and the conditional-statement variants
+/// studied in paper §5.2.3.
+///
+/// Partial likelihood entries shrink multiplicatively toward 0 on deep
+/// trees; when all entries of a pattern's vector fall below kMinLikelihood,
+/// every ML implementation multiplies them by a large constant and records
+/// the event (subtracted from the log-likelihood later).  The guard is the
+/// paper's problematic branch:
+///
+///   if (ABS(x3->a) < ml && ABS(x3->g) < ml && ABS(x3->c) < ml
+///       && ABS(x3->t) < ml) { ... }
+///
+/// The "cast" optimization exploits IEEE-754 lexicographic ordering: for
+/// positive doubles, (bits(a) < bits(ml)) == (a < ml), so the 8-condition
+/// floating branch becomes unsigned integer compares that SIMD compare
+/// instructions handle without branching.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace rxc::lh {
+
+/// RAxML's minlikelihood: 2^-256.
+inline constexpr double kMinLikelihood = 0x1p-256;
+/// Multiplier applied on a scaling event: 2^256.
+inline constexpr double kScaleFactor = 0x1p+256;
+/// ln(2^256), subtracted per scaling event at evaluate time.
+inline const double kLogScaleFactor = 256.0 * std::log(2.0);
+
+/// Baseline conditional: four fabs() + four double compares, exactly the
+/// shape of the original RAxML guard.
+inline bool needs_scaling_fp(const double* v, int n) {
+  for (int i = 0; i < n; ++i)
+    if (!(std::fabs(v[i]) < kMinLikelihood)) return false;
+  return true;
+}
+
+/// Cast variant: absolute value via bit-AND (clearing the sign bit — the
+/// paper's spu_and trick) followed by unsigned 64-bit integer compares.
+/// Valid because the operands are likelihoods (non-negative finite values).
+inline bool needs_scaling_int(const double* v, int n) {
+  constexpr std::uint64_t kAbsMask = 0x7fffffffffffffffULL;
+  constexpr std::uint64_t kMlBits = std::bit_cast<std::uint64_t>(kMinLikelihood);
+  std::uint64_t all_below = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v[i]) & kAbsMask;
+    all_below &= static_cast<std::uint64_t>(bits < kMlBits);
+  }
+  return all_below != 0;
+}
+
+/// Which conditional implementation the kernels use (paper stage III).
+enum class ScalingCheck { kFloatBranch, kIntCast };
+
+inline bool needs_scaling(ScalingCheck check, const double* v, int n) {
+  return check == ScalingCheck::kFloatBranch ? needs_scaling_fp(v, n)
+                                             : needs_scaling_int(v, n);
+}
+
+}  // namespace rxc::lh

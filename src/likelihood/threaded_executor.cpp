@@ -1,0 +1,175 @@
+#include "likelihood/threaded_executor.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/error.h"
+
+namespace rxc::lh {
+namespace {
+
+/// [lo, count] of chunk `c` over np patterns with chunk size `chunk`.
+struct Range {
+  std::size_t lo, count;
+};
+Range chunk_range(std::size_t c, std::size_t np, std::size_t chunk) {
+  const std::size_t lo = c * chunk;
+  return {lo, std::min(chunk, np - lo)};
+}
+
+}  // namespace
+
+ThreadedExecutor::ThreadedExecutor(int threads, KernelConfig config,
+                                   std::size_t chunk_patterns)
+    : pool_(threads), config_(config), chunk_(chunk_patterns) {
+  RXC_REQUIRE(chunk_patterns >= 1, "chunk size must be positive");
+}
+
+void ThreadedExecutor::newview(const NewviewTask& task) {
+  const auto& ctx = task.ctx;
+  const std::size_t need = 2 * static_cast<std::size_t>(ctx.ncat) * 16;
+  if (pmat_.size() < need) pmat_.resize(need);
+  double* pm1 = pmat_.data();
+  double* pm2 = pm1 + static_cast<std::size_t>(ctx.ncat) * 16;
+  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
+                                         task.brlen1, config_.exp_fn, pm1);
+  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
+                                         task.brlen2, config_.exp_fn, pm2);
+  counters_.pmatrix_builds += 2;
+
+  const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
+  const std::size_t stride =
+      ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
+  std::atomic<std::uint64_t> events{0};
+
+  pool_.parallel_for(nchunks, [&](std::size_t c) {
+    const auto [lo, count] = chunk_range(c, task.np, chunk_);
+    NewviewArgs args;
+    args.pmat1 = pm1;
+    args.pmat2 = pm2;
+    args.ncat = ctx.ncat;
+    args.cat = ctx.cat ? ctx.cat + lo : nullptr;
+    args.np = count;
+    args.tip1 = task.tip1 ? task.tip1 + lo : nullptr;
+    args.partial1 = task.partial1 ? task.partial1 + lo * stride : nullptr;
+    args.scale1 = task.scale1 ? task.scale1 + lo : nullptr;
+    args.tip2 = task.tip2 ? task.tip2 + lo : nullptr;
+    args.partial2 = task.partial2 ? task.partial2 + lo * stride : nullptr;
+    args.scale2 = task.scale2 ? task.scale2 + lo : nullptr;
+    args.out = task.out + lo * stride;
+    args.scale_out = task.scale_out + lo;
+    args.scaling = config_.scaling;
+    std::uint64_t chunk_events;
+    if (ctx.mode == RateMode::kCat) {
+      chunk_events =
+          config_.simd ? newview_cat_simd(args) : newview_cat(args);
+    } else {
+      chunk_events =
+          config_.simd ? newview_gamma_simd(args) : newview_gamma(args);
+    }
+    events.fetch_add(chunk_events);
+  });
+
+  counters_.scale_events += events.load();
+  ++counters_.newview_calls;
+  counters_.newview_patterns += task.np;
+}
+
+double ThreadedExecutor::evaluate(const EvaluateTask& task) {
+  const auto& ctx = task.ctx;
+  const std::size_t need = static_cast<std::size_t>(ctx.ncat) * 16;
+  if (pmat_.size() < need) pmat_.resize(need);
+  counters_.exp_calls += build_pmatrices(
+      *ctx.es, ctx.rates, ctx.ncat, task.brlen, config_.exp_fn, pmat_.data());
+  ++counters_.pmatrix_builds;
+
+  const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
+  const std::size_t stride =
+      ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
+  if (partial_lnl_.size() < nchunks) partial_lnl_.resize(nchunks);
+
+  pool_.parallel_for(nchunks, [&](std::size_t c) {
+    const auto [lo, count] = chunk_range(c, task.np, chunk_);
+    EvaluateArgs args;
+    args.pmat = pmat_.data();
+    args.freqs = ctx.es->freqs.data();
+    args.ncat = ctx.ncat;
+    args.cat = ctx.cat ? ctx.cat + lo : nullptr;
+    args.np = count;
+    args.tip1 = task.tip1 ? task.tip1 + lo : nullptr;
+    args.partial1 = task.partial1 ? task.partial1 + lo * stride : nullptr;
+    args.scale1 = task.scale1 ? task.scale1 + lo : nullptr;
+    args.partial2 = task.partial2 + lo * stride;
+    args.scale2 = task.scale2 ? task.scale2 + lo : nullptr;
+    args.weights = task.weights + lo;
+    args.site_lnl_out =
+        task.site_lnl_out ? task.site_lnl_out + lo : nullptr;
+    partial_lnl_[c] = ctx.mode == RateMode::kCat ? evaluate_cat(args)
+                                                 : evaluate_gamma(args);
+  });
+
+  ++counters_.evaluate_calls;
+  double lnl = 0.0;  // fixed-order reduction: deterministic
+  for (std::size_t c = 0; c < nchunks; ++c) lnl += partial_lnl_[c];
+  return lnl;
+}
+
+void ThreadedExecutor::sumtable(const SumtableTask& task) {
+  const auto& ctx = task.ctx;
+  const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
+  const std::size_t stride =
+      ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
+  pool_.parallel_for(nchunks, [&](std::size_t c) {
+    const auto [lo, count] = chunk_range(c, task.np, chunk_);
+    SumtableArgs args;
+    args.es = ctx.es;
+    args.ncat = ctx.ncat;
+    args.np = count;
+    args.tip1 = task.tip1 ? task.tip1 + lo : nullptr;
+    args.partial1 = task.partial1 ? task.partial1 + lo * stride : nullptr;
+    args.partial2 = task.partial2 + lo * stride;
+    args.out = task.out + lo * stride;
+    if (ctx.mode == RateMode::kCat) {
+      make_sumtable_cat(args);
+    } else {
+      make_sumtable_gamma(args);
+    }
+  });
+  ++counters_.sumtable_calls;
+}
+
+NrResult ThreadedExecutor::nr_derivatives(const NrTask& task) {
+  const auto& ctx = task.ctx;
+  const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
+  const std::size_t stride =
+      ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
+  if (partial_.size() < nchunks) partial_.resize(nchunks);
+
+  pool_.parallel_for(nchunks, [&](std::size_t c) {
+    const auto [lo, count] = chunk_range(c, task.np, chunk_);
+    NrArgs args;
+    args.sumtable = task.sumtable + lo * stride;
+    args.lambda = ctx.es->lambda.data();
+    args.rates = ctx.rates;
+    args.ncat = ctx.ncat;
+    args.cat = ctx.cat ? ctx.cat + lo : nullptr;
+    args.np = count;
+    args.weights = task.weights + lo;
+    args.t = task.t;
+    args.exp_fn = config_.exp_fn;
+    partial_[c] = ctx.mode == RateMode::kCat ? nr_derivatives_cat(args)
+                                             : nr_derivatives_gamma(args);
+  });
+
+  ++counters_.nr_calls;
+  counters_.exp_calls += 3ull * ctx.ncat;  // etab cost counted once
+  NrResult total;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    total.lnl += partial_[c].lnl;
+    total.d1 += partial_[c].d1;
+    total.d2 += partial_[c].d2;
+  }
+  return total;
+}
+
+}  // namespace rxc::lh

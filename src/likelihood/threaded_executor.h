@@ -1,0 +1,45 @@
+#pragma once
+/// \file threaded_executor.h
+/// Loop-level shared-memory parallel executor — the analogue of RAxML-OMP
+/// (paper §3: "RAxML has been parallelized with OpenMP ... this source of
+/// parallelism scales particularly well").  Each kernel invocation's
+/// pattern loop is split into chunks distributed over a thread pool;
+/// reductions (evaluate, Newton derivatives) accumulate per-chunk partial
+/// sums that are combined in a fixed order, so results are deterministic
+/// for a given chunk count.
+
+#include <memory>
+
+#include "likelihood/executor.h"
+#include "support/thread_pool.h"
+
+namespace rxc::lh {
+
+class ThreadedExecutor final : public KernelExecutor {
+public:
+  /// `threads` workers; `chunk_patterns` is the loop-split granularity
+  /// (fixed, so results are independent of the thread count).
+  ThreadedExecutor(int threads, KernelConfig config = {},
+                   std::size_t chunk_patterns = 64);
+
+  int thread_count() const { return pool_.thread_count(); }
+
+  void newview(const NewviewTask& task) override;
+  double evaluate(const EvaluateTask& task) override;
+  void sumtable(const SumtableTask& task) override;
+  NrResult nr_derivatives(const NrTask& task) override;
+
+private:
+  std::size_t chunk_count(std::size_t np) const {
+    return (np + chunk_) / chunk_;  // at least 1
+  }
+
+  ThreadPool pool_;
+  KernelConfig config_;
+  std::size_t chunk_;
+  aligned_vector<double> pmat_;
+  std::vector<NrResult> partial_;  ///< per-chunk reduction slots
+  std::vector<double> partial_lnl_;
+};
+
+}  // namespace rxc::lh

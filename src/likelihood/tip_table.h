@@ -1,0 +1,28 @@
+#pragma once
+/// \file tip_table.h
+/// Conditional likelihood vectors for alignment characters: entry [code][i]
+/// is 1.0 if base i is compatible with the (possibly ambiguous) character,
+/// else 0.0.  Gaps (code 15) are all-ones: total ignorance.
+
+#include <array>
+
+#include "seq/alignment.h"
+
+namespace rxc::lh {
+
+struct TipTable {
+  /// [code][state]; code 0 is unused (no character encodes to 0).
+  alignas(16) double v[16][4];
+
+  constexpr TipTable() : v{} {
+    for (int code = 0; code < 16; ++code)
+      for (int state = 0; state < 4; ++state)
+        v[code][state] = (code & (1 << state)) ? 1.0 : 0.0;
+  }
+
+  const double* row(seq::DnaCode code) const { return v[code]; }
+};
+
+inline constexpr TipTable kTipTable{};
+
+}  // namespace rxc::lh

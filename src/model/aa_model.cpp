@@ -1,0 +1,101 @@
+#include "model/aa_model.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rxc::model {
+
+AaModel AaModel::poisson() { return {}; }
+
+AaModel AaModel::from_paml_dat(std::istream& in, std::string name) {
+  // Collect all whitespace-separated numbers; layout is fixed: 190
+  // lower-triangle exchangeabilities then 20 frequencies.  (Comments after
+  // the numbers, which some .dat files carry, are ignored.)
+  std::vector<double> values;
+  std::string token;
+  while (values.size() < kAaPairs + kAaStates && in >> token) {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(token, &used);
+      if (used != token.size())
+        throw ParseError("PAML dat: non-numeric token '" + token + "'");
+      values.push_back(v);
+    } catch (const std::invalid_argument&) {
+      throw ParseError("PAML dat: non-numeric token '" + token + "'");
+    }
+  }
+  if (values.size() < kAaPairs + kAaStates)
+    throw ParseError("PAML dat: expected " +
+                     std::to_string(kAaPairs + kAaStates) +
+                     " numbers, found " + std::to_string(values.size()));
+
+  AaModel m;
+  m.name = std::move(name);
+  // PAML stores the LOWER triangle row by row: entry (i, j) with i > j.
+  // Convert to our upper-triangle (j, i) order.
+  std::size_t cursor = 0;
+  for (int i = 1; i < kAaStates; ++i) {
+    for (int j = 0; j < i; ++j, ++cursor) {
+      // upper-triangle index of pair (j, i), j < i:
+      const std::size_t index =
+          static_cast<std::size_t>(j) * kAaStates -
+          static_cast<std::size_t>(j) * (j + 1) / 2 + (i - j - 1);
+      m.rates[index] = values[cursor];
+    }
+  }
+  double fsum = 0.0;
+  for (int i = 0; i < kAaStates; ++i) {
+    m.freqs[i] = values[cursor + i];
+    fsum += m.freqs[i];
+  }
+  RXC_REQUIRE(fsum > 0.0, "PAML dat: zero frequency mass");
+  for (double& f : m.freqs) f /= fsum;  // normalize rounding drift
+  m.validate();
+  return m;
+}
+
+AaModel AaModel::from_paml_dat_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open PAML dat file: " + path);
+  // Model name from the file stem.
+  const auto slash = path.find_last_of('/');
+  const auto stem = path.substr(slash == std::string::npos ? 0 : slash + 1);
+  return from_paml_dat(in, stem);
+}
+
+AaModel AaModel::random(Rng& rng) {
+  AaModel m;
+  m.name = "RANDOM";
+  for (double& r : m.rates) r = rng.exponential() + 0.01;
+  double sum = 0.0;
+  for (double& f : m.freqs) {
+    f = rng.gamma(2.0) + 0.01;
+    sum += f;
+  }
+  for (double& f : m.freqs) f /= sum;
+  return m;
+}
+
+void AaModel::validate() const {
+  RXC_REQUIRE(rates.size() == kAaPairs, "AA model: wrong rate count");
+  RXC_REQUIRE(freqs.size() == kAaStates, "AA model: wrong frequency count");
+  double sum = 0.0;
+  for (const double f : freqs) {
+    RXC_REQUIRE(f > 0.0, "AA model: frequencies must be positive");
+    sum += f;
+  }
+  RXC_REQUIRE(std::fabs(sum - 1.0) < 1e-6, "AA model: frequencies sum != 1");
+  for (const double r : rates)
+    RXC_REQUIRE(r >= 0.0, "AA model: negative exchangeability");
+}
+
+EigenSystemN AaModel::decompose() const {
+  validate();
+  return decompose_n(rates, freqs);
+}
+
+}  // namespace rxc::model

@@ -1,0 +1,204 @@
+#include "model/dna_model.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace rxc::model {
+namespace {
+
+/// Jacobi eigenvalue iteration for a symmetric 4x4 matrix.
+/// Returns eigenvalues in `eval` and orthonormal eigenvectors in the columns
+/// of `evec`.
+void jacobi4(Matrix4 a, Vector4& eval, Matrix4& evec) {
+  evec = identity4();
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < 4; ++i)
+      for (int j = i + 1; j < 4; ++j) off += a[i * 4 + j] * a[i * 4 + j];
+    if (off < 1e-30) break;
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) {
+        const double apq = a[p * 4 + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * 4 + p];
+        const double aqq = a[q * 4 + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of a.
+        for (int k = 0; k < 4; ++k) {
+          const double akp = a[k * 4 + p];
+          const double akq = a[k * 4 + q];
+          a[k * 4 + p] = c * akp - s * akq;
+          a[k * 4 + q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < 4; ++k) {
+          const double apk = a[p * 4 + k];
+          const double aqk = a[q * 4 + k];
+          a[p * 4 + k] = c * apk - s * aqk;
+          a[q * 4 + k] = s * apk + c * aqk;
+        }
+        // Accumulate rotation into eigenvector matrix.
+        for (int k = 0; k < 4; ++k) {
+          const double vkp = evec[k * 4 + p];
+          const double vkq = evec[k * 4 + q];
+          evec[k * 4 + p] = c * vkp - s * vkq;
+          evec[k * 4 + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  for (int i = 0; i < 4; ++i) eval[i] = a[i * 4 + i];
+}
+
+}  // namespace
+
+Matrix4 DnaModel::rate_matrix() const {
+  validate();
+  // Fill symmetric exchangeabilities.
+  const double ac = rates[0], ag = rates[1], at = rates[2];
+  const double cg = rates[3], ct = rates[4], gt = rates[5];
+  Matrix4 s{0,  ac, ag, at,
+            ac, 0,  cg, ct,
+            ag, cg, 0,  gt,
+            at, ct, gt, 0};
+  Matrix4 q{};
+  for (int i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      q[i * 4 + j] = s[i * 4 + j] * freqs[j];
+      row += q[i * 4 + j];
+    }
+    q[i * 4 + i] = -row;
+  }
+  // Normalize: expected rate sum_i pi_i * (-q_ii) == 1.
+  double mu = 0.0;
+  for (int i = 0; i < 4; ++i) mu -= freqs[i] * q[i * 4 + i];
+  RXC_ASSERT(mu > 0.0);
+  for (double& x : q) x /= mu;
+  return q;
+}
+
+DnaModel DnaModel::jc69() {
+  DnaModel m;
+  m.name = "JC69";
+  return m;
+}
+
+DnaModel DnaModel::k80(double kappa) {
+  DnaModel m;
+  m.rates = {1, kappa, 1, 1, kappa, 1};  // transitions AG, CT get kappa
+  m.name = "K80";
+  return m;
+}
+
+DnaModel DnaModel::hky85(double kappa, const std::array<double, 4>& f) {
+  DnaModel m = k80(kappa);
+  m.freqs = f;
+  m.name = "HKY85";
+  return m;
+}
+
+DnaModel DnaModel::gtr(const std::array<double, 6>& r,
+                       const std::array<double, 4>& f) {
+  DnaModel m;
+  m.rates = r;
+  m.freqs = f;
+  m.name = "GTR";
+  return m;
+}
+
+void DnaModel::validate() const {
+  double sum = 0.0;
+  for (double f : freqs) {
+    RXC_REQUIRE(f > 0.0, "base frequencies must be positive");
+    sum += f;
+  }
+  RXC_REQUIRE(std::fabs(sum - 1.0) < 1e-8, "base frequencies must sum to 1");
+  for (double r : rates)
+    RXC_REQUIRE(r > 0.0, "exchangeability rates must be positive");
+}
+
+EigenSystem decompose(const DnaModel& model) {
+  const Matrix4 q = model.rate_matrix();
+  // Symmetrize: S = D^{1/2} Q D^{-1/2}, D = diag(pi).  Reversibility makes
+  // S symmetric; enforce symmetry explicitly to clean rounding noise.
+  Vector4 sqrt_pi, inv_sqrt_pi;
+  for (int i = 0; i < 4; ++i) {
+    sqrt_pi[i] = std::sqrt(model.freqs[i]);
+    inv_sqrt_pi[i] = 1.0 / sqrt_pi[i];
+  }
+  Matrix4 sym;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      sym[i * 4 + j] = sqrt_pi[i] * q[i * 4 + j] * inv_sqrt_pi[j];
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) {
+      const double avg = 0.5 * (sym[i * 4 + j] + sym[j * 4 + i]);
+      sym[i * 4 + j] = sym[j * 4 + i] = avg;
+    }
+
+  Vector4 eval;
+  Matrix4 evec;
+  jacobi4(sym, eval, evec);
+
+  // Sort eigenpairs descending so lambda[0] is the ~0 stationary eigenvalue.
+  std::array<int, 4> order{0, 1, 2, 3};
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j)
+      if (eval[order[j]] > eval[order[i]]) std::swap(order[i], order[j]);
+
+  EigenSystem es;
+  es.freqs = model.freqs;
+  for (int k = 0; k < 4; ++k) {
+    es.lambda[k] = eval[order[k]];
+    for (int i = 0; i < 4; ++i) {
+      // U = D^{-1/2} R, V = R^T D^{1/2}.
+      es.u[i * 4 + k] = inv_sqrt_pi[i] * evec[i * 4 + order[k]];
+      es.v[k * 4 + i] = sqrt_pi[i] * evec[i * 4 + order[k]];
+    }
+  }
+  RXC_ASSERT_MSG(std::fabs(es.lambda[0]) < 1e-9,
+                 "stationary eigenvalue must be ~0");
+  return es;
+}
+
+namespace {
+Matrix4 reconstruct(const EigenSystem& es, const Vector4& diag) {
+  Matrix4 p{};
+  for (int i = 0; i < 4; ++i)
+    for (int k = 0; k < 4; ++k) {
+      const double uik = es.u[i * 4 + k] * diag[k];
+      for (int j = 0; j < 4; ++j) p[i * 4 + j] += uik * es.v[k * 4 + j];
+    }
+  return p;
+}
+}  // namespace
+
+Matrix4 transition_matrix(const EigenSystem& es, double t) {
+  RXC_ASSERT(t >= 0.0);
+  Vector4 e;
+  for (int k = 0; k < 4; ++k) e[k] = std::exp(es.lambda[k] * t);
+  return reconstruct(es, e);
+}
+
+Matrix4 transition_matrix_d1(const EigenSystem& es, double t) {
+  Vector4 e;
+  for (int k = 0; k < 4; ++k)
+    e[k] = es.lambda[k] * std::exp(es.lambda[k] * t);
+  return reconstruct(es, e);
+}
+
+Matrix4 transition_matrix_d2(const EigenSystem& es, double t) {
+  Vector4 e;
+  for (int k = 0; k < 4; ++k)
+    e[k] = es.lambda[k] * es.lambda[k] * std::exp(es.lambda[k] * t);
+  return reconstruct(es, e);
+}
+
+}  // namespace rxc::model

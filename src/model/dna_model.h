@@ -1,0 +1,62 @@
+#pragma once
+/// \file dna_model.h
+/// Time-reversible DNA substitution models (GTR family).
+///
+/// A model is defined by six exchangeability rates (AC, AG, AT, CG, CT, GT)
+/// and stationary base frequencies pi.  The rate matrix is
+///   Q[i][j] = s[ij] * pi[j]   (i != j),   Q[i][i] = -sum_j Q[i][j],
+/// normalized so the expected substitutions per unit branch length is 1
+/// (sum_i pi_i * -Q_ii == 1).  JC69, K80 and HKY85 are special cases.
+
+#include <array>
+#include <string>
+
+#include "model/matrix4.h"
+
+namespace rxc::model {
+
+/// State order everywhere in this library: A=0, C=1, G=2, T=3.
+enum Base : int { kA = 0, kC = 1, kG = 2, kT = 3 };
+
+struct DnaModel {
+  /// Exchangeabilities in RAxML order: AC, AG, AT, CG, CT, GT.
+  std::array<double, 6> rates{1, 1, 1, 1, 1, 1};
+  std::array<double, 4> freqs{0.25, 0.25, 0.25, 0.25};
+  std::string name = "GTR";
+
+  /// Normalized rate matrix Q (see file comment).
+  Matrix4 rate_matrix() const;
+
+  static DnaModel jc69();
+  static DnaModel k80(double kappa);
+  static DnaModel hky85(double kappa, const std::array<double, 4>& freqs);
+  static DnaModel gtr(const std::array<double, 6>& rates,
+                      const std::array<double, 4>& freqs);
+
+  /// Throws rxc::Error unless rates > 0 and freqs positive summing to ~1.
+  void validate() const;
+};
+
+/// Spectral decomposition of a reversible Q: Q = U diag(lambda) V with
+/// V = U^{-1}.  Obtained by symmetrizing with D^{1/2} = diag(sqrt(pi)) and
+/// running Jacobi on the symmetric similar matrix.  lambda[0] == 0 is the
+/// stationary eigenvalue.
+struct EigenSystem {
+  Vector4 lambda;   ///< eigenvalues, sorted descending (lambda[0] ~ 0)
+  Matrix4 u;        ///< right eigenvectors in columns
+  Matrix4 v;        ///< inverse of u (rows are left eigenvectors)
+  Vector4 freqs;    ///< stationary distribution (copied from the model)
+};
+
+/// Decomposes the model's rate matrix.  Throws on numerical failure.
+EigenSystem decompose(const DnaModel& model);
+
+/// P(t) = U exp(lambda * t) V.  t >= 0 in expected substitutions per site.
+Matrix4 transition_matrix(const EigenSystem& es, double t);
+
+/// First and second derivatives of P(t) w.r.t. t (used by Newton-Raphson
+/// branch-length optimization).
+Matrix4 transition_matrix_d1(const EigenSystem& es, double t);
+Matrix4 transition_matrix_d2(const EigenSystem& es, double t);
+
+}  // namespace rxc::model

@@ -1,0 +1,150 @@
+#include "model/eigen_n.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace rxc::model {
+
+void jacobi_n(std::vector<double>& a, int n, std::vector<double>& eval,
+              std::vector<double>& evec) {
+  RXC_ASSERT(static_cast<int>(a.size()) == n * n);
+  evec.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) evec[i * n + i] = 1.0;
+
+  constexpr int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    if (off < 1e-26) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = evec[k * n + p];
+          const double vkq = evec[k * n + q];
+          evec[k * n + p] = c * vkp - s * vkq;
+          evec[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eval.resize(n);
+  for (int i = 0; i < n; ++i) eval[i] = a[i * n + i];
+}
+
+EigenSystemN decompose_n(const std::vector<double>& rates,
+                         const std::vector<double>& freqs) {
+  const int n = static_cast<int>(freqs.size());
+  RXC_REQUIRE(n >= 2, "decompose_n: need >= 2 states");
+  RXC_REQUIRE(rates.size() == static_cast<std::size_t>(n) * (n - 1) / 2,
+              "decompose_n: exchangeability count != n(n-1)/2");
+  double fsum = 0.0;
+  for (const double f : freqs) {
+    RXC_REQUIRE(f > 0.0, "decompose_n: frequencies must be positive");
+    fsum += f;
+  }
+  RXC_REQUIRE(std::fabs(fsum - 1.0) < 1e-6,
+              "decompose_n: frequencies must sum to 1");
+
+  // Build Q.
+  std::vector<double> q(static_cast<std::size_t>(n) * n, 0.0);
+  std::size_t k = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j, ++k) {
+      RXC_REQUIRE(rates[k] >= 0.0, "decompose_n: negative exchangeability");
+      q[i * n + j] = rates[k] * freqs[j];
+      q[j * n + i] = rates[k] * freqs[i];
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) row += q[i * n + j];
+    q[i * n + i] = -row;
+  }
+  double mu = 0.0;
+  for (int i = 0; i < n; ++i) mu -= freqs[i] * q[i * n + i];
+  RXC_REQUIRE(mu > 0.0, "decompose_n: degenerate rate matrix");
+  for (double& x : q) x /= mu;
+
+  // Symmetrize and diagonalize.
+  std::vector<double> sqrt_pi(n), inv_sqrt_pi(n);
+  for (int i = 0; i < n; ++i) {
+    sqrt_pi[i] = std::sqrt(freqs[i]);
+    inv_sqrt_pi[i] = 1.0 / sqrt_pi[i];
+  }
+  std::vector<double> sym(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      sym[i * n + j] = sqrt_pi[i] * q[i * n + j] * inv_sqrt_pi[j];
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (sym[i * n + j] + sym[j * n + i]);
+      sym[i * n + j] = sym[j * n + i] = avg;
+    }
+
+  std::vector<double> eval, evec;
+  jacobi_n(sym, n, eval, evec);
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return eval[x] > eval[y]; });
+
+  EigenSystemN es;
+  es.n = n;
+  es.freqs = freqs;
+  es.lambda.resize(n);
+  es.u.resize(static_cast<std::size_t>(n) * n);
+  es.v.resize(static_cast<std::size_t>(n) * n);
+  for (int col = 0; col < n; ++col) {
+    es.lambda[col] = eval[order[col]];
+    for (int i = 0; i < n; ++i) {
+      es.u[i * n + col] = inv_sqrt_pi[i] * evec[i * n + order[col]];
+      es.v[col * n + i] = sqrt_pi[i] * evec[i * n + order[col]];
+    }
+  }
+  RXC_ASSERT_MSG(std::fabs(es.lambda[0]) < 1e-8,
+                 "stationary eigenvalue must be ~0");
+  return es;
+}
+
+void transition_matrix_n(const EigenSystemN& es, double t, double* out) {
+  RXC_ASSERT(t >= 0.0);
+  const int n = es.n;
+  std::vector<double> diag(n);
+  for (int k = 0; k < n; ++k) diag[k] = std::exp(es.lambda[k] * t);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) out[i * n + j] = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const double uik = es.u[i * n + k] * diag[k];
+      for (int j = 0; j < n; ++j) out[i * n + j] += uik * es.v[k * n + j];
+    }
+  }
+}
+
+}  // namespace rxc::model

@@ -1,0 +1,38 @@
+#pragma once
+/// \file eigen_n.h
+/// General N-state reversible-model machinery (runtime N), used by the
+/// protein (20-state) code path.  Mirrors the fixed 4-state machinery in
+/// dna_model.h: symmetrize Q with D^{1/2}, Jacobi-diagonalize, reconstruct
+/// P(t) = U exp(lambda t) V.
+
+#include <cstddef>
+#include <vector>
+
+namespace rxc::model {
+
+/// Spectral decomposition of an NxN reversible rate matrix.
+struct EigenSystemN {
+  int n = 0;
+  std::vector<double> lambda;  ///< n eigenvalues, descending (lambda[0] ~ 0)
+  std::vector<double> u;       ///< n*n, right eigenvectors in columns
+  std::vector<double> v;       ///< n*n, inverse of u
+  std::vector<double> freqs;   ///< stationary distribution
+};
+
+/// Jacobi eigendecomposition of a symmetric n x n matrix (row-major in/out).
+/// Eigenvalues into `eval`, orthonormal eigenvectors into the columns of
+/// `evec`.  Destroys `a`.
+void jacobi_n(std::vector<double>& a, int n, std::vector<double>& eval,
+              std::vector<double>& evec);
+
+/// Builds the normalized reversible rate matrix from upper-triangle
+/// exchangeabilities `rates` (size n*(n-1)/2, ordered (0,1),(0,2)...,(n-2,
+/// n-1)) and frequencies, then decomposes it.  Mean substitution rate
+/// normalized to 1.
+EigenSystemN decompose_n(const std::vector<double>& rates,
+                         const std::vector<double>& freqs);
+
+/// P(t) into `out` (n*n, row-major).
+void transition_matrix_n(const EigenSystemN& es, double t, double* out);
+
+}  // namespace rxc::model

@@ -1,0 +1,129 @@
+#include "model/gamma_math.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace rxc::model {
+
+double incomplete_gamma_p(double a, double x) {
+  RXC_ASSERT(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  const double lg = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - lg);
+  }
+  // Continued fraction for Q(a,x), modified Lentz.
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-16) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - lg) * h;
+  return 1.0 - q;
+}
+
+double point_normal(double p) {
+  RXC_ASSERT(p > 0.0 && p < 1.0);
+  // Beasley-Springer-Moro.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double point_chi2(double p, double v) {
+  RXC_ASSERT(p > 0.0 && p < 1.0 && v > 0.0);
+  // AS91 (Best & Roberts 1975), with Newton refinement on P(a,x).
+  const double aa = 0.6931471805599453;
+  const double g = std::lgamma(v / 2.0);
+  const double xx = v / 2.0;
+  const double c = xx - 1.0;
+  double ch;
+  if (v < -1.24 * std::log(p)) {
+    ch = std::pow(p * xx * std::exp(g + xx * aa), 1.0 / xx);
+    if (ch < 5e-7) return ch * 2.0;  // note: returns chi2 value directly
+  } else if (v > 0.32) {
+    const double x = point_normal(p);
+    const double p1 = 2.0 / (9.0 * v);
+    ch = v * std::pow(x * std::sqrt(p1) + 1.0 - p1, 3.0);
+    if (ch > 2.2 * v + 6.0)
+      ch = -2.0 * (std::log(1.0 - p) - c * std::log(0.5 * ch) + g);
+  } else {
+    ch = 0.4;
+    const double a = std::log(1.0 - p);
+    for (int i = 0; i < 100; ++i) {
+      const double q = ch;
+      const double p1 = 1.0 + ch * (4.67 + ch);
+      const double p2 = ch * (6.73 + ch * (6.66 + ch));
+      const double t =
+          -0.5 + (4.67 + 2.0 * ch) / p1 - (6.73 + ch * (13.32 + 3.0 * ch)) / p2;
+      ch -= (1.0 - std::exp(a + g + 0.5 * ch + c * aa) * p2 / p1) / t;
+      if (std::fabs(q / ch - 1.0) < 1e-10) break;
+    }
+  }
+  // Newton iterations on the incomplete gamma to polish.
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.5 * ch;
+    const double f = incomplete_gamma_p(xx, x) - p;
+    const double dens = std::exp(-x + c * std::log(x) - g) * 0.5;
+    if (dens <= 0.0) break;
+    const double step = f / dens;
+    ch -= step;
+    if (ch <= 0.0) {
+      ch = (ch + step) / 2.0;
+    }
+    if (std::fabs(step) < 1e-12 * (1.0 + ch)) break;
+  }
+  return ch;
+}
+
+}  // namespace rxc::model

@@ -1,0 +1,26 @@
+#pragma once
+/// \file gamma_math.h
+/// Special functions for the discrete-Gamma rate model: regularized
+/// incomplete gamma P(a,x), its inverse via the chi-square percentile
+/// (Best & Roberts AS91), and the standard-normal quantile (Beasley-
+/// Springer-Moro).  These are the same numerics PAML/RAxML use to build
+/// mean-per-quantile Gamma rate categories.
+
+namespace rxc::model {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+/// Series for x < a+1, continued fraction otherwise.  a > 0, x >= 0.
+double incomplete_gamma_p(double a, double x);
+
+/// Standard normal quantile: returns z with Phi(z) = p, 0 < p < 1.
+double point_normal(double p);
+
+/// Chi-square quantile with v degrees of freedom (AS91).
+double point_chi2(double p, double v);
+
+/// Gamma(shape=alpha, rate=beta) quantile.
+inline double point_gamma(double p, double alpha, double beta) {
+  return point_chi2(p, 2.0 * alpha) * 0.5 / beta;
+}
+
+}  // namespace rxc::model

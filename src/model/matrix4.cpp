@@ -1,0 +1,38 @@
+#include "model/matrix4.h"
+
+#include <cmath>
+
+namespace rxc::model {
+
+Matrix4 multiply(const Matrix4& a, const Matrix4& b) {
+  Matrix4 out{};
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double aik = a[i * 4 + k];
+      for (std::size_t j = 0; j < 4; ++j) out[i * 4 + j] += aik * b[k * 4 + j];
+    }
+  return out;
+}
+
+Vector4 multiply(const Matrix4& a, const Vector4& v) {
+  Vector4 out{};
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) out[i] += a[i * 4 + j] * v[j];
+  return out;
+}
+
+Matrix4 transpose(const Matrix4& a) {
+  Matrix4 out;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) out[j * 4 + i] = a[i * 4 + j];
+  return out;
+}
+
+double max_abs_diff(const Matrix4& a, const Matrix4& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < 16; ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace rxc::model

@@ -1,0 +1,27 @@
+#pragma once
+/// \file matrix4.h
+/// Tiny fixed-size 4x4 matrix used by the DNA substitution models.
+/// Row-major; m[i*4+j] is row i, column j.
+
+#include <array>
+#include <cstddef>
+
+namespace rxc::model {
+
+using Matrix4 = std::array<double, 16>;
+using Vector4 = std::array<double, 4>;
+
+constexpr Matrix4 identity4() {
+  Matrix4 m{};
+  for (std::size_t i = 0; i < 4; ++i) m[i * 4 + i] = 1.0;
+  return m;
+}
+
+Matrix4 multiply(const Matrix4& a, const Matrix4& b);
+Vector4 multiply(const Matrix4& a, const Vector4& v);
+Matrix4 transpose(const Matrix4& a);
+
+/// Max |a[i]-b[i]|.
+double max_abs_diff(const Matrix4& a, const Matrix4& b);
+
+}  // namespace rxc::model

@@ -1,0 +1,75 @@
+#include "model/rates.h"
+
+#include <cmath>
+
+#include "model/gamma_math.h"
+#include "support/error.h"
+
+namespace rxc::model {
+
+DiscreteGamma DiscreteGamma::make(double alpha, std::size_t count) {
+  RXC_REQUIRE(alpha > 0.0, "gamma shape alpha must be positive");
+  RXC_REQUIRE(count >= 1, "need at least one rate category");
+  DiscreteGamma dg;
+  dg.alpha = alpha;
+  dg.weight = 1.0 / static_cast<double>(count);
+  dg.rates.resize(count);
+  if (count == 1) {
+    dg.rates[0] = 1.0;
+    return dg;
+  }
+  // Category mean method: boundaries at quantiles i/count of Gamma(a,a);
+  // category rate = a * [P(a+1, b_{i+1}*a) - P(a+1, b_i*a)] * count / a
+  // (Yang 1994, eq. 10).  Using beta = alpha so the continuous mean is 1.
+  const double a = alpha;
+  std::vector<double> cut(count + 1);
+  cut[0] = 0.0;
+  cut[count] = 1e308;
+  for (std::size_t i = 1; i < count; ++i)
+    cut[i] = point_gamma(static_cast<double>(i) / static_cast<double>(count),
+                         a, a);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double lo = incomplete_gamma_p(a + 1.0, cut[i] * a);
+    const double hi =
+        i + 1 == count ? 1.0 : incomplete_gamma_p(a + 1.0, cut[i + 1] * a);
+    dg.rates[i] = (hi - lo) * static_cast<double>(count);
+    sum += dg.rates[i];
+  }
+  // Renormalize to mean exactly 1 (guards quadrature rounding).
+  for (double& r : dg.rates) r *= static_cast<double>(count) / sum;
+  return dg;
+}
+
+CatRates CatRates::make(std::size_t count, double min_rate, double max_rate) {
+  RXC_REQUIRE(count >= 1, "need at least one CAT category");
+  RXC_REQUIRE(min_rate > 0.0 && max_rate > min_rate, "bad CAT rate range");
+  CatRates cr;
+  cr.rates.resize(count);
+  if (count == 1) {
+    cr.rates[0] = 1.0;
+    return cr;
+  }
+  const double step =
+      std::log(max_rate / min_rate) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    cr.rates[i] = min_rate * std::exp(step * static_cast<double>(i));
+  return cr;
+}
+
+void CatRates::normalize(const std::vector<int>& assignment,
+                         const std::vector<double>& weights) {
+  RXC_ASSERT(assignment.size() == weights.size());
+  double wsum = 0.0, rsum = 0.0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    RXC_ASSERT(assignment[i] >= 0 &&
+               static_cast<std::size_t>(assignment[i]) < rates.size());
+    wsum += weights[i];
+    rsum += weights[i] * rates[assignment[i]];
+  }
+  RXC_ASSERT(wsum > 0.0 && rsum > 0.0);
+  const double scale = wsum / rsum;
+  for (double& r : rates) r *= scale;
+}
+
+}  // namespace rxc::model

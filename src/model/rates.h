@@ -1,0 +1,40 @@
+#pragma once
+/// \file rates.h
+/// Among-site rate heterogeneity: the discrete Gamma model (Yang 1994,
+/// mean-per-quantile categories) and the CAT approximation RAxML uses
+/// (a fixed palette of per-site rates; each site/pattern is *assigned* one
+/// category — assignment lives in the likelihood module, which can score
+/// candidate rates).
+
+#include <cstddef>
+#include <vector>
+
+namespace rxc::model {
+
+/// Discrete-Gamma rates: `count` equiprobable categories whose rates are the
+/// category means of Gamma(alpha, alpha) (mean rate exactly 1).
+struct DiscreteGamma {
+  double alpha = 1.0;
+  std::vector<double> rates;   ///< size == category count
+  double weight = 0.0;         ///< per-category probability == 1/count
+
+  static DiscreteGamma make(double alpha, std::size_t count);
+};
+
+/// CAT rate palette: `count` candidate rates spanning [min_rate, max_rate]
+/// geometrically (RAxML uses up to 25).  Per-site category indices are
+/// produced by rxc::lh::assign_cat_categories().
+struct CatRates {
+  std::vector<double> rates;
+
+  static CatRates make(std::size_t count, double min_rate = 1.0 / 32.0,
+                       double max_rate = 32.0);
+
+  /// Rescales rates so that the weighted mean over `weights` (per-pattern
+  /// counts x assignment) equals 1; keeps branch lengths comparable with
+  /// the Gamma model.  `assignment[i]` indexes into rates.
+  void normalize(const std::vector<int>& assignment,
+                 const std::vector<double>& weights);
+};
+
+}  // namespace rxc::model

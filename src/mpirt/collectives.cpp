@@ -1,0 +1,68 @@
+#include "mpirt/collectives.h"
+
+#include <algorithm>
+
+namespace rxc::mpirt {
+namespace {
+// Tag space reserved for collectives (point-to-point user tags should stay
+// below 1000; master_worker uses 1..4).
+constexpr int kTagBcast = 1001;
+constexpr int kTagGather = 1002;
+constexpr int kTagReduce = 1003;
+constexpr int kTagReduceResult = 1004;
+}  // namespace
+
+void broadcast(Comm& comm, int rank, int root, std::string& data) {
+  RXC_REQUIRE(root >= 0 && root < comm.size(), "broadcast: bad root");
+  if (rank == root) {
+    for (int r = 0; r < comm.size(); ++r)
+      if (r != root) comm.send(root, r, Message::of_string(kTagBcast, data));
+  } else {
+    data = comm.recv(rank, root, kTagBcast).as_string();
+  }
+}
+
+std::vector<std::string> gather(Comm& comm, int rank, int root,
+                                const std::string& mine) {
+  RXC_REQUIRE(root >= 0 && root < comm.size(), "gather: bad root");
+  if (rank != root) {
+    comm.send(rank, root, Message::of_string(kTagGather, mine));
+    return {};
+  }
+  std::vector<std::string> out(comm.size());
+  out[root] = mine;
+  for (int received = 0; received < comm.size() - 1; ++received) {
+    Message m = comm.recv(root, kAnySource, kTagGather);
+    out[m.source] = m.as_string();
+  }
+  return out;
+}
+
+namespace {
+double reduce_to_root_and_fan_out(Comm& comm, int rank, double value,
+                                  double (*combine)(double, double)) {
+  constexpr int root = 0;
+  if (rank != root) {
+    comm.send(rank, root, Message::of(kTagReduce, value));
+    return comm.recv(rank, root, kTagReduceResult).as<double>();
+  }
+  double acc = value;
+  for (int received = 0; received < comm.size() - 1; ++received)
+    acc = combine(acc, comm.recv(root, kAnySource, kTagReduce).as<double>());
+  for (int r = 1; r < comm.size(); ++r)
+    comm.send(root, r, Message::of(kTagReduceResult, acc));
+  return acc;
+}
+}  // namespace
+
+double all_reduce_sum(Comm& comm, int rank, double value) {
+  return reduce_to_root_and_fan_out(
+      comm, rank, value, [](double a, double b) { return a + b; });
+}
+
+double all_reduce_max(Comm& comm, int rank, double value) {
+  return reduce_to_root_and_fan_out(
+      comm, rank, value, [](double a, double b) { return std::max(a, b); });
+}
+
+}  // namespace rxc::mpirt

@@ -1,0 +1,30 @@
+#pragma once
+/// \file collectives.h
+/// Collective operations over the in-process communicator — the pieces of
+/// the MPI surface RAxML's parallel layer uses besides point-to-point:
+/// broadcasting the alignment to workers, gathering results, and summing
+/// statistics.  All collectives must be called by every rank with matching
+/// arguments (as in MPI).
+
+#include <string>
+#include <vector>
+
+#include "mpirt/comm.h"
+
+namespace rxc::mpirt {
+
+/// Root's `data` is replicated into every rank's `data`.
+void broadcast(Comm& comm, int rank, int root, std::string& data);
+
+/// Gathers every rank's `mine` at `root` (indexed by rank); other ranks
+/// get an empty vector.
+std::vector<std::string> gather(Comm& comm, int rank, int root,
+                                const std::string& mine);
+
+/// Sum of `value` over all ranks, returned to every rank.
+double all_reduce_sum(Comm& comm, int rank, double value);
+
+/// Maximum of `value` over all ranks, returned to every rank.
+double all_reduce_max(Comm& comm, int rank, double value);
+
+}  // namespace rxc::mpirt

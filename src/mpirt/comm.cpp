@@ -1,0 +1,97 @@
+#include "mpirt/comm.h"
+
+#include <thread>
+
+namespace rxc::mpirt {
+
+Message Message::of_string(int tag, const std::string& s) {
+  Message m;
+  m.tag = tag;
+  m.payload.resize(s.size());
+  std::memcpy(m.payload.data(), s.data(), s.size());
+  return m;
+}
+
+std::string Message::as_string() const {
+  return {reinterpret_cast<const char*>(payload.data()), payload.size()};
+}
+
+Comm::Comm(int nranks) {
+  RXC_REQUIRE(nranks >= 1, "communicator needs at least one rank");
+  inboxes_.reserve(nranks);
+  for (int i = 0; i < nranks; ++i)
+    inboxes_.push_back(std::make_unique<Inbox>());
+}
+
+void Comm::send(int from, int to, Message message) {
+  RXC_REQUIRE(to >= 0 && to < size(), "send: bad destination rank");
+  RXC_REQUIRE(from >= 0 && from < size(), "send: bad source rank");
+  message.source = from;
+  Inbox& inbox = *inboxes_[to];
+  {
+    std::lock_guard lock(inbox.mutex);
+    inbox.queue.push_back(std::move(message));
+  }
+  inbox.cv.notify_all();
+}
+
+bool Comm::match_and_pop(Inbox& inbox, Message& out, int source, int tag) {
+  for (auto it = inbox.queue.begin(); it != inbox.queue.end(); ++it) {
+    if ((source == kAnySource || it->source == source) &&
+        (tag == kAnyTag || it->tag == tag)) {
+      out = std::move(*it);
+      inbox.queue.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Message Comm::recv(int rank, int source, int tag) {
+  RXC_REQUIRE(rank >= 0 && rank < size(), "recv: bad rank");
+  Inbox& inbox = *inboxes_[rank];
+  std::unique_lock lock(inbox.mutex);
+  Message out;
+  inbox.cv.wait(lock, [&] { return match_and_pop(inbox, out, source, tag); });
+  return out;
+}
+
+bool Comm::try_recv(int rank, Message& out, int source, int tag) {
+  RXC_REQUIRE(rank >= 0 && rank < size(), "try_recv: bad rank");
+  Inbox& inbox = *inboxes_[rank];
+  std::lock_guard lock(inbox.mutex);
+  return match_and_pop(inbox, out, source, tag);
+}
+
+void Comm::barrier() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_arrived_ == size()) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+}
+
+void run_ranks(int nranks, const std::function<void(int, Comm&)>& rank_main) {
+  Comm comm(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(nranks);
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        rank_main(r, comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace rxc::mpirt

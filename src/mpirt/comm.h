@@ -1,0 +1,95 @@
+#pragma once
+/// \file comm.h
+/// In-process message-passing runtime with MPI-like semantics.
+///
+/// RAxML's parallel layer is an MPI master-worker (paper §3.1); this module
+/// reproduces that structure with ranks as threads and typed point-to-point
+/// messages, so the library's parallel analyses run anywhere without an MPI
+/// installation.  Only the primitives RAxML uses are provided: blocking
+/// send/recv with tags and wildcard receive, plus a barrier.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace rxc::mpirt {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  /// Serialize a trivially copyable value into the payload.
+  template <class T>
+  static Message of(int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m;
+    m.tag = tag;
+    m.payload.resize(sizeof(T));
+    std::memcpy(m.payload.data(), &value, sizeof(T));
+    return m;
+  }
+  static Message of_string(int tag, const std::string& s);
+
+  template <class T>
+  T as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RXC_REQUIRE(payload.size() == sizeof(T), "message payload size mismatch");
+    T value;
+    std::memcpy(&value, payload.data(), sizeof(T));
+    return value;
+  }
+  std::string as_string() const;
+};
+
+/// Shared communicator: one inbox per rank.
+class Comm {
+public:
+  explicit Comm(int nranks);
+
+  int size() const { return static_cast<int>(inboxes_.size()); }
+
+  /// Blocking-enqueue (never blocks: inboxes are unbounded).
+  void send(int from, int to, Message message);
+
+  /// Blocking receive with optional source/tag filters.
+  Message recv(int rank, int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe+receive; returns false if no matching message.
+  bool try_recv(int rank, Message& out, int source = kAnySource,
+                int tag = kAnyTag);
+
+  /// All ranks must call; releases when the size()-th arrives.
+  void barrier();
+
+private:
+  struct Inbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  bool match_and_pop(Inbox& inbox, Message& out, int source, int tag);
+
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+/// Spawns `nranks` threads running `rank_main(rank, comm)` and joins them.
+/// Exceptions from any rank are collected and rethrown (first one wins).
+void run_ranks(int nranks, const std::function<void(int, Comm&)>& rank_main);
+
+}  // namespace rxc::mpirt

@@ -1,0 +1,77 @@
+#include "mpirt/master_worker.h"
+
+namespace rxc::mpirt {
+namespace {
+// Message tags.
+constexpr int kTagRequest = 1;  ///< worker -> master: give me work
+constexpr int kTagAssign = 2;   ///< master -> worker: task index
+constexpr int kTagStop = 3;     ///< master -> worker: no more work
+constexpr int kTagResult = 4;   ///< worker -> master: serialized result
+
+struct ResultHeader {
+  std::size_t task;
+};
+}  // namespace
+
+std::vector<std::string> master_worker_run(
+    Comm& comm, int rank, std::size_t ntasks,
+    const std::function<std::string(std::size_t)>& work) {
+  RXC_REQUIRE(comm.size() >= 2, "master-worker needs >= 2 ranks");
+
+  if (rank == 0) {
+    std::vector<std::string> results(ntasks);
+    std::size_t next = 0;
+    std::size_t done = 0;
+    int stopped = 0;
+    const int workers = comm.size() - 1;
+    while (done < ntasks || stopped < workers) {
+      Message msg = comm.recv(0);
+      if (msg.tag == kTagRequest) {
+        if (next < ntasks) {
+          comm.send(0, msg.source, Message::of(kTagAssign, next));
+          ++next;
+        } else {
+          comm.send(0, msg.source, Message::of(kTagStop, 0));
+          ++stopped;
+        }
+      } else if (msg.tag == kTagResult) {
+        // Payload: ResultHeader followed by the serialized result.
+        RXC_REQUIRE(msg.payload.size() >= sizeof(ResultHeader),
+                    "short result message");
+        ResultHeader header;
+        std::memcpy(&header, msg.payload.data(), sizeof header);
+        RXC_REQUIRE(header.task < ntasks, "result for unknown task");
+        results[header.task].assign(
+            reinterpret_cast<const char*>(msg.payload.data()) + sizeof header,
+            msg.payload.size() - sizeof header);
+        ++done;
+      } else {
+        throw Error("master received unexpected tag " +
+                    std::to_string(msg.tag));
+      }
+    }
+    return results;
+  }
+
+  // Worker loop: request, compute, return.
+  for (;;) {
+    comm.send(rank, 0, Message::of(kTagRequest, rank));
+    const Message msg = comm.recv(rank, 0);
+    if (msg.tag == kTagStop) break;
+    RXC_REQUIRE(msg.tag == kTagAssign, "worker expected an assignment");
+    const std::size_t task = msg.as<std::size_t>();
+    const std::string result = work(task);
+
+    Message reply;
+    reply.tag = kTagResult;
+    reply.payload.resize(sizeof(ResultHeader) + result.size());
+    const ResultHeader header{task};
+    std::memcpy(reply.payload.data(), &header, sizeof header);
+    std::memcpy(reply.payload.data() + sizeof header, result.data(),
+                result.size());
+    comm.send(rank, 0, std::move(reply));
+  }
+  return {};
+}
+
+}  // namespace rxc::mpirt

@@ -1,0 +1,25 @@
+#pragma once
+/// \file master_worker.h
+/// The master-worker skeleton RAxML uses for bootstraps and multiple
+/// inferences: rank 0 hands out task indices on demand; workers compute and
+/// return serialized results.  Dynamic (pull-based) distribution, so uneven
+/// task durations balance automatically.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpirt/comm.h"
+
+namespace rxc::mpirt {
+
+/// Runs `ntasks` units over `comm`'s worker ranks (1..size-1).  Each worker
+/// calls `work(task_index)` and ships the returned string back; the master
+/// collects results in task order.  Must be called from EVERY rank with the
+/// same arguments; returns the full result vector on rank 0 and an empty
+/// vector elsewhere.  Requires comm.size() >= 2.
+std::vector<std::string> master_worker_run(
+    Comm& comm, int rank, std::size_t ntasks,
+    const std::function<std::string(std::size_t)>& work);
+
+}  // namespace rxc::mpirt

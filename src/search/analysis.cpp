@@ -1,0 +1,56 @@
+#include "search/analysis.h"
+
+#include "seq/bootstrap.h"
+#include "support/error.h"
+
+namespace rxc::search {
+
+TaskResult run_task(const seq::PatternAlignment& pa,
+                    const lh::EngineConfig& engine_config,
+                    const SearchOptions& search_options,
+                    const AnalysisTask& task, lh::KernelExecutor* executor) {
+  lh::LikelihoodEngine engine(pa, engine_config);
+  if (executor != nullptr) engine.set_executor(executor);
+  if (task.kind == TaskKind::kBootstrap) {
+    // Bootstrap seed space kept disjoint from starting-tree seeds.
+    Rng rng(task.seed ^ 0xb005eedULL);
+    engine.set_pattern_weights(seq::bootstrap_weights(pa, rng));
+  }
+  const SearchResult sr = run_search(pa, engine, search_options, task.seed);
+
+  TaskResult out;
+  out.newick = sr.tree.to_newick(pa.names());
+  out.log_likelihood = sr.log_likelihood;
+  out.rounds = sr.rounds;
+  out.accepted_moves = sr.accepted_moves;
+  out.counters = engine.counters();
+  return out;
+}
+
+std::vector<AnalysisTask> make_analysis(std::size_t inferences,
+                                        std::size_t bootstraps,
+                                        std::uint64_t base_seed) {
+  std::vector<AnalysisTask> tasks;
+  tasks.reserve(inferences + bootstraps);
+  for (std::size_t i = 0; i < inferences; ++i)
+    tasks.push_back({TaskKind::kInference, base_seed + i});
+  for (std::size_t i = 0; i < bootstraps; ++i)
+    tasks.push_back({TaskKind::kBootstrap, base_seed + 1000 + i});
+  return tasks;
+}
+
+std::size_t best_inference(const std::vector<TaskResult>& results,
+                           const std::vector<AnalysisTask>& tasks) {
+  RXC_REQUIRE(results.size() == tasks.size(), "results/tasks size mismatch");
+  std::size_t best = results.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (tasks[i].kind != TaskKind::kInference) continue;
+    if (best == results.size() ||
+        results[i].log_likelihood > results[best].log_likelihood)
+      best = i;
+  }
+  RXC_REQUIRE(best < results.size(), "no inference task in analysis");
+  return best;
+}
+
+}  // namespace rxc::search

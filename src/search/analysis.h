@@ -1,0 +1,54 @@
+#pragma once
+/// \file analysis.h
+/// Work units of a full phylogenetic analysis (paper §3.1): multiple
+/// inferences on the original alignment plus non-parametric bootstrap
+/// replicates.  Each task is independent — exactly the embarrassing
+/// parallelism the master-worker scheme (mpirt) and the Cell schedulers
+/// exploit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "likelihood/executor.h"
+#include "search/search.h"
+#include "seq/patterns.h"
+
+namespace rxc::search {
+
+enum class TaskKind { kInference, kBootstrap };
+
+struct AnalysisTask {
+  TaskKind kind = TaskKind::kInference;
+  std::uint64_t seed = 1;  ///< starting tree + (bootstrap) resampling seed
+};
+
+struct TaskResult {
+  std::string newick;  ///< final tree (needs taxon names to serialize)
+  double log_likelihood = 0.0;
+  int rounds = 0;
+  std::uint64_t accepted_moves = 0;
+  lh::KernelCounters counters;  ///< kernel work this task performed
+};
+
+/// Runs one task end to end: builds a fresh engine, sets bootstrap weights
+/// when asked, searches, and returns the result.  If `executor` is non-null
+/// the engine's kernels are routed through it (the Cell port passes the
+/// simulated-SPE executor here).
+TaskResult run_task(const seq::PatternAlignment& pa,
+                    const lh::EngineConfig& engine_config,
+                    const SearchOptions& search_options,
+                    const AnalysisTask& task,
+                    lh::KernelExecutor* executor = nullptr);
+
+/// Convenience: the standard analysis bundle — `inferences` searches on the
+/// original data and `bootstraps` resampled replicates, seeds 1..n.
+std::vector<AnalysisTask> make_analysis(std::size_t inferences,
+                                        std::size_t bootstraps,
+                                        std::uint64_t base_seed = 1);
+
+/// Best (highest-lnl) inference result index; requires >= 1 inference.
+std::size_t best_inference(const std::vector<TaskResult>& results,
+                           const std::vector<AnalysisTask>& tasks);
+
+}  // namespace rxc::search

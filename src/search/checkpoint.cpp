@@ -1,0 +1,134 @@
+#include "search/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rxc::search {
+
+namespace {
+constexpr const char* kMagic = "rxc-checkpoint-v1";
+}
+
+std::size_t AnalysisCheckpoint::completed() const {
+  std::size_t n = 0;
+  for (const auto& r : results)
+    if (r.has_value()) ++n;
+  return n;
+}
+
+void AnalysisCheckpoint::save(std::ostream& out) const {
+  RXC_ASSERT(tasks.size() == results.size());
+  out << kMagic << ' ' << tasks.size() << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    out << "task " << i << ' '
+        << (tasks[i].kind == TaskKind::kBootstrap ? "bootstrap" : "inference")
+        << ' ' << tasks[i].seed << '\n';
+    if (results[i]) {
+      // Newick strings contain no whitespace, so line format is safe.
+      out << "done " << i << ' ' << results[i]->log_likelihood << ' '
+          << results[i]->rounds << ' ' << results[i]->newick << '\n';
+    }
+  }
+}
+
+void AnalysisCheckpoint::save_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    RXC_REQUIRE(out.good(), "cannot write checkpoint: " + tmp);
+    save(out);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+AnalysisCheckpoint AnalysisCheckpoint::load(std::istream& in) {
+  std::string magic;
+  std::size_t count = 0;
+  in >> magic >> count;
+  if (magic != kMagic)
+    throw ParseError("checkpoint: bad magic '" + magic + "'");
+  AnalysisCheckpoint cp;
+  cp.tasks.resize(count);
+  cp.results.resize(count);
+  std::vector<bool> seen(count, false);
+
+  std::string word;
+  while (in >> word) {
+    if (word == "task") {
+      std::size_t index;
+      std::string kind;
+      std::uint64_t seed;
+      if (!(in >> index >> kind >> seed) || index >= count)
+        throw ParseError("checkpoint: malformed task line");
+      cp.tasks[index].kind = kind == "bootstrap" ? TaskKind::kBootstrap
+                                                 : TaskKind::kInference;
+      cp.tasks[index].seed = seed;
+      seen[index] = true;
+    } else if (word == "done") {
+      std::size_t index;
+      TaskResult result;
+      if (!(in >> index >> result.log_likelihood >> result.rounds >>
+            result.newick) ||
+          index >= count)
+        throw ParseError("checkpoint: malformed done line");
+      cp.results[index] = std::move(result);
+    } else {
+      throw ParseError("checkpoint: unknown record '" + word + "'");
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i)
+    if (!seen[i]) throw ParseError("checkpoint: missing task record");
+  return cp;
+}
+
+AnalysisCheckpoint AnalysisCheckpoint::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open checkpoint: " + path);
+  return load(in);
+}
+
+AnalysisCheckpoint AnalysisCheckpoint::fresh(std::vector<AnalysisTask> tasks) {
+  AnalysisCheckpoint cp;
+  cp.results.resize(tasks.size());
+  cp.tasks = std::move(tasks);
+  return cp;
+}
+
+std::vector<TaskResult> run_analysis_checkpointed(
+    const seq::PatternAlignment& pa, const lh::EngineConfig& engine_config,
+    const SearchOptions& search_options,
+    const std::vector<AnalysisTask>& tasks,
+    const std::string& checkpoint_path) {
+  AnalysisCheckpoint cp;
+  if (std::filesystem::exists(checkpoint_path)) {
+    cp = AnalysisCheckpoint::load_file(checkpoint_path);
+    RXC_REQUIRE(cp.tasks.size() == tasks.size(),
+                "checkpoint does not match the task list (count)");
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      RXC_REQUIRE(cp.tasks[i].kind == tasks[i].kind &&
+                      cp.tasks[i].seed == tasks[i].seed,
+                  "checkpoint does not match the task list (task " +
+                      std::to_string(i) + ")");
+  } else {
+    cp = AnalysisCheckpoint::fresh(tasks);
+  }
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (cp.results[i]) continue;  // resumed
+    cp.results[i] = run_task(pa, engine_config, search_options, tasks[i]);
+    cp.save_file(checkpoint_path);
+  }
+
+  std::vector<TaskResult> out;
+  out.reserve(tasks.size());
+  for (auto& r : cp.results) out.push_back(std::move(*r));
+  return out;
+}
+
+}  // namespace rxc::search

@@ -1,0 +1,50 @@
+#pragma once
+/// \file checkpoint.h
+/// Analysis checkpointing: long bootstrap runs (the paper's "typically
+/// 100-1,000 bootstrap analyses") survive interruption by persisting each
+/// completed task.  The checkpoint is a line-oriented text file; tasks are
+/// deterministic given their seeds, so resuming simply skips the recorded
+/// ones.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/analysis.h"
+
+namespace rxc::search {
+
+struct AnalysisCheckpoint {
+  /// Task list this checkpoint belongs to (identity is checked on load via
+  /// kinds+seeds, so a checkpoint cannot be resumed against a different
+  /// analysis).
+  std::vector<AnalysisTask> tasks;
+  /// results[i] is set iff task i completed.
+  std::vector<std::optional<TaskResult>> results;
+
+  std::size_t completed() const;
+  bool done() const { return completed() == tasks.size(); }
+
+  /// Serializes to a text stream/file (atomic write via temp+rename for
+  /// the file variant).
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  /// Parses; throws rxc::ParseError on malformed input.
+  static AnalysisCheckpoint load(std::istream& in);
+  static AnalysisCheckpoint load_file(const std::string& path);
+
+  /// Creates an empty checkpoint for `tasks`.
+  static AnalysisCheckpoint fresh(std::vector<AnalysisTask> tasks);
+};
+
+/// Runs `tasks`, resuming from `checkpoint_path` if it exists (and matches
+/// the task list), writing the checkpoint after every completed task.
+/// Returns the completed results in task order.
+std::vector<TaskResult> run_analysis_checkpointed(
+    const seq::PatternAlignment& pa, const lh::EngineConfig& engine_config,
+    const SearchOptions& search_options,
+    const std::vector<AnalysisTask>& tasks,
+    const std::string& checkpoint_path);
+
+}  // namespace rxc::search

@@ -1,0 +1,104 @@
+#pragma once
+/// \file hill_climb.h
+/// The lazy-SPR hill-climbing core, templated over the likelihood engine so
+/// the DNA engine (LikelihoodEngine, optionally routed through the
+/// simulated Cell) and the protein engine (ProteinEngine) share one search
+/// implementation.  An Engine must provide the tree-observation,
+/// optimize/evaluate, score_insertion, and invalidation-hook members of
+/// lh::LikelihoodEngine.
+
+#include <limits>
+
+#include "search/search.h"
+#include "support/log.h"
+#include "tree/moves.h"
+
+namespace rxc::search::detail {
+
+/// Tries the best lazy-scored SPR around one prune point; updates `lnl` if
+/// the move was kept (after local branch re-optimization), reverts cleanly
+/// otherwise.
+template <class Engine>
+bool try_prune_point(tree::Tree& t, Engine& eng, const SearchOptions& opt,
+                     int x, int s, double& lnl, SearchResult& stats) {
+  auto rec = t.prune(x, s);
+  eng.on_prune(rec);
+  const auto targets = tree::enumerate_regraft_targets(t, rec, opt.radius);
+  if (targets.empty()) {
+    t.restore(rec);
+    eng.on_restore(rec);
+    return false;
+  }
+
+  int best_edge = -1;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& cand : targets) {
+    const double score = eng.score_insertion(rec, cand.target_edge);
+    ++stats.candidate_scores;
+    if (score > best_score) {
+      best_score = score;
+      best_edge = cand.target_edge;
+    }
+  }
+
+  // Quick reject: a lazy score far below the current tree cannot win after
+  // local re-optimization.
+  if (best_score < lnl - 10.0) {
+    t.restore(rec);
+    eng.on_restore(rec);
+    return false;
+  }
+
+  const int edge_xs = t.edge_between(rec.x, rec.s);
+  const double len_xs_saved = t.branch_length(edge_xs);
+  const double len_target_saved = t.branch_length(best_edge);
+
+  t.regraft(rec.x, best_edge, t.branch_length(best_edge) * 0.5, rec.edge_xb);
+  eng.on_regraft(best_edge, rec.edge_xb);
+  eng.optimize_branch(edge_xs);
+  eng.optimize_branch(best_edge);
+  const double new_lnl = eng.optimize_branch(rec.edge_xb);
+
+  if (new_lnl > lnl + opt.min_gain) {
+    ++stats.accepted_moves;
+    lnl = new_lnl;
+    return true;
+  }
+
+  const auto rec2 = t.prune(rec.x, rec.s);
+  RXC_ASSERT(rec2.merged_edge == best_edge);
+  eng.on_prune(rec2);
+  t.set_branch_length(best_edge, len_target_saved);
+  eng.on_branch_changed(best_edge);
+  t.set_branch_length(edge_xs, len_xs_saved);
+  t.restore(rec);
+  eng.on_restore(rec);
+  return false;
+}
+
+/// Improvement rounds over all prune points until `epsilon` convergence.
+/// `t` is the engine's attached tree; `lnl` its current log-likelihood.
+template <class Engine>
+SearchResult hill_climb(tree::Tree& t, Engine& eng, const SearchOptions& opt,
+                        double lnl) {
+  SearchResult result{t, lnl, 0, 0, 0};
+  for (int round = 0; round < opt.max_rounds; ++round) {
+    const double round_start = lnl;
+    const auto points = tree::enumerate_prune_points(t);
+    for (const auto& [x, s] : points) {
+      if (t.edge_between(x, s) < 0) continue;  // invalidated by earlier move
+      try_prune_point(t, eng, opt, x, s, lnl, result);
+    }
+    lnl = eng.optimize_all_branches(opt.branch_passes);
+    ++result.rounds;
+    log_debug("search round " + std::to_string(round) +
+              " lnl=" + std::to_string(lnl));
+    if (lnl - round_start < opt.epsilon) break;
+  }
+  t.check_valid();
+  result.tree = t;
+  result.log_likelihood = lnl;
+  return result;
+}
+
+}  // namespace rxc::search::detail

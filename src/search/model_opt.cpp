@@ -1,0 +1,119 @@
+#include "search/model_opt.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace rxc::search {
+
+double brent_maximize(const std::function<double(double)>& f, double lo,
+                      double hi, double tolerance, int max_iterations,
+                      double* fmax_out) {
+  RXC_REQUIRE(lo < hi, "brent_maximize: empty interval");
+  constexpr double kGolden = 0.3819660112501051;  // 2 - phi
+  double a = lo, b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const double m = 0.5 * (a + b);
+    const double tol = tolerance * (std::fabs(x) + 1e-10);
+    if (std::fabs(x - m) <= 2.0 * tol - 0.5 * (b - a)) break;
+
+    bool parabolic_ok = false;
+    if (std::fabs(e) > tol) {
+      // Fit a parabola through (v,fv), (w,fw), (x,fx); maximize.
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < 2.0 * tol || b - u < 2.0 * tol)
+          d = x < m ? tol : -tol;
+        parabolic_ok = true;
+      }
+    }
+    if (!parabolic_ok) {
+      e = (x < m ? b : a) - x;
+      d = kGolden * e;
+    }
+    const double u =
+        x + (std::fabs(d) >= tol ? d : (d > 0.0 ? tol : -tol));
+    const double fu = f(u);
+
+    if (fu >= fx) {
+      if (u < x) b = x; else a = x;
+      v = w; fv = fw;
+      w = x; fw = fx;
+      x = u; fx = fu;
+    } else {
+      if (u < x) a = u; else b = u;
+      if (fu >= fw || w == x) {
+        v = w; fv = fw;
+        w = u; fw = fu;
+      } else if (fu >= fv || v == x || v == w) {
+        v = u; fv = fu;
+      }
+    }
+  }
+  if (fmax_out) *fmax_out = fx;
+  return x;
+}
+
+double optimize_gtr_rates(lh::LikelihoodEngine& engine, int sweeps) {
+  model::DnaModel m = engine.model();
+  double lnl = engine.log_likelihood();
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    // GT (index 5) is the reference rate: keep it pinned at its value and
+    // optimize the other five in log space around the current point.
+    for (int r = 0; r < 5; ++r) {
+      const double current = m.rates[r];
+      const double best = brent_maximize(
+          [&](double logr) {
+            model::DnaModel trial = m;
+            trial.rates[r] = std::exp(logr);
+            engine.set_model(trial);
+            return engine.log_likelihood();
+          },
+          std::log(current) - 1.5, std::log(current) + 1.5, 1e-3, 40);
+      m.rates[r] = std::exp(best);
+      engine.set_model(m);
+    }
+    const double now = engine.log_likelihood();
+    if (now - lnl < 1e-3) {
+      lnl = now;
+      break;
+    }
+    lnl = now;
+  }
+  return lnl;
+}
+
+double optimize_model(lh::LikelihoodEngine& engine, double epsilon,
+                      int max_rounds) {
+  double lnl = engine.optimize_all_branches(2);
+  for (int round = 0; round < max_rounds; ++round) {
+    const double start = lnl;
+    lnl = optimize_gtr_rates(engine, 1);
+    if (!engine.cat_assignment().empty()) {
+      // CAT mode: refresh per-site rate assignments instead of alpha.
+      engine.assign_cat_categories();
+    } else {
+      lnl = optimize_gamma_alpha(engine);
+    }
+    lnl = engine.optimize_all_branches(2);
+    if (lnl - start < epsilon) break;
+  }
+  return lnl;
+}
+
+}  // namespace rxc::search

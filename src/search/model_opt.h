@@ -1,0 +1,49 @@
+#pragma once
+/// \file model_opt.h
+/// Maximum-likelihood model-parameter optimization: Brent's method for the
+/// Gamma shape parameter and coordinate-ascent over the GTR
+/// exchangeabilities — what RAxML's -m GTRGAMMA mode does between search
+/// rounds.
+
+#include <functional>
+
+#include "likelihood/engine.h"
+#include "likelihood/protein_engine.h"
+
+namespace rxc::search {
+
+/// Brent's method (parabolic interpolation + golden section) maximizing a
+/// unimodal function on [lo, hi].  Returns the argmax; `*fmax_out` (if
+/// non-null) receives the maximum.
+double brent_maximize(const std::function<double(double)>& f, double lo,
+                      double hi, double tolerance = 1e-4,
+                      int max_iterations = 60, double* fmax_out = nullptr);
+
+/// Optimizes the Gamma shape on the engine's current tree (engine must be
+/// in GAMMA mode with a tree attached).  Returns the final log-likelihood.
+/// Works for both the DNA and protein engines (same member surface).
+template <class Engine>
+double optimize_gamma_alpha(Engine& engine, double lo = 0.02,
+                            double hi = 50.0) {
+  double best_lnl = 0.0;
+  const double alpha = brent_maximize(
+      [&](double a) {
+        engine.set_gamma_alpha(a);
+        return engine.log_likelihood();
+      },
+      lo, hi, 1e-3, 60, &best_lnl);
+  engine.set_gamma_alpha(alpha);
+  return engine.log_likelihood();
+}
+
+/// Coordinate ascent over the five free GTR exchangeabilities (GT is the
+/// reference rate, fixed at 1) on the DNA engine's current tree.  `sweeps`
+/// passes of per-rate Brent in log space.  Returns the final lnl.
+double optimize_gtr_rates(lh::LikelihoodEngine& engine, int sweeps = 2);
+
+/// Full model optimization loop: alternates branch lengths, (GAMMA) alpha
+/// and GTR rates until improvement < epsilon.  Returns the final lnl.
+double optimize_model(lh::LikelihoodEngine& engine, double epsilon = 0.1,
+                      int max_rounds = 5);
+
+}  // namespace rxc::search

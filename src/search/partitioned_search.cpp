@@ -1,0 +1,28 @@
+#include "search/partitioned_search.h"
+
+#include "search/hill_climb.h"
+#include "tree/parsimony.h"
+
+namespace rxc::search {
+
+SearchResult run_partitioned_search(const seq::PatternAlignment& full_patterns,
+                                    lh::PartitionedEngine& engine,
+                                    const SearchOptions& options,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  tree::Tree t =
+      tree::stepwise_addition_tree(full_patterns, rng, options.attach_brlen);
+  engine.set_tree(&t);
+
+  double lnl = engine.optimize_all_branches(3);
+  if (options.assign_site_rates && !engine.cat_assignment().empty()) {
+    engine.assign_cat_categories();
+    lnl = engine.optimize_all_branches(2);
+  }
+
+  SearchResult result = detail::hill_climb(t, engine, options, lnl);
+  engine.set_tree(nullptr);
+  return result;
+}
+
+}  // namespace rxc::search

@@ -1,0 +1,19 @@
+#pragma once
+/// \file partitioned_search.h
+/// ML tree search over a partitioned (multi-gene) alignment: the shared
+/// lazy-SPR hill climb driving a PartitionedEngine.
+
+#include "likelihood/partitioned_engine.h"
+#include "search/search.h"
+
+namespace rxc::search {
+
+/// Runs one partitioned search.  The parsimony starting tree is built from
+/// the FULL alignment's patterns (`full_patterns`); likelihood then runs
+/// per partition through `engine`.
+SearchResult run_partitioned_search(const seq::PatternAlignment& full_patterns,
+                                    lh::PartitionedEngine& engine,
+                                    const SearchOptions& options,
+                                    std::uint64_t seed);
+
+}  // namespace rxc::search

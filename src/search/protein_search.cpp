@@ -1,0 +1,51 @@
+#include "search/protein_search.h"
+
+#include "search/hill_climb.h"
+#include "tree/parsimony.h"
+
+namespace rxc::search {
+
+SearchResult run_protein_search(const seq::AaPatternAlignment& pa,
+                                lh::ProteinEngine& engine,
+                                const SearchOptions& options,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  tree::Tree t = tree::stepwise_addition_tree(pa, rng, options.attach_brlen);
+  engine.set_tree(&t);
+
+  double lnl = engine.optimize_all_branches(3);
+  if (options.assign_site_rates && !engine.cat_assignment().empty()) {
+    engine.assign_cat_categories();
+    lnl = engine.optimize_all_branches(2);
+  }
+
+  SearchResult result = detail::hill_climb(t, engine, options, lnl);
+  engine.set_tree(nullptr);
+  return result;
+}
+
+ProteinTaskResult run_protein_task(const seq::AaPatternAlignment& pa,
+                                   const lh::ProteinEngineConfig& config,
+                                   const SearchOptions& options,
+                                   std::uint64_t seed, bool bootstrap) {
+  lh::ProteinEngine engine(pa, config);
+  if (bootstrap) {
+    // Multinomial re-weighting over patterns, as for DNA (seq::bootstrap
+    // operates on the DNA PatternAlignment type, so resample here).
+    Rng rng(seed ^ 0xb005eedULL);
+    std::vector<double> weights(pa.pattern_count(), 0.0);
+    const auto& s2p = pa.site_to_pattern();
+    for (std::size_t draw = 0; draw < pa.site_count(); ++draw)
+      weights[s2p[rng.below(pa.site_count())]] += 1.0;
+    engine.set_pattern_weights(weights);
+  }
+  const SearchResult sr = run_protein_search(pa, engine, options, seed);
+  ProteinTaskResult out;
+  out.newick = sr.tree.to_newick(pa.names());
+  out.log_likelihood = sr.log_likelihood;
+  out.rounds = sr.rounds;
+  out.counters = engine.counters();
+  return out;
+}
+
+}  // namespace rxc::search

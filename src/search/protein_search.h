@@ -1,0 +1,34 @@
+#pragma once
+/// \file protein_search.h
+/// Maximum-likelihood tree search for amino-acid alignments: the same
+/// stepwise-addition + lazy-SPR algorithm as the DNA path, running on the
+/// 20-state ProteinEngine.
+
+#include "likelihood/protein_engine.h"
+#include "search/search.h"
+#include "seq/aa_alignment.h"
+
+namespace rxc::search {
+
+/// Runs one full protein search.  Mirrors run_search() for DNA.
+SearchResult run_protein_search(const seq::AaPatternAlignment& pa,
+                                lh::ProteinEngine& engine,
+                                const SearchOptions& options,
+                                std::uint64_t seed);
+
+/// Convenience task runner (inference only; protein bootstraps re-weight
+/// patterns exactly like DNA).
+struct ProteinTaskResult {
+  std::string newick;
+  double log_likelihood = 0.0;
+  int rounds = 0;
+  lh::KernelCounters counters;
+};
+
+ProteinTaskResult run_protein_task(const seq::AaPatternAlignment& pa,
+                                   const lh::ProteinEngineConfig& config,
+                                   const SearchOptions& options,
+                                   std::uint64_t seed,
+                                   bool bootstrap = false);
+
+}  // namespace rxc::search

@@ -1,0 +1,60 @@
+#pragma once
+/// \file search.h
+/// Rapid hill-climbing tree search (RAxML-style lazy SPR).
+///
+/// One search = one of the paper's work units: an independent inference or
+/// a bootstrap replicate (§3.1).  The algorithm:
+///   1. randomized stepwise-addition parsimony starting tree,
+///   2. full branch-length optimization (+ CAT per-site rate assignment),
+///   3. rounds of lazy SPR: every subtree is pruned and its reinsertion
+///      into each edge within a rearrangement radius is scored with the
+///      cheap newview+evaluate combination (no tree mutation); the best
+///      candidate is applied, locally re-optimized, and kept only if the
+///      full log-likelihood improves,
+///   4. stop when a round's improvement drops below epsilon.
+///
+/// Log-likelihood is non-decreasing across accepted moves by construction.
+
+#include <cstdint>
+#include <string>
+
+#include "likelihood/engine.h"
+#include "seq/patterns.h"
+#include "tree/tree.h"
+
+namespace rxc::search {
+
+struct SearchOptions {
+  /// SPR rearrangement radius (edges from the pruned position).
+  int radius = 5;
+  /// Maximum improvement rounds over all prune points.
+  int max_rounds = 10;
+  /// Stop when a full round improves lnl by less than this.
+  double epsilon = 0.05;
+  /// Minimal lnl gain for accepting a single move.
+  double min_gain = 1e-6;
+  /// Branch length given to new stepwise-addition attachments.
+  double attach_brlen = 0.05;
+  /// Branch-length optimization sweeps after each round.
+  int branch_passes = 1;
+  /// CAT mode: run per-site rate assignment after the initial optimization.
+  bool assign_site_rates = true;
+};
+
+struct SearchResult {
+  tree::Tree tree;
+  double log_likelihood = 0.0;
+  int rounds = 0;
+  std::uint64_t accepted_moves = 0;
+  std::uint64_t candidate_scores = 0;  ///< lazy insertion evaluations
+};
+
+/// Runs one full search on `engine`'s alignment.  `seed` drives the random
+/// starting tree (distinct seeds = the paper's distinct inferences); the
+/// engine's pattern weights select original vs bootstrap data.  The engine
+/// must not have a tree attached yet (the search owns tree lifecycle).
+SearchResult run_search(const seq::PatternAlignment& pa,
+                        lh::LikelihoodEngine& engine,
+                        const SearchOptions& options, std::uint64_t seed);
+
+}  // namespace rxc::search

@@ -1,0 +1,108 @@
+#pragma once
+/// \file aa_alignment.h
+/// Amino-acid alignments: 20-state encoding with IUPAC ambiguity (B = N|D,
+/// Z = Q|E, J = I|L, X/?/- = unknown), pattern compression, and a sequence
+/// simulator — the AA counterparts of alignment.h/patterns.h/seqgen.h.
+///
+/// Characters are stored as small codes indexing a fixed table of state
+/// masks (a 20-bit mask per code); the likelihood kernels fetch per-code
+/// tip vectors from aa tip tables built per engine.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/fasta.h"
+#include "model/aa_model.h"
+#include "support/aligned.h"
+#include "support/rng.h"
+
+namespace rxc::seq {
+
+/// Canonical residue order (PAML/RAxML): ARNDCQEGHILKMFPSTWYV.
+inline constexpr char kAaLetters[21] = "ARNDCQEGHILKMFPSTWYV";
+
+using AaCode = std::uint8_t;
+/// Codes 0..19 are the residues; 20 = B, 21 = Z, 22 = J, 23 = X/gap.
+inline constexpr AaCode kAaCodeB = 20;
+inline constexpr AaCode kAaCodeZ = 21;
+inline constexpr AaCode kAaCodeJ = 22;
+inline constexpr AaCode kAaCodeX = 23;
+inline constexpr int kAaCodeCount = 24;
+
+/// 20-bit compatibility mask for a code.
+std::uint32_t aa_code_mask(AaCode code);
+
+/// Encodes one amino-acid character.  Throws rxc::ParseError on invalid
+/// characters.
+AaCode encode_aa(char c);
+char decode_aa(AaCode code);
+
+class AaAlignment {
+public:
+  static AaAlignment from_records(const std::vector<io::SeqRecord>& records);
+
+  std::size_t taxon_count() const { return names_.size(); }
+  std::size_t site_count() const { return nsites_; }
+  const std::vector<std::string>& names() const { return names_; }
+  AaCode at(std::size_t taxon, std::size_t site) const {
+    return codes_[taxon * nsites_ + site];
+  }
+  std::vector<io::SeqRecord> to_records() const;
+  std::vector<double> empirical_freqs() const;
+
+private:
+  std::vector<std::string> names_;
+  std::vector<AaCode> codes_;
+  std::size_t nsites_ = 0;
+};
+
+class AaPatternAlignment {
+public:
+  static AaPatternAlignment compress(const AaAlignment& a);
+
+  std::size_t taxon_count() const { return names_.size(); }
+  std::size_t pattern_count() const { return npatterns_; }
+  std::size_t site_count() const { return site_to_pattern_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  AaCode at(std::size_t taxon, std::size_t p) const {
+    return codes_[taxon * row_stride_ + p];
+  }
+  const AaCode* row(std::size_t taxon) const {
+    return codes_.data() + taxon * row_stride_;
+  }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<std::size_t>& site_to_pattern() const {
+    return site_to_pattern_;
+  }
+
+private:
+  std::vector<std::string> names_;
+  aligned_vector<AaCode> codes_;
+  std::vector<double> weights_;
+  std::vector<std::size_t> site_to_pattern_;
+  std::size_t npatterns_ = 0;
+  std::size_t row_stride_ = 0;
+};
+
+/// Simulates an AA alignment along a random Yule tree under `model` with
+/// optional Gamma rate heterogeneity.  Mirrors seq::simulate_alignment.
+struct AaSimOptions {
+  std::size_t ntaxa = 12;
+  std::size_t nsites = 300;
+  model::AaModel model = model::AaModel::poisson();
+  double gamma_alpha = 0.0;
+  double branch_scale = 0.08;
+  std::uint64_t seed = 7;
+  std::string name_prefix = "taxon";
+};
+
+struct AaSimResult {
+  AaAlignment alignment;
+  std::string true_tree_newick;
+};
+
+AaSimResult simulate_aa_alignment(const AaSimOptions& options);
+
+}  // namespace rxc::seq

@@ -1,0 +1,97 @@
+#include "seq/alignment.h"
+
+#include <array>
+#include <cctype>
+#include <set>
+
+#include "support/error.h"
+
+namespace rxc::seq {
+
+DnaCode encode_dna(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return 0b0001;
+    case 'C': return 0b0010;
+    case 'G': return 0b0100;
+    case 'T':
+    case 'U': return 0b1000;
+    case 'M': return 0b0011;  // A|C
+    case 'R': return 0b0101;  // A|G
+    case 'W': return 0b1001;  // A|T
+    case 'S': return 0b0110;  // C|G
+    case 'Y': return 0b1010;  // C|T
+    case 'K': return 0b1100;  // G|T
+    case 'V': return 0b0111;  // A|C|G
+    case 'H': return 0b1011;  // A|C|T
+    case 'D': return 0b1101;  // A|G|T
+    case 'B': return 0b1110;  // C|G|T
+    case 'N':
+    case 'O':
+    case 'X':
+    case '?':
+    case '-': return kGapCode;
+    default:
+      throw ParseError(std::string("invalid nucleotide character '") + c +
+                       "'");
+  }
+}
+
+char decode_dna(DnaCode code) {
+  static constexpr char kTable[16] = {'-', 'A', 'C', 'M', 'G', 'R', 'S', 'V',
+                                      'T', 'W', 'Y', 'H', 'K', 'D', 'B', 'N'};
+  RXC_ASSERT(code < 16);
+  return kTable[code];
+}
+
+Alignment Alignment::from_records(const std::vector<io::SeqRecord>& records) {
+  RXC_REQUIRE(!records.empty(), "alignment needs at least one sequence");
+  RXC_REQUIRE(records.size() >= 4,
+              "phylogenetic inference needs at least 4 taxa");
+  Alignment a;
+  a.nsites_ = records.front().data.size();
+  RXC_REQUIRE(a.nsites_ > 0, "alignment has zero sites");
+  a.codes_.reserve(records.size() * a.nsites_);
+  std::set<std::string> seen;
+  for (const auto& rec : records) {
+    if (rec.data.size() != a.nsites_)
+      throw ParseError("sequence '" + rec.name + "' length " +
+                       std::to_string(rec.data.size()) +
+                       " != " + std::to_string(a.nsites_));
+    if (!seen.insert(rec.name).second)
+      throw ParseError("duplicate taxon name '" + rec.name + "'");
+    a.names_.push_back(rec.name);
+    for (char c : rec.data) a.codes_.push_back(encode_dna(c));
+  }
+  return a;
+}
+
+std::vector<io::SeqRecord> Alignment::to_records() const {
+  std::vector<io::SeqRecord> out;
+  out.reserve(taxon_count());
+  for (std::size_t t = 0; t < taxon_count(); ++t) {
+    io::SeqRecord rec;
+    rec.name = names_[t];
+    rec.data.reserve(nsites_);
+    for (std::size_t s = 0; s < nsites_; ++s)
+      rec.data.push_back(decode_dna(at(t, s)));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::array<double, 4> Alignment::empirical_base_freqs() const {
+  std::array<double, 4> counts{0, 0, 0, 0};
+  for (DnaCode code : codes_) {
+    if (code == kGapCode) continue;
+    const int bits = __builtin_popcount(code);
+    const double share = 1.0 / bits;
+    for (int b = 0; b < 4; ++b)
+      if (code & (1u << b)) counts[b] += share;
+  }
+  double total = counts[0] + counts[1] + counts[2] + counts[3];
+  if (total == 0.0) return {0.25, 0.25, 0.25, 0.25};
+  for (double& c : counts) c /= total;
+  return counts;
+}
+
+}  // namespace rxc::seq

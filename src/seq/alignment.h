@@ -1,0 +1,68 @@
+#pragma once
+/// \file alignment.h
+/// Encoded DNA multiple sequence alignment.
+///
+/// Characters are stored RAxML-style as 4-bit presence masks over the state
+/// order A,C,G,T: 'A'=0b0001, 'C'=0b0010, 'G'=0b0100, 'T'=0b1000; IUPAC
+/// ambiguity codes set several bits; gaps/'N'/'?' are 0b1111 (total
+/// ignorance).  A tip's conditional likelihood for state i is 1 when bit i
+/// is set, 0 otherwise — that convention drives the tip kernels.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/fasta.h"
+
+namespace rxc::seq {
+
+using DnaCode = std::uint8_t;
+inline constexpr DnaCode kGapCode = 0b1111;
+
+/// Encodes one IUPAC nucleotide character ('U' treated as 'T').
+/// Throws rxc::ParseError on non-nucleotide characters.
+DnaCode encode_dna(char c);
+
+/// Canonical character for a code (ambiguity codes map to IUPAC letters).
+char decode_dna(DnaCode code);
+
+/// True if the code is one of the four unambiguous bases.
+constexpr bool is_unambiguous(DnaCode code) {
+  return code == 1 || code == 2 || code == 4 || code == 8;
+}
+
+class Alignment {
+public:
+  /// Builds from raw records.  All sequences must be non-empty and of equal
+  /// length; names must be unique.  Throws rxc::ParseError otherwise.
+  static Alignment from_records(const std::vector<io::SeqRecord>& records);
+
+  std::size_t taxon_count() const { return names_.size(); }
+  std::size_t site_count() const { return nsites_; }
+
+  const std::string& name(std::size_t taxon) const { return names_[taxon]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  DnaCode at(std::size_t taxon, std::size_t site) const {
+    return codes_[taxon * nsites_ + site];
+  }
+  /// Row of `taxon` (nsites codes).
+  const DnaCode* row(std::size_t taxon) const {
+    return codes_.data() + taxon * nsites_;
+  }
+
+  /// Decoded records (inverse of from_records up to ambiguity spelling).
+  std::vector<io::SeqRecord> to_records() const;
+
+  /// Empirical base frequencies over unambiguous characters, with ambiguity
+  /// mass split evenly among its candidate bases (gaps ignored).
+  std::array<double, 4> empirical_base_freqs() const;
+
+private:
+  std::vector<std::string> names_;
+  std::vector<DnaCode> codes_;  ///< taxon-major, taxon_count x nsites
+  std::size_t nsites_ = 0;
+};
+
+}  // namespace rxc::seq

@@ -1,0 +1,32 @@
+#include "seq/bootstrap.h"
+
+#include "support/error.h"
+
+namespace rxc::seq {
+
+std::vector<double> bootstrap_weights(const PatternAlignment& pa, Rng& rng) {
+  std::vector<double> weights(pa.pattern_count(), 0.0);
+  const auto& site_to_pattern = pa.site_to_pattern();
+  const std::size_t nsites = pa.site_count();
+  for (std::size_t draw = 0; draw < nsites; ++draw) {
+    const std::size_t site = rng.below(nsites);
+    weights[site_to_pattern[site]] += 1.0;
+  }
+  return weights;
+}
+
+std::vector<double> support_fractions(
+    const std::vector<std::vector<bool>>& replicate_splits) {
+  RXC_REQUIRE(!replicate_splits.empty(), "no bootstrap replicates");
+  const std::size_t nsplits = replicate_splits.front().size();
+  std::vector<double> support(nsplits, 0.0);
+  for (const auto& rep : replicate_splits) {
+    RXC_ASSERT(rep.size() == nsplits);
+    for (std::size_t i = 0; i < nsplits; ++i)
+      if (rep[i]) support[i] += 1.0;
+  }
+  for (double& s : support) s /= static_cast<double>(replicate_splits.size());
+  return support;
+}
+
+}  // namespace rxc::seq

@@ -1,0 +1,25 @@
+#pragma once
+/// \file bootstrap.h
+/// Non-parametric bootstrap resampling.  A bootstrap replicate draws
+/// site_count() columns with replacement from the original alignment; in
+/// pattern space that is simply a new integer weight vector over the
+/// existing patterns (RAxML does exactly this re-weighting, §3.1 of the
+/// paper).
+
+#include <vector>
+
+#include "seq/patterns.h"
+#include "support/rng.h"
+
+namespace rxc::seq {
+
+/// Weights for one bootstrap replicate: multinomial(nsites) over sites,
+/// accumulated per pattern.  sum(result) == site_count().
+std::vector<double> bootstrap_weights(const PatternAlignment& pa, Rng& rng);
+
+/// Bootstrap support: fraction of `replicate_splits` vectors whose entry for
+/// each split is true.  (Helper for the bootstrap example's report.)
+std::vector<double> support_fractions(
+    const std::vector<std::vector<bool>>& replicate_splits);
+
+}  // namespace rxc::seq

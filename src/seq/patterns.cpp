@@ -1,0 +1,41 @@
+#include "seq/patterns.h"
+
+#include <map>
+#include <string>
+
+namespace rxc::seq {
+
+PatternAlignment PatternAlignment::compress(const Alignment& a) {
+  const std::size_t ntaxa = a.taxon_count();
+  const std::size_t nsites = a.site_count();
+
+  PatternAlignment pa;
+  pa.names_ = a.names();
+  pa.site_to_pattern_.resize(nsites);
+
+  // Column -> pattern id, keyed by the column's character string.
+  std::map<std::string, std::size_t> index;
+  std::vector<std::string> columns;  // pattern id -> column chars
+  std::string col(ntaxa, '\0');
+  for (std::size_t s = 0; s < nsites; ++s) {
+    for (std::size_t t = 0; t < ntaxa; ++t)
+      col[t] = static_cast<char>(a.at(t, s));
+    const auto [it, inserted] = index.try_emplace(col, columns.size());
+    if (inserted) {
+      columns.push_back(col);
+      pa.weights_.push_back(0.0);
+    }
+    pa.weights_[it->second] += 1.0;
+    pa.site_to_pattern_[s] = it->second;
+  }
+
+  pa.npatterns_ = columns.size();
+  pa.row_stride_ = round_up(pa.npatterns_, kDmaAlignment);
+  pa.codes_.assign(ntaxa * pa.row_stride_, kGapCode);  // pad = gap
+  for (std::size_t p = 0; p < pa.npatterns_; ++p)
+    for (std::size_t t = 0; t < ntaxa; ++t)
+      pa.codes_[t * pa.row_stride_ + p] = static_cast<DnaCode>(columns[p][t]);
+  return pa;
+}
+
+}  // namespace rxc::seq

@@ -1,0 +1,57 @@
+#pragma once
+/// \file patterns.h
+/// Site-pattern compression.  Identical alignment columns contribute
+/// identical per-site likelihood terms, so the kernels iterate over
+/// *distinct* columns (patterns) weighted by multiplicity — this is why the
+/// paper's 1167-site 42_SC input drives only ~250 kernel loop iterations.
+
+#include <cstddef>
+#include <vector>
+
+#include "seq/alignment.h"
+#include "support/aligned.h"
+
+namespace rxc::seq {
+
+class PatternAlignment {
+public:
+  /// Compresses `a`.  Patterns are ordered by first occurrence.
+  static PatternAlignment compress(const Alignment& a);
+
+  std::size_t taxon_count() const { return names_.size(); }
+  std::size_t pattern_count() const { return npatterns_; }
+  std::size_t site_count() const { return site_to_pattern_.size(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Character of `taxon` at pattern `p`.
+  DnaCode at(std::size_t taxon, std::size_t p) const {
+    return codes_[taxon * row_stride_ + p];
+  }
+  /// Row pointer: 16-byte aligned with a 16-byte-padded stride, so strips
+  /// of it are legal Cell DMA transfers (gap code in the pad entries).
+  const DnaCode* row(std::size_t taxon) const {
+    return codes_.data() + taxon * row_stride_;
+  }
+  /// Distance in entries between consecutive taxon rows (>= pattern_count).
+  std::size_t row_stride() const { return row_stride_; }
+
+  /// Multiplicity of each pattern in the original alignment (doubles because
+  /// bootstrap replicates re-weight them).  sum == site_count().
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Pattern index of each original site.
+  const std::vector<std::size_t>& site_to_pattern() const {
+    return site_to_pattern_;
+  }
+
+private:
+  std::vector<std::string> names_;
+  aligned_vector<DnaCode> codes_;  ///< taxon-major, taxon_count x row_stride
+  std::vector<double> weights_;
+  std::vector<std::size_t> site_to_pattern_;
+  std::size_t npatterns_ = 0;
+  std::size_t row_stride_ = 0;
+};
+
+}  // namespace rxc::seq

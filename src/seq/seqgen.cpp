@@ -1,0 +1,212 @@
+#include "seq/seqgen.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "io/newick.h"
+#include "support/error.h"
+
+namespace rxc::seq {
+namespace {
+
+/// Rooted binary tree for simulation only (the inference code has its own
+/// unrooted representation in tree/).
+struct SimNode {
+  int parent = -1;
+  int left = -1, right = -1;
+  double brlen = 0.0;  ///< branch to parent
+  int taxon = -1;      ///< leaf index or -1
+};
+
+/// Yule process: start from a cherry, repeatedly split a uniformly chosen
+/// current leaf until `ntaxa` leaves exist.  Branch lengths ~ Exp(mean =
+/// branch_scale).
+std::vector<SimNode> yule_tree(std::size_t ntaxa, double branch_scale,
+                               Rng& rng) {
+  RXC_ASSERT(ntaxa >= 2);
+  std::vector<SimNode> nodes;
+  nodes.reserve(2 * ntaxa - 1);
+  nodes.push_back({});  // root
+  std::vector<int> leaves;
+  for (int c = 0; c < 2; ++c) {
+    SimNode leaf;
+    leaf.parent = 0;
+    leaf.brlen = branch_scale * rng.exponential();
+    nodes.push_back(leaf);
+    leaves.push_back(static_cast<int>(nodes.size()) - 1);
+  }
+  nodes[0].left = leaves[0];
+  nodes[0].right = leaves[1];
+
+  while (leaves.size() < ntaxa) {
+    const std::size_t pick = rng.below(leaves.size());
+    const int split = leaves[pick];
+    for (int c = 0; c < 2; ++c) {
+      SimNode leaf;
+      leaf.parent = split;
+      leaf.brlen = branch_scale * rng.exponential();
+      nodes.push_back(leaf);
+      const int id = static_cast<int>(nodes.size()) - 1;
+      if (c == 0) {
+        nodes[split].left = id;
+        leaves[pick] = id;
+      } else {
+        nodes[split].right = id;
+        leaves.push_back(id);
+      }
+    }
+  }
+  // Number the leaves left-to-right for stable taxon naming.
+  int next_taxon = 0;
+  for (auto& node : nodes)
+    if (node.left == -1) node.taxon = next_taxon++;
+  return nodes;
+}
+
+std::string to_newick(const std::vector<SimNode>& nodes, int id,
+                      const std::string& prefix) {
+  const SimNode& n = nodes[id];
+  std::ostringstream out;
+  if (n.left == -1) {
+    out << prefix << n.taxon;
+  } else {
+    out << '(' << to_newick(nodes, n.left, prefix) << ','
+        << to_newick(nodes, n.right, prefix) << ')';
+  }
+  if (n.parent != -1) out << ':' << n.brlen;
+  return out.str();
+}
+
+}  // namespace
+
+/// Evolves sequences down `nodes` (parents precede children) and packages
+/// the result.  `taxon_names[i]` names leaf with SimNode::taxon == i; pass
+/// empty to use options.name_prefix + index.
+static SimResult evolve_on_tree(const std::vector<SimNode>& nodes,
+                                const std::vector<std::string>& taxon_names,
+                                const SimOptions& options, Rng& rng) {
+  options.model.validate();
+  RXC_REQUIRE(options.nsites >= 1, "sequence simulation: need >= 1 site");
+  const auto es = model::decompose(options.model);
+
+  // Per-site rates.
+  std::vector<double> site_rate(options.nsites, 1.0);
+  if (options.gamma_alpha > 0.0)
+    for (double& r : site_rate)
+      r = rng.gamma(options.gamma_alpha) / options.gamma_alpha;
+
+  // Root states from the stationary distribution; children by P(t * rate).
+  // states[node][site] in 0..3.
+  std::vector<std::vector<std::uint8_t>> states(
+      nodes.size(), std::vector<std::uint8_t>(options.nsites));
+  double pi_cdf[4];
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    acc += options.model.freqs[i];
+    pi_cdf[i] = acc;
+  }
+  for (std::size_t s = 0; s < options.nsites; ++s)
+    states[0][s] = static_cast<std::uint8_t>(rng.discrete_from_cdf(pi_cdf, 4));
+
+  // Pre-order: parents appear before children by construction.
+  for (std::size_t id = 1; id < nodes.size(); ++id) {
+    const SimNode& n = nodes[id];
+    // Cache P(t*r) per distinct rate is overkill here (simulation is not a
+    // hot path); compute per site group of equal rate lazily instead.
+    double cached_rate = -1.0;
+    model::Matrix4 p{};
+    double row_cdf[4];
+    for (std::size_t s = 0; s < options.nsites; ++s) {
+      if (site_rate[s] != cached_rate) {
+        cached_rate = site_rate[s];
+        p = model::transition_matrix(es, n.brlen * cached_rate);
+      }
+      const int from = states[n.parent][s];
+      double a2 = 0.0;
+      for (int j = 0; j < 4; ++j) {
+        a2 += p[from * 4 + j];
+        row_cdf[j] = a2;
+      }
+      states[id][s] =
+          static_cast<std::uint8_t>(rng.discrete_from_cdf(row_cdf, 4));
+    }
+  }
+
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  std::size_t nleaves = 0;
+  for (const auto& node : nodes)
+    if (node.taxon >= 0) ++nleaves;
+  std::vector<io::SeqRecord> records(nleaves);
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (nodes[id].taxon < 0) continue;
+    io::SeqRecord& rec = records[nodes[id].taxon];
+    rec.name = taxon_names.empty()
+                   ? options.name_prefix + std::to_string(nodes[id].taxon)
+                   : taxon_names[nodes[id].taxon];
+    rec.data.reserve(options.nsites);
+    for (std::size_t s = 0; s < options.nsites; ++s)
+      rec.data.push_back(kBases[states[id][s]]);
+  }
+
+  SimResult result{Alignment::from_records(records), {}};
+  return result;
+}
+
+SimResult simulate_alignment(const SimOptions& options) {
+  RXC_REQUIRE(options.ntaxa >= 4, "simulate_alignment: need >= 4 taxa");
+  Rng rng(options.seed);
+  const auto nodes = yule_tree(options.ntaxa, options.branch_scale, rng);
+  SimResult result = evolve_on_tree(nodes, {}, options, rng);
+  result.true_tree_newick = to_newick(nodes, 0, options.name_prefix) + ";";
+  return result;
+}
+
+namespace {
+/// Converts a rooted binary NewickNode subtree into SimNodes.
+int convert_newick(const io::NewickNode& nw, int parent,
+                   std::vector<SimNode>& nodes,
+                   std::vector<std::string>& names) {
+  SimNode node;
+  node.parent = parent;
+  node.brlen = nw.length.value_or(0.1);
+  const int id = static_cast<int>(nodes.size());
+  nodes.push_back(node);
+  if (nw.is_leaf()) {
+    nodes[id].taxon = static_cast<int>(names.size());
+    names.push_back(nw.label);
+    return id;
+  }
+  RXC_REQUIRE(nw.children.size() == 2,
+              "simulate_on_newick: tree must be rooted binary");
+  nodes[id].left = convert_newick(*nw.children[0], id, nodes, names);
+  nodes[id].right = convert_newick(*nw.children[1], id, nodes, names);
+  return id;
+}
+}  // namespace
+
+SimResult simulate_on_newick(const std::string& newick,
+                             const SimOptions& options) {
+  const auto root = io::parse_newick(newick);
+  std::vector<SimNode> nodes;
+  std::vector<std::string> names;
+  convert_newick(*root, -1, nodes, names);
+  RXC_REQUIRE(names.size() >= 4, "simulate_on_newick: need >= 4 taxa");
+  Rng rng(options.seed);
+  SimResult result = evolve_on_tree(nodes, names, options, rng);
+  result.true_tree_newick = newick;
+  return result;
+}
+
+SimResult make_42sc(std::uint64_t seed) {
+  SimOptions opt;
+  opt.ntaxa = 42;
+  opt.nsites = 1167;
+  opt.gamma_alpha = 0.25;   // strong heterogeneity -> many near-invariant sites
+  opt.branch_scale = 0.004; // tuned so compression yields ~250 patterns
+  opt.seed = seed;
+  opt.name_prefix = "sc";
+  return simulate_alignment(opt);
+}
+
+}  // namespace rxc::seq

@@ -1,0 +1,62 @@
+#pragma once
+/// \file aligned.h
+/// 16-byte-aligned storage for likelihood vectors and simulated local-store
+/// buffers.  The Cell MFC requires 128-bit alignment on both ends of a DMA
+/// transfer; using the same alignment on the host keeps the simulated port
+/// honest and enables the SSE2 kernels to use aligned loads.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace rxc {
+
+inline constexpr std::size_t kDmaAlignment = 16;
+
+/// Minimal aligned allocator (C++17 aligned operator new).
+template <class T, std::size_t Align = kDmaAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T));
+
+  // Required explicitly: allocator_traits cannot rebind templates with
+  // non-type parameters on its own.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 16-byte-aligned data().
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// True if p is aligned to `align` bytes.
+inline bool is_aligned(const void* p, std::size_t align = kDmaAlignment) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+/// Round n up to a multiple of `align`.
+constexpr std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace rxc

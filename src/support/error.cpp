@@ -1,0 +1,17 @@
+#include "support/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rxc {
+
+void assert_fail(const char* expr, std::source_location loc,
+                 const std::string& msg) {
+  std::fprintf(stderr, "rxc: assertion failed: %s\n  at %s:%u in %s\n", expr,
+               loc.file_name(), static_cast<unsigned>(loc.line()),
+               loc.function_name());
+  if (!msg.empty()) std::fprintf(stderr, "  %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace rxc

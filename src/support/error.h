@@ -1,0 +1,61 @@
+#pragma once
+/// \file error.h
+/// Error handling primitives shared by every rxc module.
+///
+/// Library code throws rxc::Error (ordinary recoverable failures: bad input
+/// files, malformed Newick, model misuse).  Internal invariant violations use
+/// RXC_ASSERT, which is compiled in all build types — a simulator whose
+/// invariants silently drift produces plausible-looking but wrong timings,
+/// so we keep the checks in release builds too.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace rxc {
+
+/// Base exception for all recoverable rxc errors.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on malformed input data (alignments, trees, option strings).
+class ParseError : public Error {
+public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a Cell-simulator hardware rule is violated (DMA alignment,
+/// local-store overflow, mailbox misuse).  Mirrors what would be a bus error
+/// or MFC exception on real silicon.
+class HardwareError : public Error {
+public:
+  explicit HardwareError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc,
+                              const std::string& msg);
+
+}  // namespace rxc
+
+/// Always-on invariant check.  `msg` may use stream-style formatting via
+/// std::string concatenation at the call site.
+#define RXC_ASSERT(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::rxc::assert_fail(#expr, std::source_location::current(), "");       \
+  } while (0)
+
+#define RXC_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::rxc::assert_fail(#expr, std::source_location::current(), (msg));    \
+  } while (0)
+
+/// Recoverable-precondition check: throws rxc::Error instead of aborting.
+#define RXC_REQUIRE(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      throw ::rxc::Error(std::string("requirement failed: ") + (msg));      \
+  } while (0)

@@ -1,0 +1,21 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rxc {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+constexpr const char* kNames[] = {"debug", "info", "warn", "error"};
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[rxc:%s] %s\n", kNames[static_cast<int>(level)],
+               msg.c_str());
+}
+
+}  // namespace rxc

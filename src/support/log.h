@@ -1,0 +1,21 @@
+#pragma once
+/// \file log.h
+/// Leveled stderr logging.  Intentionally tiny: examples and benches print
+/// their reports on stdout; the log is for diagnostics only.
+
+#include <string>
+
+namespace rxc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace rxc

@@ -1,0 +1,68 @@
+#include "support/options.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace rxc {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    RXC_REQUIRE(arg.rfind("--", 0) == 0, "option must start with --: " + arg);
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "1";
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return kv_.contains(key); }
+
+std::string Options::get(const std::string& key,
+                         const std::string& dflt) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t dflt) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double dflt) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool dflt) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+void Options::check_known(std::initializer_list<const char*> allowed) const {
+  for (const auto& [key, value] : kv_) {
+    (void)value;
+    const bool known =
+        std::any_of(allowed.begin(), allowed.end(),
+                    [&](const char* a) { return key == a; });
+    if (!known) {
+      std::string msg = "unknown option --" + key + "; known options:";
+      for (const char* a : allowed) msg += std::string(" --") + a;
+      throw Error(msg);
+    }
+  }
+}
+
+}  // namespace rxc

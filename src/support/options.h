@@ -1,0 +1,31 @@
+#pragma once
+/// \file options.h
+/// Minimal --key=value / --flag command-line parsing for the examples and
+/// bench drivers.  Unknown keys throw, so typos surface immediately.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rxc {
+
+class Options {
+public:
+  /// Parses argv[1..).  Accepts "--key=value", "--key value" and bare
+  /// "--flag" (value "1").
+  Options(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  /// Throws rxc::Error listing `allowed` if any parsed key is not in it.
+  void check_known(std::initializer_list<const char*> allowed) const;
+
+private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace rxc

@@ -1,0 +1,55 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace rxc {
+
+double Rng::exponential() {
+  // -log(U) with U in (0,1]; uniform() returns [0,1) so flip it.
+  return -std::log1p(-uniform());
+}
+
+double Rng::normal() {
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::gamma(double shape) {
+  RXC_ASSERT(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+    const double g = gamma(shape + 1.0);
+    return g * std::pow(uniform() + 1e-300, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u + 1e-300) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+std::size_t Rng::discrete_from_cdf(const double* cdf, std::size_t n) {
+  RXC_ASSERT(n > 0);
+  const double r = uniform() * cdf[n - 1];
+  // Linear scan: n is tiny (4 states / <=25 rate categories) in all callers.
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    if (r < cdf[i]) return i;
+  return n - 1;
+}
+
+}  // namespace rxc

@@ -1,0 +1,94 @@
+#pragma once
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// Everything in this repository that consumes randomness (starting trees,
+/// bootstrap resampling, the sequence-evolution simulator) takes an explicit
+/// Rng so runs are reproducible from a single seed.  The generator is
+/// xoshiro256** seeded via SplitMix64, the standard recipe for avoiding
+/// correlated low-entropy seeds.
+
+#include <array>
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace rxc {
+
+/// SplitMix64: used only to expand a 64-bit seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  Uses Lemire's unbiased multiply-shift.
+  std::uint64_t below(std::uint64_t n) {
+    RXC_ASSERT(n > 0);
+    // Rejection-free for our purposes: bias is < 2^-64 * n, negligible for
+    // n far below 2^64 (all our uses are < 2^32).
+    __extension__ using u128 = unsigned __int128;
+    const u128 m = static_cast<u128>(operator()()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard exponential deviate (rate 1).
+  double exponential();
+
+  /// Standard normal deviate (polar Marsaglia).
+  double normal();
+
+  /// Gamma(shape, scale=1) deviate — Marsaglia & Tsang for shape >= 1,
+  /// boosted for shape < 1.  Used by the sequence simulator for per-site
+  /// rate draws under the +G model.
+  double gamma(double shape);
+
+  /// Sample an index from a discrete distribution given cumulative weights
+  /// (cum.back() is the total mass).
+  std::size_t discrete_from_cdf(const double* cdf, std::size_t n);
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rxc

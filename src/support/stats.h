@@ -1,0 +1,57 @@
+#pragma once
+/// \file stats.h
+/// Small statistics helpers used by benchmarks and the schedulers.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace rxc {
+
+/// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+inline double mean_of(std::span<const double> xs) {
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); used by kernel-equivalence
+/// tests (SIMD vs scalar).
+inline double rel_diff(double a, double b) {
+  const double denom =
+      std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace rxc

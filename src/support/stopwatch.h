@@ -1,0 +1,23 @@
+#pragma once
+/// \file stopwatch.h
+/// Wall-clock stopwatch for host-side measurement (the simulator keeps its
+/// own *virtual* clocks; see cell/des.h).
+
+#include <chrono>
+
+namespace rxc {
+
+class Stopwatch {
+public:
+  Stopwatch() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rxc

@@ -1,0 +1,23 @@
+#pragma once
+/// \file str.h
+/// String utilities for the parsers and report printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rxc {
+
+std::string_view trim(std::string_view s);
+std::vector<std::string> split_ws(std::string_view s);
+std::vector<std::string> split(std::string_view s, char sep);
+bool starts_with_ci(std::string_view s, std::string_view prefix);
+std::string to_lower(std::string_view s);
+
+/// "1234567" -> "1,234,567" for report tables.
+std::string with_thousands(unsigned long long v);
+
+/// Fixed-point formatting with `prec` decimals (printf "%.*f").
+std::string fixed(double v, int prec);
+
+}  // namespace rxc

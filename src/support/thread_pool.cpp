@@ -1,0 +1,88 @@
+#include "support/thread_pool.h"
+
+#include "support/error.h"
+
+namespace rxc {
+
+ThreadPool::ThreadPool(int threads) : nthreads_(threads) {
+  RXC_REQUIRE(threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(threads - 1);
+  for (int i = 1; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t size = 0;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      size = job_size_;
+    }
+    // Pull indices until exhausted.
+    std::size_t worked = 0;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1);
+      if (i >= size) break;
+      (*job)(i);
+      ++worked;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      completed_ += worked;
+      if (completed_ >= size) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (nthreads_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    job_size_ = n;
+    next_.store(0);
+    completed_ = 0;
+    ++generation_;
+  }
+  wake_.notify_all();
+  // The calling thread participates too.
+  std::size_t worked = 0;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1);
+    if (i >= n) break;
+    fn(i);
+    ++worked;
+  }
+  std::unique_lock lock(mutex_);
+  completed_ += worked;
+  if (completed_ >= n) {
+    job_ = nullptr;
+    return;
+  }
+  done_.wait(lock, [&] { return completed_ >= n; });
+  job_ = nullptr;
+}
+
+}  // namespace rxc

@@ -1,0 +1,50 @@
+#pragma once
+/// \file thread_pool.h
+/// Minimal persistent worker pool with a blocking parallel-for — the
+/// substrate for the loop-level shared-memory parallelization of the
+/// likelihood kernels (the paper's §3 RAxML-OMP analogue).
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rxc {
+
+class ThreadPool {
+public:
+  /// Spawns `threads` persistent workers (>= 1; 1 means the calling thread
+  /// does all work, no spawn).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return nthreads_; }
+
+  /// Runs fn(i) for every i in [0, n), distributing dynamically over the
+  /// workers (and the calling thread).  Blocks until all indices are done.
+  /// fn must be safe to call concurrently for distinct i.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+  void worker_loop();
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t completed_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rxc

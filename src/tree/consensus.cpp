@@ -1,0 +1,119 @@
+#include "tree/consensus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace rxc::tree {
+
+std::vector<double> split_support(const Tree& reference,
+                                  const std::vector<Tree>& replicates) {
+  RXC_REQUIRE(!replicates.empty(), "split_support: no replicates");
+  const auto ref_splits = reference.splits();
+  std::vector<double> support(ref_splits.size(), 0.0);
+  for (const Tree& rep : replicates) {
+    RXC_REQUIRE(rep.tip_count() == reference.tip_count(),
+                "split_support: mismatched taxon sets");
+    const auto rs = rep.splits();  // sorted
+    for (std::size_t i = 0; i < ref_splits.size(); ++i)
+      if (std::binary_search(rs.begin(), rs.end(), ref_splits[i]))
+        support[i] += 1.0;
+  }
+  for (double& s : support) s /= static_cast<double>(replicates.size());
+  return support;
+}
+
+std::map<Split, double> majority_splits(const std::vector<Tree>& replicates,
+                                        double threshold) {
+  RXC_REQUIRE(!replicates.empty(), "majority_splits: no replicates");
+  RXC_REQUIRE(threshold >= 0.5 && threshold < 1.0 + 1e-12,
+              "majority threshold must be in [0.5, 1]");
+  std::map<Split, double> counts;
+  for (const Tree& rep : replicates)
+    for (const Split& s : rep.splits()) counts[s] += 1.0;
+  std::map<Split, double> out;
+  const double n = static_cast<double>(replicates.size());
+  for (const auto& [split, count] : counts)
+    if (count / n > threshold) out.emplace(split, count / n);
+  return out;
+}
+
+namespace {
+
+void write_support_subtree(const Tree& t, int node, int from,
+                           const std::vector<std::string>& names,
+                           const std::map<Split, double>& support,
+                           std::ostringstream& out) {
+  if (t.is_tip(node)) {
+    out << names[node];
+    return;
+  }
+  out << '(';
+  bool first = true;
+  for (const auto& nb : t.neighbors(node)) {
+    if (nb.node == from) continue;
+    if (!first) out << ',';
+    first = false;
+    write_support_subtree(t, nb.node, node, names, support, out);
+    // Support label on internal edges (below the child subtree).
+    if (!t.is_tip(nb.node)) {
+      const auto it = support.find(t.split_of_edge(nb.edge));
+      if (it != support.end()) {
+        // Emitted after the closing ')' of the child group by appending to
+        // the child's text — the recursive call just wrote it.
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%.2f", it->second);
+        out << buf;
+      }
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", t.branch_length(nb.edge));
+    out << ':' << buf;
+  }
+  out << ')';
+}
+
+}  // namespace
+
+std::string newick_with_support(const Tree& reference,
+                                const std::vector<std::string>& names,
+                                const std::vector<Tree>& replicates) {
+  const auto ref_splits = reference.splits();
+  const auto fractions = split_support(reference, replicates);
+  std::map<Split, double> support;
+  for (std::size_t i = 0; i < ref_splits.size(); ++i)
+    support.emplace(ref_splits[i], fractions[i]);
+
+  RXC_ASSERT(names.size() == reference.tip_count());
+  const auto anchor = reference.neighbors(0)[0];
+  std::ostringstream out;
+  out << '(' << names[0];
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g",
+                reference.branch_length(anchor.edge));
+  out << ':' << buf << ',';
+  bool first = true;
+  for (const auto& nb : reference.neighbors(anchor.node)) {
+    if (nb.node == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    write_support_subtree(reference, nb.node, anchor.node, names, support,
+                          out);
+    if (!reference.is_tip(nb.node)) {
+      const auto it = support.find(reference.split_of_edge(nb.edge));
+      if (it != support.end()) {
+        char lbl[16];
+        std::snprintf(lbl, sizeof lbl, "%.2f", it->second);
+        out << lbl;
+      }
+    }
+    std::snprintf(buf, sizeof buf, "%.9g", reference.branch_length(nb.edge));
+    out << ':' << buf;
+  }
+  out << ");";
+  return out.str();
+}
+
+}  // namespace rxc::tree

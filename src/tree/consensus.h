@@ -1,0 +1,34 @@
+#pragma once
+/// \file consensus.h
+/// Bootstrap summarization: split support values and majority-rule
+/// consensus trees — what the paper's §3.1 "confidence values ranging
+/// between 0.0 and 1.0 on the internal branches" turn into for publication.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace rxc::tree {
+
+/// Support of each internal split of `reference` among `replicates`:
+/// fraction of replicate trees containing the split.  Order matches
+/// reference.splits().
+std::vector<double> split_support(const Tree& reference,
+                                  const std::vector<Tree>& replicates);
+
+/// Majority-rule consensus: returns the splits occurring in more than
+/// `threshold` (default 0.5) of the replicates, with their frequencies.
+/// The splits are guaranteed mutually compatible for threshold >= 0.5.
+std::map<Split, double> majority_splits(const std::vector<Tree>& replicates,
+                                        double threshold = 0.5);
+
+/// Serializes `reference` with per-internal-branch support values as inner
+/// node labels (standard "newick with support" convention), e.g.
+/// ((a:0.1,b:0.2)0.97:0.05,c:0.3);
+std::string newick_with_support(const Tree& reference,
+                                const std::vector<std::string>& names,
+                                const std::vector<Tree>& replicates);
+
+}  // namespace rxc::tree

@@ -1,0 +1,51 @@
+#include "tree/moves.h"
+
+#include <queue>
+
+namespace rxc::tree {
+
+std::vector<std::pair<int, int>> enumerate_prune_points(const Tree& t) {
+  std::vector<std::pair<int, int>> out;
+  for (int x = static_cast<int>(t.tip_count());
+       x < static_cast<int>(t.node_count()); ++x) {
+    for (const auto& nb : t.neighbors(x)) {
+      // Pruning (x, s) moves the subtree behind s.  Any neighbor works
+      // topologically; skip directions where the two remaining neighbors
+      // are the whole rest of the tree of size < 2 edges (nothing to
+      // regraft into) — that cannot happen for full binary trees with
+      // >= 5 taxa, so enumerate all three directions.
+      out.emplace_back(x, nb.node);
+    }
+  }
+  return out;
+}
+
+std::vector<SprCandidate> enumerate_regraft_targets(
+    const Tree& t, const Tree::PruneRecord& rec, int radius) {
+  RXC_ASSERT(radius >= 1);
+  // BFS over nodes of the remaining tree, starting from the merged edge's
+  // endpoints at distance 0; an edge's distance is min over its endpoints'.
+  std::vector<int> dist(t.node_count(), -1);
+  std::queue<int> queue;
+  dist[rec.a] = 0;
+  dist[rec.b] = 0;
+  queue.push(rec.a);
+  queue.push(rec.b);
+  std::vector<SprCandidate> out;
+  while (!queue.empty()) {
+    const int n = queue.front();
+    queue.pop();
+    if (dist[n] >= radius) continue;
+    for (const auto& nb : t.neighbors(n)) {
+      if (nb.edge == rec.merged_edge) continue;
+      if (dist[nb.node] == -1) {
+        dist[nb.node] = dist[n] + 1;
+        out.push_back({rec.x, rec.s, nb.edge, dist[n] + 1});
+        queue.push(nb.node);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rxc::tree

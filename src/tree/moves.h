@@ -1,0 +1,32 @@
+#pragma once
+/// \file moves.h
+/// Topology move enumeration for the hill-climbing search: subtree pruning
+/// and regrafting (SPR) within a rearrangement radius, plus nearest-neighbor
+/// interchange (NNI) as the radius-1 special case.
+
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace rxc::tree {
+
+/// A candidate SPR: prune the subtree hanging off `x` behind neighbor `s`
+/// (i.e. call t.prune(x, s)) and regraft into `target_edge`.
+struct SprCandidate {
+  int x = -1;
+  int s = -1;
+  int target_edge = -1;
+  int distance = 0;  ///< edges between the merged edge and the target
+};
+
+/// All (x, s) prune points of a full tree: every inner node x paired with
+/// each neighbor s whose removal leaves a non-trivial remaining tree.
+std::vector<std::pair<int, int>> enumerate_prune_points(const Tree& t);
+
+/// Target edges within `radius` edges of the pruned position.  Must be
+/// called while the subtree is pruned (after t.prune(x, s) returned `rec`);
+/// the merged edge itself is excluded (it is the original position).
+std::vector<SprCandidate> enumerate_regraft_targets(
+    const Tree& t, const Tree::PruneRecord& rec, int radius);
+
+}  // namespace rxc::tree

@@ -1,0 +1,138 @@
+#include "tree/parsimony.h"
+
+#include <numeric>
+
+namespace rxc::tree {
+namespace {
+
+/// Post-order Fitch over the subtree of `node` seen from `from`.
+void fitch_down(const Tree& t, const MaskPatterns& mp, int node, int from,
+                std::vector<std::uint32_t>& states, double& score) {
+  const std::size_t np = mp.npatterns;
+  if (t.is_tip(node)) {
+    const std::uint32_t* row = mp.row(node);
+    states.assign(row, row + np);
+    return;
+  }
+  std::vector<std::uint32_t> child_states;
+  bool first = true;
+  for (const auto& nb : t.neighbors(node)) {
+    if (nb.node == from) continue;
+    if (first) {
+      fitch_down(t, mp, nb.node, node, states, score);
+      first = false;
+    } else {
+      fitch_down(t, mp, nb.node, node, child_states, score);
+      for (std::size_t p = 0; p < np; ++p) {
+        const std::uint32_t inter = states[p] & child_states[p];
+        if (inter) {
+          states[p] = inter;
+        } else {
+          states[p] |= child_states[p];
+          score += mp.weights[p];
+        }
+      }
+    }
+  }
+  RXC_ASSERT(!first);
+}
+
+}  // namespace
+
+MaskPatterns MaskPatterns::from_dna(const seq::PatternAlignment& pa) {
+  MaskPatterns mp;
+  mp.ntaxa = pa.taxon_count();
+  mp.npatterns = pa.pattern_count();
+  mp.weights = pa.weights();
+  mp.masks.resize(mp.ntaxa * mp.npatterns);
+  for (std::size_t t = 0; t < mp.ntaxa; ++t)
+    for (std::size_t p = 0; p < mp.npatterns; ++p)
+      mp.masks[t * mp.npatterns + p] = pa.at(t, p);  // DnaCode is the mask
+  return mp;
+}
+
+MaskPatterns MaskPatterns::from_aa(const seq::AaPatternAlignment& pa) {
+  MaskPatterns mp;
+  mp.ntaxa = pa.taxon_count();
+  mp.npatterns = pa.pattern_count();
+  mp.weights = pa.weights();
+  mp.masks.resize(mp.ntaxa * mp.npatterns);
+  for (std::size_t t = 0; t < mp.ntaxa; ++t)
+    for (std::size_t p = 0; p < mp.npatterns; ++p)
+      mp.masks[t * mp.npatterns + p] = seq::aa_code_mask(pa.at(t, p));
+  return mp;
+}
+
+double parsimony_score(const Tree& t, const MaskPatterns& mp) {
+  RXC_ASSERT(mp.weights.size() == mp.npatterns);
+  // Root at tip 0's inner neighbor; fold tip 0 in as the final union step.
+  const int anchor = t.neighbors(0)[0].node;
+  double score = 0.0;
+  std::vector<std::uint32_t> states;
+  fitch_down(t, mp, anchor, 0, states, score);
+  const std::uint32_t* tip0 = mp.row(0);
+  for (std::size_t p = 0; p < mp.npatterns; ++p)
+    if (!(states[p] & tip0[p])) score += mp.weights[p];
+  return score;
+}
+
+Tree stepwise_addition_tree(const MaskPatterns& mp, Rng& rng,
+                            double default_brlen) {
+  const std::size_t ntips = mp.ntaxa;
+  RXC_REQUIRE(ntips >= 4, "stepwise addition needs >= 4 taxa");
+  std::vector<int> order(ntips);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = ntips; i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  Tree t = Tree::initial_triplet(ntips, order[0], order[1], order[2],
+                                 default_brlen);
+  for (std::size_t k = 3; k < ntips; ++k) {
+    const int tip = order[k];
+    int best_edge = -1;
+    double best_score = 0.0;
+    std::vector<int> live;
+    for (std::size_t e = 0; e < t.edge_slots(); ++e)
+      if (t.edge_alive(static_cast<int>(e)))
+        live.push_back(static_cast<int>(e));
+    for (const int e : live) {
+      const int inner = t.attach_tip(tip, e, default_brlen);
+      const double score = parsimony_score(t, mp);
+      if (best_edge < 0 || score < best_score) {
+        best_edge = e;
+        best_score = score;
+      }
+      const auto rec = t.prune(inner, tip);
+      (void)rec;
+      t.detach_dangling(inner, tip);
+    }
+    t.attach_tip(tip, best_edge, default_brlen);
+  }
+  t.check_valid();
+  return t;
+}
+
+double parsimony_score(const Tree& t, const seq::PatternAlignment& pa,
+                       const std::vector<double>& weights) {
+  MaskPatterns mp = MaskPatterns::from_dna(pa);
+  mp.weights = weights;
+  return parsimony_score(t, mp);
+}
+
+Tree stepwise_addition_tree(const seq::PatternAlignment& pa, Rng& rng,
+                            double default_brlen) {
+  return stepwise_addition_tree(MaskPatterns::from_dna(pa), rng,
+                                default_brlen);
+}
+
+double parsimony_score(const Tree& t, const seq::AaPatternAlignment& pa) {
+  return parsimony_score(t, MaskPatterns::from_aa(pa));
+}
+
+Tree stepwise_addition_tree(const seq::AaPatternAlignment& pa, Rng& rng,
+                            double default_brlen) {
+  return stepwise_addition_tree(MaskPatterns::from_aa(pa), rng,
+                                default_brlen);
+}
+
+}  // namespace rxc::tree

@@ -1,0 +1,55 @@
+#pragma once
+/// \file parsimony.h
+/// Fitch parsimony scoring and randomized stepwise-addition starting trees.
+///
+/// RAxML starts every independent tree search from a distinct Maximum
+/// Parsimony tree built by random stepwise addition (paper §3.1); the
+/// random insertion order is what differentiates the starting points.
+///
+/// The Fitch recurrence works on per-taxon bitmasks of compatible states,
+/// so one generic implementation serves DNA (4-bit masks) and protein
+/// (20-bit masks) alike.
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/aa_alignment.h"
+#include "seq/patterns.h"
+#include "tree/tree.h"
+
+namespace rxc::tree {
+
+/// State-set patterns for Fitch: taxon-major rows of 32-bit masks.
+struct MaskPatterns {
+  std::size_t ntaxa = 0;
+  std::size_t npatterns = 0;
+  std::vector<std::uint32_t> masks;  ///< ntaxa x npatterns
+  std::vector<double> weights;       ///< per-pattern multiplicities
+
+  const std::uint32_t* row(std::size_t taxon) const {
+    return masks.data() + taxon * npatterns;
+  }
+
+  static MaskPatterns from_dna(const seq::PatternAlignment& pa);
+  static MaskPatterns from_aa(const seq::AaPatternAlignment& pa);
+};
+
+/// Weighted Fitch parsimony score over arbitrary-width state masks.
+double parsimony_score(const Tree& t, const MaskPatterns& mp);
+
+/// Randomized stepwise addition over mask patterns.
+Tree stepwise_addition_tree(const MaskPatterns& mp, Rng& rng,
+                            double default_brlen = 0.05);
+
+/// DNA conveniences (convert once, then run the generic machinery).
+double parsimony_score(const Tree& t, const seq::PatternAlignment& pa,
+                       const std::vector<double>& weights);
+Tree stepwise_addition_tree(const seq::PatternAlignment& pa, Rng& rng,
+                            double default_brlen = 0.05);
+
+/// Protein conveniences.
+double parsimony_score(const Tree& t, const seq::AaPatternAlignment& pa);
+Tree stepwise_addition_tree(const seq::AaPatternAlignment& pa, Rng& rng,
+                            double default_brlen = 0.05);
+
+}  // namespace rxc::tree

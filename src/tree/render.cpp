@@ -1,0 +1,57 @@
+#include "tree/render.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace rxc::tree {
+namespace {
+
+void render_subtree(const Tree& t, int node, int from, int edge,
+                    const std::vector<std::string>& names, int depth,
+                    bool show_lengths, std::ostringstream& out) {
+  out << std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  const auto length_suffix = [&](int e) -> std::string {
+    if (!show_lengths || e < 0) return "";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "  (%.4g)", t.branch_length(e));
+    return buf;
+  };
+  if (t.is_tip(node)) {
+    out << "- " << names[node] << length_suffix(edge) << '\n';
+    return;
+  }
+  out << '+' << length_suffix(edge) << '\n';
+  for (const auto& nb : t.neighbors(node))
+    if (nb.node != from)
+      render_subtree(t, nb.node, node, nb.edge, names, depth + 1,
+                     show_lengths, out);
+}
+
+}  // namespace
+
+std::string ascii_tree(const Tree& t, const std::vector<std::string>& names,
+                       int root_tip, bool show_lengths) {
+  RXC_REQUIRE(names.size() == t.tip_count(), "ascii_tree: name count");
+  RXC_REQUIRE(root_tip >= 0 && t.is_tip(root_tip), "ascii_tree: bad root tip");
+  std::ostringstream out;
+  const auto anchor = t.neighbors(root_tip)[0];
+  out << "- " << names[root_tip]
+      << (show_lengths
+              ? ([&] {
+                  char buf[32];
+                  std::snprintf(buf, sizeof buf, "  (%.4g)",
+                                t.branch_length(anchor.edge));
+                  return std::string(buf);
+                })()
+              : "")
+      << '\n';
+  for (const auto& nb : t.neighbors(anchor.node))
+    if (nb.node != root_tip)
+      render_subtree(t, nb.node, anchor.node, nb.edge, names, 1,
+                     show_lengths, out);
+  return out.str();
+}
+
+}  // namespace rxc::tree

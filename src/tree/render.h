@@ -1,0 +1,20 @@
+#pragma once
+/// \file render.h
+/// Plain-text tree rendering for terminals and reports (the examples use it
+/// to show inferred phylogenies like the paper's Figure 1).
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace rxc::tree {
+
+/// Indented ASCII rendering rooted at the inner node adjacent to
+/// `root_tip` (that tip is printed first).  Inner nodes are '+', tips are
+/// '- name'; each level indents by two spaces.  Branch lengths are shown
+/// when `show_lengths`.
+std::string ascii_tree(const Tree& t, const std::vector<std::string>& names,
+                       int root_tip = 0, bool show_lengths = false);
+
+}  // namespace rxc::tree

@@ -1,0 +1,420 @@
+#include "tree/tree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+namespace rxc::tree {
+
+Tree::Tree(std::size_t ntips) : ntips_(ntips) {
+  RXC_REQUIRE(ntips >= 3, "tree needs at least 3 tips");
+  adj_.resize(node_count());
+  degree_.assign(node_count(), 0);
+  next_inner_ = static_cast<int>(ntips_);
+}
+
+int Tree::new_edge(int a, int b, double length) {
+  // Reuse a free slot if one exists (keeps ids dense across edits).
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!edges_[i].alive) {
+      reuse_edge_slot(static_cast<int>(i), a, b, length);
+      return static_cast<int>(i);
+    }
+  }
+  edges_.push_back({a, b, length, true});
+  ++live_edges_;
+  add_neighbor(a, b, static_cast<int>(edges_.size()) - 1);
+  add_neighbor(b, a, static_cast<int>(edges_.size()) - 1);
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+void Tree::reuse_edge_slot(int id, int a, int b, double length) {
+  RXC_ASSERT(!edges_[id].alive);
+  edges_[id] = {a, b, length, true};
+  ++live_edges_;
+  add_neighbor(a, b, id);
+  add_neighbor(b, a, id);
+}
+
+void Tree::kill_edge(int e) {
+  RXC_ASSERT(edges_[e].alive);
+  remove_neighbor(edges_[e].a, edges_[e].b);
+  remove_neighbor(edges_[e].b, edges_[e].a);
+  edges_[e].alive = false;
+  --live_edges_;
+}
+
+void Tree::add_neighbor(int node, int nbr, int edge) {
+  RXC_ASSERT_MSG(degree_[node] < 3, "node degree would exceed 3");
+  adj_[node][degree_[node]++] = {nbr, edge};
+}
+
+void Tree::remove_neighbor(int node, int nbr) {
+  for (int i = 0; i < degree_[node]; ++i) {
+    if (adj_[node][i].node == nbr) {
+      adj_[node][i] = adj_[node][degree_[node] - 1];
+      --degree_[node];
+      return;
+    }
+  }
+  RXC_ASSERT_MSG(false, "remove_neighbor: neighbor not found");
+}
+
+void Tree::replace_neighbor(int node, int old_nbr, int new_nbr,
+                            int new_edge) {
+  for (int i = 0; i < degree_[node]; ++i) {
+    if (adj_[node][i].node == old_nbr) {
+      adj_[node][i] = {new_nbr, new_edge};
+      return;
+    }
+  }
+  RXC_ASSERT_MSG(false, "replace_neighbor: neighbor not found");
+}
+
+int Tree::edge_between(int u, int v) const {
+  for (const auto& nb : neighbors(u))
+    if (nb.node == v) return nb.edge;
+  return -1;
+}
+
+Tree Tree::initial_triplet(std::size_t total_tips, int tip_a, int tip_b,
+                           int tip_c, double brlen) {
+  Tree t(total_tips);
+  const int inner = t.next_inner_++;
+  t.new_edge(inner, tip_a, brlen);
+  t.new_edge(inner, tip_b, brlen);
+  t.new_edge(inner, tip_c, brlen);
+  return t;
+}
+
+int Tree::attach_tip(int tip, int e, double tip_brlen) {
+  RXC_ASSERT(is_tip(tip) && degree_[tip] == 0);
+  RXC_ASSERT(next_inner_ < static_cast<int>(node_count()));
+  const int inner = next_inner_++;
+  const int a = edges_[e].a;
+  const int b = edges_[e].b;
+  const double half = edges_[e].length * 0.5;
+  kill_edge(e);
+  reuse_edge_slot(e, a, inner, half);
+  new_edge(inner, b, half);
+  new_edge(inner, tip, tip_brlen);
+  return inner;
+}
+
+Tree Tree::random_topology(std::size_t ntips, Rng& rng,
+                           double default_brlen) {
+  std::vector<int> order(ntips);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = ntips; i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  Tree t = initial_triplet(ntips, order[0], order[1], order[2],
+                           default_brlen);
+  for (std::size_t k = 3; k < ntips; ++k) {
+    // Pick a uniformly random live edge.
+    std::vector<int> live;
+    live.reserve(t.edges_.size());
+    for (std::size_t e = 0; e < t.edges_.size(); ++e)
+      if (t.edges_[e].alive) live.push_back(static_cast<int>(e));
+    const int target = live[rng.below(live.size())];
+    t.attach_tip(order[k], target, default_brlen);
+  }
+  t.check_valid();
+  return t;
+}
+
+Tree::PruneRecord Tree::prune(int x, int s) {
+  RXC_ASSERT(!is_tip(x) && degree_[x] == 3);
+  RXC_ASSERT(edge_between(x, s) >= 0);
+  PruneRecord rec{};
+  rec.x = x;
+  rec.s = s;
+  // Identify the other two neighbors.
+  int others[2];
+  int edges_xo[2];
+  int count = 0;
+  for (const auto& nb : neighbors(x)) {
+    if (nb.node == s) continue;
+    others[count] = nb.node;
+    edges_xo[count] = nb.edge;
+    ++count;
+  }
+  RXC_ASSERT(count == 2);
+  rec.a = others[0];
+  rec.b = others[1];
+  rec.edge_xa = edges_xo[0];
+  rec.edge_xb = edges_xo[1];
+  rec.len_xa = edges_[rec.edge_xa].length;
+  rec.len_xb = edges_[rec.edge_xb].length;
+
+  kill_edge(rec.edge_xa);
+  kill_edge(rec.edge_xb);
+  reuse_edge_slot(rec.edge_xa, rec.a, rec.b, rec.len_xa + rec.len_xb);
+  rec.merged_edge = rec.edge_xa;
+  return rec;
+}
+
+void Tree::regraft(int x, int target, double len_to_a, int reuse_edge) {
+  RXC_ASSERT(degree_[x] == 1);
+  RXC_ASSERT(edges_[target].alive && !edges_[reuse_edge].alive);
+  const int a = edges_[target].a;
+  const int b = edges_[target].b;
+  const double total = edges_[target].length;
+  RXC_ASSERT(len_to_a > 0.0 && len_to_a < total);
+  kill_edge(target);
+  reuse_edge_slot(target, a, x, len_to_a);
+  reuse_edge_slot(reuse_edge, x, b, total - len_to_a);
+}
+
+void Tree::restore(const PruneRecord& rec) {
+  RXC_ASSERT(degree_[rec.x] == 1);
+  // The merged a—b edge must currently live in slot rec.edge_xa.
+  RXC_ASSERT(edges_[rec.edge_xa].alive);
+  RXC_ASSERT((edges_[rec.edge_xa].a == rec.a && edges_[rec.edge_xa].b == rec.b) ||
+             (edges_[rec.edge_xa].a == rec.b && edges_[rec.edge_xa].b == rec.a));
+  kill_edge(rec.edge_xa);
+  reuse_edge_slot(rec.edge_xa, rec.x, rec.a, rec.len_xa);
+  reuse_edge_slot(rec.edge_xb, rec.x, rec.b, rec.len_xb);
+}
+
+void Tree::detach_dangling(int inner, int tip) {
+  RXC_ASSERT(inner == next_inner_ - 1);
+  RXC_ASSERT(degree_[inner] == 1 && adj_[inner][0].node == tip);
+  kill_edge(adj_[inner][0].edge);
+  --next_inner_;
+}
+
+// --- Newick ------------------------------------------------------------
+
+namespace {
+
+/// Recursive builder: connects `nw`'s subtree, returns its graph node.
+int build_subtree(const io::NewickNode& nw,
+                  const std::map<std::string, int>& tip_ids, Tree& t,
+                  int& next_inner,
+                  std::vector<std::pair<std::pair<int, int>, double>>& edges) {
+  if (nw.is_leaf()) {
+    const auto it = tip_ids.find(nw.label);
+    if (it == tip_ids.end())
+      throw ParseError("Newick leaf '" + nw.label + "' not in taxon set");
+    return it->second;
+  }
+  RXC_REQUIRE(nw.children.size() == 2,
+              "tree must be binary (inner nodes with 2 children)");
+  const int me = next_inner++;
+  for (const auto& child : nw.children) {
+    const int cid = build_subtree(*child, tip_ids, t, next_inner, edges);
+    edges.push_back({{me, cid}, child->length.value_or(0.1)});
+  }
+  return me;
+}
+
+}  // namespace
+
+Tree Tree::from_newick(const io::NewickNode& root,
+                       const std::vector<std::string>& taxon_names) {
+  const std::size_t ntips = taxon_names.size();
+  RXC_REQUIRE(io::leaf_count(root) == ntips,
+              "Newick tree leaf count != taxon set size");
+  std::map<std::string, int> tip_ids;
+  for (std::size_t i = 0; i < ntips; ++i) {
+    const bool inserted =
+        tip_ids.emplace(taxon_names[i], static_cast<int>(i)).second;
+    RXC_REQUIRE(inserted, "duplicate taxon name: " + taxon_names[i]);
+  }
+
+  Tree t(ntips);
+  int next_inner = static_cast<int>(ntips);
+  std::vector<std::pair<std::pair<int, int>, double>> edge_list;
+
+  if (root.children.size() == 2) {
+    // Rooted input: splice the root out — connect its two children directly.
+    const int left =
+        build_subtree(*root.children[0], tip_ids, t, next_inner, edge_list);
+    const int right =
+        build_subtree(*root.children[1], tip_ids, t, next_inner, edge_list);
+    const double len = root.children[0]->length.value_or(0.05) +
+                       root.children[1]->length.value_or(0.05);
+    edge_list.push_back({{left, right}, len});
+  } else if (root.children.size() == 3) {
+    const int me = next_inner++;
+    for (const auto& child : root.children) {
+      const int cid =
+          build_subtree(*child, tip_ids, t, next_inner, edge_list);
+      edge_list.push_back({{me, cid}, child->length.value_or(0.1)});
+    }
+  } else {
+    throw ParseError("Newick root must have 2 or 3 children, got " +
+                     std::to_string(root.children.size()));
+  }
+
+  RXC_REQUIRE(next_inner == static_cast<int>(t.node_count()),
+              "inner node count mismatch (tree not fully binary?)");
+  for (const auto& [uv, len] : edge_list)
+    t.new_edge(uv.first, uv.second, len > 0.0 ? len : 1e-6);
+  t.next_inner_ = next_inner;
+  t.check_valid();
+  return t;
+}
+
+Tree Tree::from_newick_string(const std::string& text,
+                              const std::vector<std::string>& taxon_names) {
+  const auto nw = io::parse_newick(text);
+  return from_newick(*nw, taxon_names);
+}
+
+namespace {
+void write_subtree(const Tree& t, int node, int from,
+                   const std::vector<std::string>& names,
+                   std::ostringstream& out) {
+  if (t.is_tip(node)) {
+    out << names[node];
+    return;
+  }
+  out << '(';
+  bool first = true;
+  for (const auto& nb : t.neighbors(node)) {
+    if (nb.node == from) continue;
+    if (!first) out << ',';
+    first = false;
+    write_subtree(t, nb.node, node, names, out);
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", t.branch_length(nb.edge));
+    out << ':' << buf;
+  }
+  out << ')';
+}
+}  // namespace
+
+std::string Tree::to_newick(const std::vector<std::string>& names) const {
+  RXC_ASSERT(names.size() == ntips_);
+  RXC_ASSERT(degree_[0] == 1);
+  const Neighbor anchor = adj_[0][0];
+  std::ostringstream out;
+  out << '(' << names[0];
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", branch_length(anchor.edge));
+  out << ':' << buf << ',';
+  // Emit the rest of the tree as the anchor inner node's other subtrees.
+  bool first = true;
+  for (const auto& nb : neighbors(anchor.node)) {
+    if (nb.node == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    write_subtree(*this, nb.node, anchor.node, names, out);
+    std::snprintf(buf, sizeof buf, "%.9g", branch_length(nb.edge));
+    out << ':' << buf;
+  }
+  out << ");";
+  return out.str();
+}
+
+// --- analysis ------------------------------------------------------------
+
+namespace {
+void collect_tips(const Tree& t, int node, int from,
+                  std::vector<std::uint64_t>& bits) {
+  if (t.is_tip(node)) {
+    bits[node / 64] |= (1ULL << (node % 64));
+    return;
+  }
+  for (const auto& nb : t.neighbors(node))
+    if (nb.node != from) collect_tips(t, nb.node, node, bits);
+}
+}  // namespace
+
+Split Tree::split_of_edge(int e) const {
+  RXC_ASSERT(edges_[e].alive);
+  const int a = edges_[e].a;
+  const int b = edges_[e].b;
+  RXC_ASSERT_MSG(!is_tip(a) && !is_tip(b), "trivial split requested");
+  const std::size_t words = (ntips_ + 63) / 64;
+  Split s;
+  s.bits.assign(words, 0);
+  collect_tips(*this, a, b, s.bits);
+  if (s.bits[0] & 1ULL) {  // normalize: complement so tip 0 is clear
+    for (std::size_t w = 0; w < words; ++w) s.bits[w] = ~s.bits[w];
+    const std::size_t tail = ntips_ % 64;
+    if (tail) s.bits[words - 1] &= (1ULL << tail) - 1;
+  }
+  return s;
+}
+
+std::vector<Split> Tree::splits() const {
+  std::vector<Split> out;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (!edges_[e].alive) continue;
+    if (is_tip(edges_[e].a) || is_tip(edges_[e].b)) continue;
+    out.push_back(split_of_edge(static_cast<int>(e)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Tree::rf_distance(const Tree& lhs, const Tree& rhs) {
+  RXC_REQUIRE(lhs.tip_count() == rhs.tip_count(),
+              "RF distance needs equal taxon sets");
+  const auto ls = lhs.splits();
+  const auto rs = rhs.splits();
+  std::size_t common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < ls.size() && j < rs.size()) {
+    if (ls[i] == rs[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (ls[i] < rs[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return ls.size() + rs.size() - 2 * common;
+}
+
+double Tree::total_length() const {
+  double sum = 0.0;
+  for (const auto& e : edges_)
+    if (e.alive) sum += e.length;
+  return sum;
+}
+
+void Tree::check_valid() const {
+  RXC_REQUIRE(live_edges_ == 2 * ntips_ - 3,
+              "edge count != 2T-3: " + std::to_string(live_edges_));
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    const int want = is_tip(static_cast<int>(n)) ? 1 : 3;
+    RXC_REQUIRE(degree_[n] == want,
+                "node " + std::to_string(n) + " degree " +
+                    std::to_string(degree_[n]) + " != " + std::to_string(want));
+    for (const auto& nb : neighbors(static_cast<int>(n))) {
+      RXC_REQUIRE(edges_[nb.edge].alive, "neighbor references dead edge");
+      const auto [a, b] = edge_nodes(nb.edge);
+      RXC_REQUIRE((a == static_cast<int>(n) && b == nb.node) ||
+                      (b == static_cast<int>(n) && a == nb.node),
+                  "edge endpoints disagree with adjacency");
+      RXC_REQUIRE(edges_[nb.edge].length > 0.0, "non-positive branch length");
+    }
+  }
+  // Connectivity from tip 0.
+  std::vector<bool> seen(node_count(), false);
+  std::vector<int> stack{0};
+  seen[0] = true;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const auto& nb : neighbors(n)) {
+      if (!seen[nb.node]) {
+        seen[nb.node] = true;
+        stack.push_back(nb.node);
+      }
+    }
+  }
+  RXC_REQUIRE(visited == node_count(), "tree is disconnected");
+}
+
+}  // namespace rxc::tree

@@ -1,0 +1,199 @@
+#pragma once
+/// \file tree.h
+/// Unrooted binary phylogenetic tree.
+///
+/// Nodes 0..T-1 are tips (taxa, ids match alignment row order);
+/// nodes T..2T-3 are inner nodes of degree 3.  Edges carry branch lengths
+/// in expected substitutions per site.  Edge ids are stable across
+/// prune/regraft edits (freed slots are recycled), which lets the likelihood
+/// code key per-edge caches by edge id.
+///
+/// Directed edges: every undirected edge e with endpoints (u,v) yields two
+/// directed views, dir(u,e) = "the subtree on u's side, looking along e".
+/// Partial likelihood vectors are stored per directed edge (likelihood/
+/// partials.h).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/newick.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rxc::tree {
+
+/// Bipartition of the taxon set induced by an internal edge; bits are taxon
+/// ids, normalized so bit 0 is always clear (complement otherwise).
+struct Split {
+  std::vector<std::uint64_t> bits;
+  bool operator==(const Split&) const = default;
+  bool operator<(const Split& o) const { return bits < o.bits; }
+};
+
+class Tree {
+public:
+  struct Neighbor {
+    int node = -1;
+    int edge = -1;
+  };
+
+  /// Unresolved "star with 3 tips" smallest unrooted binary tree; grows via
+  /// attach_tip (used by stepwise addition and random trees).
+  static Tree initial_triplet(std::size_t total_tips, int tip_a, int tip_b,
+                              int tip_c, double brlen);
+
+  /// Uniform-ish random topology: random taxon insertion order, each new tip
+  /// attached to a uniformly random existing edge.
+  static Tree random_topology(std::size_t ntips, Rng& rng,
+                              double default_brlen = 0.1);
+
+  /// Converts a parsed Newick tree.  `taxon_names` defines tip ids; every
+  /// leaf label must resolve, and every taxon must appear exactly once.
+  /// Degree-2 "root" nodes are spliced out (branch lengths summed).
+  static Tree from_newick(const io::NewickNode& root,
+                          const std::vector<std::string>& taxon_names);
+  static Tree from_newick_string(const std::string& text,
+                                 const std::vector<std::string>& taxon_names);
+
+  /// Serializes rooted at the inner node adjacent to tip 0.
+  std::string to_newick(const std::vector<std::string>& taxon_names) const;
+
+  std::size_t tip_count() const { return ntips_; }
+  std::size_t node_count() const { return 2 * ntips_ - 2; }
+  /// Number of live edges (2T-3 when fully grown).
+  std::size_t edge_count() const { return live_edges_; }
+  /// Upper bound for edge ids (capacity; some slots may be free mid-edit).
+  std::size_t edge_slots() const { return edges_.size(); }
+  std::size_t directed_count() const { return 2 * edge_slots(); }
+
+  bool is_tip(int node) const { return node < static_cast<int>(ntips_); }
+  int degree(int node) const { return degree_[node]; }
+  std::span<const Neighbor> neighbors(int node) const {
+    return {adj_[node].data(), static_cast<std::size_t>(degree_[node])};
+  }
+  bool edge_alive(int e) const { return edges_[e].alive; }
+  std::pair<int, int> edge_nodes(int e) const {
+    RXC_ASSERT(edges_[e].alive);
+    return {edges_[e].a, edges_[e].b};
+  }
+  /// Other endpoint of edge e as seen from `node`.
+  int edge_other(int e, int node) const {
+    const auto [a, b] = edge_nodes(e);
+    RXC_ASSERT(node == a || node == b);
+    return node == a ? b : a;
+  }
+  double branch_length(int e) const {
+    RXC_ASSERT(edges_[e].alive);
+    return edges_[e].length;
+  }
+  void set_branch_length(int e, double len) {
+    RXC_ASSERT(edges_[e].alive);
+    RXC_ASSERT(len > 0.0);
+    edges_[e].length = len;
+  }
+  /// Edge connecting u and v, or -1.
+  int edge_between(int u, int v) const;
+
+  /// Directed-edge index for per-direction caches: in [0, 2*edge_slots()).
+  int dir_index(int node, int edge) const {
+    RXC_ASSERT(edges_[edge].alive);
+    RXC_ASSERT(node == edges_[edge].a || node == edges_[edge].b);
+    return 2 * edge + (node == edges_[edge].a ? 0 : 1);
+  }
+  /// Opposite direction of a directed index.
+  static int dir_reverse(int dir) { return dir ^ 1; }
+  /// (node, edge) for a directed index: node is the side the subtree is on.
+  std::pair<int, int> dir_nodes(int dir) const {
+    const int e = dir / 2;
+    RXC_ASSERT(edges_[e].alive);
+    const int node = (dir & 1) ? edges_[e].b : edges_[e].a;
+    return {node, e};
+  }
+
+  // --- structural edits -----------------------------------------------
+
+  /// Attaches tip `tip` (must not be attached yet) in the middle of edge
+  /// `e`, creating inner node `inner` (must be unattached).  The split edge
+  /// keeps id `e` on one side and allocates a new id on the other.
+  /// Returns the new inner node's id.
+  int attach_tip(int tip, int e, double tip_brlen);
+
+  /// Prune: `x` is an inner node, `s` one of its neighbors (root of the
+  /// subtree to move).  Removes x from between its other two neighbors a,b,
+  /// reconnecting a—b with summed length.  After this, x has degree 1
+  /// (only s).  Returns the merged edge id (a—b) plus undo info.
+  struct PruneRecord {
+    int x, s;             ///< pruned attachment node and subtree neighbor
+    int a, b;             ///< former neighbors
+    int edge_xa, edge_xb; ///< former edge ids (edge_xa is reused for a—b)
+    double len_xa, len_xb;
+    int merged_edge;      ///< == edge_xa
+  };
+  PruneRecord prune(int x, int s);
+
+  /// Regraft: inserts degree-1 node `x` into edge `target`, splitting it.
+  /// `len_to_a` is the branch from target's endpoint `edges_[target].a`
+  /// to x.  `reuse_edge` must be the edge id freed by the matching prune
+  /// (edge_xb from the PruneRecord) so ids stay dense.  Total length of the
+  /// two new edges equals the old target length.
+  void regraft(int x, int target, double len_to_a, int reuse_edge);
+
+  /// Undo a prune+regraft pair: call after prune (with or without an
+  /// intervening regraft+prune-back) to restore exactly the recorded state.
+  void restore(const PruneRecord& rec);
+
+  /// Reverses an attach_tip that was immediately followed by
+  /// prune(inner, tip): removes the dangling inner—tip edge and returns the
+  /// inner node id to the allocator.  `inner` must be the most recently
+  /// allocated inner node.
+  void detach_dangling(int inner, int tip);
+
+  // --- analysis --------------------------------------------------------
+
+  /// All internal-edge splits, sorted (topology fingerprint).
+  std::vector<Split> splits() const;
+
+  /// The (normalized) split induced by one internal edge.  `e` must be
+  /// alive and connect two inner nodes.
+  Split split_of_edge(int e) const;
+
+  /// Robinson-Foulds distance (number of splits in exactly one tree).
+  static std::size_t rf_distance(const Tree& lhs, const Tree& rhs);
+
+  /// Sum of all branch lengths.
+  double total_length() const;
+
+  /// Exhaustive invariant check (degrees, symmetry, connectivity, edge
+  /// bookkeeping).  Throws rxc::Error on violation.  Used heavily in tests;
+  /// cheap enough to call after every accepted move.
+  void check_valid() const;
+
+private:
+  struct Edge {
+    int a = -1, b = -1;
+    double length = 0.0;
+    bool alive = false;
+  };
+
+  explicit Tree(std::size_t ntips);
+
+  int new_edge(int a, int b, double length);
+  void reuse_edge_slot(int id, int a, int b, double length);
+  void kill_edge(int e);
+  void add_neighbor(int node, int nbr, int edge);
+  void remove_neighbor(int node, int nbr);
+  void replace_neighbor(int node, int old_nbr, int new_nbr, int new_edge);
+
+  std::size_t ntips_ = 0;
+  std::vector<std::array<Neighbor, 3>> adj_;
+  std::vector<std::int8_t> degree_;
+  std::vector<Edge> edges_;
+  std::size_t live_edges_ = 0;
+  int next_inner_ = 0;  ///< next unused inner node id during growth
+};
+
+}  // namespace rxc::tree

@@ -1,0 +1,208 @@
+// Tests for the analysis-layer tooling: consensus trees / split support,
+// Brent-based model-parameter optimization, and their interplay with the
+// search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/model_opt.h"
+#include "search/search.h"
+#include "seq/bootstrap.h"
+#include "seq/seqgen.h"
+#include "tree/consensus.h"
+#include "tree/parsimony.h"
+
+using namespace rxc;
+using tree::Tree;
+
+namespace {
+const std::vector<std::string> kNames{"t0", "t1", "t2", "t3", "t4", "t5"};
+
+Tree make(const std::string& newick) {
+  return Tree::from_newick_string(newick, kNames);
+}
+}  // namespace
+
+// --- consensus ----------------------------------------------------------------
+
+TEST(Consensus, SupportCountsMatchingSplits) {
+  const Tree ref = make("(((t0,t1),(t2,t3)),t4,t5);");
+  const std::vector<Tree> reps{
+      make("(((t0,t1),(t2,t3)),t4,t5);"),  // identical
+      make("(((t0,t1),t2),(t3,t4),t5);"),  // shares only {t0,t1}
+      make("(((t0,t1),(t2,t3)),t5,t4);"),  // same splits, different rooting
+      make("(((t0,t2),(t1,t3)),t4,t5);"),  // shares nothing
+  };
+  const auto support = split_support(ref, reps);
+  const auto splits = ref.splits();
+  ASSERT_EQ(support.size(), splits.size());
+  // {t0,t1} appears in 3/4 replicates; {t2,t3} in 2/4; {t0,t1,t2,t3} in 2/4.
+  double max_support = 0.0, min_support = 1.0;
+  for (const double s : support) {
+    max_support = std::max(max_support, s);
+    min_support = std::min(min_support, s);
+  }
+  EXPECT_DOUBLE_EQ(max_support, 0.75);
+  EXPECT_LE(min_support, 0.5);
+}
+
+TEST(Consensus, IdenticalReplicatesGiveFullSupport) {
+  const Tree ref = make("(((t0,t1),(t2,t3)),t4,t5);");
+  const std::vector<Tree> reps(5, ref);
+  for (const double s : split_support(ref, reps)) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Consensus, MajoritySplitsThreshold) {
+  const std::vector<Tree> reps{
+      make("(((t0,t1),(t2,t3)),t4,t5);"),
+      make("(((t0,t1),(t2,t3)),t4,t5);"),
+      make("(((t0,t2),(t1,t3)),t4,t5);"),
+  };
+  const auto maj = tree::majority_splits(reps, 0.5);
+  // {t0,t1} and {t2,t3} appear 2/3 > 0.5; {t0..t3} appears in all three
+  // trees (1.0); the alternative splits {t0,t2}/{t1,t3} appear only 1/3.
+  EXPECT_EQ(maj.size(), 3u);
+  int full = 0, partial = 0;
+  for (const auto& [split, freq] : maj) {
+    if (freq == 1.0) ++full;
+    else if (std::fabs(freq - 2.0 / 3.0) < 1e-12) ++partial;
+  }
+  EXPECT_EQ(full, 1);
+  EXPECT_EQ(partial, 2);
+}
+
+TEST(Consensus, NewickWithSupportParsesAndCarriesLabels) {
+  const Tree ref = make("(((t0:0.1,t1:0.1):0.2,(t2:0.1,t3:0.1):0.2):0.1,"
+                        "t4:0.3,t5:0.4);");
+  const std::vector<Tree> reps{ref, ref, make("(((t0,t2),(t1,t3)),t4,t5);")};
+  const std::string annotated = tree::newick_with_support(ref, kNames, reps);
+  // Must contain a support label like ")0.67:" and still parse back.
+  EXPECT_NE(annotated.find("0.67"), std::string::npos);
+  const auto parsed = io::parse_newick(annotated);
+  EXPECT_EQ(io::leaf_count(*parsed), 6u);
+}
+
+TEST(Consensus, ErrorsOnBadInput) {
+  const Tree ref = make("(((t0,t1),(t2,t3)),t4,t5);");
+  EXPECT_THROW(tree::split_support(ref, {}), Error);
+  EXPECT_THROW(tree::majority_splits({ref}, 0.2), Error);
+}
+
+// --- Brent ---------------------------------------------------------------------
+
+TEST(Brent, FindsQuadraticMaximum) {
+  double fmax = 0.0;
+  const double x = search::brent_maximize(
+      [](double v) { return -(v - 2.5) * (v - 2.5); }, 0.0, 10.0, 1e-8, 100,
+      &fmax);
+  EXPECT_NEAR(x, 2.5, 1e-5);
+  EXPECT_NEAR(fmax, 0.0, 1e-9);
+}
+
+TEST(Brent, HandlesMaximumAtBoundary) {
+  const double x = search::brent_maximize([](double v) { return v; }, 0.0,
+                                          1.0, 1e-7, 100);
+  EXPECT_GT(x, 0.95);
+}
+
+TEST(Brent, AsymmetricUnimodal) {
+  // f(x) = log(x) - x has maximum at x = 1.
+  const double x = search::brent_maximize(
+      [](double v) { return std::log(v) - v; }, 0.05, 20.0, 1e-8, 100);
+  EXPECT_NEAR(x, 1.0, 1e-4);
+}
+
+// --- model optimization -----------------------------------------------------------
+
+namespace {
+struct OptFixture {
+  seq::SimResult sim;
+  seq::PatternAlignment pa;
+  OptFixture() : sim(make()), pa(seq::PatternAlignment::compress(sim.alignment)) {}
+  static seq::SimResult make() {
+    seq::SimOptions opt;
+    opt.ntaxa = 10;
+    opt.nsites = 600;
+    opt.gamma_alpha = 0.5;  // the parameter to recover
+    opt.branch_scale = 0.12;
+    opt.seed = 77;
+    return seq::simulate_alignment(opt);
+  }
+};
+}  // namespace
+
+TEST(ModelOpt, AlphaOptimizationImprovesAndRecovers) {
+  OptFixture f;
+  lh::EngineConfig cfg;
+  cfg.mode = lh::RateMode::kGamma;
+  cfg.categories = 4;
+  cfg.alpha = 5.0;  // deliberately wrong start
+  lh::LikelihoodEngine eng(f.pa, cfg);
+  Rng rng(3);
+  tree::Tree t = tree::stepwise_addition_tree(f.pa, rng);
+  eng.set_tree(&t);
+  eng.optimize_all_branches(3);
+  const double before = eng.log_likelihood();
+  const double after = search::optimize_gamma_alpha(eng);
+  EXPECT_GT(after, before + 1.0);
+  // True simulation alpha is 0.5; the ML estimate should land well below
+  // the bogus 5.0 start.
+  EXPECT_LT(eng.gamma_alpha(), 1.5);
+  EXPECT_GT(eng.gamma_alpha(), 0.1);
+}
+
+TEST(ModelOpt, GtrRateOptimizationImproves) {
+  OptFixture f;
+  lh::EngineConfig cfg;
+  cfg.mode = lh::RateMode::kGamma;
+  cfg.categories = 4;
+  cfg.model = model::DnaModel::jc69();  // wrong model: data is GTR
+  lh::LikelihoodEngine eng(f.pa, cfg);
+  Rng rng(5);
+  tree::Tree t = tree::stepwise_addition_tree(f.pa, rng);
+  eng.set_tree(&t);
+  eng.optimize_all_branches(3);
+  const double before = eng.log_likelihood();
+  const double after = search::optimize_gtr_rates(eng, 2);
+  EXPECT_GT(after, before);
+  // The AG exchangeability of the generating model (3.1) dominates; the
+  // estimate should move off 1.0 in that direction.
+  EXPECT_GT(eng.model().rates[1], 1.2);
+}
+
+TEST(ModelOpt, FullLoopMonotone) {
+  OptFixture f;
+  lh::EngineConfig cfg;
+  cfg.mode = lh::RateMode::kGamma;
+  cfg.categories = 4;
+  cfg.alpha = 2.0;
+  lh::LikelihoodEngine eng(f.pa, cfg);
+  Rng rng(7);
+  tree::Tree t = tree::stepwise_addition_tree(f.pa, rng);
+  eng.set_tree(&t);
+  const double start = eng.optimize_all_branches(2);
+  const double end = search::optimize_model(eng);
+  EXPECT_GE(end, start - 1e-6);
+}
+
+TEST(ModelOpt, ProteinAlphaOptimizationWorksToo) {
+  seq::AaSimOptions opt;
+  opt.ntaxa = 8;
+  opt.nsites = 250;
+  opt.gamma_alpha = 0.6;
+  const auto sim = seq::simulate_aa_alignment(opt);
+  const auto pa = seq::AaPatternAlignment::compress(sim.alignment);
+  lh::ProteinEngineConfig cfg;
+  cfg.mode = lh::RateMode::kGamma;
+  cfg.categories = 4;
+  cfg.alpha = 8.0;
+  lh::ProteinEngine eng(pa, cfg);
+  Rng rng(9);
+  tree::Tree t = tree::stepwise_addition_tree(pa, rng);
+  eng.set_tree(&t);
+  eng.optimize_all_branches(2);
+  const double before = eng.log_likelihood();
+  const double after = search::optimize_gamma_alpha(eng);
+  EXPECT_GE(after, before);
+}

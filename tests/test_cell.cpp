@@ -1,0 +1,234 @@
+// Tests for src/cell: local store, MFC/DMA rules and timing, mailboxes,
+// SPU clocks, and the resource timelines.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "cell/cost_params.h"
+#include "cell/local_store.h"
+#include "cell/mailbox.h"
+#include "cell/mfc.h"
+#include "cell/spu.h"
+#include "cell/timeline.h"
+#include "support/aligned.h"
+#include "support/error.h"
+
+using namespace rxc;
+using namespace rxc::cell;
+
+TEST(LocalStore, CapacityAndCodeReservation) {
+  LocalStore ls(kOffloadCodeBytes);
+  EXPECT_EQ(ls.capacity(), kLocalStoreBytes);
+  EXPECT_EQ(ls.code_bytes(), kOffloadCodeBytes);
+  // The paper: 117 KB code leaves 139 KB for data.
+  EXPECT_EQ(ls.free_bytes(), 139 * 1024);
+}
+
+TEST(LocalStore, AllocAligns16) {
+  LocalStore ls(1000);
+  const LsAddr a = ls.alloc(10);
+  const LsAddr b = ls.alloc(1);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_EQ(b - a, 16u);
+}
+
+TEST(LocalStore, OverflowThrowsHardwareError) {
+  LocalStore ls(kOffloadCodeBytes);
+  (void)ls.alloc(100 * 1024);
+  EXPECT_THROW(ls.alloc(100 * 1024), HardwareError);
+  ls.reset();
+  EXPECT_NO_THROW(ls.alloc(100 * 1024));
+}
+
+TEST(LocalStore, OutOfBoundsAccessThrows) {
+  LocalStore ls(0);
+  EXPECT_THROW(ls.data(kLocalStoreBytes - 8, 16), HardwareError);
+}
+
+TEST(LocalStore, CodeImageTooBigRejected) {
+  EXPECT_THROW(LocalStore(kLocalStoreBytes + 1), Error);
+}
+
+// --- MFC ---------------------------------------------------------------
+
+class MfcTest : public ::testing::Test {
+protected:
+  CostParams params;
+  LocalStore ls{0};
+  Mfc mfc{ls, params};
+  aligned_vector<double> host = aligned_vector<double>(1024);
+};
+
+TEST_F(MfcTest, GetMovesBytes) {
+  std::iota(host.begin(), host.end(), 0.0);
+  const LsAddr dst = ls.alloc(512);
+  mfc.get(dst, host.data(), 512, 0, 0.0);
+  EXPECT_EQ(std::memcmp(ls.data(dst, 512), host.data(), 512), 0);
+}
+
+TEST_F(MfcTest, PutMovesBytesBack) {
+  const LsAddr src = ls.alloc(256);
+  auto* p = ls.as<double>(src, 32);
+  for (int i = 0; i < 32; ++i) p[i] = i * 1.5;
+  aligned_vector<double> out(32);
+  mfc.put(out.data(), src, 256, 1, 0.0);
+  for (int i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(out[i], i * 1.5);
+}
+
+TEST_F(MfcTest, RejectsIllegalSizes) {
+  const LsAddr dst = ls.alloc(1024);
+  EXPECT_THROW(mfc.get(dst, host.data(), 0, 0, 0.0), HardwareError);
+  EXPECT_THROW(mfc.get(dst, host.data(), 3, 0, 0.0), HardwareError);
+  EXPECT_THROW(mfc.get(dst, host.data(), 24, 0, 0.0), HardwareError);
+  EXPECT_THROW(mfc.get(dst, host.data(), kDmaMaxBytes + 16, 0, 0.0),
+               HardwareError);
+  EXPECT_NO_THROW(mfc.get(dst, host.data(), 8, 0, 0.0));
+  EXPECT_NO_THROW(mfc.get(dst, host.data(), 1024, 0, 0.0));
+}
+
+TEST_F(MfcTest, RejectsMisalignedAddresses) {
+  const LsAddr dst = ls.alloc(64);
+  // Misaligned effective address for a block transfer.
+  const char* misaligned = reinterpret_cast<const char*>(host.data()) + 4;
+  EXPECT_THROW(mfc.get(dst, misaligned, 32, 0, 0.0), HardwareError);
+  // Misaligned local-store address.
+  EXPECT_THROW(mfc.get(dst + 4, host.data(), 32, 0, 0.0), HardwareError);
+}
+
+TEST_F(MfcTest, TimingScalesWithSize) {
+  const LsAddr dst = ls.alloc(16384);
+  mfc.get(dst, host.data(), 1024, 0, 0.0);
+  const VCycles t1 = mfc.completion(0);
+  mfc.get(dst, host.data(), 8192, 1, 0.0);
+  const VCycles t2 = mfc.completion(1);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 - t1, (8192.0 - 1024.0) / params.dma_bytes_per_cycle, 1e-9);
+}
+
+TEST_F(MfcTest, TagGroupsAccumulate) {
+  const LsAddr dst = ls.alloc(4096);
+  mfc.get(dst, host.data(), 1024, 0, 0.0);
+  const VCycles after_one = mfc.completion(0);
+  mfc.get(dst, host.data(), 1024, 0, 0.0);
+  EXPECT_NEAR(mfc.completion(0), 2 * after_one, 1e-9);
+  // Independent tag unaffected.
+  EXPECT_EQ(mfc.completion(5), 0.0);
+}
+
+TEST_F(MfcTest, WaitReportsStall) {
+  const LsAddr dst = ls.alloc(2048);
+  mfc.get(dst, host.data(), 2048, 0, 0.0);
+  const VCycles done = mfc.completion(0);
+  EXPECT_DOUBLE_EQ(mfc.wait(0, 0.0), done);
+  EXPECT_DOUBLE_EQ(mfc.wait(0, done + 100.0), 0.0);  // already complete
+}
+
+TEST_F(MfcTest, ContentionSlowsTransfers) {
+  const LsAddr dst = ls.alloc(4096);
+  mfc.get(dst, host.data(), 4096, 0, 0.0);
+  const VCycles solo = mfc.completion(0);
+  Mfc congested(ls, params);
+  congested.set_contention(2.0);
+  congested.get(dst, host.data(), 4096, 0, 0.0);
+  EXPECT_GT(congested.completion(0), solo);
+  EXPECT_THROW(congested.set_contention(0.5), Error);
+}
+
+TEST_F(MfcTest, DmaListTransfersAll) {
+  aligned_vector<double> src1(16), src2(16);
+  std::iota(src1.begin(), src1.end(), 100.0);
+  std::iota(src2.begin(), src2.end(), 200.0);
+  const LsAddr dst = ls.alloc(512);
+  const DmaListEntry list[] = {{src1.data(), 128}, {src2.data(), 128}};
+  mfc.get_list(dst, list, 3, 0.0);
+  EXPECT_EQ(std::memcmp(ls.data(dst, 128), src1.data(), 128), 0);
+  EXPECT_EQ(std::memcmp(ls.data(dst + 128, 128), src2.data(), 128), 0);
+  EXPECT_EQ(mfc.counters().list_transfers, 1u);
+  EXPECT_EQ(mfc.counters().transfers, 2u);
+}
+
+TEST_F(MfcTest, DmaListSizeCapEnforced) {
+  std::vector<DmaListEntry> list(kDmaListMaxEntries + 1, {host.data(), 16});
+  const LsAddr dst = ls.alloc(16);
+  EXPECT_THROW(mfc.get_list(dst, list, 0, 0.0), HardwareError);
+}
+
+TEST_F(MfcTest, CountersTrackBytes) {
+  const LsAddr dst = ls.alloc(1024);
+  mfc.get(dst, host.data(), 1024, 0, 0.0);
+  mfc.put(host.data(), dst, 512, 1, 0.0);
+  EXPECT_EQ(mfc.counters().transfers, 2u);
+  EXPECT_EQ(mfc.counters().bytes, 1536u);
+}
+
+// --- mailboxes -------------------------------------------------------------
+
+TEST(Mailbox, FifoAndDepth) {
+  Mailbox inbox(kMailboxInDepth);
+  for (int i = 0; i < 4; ++i) inbox.write(i);
+  EXPECT_TRUE(inbox.full());
+  EXPECT_THROW(inbox.write(99), HardwareError);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(inbox.read(), static_cast<unsigned>(i));
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_THROW(inbox.read(), HardwareError);
+}
+
+TEST(Mailbox, OutboundDepthIsOne) {
+  Mailbox outbox(kMailboxOutDepth);
+  outbox.write(1);
+  EXPECT_TRUE(outbox.full());
+  EXPECT_THROW(outbox.write(2), HardwareError);
+}
+
+// --- SPU / machine -----------------------------------------------------------
+
+TEST(Spu, ChargeAdvancesClockAndBusy) {
+  CostParams params;
+  Spu spu(0, params);
+  spu.charge(100.0);
+  spu.charge(50.0);
+  EXPECT_DOUBLE_EQ(spu.now(), 150.0);
+  EXPECT_DOUBLE_EQ(spu.counters().busy_cycles, 150.0);
+}
+
+TEST(Spu, DmaStallSeparatesFromBusy) {
+  CostParams params;
+  Spu spu(0, params);
+  aligned_vector<double> host(256);
+  const LsAddr dst = spu.ls().alloc(2048);
+  spu.mfc().get(dst, host.data(), 2048, 0, spu.now());
+  spu.wait_dma(0);
+  EXPECT_GT(spu.now(), 0.0);
+  EXPECT_DOUBLE_EQ(spu.counters().busy_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(spu.counters().dma_stall_cycles, spu.now());
+}
+
+TEST(Machine, HasEightSpes) {
+  CellMachine machine;
+  EXPECT_EQ(machine.spe_count(), 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(machine.spe(i).id(), i);
+}
+
+// --- timelines ----------------------------------------------------------------
+
+TEST(Timeline, SerializesSegments) {
+  ResourceTimeline r;
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 5.0), 10.0);   // waits for the resource
+  EXPECT_DOUBLE_EQ(r.acquire(100.0, 5.0), 100.0);  // waits for readiness
+  EXPECT_DOUBLE_EQ(r.busy(), 20.0);
+}
+
+TEST(Timeline, AcquireEarliestPicksLeastLoaded) {
+  std::vector<ResourceTimeline> pool(2);
+  std::size_t which = 99;
+  acquire_earliest(pool, 0.0, 10.0, &which);
+  EXPECT_EQ(which, 0u);
+  acquire_earliest(pool, 0.0, 4.0, &which);
+  EXPECT_EQ(which, 1u);
+  acquire_earliest(pool, 0.0, 1.0, &which);
+  EXPECT_EQ(which, 1u);  // 4 < 10
+}

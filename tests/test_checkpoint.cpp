@@ -1,0 +1,157 @@
+// Tests for analysis checkpointing: save/load round trips, resume
+// semantics, mismatch detection and failure injection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "search/checkpoint.h"
+#include "seq/seqgen.h"
+
+using namespace rxc;
+using search::AnalysisCheckpoint;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("rxc_ckp_test_") + name))
+      .string();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name) : path(temp_path(name)) {
+    std::filesystem::remove(path);
+  }
+  ~TempFile() { std::filesystem::remove(path); }
+};
+
+}  // namespace
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  auto cp = AnalysisCheckpoint::fresh(search::make_analysis(2, 3));
+  search::TaskResult r;
+  r.log_likelihood = -1234.5678;
+  r.rounds = 4;
+  r.newick = "((a:1,b:2):0.5,c:3,d:4);";
+  cp.results[1] = r;
+  cp.results[4] = r;
+
+  std::stringstream stream;
+  cp.save(stream);
+  const auto back = AnalysisCheckpoint::load(stream);
+  ASSERT_EQ(back.tasks.size(), 5u);
+  EXPECT_EQ(back.completed(), 2u);
+  EXPECT_FALSE(back.results[0].has_value());
+  ASSERT_TRUE(back.results[1].has_value());
+  EXPECT_DOUBLE_EQ(back.results[1]->log_likelihood, -1234.5678);
+  EXPECT_EQ(back.results[1]->rounds, 4);
+  EXPECT_EQ(back.results[1]->newick, r.newick);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(back.tasks[i].kind, cp.tasks[i].kind);
+    EXPECT_EQ(back.tasks[i].seed, cp.tasks[i].seed);
+  }
+}
+
+TEST(Checkpoint, LoadRejectsGarbage) {
+  std::stringstream bad1("not-a-checkpoint 3");
+  EXPECT_THROW(AnalysisCheckpoint::load(bad1), ParseError);
+  std::stringstream bad2("rxc-checkpoint-v1 2\ntask 7 inference 1\n");
+  EXPECT_THROW(AnalysisCheckpoint::load(bad2), ParseError);
+  std::stringstream bad3("rxc-checkpoint-v1 1\nbogus record\n");
+  EXPECT_THROW(AnalysisCheckpoint::load(bad3), ParseError);
+  std::stringstream bad4("rxc-checkpoint-v1 2\ntask 0 inference 1\n");
+  EXPECT_THROW(AnalysisCheckpoint::load(bad4), ParseError);  // missing task 1
+  EXPECT_THROW(AnalysisCheckpoint::load_file("/nonexistent.ckp"), Error);
+}
+
+TEST(Checkpoint, RunResumesWithoutRecomputing) {
+  seq::SimOptions opt;
+  opt.ntaxa = 10;
+  opt.nsites = 300;
+  opt.seed = 12;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  lh::EngineConfig cfg;
+  cfg.categories = 4;
+  search::SearchOptions so;
+  so.max_rounds = 2;
+  const auto tasks = search::make_analysis(1, 2);
+
+  TempFile tmp("resume");
+  const auto first =
+      search::run_analysis_checkpointed(pa, cfg, so, tasks, tmp.path);
+  ASSERT_EQ(first.size(), 3u);
+
+  // Corrupt nothing; resume must read all results from the file.  Verify by
+  // making the checkpoint claim a different lnl for task 0 and seeing the
+  // resumed run report it verbatim (i.e., no recomputation).
+  auto cp = AnalysisCheckpoint::load_file(tmp.path);
+  cp.results[0]->log_likelihood = -42.0;
+  cp.save_file(tmp.path);
+
+  const auto second =
+      search::run_analysis_checkpointed(pa, cfg, so, tasks, tmp.path);
+  EXPECT_DOUBLE_EQ(second[0].log_likelihood, -42.0);
+  EXPECT_DOUBLE_EQ(second[1].log_likelihood, first[1].log_likelihood);
+  EXPECT_EQ(second[2].newick, first[2].newick);
+}
+
+TEST(Checkpoint, PartialCheckpointFinishesRemainingTasks) {
+  seq::SimOptions opt;
+  opt.ntaxa = 8;
+  opt.nsites = 200;
+  opt.seed = 9;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  lh::EngineConfig cfg;
+  cfg.categories = 2;
+  search::SearchOptions so;
+  so.max_rounds = 1;
+  const auto tasks = search::make_analysis(0, 3);
+
+  TempFile tmp("partial");
+  // Write a checkpoint with only task 1 done.
+  auto cp = AnalysisCheckpoint::fresh(tasks);
+  search::TaskResult canned;
+  canned.log_likelihood = -99.0;
+  canned.rounds = 1;
+  canned.newick = "(x);";
+  cp.results[1] = canned;
+  cp.save_file(tmp.path);
+
+  const auto results =
+      search::run_analysis_checkpointed(pa, cfg, so, tasks, tmp.path);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[1].log_likelihood, -99.0);  // kept
+  EXPECT_LT(results[0].log_likelihood, -100.0);        // actually computed
+  EXPECT_LT(results[2].log_likelihood, -100.0);
+  // The file now records everything.
+  EXPECT_TRUE(AnalysisCheckpoint::load_file(tmp.path).done());
+}
+
+TEST(Checkpoint, MismatchedTaskListRejected) {
+  seq::SimOptions opt;
+  opt.ntaxa = 8;
+  opt.nsites = 150;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  lh::EngineConfig cfg;
+  cfg.categories = 2;
+  search::SearchOptions so;
+  so.max_rounds = 1;
+
+  TempFile tmp("mismatch");
+  AnalysisCheckpoint::fresh(search::make_analysis(1, 1)).save_file(tmp.path);
+  // Different seeds.
+  const auto other = search::make_analysis(1, 1, 999);
+  EXPECT_THROW(
+      search::run_analysis_checkpointed(pa, cfg, so, other, tmp.path), Error);
+  // Different count.
+  const auto bigger = search::make_analysis(1, 2);
+  EXPECT_THROW(
+      search::run_analysis_checkpointed(pa, cfg, so, bigger, tmp.path), Error);
+}

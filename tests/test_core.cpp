@@ -1,0 +1,527 @@
+// Tests for src/core: the simulated-Cell port.  The central invariant is
+// metamorphic: every optimization stage and scheduler must produce the SAME
+// trees and log-likelihoods as the plain host engine — stages change time,
+// never results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/port.h"
+#include "core/scheduler.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "seq/seqgen.h"
+#include "support/stats.h"
+#include "tree/tree.h"
+
+using namespace rxc;
+using core::Stage;
+
+namespace {
+
+struct PortFixture {
+  seq::SimResult sim;
+  seq::PatternAlignment pa;
+  lh::EngineConfig ec;
+  search::SearchOptions so;
+
+  PortFixture()
+      : sim(make()), pa(seq::PatternAlignment::compress(sim.alignment)) {
+    ec.mode = lh::RateMode::kCat;
+    ec.categories = 8;
+    so.max_rounds = 2;
+  }
+  static seq::SimResult make() {
+    seq::SimOptions opt;
+    opt.ntaxa = 12;
+    opt.nsites = 400;
+    opt.branch_scale = 0.07;
+    opt.seed = 17;
+    return seq::simulate_alignment(opt);
+  }
+};
+
+/// Branch lengths may differ in the last digits between host and
+/// strip-summed SPE runs (floating-point reassociation); topology must be
+/// identical and lengths close.
+void expect_same_tree(const std::string& got, const std::string& want,
+                      const std::vector<std::string>& names,
+                      const std::string& context) {
+  const auto a = tree::Tree::from_newick_string(got, names);
+  const auto b = tree::Tree::from_newick_string(want, names);
+  EXPECT_EQ(tree::Tree::rf_distance(a, b), 0u) << context;
+  EXPECT_LT(rel_diff(a.total_length(), b.total_length()), 1e-6) << context;
+}
+
+const Stage kAllStages[] = {
+    Stage::kPpeOnly,      Stage::kOffloadNewview, Stage::kFastExp,
+    Stage::kIntCond,      Stage::kDoubleBuffer,   Stage::kVectorize,
+    Stage::kDirectComm,   Stage::kOffloadAll,
+};
+
+}  // namespace
+
+TEST(StageToggles, AreCumulative) {
+  const auto naive = core::stage_toggles(Stage::kOffloadNewview);
+  EXPECT_TRUE(naive.offload_newview);
+  EXPECT_FALSE(naive.sdk_exp);
+  EXPECT_FALSE(naive.offload_rest);
+
+  const auto vec = core::stage_toggles(Stage::kVectorize);
+  EXPECT_TRUE(vec.offload_newview && vec.sdk_exp && vec.int_cond &&
+              vec.double_buffer && vec.vectorized);
+  EXPECT_FALSE(vec.direct_comm || vec.offload_rest);
+
+  const auto all = core::stage_toggles(Stage::kOffloadAll);
+  EXPECT_TRUE(all.offload_newview && all.sdk_exp && all.int_cond &&
+              all.double_buffer && all.vectorized && all.direct_comm &&
+              all.offload_rest);
+
+  const auto ppe = core::stage_toggles(Stage::kPpeOnly);
+  EXPECT_FALSE(ppe.offload_newview);
+}
+
+TEST(SpeExecutor, EveryStageMatchesHostResults) {
+  PortFixture f;
+  // Host reference.
+  const auto host = search::run_task(f.pa, f.ec, f.so,
+                                     {search::TaskKind::kInference, 3});
+  for (const Stage stage : kAllStages) {
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(stage);
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        f.pa, f.ec, f.so, {search::TaskKind::kInference, 3}, exec);
+    EXPECT_LT(rel_diff(trace.log_likelihood, host.log_likelihood), 1e-9)
+        << core::stage_name(stage);
+    expect_same_tree(trace.newick, host.newick, f.pa.names(),
+                     core::stage_name(stage));
+  }
+}
+
+TEST(SpeExecutor, LlpWaysMatchHostResults) {
+  PortFixture f;
+  const auto host = search::run_task(f.pa, f.ec, f.so,
+                                     {search::TaskKind::kBootstrap, 4});
+  for (const int ways : {1, 2, 4, 8}) {
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(Stage::kOffloadAll);
+    cfg.llp_ways = ways;
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        f.pa, f.ec, f.so, {search::TaskKind::kBootstrap, 4}, exec);
+    EXPECT_LT(rel_diff(trace.log_likelihood, host.log_likelihood), 1e-9)
+        << "ways=" << ways;
+    expect_same_tree(trace.newick, host.newick, f.pa.names(),
+                     "ways=" + std::to_string(ways));
+  }
+}
+
+TEST(SpeExecutor, GammaModeMatchesHostToo) {
+  PortFixture f;
+  f.ec.mode = lh::RateMode::kGamma;
+  f.ec.categories = 4;
+  f.ec.alpha = 0.6;
+  const auto host = search::run_task(f.pa, f.ec, f.so,
+                                     {search::TaskKind::kInference, 5});
+  cell::CellMachine machine;
+  core::SpeExecConfig cfg;
+  cfg.toggles = core::stage_toggles(Stage::kOffloadAll);
+  core::SpeExecutor exec(machine, cfg);
+  const auto trace = core::execute_task(
+      f.pa, f.ec, f.so, {search::TaskKind::kInference, 5}, exec);
+  EXPECT_LT(rel_diff(trace.log_likelihood, host.log_likelihood), 1e-9);
+  expect_same_tree(trace.newick, host.newick, f.pa.names(), "gamma");
+}
+
+TEST(SpeExecutor, TraceStructureIsSane) {
+  PortFixture f;
+  cell::CellMachine machine;
+  core::SpeExecConfig cfg;
+  cfg.toggles = core::stage_toggles(Stage::kOffloadNewview);
+  core::SpeExecutor exec(machine, cfg);
+  const auto trace = core::execute_task(
+      f.pa, f.ec, f.so, {search::TaskKind::kInference, 1}, exec);
+  ASSERT_FALSE(trace.segments.empty());
+  std::size_t offloaded = 0, on_ppe = 0;
+  for (const auto& seg : trace.segments) {
+    EXPECT_GE(seg.ppe_cycles, 0.0);
+    EXPECT_GE(seg.spe_cycles, 0.0);
+    if (seg.kind == core::KernelKind::kNewview) {
+      EXPECT_GT(seg.spe_cycles, 0.0);
+      EXPECT_TRUE(seg.signaled);
+      ++offloaded;
+    } else {
+      EXPECT_EQ(seg.spe_cycles, 0.0);  // rest stays on the PPE at this stage
+      ++on_ppe;
+    }
+  }
+  EXPECT_GT(offloaded, 0u);
+  EXPECT_GT(on_ppe, 0u);
+  EXPECT_EQ(trace.counters.newview_calls, offloaded);
+}
+
+TEST(SpeExecutor, DoubleBufferingCutsDmaStalls) {
+  PortFixture f;
+  auto run_with = [&](Stage stage) {
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(stage);
+    core::SpeExecutor exec(machine, cfg);
+    (void)core::execute_task(f.pa, f.ec, f.so,
+                             {search::TaskKind::kInference, 2}, exec);
+    return machine.spe(0).counters().dma_stall_cycles;
+  };
+  const double without = run_with(Stage::kIntCond);
+  const double with = run_with(Stage::kDoubleBuffer);
+  EXPECT_LT(with, without * 0.5);
+}
+
+TEST(SpeExecutor, VirtualTimeLadderMatchesPaperOrdering) {
+  PortFixture f;
+  std::vector<double> spe_time;
+  for (const Stage stage : kAllStages) {
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(stage);
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        f.pa, f.ec, f.so, {search::TaskKind::kInference, 6}, exec);
+    spe_time.push_back(trace.serial_cycles());
+  }
+  // Table 1: naive offload is SLOWER than the PPE-only run.
+  EXPECT_GT(spe_time[1], spe_time[0]);
+  // Tables 2-7: every subsequent optimization strictly helps.
+  for (int s = 2; s <= 7; ++s)
+    EXPECT_LT(spe_time[s], spe_time[s - 1]) << "stage " << s;
+  // Table 7: the fully offloaded code beats the PPE (§5.2.7, by ~25%).
+  EXPECT_LT(spe_time[7], spe_time[0]);
+}
+
+TEST(SpeExecutor, LlpReducesPerInvocationLatency) {
+  PortFixture f;
+  auto serial_time = [&](int ways) {
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(Stage::kOffloadAll);
+    cfg.llp_ways = ways;
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        f.pa, f.ec, f.so, {search::TaskKind::kInference, 8}, exec);
+    return trace.serial_cycles();
+  };
+  const double one = serial_time(1);
+  const double four = serial_time(4);
+  EXPECT_LT(four, one);           // loop splitting helps the single task
+  EXPECT_GT(four, one / 4.0);     // but not perfectly (fork/join, DMA)
+}
+
+// --- scheduler ----------------------------------------------------------------
+
+namespace {
+core::TaskTrace synthetic_trace(int segments, double ppe, double spe) {
+  core::TaskTrace t;
+  for (int i = 0; i < segments; ++i) {
+    core::TraceSegment s;
+    s.ppe_cycles = ppe;
+    s.spe_cycles = spe;
+    s.signaled = true;
+    t.segments.push_back(s);
+  }
+  return t;
+}
+}  // namespace
+
+TEST(Scheduler, SingleProcessIsSerial) {
+  cell::CostParams params;
+  params.ppe_context_switch_cycles = 0;
+  const auto trace = synthetic_trace(10, 100.0, 900.0);
+  const std::vector<const core::TaskTrace*> tasks{&trace};
+  const auto r = core::schedule_traces(params, tasks,
+                                       {core::Policy::kNaive, 1});
+  EXPECT_DOUBLE_EQ(r.makespan, 10 * (100.0 + 900.0));
+  EXPECT_EQ(r.context_switches, 0u);
+}
+
+TEST(Scheduler, TwoWorkersHalveIndependentWork) {
+  cell::CostParams params;
+  params.ppe_smt_factor = 1.0;  // isolate the parallelism effect
+  const auto trace = synthetic_trace(5, 10.0, 990.0);
+  const std::vector<const core::TaskTrace*> tasks{&trace, &trace, &trace,
+                                                  &trace};
+  const auto r1 = core::schedule_traces(params, tasks,
+                                        {core::Policy::kNaive, 1});
+  const auto r2 = core::schedule_traces(params, tasks,
+                                        {core::Policy::kNaive, 2});
+  EXPECT_NEAR(r2.makespan, r1.makespan / 2.0, r1.makespan * 0.01);
+}
+
+TEST(Scheduler, SmtFactorSlowsPpeBoundWork) {
+  cell::CostParams params;
+  const auto trace = synthetic_trace(5, 1000.0, 0.0);  // pure PPE work
+  const std::vector<const core::TaskTrace*> tasks{&trace, &trace};
+  params.ppe_smt_factor = 1.0;
+  const auto fast = core::schedule_traces(params, tasks,
+                                          {core::Policy::kNaive, 2});
+  params.ppe_smt_factor = 1.5;
+  const auto slow = core::schedule_traces(params, tasks,
+                                          {core::Policy::kNaive, 2});
+  EXPECT_NEAR(slow.makespan, fast.makespan * 1.5, 1e-6);
+}
+
+TEST(Scheduler, EdtlpUsesAllSpes) {
+  cell::CostParams params;
+  params.ppe_context_switch_cycles = 0;
+  params.ppe_smt_factor = 1.0;
+  const auto trace = synthetic_trace(4, 1.0, 999.0);  // SPE-bound
+  std::vector<const core::TaskTrace*> tasks(8, &trace);
+  const auto naive = core::schedule_traces(params, tasks,
+                                           {core::Policy::kNaive, 2});
+  const auto edtlp = core::schedule_traces(params, tasks,
+                                           {core::Policy::kEdtlp, 8});
+  EXPECT_LT(edtlp.makespan, naive.makespan / 3.0);
+}
+
+TEST(Scheduler, EdtlpPaysContextSwitches) {
+  cell::CostParams params;
+  const auto trace = synthetic_trace(10, 10.0, 100.0);
+  std::vector<const core::TaskTrace*> tasks(8, &trace);
+  const auto r = core::schedule_traces(params, tasks,
+                                       {core::Policy::kEdtlp, 8});
+  EXPECT_EQ(r.context_switches, 80u);  // one per signaled offload
+  const auto two = core::schedule_traces(params, tasks,
+                                         {core::Policy::kNaive, 2});
+  EXPECT_EQ(two.context_switches, 0u);  // not oversubscribed
+}
+
+TEST(Scheduler, MakespanNeverBelowCriticalPath) {
+  cell::CostParams params;
+  const auto trace = synthetic_trace(7, 50.0, 500.0);
+  std::vector<const core::TaskTrace*> tasks(5, &trace);
+  for (const auto policy : {core::Policy::kNaive, core::Policy::kEdtlp}) {
+    const int procs = policy == core::Policy::kNaive ? 2 : 8;
+    const auto r = core::schedule_traces(params, tasks, {policy, procs});
+    EXPECT_GE(r.makespan, trace.serial_cycles());  // one task is serial
+  }
+}
+
+// --- run_on_cell ---------------------------------------------------------------
+
+TEST(Port, MgpsBeatsNaiveAcrossBootstraps) {
+  PortFixture f;
+  for (const std::size_t bootstraps : {4u, 8u, 12u}) {
+    const auto tasks = search::make_analysis(0, bootstraps);
+    core::CellRunConfig naive;
+    naive.stage = Stage::kOffloadAll;
+    naive.scheduler = core::SchedulerModel::kNaiveMpi;
+    naive.workers = 2;
+    naive.engine = f.ec;
+    naive.search = f.so;
+    naive.trace_samples = 2;
+    core::CellRunConfig mgps = naive;
+    mgps.scheduler = core::SchedulerModel::kMgps;
+    const auto rn = core::run_on_cell(f.pa, naive, tasks);
+    const auto rm = core::run_on_cell(f.pa, mgps, tasks);
+    EXPECT_LT(rm.virtual_seconds, rn.virtual_seconds) << bootstraps;
+  }
+}
+
+TEST(Port, TraceSamplingCountsExecutedVsReplayed) {
+  PortFixture f;
+  const auto tasks = search::make_analysis(0, 10);
+  core::CellRunConfig cfg;
+  cfg.stage = Stage::kOffloadAll;
+  cfg.scheduler = core::SchedulerModel::kNaiveMpi;
+  cfg.workers = 1;
+  cfg.engine = f.ec;
+  cfg.search = f.so;
+  cfg.trace_samples = 3;
+  const auto r = core::run_on_cell(f.pa, cfg, tasks);
+  EXPECT_EQ(r.executed_tasks, 3u);
+  EXPECT_EQ(r.replayed_tasks, 7u);
+  EXPECT_EQ(r.task_log_likelihoods.size(), 3u);
+}
+
+TEST(Port, MgpsLlpWaysMapping) {
+  EXPECT_EQ(core::mgps_llp_ways(1), 8);
+  EXPECT_EQ(core::mgps_llp_ways(2), 4);
+  EXPECT_EQ(core::mgps_llp_ways(3), 2);
+  EXPECT_EQ(core::mgps_llp_ways(4), 2);
+  EXPECT_EQ(core::mgps_llp_ways(5), 1);
+  EXPECT_EQ(core::mgps_llp_ways(7), 1);
+}
+
+TEST(Port, RejectsBadConfigs) {
+  PortFixture f;
+  const auto tasks = search::make_analysis(0, 1);
+  core::CellRunConfig cfg;
+  cfg.workers = 3;  // PPE has two hardware threads
+  cfg.engine = f.ec;
+  EXPECT_THROW(core::run_on_cell(f.pa, cfg, tasks), Error);
+  cfg.workers = 1;
+  EXPECT_THROW(core::run_on_cell(f.pa, cfg, {}), Error);
+}
+
+// --- failure injection -----------------------------------------------------
+
+TEST(FailureInjection, OversizedStripViolatesDmaRules) {
+  // A strip larger than the 16 KB MFC limit must trip the hardware checks
+  // (the real port's reason for strip-mining in the first place).
+  PortFixture f;
+  f.ec.mode = lh::RateMode::kGamma;
+  f.ec.categories = 25;  // 800 B/pattern
+  cell::CellMachine machine;
+  core::SpeExecConfig cfg;
+  cfg.toggles = core::stage_toggles(Stage::kOffloadAll);
+  cfg.strip_bytes = 64 * 1024;  // 80 patterns x 800 B = 64 KB per transfer
+  core::SpeExecutor exec(machine, cfg);
+  EXPECT_THROW(core::execute_task(f.pa, f.ec, f.so,
+                                  {search::TaskKind::kInference, 1}, exec),
+               HardwareError);
+}
+
+TEST(FailureInjection, MailboxProtocolStaysBalanced) {
+  // The mailbox signaling path must leave every mailbox empty when a task
+  // completes (no lost or duplicated signals).
+  PortFixture f;
+  cell::CellMachine machine;
+  core::SpeExecConfig cfg;
+  cfg.toggles = core::stage_toggles(Stage::kVectorize);  // mailbox comm
+  core::SpeExecutor exec(machine, cfg);
+  (void)core::execute_task(f.pa, f.ec, f.so,
+                           {search::TaskKind::kInference, 2}, exec);
+  for (int i = 0; i < machine.spe_count(); ++i) {
+    EXPECT_TRUE(machine.spe(i).inbox().empty());
+    EXPECT_TRUE(machine.spe(i).outbox().empty());
+  }
+}
+
+TEST(FailureInjection, TinyStripStillCorrect) {
+  // Pathologically small strips (many DMA round trips) must not change
+  // results, only time.
+  PortFixture f;
+  const auto host = search::run_task(f.pa, f.ec, f.so,
+                                     {search::TaskKind::kInference, 9});
+  cell::CellMachine machine;
+  core::SpeExecConfig cfg;
+  cfg.toggles = core::stage_toggles(Stage::kOffloadAll);
+  cfg.strip_bytes = 256;
+  core::SpeExecutor exec(machine, cfg);
+  const auto trace = core::execute_task(
+      f.pa, f.ec, f.so, {search::TaskKind::kInference, 9}, exec);
+  EXPECT_LT(rel_diff(trace.log_likelihood, host.log_likelihood), 1e-9);
+}
+
+// --- paper contribution III: the multi-grain crossover ------------------------
+// "two layers of parallelism ... more beneficial for large and realistic
+// workloads and three layers ... beneficial for workloads with a low degree
+// (<= four) of task-level parallelism" (§1).
+
+TEST(Crossover, LlpWinsAtLowTaskCounts) {
+  PortFixture f;
+  for (const std::size_t ntasks : {1u, 2u}) {
+    const auto tasks = search::make_analysis(0, ntasks);
+    core::CellRunConfig llp;
+    llp.stage = Stage::kOffloadAll;
+    llp.scheduler = core::SchedulerModel::kLlp;
+    llp.llp_ways = static_cast<int>(8 / std::max<std::size_t>(1, ntasks));
+    llp.engine = f.ec;
+    llp.search = f.so;
+    core::CellRunConfig edtlp = llp;
+    edtlp.scheduler = core::SchedulerModel::kEdtlp;
+    const auto r_llp = core::run_on_cell(f.pa, llp, tasks);
+    const auto r_edtlp = core::run_on_cell(f.pa, edtlp, tasks);
+    EXPECT_LT(r_llp.virtual_seconds, r_edtlp.virtual_seconds)
+        << ntasks << " tasks";
+  }
+}
+
+TEST(Crossover, EdtlpWinsAtHighTaskCounts) {
+  PortFixture f;
+  const auto tasks = search::make_analysis(0, 8);
+  core::CellRunConfig edtlp;
+  edtlp.stage = Stage::kOffloadAll;
+  edtlp.scheduler = core::SchedulerModel::kEdtlp;
+  edtlp.engine = f.ec;
+  edtlp.search = f.so;
+  edtlp.trace_samples = 3;
+  core::CellRunConfig llp = edtlp;
+  llp.scheduler = core::SchedulerModel::kLlp;
+  llp.llp_ways = 4;  // 2 concurrent tasks x 4 SPEs each
+  const auto r_edtlp = core::run_on_cell(f.pa, edtlp, tasks);
+  const auto r_llp = core::run_on_cell(f.pa, llp, tasks);
+  EXPECT_LT(r_edtlp.virtual_seconds, r_llp.virtual_seconds);
+}
+
+// --- golden workload regression -------------------------------------------------
+
+TEST(Golden, Synthetic42ScWorkloadShape) {
+  // Guards the calibrated workload itself: taxon/site/pattern counts and
+  // the plausible likelihood range for a completed search.
+  const auto sim = seq::make_42sc();
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  EXPECT_EQ(pa.taxon_count(), 42u);
+  EXPECT_EQ(pa.site_count(), 1167u);
+  EXPECT_EQ(pa.pattern_count(), 252u);
+
+  lh::EngineConfig ec;  // CAT-25 default, the benches' configuration
+  search::SearchOptions so;
+  const auto r = search::run_task(pa, ec, so,
+                                  {search::TaskKind::kInference, 1});
+  EXPECT_GT(r.log_likelihood, -4400.0);
+  EXPECT_LT(r.log_likelihood, -3900.0);
+  // The paper-matching instrumentation: 150 exp calls per newview.
+  EXPECT_EQ(r.counters.exp_calls,
+            r.counters.newview_calls * 150 + r.counters.evaluate_calls * 75 +
+                (r.counters.sumtable_calls ? 0u : 0u) +
+                r.counters.nr_calls * 75);
+}
+
+// --- calibration regression ---------------------------------------------------
+// Guards the reproduced ratio ladder on the real 42_SC workload: if a cost
+// constant or executor change drifts the shape away from the paper, this
+// catches it before the benches do.  Bands are generous (±20% of the paper's
+// ratio) because the workload instance and search differ from the authors'.
+
+TEST(Calibration, StageRatioLadderStaysInPaperBands) {
+  const auto sim = seq::make_42sc();
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  const lh::EngineConfig ec;  // CAT-25
+  search::SearchOptions so;
+  so.max_rounds = 2;
+
+  const struct {
+    Stage stage;
+    double paper_ratio;  // 1w x 1bs row vs PPE-only
+  } ladder[] = {
+      {Stage::kOffloadNewview, 2.883}, {Stage::kFastExp, 1.702},
+      {Stage::kIntCond, 1.336},        {Stage::kDoubleBuffer, 1.274},
+      {Stage::kVectorize, 1.108},      {Stage::kDirectComm, 1.081},
+      {Stage::kOffloadAll, 0.751},
+  };
+
+  auto serial_seconds = [&](Stage stage) {
+    cell::CellMachine machine;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(stage);
+    core::SpeExecutor exec(machine, cfg);
+    const auto trace = core::execute_task(
+        pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
+    return trace.serial_cycles() / machine.params().clock_hz;
+  };
+
+  const double base = serial_seconds(Stage::kPpeOnly);
+  ASSERT_GT(base, 0.0);
+  double previous = std::numeric_limits<double>::infinity();
+  for (const auto& step : ladder) {
+    const double ratio = serial_seconds(step.stage) / base;
+    EXPECT_GT(ratio, step.paper_ratio * 0.8) << core::stage_name(step.stage);
+    EXPECT_LT(ratio, step.paper_ratio * 1.2) << core::stage_name(step.stage);
+    EXPECT_LT(ratio, previous) << core::stage_name(step.stage)
+                               << " should improve on the previous stage";
+    previous = ratio;
+  }
+}

@@ -1,0 +1,171 @@
+// Tests for src/io: FASTA, PHYLIP and Newick parsing/serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/fasta.h"
+#include "io/newick.h"
+#include "io/phylip.h"
+#include "support/error.h"
+
+namespace io = rxc::io;
+
+TEST(Fasta, ParsesBasicRecords) {
+  const auto recs = io::read_fasta_string(
+      ">seq1 description\nACGT\nACGT\n>seq2\nTTTT TTTT\n");
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].name, "seq1 description");
+  EXPECT_EQ(recs[0].data, "ACGTACGT");
+  EXPECT_EQ(recs[1].data, "TTTTTTTT");
+}
+
+TEST(Fasta, SkipsCommentsAndBlankLines) {
+  const auto recs =
+      io::read_fasta_string("; a comment\n\n>a\nAC\n\nGT\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].data, "ACGT");
+}
+
+TEST(Fasta, RejectsMalformedInput) {
+  EXPECT_THROW(io::read_fasta_string("ACGT\n>late\nAC\n"), rxc::ParseError);
+  EXPECT_THROW(io::read_fasta_string(">\nACGT\n"), rxc::ParseError);
+  EXPECT_THROW(io::read_fasta_string(""), rxc::ParseError);
+  EXPECT_THROW(io::read_fasta_file("/nonexistent/file.fa"), rxc::Error);
+}
+
+TEST(Fasta, RoundTripsWithWrapping) {
+  std::vector<io::SeqRecord> recs{{"x", std::string(150, 'A')},
+                                  {"y", std::string(150, 'C')}};
+  std::ostringstream out;
+  io::write_fasta(out, recs, 60);
+  const auto back = io::read_fasta_string(out.str());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].data, recs[0].data);
+  EXPECT_EQ(back[1].data, recs[1].data);
+}
+
+TEST(Phylip, ParsesSequential) {
+  const auto recs = io::read_phylip_string(
+      "3 8\ntaxon_a ACGTACGT\ntaxon_b ACGTACGA\ntaxon_c ACGTACGC\n");
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].name, "taxon_a");
+  EXPECT_EQ(recs[2].data, "ACGTACGC");
+}
+
+TEST(Phylip, ParsesInterleaved) {
+  const auto recs = io::read_phylip_string(
+      "2 8\n"
+      "a ACGT\n"
+      "b TGCA\n"
+      "\n"
+      "ACGT\n"
+      "TGCA\n");
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].data, "ACGTACGT");
+  EXPECT_EQ(recs[1].data, "TGCATGCA");
+}
+
+TEST(Phylip, SequenceDataMaySpanSpacedGroups) {
+  const auto recs =
+      io::read_phylip_string("2 8\na ACGT ACGT\nb TTTT TTTT\n");
+  EXPECT_EQ(recs[0].data, "ACGTACGT");
+}
+
+TEST(Phylip, RejectsBadCounts) {
+  EXPECT_THROW(io::read_phylip_string("2 8\na ACGT\nb ACGTACGT\n"),
+               rxc::ParseError);
+  EXPECT_THROW(io::read_phylip_string("3 4\na ACGT\nb ACGT\n"),
+               rxc::ParseError);
+  EXPECT_THROW(io::read_phylip_string("2 4\na ACGT\na ACGT\n"),
+               rxc::ParseError);
+  EXPECT_THROW(io::read_phylip_string("garbage\n"), rxc::ParseError);
+}
+
+TEST(Phylip, RoundTrips) {
+  std::vector<io::SeqRecord> recs{{"alpha", "ACGTAC"}, {"beta", "TTGGCC"}};
+  std::ostringstream out;
+  io::write_phylip(out, recs);
+  const auto back = io::read_phylip_string(out.str());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "alpha");
+  EXPECT_EQ(back[1].data, "TTGGCC");
+}
+
+TEST(Newick, ParsesLeafLabelsAndLengths) {
+  const auto t = io::parse_newick("((a:0.1,b:0.2):0.05,c:0.3);");
+  ASSERT_EQ(t->children.size(), 2u);
+  EXPECT_EQ(io::leaf_count(*t), 3u);
+  const auto& ab = *t->children[0];
+  ASSERT_EQ(ab.children.size(), 2u);
+  EXPECT_EQ(ab.children[0]->label, "a");
+  EXPECT_DOUBLE_EQ(*ab.children[0]->length, 0.1);
+  EXPECT_DOUBLE_EQ(*ab.length, 0.05);
+  EXPECT_EQ(t->children[1]->label, "c");
+}
+
+TEST(Newick, HandlesQuotedLabelsAndComments) {
+  const auto t = io::parse_newick(
+      "('tax on''e':1.0,b:2.0[a comment],c)root;");
+  EXPECT_EQ(t->children[0]->label, "tax on'e");
+  EXPECT_EQ(t->label, "root");
+  EXPECT_DOUBLE_EQ(*t->children[1]->length, 2.0);
+}
+
+TEST(Newick, NegativeAndExponentLengths) {
+  const auto t = io::parse_newick("(a:1e-3,b:2.5E2);");
+  EXPECT_DOUBLE_EQ(*t->children[0]->length, 1e-3);
+  EXPECT_DOUBLE_EQ(*t->children[1]->length, 250.0);
+}
+
+TEST(Newick, RejectsSyntaxErrors) {
+  EXPECT_THROW(io::parse_newick("((a,b);"), rxc::ParseError);
+  EXPECT_THROW(io::parse_newick("(a,b):"), rxc::ParseError);
+  EXPECT_THROW(io::parse_newick("(a,,b);"), rxc::ParseError);
+  EXPECT_THROW(io::parse_newick("(a,b)); trailing"), rxc::ParseError);
+  EXPECT_THROW(io::parse_newick("('unterminated,b);"), rxc::ParseError);
+  EXPECT_THROW(io::parse_newick("(a,b[no close);"), rxc::ParseError);
+}
+
+TEST(Newick, RoundTrips) {
+  const std::string text = "((a:0.1,b:0.2):0.05,c:0.3,d:0.4);";
+  const auto t = io::parse_newick(text);
+  const auto again = io::parse_newick(io::write_newick(*t));
+  EXPECT_EQ(io::write_newick(*t), io::write_newick(*again));
+  EXPECT_EQ(io::leaf_count(*again), 4u);
+}
+
+TEST(Newick, QuotesMetacharacterLabels) {
+  io::NewickNode leaf;
+  leaf.label = "needs quoting(:;)";
+  const std::string text = io::write_newick(leaf);
+  const auto back = io::parse_newick(text);
+  EXPECT_EQ(back->label, "needs quoting(:;)");
+}
+
+#include "io/tree_list.h"
+
+TEST(TreeList, RoundTripsAndValidates) {
+  const std::vector<std::string> trees{"((a:1,b:2):0.5,c:1,d:2);",
+                                       "((a:1,c:2):0.5,b:1,d:2);"};
+  std::ostringstream out;
+  io::write_tree_list(out, trees);
+  std::istringstream in(out.str() + "\n\n");  // trailing blanks ignored
+  const auto back = io::read_tree_list(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], trees[0]);
+  EXPECT_EQ(back[1], trees[1]);
+}
+
+TEST(TreeList, RejectsMalformedLinesWithLineNumber) {
+  std::istringstream in("((a,b),c,d);\n((oops;\n");
+  try {
+    io::read_tree_list(in);
+    FAIL() << "should have thrown";
+  } catch (const rxc::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  std::istringstream empty("\n\n");
+  EXPECT_THROW(io::read_tree_list(empty), rxc::Error);
+  EXPECT_THROW(io::read_tree_list_file("/nope.trees"), rxc::Error);
+}

@@ -1,0 +1,730 @@
+// Tests for src/likelihood: kernel correctness against a brute-force
+// oracle, the pulley principle, SIMD/scalar and conditional-variant
+// equivalence, fast exp accuracy, scaling, branch optimization and
+// lazy-SPR insertion scoring.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "likelihood/engine.h"
+#include "likelihood/fast_exp.h"
+#include "likelihood/kernels.h"
+#include "likelihood/scaling.h"
+#include "likelihood/tip_table.h"
+#include "seq/bootstrap.h"
+#include "seq/seqgen.h"
+#include "support/stats.h"
+#include "tree/moves.h"
+#include "tree/parsimony.h"
+
+using namespace rxc;
+using lh::EngineConfig;
+using lh::LikelihoodEngine;
+using lh::RateMode;
+using seq::PatternAlignment;
+using tree::Tree;
+
+namespace {
+
+const model::DnaModel kGtr = model::DnaModel::gtr(
+    {1.2, 3.1, 0.9, 1.1, 3.4, 1.0}, {0.30, 0.21, 0.24, 0.25});
+
+/// Brute-force site likelihood: enumerates all assignments of states to the
+/// inner nodes.  Completely independent of the kernel code paths (uses
+/// model::transition_matrix only).
+double brute_force_site_lh(const Tree& t, const PatternAlignment& pa,
+                           const model::DnaModel& mdl, double rate,
+                           std::size_t pattern) {
+  const auto es = model::decompose(mdl);
+  const int ntips = static_cast<int>(t.tip_count());
+  const int ninner = static_cast<int>(t.node_count()) - ntips;
+
+  // Precompute P(t*rate) per edge.
+  std::vector<model::Matrix4> pmat(t.edge_slots());
+  for (std::size_t e = 0; e < t.edge_slots(); ++e)
+    if (t.edge_alive(static_cast<int>(e)))
+      pmat[e] =
+          model::transition_matrix(es, t.branch_length(static_cast<int>(e)) * rate);
+
+  double total = 0.0;
+  std::vector<int> state(ninner, 0);
+  const std::size_t combos = 1ull << (2 * ninner);  // 4^ninner
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    for (int i = 0; i < ninner; ++i) state[i] = (mask >> (2 * i)) & 3;
+    double prod = mdl.freqs[state[0]];  // root at first inner node
+    for (std::size_t e = 0; e < t.edge_slots(); ++e) {
+      if (!t.edge_alive(static_cast<int>(e))) continue;
+      auto [a, b] = t.edge_nodes(static_cast<int>(e));
+      if (t.is_tip(a)) std::swap(a, b);
+      const int sa = state[a - ntips];
+      if (t.is_tip(b)) {
+        const double* tipv = lh::kTipTable.row(pa.at(b, pattern));
+        double sum = 0.0;
+        for (int j = 0; j < 4; ++j) sum += pmat[e][sa * 4 + j] * tipv[j];
+        prod *= sum;
+      } else {
+        prod *= pmat[e][sa * 4 + state[b - ntips]];
+      }
+    }
+    total += prod;
+  }
+  return total;
+}
+
+struct Fixture {
+  seq::Alignment aln;
+  PatternAlignment pa;
+  std::vector<std::string> nm;
+  Fixture()
+      : aln(seq::Alignment::from_records({{"t0", "ACGTAN-C"},
+                                          {"t1", "ACGTAACC"},
+                                          {"t2", "ACCTCAGC"},
+                                          {"t3", "AGCTCRGT"}})),
+        pa(PatternAlignment::compress(aln)),
+        nm({"t0", "t1", "t2", "t3"}) {}
+};
+
+Tree quartet(const Fixture& f) {
+  return Tree::from_newick_string(
+      "((t0:0.11,t1:0.23):0.07,(t2:0.31,t3:0.13):0.09);", f.nm);
+}
+
+}  // namespace
+
+// --- brute force oracle ------------------------------------------------
+
+TEST(Oracle, SingleRateCatMatchesBruteForce) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 1;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+
+  double expected = 0.0;
+  for (std::size_t p = 0; p < f.pa.pattern_count(); ++p)
+    expected += f.pa.weights()[p] *
+                std::log(brute_force_site_lh(t, f.pa, kGtr, 1.0, p));
+  EXPECT_NEAR(eng.log_likelihood(), expected, 1e-10);
+}
+
+TEST(Oracle, Jc69MatchesBruteForce) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = model::DnaModel::jc69();
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 1;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+  double expected = 0.0;
+  for (std::size_t p = 0; p < f.pa.pattern_count(); ++p)
+    expected += f.pa.weights()[p] *
+                std::log(brute_force_site_lh(t, f.pa, cfg.model, 1.0, p));
+  EXPECT_NEAR(eng.log_likelihood(), expected, 1e-10);
+}
+
+TEST(Oracle, GammaMatchesBruteForceAverage) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kGamma;
+  cfg.categories = 4;
+  cfg.alpha = 0.7;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+
+  const auto rates = model::DiscreteGamma::make(0.7, 4).rates;
+  double expected = 0.0;
+  for (std::size_t p = 0; p < f.pa.pattern_count(); ++p) {
+    double site = 0.0;
+    for (double r : rates) site += brute_force_site_lh(t, f.pa, kGtr, r, p);
+    expected += f.pa.weights()[p] * std::log(site / 4.0);
+  }
+  EXPECT_NEAR(eng.log_likelihood(), expected, 1e-10);
+}
+
+TEST(Oracle, FiveTaxonAsymmetricTree) {
+  const auto aln = seq::Alignment::from_records({{"t0", "ACGTT"},
+                                                 {"t1", "ACGTA"},
+                                                 {"t2", "ACCTA"},
+                                                 {"t3", "AGCAA"},
+                                                 {"t4", "GGCAC"}});
+  const auto pa = PatternAlignment::compress(aln);
+  const std::vector<std::string> nm{"t0", "t1", "t2", "t3", "t4"};
+  Tree t = Tree::from_newick_string(
+      "(((t0:0.1,t1:0.2):0.12,t2:0.3):0.21,t3:0.17,t4:0.4);", nm);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 1;
+  LikelihoodEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  double expected = 0.0;
+  for (std::size_t p = 0; p < pa.pattern_count(); ++p)
+    expected +=
+        pa.weights()[p] * std::log(brute_force_site_lh(t, pa, kGtr, 1.0, p));
+  EXPECT_NEAR(eng.log_likelihood(), expected, 1e-9);
+}
+
+// --- pulley principle ------------------------------------------------------
+
+TEST(Pulley, LikelihoodSameAtEveryEdge) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(42);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.08);
+
+  for (const RateMode mode : {RateMode::kCat, RateMode::kGamma}) {
+    EngineConfig cfg;
+    cfg.model = kGtr;
+    cfg.mode = mode;
+    cfg.categories = 4;
+    cfg.alpha = 0.6;
+    LikelihoodEngine eng(pa, cfg);
+    eng.set_tree(&t);
+    const double ref = eng.log_likelihood();
+    EXPECT_TRUE(std::isfinite(ref));
+    for (std::size_t e = 0; e < t.edge_slots(); ++e) {
+      if (!t.edge_alive(static_cast<int>(e))) continue;
+      EXPECT_NEAR(eng.evaluate(static_cast<int>(e)), ref, 1e-8)
+          << "edge " << e << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+// --- optimization-stage equivalences ---------------------------------------
+// The paper's optimizations must never change results, only time.
+
+TEST(Equivalence, FastExpMatchesLibmAcrossKernelDomain) {
+  Rng rng(7);
+  double max_rel = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = -lh::kExpDomain * rng.uniform();
+    max_rel = std::max(max_rel, rel_diff(lh::exp_sdk(x), std::exp(x)));
+  }
+  EXPECT_LT(max_rel, 3e-14);
+  EXPECT_DOUBLE_EQ(lh::exp_sdk(0.0), 1.0);
+  EXPECT_EQ(lh::exp_sdk(-800.0), 0.0);
+  EXPECT_TRUE(std::isinf(lh::exp_sdk(800.0)));
+}
+
+TEST(Equivalence, ScalingConditionalVariantsAgree) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100000; ++trial) {
+    double v[4];
+    for (double& x : v) {
+      const int regime = static_cast<int>(rng.below(4));
+      switch (regime) {
+        case 0: x = rng.uniform() * 1e-300; break;           // denormal-ish
+        case 1: x = rng.uniform() * lh::kMinLikelihood; break;  // near thresh
+        case 2: x = lh::kMinLikelihood; break;               // exact boundary
+        default: x = rng.uniform(); break;                   // ordinary
+      }
+    }
+    EXPECT_EQ(lh::needs_scaling_fp(v, 4), lh::needs_scaling_int(v, 4));
+  }
+  const double zeros[4] = {0, 0, 0, 0};
+  EXPECT_EQ(lh::needs_scaling_fp(zeros, 4), lh::needs_scaling_int(zeros, 4));
+}
+
+TEST(Equivalence, EngineResultsIdenticalAcrossAllKernelConfigs) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(5);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.07);
+
+  double reference = 0.0;
+  bool first = true;
+  for (const bool simd : {false, true}) {
+    for (const auto exp_fn : {&lh::exp_libm, &lh::exp_sdk}) {
+      for (const auto check :
+           {lh::ScalingCheck::kFloatBranch, lh::ScalingCheck::kIntCast}) {
+        EngineConfig cfg;
+        cfg.model = kGtr;
+        cfg.mode = RateMode::kCat;
+        cfg.categories = 8;
+        cfg.kernels = {exp_fn, check, simd};
+        LikelihoodEngine eng(pa, cfg);
+        eng.set_tree(&t);
+        const double lnl = eng.log_likelihood();
+        if (first) {
+          reference = lnl;
+          first = false;
+        } else {
+          EXPECT_NEAR(lnl, reference, std::fabs(reference) * 1e-11);
+        }
+      }
+    }
+  }
+}
+
+TEST(Equivalence, SimdNewviewBitwiseClose) {
+  // Direct kernel-level comparison on random data.
+  Rng rng(13);
+  const int ncat = 4;
+  const std::size_t np = 37;
+  std::vector<double> pm1(ncat * 16), pm2(ncat * 16);
+  const auto es = model::decompose(kGtr);
+  const double rates[4] = {0.2, 0.7, 1.3, 2.8};
+  lh::build_pmatrices(es, rates, ncat, 0.17, &lh::exp_libm, pm1.data());
+  lh::build_pmatrices(es, rates, ncat, 0.41, &lh::exp_libm, pm2.data());
+  std::vector<double> part1(np * 4), part2(np * 4);
+  for (double& x : part1) x = rng.uniform() * 1e-3;
+  for (double& x : part2) x = rng.uniform() * 1e-3;
+  std::vector<int> cat(np);
+  for (auto& c : cat) c = static_cast<int>(rng.below(ncat));
+  std::vector<std::int32_t> sc1(np, 1), sc2(np, 2);
+
+  lh::NewviewArgs args;
+  args.pmat1 = pm1.data();
+  args.pmat2 = pm2.data();
+  args.ncat = ncat;
+  args.cat = cat.data();
+  args.np = np;
+  args.partial1 = part1.data();
+  args.scale1 = sc1.data();
+  args.partial2 = part2.data();
+  args.scale2 = sc2.data();
+
+  std::vector<double> out_s(np * 4), out_v(np * 4);
+  std::vector<std::int32_t> scale_s(np), scale_v(np);
+  args.out = out_s.data();
+  args.scale_out = scale_s.data();
+  args.scaling = lh::ScalingCheck::kIntCast;
+  const auto ev_s = lh::newview_cat(args);
+  args.out = out_v.data();
+  args.scale_out = scale_v.data();
+  const auto ev_v = lh::newview_cat_simd(args);
+
+  EXPECT_EQ(ev_s, ev_v);
+  EXPECT_EQ(scale_s, scale_v);
+  for (std::size_t i = 0; i < out_s.size(); ++i)
+    EXPECT_LT(rel_diff(out_s[i], out_v[i]), 1e-13) << "entry " << i;
+}
+
+// --- scaling ----------------------------------------------------------------
+
+TEST(Scaling, DeepTreeTriggersEventsAndStaysFinite) {
+  // Partial-likelihood magnitudes shrink roughly multiplicatively in the
+  // number of taxa below a node; ~200 divergent taxa pushes them past the
+  // 2^-256 threshold.
+  seq::SimOptions opt;
+  opt.ntaxa = 200;
+  opt.nsites = 60;
+  opt.branch_scale = 0.4;  // long branches, deep products
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(3);
+  Tree t = Tree::random_topology(200, rng, 0.5);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 1;
+  LikelihoodEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  const double lnl = eng.log_likelihood();
+  EXPECT_TRUE(std::isfinite(lnl));
+  EXPECT_LT(lnl, 0.0);
+  EXPECT_GT(eng.counters().scale_events, 0u);
+  // Pulley still holds with scaling active.
+  for (std::size_t e = 0; e < t.edge_slots(); e += 7)
+    if (t.edge_alive(static_cast<int>(e)))
+      EXPECT_NEAR(eng.evaluate(static_cast<int>(e)), lnl,
+                  std::fabs(lnl) * 1e-10);
+}
+
+// --- branch optimization -----------------------------------------------------
+
+TEST(BranchOpt, ImprovesOrMaintainsLikelihood) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(9);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.2);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 4;
+  LikelihoodEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  const double before = eng.log_likelihood();
+  const double after = eng.optimize_all_branches(4);
+  EXPECT_GE(after, before - 1e-6);
+  EXPECT_GT(after, before + 1.0);  // a random tree is far from optimal
+}
+
+TEST(BranchOpt, MatchesGridSearchOptimum) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 1;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+
+  // Pick the internal edge.
+  int edge = -1;
+  for (std::size_t e = 0; e < t.edge_slots(); ++e) {
+    const auto [a, b] = t.edge_nodes(static_cast<int>(e));
+    if (!t.is_tip(a) && !t.is_tip(b)) edge = static_cast<int>(e);
+  }
+  ASSERT_GE(edge, 0);
+  eng.optimize_branch(edge);
+  const double opt_len = t.branch_length(edge);
+  const double opt_lnl = eng.evaluate(edge);
+
+  // Dense grid scan around the optimum: nothing should beat NR by much.
+  for (double len = 0.005; len < 1.0; len *= 1.15) {
+    t.set_branch_length(edge, len);
+    eng.on_branch_changed(edge);
+    EXPECT_LE(eng.evaluate(edge), opt_lnl + 1e-6) << "len " << len;
+  }
+  t.set_branch_length(edge, opt_len);
+  eng.on_branch_changed(edge);
+}
+
+TEST(BranchOpt, ReturnsAbsoluteLogLikelihood) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 2;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+  const double reported = eng.optimize_branch(0);
+  EXPECT_NEAR(reported, eng.evaluate(0), 1e-8);
+}
+
+// --- invalidation correctness -------------------------------------------------
+
+TEST(Invalidation, BranchChangeMatchesFreshEngine) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(21);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.1);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 4;
+  LikelihoodEngine cached(pa, cfg);
+  cached.set_tree(&t);
+  (void)cached.log_likelihood();  // populate caches
+
+  for (int round = 0; round < 10; ++round) {
+    const int e = static_cast<int>(rng.below(t.edge_slots()));
+    if (!t.edge_alive(e)) continue;
+    t.set_branch_length(e, 0.01 + 0.3 * rng.uniform());
+    cached.on_branch_changed(e);
+    LikelihoodEngine fresh(pa, cfg);
+    fresh.set_tree(&t);
+    EXPECT_NEAR(cached.log_likelihood(), fresh.log_likelihood(), 1e-8);
+  }
+}
+
+TEST(Invalidation, PruneRegraftMatchesFreshEngine) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(23);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.1);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 4;
+  LikelihoodEngine cached(pa, cfg);
+  cached.set_tree(&t);
+  (void)cached.log_likelihood();
+
+  for (int round = 0; round < 8; ++round) {
+    // Re-enumerate every round: topology edits change the valid (x, s)
+    // prune points.
+    const auto points = tree::enumerate_prune_points(t);
+    const auto [x, s] = points[rng.below(points.size())];
+    const auto rec = t.prune(x, s);
+    cached.on_prune(rec);
+    const auto targets = tree::enumerate_regraft_targets(t, rec, 4);
+    if (targets.empty()) {
+      t.restore(rec);
+      cached.on_restore(rec);
+      continue;
+    }
+    const auto& cand = targets[rng.below(targets.size())];
+    const double half = t.branch_length(cand.target_edge) / 2;
+    t.regraft(x, cand.target_edge, half, rec.edge_xb);
+    cached.on_regraft(cand.target_edge, rec.edge_xb);
+    t.check_valid();
+
+    LikelihoodEngine fresh(pa, cfg);
+    fresh.set_tree(&t);
+    EXPECT_NEAR(cached.log_likelihood(), fresh.log_likelihood(), 1e-8)
+        << "round " << round;
+  }
+}
+
+// --- lazy SPR insertion scoring -----------------------------------------------
+
+TEST(Insertion, ScoreMatchesActualRegraft) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(31);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.1);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 4;
+  LikelihoodEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  (void)eng.log_likelihood();
+
+  const auto points = tree::enumerate_prune_points(t);
+  int tested = 0;
+  for (const auto& [x, s] : points) {
+    if (tested >= 5) break;
+    auto rec = t.prune(x, s);
+    eng.on_prune(rec);
+    const auto targets = tree::enumerate_regraft_targets(t, rec, 3);
+    if (targets.empty()) {
+      t.restore(rec);
+      eng.on_restore(rec);
+      continue;
+    }
+    const auto& cand = targets[rng.below(targets.size())];
+    const double predicted = eng.score_insertion(rec, cand.target_edge);
+
+    const double half = t.branch_length(cand.target_edge) / 2;
+    t.regraft(x, cand.target_edge, half, rec.edge_xb);
+    eng.on_regraft(cand.target_edge, rec.edge_xb);
+    const double actual = eng.log_likelihood();
+    EXPECT_NEAR(predicted, actual, std::fabs(actual) * 1e-10);
+
+    // Undo: prune back and restore the original position.
+    const auto rec2 = t.prune(x, s);
+    eng.on_prune(rec2);
+    t.restore(rec);
+    eng.on_restore(rec);
+    ++tested;
+  }
+  EXPECT_GE(tested, 3);
+}
+
+// --- CAT assignment -----------------------------------------------------------
+
+TEST(Cat, AssignmentImprovesLikelihoodOnHeterogeneousData) {
+  seq::SimOptions opt;
+  opt.gamma_alpha = 0.3;  // strongly heterogeneous rates
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(37);
+  Tree t = tree::stepwise_addition_tree(pa, rng);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 8;
+  LikelihoodEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  eng.optimize_all_branches(2);
+  const double before = eng.log_likelihood();
+  eng.assign_cat_categories();
+  const double after = eng.log_likelihood();
+  EXPECT_GT(after, before);
+  // Weighted mean rate renormalized to 1.
+  double wsum = 0.0, rsum = 0.0;
+  for (std::size_t p = 0; p < pa.pattern_count(); ++p) {
+    wsum += pa.weights()[p];
+    rsum += pa.weights()[p] * eng.rates()[eng.cat_assignment()[p]];
+  }
+  EXPECT_NEAR(rsum / wsum, 1.0, 1e-9);
+}
+
+// --- bootstrap weights ----------------------------------------------------------
+
+TEST(Weights, BootstrapChangesLikelihoodOriginalRestoresIt) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(41);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.1);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  LikelihoodEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  const double orig = eng.log_likelihood();
+  eng.set_pattern_weights(seq::bootstrap_weights(pa, rng));
+  EXPECT_NE(eng.log_likelihood(), orig);
+  eng.set_pattern_weights(pa.weights());
+  EXPECT_DOUBLE_EQ(eng.log_likelihood(), orig);
+}
+
+// --- counters --------------------------------------------------------------------
+
+TEST(Counters, ExpCallsMatchPaperAccounting) {
+  // One newview invocation rebuilds two transition-matrix sets: with C
+  // categories that is 2*C*3 exp calls (the paper's ~150 at C=25).
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kCat;
+  cfg.categories = 25;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+  (void)eng.log_likelihood();
+  const auto& c = eng.counters();
+  EXPECT_GT(c.newview_calls, 0u);
+  // evaluate() builds one matrix set (25*3), each newview two (150).
+  EXPECT_EQ(c.exp_calls, c.newview_calls * 150 + c.evaluate_calls * 75);
+}
+
+TEST(Counters, CacheAvoidsRecomputation) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+  (void)eng.evaluate(0);
+  const auto first = eng.counters().newview_calls;
+  (void)eng.evaluate(0);  // fully cached: no new newview work
+  EXPECT_EQ(eng.counters().newview_calls, first);
+}
+
+TEST(Equivalence, SimdEvaluateAndSumtableMatchScalar) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(77);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.07);
+  for (const RateMode mode : {RateMode::kCat, RateMode::kGamma}) {
+    EngineConfig scalar_cfg;
+    scalar_cfg.model = kGtr;
+    scalar_cfg.mode = mode;
+    scalar_cfg.categories = 4;
+    EngineConfig simd_cfg = scalar_cfg;
+    simd_cfg.kernels.simd = true;
+
+    LikelihoodEngine a(pa, scalar_cfg), b(pa, simd_cfg);
+    auto t1 = t, t2 = t;
+    a.set_tree(&t1);
+    b.set_tree(&t2);
+    // evaluate path
+    EXPECT_LT(rel_diff(a.log_likelihood(), b.log_likelihood()), 1e-12);
+    // sumtable + NR path: optimize the same branch and compare outcome
+    const double la = a.optimize_branch(0);
+    const double lb = b.optimize_branch(0);
+    EXPECT_LT(rel_diff(la, lb), 1e-10);
+    EXPECT_LT(rel_diff(t1.branch_length(0), t2.branch_length(0)), 1e-8);
+  }
+}
+
+TEST(BranchOpt, NrDerivativesMatchFiniteDifferences) {
+  // d lnl/dt and d2 lnl/dt2 from the sumtable machinery must agree with
+  // numeric differentiation of the actual log-likelihood in t.
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(71);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.1);
+  for (const RateMode mode : {RateMode::kCat, RateMode::kGamma}) {
+    EngineConfig cfg;
+    cfg.model = kGtr;
+    cfg.mode = mode;
+    cfg.categories = 4;
+    LikelihoodEngine eng(pa, cfg);
+    auto tc = t;
+    eng.set_tree(&tc);
+    const int edge = 2;
+    eng.prepare_branch(edge);
+
+    const double t0 = 0.13;
+    const double h = 1e-6;
+    const auto at = [&](double x) { return eng.branch_derivatives(x); };
+    const auto mid = at(t0);
+    const auto hi = at(t0 + h);
+    const auto lo = at(t0 - h);
+    EXPECT_NEAR(mid.d1, (hi.lnl - lo.lnl) / (2 * h),
+                1e-4 * (1.0 + std::fabs(mid.d1)));
+    EXPECT_NEAR(mid.d2, (hi.lnl - 2 * mid.lnl + lo.lnl) / (h * h),
+                1e-2 * (1.0 + std::fabs(mid.d2)));
+
+    // And the sumtable lnl itself must track evaluate() up to the constant
+    // scaling correction: differences across t must match exactly.
+    tc.set_branch_length(edge, t0);
+    eng.on_branch_changed(edge);
+    const double e0 = eng.evaluate(edge);
+    tc.set_branch_length(edge, t0 * 2);
+    eng.on_branch_changed(edge);
+    const double e1 = eng.evaluate(edge);
+    const auto d0 = at(t0);
+    const auto d1 = at(t0 * 2);
+    EXPECT_NEAR(e1 - e0, d1.lnl - d0.lnl, 1e-8);
+  }
+}
+
+TEST(EngineApi, MutationEpochTracksStateChanges) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  LikelihoodEngine eng(f.pa, cfg);
+  const auto e0 = eng.mutation_epoch();
+  eng.set_tree(&t);
+  const auto e1 = eng.mutation_epoch();
+  EXPECT_GT(e1, e0);
+  eng.set_pattern_weights(f.pa.weights());
+  EXPECT_GT(eng.mutation_epoch(), e1);
+}
+
+TEST(EngineApi, SetModelChangesLikelihoodAndValidates) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  cfg.model = kGtr;
+  cfg.mode = RateMode::kGamma;
+  cfg.categories = 4;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+  const double gtr_lnl = eng.log_likelihood();
+  eng.set_model(model::DnaModel::jc69());
+  EXPECT_NE(eng.log_likelihood(), gtr_lnl);
+  eng.set_model(kGtr);
+  EXPECT_DOUBLE_EQ(eng.log_likelihood(), gtr_lnl);
+
+  model::DnaModel bad = kGtr;
+  bad.freqs = {2.0, 0.1, 0.1, 0.1};
+  EXPECT_THROW(eng.set_model(bad), Error);
+}
+
+TEST(EngineApi, SetGammaAlphaRequiresGammaMode) {
+  Fixture f;
+  EngineConfig cat_cfg;
+  cat_cfg.mode = RateMode::kCat;
+  LikelihoodEngine cat_eng(f.pa, cat_cfg);
+  EXPECT_THROW(cat_eng.set_gamma_alpha(0.5), Error);
+
+  EngineConfig gamma_cfg;
+  gamma_cfg.mode = RateMode::kGamma;
+  gamma_cfg.categories = 4;
+  LikelihoodEngine eng(f.pa, gamma_cfg);
+  Tree t = quartet(f);
+  eng.set_tree(&t);
+  const double a1 = eng.log_likelihood();
+  eng.set_gamma_alpha(0.2);
+  EXPECT_NE(eng.log_likelihood(), a1);
+  EXPECT_THROW(eng.set_gamma_alpha(-1.0), Error);
+}
+
+TEST(EngineApi, ResetCountersZeroesEverything) {
+  Fixture f;
+  Tree t = quartet(f);
+  EngineConfig cfg;
+  LikelihoodEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+  (void)eng.log_likelihood();
+  EXPECT_GT(eng.counters().newview_calls, 0u);
+  eng.reset_counters();
+  EXPECT_EQ(eng.counters().newview_calls, 0u);
+  EXPECT_EQ(eng.counters().exp_calls, 0u);
+}

@@ -1,0 +1,263 @@
+// Tests for src/model: rate matrices, eigendecomposition, transition
+// probabilities, and the Gamma/CAT rate machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/dna_model.h"
+#include "model/gamma_math.h"
+#include "model/matrix4.h"
+#include "model/rates.h"
+#include "support/error.h"
+
+namespace m = rxc::model;
+
+namespace {
+
+const m::DnaModel kGtr = m::DnaModel::gtr({1.2, 3.1, 0.9, 1.1, 3.4, 1.0},
+                                          {0.30, 0.21, 0.24, 0.25});
+
+}  // namespace
+
+TEST(RateMatrix, RowsSumToZero) {
+  const m::Matrix4 q = kGtr.rate_matrix();
+  for (int i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 4; ++j) row += q[i * 4 + j];
+    EXPECT_NEAR(row, 0.0, 1e-12);
+  }
+}
+
+TEST(RateMatrix, NormalizedMeanRateIsOne) {
+  const m::Matrix4 q = kGtr.rate_matrix();
+  double mu = 0.0;
+  for (int i = 0; i < 4; ++i) mu -= kGtr.freqs[i] * q[i * 4 + i];
+  EXPECT_NEAR(mu, 1.0, 1e-12);
+}
+
+TEST(RateMatrix, DetailedBalance) {
+  const m::Matrix4 q = kGtr.rate_matrix();
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(kGtr.freqs[i] * q[i * 4 + j], kGtr.freqs[j] * q[j * 4 + i],
+                  1e-12);
+}
+
+TEST(RateMatrix, Jc69OffDiagonalsEqual) {
+  const m::Matrix4 q = m::DnaModel::jc69().rate_matrix();
+  const double off = q[1];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      if (i != j) EXPECT_NEAR(q[i * 4 + j], off, 1e-12);
+}
+
+TEST(RateMatrix, ValidationRejectsBadInputs) {
+  m::DnaModel bad = kGtr;
+  bad.freqs = {0.5, 0.5, 0.2, 0.2};
+  EXPECT_THROW(bad.validate(), rxc::Error);
+  bad = kGtr;
+  bad.rates[2] = -1.0;
+  EXPECT_THROW(bad.validate(), rxc::Error);
+  bad = kGtr;
+  bad.freqs = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(bad.validate(), rxc::Error);
+}
+
+TEST(Eigen, ReconstructsQ) {
+  const auto es = m::decompose(kGtr);
+  const m::Matrix4 q = kGtr.rate_matrix();
+  // Q = U diag(lambda) V.
+  m::Matrix4 rec{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k)
+        sum += es.u[i * 4 + k] * es.lambda[k] * es.v[k * 4 + j];
+      rec[i * 4 + j] = sum;
+    }
+  EXPECT_LT(m::max_abs_diff(rec, q), 1e-10);
+}
+
+TEST(Eigen, UVAreInverses) {
+  const auto es = m::decompose(kGtr);
+  const m::Matrix4 prod = m::multiply(es.u, es.v);
+  EXPECT_LT(m::max_abs_diff(prod, m::identity4()), 1e-10);
+}
+
+TEST(Eigen, StationaryEigenvalueZeroOthersNegative) {
+  const auto es = m::decompose(kGtr);
+  EXPECT_NEAR(es.lambda[0], 0.0, 1e-10);
+  for (int k = 1; k < 4; ++k) EXPECT_LT(es.lambda[k], -1e-6);
+}
+
+TEST(Transition, AtZeroIsIdentity) {
+  const auto es = m::decompose(kGtr);
+  EXPECT_LT(m::max_abs_diff(m::transition_matrix(es, 0.0), m::identity4()),
+            1e-12);
+}
+
+TEST(Transition, RowsSumToOne) {
+  const auto es = m::decompose(kGtr);
+  for (double t : {0.01, 0.1, 0.5, 1.0, 5.0, 20.0}) {
+    const m::Matrix4 p = m::transition_matrix(es, t);
+    for (int i = 0; i < 4; ++i) {
+      double row = 0.0;
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_GE(p[i * 4 + j], -1e-14);
+        row += p[i * 4 + j];
+      }
+      EXPECT_NEAR(row, 1.0, 1e-12) << "t=" << t << " row " << i;
+    }
+  }
+}
+
+TEST(Transition, ChapmanKolmogorov) {
+  const auto es = m::decompose(kGtr);
+  const m::Matrix4 ps = m::transition_matrix(es, 0.3);
+  const m::Matrix4 pt = m::transition_matrix(es, 0.7);
+  const m::Matrix4 pst = m::transition_matrix(es, 1.0);
+  EXPECT_LT(m::max_abs_diff(m::multiply(ps, pt), pst), 1e-12);
+}
+
+TEST(Transition, DetailedBalanceAtFiniteTime) {
+  const auto es = m::decompose(kGtr);
+  const m::Matrix4 p = m::transition_matrix(es, 0.42);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(kGtr.freqs[i] * p[i * 4 + j], kGtr.freqs[j] * p[j * 4 + i],
+                  1e-12);
+}
+
+TEST(Transition, ConvergesToStationary) {
+  const auto es = m::decompose(kGtr);
+  const m::Matrix4 p = m::transition_matrix(es, 500.0);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(p[i * 4 + j], kGtr.freqs[j], 1e-9);
+}
+
+TEST(Transition, DerivativeMatchesFiniteDifference) {
+  const auto es = m::decompose(kGtr);
+  const double t = 0.35, h = 1e-6;
+  const m::Matrix4 d1 = m::transition_matrix_d1(es, t);
+  const m::Matrix4 hi = m::transition_matrix(es, t + h);
+  const m::Matrix4 lo = m::transition_matrix(es, t - h);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_NEAR(d1[i], (hi[i] - lo[i]) / (2 * h), 1e-6);
+}
+
+TEST(Transition, SecondDerivativeMatchesFiniteDifference) {
+  const auto es = m::decompose(kGtr);
+  const double t = 0.35, h = 1e-5;
+  const m::Matrix4 d2 = m::transition_matrix_d2(es, t);
+  const m::Matrix4 hi = m::transition_matrix_d1(es, t + h);
+  const m::Matrix4 lo = m::transition_matrix_d1(es, t - h);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_NEAR(d2[i], (hi[i] - lo[i]) / (2 * h), 1e-5);
+}
+
+TEST(Transition, K80TransitionTransversionBias) {
+  // Under K80 with kappa >> 1, transitions (A<->G, C<->T) are more likely
+  // than transversions.
+  const auto es = m::decompose(m::DnaModel::k80(10.0));
+  const m::Matrix4 p = m::transition_matrix(es, 0.2);
+  EXPECT_GT(p[m::kA * 4 + m::kG], p[m::kA * 4 + m::kC]);
+  EXPECT_GT(p[m::kC * 4 + m::kT], p[m::kC * 4 + m::kA]);
+}
+
+// --- special functions ---------------------------------------------------
+
+TEST(GammaMath, IncompleteGammaKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0})
+    EXPECT_NEAR(m::incomplete_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  // P(a, 0) = 0; P(a, inf-ish) = 1.
+  EXPECT_DOUBLE_EQ(m::incomplete_gamma_p(2.5, 0.0), 0.0);
+  EXPECT_NEAR(m::incomplete_gamma_p(2.5, 1e4), 1.0, 1e-12);
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 2.0})
+    EXPECT_NEAR(m::incomplete_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+}
+
+TEST(GammaMath, PointNormalRoundTrips) {
+  for (double p : {0.001, 0.01, 0.25, 0.5, 0.75, 0.99, 0.999}) {
+    const double z = m::point_normal(p);
+    const double phi = 0.5 * (1.0 + std::erf(z / std::sqrt(2.0)));
+    EXPECT_NEAR(phi, p, 2e-4) << "p=" << p;
+  }
+  EXPECT_NEAR(m::point_normal(0.5), 0.0, 1e-9);
+}
+
+TEST(GammaMath, PointChi2RoundTrips) {
+  for (double v : {0.5, 1.0, 2.0, 4.0, 10.0}) {
+    for (double p : {0.05, 0.25, 0.5, 0.9, 0.99}) {
+      const double x = m::point_chi2(p, v);
+      EXPECT_NEAR(m::incomplete_gamma_p(v / 2.0, x / 2.0), p, 1e-8)
+          << "v=" << v << " p=" << p;
+    }
+  }
+}
+
+// --- rate heterogeneity ----------------------------------------------------
+
+TEST(DiscreteGamma, MeanIsOne) {
+  for (double alpha : {0.2, 0.5, 1.0, 2.0, 10.0}) {
+    for (std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      const auto dg = m::DiscreteGamma::make(alpha, n);
+      double mean = 0.0;
+      for (double r : dg.rates) mean += r;
+      mean /= static_cast<double>(n);
+      EXPECT_NEAR(mean, 1.0, 1e-9) << "alpha=" << alpha << " n=" << n;
+    }
+  }
+}
+
+TEST(DiscreteGamma, RatesIncreaseAcrossCategories) {
+  const auto dg = m::DiscreteGamma::make(0.5, 4);
+  for (std::size_t i = 1; i < dg.rates.size(); ++i)
+    EXPECT_GT(dg.rates[i], dg.rates[i - 1]);
+  EXPECT_GT(dg.rates[0], 0.0);
+}
+
+TEST(DiscreteGamma, LowAlphaIsMoreSkewed) {
+  const auto skewed = m::DiscreteGamma::make(0.2, 4);
+  const auto flat = m::DiscreteGamma::make(20.0, 4);
+  EXPECT_LT(skewed.rates[0], flat.rates[0]);
+  EXPECT_GT(skewed.rates[3], flat.rates[3]);
+}
+
+TEST(DiscreteGamma, SingleCategoryIsRateOne) {
+  const auto dg = m::DiscreteGamma::make(0.7, 1);
+  ASSERT_EQ(dg.rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(dg.rates[0], 1.0);
+}
+
+TEST(CatRates, GeometricSpacingAndBounds) {
+  const auto cr = m::CatRates::make(25);
+  ASSERT_EQ(cr.rates.size(), 25u);
+  EXPECT_NEAR(cr.rates.front(), 1.0 / 32.0, 1e-12);
+  EXPECT_NEAR(cr.rates.back(), 32.0, 1e-9);
+  const double ratio = cr.rates[1] / cr.rates[0];
+  for (std::size_t i = 2; i < cr.rates.size(); ++i)
+    EXPECT_NEAR(cr.rates[i] / cr.rates[i - 1], ratio, 1e-9);
+}
+
+TEST(CatRates, NormalizeGivesWeightedMeanOne) {
+  auto cr = m::CatRates::make(8);
+  const std::vector<int> assign{0, 3, 3, 5, 7, 2};
+  const std::vector<double> weights{10, 5, 5, 2, 1, 7};
+  cr.normalize(assign, weights);
+  double wsum = 0.0, rsum = 0.0;
+  for (std::size_t i = 0; i < assign.size(); ++i) {
+    wsum += weights[i];
+    rsum += weights[i] * cr.rates[assign[i]];
+  }
+  EXPECT_NEAR(rsum / wsum, 1.0, 1e-12);
+}
+
+TEST(Gamma, InvalidParametersThrow) {
+  EXPECT_THROW(m::DiscreteGamma::make(-1.0, 4), rxc::Error);
+  EXPECT_THROW(m::DiscreteGamma::make(1.0, 0), rxc::Error);
+  EXPECT_THROW(m::CatRates::make(0), rxc::Error);
+}

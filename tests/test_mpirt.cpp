@@ -1,0 +1,213 @@
+// Tests for src/mpirt: message passing semantics and the master-worker
+// skeleton.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "mpirt/comm.h"
+#include "mpirt/master_worker.h"
+#include "support/error.h"
+
+using namespace rxc::mpirt;
+
+TEST(Comm, PointToPointDelivery) {
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, Message::of(7, 42));
+    } else {
+      const Message m = comm.recv(1);
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 7);
+      EXPECT_EQ(m.as<int>(), 42);
+    }
+  });
+}
+
+TEST(Comm, TagFilteringPreservesOrderWithinTag) {
+  run_ranks(2, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      comm.send(0, 1, Message::of(1, 10));
+      comm.send(0, 1, Message::of(2, 20));
+      comm.send(0, 1, Message::of(1, 11));
+    } else {
+      EXPECT_EQ(comm.recv(1, kAnySource, 2).as<int>(), 20);
+      EXPECT_EQ(comm.recv(1, kAnySource, 1).as<int>(), 10);
+      EXPECT_EQ(comm.recv(1, kAnySource, 1).as<int>(), 11);
+    }
+  });
+}
+
+TEST(Comm, SourceFiltering) {
+  run_ranks(3, [](int rank, Comm& comm) {
+    if (rank == 0) {
+      // Wait specifically for rank 2's message first.
+      EXPECT_EQ(comm.recv(0, 2).as<int>(), 2);
+      EXPECT_EQ(comm.recv(0, 1).as<int>(), 1);
+    } else {
+      comm.send(rank, 0, Message::of(0, rank));
+    }
+  });
+}
+
+TEST(Comm, TryRecvNonBlocking) {
+  Comm comm(2);
+  Message out;
+  EXPECT_FALSE(comm.try_recv(1, out));
+  comm.send(0, 1, Message::of(3, 9));
+  EXPECT_TRUE(comm.try_recv(1, out));
+  EXPECT_EQ(out.as<int>(), 9);
+  EXPECT_FALSE(comm.try_recv(1, out));
+}
+
+TEST(Comm, StringPayloadRoundTrip) {
+  Comm comm(2);
+  comm.send(0, 1, Message::of_string(5, "hello worker"));
+  Message out;
+  ASSERT_TRUE(comm.try_recv(1, out, 0, 5));
+  EXPECT_EQ(out.as_string(), "hello worker");
+}
+
+TEST(Comm, BarrierSynchronizesAllRanks) {
+  constexpr int kRanks = 6;
+  std::atomic<int> before{0}, after{0};
+  run_ranks(kRanks, [&](int, Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must have incremented `before`.
+    EXPECT_EQ(before.load(), kRanks);
+    after.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(after.load(), kRanks);
+  });
+}
+
+TEST(Comm, InvalidRanksThrow) {
+  Comm comm(2);
+  EXPECT_THROW(comm.send(0, 5, Message::of(0, 1)), rxc::Error);
+  EXPECT_THROW(comm.send(-1, 1, Message::of(0, 1)), rxc::Error);
+  Message out;
+  EXPECT_THROW(comm.try_recv(9, out), rxc::Error);
+}
+
+TEST(Comm, WorkerExceptionPropagates) {
+  EXPECT_THROW(run_ranks(2,
+                         [](int rank, Comm&) {
+                           if (rank == 1) throw rxc::Error("worker died");
+                         }),
+               rxc::Error);
+}
+
+TEST(MasterWorker, ComputesAllTasksInOrder) {
+  constexpr std::size_t kTasks = 23;
+  std::vector<std::string> results;
+  run_ranks(4, [&](int rank, Comm& comm) {
+    auto out = master_worker_run(comm, rank, kTasks, [](std::size_t task) {
+      return "result-" + std::to_string(task * task);
+    });
+    if (rank == 0) results = std::move(out);
+  });
+  ASSERT_EQ(results.size(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i)
+    EXPECT_EQ(results[i], "result-" + std::to_string(i * i));
+}
+
+TEST(MasterWorker, LoadBalancesAcrossWorkers) {
+  // Workers record which tasks they executed; with 31 tasks and 3 workers,
+  // every worker should get some (dynamic pull distribution).
+  std::array<std::atomic<int>, 4> counts{};
+  run_ranks(4, [&](int rank, Comm& comm) {
+    master_worker_run(comm, rank, 31, [&](std::size_t) {
+      counts[rank].fetch_add(1);
+      return std::string("x");
+    });
+  });
+  EXPECT_EQ(counts[0].load(), 0);  // master computes nothing
+  int total = 0;
+  for (int w = 1; w < 4; ++w) {
+    EXPECT_GT(counts[w].load(), 0) << "worker " << w;
+    total += counts[w].load();
+  }
+  EXPECT_EQ(total, 31);
+}
+
+TEST(MasterWorker, ZeroTasksTerminates) {
+  run_ranks(3, [](int rank, Comm& comm) {
+    const auto out =
+        master_worker_run(comm, rank, 0, [](std::size_t) { return ""; });
+    if (rank == 0) EXPECT_TRUE(out.empty());
+  });
+}
+
+TEST(MasterWorker, SingleWorkerHandlesEverything) {
+  run_ranks(2, [](int rank, Comm& comm) {
+    const auto out = master_worker_run(comm, rank, 10, [](std::size_t t) {
+      return std::to_string(t);
+    });
+    if (rank == 0) {
+      ASSERT_EQ(out.size(), 10u);
+      EXPECT_EQ(out[9], "9");
+    }
+  });
+}
+
+TEST(MasterWorker, RequiresTwoRanks) {
+  Comm comm(1);
+  EXPECT_THROW(
+      master_worker_run(comm, 0, 1, [](std::size_t) { return ""; }),
+      rxc::Error);
+}
+
+// --- collectives ------------------------------------------------------------
+
+#include "mpirt/collectives.h"
+
+TEST(Collectives, BroadcastReplicatesRootData) {
+  run_ranks(5, [](int rank, Comm& comm) {
+    std::string data = rank == 2 ? "the alignment payload" : "";
+    broadcast(comm, rank, 2, data);
+    EXPECT_EQ(data, "the alignment payload");
+  });
+}
+
+TEST(Collectives, GatherCollectsInRankOrder) {
+  run_ranks(4, [](int rank, Comm& comm) {
+    const auto out = gather(comm, rank, 0, "r" + std::to_string(rank));
+    if (rank == 0) {
+      ASSERT_EQ(out.size(), 4u);
+      for (int r = 0; r < 4; ++r)
+        EXPECT_EQ(out[r], "r" + std::to_string(r));
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST(Collectives, AllReduceSumAndMax) {
+  run_ranks(6, [](int rank, Comm& comm) {
+    const double sum = all_reduce_sum(comm, rank, static_cast<double>(rank));
+    EXPECT_DOUBLE_EQ(sum, 15.0);  // 0+1+..+5
+    const double mx =
+        all_reduce_max(comm, rank, rank == 3 ? 99.0 : static_cast<double>(rank));
+    EXPECT_DOUBLE_EQ(mx, 99.0);
+  });
+}
+
+TEST(Collectives, SingleRankDegenerates) {
+  Comm comm(1);
+  std::string data = "solo";
+  broadcast(comm, 0, 0, data);
+  EXPECT_EQ(data, "solo");
+  EXPECT_DOUBLE_EQ(all_reduce_sum(comm, 0, 7.0), 7.0);
+  const auto g = gather(comm, 0, 0, "only");
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0], "only");
+}
+
+TEST(Collectives, BadRootRejected) {
+  Comm comm(2);
+  std::string data;
+  EXPECT_THROW(broadcast(comm, 0, 7, data), rxc::Error);
+}

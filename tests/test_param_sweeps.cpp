@@ -1,0 +1,199 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// kernel-config equivalence across rate modes and category counts, the
+// pulley principle across tree sizes, prune/restore round trips across
+// random seeds, and DMA size-rule coverage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cell/local_store.h"
+#include "cell/mfc.h"
+#include "likelihood/engine.h"
+#include "seq/bootstrap.h"
+#include "seq/seqgen.h"
+#include "support/stats.h"
+#include "tree/moves.h"
+#include "tree/tree.h"
+
+using namespace rxc;
+
+// --- kernel-config equivalence across (mode, categories) --------------------
+
+struct KernelSweepParam {
+  lh::RateMode mode;
+  int categories;
+};
+
+class KernelEquivalenceSweep
+    : public ::testing::TestWithParam<KernelSweepParam> {};
+
+TEST_P(KernelEquivalenceSweep, AllKernelConfigsAgree) {
+  const auto [mode, categories] = GetParam();
+  seq::SimOptions opt;
+  opt.ntaxa = 10;
+  opt.nsites = 300;
+  opt.seed = 31;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  Rng rng(7);
+  tree::Tree t = tree::Tree::random_topology(pa.taxon_count(), rng, 0.08);
+
+  double reference = 0.0;
+  bool first = true;
+  for (const bool simd : {false, true}) {
+    for (const auto exp_fn : {&lh::exp_libm, &lh::exp_sdk}) {
+      for (const auto check :
+           {lh::ScalingCheck::kFloatBranch, lh::ScalingCheck::kIntCast}) {
+        lh::EngineConfig cfg;
+        cfg.mode = mode;
+        cfg.categories = categories;
+        cfg.alpha = 0.7;
+        cfg.kernels = {exp_fn, check, simd};
+        lh::LikelihoodEngine eng(pa, cfg);
+        eng.set_tree(&t);
+        const double lnl = eng.log_likelihood();
+        if (first) {
+          reference = lnl;
+          first = false;
+        } else {
+          EXPECT_LT(rel_diff(lnl, reference), 1e-11)
+              << "simd=" << simd << " sdk=" << (exp_fn == &lh::exp_sdk)
+              << " int=" << (check == lh::ScalingCheck::kIntCast);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndCategories, KernelEquivalenceSweep,
+    ::testing::Values(KernelSweepParam{lh::RateMode::kCat, 1},
+                      KernelSweepParam{lh::RateMode::kCat, 4},
+                      KernelSweepParam{lh::RateMode::kCat, 25},
+                      KernelSweepParam{lh::RateMode::kGamma, 1},
+                      KernelSweepParam{lh::RateMode::kGamma, 4},
+                      KernelSweepParam{lh::RateMode::kGamma, 8}),
+    [](const auto& info) {
+      return std::string(info.param.mode == lh::RateMode::kCat ? "Cat"
+                                                               : "Gamma") +
+             std::to_string(info.param.categories);
+    });
+
+// --- pulley principle across tree sizes --------------------------------------
+
+class PulleySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PulleySweep, LikelihoodEdgeInvariant) {
+  const int ntaxa = GetParam();
+  seq::SimOptions opt;
+  opt.ntaxa = static_cast<std::size_t>(ntaxa);
+  opt.nsites = 120;
+  opt.seed = 1000 + ntaxa;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  Rng rng(ntaxa);
+  tree::Tree t = tree::Tree::random_topology(pa.taxon_count(), rng, 0.09);
+  lh::EngineConfig cfg;
+  cfg.mode = lh::RateMode::kGamma;
+  cfg.categories = 4;
+  lh::LikelihoodEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  const double ref = eng.log_likelihood();
+  for (std::size_t e = 0; e < t.edge_slots(); ++e)
+    if (t.edge_alive(static_cast<int>(e)))
+      EXPECT_NEAR(eng.evaluate(static_cast<int>(e)), ref,
+                  std::fabs(ref) * 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, PulleySweep,
+                         ::testing::Values(4, 5, 8, 13, 21, 34, 55));
+
+// --- prune/regraft/restore round trips across seeds ---------------------------
+
+class SprRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SprRoundTripSweep, EveryMoveIsReversible) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  tree::Tree t = tree::Tree::random_topology(18, rng, 0.1);
+  const tree::Tree original = t;
+  const auto points = tree::enumerate_prune_points(t);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto [x, s] = points[rng.below(points.size())];
+    if (t.edge_between(x, s) < 0) continue;
+    auto rec = t.prune(x, s);
+    const auto targets = tree::enumerate_regraft_targets(t, rec, 4);
+    if (!targets.empty()) {
+      const auto& cand = targets[rng.below(targets.size())];
+      t.regraft(x, cand.target_edge, t.branch_length(cand.target_edge) / 2,
+                rec.edge_xb);
+      t.check_valid();
+      const auto rec2 = t.prune(x, s);
+      EXPECT_EQ(rec2.merged_edge, cand.target_edge);
+    }
+    t.restore(rec);
+    t.check_valid();
+    EXPECT_EQ(tree::Tree::rf_distance(t, original), 0u);
+  }
+  EXPECT_NEAR(t.total_length(), original.total_length(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SprRoundTripSweep,
+                         ::testing::Range(1, 11));
+
+// --- DMA size rules across the architectural table -----------------------------
+
+struct DmaSizeParam {
+  std::size_t size;
+  bool legal;
+};
+
+class DmaSizeSweep : public ::testing::TestWithParam<DmaSizeParam> {};
+
+TEST_P(DmaSizeSweep, SizeRuleEnforced) {
+  const auto [size, legal] = GetParam();
+  cell::CostParams params;
+  cell::LocalStore ls(0);
+  cell::Mfc mfc(ls, params);
+  aligned_vector<std::byte> host(cell::kDmaMaxBytes + 64);
+  const cell::LsAddr dst = ls.alloc(cell::kDmaMaxBytes);
+  if (legal) {
+    EXPECT_NO_THROW(mfc.get(dst, host.data(), size, 0, 0.0));
+  } else {
+    EXPECT_THROW(mfc.get(dst, host.data(), size, 0, 0.0), HardwareError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchitecturalTable, DmaSizeSweep,
+    ::testing::Values(DmaSizeParam{1, true}, DmaSizeParam{2, true},
+                      DmaSizeParam{4, true}, DmaSizeParam{8, true},
+                      DmaSizeParam{16, true}, DmaSizeParam{32, true},
+                      DmaSizeParam{16384, true},
+                      DmaSizeParam{3, false}, DmaSizeParam{12, false},
+                      DmaSizeParam{17, false}, DmaSizeParam{24, false},
+                      DmaSizeParam{100, false},
+                      DmaSizeParam{16384 + 16, false}),
+    [](const auto& info) {
+      return (info.param.legal ? "legal_" : "illegal_") +
+             std::to_string(info.param.size);
+    });
+
+// --- bootstrap weights sweep: expectation across replicate counts ---------------
+
+class BootstrapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BootstrapSweep, WeightsAlwaysSumToSiteCount) {
+  const int seed = GetParam();
+  const auto sim = seq::make_42sc(static_cast<std::uint64_t>(seed));
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto w = seq::bootstrap_weights(pa, rng);
+    double sum = 0.0;
+    for (const double x : w) sum += x;
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(pa.site_count()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BootstrapSweep, ::testing::Values(1, 2, 3));

@@ -1,0 +1,150 @@
+// Tests for the partitioned (multi-gene) engine: slicing, joint likelihood
+// additivity, joint branch optimization, search, and the partition-file
+// parser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "likelihood/partitioned_engine.h"
+#include "search/partitioned_search.h"
+#include "seq/seqgen.h"
+#include "support/stats.h"
+#include "tree/parsimony.h"
+
+using namespace rxc;
+using lh::PartitionDef;
+using lh::PartitionedEngine;
+using tree::Tree;
+
+namespace {
+
+struct MultiGene {
+  seq::Alignment aln;
+  seq::PatternAlignment full;
+  std::vector<PartitionDef> defs;
+
+  MultiGene() : aln(make()), full(seq::PatternAlignment::compress(aln)) {
+    lh::EngineConfig gene1;  // CAT for the first gene
+    gene1.mode = lh::RateMode::kCat;
+    gene1.categories = 4;
+    lh::EngineConfig gene2;  // GAMMA for the second
+    gene2.mode = lh::RateMode::kGamma;
+    gene2.categories = 4;
+    gene2.alpha = 0.8;
+    defs = {{"gene1", 0, 250, gene1}, {"gene2", 250, 600, gene2}};
+  }
+  static seq::Alignment make() {
+    seq::SimOptions opt;
+    opt.ntaxa = 10;
+    opt.nsites = 600;
+    opt.seed = 33;
+    return seq::simulate_alignment(opt).alignment;
+  }
+};
+
+}  // namespace
+
+TEST(Partitioned, JointLikelihoodIsSumOfPartitions) {
+  MultiGene mg;
+  PartitionedEngine part(mg.aln, mg.defs);
+  Rng rng(3);
+  Tree t = Tree::random_topology(mg.aln.taxon_count(), rng, 0.08);
+  part.set_tree(&t);
+  const double joint = part.log_likelihood();
+  double manual = 0.0;
+  for (std::size_t i = 0; i < part.partition_count(); ++i)
+    manual += part.engine(i).log_likelihood();
+  EXPECT_LT(rel_diff(joint, manual), 1e-12);
+  EXPECT_LT(joint, 0.0);
+  part.set_tree(nullptr);
+}
+
+TEST(Partitioned, SingleUniformPartitionEqualsPlainEngine) {
+  MultiGene mg;
+  lh::EngineConfig cfg;
+  cfg.mode = lh::RateMode::kGamma;
+  cfg.categories = 4;
+  PartitionedEngine part(mg.aln,
+                         {{"all", 0, mg.aln.site_count(), cfg}});
+  lh::LikelihoodEngine plain(mg.full, cfg);
+  Rng rng(5);
+  Tree t1 = Tree::random_topology(mg.aln.taxon_count(), rng, 0.1);
+  Tree t2 = t1;
+  part.set_tree(&t1);
+  plain.set_tree(&t2);
+  EXPECT_LT(rel_diff(part.log_likelihood(), plain.log_likelihood()), 1e-12);
+  part.set_tree(nullptr);
+}
+
+TEST(Partitioned, JointBranchOptimizationImproves) {
+  MultiGene mg;
+  PartitionedEngine part(mg.aln, mg.defs);
+  Rng rng(7);
+  Tree t = Tree::random_topology(mg.aln.taxon_count(), rng, 0.3);
+  part.set_tree(&t);
+  const double before = part.log_likelihood();
+  const double after = part.optimize_all_branches(3);
+  EXPECT_GT(after, before + 1.0);
+  part.set_tree(nullptr);
+}
+
+TEST(Partitioned, JointOptimumBeatsPerPartitionDisagreement) {
+  // The jointly optimized branch length must be a stationary point of the
+  // SUM: moving it slightly in either direction cannot improve the joint
+  // lnl (even though individual partitions might prefer it).
+  MultiGene mg;
+  PartitionedEngine part(mg.aln, mg.defs);
+  Rng rng(9);
+  Tree t = Tree::random_topology(mg.aln.taxon_count(), rng, 0.1);
+  part.set_tree(&t);
+  part.optimize_all_branches(3);
+  const int edge = 0;
+  const double opt_len = t.branch_length(edge);
+  const double opt_lnl = part.evaluate(edge);
+  for (const double factor : {0.8, 0.9, 1.1, 1.25}) {
+    t.set_branch_length(edge, opt_len * factor);
+    part.on_branch_changed(edge);
+    EXPECT_LE(part.evaluate(edge), opt_lnl + 1e-7) << factor;
+  }
+  t.set_branch_length(edge, opt_len);
+  part.set_tree(nullptr);
+}
+
+TEST(Partitioned, SearchRunsAndBeatsStartingTree) {
+  MultiGene mg;
+  PartitionedEngine part(mg.aln, mg.defs);
+  search::SearchOptions so;
+  so.max_rounds = 2;
+  const auto result =
+      search::run_partitioned_search(mg.full, part, so, 11);
+  EXPECT_LT(result.log_likelihood, 0.0);
+  EXPECT_NO_THROW(result.tree.check_valid());
+  EXPECT_GT(part.counters().newview_calls, 0u);
+}
+
+TEST(Partitioned, RejectsBadRanges) {
+  MultiGene mg;
+  lh::EngineConfig cfg;
+  EXPECT_THROW(PartitionedEngine(mg.aln, {{"x", 10, 10, cfg}}), Error);
+  EXPECT_THROW(PartitionedEngine(mg.aln, {{"x", 0, 9999, cfg}}), Error);
+  EXPECT_THROW(PartitionedEngine(
+                   mg.aln, {{"a", 0, 300, cfg}, {"b", 200, 600, cfg}}),
+               Error);
+  EXPECT_THROW(PartitionedEngine(mg.aln, {}), Error);
+}
+
+TEST(Partitioned, ParsesRaxmlStyleRanges) {
+  lh::EngineConfig base;
+  const auto defs = lh::parse_partition_ranges(
+      "# comment\ngene1 = 1-450\n\ngene2 = 451-1000\n", base);
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].name, "gene1");
+  EXPECT_EQ(defs[0].first_site, 0u);
+  EXPECT_EQ(defs[0].last_site, 450u);
+  EXPECT_EQ(defs[1].first_site, 450u);
+  EXPECT_EQ(defs[1].last_site, 1000u);
+  EXPECT_THROW(lh::parse_partition_ranges("nonsense\n", base), Error);
+  EXPECT_THROW(lh::parse_partition_ranges("g = 5-2\n", base), Error);
+  EXPECT_THROW(lh::parse_partition_ranges("", base), Error);
+}

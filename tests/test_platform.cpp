@@ -1,0 +1,88 @@
+// Tests for src/platform: host-processor models for the Figure 3
+// comparison.
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.h"
+
+using namespace rxc;
+using platform::PlatformParams;
+
+namespace {
+lh::KernelCounters sample_counters() {
+  lh::KernelCounters c;
+  c.newview_calls = 1000;
+  c.newview_patterns = 252'000;
+  c.evaluate_calls = 300;
+  c.sumtable_calls = 50;
+  c.nr_calls = 280;
+  c.pmatrix_builds = 2300;
+  c.exp_calls = 172'500;
+  return c;
+}
+}  // namespace
+
+TEST(Platform, ParamsSanity) {
+  const auto p5 = platform::power5();
+  const auto xe = platform::xeon();
+  EXPECT_EQ(p5.contexts, 4);
+  EXPECT_EQ(xe.contexts, 4);
+  EXPECT_GT(p5.clock_hz, 1e9);
+  EXPECT_GT(xe.smt_factor, p5.smt_factor);  // NetBurst HT is weaker
+  EXPECT_GT(xe.dp_flop_cycles, p5.dp_flop_cycles);
+}
+
+TEST(Platform, TaskCyclesMonotoneInWork) {
+  const auto p5 = platform::power5();
+  lh::KernelCounters c = sample_counters();
+  const double base = platform::task_cycles(p5, c, 252, 25);
+  EXPECT_GT(base, 0.0);
+  c.newview_patterns *= 2;
+  EXPECT_GT(platform::task_cycles(p5, c, 252, 25), base);
+}
+
+TEST(Platform, XeonSlowerThanPower5PerTask) {
+  const auto c = sample_counters();
+  const double t5 = platform::task_cycles(platform::power5(), c, 252, 25) /
+                    platform::power5().clock_hz;
+  const double tx = platform::task_cycles(platform::xeon(), c, 252, 25) /
+                    platform::xeon().clock_hz;
+  EXPECT_GT(tx, t5 * 1.5);
+}
+
+TEST(Platform, MakespanSingleTaskUnpenalized) {
+  PlatformParams p;
+  p.contexts = 4;
+  p.threads_per_core = 2;
+  p.smt_factor = 1.5;
+  const double m = platform::schedule_makespan(p, {10.0});
+  EXPECT_DOUBLE_EQ(m, 10.0);  // alone on a core: no SMT penalty
+}
+
+TEST(Platform, MakespanBalancesContexts) {
+  PlatformParams p;
+  p.contexts = 4;
+  p.threads_per_core = 2;
+  p.smt_factor = 1.0;
+  const std::vector<double> tasks(8, 5.0);
+  EXPECT_DOUBLE_EQ(platform::schedule_makespan(p, tasks), 10.0);
+}
+
+TEST(Platform, SmtPenaltyAppliesWhenOversubscribed) {
+  PlatformParams p;
+  p.contexts = 4;
+  p.threads_per_core = 2;
+  p.smt_factor = 1.4;
+  const std::vector<double> tasks(4, 5.0);
+  // 4 tasks > 2 cores -> penalty on.
+  EXPECT_DOUBLE_EQ(platform::schedule_makespan(p, tasks), 7.0);
+}
+
+TEST(Platform, UnevenTasksGreedyPlacement) {
+  PlatformParams p;
+  p.contexts = 2;
+  p.threads_per_core = 1;
+  p.smt_factor = 1.0;
+  // Greedy list schedule: 8 -> ctx0, 6 -> ctx1, 5 -> ctx1 (6 < 8).
+  EXPECT_DOUBLE_EQ(platform::schedule_makespan(p, {8.0, 6.0, 5.0}), 11.0);
+}

@@ -1,0 +1,406 @@
+// Tests for the amino-acid (20-state) path: encoding, models, generic
+// eigendecomposition, N-state kernels against a brute-force oracle, the
+// protein engine's invariants, and the protein tree search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "likelihood/protein_engine.h"
+#include "model/aa_model.h"
+#include "model/eigen_n.h"
+#include "search/protein_search.h"
+#include "seq/aa_alignment.h"
+#include "support/stats.h"
+#include "tree/moves.h"
+#include "tree/parsimony.h"
+
+using namespace rxc;
+using model::AaModel;
+using seq::AaAlignment;
+using seq::AaPatternAlignment;
+using tree::Tree;
+
+namespace {
+
+AaModel test_model() {
+  Rng rng(1234);
+  return AaModel::random(rng);
+}
+
+/// Independent 20-state brute-force site likelihood: enumerate inner-node
+/// states (use only 4-taxon trees: 20^2 = 400 assignments).
+double brute_force_site_lh(const Tree& t, const AaPatternAlignment& pa,
+                           const AaModel& mdl, double rate,
+                           std::size_t pattern) {
+  const auto es = mdl.decompose();
+  const int ntips = static_cast<int>(t.tip_count());
+  const int ninner = static_cast<int>(t.node_count()) - ntips;
+  RXC_ASSERT(ninner == 2);
+
+  std::vector<std::vector<double>> pmat(t.edge_slots(),
+                                        std::vector<double>(400));
+  for (std::size_t e = 0; e < t.edge_slots(); ++e)
+    if (t.edge_alive(static_cast<int>(e)))
+      model::transition_matrix_n(
+          es, t.branch_length(static_cast<int>(e)) * rate, pmat[e].data());
+
+  double total = 0.0;
+  for (int s0 = 0; s0 < 20; ++s0) {
+    for (int s1 = 0; s1 < 20; ++s1) {
+      const int state[2] = {s0, s1};
+      double prod = mdl.freqs[s0];
+      for (std::size_t e = 0; e < t.edge_slots(); ++e) {
+        if (!t.edge_alive(static_cast<int>(e))) continue;
+        auto [a, b] = t.edge_nodes(static_cast<int>(e));
+        if (t.is_tip(a)) std::swap(a, b);
+        const int sa = state[a - ntips];
+        if (t.is_tip(b)) {
+          const std::uint32_t mask = seq::aa_code_mask(pa.at(b, pattern));
+          double sum = 0.0;
+          for (int j = 0; j < 20; ++j)
+            if (mask & (1u << j)) sum += pmat[e][sa * 20 + j];
+          prod *= sum;
+        } else {
+          prod *= pmat[e][sa * 20 + state[b - ntips]];
+        }
+      }
+      total += prod;
+    }
+  }
+  return total;
+}
+
+struct Fixture {
+  AaAlignment aln;
+  AaPatternAlignment pa;
+  std::vector<std::string> nm;
+  Fixture()
+      : aln(AaAlignment::from_records({{"t0", "ARNDCQEGHX"},
+                                       {"t1", "ARNDCQEGHI"},
+                                       {"t2", "ARNECREGBI"},
+                                       {"t3", "ARNZCQWGHI"}})),
+        pa(AaPatternAlignment::compress(aln)),
+        nm({"t0", "t1", "t2", "t3"}) {}
+};
+
+Tree quartet(const Fixture& f) {
+  return Tree::from_newick_string(
+      "((t0:0.12,t1:0.21):0.08,(t2:0.33,t3:0.14):0.11);", f.nm);
+}
+
+}  // namespace
+
+// --- encoding ---------------------------------------------------------------
+
+TEST(AaEncoding, ResiduesRoundTrip) {
+  for (int i = 0; i < 20; ++i) {
+    const char c = seq::kAaLetters[i];
+    EXPECT_EQ(seq::encode_aa(c), i);
+    EXPECT_EQ(seq::decode_aa(static_cast<seq::AaCode>(i)), c);
+    EXPECT_EQ(seq::aa_code_mask(static_cast<seq::AaCode>(i)), 1u << i);
+  }
+}
+
+TEST(AaEncoding, AmbiguityMasks) {
+  EXPECT_EQ(__builtin_popcount(seq::aa_code_mask(seq::kAaCodeB)), 2);  // N|D
+  EXPECT_EQ(__builtin_popcount(seq::aa_code_mask(seq::kAaCodeZ)), 2);  // Q|E
+  EXPECT_EQ(__builtin_popcount(seq::aa_code_mask(seq::kAaCodeJ)), 2);  // I|L
+  EXPECT_EQ(seq::aa_code_mask(seq::kAaCodeX), (1u << 20) - 1);
+  EXPECT_EQ(seq::encode_aa('-'), seq::kAaCodeX);
+  EXPECT_EQ(seq::encode_aa('x'), seq::kAaCodeX);
+}
+
+TEST(AaEncoding, RejectsInvalid) {
+  EXPECT_THROW(seq::encode_aa('O'), ParseError);
+  EXPECT_THROW(seq::encode_aa('U'), ParseError);
+  EXPECT_THROW(seq::encode_aa('1'), ParseError);
+}
+
+TEST(AaAlignmentTest, CompressAndFreqs) {
+  Fixture f;
+  EXPECT_EQ(f.pa.taxon_count(), 4u);
+  EXPECT_LE(f.pa.pattern_count(), f.aln.site_count());
+  const auto freqs = f.aln.empirical_freqs();
+  double sum = 0.0;
+  for (const double x : freqs) {
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// --- models -------------------------------------------------------------------
+
+TEST(AaModelTest, PoissonUniform) {
+  const auto m = AaModel::poisson();
+  EXPECT_NO_THROW(m.validate());
+  const auto es = m.decompose();
+  EXPECT_NEAR(es.lambda[0], 0.0, 1e-8);
+  for (int k = 1; k < 20; ++k) EXPECT_LT(es.lambda[k], 0.0);
+}
+
+TEST(AaModelTest, PamlDatRoundTrip) {
+  // Build a synthetic .dat in PAML layout from a random model, parse it
+  // back, and compare.
+  Rng rng(9);
+  const AaModel original = AaModel::random(rng);
+  std::ostringstream dat;
+  dat.precision(17);
+  // Lower triangle rows: row i lists exchangeabilities with j < i.
+  for (int i = 1; i < 20; ++i) {
+    for (int j = 0; j < i; ++j) {
+      const std::size_t index = static_cast<std::size_t>(j) * 20 -
+                                static_cast<std::size_t>(j) * (j + 1) / 2 +
+                                (i - j - 1);
+      dat << original.rates[index] << ' ';
+    }
+    dat << '\n';
+  }
+  dat << '\n';
+  for (int i = 0; i < 20; ++i) dat << original.freqs[i] << ' ';
+  dat << '\n';
+
+  std::istringstream in(dat.str());
+  const AaModel parsed = AaModel::from_paml_dat(in, "roundtrip");
+  for (std::size_t k = 0; k < model::kAaPairs; ++k)
+    EXPECT_NEAR(parsed.rates[k], original.rates[k], 1e-12) << k;
+  for (int i = 0; i < 20; ++i)
+    EXPECT_NEAR(parsed.freqs[i], original.freqs[i], 1e-12);
+}
+
+TEST(AaModelTest, PamlDatErrors) {
+  std::istringstream half("1.0 2.0 3.0");
+  EXPECT_THROW(AaModel::from_paml_dat(half, "x"), ParseError);
+  std::istringstream garbage("1.0 abc");
+  EXPECT_THROW(AaModel::from_paml_dat(garbage, "x"), ParseError);
+  EXPECT_THROW(AaModel::from_paml_dat_file("/nonexistent.dat"), Error);
+}
+
+// --- generic eigen --------------------------------------------------------------
+
+TEST(EigenN, TransitionMatrixProperties) {
+  const auto m = test_model();
+  const auto es = m.decompose();
+  std::vector<double> p(400), p2(400), pp(400);
+  // Rows sum to 1, entries nonnegative.
+  model::transition_matrix_n(es, 0.37, p.data());
+  for (int i = 0; i < 20; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 20; ++j) {
+      EXPECT_GE(p[i * 20 + j], -1e-12);
+      row += p[i * 20 + j];
+    }
+    EXPECT_NEAR(row, 1.0, 1e-10);
+  }
+  // P(0) = I.
+  model::transition_matrix_n(es, 0.0, p2.data());
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j)
+      EXPECT_NEAR(p2[i * 20 + j], i == j ? 1.0 : 0.0, 1e-10);
+  // Chapman-Kolmogorov: P(0.2) * P(0.3) = P(0.5).
+  std::vector<double> pa2(400), pb(400);
+  model::transition_matrix_n(es, 0.2, pa2.data());
+  model::transition_matrix_n(es, 0.3, pb.data());
+  model::transition_matrix_n(es, 0.5, pp.data());
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 20; ++k) sum += pa2[i * 20 + k] * pb[k * 20 + j];
+      EXPECT_NEAR(sum, pp[i * 20 + j], 1e-10);
+    }
+  // Detailed balance.
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j)
+      EXPECT_NEAR(m.freqs[i] * p[i * 20 + j], m.freqs[j] * p[j * 20 + i],
+                  1e-11);
+}
+
+// --- kernels vs oracle ------------------------------------------------------------
+
+TEST(ProteinOracle, CatSingleRateMatchesBruteForce) {
+  Fixture f;
+  Tree t = quartet(f);
+  lh::ProteinEngineConfig cfg;
+  cfg.model = test_model();
+  cfg.mode = lh::RateMode::kCat;
+  cfg.categories = 1;
+  lh::ProteinEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+  double expected = 0.0;
+  for (std::size_t p = 0; p < f.pa.pattern_count(); ++p)
+    expected += f.pa.weights()[p] *
+                std::log(brute_force_site_lh(t, f.pa, cfg.model, 1.0, p));
+  EXPECT_NEAR(eng.log_likelihood(), expected, 1e-9);
+}
+
+TEST(ProteinOracle, GammaMatchesBruteForceAverage) {
+  Fixture f;
+  Tree t = quartet(f);
+  lh::ProteinEngineConfig cfg;
+  cfg.model = test_model();
+  cfg.mode = lh::RateMode::kGamma;
+  cfg.categories = 4;
+  cfg.alpha = 0.9;
+  lh::ProteinEngine eng(f.pa, cfg);
+  eng.set_tree(&t);
+  const auto rates = model::DiscreteGamma::make(0.9, 4).rates;
+  double expected = 0.0;
+  for (std::size_t p = 0; p < f.pa.pattern_count(); ++p) {
+    double site = 0.0;
+    for (const double r : rates)
+      site += brute_force_site_lh(t, f.pa, cfg.model, r, p);
+    expected += f.pa.weights()[p] * std::log(site / 4.0);
+  }
+  EXPECT_NEAR(eng.log_likelihood(), expected, 1e-9);
+}
+
+// --- engine invariants --------------------------------------------------------------
+
+TEST(ProteinEngineTest, PulleyPrinciple) {
+  const auto sim = seq::simulate_aa_alignment({});
+  const auto pa = AaPatternAlignment::compress(sim.alignment);
+  Rng rng(3);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.09);
+  for (const auto mode : {lh::RateMode::kCat, lh::RateMode::kGamma}) {
+    lh::ProteinEngineConfig cfg;
+    cfg.model = test_model();
+    cfg.mode = mode;
+    cfg.categories = 3;
+    lh::ProteinEngine eng(pa, cfg);
+    eng.set_tree(&t);
+    const double ref = eng.log_likelihood();
+    EXPECT_TRUE(std::isfinite(ref));
+    for (std::size_t e = 0; e < t.edge_slots(); ++e)
+      if (t.edge_alive(static_cast<int>(e)))
+        EXPECT_NEAR(eng.evaluate(static_cast<int>(e)), ref,
+                    std::fabs(ref) * 1e-10);
+  }
+}
+
+TEST(ProteinEngineTest, BranchOptimizationImproves) {
+  const auto sim = seq::simulate_aa_alignment({});
+  const auto pa = AaPatternAlignment::compress(sim.alignment);
+  Rng rng(5);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.25);
+  lh::ProteinEngineConfig cfg;
+  cfg.model = AaModel::poisson();
+  lh::ProteinEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  const double before = eng.log_likelihood();
+  const double after = eng.optimize_all_branches(3);
+  EXPECT_GT(after, before);
+}
+
+TEST(ProteinEngineTest, InsertionScoreMatchesActualRegraft) {
+  const auto sim = seq::simulate_aa_alignment({});
+  const auto pa = AaPatternAlignment::compress(sim.alignment);
+  Rng rng(7);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.1);
+  lh::ProteinEngineConfig cfg;
+  cfg.model = test_model();
+  lh::ProteinEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  (void)eng.log_likelihood();
+
+  const auto points = tree::enumerate_prune_points(t);
+  const auto [x, s] = points[5];
+  auto rec = t.prune(x, s);
+  eng.on_prune(rec);
+  const auto targets = tree::enumerate_regraft_targets(t, rec, 3);
+  ASSERT_FALSE(targets.empty());
+  const int target = targets.front().target_edge;
+  const double predicted = eng.score_insertion(rec, target);
+  const double half = t.branch_length(target) / 2;
+  t.regraft(x, target, half, rec.edge_xb);
+  eng.on_regraft(target, rec.edge_xb);
+  EXPECT_NEAR(predicted, eng.log_likelihood(),
+              std::fabs(predicted) * 1e-10);
+}
+
+TEST(ProteinEngineTest, BootstrapWeightsChangeAndRestore) {
+  const auto sim = seq::simulate_aa_alignment({});
+  const auto pa = AaPatternAlignment::compress(sim.alignment);
+  Rng rng(11);
+  Tree t = Tree::random_topology(pa.taxon_count(), rng, 0.1);
+  lh::ProteinEngineConfig cfg;
+  lh::ProteinEngine eng(pa, cfg);
+  eng.set_tree(&t);
+  const double orig = eng.log_likelihood();
+  std::vector<double> w(pa.pattern_count(), 0.0);
+  w[0] = static_cast<double>(pa.site_count());
+  eng.set_pattern_weights(w);
+  EXPECT_NE(eng.log_likelihood(), orig);
+  eng.set_pattern_weights(pa.weights());
+  EXPECT_DOUBLE_EQ(eng.log_likelihood(), orig);
+}
+
+// --- parsimony over AA masks -----------------------------------------------------
+
+TEST(ProteinParsimony, TopologySignal) {
+  const auto aln = AaAlignment::from_records({{"t0", "AAAA"},
+                                              {"t1", "AAAA"},
+                                              {"t2", "WWWW"},
+                                              {"t3", "WWWW"}});
+  const auto pa = AaPatternAlignment::compress(aln);
+  const std::vector<std::string> nm{"t0", "t1", "t2", "t3"};
+  const Tree good = Tree::from_newick_string("((t0,t1),(t2,t3));", nm);
+  const Tree bad = Tree::from_newick_string("((t0,t2),(t1,t3));", nm);
+  EXPECT_DOUBLE_EQ(tree::parsimony_score(good, pa), 4.0);
+  EXPECT_DOUBLE_EQ(tree::parsimony_score(bad, pa), 8.0);
+}
+
+TEST(ProteinParsimony, StepwiseAdditionBeatsRandom) {
+  const auto sim = seq::simulate_aa_alignment({});
+  const auto pa = AaPatternAlignment::compress(sim.alignment);
+  Rng rng(13);
+  const Tree stepwise = tree::stepwise_addition_tree(pa, rng);
+  const Tree random = Tree::random_topology(pa.taxon_count(), rng);
+  EXPECT_LT(tree::parsimony_score(stepwise, pa),
+            tree::parsimony_score(random, pa));
+}
+
+// --- full protein search ------------------------------------------------------------
+
+TEST(ProteinSearch, RecoversSimulatedTopology) {
+  seq::AaSimOptions opt;
+  opt.ntaxa = 10;
+  opt.nsites = 400;
+  opt.branch_scale = 0.15;
+  opt.seed = 21;
+  const auto sim = seq::simulate_aa_alignment(opt);
+  const auto pa = AaPatternAlignment::compress(sim.alignment);
+
+  lh::ProteinEngineConfig cfg;
+  cfg.model = AaModel::poisson();
+  search::SearchOptions so;
+  so.max_rounds = 4;
+  const auto result = search::run_protein_task(pa, cfg, so, 1);
+  EXPECT_LT(result.log_likelihood, 0.0);
+  EXPECT_GT(result.counters.newview_calls, 0u);
+
+  const Tree inferred =
+      Tree::from_newick_string(result.newick, pa.names());
+  const Tree truth =
+      Tree::from_newick_string(sim.true_tree_newick, pa.names());
+  Rng rng(2);
+  const Tree random = Tree::random_topology(10, rng);
+  EXPECT_LT(Tree::rf_distance(inferred, truth),
+            Tree::rf_distance(random, truth));
+  EXPECT_LE(Tree::rf_distance(inferred, truth), 4u);
+}
+
+TEST(ProteinSearch, BootstrapReproducibleAndDistinct) {
+  const auto sim = seq::simulate_aa_alignment({});
+  const auto pa = AaPatternAlignment::compress(sim.alignment);
+  lh::ProteinEngineConfig cfg;
+  search::SearchOptions so;
+  so.max_rounds = 2;
+  const auto a = search::run_protein_task(pa, cfg, so, 3, true);
+  const auto b = search::run_protein_task(pa, cfg, so, 3, true);
+  const auto c = search::run_protein_task(pa, cfg, so, 3, false);
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+  EXPECT_EQ(a.newick, b.newick);
+  EXPECT_NE(a.log_likelihood, c.log_likelihood);
+}

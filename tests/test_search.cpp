@@ -1,0 +1,164 @@
+// Tests for src/search: hill climbing, analysis tasks, reproducibility.
+
+#include <gtest/gtest.h>
+
+#include "search/analysis.h"
+#include "search/search.h"
+#include "seq/seqgen.h"
+#include "tree/parsimony.h"
+
+using namespace rxc;
+
+namespace {
+
+struct SearchFixture {
+  seq::SimResult sim;
+  seq::PatternAlignment pa;
+  lh::EngineConfig ec;
+  search::SearchOptions so;
+
+  SearchFixture() : sim(make()), pa(seq::PatternAlignment::compress(sim.alignment)) {
+    ec.mode = lh::RateMode::kCat;
+    ec.categories = 8;
+    so.max_rounds = 4;
+  }
+  static seq::SimResult make() {
+    seq::SimOptions opt;
+    opt.ntaxa = 14;
+    opt.nsites = 500;
+    opt.branch_scale = 0.08;
+    opt.seed = 99;
+    return seq::simulate_alignment(opt);
+  }
+};
+
+}  // namespace
+
+TEST(Search, ImprovesOverStartingTree) {
+  SearchFixture f;
+  lh::LikelihoodEngine engine(f.pa, f.ec);
+
+  // Baseline: the starting tree's likelihood after branch optimization only.
+  Rng rng(5);
+  tree::Tree start = tree::stepwise_addition_tree(f.pa, rng, 0.05);
+  engine.set_tree(&start);
+  const double start_lnl = engine.optimize_all_branches(3);
+  engine.set_tree(nullptr);
+
+  lh::LikelihoodEngine engine2(f.pa, f.ec);
+  const auto result = search::run_search(f.pa, engine2, f.so, 5);
+  EXPECT_GE(result.log_likelihood, start_lnl - 1e-6);
+  EXPECT_GT(result.candidate_scores, 0u);
+  EXPECT_NO_THROW(result.tree.check_valid());
+}
+
+TEST(Search, RecoversTrueTopologySignal) {
+  // On well-resolved simulated data, the inferred tree should be much
+  // closer to the generating tree than a random one.
+  seq::SimOptions opt;
+  opt.ntaxa = 12;
+  opt.nsites = 2000;
+  opt.branch_scale = 0.1;
+  opt.gamma_alpha = 0.0;  // homogeneous, strong signal
+  opt.seed = 3;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+
+  lh::EngineConfig ec;
+  ec.mode = lh::RateMode::kCat;
+  ec.categories = 4;
+  search::SearchOptions so;
+  so.max_rounds = 6;
+  lh::LikelihoodEngine engine(pa, ec);
+  const auto result = search::run_search(pa, engine, so, 11);
+
+  const tree::Tree truth =
+      tree::Tree::from_newick_string(sim.true_tree_newick, pa.names());
+  const std::size_t rf_found = tree::Tree::rf_distance(result.tree, truth);
+  Rng rng(1);
+  const tree::Tree random = tree::Tree::random_topology(12, rng);
+  const std::size_t rf_random = tree::Tree::rf_distance(random, truth);
+  EXPECT_LE(rf_found, 4u);          // close to the truth
+  EXPECT_LT(rf_found, rf_random);   // and much closer than chance
+}
+
+TEST(Search, DeterministicGivenSeed) {
+  SearchFixture f;
+  lh::LikelihoodEngine e1(f.pa, f.ec), e2(f.pa, f.ec);
+  const auto r1 = search::run_search(f.pa, e1, f.so, 42);
+  const auto r2 = search::run_search(f.pa, e2, f.so, 42);
+  EXPECT_DOUBLE_EQ(r1.log_likelihood, r2.log_likelihood);
+  EXPECT_EQ(tree::Tree::rf_distance(r1.tree, r2.tree), 0u);
+}
+
+TEST(Search, DistinctSeedsExploreDistinctStarts) {
+  SearchFixture f;
+  lh::LikelihoodEngine e1(f.pa, f.ec), e2(f.pa, f.ec);
+  const auto r1 = search::run_search(f.pa, e1, f.so, 1);
+  const auto r2 = search::run_search(f.pa, e2, f.so, 2);
+  // Likelihoods may converge to the same optimum, but the searches must
+  // have done different work (different starting trees).
+  EXPECT_TRUE(r1.candidate_scores != r2.candidate_scores ||
+              tree::Tree::rf_distance(r1.tree, r2.tree) > 0 ||
+              r1.log_likelihood != r2.log_likelihood);
+}
+
+TEST(Analysis, TaskBundleLayout) {
+  const auto tasks = search::make_analysis(3, 5);
+  ASSERT_EQ(tasks.size(), 8u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(tasks[i].kind, search::TaskKind::kInference);
+  for (int i = 3; i < 8; ++i)
+    EXPECT_EQ(tasks[i].kind, search::TaskKind::kBootstrap);
+  // Seeds all distinct.
+  std::set<std::uint64_t> seeds;
+  for (const auto& t : tasks) seeds.insert(t.seed);
+  EXPECT_EQ(seeds.size(), tasks.size());
+}
+
+TEST(Analysis, RunTaskProducesCountersAndTree) {
+  SearchFixture f;
+  const auto result = search::run_task(f.pa, f.ec, f.so,
+                                       {search::TaskKind::kInference, 7});
+  EXPECT_LT(result.log_likelihood, 0.0);
+  EXPECT_GT(result.counters.newview_calls, 0u);
+  EXPECT_FALSE(result.newick.empty());
+  // The newick must parse back to a tree over the same taxa.
+  const auto tree =
+      tree::Tree::from_newick_string(result.newick, f.pa.names());
+  EXPECT_EQ(tree.tip_count(), f.pa.taxon_count());
+}
+
+TEST(Analysis, BootstrapDiffersFromInference) {
+  SearchFixture f;
+  const auto inf = search::run_task(f.pa, f.ec, f.so,
+                                    {search::TaskKind::kInference, 7});
+  const auto bs = search::run_task(f.pa, f.ec, f.so,
+                                   {search::TaskKind::kBootstrap, 7});
+  EXPECT_NE(inf.log_likelihood, bs.log_likelihood);
+}
+
+TEST(Analysis, BootstrapReproducible) {
+  SearchFixture f;
+  const auto a = search::run_task(f.pa, f.ec, f.so,
+                                  {search::TaskKind::kBootstrap, 13});
+  const auto b = search::run_task(f.pa, f.ec, f.so,
+                                  {search::TaskKind::kBootstrap, 13});
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+  EXPECT_EQ(a.newick, b.newick);
+}
+
+TEST(Analysis, BestInferenceSelectsMaxAmongInferences) {
+  std::vector<search::AnalysisTask> tasks = search::make_analysis(2, 1);
+  std::vector<search::TaskResult> results(3);
+  results[0].log_likelihood = -100.0;
+  results[1].log_likelihood = -50.0;
+  results[2].log_likelihood = -1.0;  // bootstrap: must be ignored
+  EXPECT_EQ(search::best_inference(results, tasks), 1u);
+}
+
+TEST(Analysis, BestInferenceRequiresAnInference) {
+  const auto tasks = search::make_analysis(0, 2);
+  std::vector<search::TaskResult> results(2);
+  EXPECT_THROW(search::best_inference(results, tasks), Error);
+}

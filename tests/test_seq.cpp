@@ -1,0 +1,229 @@
+// Tests for src/seq: encoding, alignments, pattern compression, bootstrap
+// resampling and the sequence simulator.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "seq/alignment.h"
+#include "seq/bootstrap.h"
+#include "seq/patterns.h"
+#include "seq/seqgen.h"
+#include "support/error.h"
+
+using namespace rxc;
+using seq::Alignment;
+using seq::PatternAlignment;
+
+namespace {
+Alignment tiny() {
+  return Alignment::from_records({{"t0", "AACGT"},
+                                  {"t1", "AACGA"},
+                                  {"t2", "AACTT"},
+                                  {"t3", "AAC-T"}});
+}
+}  // namespace
+
+TEST(Encoding, CanonicalBases) {
+  EXPECT_EQ(seq::encode_dna('A'), 1);
+  EXPECT_EQ(seq::encode_dna('c'), 2);
+  EXPECT_EQ(seq::encode_dna('G'), 4);
+  EXPECT_EQ(seq::encode_dna('t'), 8);
+  EXPECT_EQ(seq::encode_dna('U'), 8);
+}
+
+TEST(Encoding, AmbiguityCodesAreUnions) {
+  EXPECT_EQ(seq::encode_dna('R'), (1 | 4));  // A|G
+  EXPECT_EQ(seq::encode_dna('Y'), (2 | 8));  // C|T
+  EXPECT_EQ(seq::encode_dna('N'), 15);
+  EXPECT_EQ(seq::encode_dna('-'), 15);
+  EXPECT_EQ(seq::encode_dna('?'), 15);
+}
+
+TEST(Encoding, RoundTripsThroughDecode) {
+  const std::string chars = "ACGTMRWSYKVHDBN";
+  for (char c : chars) EXPECT_EQ(seq::decode_dna(seq::encode_dna(c)), c);
+}
+
+TEST(Encoding, RejectsInvalidCharacters) {
+  EXPECT_THROW(seq::encode_dna('Z'), ParseError);
+  EXPECT_THROW(seq::encode_dna('1'), ParseError);
+  EXPECT_THROW(seq::encode_dna(' '), ParseError);
+}
+
+TEST(Alignment, BasicAccessors) {
+  const Alignment a = tiny();
+  EXPECT_EQ(a.taxon_count(), 4u);
+  EXPECT_EQ(a.site_count(), 5u);
+  EXPECT_EQ(a.name(2), "t2");
+  EXPECT_EQ(a.at(0, 2), seq::encode_dna('C'));
+  EXPECT_EQ(a.at(3, 3), seq::kGapCode);
+}
+
+TEST(Alignment, ValidationErrors) {
+  EXPECT_THROW(Alignment::from_records({{"a", "AC"}, {"b", "ACG"},
+                                        {"c", "AC"}, {"d", "AC"}}),
+               ParseError);
+  EXPECT_THROW(Alignment::from_records({{"a", "AC"}, {"a", "AC"},
+                                        {"c", "AC"}, {"d", "AC"}}),
+               ParseError);
+  EXPECT_THROW(Alignment::from_records({{"a", "AC"}, {"b", "AC"}}),
+               Error);  // too few taxa
+}
+
+TEST(Alignment, RecordsRoundTrip) {
+  const Alignment a = tiny();
+  const auto recs = a.to_records();
+  const Alignment b = Alignment::from_records(recs);
+  EXPECT_EQ(b.taxon_count(), a.taxon_count());
+  for (std::size_t t = 0; t < a.taxon_count(); ++t)
+    for (std::size_t s = 0; s < a.site_count(); ++s)
+      EXPECT_EQ(a.at(t, s), b.at(t, s));
+}
+
+TEST(Alignment, EmpiricalFreqsSumToOneAndIgnoreGaps) {
+  const auto f = tiny().empirical_base_freqs();
+  EXPECT_NEAR(f[0] + f[1] + f[2] + f[3], 1.0, 1e-12);
+  // Column of all 'A's dominates.
+  EXPECT_GT(f[0], f[2]);
+}
+
+TEST(Patterns, CompressesDuplicateColumns) {
+  const Alignment a = tiny();  // columns: AAAA, AAAA, CCCC, GGT-, TATT
+  const PatternAlignment pa = PatternAlignment::compress(a);
+  EXPECT_EQ(pa.site_count(), 5u);
+  EXPECT_EQ(pa.pattern_count(), 4u);  // the two AAAA columns merge
+  const double total =
+      std::accumulate(pa.weights().begin(), pa.weights().end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(Patterns, SiteToPatternIsConsistent) {
+  const PatternAlignment pa = PatternAlignment::compress(tiny());
+  const Alignment a = tiny();
+  for (std::size_t s = 0; s < a.site_count(); ++s) {
+    const std::size_t p = pa.site_to_pattern()[s];
+    for (std::size_t t = 0; t < a.taxon_count(); ++t)
+      EXPECT_EQ(pa.at(t, p), a.at(t, s));
+  }
+}
+
+TEST(Patterns, WeightsMatchColumnMultiplicity) {
+  const PatternAlignment pa = PatternAlignment::compress(tiny());
+  const std::size_t p0 = pa.site_to_pattern()[0];
+  EXPECT_DOUBLE_EQ(pa.weights()[p0], 2.0);  // AAAA appears twice
+}
+
+TEST(Bootstrap, WeightsSumToSiteCount) {
+  const PatternAlignment pa = PatternAlignment::compress(tiny());
+  Rng rng(99);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto w = seq::bootstrap_weights(pa, rng);
+    EXPECT_EQ(w.size(), pa.pattern_count());
+    EXPECT_DOUBLE_EQ(std::accumulate(w.begin(), w.end(), 0.0), 5.0);
+    for (double x : w) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(Bootstrap, ReplicatesVary) {
+  const auto sim = seq::simulate_alignment({});
+  const PatternAlignment pa = PatternAlignment::compress(sim.alignment);
+  Rng rng(1);
+  const auto w1 = seq::bootstrap_weights(pa, rng);
+  const auto w2 = seq::bootstrap_weights(pa, rng);
+  EXPECT_NE(w1, w2);
+}
+
+TEST(Bootstrap, ExpectationMatchesOriginalWeights) {
+  const PatternAlignment pa = PatternAlignment::compress(tiny());
+  Rng rng(5);
+  std::vector<double> sum(pa.pattern_count(), 0.0);
+  constexpr int kReps = 4000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto w = seq::bootstrap_weights(pa, rng);
+    for (std::size_t p = 0; p < w.size(); ++p) sum[p] += w[p];
+  }
+  for (std::size_t p = 0; p < sum.size(); ++p)
+    EXPECT_NEAR(sum[p] / kReps, pa.weights()[p], 0.08) << "pattern " << p;
+}
+
+TEST(Bootstrap, SupportFractions) {
+  const std::vector<std::vector<bool>> reps{{true, false},
+                                            {true, true},
+                                            {false, true},
+                                            {true, true}};
+  const auto s = seq::support_fractions(reps);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 0.75);
+  EXPECT_DOUBLE_EQ(s[1], 0.75);
+}
+
+TEST(SeqGen, DeterministicGivenSeed) {
+  seq::SimOptions opt;
+  opt.seed = 77;
+  const auto a = seq::simulate_alignment(opt);
+  const auto b = seq::simulate_alignment(opt);
+  EXPECT_EQ(a.true_tree_newick, b.true_tree_newick);
+  for (std::size_t t = 0; t < a.alignment.taxon_count(); ++t)
+    for (std::size_t s = 0; s < a.alignment.site_count(); ++s)
+      EXPECT_EQ(a.alignment.at(t, s), b.alignment.at(t, s));
+}
+
+TEST(SeqGen, DifferentSeedsDiffer) {
+  seq::SimOptions opt;
+  opt.seed = 1;
+  const auto a = seq::simulate_alignment(opt);
+  opt.seed = 2;
+  const auto b = seq::simulate_alignment(opt);
+  EXPECT_NE(a.true_tree_newick, b.true_tree_newick);
+}
+
+TEST(SeqGen, ShapeMatchesOptions) {
+  seq::SimOptions opt;
+  opt.ntaxa = 10;
+  opt.nsites = 333;
+  const auto sim = seq::simulate_alignment(opt);
+  EXPECT_EQ(sim.alignment.taxon_count(), 10u);
+  EXPECT_EQ(sim.alignment.site_count(), 333u);
+  // Names are prefix + index, all unique.
+  std::set<std::string> names(sim.alignment.names().begin(),
+                              sim.alignment.names().end());
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_TRUE(names.contains("taxon0"));
+}
+
+TEST(SeqGen, LongerBranchesGiveMorePatterns) {
+  seq::SimOptions close;
+  close.ntaxa = 12;
+  close.nsites = 600;
+  close.branch_scale = 0.01;
+  seq::SimOptions far = close;
+  far.branch_scale = 0.5;
+  const auto pc = seq::PatternAlignment::compress(
+                      seq::simulate_alignment(close).alignment)
+                      .pattern_count();
+  const auto pf =
+      seq::PatternAlignment::compress(seq::simulate_alignment(far).alignment)
+          .pattern_count();
+  EXPECT_LT(pc, pf);
+}
+
+TEST(SeqGen, Make42ScMatchesPaperWorkloadShape) {
+  const auto sim = seq::make_42sc();
+  EXPECT_EQ(sim.alignment.taxon_count(), 42u);
+  EXPECT_EQ(sim.alignment.site_count(), 1167u);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  // Paper: "the number of distinct data patterns ... is on the order of 250".
+  EXPECT_GE(pa.pattern_count(), 180u);
+  EXPECT_LE(pa.pattern_count(), 330u);
+}
+
+TEST(SeqGen, RejectsBadOptions) {
+  seq::SimOptions opt;
+  opt.ntaxa = 3;
+  EXPECT_THROW(seq::simulate_alignment(opt), Error);
+  opt.ntaxa = 8;
+  opt.nsites = 0;
+  EXPECT_THROW(seq::simulate_alignment(opt), Error);
+}

@@ -1,0 +1,161 @@
+// Tests for src/support: RNG, aligned allocation, stats, strings, options.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/aligned.h"
+#include "support/error.h"
+#include "support/options.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/str.h"
+
+using namespace rxc;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallRange) {
+  Rng rng(11);
+  std::array<int, 5> counts{};
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(5)];
+  for (int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.2, 0.02);
+}
+
+TEST(Rng, ExponentialMeanOne) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential();
+    ASSERT_GE(x, 0.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, GammaMomentsMatchShape) {
+  for (double shape : {0.3, 1.0, 4.0}) {
+    Rng rng(19);
+    OnlineStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(rng.gamma(shape));
+    EXPECT_NEAR(stats.mean(), shape, shape * 0.05) << "shape " << shape;
+    EXPECT_NEAR(stats.variance(), shape, shape * 0.12) << "shape " << shape;
+  }
+}
+
+TEST(Rng, DiscreteFromCdf) {
+  Rng rng(23);
+  const double cdf[3] = {0.2, 0.5, 1.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 30000; ++i) ++counts[rng.discrete_from_cdf(cdf, 3)];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.5, 0.02);
+}
+
+TEST(Aligned, VectorDataIs16ByteAligned) {
+  for (int n : {1, 3, 17, 1000}) {
+    aligned_vector<double> v(n);
+    EXPECT_TRUE(is_aligned(v.data(), 16));
+  }
+}
+
+TEST(Aligned, RoundUp) {
+  EXPECT_EQ(round_up(0, 16), 0u);
+  EXPECT_EQ(round_up(1, 16), 16u);
+  EXPECT_EQ(round_up(16, 16), 16u);
+  EXPECT_EQ(round_up(17, 16), 32u);
+}
+
+TEST(Stats, OnlineMatchesClosedForm) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Str, TrimAndSplit) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  const auto ws = split_ws(" a  bb\tccc \n");
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(ws[0], "a");
+  EXPECT_EQ(ws[2], "ccc");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Str, Formatting) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_TRUE(starts_with_ci("Hello World", "hello"));
+  EXPECT_FALSE(starts_with_ci("He", "hello"));
+}
+
+TEST(Options, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--iters", "10", "--verbose"};
+  Options opt(5, argv);
+  EXPECT_DOUBLE_EQ(opt.get_double("alpha", 0.0), 0.5);
+  EXPECT_EQ(opt.get_int("iters", 0), 10);
+  EXPECT_TRUE(opt.get_bool("verbose", false));
+  EXPECT_EQ(opt.get("missing", "dflt"), "dflt");
+  EXPECT_NO_THROW(opt.check_known({"alpha", "iters", "verbose"}));
+  EXPECT_THROW(opt.check_known({"alpha"}), Error);
+}
+
+TEST(Options, RejectsBarePositional) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Options(2, argv), Error);
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    RXC_REQUIRE(false, "the reason");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the reason"), std::string::npos);
+  }
+}

@@ -1,0 +1,288 @@
+// Tests for src/tree: topology invariants, Newick interop, prune/regraft
+// editing, splits/RF, parsimony and stepwise addition.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "seq/patterns.h"
+#include "seq/seqgen.h"
+#include "tree/moves.h"
+#include "tree/parsimony.h"
+#include "tree/tree.h"
+
+using namespace rxc;
+using tree::Tree;
+
+namespace {
+
+std::vector<std::string> names(std::size_t n) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back("t" + std::to_string(i));
+  return out;
+}
+
+}  // namespace
+
+TEST(Tree, TripletInvariants) {
+  const Tree t = Tree::initial_triplet(3, 0, 1, 2, 0.1);
+  t.check_valid();
+  EXPECT_EQ(t.edge_count(), 3u);
+  EXPECT_EQ(t.degree(3), 3);
+  EXPECT_EQ(t.degree(0), 1);
+}
+
+TEST(Tree, RandomTopologyValidAcrossSizes) {
+  Rng rng(3);
+  for (std::size_t n : {4u, 5u, 8u, 16u, 42u, 101u}) {
+    const Tree t = Tree::random_topology(n, rng);
+    EXPECT_EQ(t.edge_count(), 2 * n - 3);
+    EXPECT_NO_THROW(t.check_valid());
+  }
+}
+
+TEST(Tree, RandomTopologiesDiffer) {
+  Rng r1(1), r2(2);
+  const Tree a = Tree::random_topology(20, r1);
+  const Tree b = Tree::random_topology(20, r2);
+  EXPECT_GT(Tree::rf_distance(a, b), 0u);
+}
+
+TEST(Tree, DirIndexRoundTrips) {
+  Rng rng(5);
+  const Tree t = Tree::random_topology(10, rng);
+  for (std::size_t e = 0; e < t.edge_slots(); ++e) {
+    if (!t.edge_alive(static_cast<int>(e))) continue;
+    const auto [a, b] = t.edge_nodes(static_cast<int>(e));
+    const int da = t.dir_index(a, static_cast<int>(e));
+    const int db = t.dir_index(b, static_cast<int>(e));
+    EXPECT_EQ(Tree::dir_reverse(da), db);
+    EXPECT_EQ(t.dir_nodes(da).first, a);
+    EXPECT_EQ(t.dir_nodes(db).first, b);
+  }
+}
+
+TEST(Tree, NewickRoundTripPreservesTopology) {
+  Rng rng(7);
+  const auto nm = names(12);
+  const Tree t = Tree::random_topology(12, rng);
+  const std::string text = t.to_newick(nm);
+  const Tree back = Tree::from_newick_string(text, nm);
+  EXPECT_EQ(Tree::rf_distance(t, back), 0u);
+}
+
+TEST(Tree, FromNewickRootedInputIsSpliced) {
+  const auto nm = std::vector<std::string>{"a", "b", "c", "d"};
+  const Tree t =
+      Tree::from_newick_string("((a:0.1,b:0.2):0.05,(c:0.3,d:0.4):0.05);", nm);
+  t.check_valid();
+  EXPECT_EQ(t.edge_count(), 5u);
+  // Spliced central edge has summed length 0.1.
+  double central = -1.0;
+  for (std::size_t e = 0; e < t.edge_slots(); ++e) {
+    const auto [x, y] = t.edge_nodes(static_cast<int>(e));
+    if (!t.is_tip(x) && !t.is_tip(y)) central = t.branch_length(static_cast<int>(e));
+  }
+  EXPECT_NEAR(central, 0.1, 1e-12);
+}
+
+TEST(Tree, FromNewickRejectsBadInput) {
+  const auto nm = names(4);
+  EXPECT_THROW(Tree::from_newick_string("(t0,t1,t2,t3,t0);", nm), Error);
+  EXPECT_THROW(Tree::from_newick_string("((t0,t1),(t2,zzz));", nm), Error);
+  EXPECT_THROW(Tree::from_newick_string("(t0,t1,t2);", nm), Error);
+}
+
+TEST(Tree, PruneRestoreIsIdentity) {
+  Rng rng(11);
+  Tree t = Tree::random_topology(16, rng);
+  const Tree original = t;
+  const auto points = tree::enumerate_prune_points(t);
+  ASSERT_FALSE(points.empty());
+  for (const auto& [x, s] : points) {
+    const auto rec = t.prune(x, s);
+    t.restore(rec);
+    t.check_valid();
+    EXPECT_EQ(Tree::rf_distance(t, original), 0u);
+  }
+}
+
+TEST(Tree, PruneRegraftProducesValidTree) {
+  Rng rng(13);
+  Tree t = Tree::random_topology(16, rng);
+  const auto rec = t.prune(20, t.neighbors(20)[0].node);
+  const auto targets = tree::enumerate_regraft_targets(t, rec, 3);
+  ASSERT_FALSE(targets.empty());
+  const int target = targets.front().target_edge;
+  const double half = t.branch_length(target) / 2;
+  t.regraft(rec.x, target, half, rec.edge_xb);
+  t.check_valid();
+}
+
+TEST(Tree, RegraftThenPruneBackRestores) {
+  Rng rng(17);
+  Tree t = Tree::random_topology(12, rng);
+  const Tree original = t;
+  const int x = 14;
+  const int s = t.neighbors(x)[1].node;
+  auto rec = t.prune(x, s);
+  const auto targets = tree::enumerate_regraft_targets(t, rec, 5);
+  for (const auto& cand : targets) {
+    const double half = t.branch_length(cand.target_edge) / 2;
+    t.regraft(x, cand.target_edge, half, rec.edge_xb);
+    t.check_valid();
+    const auto rec2 = t.prune(x, s);
+    EXPECT_EQ(rec2.merged_edge, cand.target_edge);
+  }
+  t.restore(rec);
+  t.check_valid();
+  EXPECT_EQ(Tree::rf_distance(t, original), 0u);
+  // Branch lengths restored too.
+  EXPECT_NEAR(t.total_length(), original.total_length(), 1e-12);
+}
+
+TEST(Tree, SplitsCountAndNormalization) {
+  Rng rng(19);
+  const Tree t = Tree::random_topology(10, rng);
+  const auto sp = t.splits();
+  EXPECT_EQ(sp.size(), 10u - 3u);  // inner edges of an unrooted binary tree
+  for (const auto& s : sp) EXPECT_EQ(s.bits[0] & 1ULL, 0ULL);
+  // All splits distinct.
+  std::set<tree::Split> uniq(sp.begin(), sp.end());
+  EXPECT_EQ(uniq.size(), sp.size());
+}
+
+TEST(Tree, RfDistanceProperties) {
+  Rng rng(23);
+  const Tree a = Tree::random_topology(15, rng);
+  const Tree b = Tree::random_topology(15, rng);
+  EXPECT_EQ(Tree::rf_distance(a, a), 0u);
+  EXPECT_EQ(Tree::rf_distance(a, b), Tree::rf_distance(b, a));
+  EXPECT_LE(Tree::rf_distance(a, b), 2 * (15u - 3u));
+}
+
+TEST(Moves, PrunePointsCoverAllInnerDirections) {
+  Rng rng(29);
+  const Tree t = Tree::random_topology(9, rng);
+  const auto points = tree::enumerate_prune_points(t);
+  EXPECT_EQ(points.size(), 3 * (9u - 2u));
+}
+
+TEST(Moves, RadiusLimitsTargets) {
+  Rng rng(31);
+  Tree t = Tree::random_topology(24, rng);
+  const auto rec = t.prune(30, t.neighbors(30)[0].node);
+  const auto near = tree::enumerate_regraft_targets(t, rec, 1);
+  const auto far = tree::enumerate_regraft_targets(t, rec, 10);
+  EXPECT_LT(near.size(), far.size());
+  for (const auto& c : near) EXPECT_LE(c.distance, 1);
+  for (const auto& c : far) {
+    EXPECT_NE(c.target_edge, rec.merged_edge);
+    EXPECT_TRUE(t.edge_alive(c.target_edge));
+  }
+  t.restore(rec);
+  t.check_valid();
+}
+
+// --- parsimony -------------------------------------------------------------
+
+TEST(Parsimony, PerfectAlignmentScoresZero) {
+  const auto a = seq::Alignment::from_records(
+      {{"t0", "AAAA"}, {"t1", "AAAA"}, {"t2", "AAAA"}, {"t3", "AAAA"}});
+  const auto pa = seq::PatternAlignment::compress(a);
+  Rng rng(1);
+  const Tree t = Tree::random_topology(4, rng);
+  EXPECT_DOUBLE_EQ(tree::parsimony_score(t, pa, pa.weights()), 0.0);
+}
+
+TEST(Parsimony, SingleVariableColumnScoresOne) {
+  // One column where exactly one taxon differs: any topology needs exactly
+  // one change.
+  const auto a = seq::Alignment::from_records(
+      {{"t0", "A"}, {"t1", "A"}, {"t2", "A"}, {"t3", "C"}});
+  const auto pa = seq::PatternAlignment::compress(a);
+  Rng rng(2);
+  const Tree t = Tree::random_topology(4, rng);
+  EXPECT_DOUBLE_EQ(tree::parsimony_score(t, pa, pa.weights()), 1.0);
+}
+
+TEST(Parsimony, TopologyDependentScore) {
+  // Columns support the split {t0,t1} | {t2,t3}: the matching topology
+  // needs 1 change per column, the mismatching one 2.  The four identical
+  // columns compress into one pattern of weight 4.
+  const auto a = seq::Alignment::from_records(
+      {{"t0", "AAAA"}, {"t1", "AAAA"}, {"t2", "CCCC"}, {"t3", "CCCC"}});
+  const auto pa = seq::PatternAlignment::compress(a);
+  ASSERT_EQ(pa.pattern_count(), 1u);
+  const auto nm = std::vector<std::string>{"t0", "t1", "t2", "t3"};
+  const Tree good = Tree::from_newick_string("((t0,t1),(t2,t3));", nm);
+  const Tree bad = Tree::from_newick_string("((t0,t2),(t1,t3));", nm);
+  EXPECT_DOUBLE_EQ(tree::parsimony_score(good, pa, pa.weights()), 4.0);
+  EXPECT_DOUBLE_EQ(tree::parsimony_score(bad, pa, pa.weights()), 8.0);
+}
+
+TEST(Parsimony, ScoreInvariantUnderTreeCopy) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  Rng rng(3);
+  const Tree t = Tree::random_topology(pa.taxon_count(), rng);
+  const double s1 = tree::parsimony_score(t, pa, pa.weights());
+  const Tree copy = t;
+  EXPECT_DOUBLE_EQ(tree::parsimony_score(copy, pa, pa.weights()), s1);
+}
+
+TEST(Parsimony, StepwiseAdditionBeatsRandomTopology) {
+  const auto sim = seq::simulate_alignment({});
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  Rng rng(5);
+  const Tree stepwise = tree::stepwise_addition_tree(pa, rng);
+  stepwise.check_valid();
+  double random_total = 0.0, n = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const Tree r = Tree::random_topology(pa.taxon_count(), rng);
+    random_total += tree::parsimony_score(r, pa, pa.weights());
+    n += 1.0;
+  }
+  EXPECT_LT(tree::parsimony_score(stepwise, pa, pa.weights()),
+            random_total / n);
+}
+
+TEST(Parsimony, StepwiseAdditionVariesWithSeed) {
+  const auto sim = seq::make_42sc();
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  Rng r1(1), r2(2);
+  const Tree a = tree::stepwise_addition_tree(pa, r1);
+  const Tree b = tree::stepwise_addition_tree(pa, r2);
+  // Distinct random insertion orders almost surely give distinct trees.
+  EXPECT_GT(Tree::rf_distance(a, b), 0u);
+}
+
+#include "tree/render.h"
+
+TEST(Render, AsciiTreeListsEveryTaxonOnce) {
+  Rng rng(47);
+  const Tree t = Tree::random_topology(9, rng);
+  const auto nm = names(9);
+  const std::string art = tree::ascii_tree(t, nm);
+  for (const auto& name : nm) {
+    const auto pos = art.find("- " + name);
+    ASSERT_NE(pos, std::string::npos) << name;
+    EXPECT_EQ(art.find("- " + name, pos + 1), std::string::npos) << name;
+  }
+  // Root tip is the very first line.
+  EXPECT_EQ(art.rfind("- t0", 0), 0u);
+}
+
+TEST(Render, ShowsBranchLengthsWhenAsked) {
+  Rng rng(48);
+  const Tree t = Tree::random_topology(5, rng, 0.125);
+  const std::string art = tree::ascii_tree(t, names(5), 0, true);
+  EXPECT_NE(art.find("(0.125)"), std::string::npos);
+}
+
+TEST(Render, ValidatesArguments) {
+  Rng rng(49);
+  const Tree t = Tree::random_topology(5, rng);
+  EXPECT_THROW(tree::ascii_tree(t, names(4)), Error);
+  EXPECT_THROW(tree::ascii_tree(t, names(5), 7), Error);
+}
