@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_conditional"
+  "../bench/bench_conditional.pdb"
+  "CMakeFiles/bench_conditional.dir/bench_conditional.cpp.o"
+  "CMakeFiles/bench_conditional.dir/bench_conditional.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dma"
+  "../bench/bench_dma.pdb"
+  "CMakeFiles/bench_dma.dir/bench_dma.cpp.o"
+  "CMakeFiles/bench_dma.dir/bench_dma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exp"
+  "../bench/bench_exp.pdb"
+  "CMakeFiles/bench_exp.dir/bench_exp.cpp.o"
+  "CMakeFiles/bench_exp.dir/bench_exp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_smp.cpp" "bench-build/CMakeFiles/bench_smp.dir/bench_smp.cpp.o" "gcc" "bench-build/CMakeFiles/bench_smp.dir/bench_smp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_likelihood.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_smp"
+  "../bench/bench_smp.pdb"
+  "CMakeFiles/bench_smp.dir/bench_smp.cpp.o"
+  "CMakeFiles/bench_smp.dir/bench_smp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5"
+  "../bench/bench_table5.pdb"
+  "CMakeFiles/bench_table5.dir/bench_table5.cpp.o"
+  "CMakeFiles/bench_table5.dir/bench_table5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

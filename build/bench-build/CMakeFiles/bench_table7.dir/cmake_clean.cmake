@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7"
+  "../bench/bench_table7.pdb"
+  "CMakeFiles/bench_table7.dir/bench_table7.cpp.o"
+  "CMakeFiles/bench_table7.dir/bench_table7.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

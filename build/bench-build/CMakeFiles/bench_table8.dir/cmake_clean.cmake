@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8"
+  "../bench/bench_table8.pdb"
+  "CMakeFiles/bench_table8.dir/bench_table8.cpp.o"
+  "CMakeFiles/bench_table8.dir/bench_table8.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

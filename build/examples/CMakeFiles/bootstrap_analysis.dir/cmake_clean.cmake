@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_analysis.dir/bootstrap_analysis.cpp.o"
+  "CMakeFiles/bootstrap_analysis.dir/bootstrap_analysis.cpp.o.d"
+  "bootstrap_analysis"
+  "bootstrap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_port_demo.dir/cell_port_demo.cpp.o"
+  "CMakeFiles/cell_port_demo.dir/cell_port_demo.cpp.o.d"
+  "cell_port_demo"
+  "cell_port_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_port_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigene.dir/multigene.cpp.o"
+  "CMakeFiles/multigene.dir/multigene.cpp.o.d"
+  "multigene"
+  "multigene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

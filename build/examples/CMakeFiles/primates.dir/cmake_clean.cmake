@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primates.dir/primates.cpp.o"
+  "CMakeFiles/primates.dir/primates.cpp.o.d"
+  "primates"
+  "primates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

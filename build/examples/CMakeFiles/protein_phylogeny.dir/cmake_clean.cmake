@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_phylogeny.dir/protein_phylogeny.cpp.o"
+  "CMakeFiles/protein_phylogeny.dir/protein_phylogeny.cpp.o.d"
+  "protein_phylogeny"
+  "protein_phylogeny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_phylogeny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

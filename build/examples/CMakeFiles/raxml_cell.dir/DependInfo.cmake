@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/raxml_cell.cpp" "examples/CMakeFiles/raxml_cell.dir/raxml_cell.cpp.o" "gcc" "examples/CMakeFiles/raxml_cell.dir/raxml_cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_likelihood.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_mpirt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raxml_cell.dir/raxml_cell.cpp.o"
+  "CMakeFiles/raxml_cell.dir/raxml_cell.cpp.o.d"
+  "raxml_cell"
+  "raxml_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raxml_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_cell.dir/cell/local_store.cpp.o"
+  "CMakeFiles/rxc_cell.dir/cell/local_store.cpp.o.d"
+  "CMakeFiles/rxc_cell.dir/cell/mfc.cpp.o"
+  "CMakeFiles/rxc_cell.dir/cell/mfc.cpp.o.d"
+  "librxc_cell.a"
+  "librxc_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_core.dir/core/port.cpp.o"
+  "CMakeFiles/rxc_core.dir/core/port.cpp.o.d"
+  "CMakeFiles/rxc_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/rxc_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/rxc_core.dir/core/spe_executor.cpp.o"
+  "CMakeFiles/rxc_core.dir/core/spe_executor.cpp.o.d"
+  "librxc_core.a"
+  "librxc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

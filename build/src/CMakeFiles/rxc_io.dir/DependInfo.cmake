@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/fasta.cpp" "src/CMakeFiles/rxc_io.dir/io/fasta.cpp.o" "gcc" "src/CMakeFiles/rxc_io.dir/io/fasta.cpp.o.d"
+  "/root/repo/src/io/newick.cpp" "src/CMakeFiles/rxc_io.dir/io/newick.cpp.o" "gcc" "src/CMakeFiles/rxc_io.dir/io/newick.cpp.o.d"
+  "/root/repo/src/io/phylip.cpp" "src/CMakeFiles/rxc_io.dir/io/phylip.cpp.o" "gcc" "src/CMakeFiles/rxc_io.dir/io/phylip.cpp.o.d"
+  "/root/repo/src/io/tree_list.cpp" "src/CMakeFiles/rxc_io.dir/io/tree_list.cpp.o" "gcc" "src/CMakeFiles/rxc_io.dir/io/tree_list.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_io.dir/io/fasta.cpp.o"
+  "CMakeFiles/rxc_io.dir/io/fasta.cpp.o.d"
+  "CMakeFiles/rxc_io.dir/io/newick.cpp.o"
+  "CMakeFiles/rxc_io.dir/io/newick.cpp.o.d"
+  "CMakeFiles/rxc_io.dir/io/phylip.cpp.o"
+  "CMakeFiles/rxc_io.dir/io/phylip.cpp.o.d"
+  "CMakeFiles/rxc_io.dir/io/tree_list.cpp.o"
+  "CMakeFiles/rxc_io.dir/io/tree_list.cpp.o.d"
+  "librxc_io.a"
+  "librxc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/likelihood/engine.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/engine.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/engine.cpp.o.d"
+  "/root/repo/src/likelihood/executor.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/executor.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/executor.cpp.o.d"
+  "/root/repo/src/likelihood/fast_exp.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/fast_exp.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/fast_exp.cpp.o.d"
+  "/root/repo/src/likelihood/kernels.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/kernels.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/kernels.cpp.o.d"
+  "/root/repo/src/likelihood/kernels_nstate.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/kernels_nstate.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/kernels_nstate.cpp.o.d"
+  "/root/repo/src/likelihood/kernels_simd.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/kernels_simd.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/kernels_simd.cpp.o.d"
+  "/root/repo/src/likelihood/partitioned_engine.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/partitioned_engine.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/partitioned_engine.cpp.o.d"
+  "/root/repo/src/likelihood/protein_engine.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/protein_engine.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/protein_engine.cpp.o.d"
+  "/root/repo/src/likelihood/threaded_executor.cpp" "src/CMakeFiles/rxc_likelihood.dir/likelihood/threaded_executor.cpp.o" "gcc" "src/CMakeFiles/rxc_likelihood.dir/likelihood/threaded_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

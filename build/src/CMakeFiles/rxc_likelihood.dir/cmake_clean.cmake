@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_likelihood.dir/likelihood/engine.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/engine.cpp.o.d"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/executor.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/executor.cpp.o.d"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/fast_exp.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/fast_exp.cpp.o.d"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/kernels.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/kernels.cpp.o.d"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/kernels_nstate.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/kernels_nstate.cpp.o.d"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/kernels_simd.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/kernels_simd.cpp.o.d"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/partitioned_engine.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/partitioned_engine.cpp.o.d"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/protein_engine.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/protein_engine.cpp.o.d"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/threaded_executor.cpp.o"
+  "CMakeFiles/rxc_likelihood.dir/likelihood/threaded_executor.cpp.o.d"
+  "librxc_likelihood.a"
+  "librxc_likelihood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/aa_model.cpp" "src/CMakeFiles/rxc_model.dir/model/aa_model.cpp.o" "gcc" "src/CMakeFiles/rxc_model.dir/model/aa_model.cpp.o.d"
+  "/root/repo/src/model/dna_model.cpp" "src/CMakeFiles/rxc_model.dir/model/dna_model.cpp.o" "gcc" "src/CMakeFiles/rxc_model.dir/model/dna_model.cpp.o.d"
+  "/root/repo/src/model/eigen_n.cpp" "src/CMakeFiles/rxc_model.dir/model/eigen_n.cpp.o" "gcc" "src/CMakeFiles/rxc_model.dir/model/eigen_n.cpp.o.d"
+  "/root/repo/src/model/gamma_math.cpp" "src/CMakeFiles/rxc_model.dir/model/gamma_math.cpp.o" "gcc" "src/CMakeFiles/rxc_model.dir/model/gamma_math.cpp.o.d"
+  "/root/repo/src/model/matrix4.cpp" "src/CMakeFiles/rxc_model.dir/model/matrix4.cpp.o" "gcc" "src/CMakeFiles/rxc_model.dir/model/matrix4.cpp.o.d"
+  "/root/repo/src/model/rates.cpp" "src/CMakeFiles/rxc_model.dir/model/rates.cpp.o" "gcc" "src/CMakeFiles/rxc_model.dir/model/rates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_model.dir/model/aa_model.cpp.o"
+  "CMakeFiles/rxc_model.dir/model/aa_model.cpp.o.d"
+  "CMakeFiles/rxc_model.dir/model/dna_model.cpp.o"
+  "CMakeFiles/rxc_model.dir/model/dna_model.cpp.o.d"
+  "CMakeFiles/rxc_model.dir/model/eigen_n.cpp.o"
+  "CMakeFiles/rxc_model.dir/model/eigen_n.cpp.o.d"
+  "CMakeFiles/rxc_model.dir/model/gamma_math.cpp.o"
+  "CMakeFiles/rxc_model.dir/model/gamma_math.cpp.o.d"
+  "CMakeFiles/rxc_model.dir/model/matrix4.cpp.o"
+  "CMakeFiles/rxc_model.dir/model/matrix4.cpp.o.d"
+  "CMakeFiles/rxc_model.dir/model/rates.cpp.o"
+  "CMakeFiles/rxc_model.dir/model/rates.cpp.o.d"
+  "librxc_model.a"
+  "librxc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

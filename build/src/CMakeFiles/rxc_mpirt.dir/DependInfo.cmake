@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpirt/collectives.cpp" "src/CMakeFiles/rxc_mpirt.dir/mpirt/collectives.cpp.o" "gcc" "src/CMakeFiles/rxc_mpirt.dir/mpirt/collectives.cpp.o.d"
+  "/root/repo/src/mpirt/comm.cpp" "src/CMakeFiles/rxc_mpirt.dir/mpirt/comm.cpp.o" "gcc" "src/CMakeFiles/rxc_mpirt.dir/mpirt/comm.cpp.o.d"
+  "/root/repo/src/mpirt/master_worker.cpp" "src/CMakeFiles/rxc_mpirt.dir/mpirt/master_worker.cpp.o" "gcc" "src/CMakeFiles/rxc_mpirt.dir/mpirt/master_worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_mpirt.dir/mpirt/collectives.cpp.o"
+  "CMakeFiles/rxc_mpirt.dir/mpirt/collectives.cpp.o.d"
+  "CMakeFiles/rxc_mpirt.dir/mpirt/comm.cpp.o"
+  "CMakeFiles/rxc_mpirt.dir/mpirt/comm.cpp.o.d"
+  "CMakeFiles/rxc_mpirt.dir/mpirt/master_worker.cpp.o"
+  "CMakeFiles/rxc_mpirt.dir/mpirt/master_worker.cpp.o.d"
+  "librxc_mpirt.a"
+  "librxc_mpirt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_mpirt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rxc_mpirt.
+# This may be replaced when dependencies are built.

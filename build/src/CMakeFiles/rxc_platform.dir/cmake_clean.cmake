@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_platform.dir/platform/platform.cpp.o"
+  "CMakeFiles/rxc_platform.dir/platform/platform.cpp.o.d"
+  "librxc_platform.a"
+  "librxc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

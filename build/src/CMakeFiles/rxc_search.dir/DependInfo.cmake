@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/analysis.cpp" "src/CMakeFiles/rxc_search.dir/search/analysis.cpp.o" "gcc" "src/CMakeFiles/rxc_search.dir/search/analysis.cpp.o.d"
+  "/root/repo/src/search/checkpoint.cpp" "src/CMakeFiles/rxc_search.dir/search/checkpoint.cpp.o" "gcc" "src/CMakeFiles/rxc_search.dir/search/checkpoint.cpp.o.d"
+  "/root/repo/src/search/model_opt.cpp" "src/CMakeFiles/rxc_search.dir/search/model_opt.cpp.o" "gcc" "src/CMakeFiles/rxc_search.dir/search/model_opt.cpp.o.d"
+  "/root/repo/src/search/partitioned_search.cpp" "src/CMakeFiles/rxc_search.dir/search/partitioned_search.cpp.o" "gcc" "src/CMakeFiles/rxc_search.dir/search/partitioned_search.cpp.o.d"
+  "/root/repo/src/search/protein_search.cpp" "src/CMakeFiles/rxc_search.dir/search/protein_search.cpp.o" "gcc" "src/CMakeFiles/rxc_search.dir/search/protein_search.cpp.o.d"
+  "/root/repo/src/search/search.cpp" "src/CMakeFiles/rxc_search.dir/search/search.cpp.o" "gcc" "src/CMakeFiles/rxc_search.dir/search/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_likelihood.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

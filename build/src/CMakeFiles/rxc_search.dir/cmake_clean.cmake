@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_search.dir/search/analysis.cpp.o"
+  "CMakeFiles/rxc_search.dir/search/analysis.cpp.o.d"
+  "CMakeFiles/rxc_search.dir/search/checkpoint.cpp.o"
+  "CMakeFiles/rxc_search.dir/search/checkpoint.cpp.o.d"
+  "CMakeFiles/rxc_search.dir/search/model_opt.cpp.o"
+  "CMakeFiles/rxc_search.dir/search/model_opt.cpp.o.d"
+  "CMakeFiles/rxc_search.dir/search/partitioned_search.cpp.o"
+  "CMakeFiles/rxc_search.dir/search/partitioned_search.cpp.o.d"
+  "CMakeFiles/rxc_search.dir/search/protein_search.cpp.o"
+  "CMakeFiles/rxc_search.dir/search/protein_search.cpp.o.d"
+  "CMakeFiles/rxc_search.dir/search/search.cpp.o"
+  "CMakeFiles/rxc_search.dir/search/search.cpp.o.d"
+  "librxc_search.a"
+  "librxc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

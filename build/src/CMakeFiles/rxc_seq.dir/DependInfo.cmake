@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/aa_alignment.cpp" "src/CMakeFiles/rxc_seq.dir/seq/aa_alignment.cpp.o" "gcc" "src/CMakeFiles/rxc_seq.dir/seq/aa_alignment.cpp.o.d"
+  "/root/repo/src/seq/alignment.cpp" "src/CMakeFiles/rxc_seq.dir/seq/alignment.cpp.o" "gcc" "src/CMakeFiles/rxc_seq.dir/seq/alignment.cpp.o.d"
+  "/root/repo/src/seq/bootstrap.cpp" "src/CMakeFiles/rxc_seq.dir/seq/bootstrap.cpp.o" "gcc" "src/CMakeFiles/rxc_seq.dir/seq/bootstrap.cpp.o.d"
+  "/root/repo/src/seq/patterns.cpp" "src/CMakeFiles/rxc_seq.dir/seq/patterns.cpp.o" "gcc" "src/CMakeFiles/rxc_seq.dir/seq/patterns.cpp.o.d"
+  "/root/repo/src/seq/seqgen.cpp" "src/CMakeFiles/rxc_seq.dir/seq/seqgen.cpp.o" "gcc" "src/CMakeFiles/rxc_seq.dir/seq/seqgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

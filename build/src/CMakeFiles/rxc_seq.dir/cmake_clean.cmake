@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_seq.dir/seq/aa_alignment.cpp.o"
+  "CMakeFiles/rxc_seq.dir/seq/aa_alignment.cpp.o.d"
+  "CMakeFiles/rxc_seq.dir/seq/alignment.cpp.o"
+  "CMakeFiles/rxc_seq.dir/seq/alignment.cpp.o.d"
+  "CMakeFiles/rxc_seq.dir/seq/bootstrap.cpp.o"
+  "CMakeFiles/rxc_seq.dir/seq/bootstrap.cpp.o.d"
+  "CMakeFiles/rxc_seq.dir/seq/patterns.cpp.o"
+  "CMakeFiles/rxc_seq.dir/seq/patterns.cpp.o.d"
+  "CMakeFiles/rxc_seq.dir/seq/seqgen.cpp.o"
+  "CMakeFiles/rxc_seq.dir/seq/seqgen.cpp.o.d"
+  "librxc_seq.a"
+  "librxc_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rxc_seq.
+# This may be replaced when dependencies are built.

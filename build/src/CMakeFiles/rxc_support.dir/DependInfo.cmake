@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/rxc_support.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/rxc_support.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/CMakeFiles/rxc_support.dir/support/log.cpp.o" "gcc" "src/CMakeFiles/rxc_support.dir/support/log.cpp.o.d"
+  "/root/repo/src/support/options.cpp" "src/CMakeFiles/rxc_support.dir/support/options.cpp.o" "gcc" "src/CMakeFiles/rxc_support.dir/support/options.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/rxc_support.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/rxc_support.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/CMakeFiles/rxc_support.dir/support/str.cpp.o" "gcc" "src/CMakeFiles/rxc_support.dir/support/str.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/rxc_support.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rxc_support.dir/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_support.dir/support/error.cpp.o"
+  "CMakeFiles/rxc_support.dir/support/error.cpp.o.d"
+  "CMakeFiles/rxc_support.dir/support/log.cpp.o"
+  "CMakeFiles/rxc_support.dir/support/log.cpp.o.d"
+  "CMakeFiles/rxc_support.dir/support/options.cpp.o"
+  "CMakeFiles/rxc_support.dir/support/options.cpp.o.d"
+  "CMakeFiles/rxc_support.dir/support/rng.cpp.o"
+  "CMakeFiles/rxc_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/rxc_support.dir/support/str.cpp.o"
+  "CMakeFiles/rxc_support.dir/support/str.cpp.o.d"
+  "CMakeFiles/rxc_support.dir/support/thread_pool.cpp.o"
+  "CMakeFiles/rxc_support.dir/support/thread_pool.cpp.o.d"
+  "librxc_support.a"
+  "librxc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/consensus.cpp" "src/CMakeFiles/rxc_tree.dir/tree/consensus.cpp.o" "gcc" "src/CMakeFiles/rxc_tree.dir/tree/consensus.cpp.o.d"
+  "/root/repo/src/tree/moves.cpp" "src/CMakeFiles/rxc_tree.dir/tree/moves.cpp.o" "gcc" "src/CMakeFiles/rxc_tree.dir/tree/moves.cpp.o.d"
+  "/root/repo/src/tree/parsimony.cpp" "src/CMakeFiles/rxc_tree.dir/tree/parsimony.cpp.o" "gcc" "src/CMakeFiles/rxc_tree.dir/tree/parsimony.cpp.o.d"
+  "/root/repo/src/tree/render.cpp" "src/CMakeFiles/rxc_tree.dir/tree/render.cpp.o" "gcc" "src/CMakeFiles/rxc_tree.dir/tree/render.cpp.o.d"
+  "/root/repo/src/tree/tree.cpp" "src/CMakeFiles/rxc_tree.dir/tree/tree.cpp.o" "gcc" "src/CMakeFiles/rxc_tree.dir/tree/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rxc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rxc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

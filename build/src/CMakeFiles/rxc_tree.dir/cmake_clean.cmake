@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rxc_tree.dir/tree/consensus.cpp.o"
+  "CMakeFiles/rxc_tree.dir/tree/consensus.cpp.o.d"
+  "CMakeFiles/rxc_tree.dir/tree/moves.cpp.o"
+  "CMakeFiles/rxc_tree.dir/tree/moves.cpp.o.d"
+  "CMakeFiles/rxc_tree.dir/tree/parsimony.cpp.o"
+  "CMakeFiles/rxc_tree.dir/tree/parsimony.cpp.o.d"
+  "CMakeFiles/rxc_tree.dir/tree/render.cpp.o"
+  "CMakeFiles/rxc_tree.dir/tree/render.cpp.o.d"
+  "CMakeFiles/rxc_tree.dir/tree/tree.cpp.o"
+  "CMakeFiles/rxc_tree.dir/tree/tree.cpp.o.d"
+  "librxc_tree.a"
+  "librxc_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rxc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

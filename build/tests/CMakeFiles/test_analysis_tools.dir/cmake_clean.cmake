@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_tools.dir/test_analysis_tools.cpp.o"
+  "CMakeFiles/test_analysis_tools.dir/test_analysis_tools.cpp.o.d"
+  "test_analysis_tools"
+  "test_analysis_tools.pdb"
+  "test_analysis_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

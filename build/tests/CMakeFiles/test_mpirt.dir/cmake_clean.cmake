@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpirt.dir/test_mpirt.cpp.o"
+  "CMakeFiles/test_mpirt.dir/test_mpirt.cpp.o.d"
+  "test_mpirt"
+  "test_mpirt.pdb"
+  "test_mpirt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpirt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

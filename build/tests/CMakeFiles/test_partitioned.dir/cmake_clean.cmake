@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned.dir/test_partitioned.cpp.o"
+  "CMakeFiles/test_partitioned.dir/test_partitioned.cpp.o.d"
+  "test_partitioned"
+  "test_partitioned.pdb"
+  "test_partitioned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protein.dir/test_protein.cpp.o"
+  "CMakeFiles/test_protein.dir/test_protein.cpp.o.d"
+  "test_protein"
+  "test_protein.pdb"
+  "test_protein[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
