@@ -1,0 +1,173 @@
+#include "cell/fault.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "support/aligned.h"
+
+namespace rxc::cell {
+namespace {
+
+/// FNV-1a 64 over the full local store: cheap, and any corrupted byte flips
+/// the digest.
+std::uint64_t ls_digest(const LocalStore& ls) {
+  const std::byte* bytes = ls.data(0, ls.capacity());
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < ls.capacity(); ++i) {
+    h ^= static_cast<std::uint64_t>(bytes[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Everything a fault could corrupt, captured bit-for-bit.
+struct Snapshot {
+  std::uint64_t ls_hash = 0;
+  std::size_t ls_watermark = 0;
+  VCycles now = 0.0;
+  SpuCounters spu_counters;
+  MfcCounters mfc_counters;
+  std::array<VCycles, kMfcTagCount> tag_done{};
+  std::size_t inbox_pending = 0;
+  std::size_t outbox_pending = 0;
+
+  static Snapshot capture(const Spu& spu) {
+    Snapshot s;
+    s.ls_hash = ls_digest(spu.ls());
+    s.ls_watermark = spu.ls().allocated();
+    s.now = spu.now();
+    s.spu_counters = spu.counters();
+    s.mfc_counters = spu.mfc().counters();
+    for (int tag = 0; tag < kMfcTagCount; ++tag)
+      s.tag_done[tag] = spu.mfc().completion(tag);
+    s.inbox_pending = spu.inbox().pending();
+    s.outbox_pending = spu.outbox().pending();
+    return s;
+  }
+
+  /// Empty string when identical; otherwise names the first difference.
+  std::string diff(const Snapshot& o) const {
+    if (ls_hash != o.ls_hash) return "local-store contents changed";
+    if (ls_watermark != o.ls_watermark) return "allocator watermark moved";
+    if (now != o.now) return "SPU clock advanced";
+    if (spu_counters.busy_cycles != o.spu_counters.busy_cycles ||
+        spu_counters.dma_stall_cycles != o.spu_counters.dma_stall_cycles ||
+        spu_counters.kernel_invocations != o.spu_counters.kernel_invocations)
+      return "SPU counters changed";
+    if (mfc_counters.transfers != o.mfc_counters.transfers ||
+        mfc_counters.bytes != o.mfc_counters.bytes ||
+        mfc_counters.list_transfers != o.mfc_counters.list_transfers ||
+        mfc_counters.stall_cycles != o.mfc_counters.stall_cycles)
+      return "MFC counters changed";
+    for (int tag = 0; tag < kMfcTagCount; ++tag)
+      if (tag_done[tag] != o.tag_done[tag])
+        return "tag " + std::to_string(tag) + " completion time moved";
+    if (inbox_pending != o.inbox_pending) return "inbound mailbox changed";
+    if (outbox_pending != o.outbox_pending) return "outbound mailbox changed";
+    return {};
+  }
+};
+
+}  // namespace
+
+const char* fault_name(Fault fault) {
+  switch (fault) {
+    case Fault::kDmaZeroSize: return "dma-zero-size";
+    case Fault::kDmaIllegalSize: return "dma-illegal-size";
+    case Fault::kDmaOversize: return "dma-oversize";
+    case Fault::kDmaMisalignedEa: return "dma-misaligned-ea";
+    case Fault::kDmaMisalignedLs: return "dma-misaligned-ls";
+    case Fault::kDmaSmallMisaligned: return "dma-small-misaligned";
+    case Fault::kDmaListTooLong: return "dma-list-too-long";
+    case Fault::kLocalStoreOverflow: return "local-store-overflow";
+    case Fault::kLocalStoreOob: return "local-store-oob";
+    case Fault::kMailboxInOverflow: return "mailbox-in-overflow";
+    case Fault::kMailboxOutOverflow: return "mailbox-out-overflow";
+    case Fault::kMailboxUnderflow: return "mailbox-underflow";
+  }
+  return "unknown-fault";
+}
+
+FaultOutcome inject_fault(Spu& spu, Fault fault) {
+  RXC_REQUIRE(spu.inbox().empty() && spu.outbox().empty(),
+              "inject_fault requires drained mailboxes");
+
+  // Legal setup runs BEFORE the snapshot so only the violation itself is
+  // under scrutiny.
+  aligned_vector<std::byte> host(64);
+  const LsAddr scratch = spu.ls().alloc(64);
+  int filled_in = 0, filled_out = 0;
+  if (fault == Fault::kMailboxInOverflow) {
+    while (!spu.inbox().full()) spu.inbox().write(0xfeedu), ++filled_in;
+  } else if (fault == Fault::kMailboxOutOverflow) {
+    while (!spu.outbox().full()) spu.outbox().write(0xfeedu), ++filled_out;
+  }
+
+  const Snapshot before = Snapshot::capture(spu);
+  FaultOutcome outcome;
+  Mfc& mfc = spu.mfc();
+  const VCycles now = spu.now();
+  try {
+    switch (fault) {
+      case Fault::kDmaZeroSize:
+        mfc.get(scratch, host.data(), 0, 0, now);
+        break;
+      case Fault::kDmaIllegalSize:
+        mfc.get(scratch, host.data(), 24, 0, now);
+        break;
+      case Fault::kDmaOversize:
+        mfc.get(scratch, host.data(), kDmaMaxBytes + 16, 0, now);
+        break;
+      case Fault::kDmaMisalignedEa:
+        mfc.get(scratch, host.data() + 4, 32, 0, now);
+        break;
+      case Fault::kDmaMisalignedLs:
+        mfc.get(scratch + 4, host.data(), 32, 0, now);
+        break;
+      case Fault::kDmaSmallMisaligned:
+        mfc.put(host.data() + 2, scratch, 4, 0, now);
+        break;
+      case Fault::kDmaListTooLong: {
+        const std::vector<DmaListEntry> list(kDmaListMaxEntries + 1,
+                                             DmaListEntry{host.data(), 16});
+        mfc.get_list(scratch, list, 0, now);
+        break;
+      }
+      case Fault::kLocalStoreOverflow:
+        (void)spu.ls().alloc(spu.ls().free_bytes() + 16);
+        break;
+      case Fault::kLocalStoreOob:
+        (void)spu.ls().data(
+            static_cast<LsAddr>(spu.ls().capacity() - 8), 16);
+        break;
+      case Fault::kMailboxInOverflow:
+        spu.inbox().write(0xdeadu);
+        break;
+      case Fault::kMailboxOutOverflow:
+        spu.outbox().write(0xdeadu);
+        break;
+      case Fault::kMailboxUnderflow:
+        (void)spu.inbox().read();
+        break;
+    }
+    outcome.error = std::string(fault_name(fault)) +
+                    ": violation completed without HardwareError";
+  } catch (const HardwareError& e) {
+    outcome.trapped = true;
+    outcome.error = e.what();
+  }
+
+  const std::string diff = before.diff(Snapshot::capture(spu));
+  outcome.state_intact = diff.empty();
+  if (!diff.empty())
+    outcome.error += std::string("; state corrupted: ") + diff;
+
+  // Undo the legal setup: drain our fill values and release the scratch
+  // buffer (the executors reset the allocator per invocation anyway).
+  while (filled_in-- > 0) (void)spu.inbox().read();
+  while (filled_out-- > 0) (void)spu.outbox().read();
+  spu.ls().reset();
+  return outcome;
+}
+
+}  // namespace rxc::cell

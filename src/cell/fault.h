@@ -1,0 +1,69 @@
+#pragma once
+/// \file fault.h
+/// Deliberate hardware-rule violations with corruption detection.
+///
+/// On real Cell silicon a misaligned DMA, an oversized transfer, a
+/// local-store overflow or a mailbox depth violation corrupts the running
+/// image or raises a bus error — there is no graceful path.  The simulator's
+/// contract is stricter and testable: every such violation must throw
+/// HardwareError BEFORE mutating any simulator state (no bytes moved, no
+/// counters bumped, no clock advanced).  This layer injects each violation
+/// class against a live SPU, snapshots the full observable state around the
+/// attempt, and reports both whether the fault was trapped and whether the
+/// state survived bit-for-bit.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cell/spu.h"
+
+namespace rxc::cell {
+
+/// One architectural rule to violate.
+enum class Fault {
+  kDmaZeroSize,          ///< transfer of 0 bytes
+  kDmaIllegalSize,       ///< 24 B: neither 1/2/4/8 nor a multiple of 16
+  kDmaOversize,          ///< block transfer beyond the 16 KB MFC limit
+  kDmaMisalignedEa,      ///< block transfer, main-memory address % 16 != 0
+  kDmaMisalignedLs,      ///< block transfer, local-store address % 16 != 0
+  kDmaSmallMisaligned,   ///< 4 B transfer without natural alignment
+  kDmaListTooLong,       ///< DMA list beyond 2,048 entries
+  kLocalStoreOverflow,   ///< allocation beyond the 256 KB local store
+  kLocalStoreOob,        ///< raw access crossing the local-store end
+  kMailboxInOverflow,    ///< fifth write to the 4-deep inbound mailbox
+  kMailboxOutOverflow,   ///< second write to the 1-deep outbound mailbox
+  kMailboxUnderflow,     ///< read from an empty mailbox
+};
+
+inline constexpr std::array<Fault, 12> kAllFaults = {
+    Fault::kDmaZeroSize,        Fault::kDmaIllegalSize,
+    Fault::kDmaOversize,        Fault::kDmaMisalignedEa,
+    Fault::kDmaMisalignedLs,    Fault::kDmaSmallMisaligned,
+    Fault::kDmaListTooLong,     Fault::kLocalStoreOverflow,
+    Fault::kLocalStoreOob,      Fault::kMailboxInOverflow,
+    Fault::kMailboxOutOverflow, Fault::kMailboxUnderflow,
+};
+
+const char* fault_name(Fault fault);
+
+/// What happened when a fault was injected.
+struct FaultOutcome {
+  bool trapped = false;       ///< HardwareError was thrown
+  bool state_intact = false;  ///< observable SPU state identical afterwards
+  std::string error;          ///< what() of the trapped error (or diagnosis)
+
+  /// The contract: violation trapped AND nothing corrupted.
+  bool ok() const { return trapped && state_intact; }
+};
+
+/// Injects `fault` against the SPU and verifies the trap-before-mutate
+/// contract.  The observable state compared around the attempt covers the
+/// full local-store contents, the allocator watermark, the SPU clock and
+/// counters, the MFC tag completion times and counters, and both mailbox
+/// occupancies.  Requires both mailboxes empty on entry (the executor's
+/// steady state); the local-store allocator is restored via reset() before
+/// returning, matching the per-invocation reset the executors perform.
+FaultOutcome inject_fault(Spu& spu, Fault fault);
+
+}  // namespace rxc::cell

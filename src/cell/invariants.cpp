@@ -1,0 +1,123 @@
+#include "cell/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace rxc::cell {
+namespace {
+
+/// Busy + stall may exceed the clock only by accumulated FP rounding; one
+/// part in 10^9 of the clock is far above any legitimate rounding drift and
+/// far below any real bookkeeping bug.
+constexpr double kClockSlack = 1e-9;
+
+void add(InvariantReport& report, const Spu& spu, const std::string& what) {
+  report.violations.push_back("spe" + std::to_string(spu.id()) + ": " + what);
+}
+
+void check_value(InvariantReport& report, const Spu& spu, const char* name,
+                 double value) {
+  if (!std::isfinite(value))
+    add(report, spu, std::string(name) + " is not finite");
+  else if (value < 0.0)
+    add(report, spu,
+        std::string(name) + " is negative (" + std::to_string(value) + ")");
+}
+
+void check_mailbox(InvariantReport& report, const Spu& spu, const char* name,
+                   const Mailbox& box) {
+  if (box.pending() > static_cast<std::size_t>(box.depth()))
+    add(report, spu,
+        std::string(name) + " holds " + std::to_string(box.pending()) +
+            " entries, architected depth " + std::to_string(box.depth()));
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) os << '\n';
+    os << violations[i];
+  }
+  return os.str();
+}
+
+InvariantReport check_invariants(const Spu& spu) {
+  InvariantReport report;
+
+  check_value(report, spu, "clock", spu.now());
+  check_value(report, spu, "busy_cycles", spu.counters().busy_cycles);
+  check_value(report, spu, "dma_stall_cycles",
+              spu.counters().dma_stall_cycles);
+  const double accounted =
+      spu.counters().busy_cycles + spu.counters().dma_stall_cycles;
+  if (accounted > spu.now() * (1.0 + kClockSlack) + kClockSlack)
+    add(report, spu,
+        "busy + stall (" + std::to_string(accounted) +
+            ") exceeds the clock (" + std::to_string(spu.now()) + ")");
+
+  const LocalStore& ls = spu.ls();
+  if (ls.allocated() < ls.code_bytes())
+    add(report, spu, "local-store watermark below the code image");
+  if (ls.allocated() > ls.capacity())
+    add(report, spu, "local-store watermark beyond capacity");
+
+  check_mailbox(report, spu, "inbound mailbox", spu.inbox());
+  check_mailbox(report, spu, "outbound mailbox", spu.outbox());
+
+  const Mfc& mfc = spu.mfc();
+  for (int tag = 0; tag < kMfcTagCount; ++tag)
+    check_value(report, spu, "tag completion", mfc.completion(tag));
+  const MfcCounters& mc = mfc.counters();
+  check_value(report, spu, "mfc stall_cycles", mc.stall_cycles);
+  if (mc.bytes < mc.transfers)
+    add(report, spu, "MFC moved fewer bytes than transfers (min 1 B each)");
+  if (mc.bytes > mc.transfers * kDmaMaxBytes)
+    add(report, spu, "MFC byte counter exceeds transfers x 16 KB");
+
+  return report;
+}
+
+InvariantReport check_invariants(const CellMachine& machine) {
+  InvariantReport report;
+  for (int i = 0; i < machine.spe_count(); ++i) {
+    InvariantReport one = check_invariants(machine.spe(i));
+    report.violations.insert(report.violations.end(),
+                             one.violations.begin(), one.violations.end());
+  }
+  return report;
+}
+
+InvariantReport check_quiescent(const Spu& spu) {
+  InvariantReport report = check_invariants(spu);
+  if (!spu.inbox().empty())
+    add(report, spu,
+        "inbound mailbox not drained (" +
+            std::to_string(spu.inbox().pending()) + " pending)");
+  if (!spu.outbox().empty())
+    add(report, spu,
+        "outbound mailbox not drained (" +
+            std::to_string(spu.outbox().pending()) + " pending)");
+  for (int tag = 0; tag < kMfcTagCount; ++tag) {
+    const VCycles done = spu.mfc().completion(tag);
+    if (done > spu.now() * (1.0 + kClockSlack) + kClockSlack)
+      add(report, spu,
+          "tag " + std::to_string(tag) + " completes at " +
+              std::to_string(done) + ", after the SPU clock " +
+              std::to_string(spu.now()) + " (in-flight DMA leaked)");
+  }
+  return report;
+}
+
+InvariantReport check_quiescent(const CellMachine& machine) {
+  InvariantReport report;
+  for (int i = 0; i < machine.spe_count(); ++i) {
+    InvariantReport one = check_quiescent(machine.spe(i));
+    report.violations.insert(report.violations.end(),
+                             one.violations.begin(), one.violations.end());
+  }
+  return report;
+}
+
+}  // namespace rxc::cell

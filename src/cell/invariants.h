@@ -1,0 +1,54 @@
+#pragma once
+/// \file invariants.h
+/// Simulator invariant auditing.
+///
+/// The timing simulator is only trustworthy while its internal state obeys
+/// the architectural and bookkeeping rules it was built around: clocks and
+/// counters never go negative or non-finite, the local-store watermark stays
+/// between the code image and capacity, mailboxes never exceed their
+/// architected depth, and — at task boundaries — every DMA tag group has
+/// drained and every mailbox is empty.  A drifted invariant produces
+/// plausible-looking but wrong virtual timings, which is worse than a crash,
+/// so the conformance suite audits executors after every differential case.
+
+#include <string>
+#include <vector>
+
+#include "cell/spu.h"
+
+namespace rxc::cell {
+
+/// Outcome of one audit: empty == healthy.
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// One violation per line (empty string when ok).
+  std::string to_string() const;
+};
+
+/// Structural invariants that must hold at ANY point in a simulation:
+///  - SPU clock, busy and DMA-stall cycles are finite and non-negative;
+///  - busy + stall never exceeds the clock by more than rounding noise
+///    (the clock only advances through charge() and wait_dma());
+///  - local-store watermark lies in [code_bytes, capacity];
+///  - mailbox occupancy never exceeds the architected depth;
+///  - MFC tag completion times are finite and non-negative;
+///  - MFC byte counters are consistent with transfer counts (every DMA
+///    command moves between 1 byte and 16 KB).
+InvariantReport check_invariants(const Spu& spu);
+
+/// check_invariants() over every SPE of the machine.
+InvariantReport check_invariants(const CellMachine& machine);
+
+/// Quiescence invariants that must hold BETWEEN kernel invocations (the
+/// executor's steady state): everything from check_invariants() plus
+///  - both mailboxes empty (no lost or duplicated signals);
+///  - every MFC tag group completed at or before the SPU clock (all DMA
+///    issued has been waited on — no in-flight transfer leaks).
+InvariantReport check_quiescent(const Spu& spu);
+
+/// check_quiescent() over every SPE of the machine.
+InvariantReport check_quiescent(const CellMachine& machine);
+
+}  // namespace rxc::cell

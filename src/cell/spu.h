@@ -32,9 +32,13 @@ public:
   int id() const { return id_; }
   const CostParams& params() const { return *params_; }
   LocalStore& ls() { return ls_; }
+  const LocalStore& ls() const { return ls_; }
   Mfc& mfc() { return mfc_; }
+  const Mfc& mfc() const { return mfc_; }
   Mailbox& inbox() { return inbox_; }
+  const Mailbox& inbox() const { return inbox_; }
   Mailbox& outbox() { return outbox_; }
+  const Mailbox& outbox() const { return outbox_; }
 
   VCycles now() const { return now_; }
   void reset_clock() { now_ = 0.0; }
@@ -84,6 +88,7 @@ public:
 
   const CostParams& params() const { return params_; }
   Spu& spe(int i) { return *spes_.at(i); }
+  const Spu& spe(int i) const { return *spes_.at(i); }
   int spe_count() const { return static_cast<int>(spes_.size()); }
 
 private:

@@ -1,0 +1,202 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "likelihood/fast_exp.h"
+
+namespace rxc::conformance {
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Prefix every mismatch with the spec (seed included) and the pair's
+/// entitlement, so the console line alone is enough to replay the case.
+std::string preamble(const Workload& wl, const Bounds& bounds) {
+  return "[" + wl.spec().describe() + "] (" + bounds.why + ") ";
+}
+
+bool compare_array(const char* what, const double* ref, const double* dut,
+                   std::size_t n, double tol, const Workload& wl,
+                   const Bounds& bounds, CaseResult& result) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (close(ref[i], dut[i], tol)) continue;
+    result.ok = false;
+    result.detail = preamble(wl, bounds) + what + "[" + std::to_string(i) +
+                    "]: ref=" + fmt(ref[i]) + " dut=" + fmt(dut[i]) +
+                    " tol=" + fmt(tol);
+    return false;
+  }
+  return true;
+}
+
+/// `scale` widens the relative bound for reductions whose terms cancel:
+/// d1/d2 can sit near zero while their partial sums are as large as the
+/// log-likelihood, so reassociation error is relative to |lnl|, not to the
+/// cancelled result.  Exact comparisons (tol == 0) ignore it.
+bool compare_scalar(const char* what, double ref, double dut, double tol,
+                    double scale, const Workload& wl, const Bounds& bounds,
+                    CaseResult& result) {
+  const bool pass =
+      tol == 0.0
+          ? ref == dut
+          : std::abs(ref - dut) <=
+                tol * (std::max(std::abs(ref), std::abs(dut)) + scale);
+  if (pass) return true;
+  result.ok = false;
+  result.detail = preamble(wl, bounds) + what + ": ref=" + fmt(ref) +
+                  " dut=" + fmt(dut) + " tol=" + fmt(tol);
+  return false;
+}
+
+double clamp_branch(double t) {
+  return std::min(lh::kMaxBranch, std::max(lh::kMinBranch, t));
+}
+
+}  // namespace
+
+bool close(double a, double b, double tol) {
+  if (tol == 0.0) return a == b;
+  return std::abs(a - b) <= tol * (std::max(std::abs(a), std::abs(b)) + 1.0);
+}
+
+CaseResult run_case(lh::KernelExecutor& ref_newview,
+                    lh::KernelExecutor& ref_rest, lh::KernelExecutor& dut,
+                    const Workload& wl, const Bounds& bounds) {
+  CaseResult result;
+  const std::size_t np = wl.spec().np;
+  const std::size_t values = wl.padded_np() * wl.stride();
+
+  ref_newview.reset_counters();
+  ref_rest.reset_counters();
+  dut.reset_counters();
+
+  // --- newview ----------------------------------------------------------
+  aligned_vector<double> ref_out(values, 0.0), dut_out(values, 0.0);
+  aligned_vector<std::int32_t> ref_scale(wl.padded_np(), 0);
+  aligned_vector<std::int32_t> dut_scale(wl.padded_np(), 0);
+  ref_newview.newview(wl.newview_task(ref_out.data(), ref_scale.data()));
+  dut.newview(wl.newview_task(dut_out.data(), dut_scale.data()));
+
+  if (!compare_array("newview.out", ref_out.data(), dut_out.data(),
+                     np * wl.stride(), bounds.value_rel, wl, bounds, result))
+    return result;
+  if (bounds.scale_exact) {
+    for (std::size_t i = 0; i < np; ++i) {
+      if (ref_scale[i] == dut_scale[i]) continue;
+      result.ok = false;
+      result.detail = preamble(wl, bounds) + "newview.scale_out[" +
+                      std::to_string(i) +
+                      "]: ref=" + std::to_string(ref_scale[i]) +
+                      " dut=" + std::to_string(dut_scale[i]);
+      return result;
+    }
+    if (ref_newview.counters().scale_events !=
+        dut.counters().scale_events) {
+      result.ok = false;
+      result.detail =
+          preamble(wl, bounds) + "scale_events: ref=" +
+          std::to_string(ref_newview.counters().scale_events) +
+          " dut=" + std::to_string(dut.counters().scale_events);
+      return result;
+    }
+  }
+
+  // --- evaluate ---------------------------------------------------------
+  aligned_vector<double> ref_site(wl.padded_np(), 0.0);
+  aligned_vector<double> dut_site(wl.padded_np(), 0.0);
+  const double ref_lnl = ref_rest.evaluate(wl.evaluate_task(ref_site.data()));
+  const double dut_lnl = dut.evaluate(wl.evaluate_task(dut_site.data()));
+  if (!compare_scalar("evaluate.lnl", ref_lnl, dut_lnl, bounds.sum_rel, 1.0,
+                      wl, bounds, result))
+    return result;
+  if (!compare_array("evaluate.site_lnl", ref_site.data(), dut_site.data(),
+                     np, bounds.value_rel, wl, bounds, result))
+    return result;
+
+  // --- makenewz compound: sumtable + Newton-Raphson at three lengths ----
+  // Each executor consumes its OWN sumtable (the real makenewz data flow);
+  // for bitwise pairs the tables are identical anyway.
+  aligned_vector<double> ref_sum(values, 0.0), dut_sum(values, 0.0);
+  ref_rest.begin_compound();
+  dut.begin_compound();
+  ref_rest.sumtable(wl.sumtable_task(ref_sum.data()));
+  dut.sumtable(wl.sumtable_task(dut_sum.data()));
+  if (!compare_array("sumtable.out", ref_sum.data(), dut_sum.data(),
+                     np * wl.stride(), bounds.value_rel, wl, bounds,
+                     result)) {
+    ref_rest.end_compound();
+    dut.end_compound();
+    return result;
+  }
+
+  const double t0 = wl.spec().t;
+  const double ts[3] = {t0, clamp_branch(t0 * 0.5), clamp_branch(t0 * 2.0)};
+  for (double t : ts) {
+    const lh::NrResult r =
+        ref_rest.nr_derivatives(wl.nr_task(ref_sum.data(), t));
+    const lh::NrResult d = dut.nr_derivatives(wl.nr_task(dut_sum.data(), t));
+    const std::string at = " (t=" + fmt(t) + ")";
+    const double scale = std::max(1.0, std::abs(r.lnl));
+    if (!compare_scalar(("nr.lnl" + at).c_str(), r.lnl, d.lnl,
+                        bounds.sum_rel, 1.0, wl, bounds, result) ||
+        !compare_scalar(("nr.d1" + at).c_str(), r.d1, d.d1, bounds.sum_rel,
+                        scale, wl, bounds, result) ||
+        !compare_scalar(("nr.d2" + at).c_str(), r.d2, d.d2, bounds.sum_rel,
+                        scale, wl, bounds, result)) {
+      ref_rest.end_compound();
+      dut.end_compound();
+      return result;
+    }
+  }
+  ref_rest.end_compound();
+  dut.end_compound();
+  return result;
+}
+
+CaseResult run_case(lh::KernelExecutor& ref, lh::KernelExecutor& dut,
+                    const Workload& wl, const Bounds& bounds) {
+  return run_case(ref, ref, dut, wl, bounds);
+}
+
+lh::KernelConfig mirror_config(const core::StageToggles& toggles) {
+  lh::KernelConfig config;
+  config.exp_fn = toggles.sdk_exp ? &lh::exp_sdk : &lh::exp_libm;
+  config.scaling = toggles.int_cond ? lh::ScalingCheck::kIntCast
+                                    : lh::ScalingCheck::kFloatBranch;
+  config.simd = toggles.vectorized;
+  return config;
+}
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("RXC_CONF_SEED"))
+    return std::strtoull(env, nullptr, 0);
+  return 0xC0FFEE42ULL;
+}
+
+bool fixed_seed_requested() {
+  return std::getenv("RXC_CONF_SEED") != nullptr;
+}
+
+std::uint64_t case_seed(std::uint64_t pair_salt, std::uint64_t index) {
+  std::uint64_t state = base_seed() ^ (pair_salt * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t seed = splitmix64(state);
+  for (std::uint64_t i = 0; i < index; ++i) seed = splitmix64(state);
+  return seed;
+}
+
+std::string repro_hint(std::uint64_t seed, const char* test_filter) {
+  std::ostringstream os;
+  os << "rerun: RXC_CONF_SEED=0x" << std::hex << seed
+     << " ctest --test-dir build -R " << test_filter << " --output-on-failure";
+  return os.str();
+}
+
+}  // namespace rxc::conformance

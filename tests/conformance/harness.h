@@ -1,0 +1,82 @@
+#pragma once
+/// \file harness.h
+/// Differential conformance harness: one Workload, two executors, documented
+/// agreement bounds.
+///
+/// The kernel contract is stronger than "roughly equal": executors with the
+/// same KernelConfig (exp variant, scaling conditional, SIMD width) must
+/// produce BITWISE-identical per-pattern values — newview partials, scale
+/// counts, per-site log-likelihoods, sumtable entries — because each pattern
+/// is computed by the same code on the same inputs regardless of how the
+/// pattern range was chunked across threads, strips, or SPEs.  Only the
+/// reductions (evaluate's weighted lnl sum, Newton-Raphson's d1/d2 sums) may
+/// differ, and only by summation reassociation.  Bounds encodes exactly
+/// which relaxation a pair is entitled to, so a regression that introduces
+/// an extra rounding (say, a double store through a float) fails loudly.
+///
+/// Every failure message leads with the workload seed and a repro hint, so a
+/// property-test failure can be replayed as a single deterministic case.
+
+#include <cstdint>
+#include <string>
+
+#include "core/stage.h"
+#include "likelihood/executor.h"
+#include "workload.h"
+
+namespace rxc::conformance {
+
+/// Agreement entitlement for one executor pair.  A tolerance of 0 demands
+/// bitwise equality.
+struct Bounds {
+  /// Human explanation, echoed in failure messages ("same config => bitwise",
+  /// "SIMD reassociates the category sum", ...).
+  std::string why;
+  /// Per-pattern values: newview partials, site lnls, sumtable entries.
+  double value_rel = 0.0;
+  /// Reductions: evaluate lnl, NR lnl/d1/d2.
+  double sum_rel = 0.0;
+  /// Scale vectors and scale_events counters must match exactly (the
+  /// workload generator guarantees a deterministic scaling decision).
+  bool scale_exact = true;
+};
+
+struct CaseResult {
+  bool ok = true;
+  std::string detail;  ///< first mismatch, with seed + repro hint
+};
+
+/// |a - b| <= tol * (max(|a|,|b|) + 1); tol == 0 means exact equality.
+bool close(double a, double b, double tol);
+
+/// Runs the full kernel sequence (newview -> evaluate -> compound
+/// {sumtable, NR at three branch lengths}) through `ref` and `dut` on the
+/// same Workload and compares per the bounds.  The reference is split
+/// because SpeExecutor routes non-offloaded kernels through its internal
+/// PPE path (plain scalar/libm config) regardless of the stage toggles:
+/// `ref_newview` must match the dut's newview config, `ref_rest` the dut's
+/// evaluate/makenewz config.  For uniformly-configured duts pass the same
+/// executor twice (or use the two-argument overload).
+CaseResult run_case(lh::KernelExecutor& ref_newview,
+                    lh::KernelExecutor& ref_rest, lh::KernelExecutor& dut,
+                    const Workload& wl, const Bounds& bounds);
+CaseResult run_case(lh::KernelExecutor& ref, lh::KernelExecutor& dut,
+                    const Workload& wl, const Bounds& bounds);
+
+/// Host KernelConfig matching what the SPE path computes under `toggles`
+/// (for differential refs of offloaded kernels).
+lh::KernelConfig mirror_config(const core::StageToggles& toggles);
+
+/// Base seed for property runs: RXC_CONF_SEED env var if set (accepts
+/// decimal or 0x hex), else a fixed default so CI is reproducible.
+std::uint64_t base_seed();
+/// True when RXC_CONF_SEED is set: tests then run ONLY that exact seed, the
+/// replay path for a printed failure.
+bool fixed_seed_requested();
+/// Per-case seed: splitmix64 chain over (base, pair_salt, index) so executor
+/// pairs see different-but-reproducible workload streams.
+std::uint64_t case_seed(std::uint64_t pair_salt, std::uint64_t index);
+/// "rerun: RXC_CONF_SEED=0x... ctest -R <test> ..." hint for failures.
+std::string repro_hint(std::uint64_t seed, const char* test_filter);
+
+}  // namespace rxc::conformance

@@ -1,0 +1,138 @@
+/// Fault injection against the simulated Cell: every architectural
+/// violation (misaligned DMA, oversized transfer, local-store overflow,
+/// mailbox depth abuse) must throw HardwareError BEFORE mutating any
+/// simulator state, and the machine must stay fully usable afterwards.
+
+#include <gtest/gtest.h>
+
+#include "cell/fault.h"
+#include "cell/invariants.h"
+#include "cell/spu.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "harness.h"
+#include "likelihood/executor.h"
+#include "workload.h"
+
+namespace rxc::conformance {
+namespace {
+
+using cell::Fault;
+
+// ---------------------------------------------------------------------
+// Every fault class, against every SPE, on a fresh machine: trapped AND
+// state-intact, byte for byte.
+
+TEST(ConformanceFault, AllFaultsTrapWithoutCorruption) {
+  cell::CellMachine machine;
+  for (int s = 0; s < machine.spe_count(); ++s) {
+    for (Fault fault : cell::kAllFaults) {
+      const cell::FaultOutcome outcome =
+          cell::inject_fault(machine.spe(s), fault);
+      EXPECT_TRUE(outcome.trapped)
+          << "spe" << s << " " << cell::fault_name(fault)
+          << ": violation was NOT trapped: " << outcome.error;
+      EXPECT_TRUE(outcome.state_intact)
+          << "spe" << s << " " << cell::fault_name(fault) << ": "
+          << outcome.error;
+    }
+    const cell::InvariantReport inv = cell::check_quiescent(machine.spe(s));
+    EXPECT_TRUE(inv.ok()) << inv.to_string();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Faults on a machine that has already done real work (non-zero clock,
+// populated counters): the richer pre-state is exactly what a corrupting
+// fault would smear.
+
+TEST(ConformanceFault, FaultsOnBusyMachineLeaveWorkReproducible) {
+  const WorkloadSpec spec = WorkloadSpec::draw(0xFA017);
+  const Workload wl(spec);
+  const std::size_t values = wl.padded_np() * wl.stride();
+
+  cell::CellMachine machine;
+  core::SpeExecConfig cfg;
+  cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
+  cfg.llp_ways = 8;  // touch every SPE
+  core::SpeExecutor exec(machine, cfg);
+
+  aligned_vector<double> out1(values, 0.0), out2(values, 0.0);
+  aligned_vector<std::int32_t> sc1(wl.padded_np(), 0), sc2(wl.padded_np(), 0);
+  exec.newview(wl.newview_task(out1.data(), sc1.data()));
+  const double lnl1 = exec.evaluate(wl.evaluate_task(nullptr));
+
+  for (int s = 0; s < machine.spe_count(); ++s)
+    for (Fault fault : cell::kAllFaults) {
+      const cell::FaultOutcome outcome =
+          cell::inject_fault(machine.spe(s), fault);
+      EXPECT_TRUE(outcome.ok())
+          << "spe" << s << " " << cell::fault_name(fault) << ": "
+          << outcome.error;
+    }
+
+  // The machine keeps computing, and computes the same bits.
+  exec.newview(wl.newview_task(out2.data(), sc2.data()));
+  const double lnl2 = exec.evaluate(wl.evaluate_task(nullptr));
+  EXPECT_EQ(lnl1, lnl2);
+  for (std::size_t k = 0; k < spec.np * wl.stride(); ++k)
+    ASSERT_EQ(out1[k], out2[k]) << "out[" << k << "]";
+  for (std::size_t p = 0; p < spec.np; ++p)
+    ASSERT_EQ(sc1[p], sc2[p]) << "scale_out[" << p << "]";
+
+  const cell::InvariantReport inv = cell::check_quiescent(machine);
+  EXPECT_TRUE(inv.ok()) << inv.to_string();
+}
+
+// ---------------------------------------------------------------------
+// End-to-end oversize: an executor configured with strip buffers beyond
+// the 16 KB MFC ceiling must hit HardwareError inside the DMA layer — the
+// simulator, not the caller, is the backstop.
+
+TEST(ConformanceFault, OversizedStripRejectedByMfc) {
+  WorkloadSpec spec;
+  spec.seed = 0xB16;
+  spec.mode = lh::RateMode::kGamma;
+  spec.ncat = 25;  // 800 B/pattern
+  spec.np = 100;
+  spec.tip1 = spec.tip2 = false;
+  const Workload wl(spec);
+  const std::size_t values = wl.padded_np() * wl.stride();
+
+  cell::CellMachine machine;
+  core::SpeExecConfig cfg;
+  cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
+  // 32 KB buffers give 32-pattern strips => 25.6 KB partial transfers:
+  // beyond the MFC ceiling, but small enough that local store still fits
+  // (so it is the DMA rule, not the allocator, that fires).
+  cfg.strip_bytes = 32 * 1024;
+  core::SpeExecutor exec(machine, cfg);
+
+  aligned_vector<double> out(values, 0.0);
+  aligned_vector<std::int32_t> scale(wl.padded_np(), 0);
+  EXPECT_THROW(exec.newview(wl.newview_task(out.data(), scale.data())),
+               HardwareError);
+}
+
+// ---------------------------------------------------------------------
+// The same invariants that gate every conformance case must hold on a
+// fresh machine and catch a hand-corrupted one.
+
+TEST(ConformanceFault, InvariantCheckerBaselineAndSensitivity) {
+  cell::CellMachine machine;
+  EXPECT_TRUE(cell::check_invariants(machine).ok());
+  EXPECT_TRUE(cell::check_quiescent(machine).ok());
+
+  // A stuffed mailbox is legal hardware state but NOT quiescent.
+  machine.spe(3).inbox().write(1u);
+  EXPECT_TRUE(cell::check_invariants(machine).ok());
+  const cell::InvariantReport rep = cell::check_quiescent(machine);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("spe3"), std::string::npos)
+      << rep.to_string();
+  (void)machine.spe(3).inbox().read();
+  EXPECT_TRUE(cell::check_quiescent(machine).ok());
+}
+
+}  // namespace
+}  // namespace rxc::conformance

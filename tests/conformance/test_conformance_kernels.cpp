@@ -1,0 +1,241 @@
+/// Differential conformance: every executor pair, >= 200 seeded random
+/// workloads each (tier2).  Failures print the workload spec (seed first)
+/// plus a one-line repro: set RXC_CONF_SEED to the printed seed and rerun
+/// the same test to replay exactly that case.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cell/invariants.h"
+#include "cell/spu.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "harness.h"
+#include "likelihood/executor.h"
+#include "likelihood/threaded_executor.h"
+#include "workload.h"
+
+namespace rxc::conformance {
+namespace {
+
+/// Case count per pair; a fixed-seed replay runs exactly that one seed.
+std::uint64_t cases() { return fixed_seed_requested() ? 1 : 200; }
+
+std::uint64_t seed_for(std::uint64_t pair_salt, std::uint64_t i) {
+  return fixed_seed_requested() ? base_seed() : case_seed(pair_salt, i);
+}
+
+/// Reductions reassociate across chunks/strips/SPEs; the error scales with
+/// the magnitude of the accumulated sum, not the (possibly cancelled)
+/// result, so the bound is generous relative to term count but still ~1e5x
+/// below any real kernel bug.
+constexpr double kSumRel = 1e-9;
+
+// ---------------------------------------------------------------------
+// Pair A: host scalar vs host SIMD (same exp, same conditional).
+
+TEST(ConformanceKernels, HostScalarVsHostSimd) {
+  lh::KernelConfig scalar_cfg;
+  lh::KernelConfig simd_cfg;
+  simd_cfg.simd = true;
+  lh::HostExecutor ref(scalar_cfg), dut(simd_cfg);
+  Bounds bounds{"SIMD reorders within-pattern arithmetic", 1e-11, kSumRel,
+                true};
+  for (std::uint64_t i = 0; i < cases(); ++i) {
+    const std::uint64_t seed = seed_for(0xA, i);
+    const Workload wl(WorkloadSpec::draw(seed));
+    const CaseResult r = run_case(ref, dut, wl, bounds);
+    ASSERT_TRUE(r.ok) << r.detail << "\n"
+                      << repro_hint(seed, "HostScalarVsHostSimd");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Pair B: host scalar vs ThreadedExecutor at several widths.  Same config
+// => per-pattern values bitwise; only the fixed-order chunk reductions may
+// differ.
+
+TEST(ConformanceKernels, HostVsThreaded) {
+  lh::HostExecutor ref;
+  for (int threads : {2, 5, 8}) {
+    lh::ThreadedExecutor dut(threads);
+    Bounds bounds{"same config; chunked reductions reassociate (threads=" +
+                      std::to_string(threads) + ")",
+                  0.0, kSumRel, true};
+    for (std::uint64_t i = 0; i < cases(); ++i) {
+      const std::uint64_t seed =
+          seed_for(0xB0 + static_cast<std::uint64_t>(threads), i);
+      const Workload wl(WorkloadSpec::draw(seed));
+      const CaseResult r = run_case(ref, dut, wl, bounds);
+      ASSERT_TRUE(r.ok) << r.detail << "\n"
+                        << repro_hint(seed, "HostVsThreaded");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Pair C: host vs SpeExecutor at every optimization stage.  The reference
+// is split: offloaded kernels mirror the stage's SPE config, non-offloaded
+// kernels run the plain PPE config (libm, branchy conditional, scalar)
+// whatever the stage says.  Values are bitwise either way — strip-mining
+// through DMA must not change a single bit.
+
+TEST(ConformanceKernels, HostVsSpeAllStages) {
+  constexpr core::Stage kStages[] = {
+      core::Stage::kPpeOnly,      core::Stage::kOffloadNewview,
+      core::Stage::kFastExp,      core::Stage::kIntCond,
+      core::Stage::kDoubleBuffer, core::Stage::kVectorize,
+      core::Stage::kDirectComm,   core::Stage::kOffloadAll,
+  };
+  for (core::Stage stage : kStages) {
+    const core::StageToggles toggles = core::stage_toggles(stage);
+    lh::HostExecutor ref_newview(toggles.offload_newview
+                                     ? mirror_config(toggles)
+                                     : lh::KernelConfig{});
+    lh::HostExecutor ref_rest(toggles.offload_rest ? mirror_config(toggles)
+                                                   : lh::KernelConfig{});
+    Bounds bounds{"strip-mined DMA must be bitwise (stage " +
+                      core::stage_name(stage) + ")",
+                  0.0, kSumRel, true};
+    for (std::uint64_t i = 0; i < cases(); ++i) {
+      const std::uint64_t seed =
+          seed_for(0xC0 + static_cast<std::uint64_t>(stage), i);
+      const Workload wl(WorkloadSpec::draw(seed));
+      cell::CellMachine machine;
+      core::SpeExecConfig cfg;
+      cfg.toggles = toggles;
+      core::SpeExecutor dut(machine, cfg);
+      const CaseResult r = run_case(ref_newview, ref_rest, dut, wl, bounds);
+      ASSERT_TRUE(r.ok) << r.detail << "\n"
+                        << repro_hint(seed, "HostVsSpeAllStages");
+      const cell::InvariantReport inv = cell::check_quiescent(machine);
+      ASSERT_TRUE(inv.ok())
+          << "[" << wl.spec().describe() << "] stage "
+          << core::stage_name(stage)
+          << " left the machine non-quiescent:\n"
+          << inv.to_string() << "\n"
+          << repro_hint(seed, "HostVsSpeAllStages");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Pair D: SPE loop-level parallelization.  llp_ways splits each strip loop
+// across SPEs; values stay bitwise vs the 1-way offload, reductions combine
+// per-SPE sums in fixed order.
+
+TEST(ConformanceKernels, SpeLlpVsSingleSpe) {
+  const core::StageToggles toggles =
+      core::stage_toggles(core::Stage::kOffloadAll);
+  for (int ways : {2, 4, 8}) {
+    Bounds bounds{"LLP split must be bitwise per pattern (ways=" +
+                      std::to_string(ways) + ")",
+                  0.0, kSumRel, true};
+    for (std::uint64_t i = 0; i < cases(); ++i) {
+      const std::uint64_t seed =
+          seed_for(0xD0 + static_cast<std::uint64_t>(ways), i);
+      const Workload wl(WorkloadSpec::draw(seed));
+      cell::CellMachine ref_machine, dut_machine;
+      core::SpeExecConfig ref_cfg, dut_cfg;
+      ref_cfg.toggles = dut_cfg.toggles = toggles;
+      ref_cfg.llp_ways = 1;
+      dut_cfg.llp_ways = ways;
+      core::SpeExecutor ref(ref_machine, ref_cfg);
+      core::SpeExecutor dut(dut_machine, dut_cfg);
+      const CaseResult r = run_case(ref, dut, wl, bounds);
+      ASSERT_TRUE(r.ok) << r.detail << "\n"
+                        << repro_hint(seed, "SpeLlpVsSingleSpe");
+      const cell::InvariantReport inv = cell::check_quiescent(dut_machine);
+      ASSERT_TRUE(inv.ok()) << inv.to_string() << "\n"
+                            << repro_hint(seed, "SpeLlpVsSingleSpe");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Pair E: libm vs SDK exp, host-side.  The only cross-config pair: the SDK
+// exp is a different numerical method, so per-value agreement is bounded by
+// its documented error (< 3e-14 on the kernel domain), amplified through
+// the likelihood recursion.
+
+TEST(ConformanceKernels, ExpLibmVsExpSdk) {
+  lh::HostExecutor ref;  // libm
+  lh::KernelConfig sdk_cfg;
+  sdk_cfg.exp_fn = &lh::exp_sdk;
+  lh::HostExecutor dut(sdk_cfg);
+  Bounds bounds{"SDK exp differs by its documented error bound", 1e-9, 1e-7,
+                true};
+  for (std::uint64_t i = 0; i < cases(); ++i) {
+    const std::uint64_t seed = seed_for(0xE, i);
+    const Workload wl(WorkloadSpec::draw(seed));
+    const CaseResult r = run_case(ref, dut, wl, bounds);
+    ASSERT_TRUE(r.ok) << r.detail << "\n"
+                      << repro_hint(seed, "ExpLibmVsExpSdk");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: makenewz derivatives through SpeExecutor with llp_ways > 1.
+// The offloaded makenewz runs its inner kernels 1-way (the sumtable is a
+// per-branch sequential dependence), so llp_ways MUST NOT change a bit of
+// the derivatives.  Covers both the local-store-resident sumtable path
+// (np=200) and the strip-repaging path (np=8000, 256 KB sumtable).
+
+TEST(ConformanceKernels, MakenewzLlpAgreement) {
+  const core::StageToggles toggles =
+      core::stage_toggles(core::Stage::kOffloadAll);
+  for (std::size_t np : {std::size_t{200}, std::size_t{8000}}) {
+    WorkloadSpec spec;
+    spec.seed = 0x3A11D00DULL + np;
+    spec.mode = lh::RateMode::kCat;
+    spec.ncat = 4;
+    spec.np = np;
+    spec.tip1 = spec.tip2 = false;
+    spec.brlen1 = 0.07;
+    spec.brlen2 = 0.9;
+    spec.brlen = 0.2;
+    spec.t = 0.15;
+    const Workload wl(spec);
+    const std::size_t values = wl.padded_np() * wl.stride();
+
+    cell::CellMachine base_machine;
+    core::SpeExecConfig base_cfg;
+    base_cfg.toggles = toggles;
+    core::SpeExecutor base(base_machine, base_cfg);
+    aligned_vector<double> base_sum(values, 0.0);
+    base.begin_compound();
+    base.sumtable(wl.sumtable_task(base_sum.data()));
+    lh::NrResult base_nr = base.nr_derivatives(wl.nr_task(base_sum.data(),
+                                                          spec.t));
+    base.end_compound();
+
+    for (int ways : {2, 4, 8}) {
+      cell::CellMachine machine;
+      core::SpeExecConfig cfg;
+      cfg.toggles = toggles;
+      cfg.llp_ways = ways;
+      core::SpeExecutor llp(machine, cfg);
+      aligned_vector<double> llp_sum(values, 0.0);
+      llp.begin_compound();
+      llp.sumtable(wl.sumtable_task(llp_sum.data()));
+      const lh::NrResult llp_nr =
+          llp.nr_derivatives(wl.nr_task(llp_sum.data(), spec.t));
+      llp.end_compound();
+
+      for (std::size_t k = 0; k < spec.np * wl.stride(); ++k)
+        ASSERT_EQ(base_sum[k], llp_sum[k])
+            << "sumtable[" << k << "] diverged at llp_ways=" << ways
+            << " np=" << np;
+      EXPECT_EQ(base_nr.lnl, llp_nr.lnl) << "ways=" << ways << " np=" << np;
+      EXPECT_EQ(base_nr.d1, llp_nr.d1) << "ways=" << ways << " np=" << np;
+      EXPECT_EQ(base_nr.d2, llp_nr.d2) << "ways=" << ways << " np=" << np;
+
+      const cell::InvariantReport inv = cell::check_quiescent(machine);
+      EXPECT_TRUE(inv.ok()) << inv.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rxc::conformance

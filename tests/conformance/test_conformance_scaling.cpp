@@ -1,0 +1,237 @@
+/// Scaling (underflow-rescue) conformance: the 2^-256 rescale machinery is
+/// where a silent numerical bug would poison every downstream likelihood,
+/// so its accounting is pinned from three directions — property tests on
+/// the two conditional implementations, differential scale bookkeeping
+/// across executors, and a metamorphic identity on evaluate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cell/spu.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "harness.h"
+#include "likelihood/executor.h"
+#include "likelihood/scaling.h"
+#include "likelihood/threaded_executor.h"
+#include "workload.h"
+
+namespace rxc::conformance {
+namespace {
+
+std::uint64_t cases() { return fixed_seed_requested() ? 1 : 200; }
+
+/// An underflow-mode spec: inner/inner children, a random subset of
+/// patterns carrying ~1e-40 partials on both sides.
+WorkloadSpec underflow_spec(std::uint64_t seed) {
+  WorkloadSpec s = WorkloadSpec::draw(seed);
+  s.underflow = true;
+  s.tip1 = s.tip2 = false;
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Property: the float-branch and int-cast conditionals are the same
+// predicate on every likelihood value, including the exact 2^-256
+// boundary, its ulp neighbours, denormals and zero.
+
+TEST(ConformanceScaling, ConditionalVariantsAgreeOnEdgeCases) {
+  const double ml = lh::kMinLikelihood;
+  const double below = std::nextafter(ml, 0.0);
+  const double above = std::nextafter(ml, 1.0);
+  const double edge_cases[] = {
+      0.0,
+      std::numeric_limits<double>::denorm_min(),
+      1e-320,  // denormal
+      below,
+      ml,      // the boundary itself: NOT < ml, so no scaling
+      above,
+      1e-40,
+      0.05,
+      1.0,
+      lh::kScaleFactor,
+  };
+  for (double a : edge_cases)
+    for (double b : edge_cases)
+      for (double c : edge_cases)
+        for (double d : edge_cases) {
+          const double v[4] = {a, b, c, d};
+          EXPECT_EQ(lh::needs_scaling_fp(v, 4), lh::needs_scaling_int(v, 4))
+              << "v = {" << a << ", " << b << ", " << c << ", " << d << "}";
+        }
+  // The boundary semantics themselves: strictly-below scales, at-or-above
+  // does not.
+  const double all_below[4] = {below, below, below, below};
+  const double at_ml[4] = {below, below, below, ml};
+  EXPECT_TRUE(lh::needs_scaling_fp(all_below, 4));
+  EXPECT_TRUE(lh::needs_scaling_int(all_below, 4));
+  EXPECT_FALSE(lh::needs_scaling_fp(at_ml, 4));
+  EXPECT_FALSE(lh::needs_scaling_int(at_ml, 4));
+}
+
+TEST(ConformanceScaling, ConditionalVariantsAgreeOnRandomValues) {
+  Rng rng(base_seed() ^ 0x5ca1e);
+  for (int i = 0; i < 20000; ++i) {
+    double v[4];
+    for (double& x : v) {
+      // Log-uniform magnitude across the full scaled range, crossing the
+      // threshold often.
+      const double mag = std::exp(rng.uniform(std::log(1e-120), 0.0));
+      x = mag;
+    }
+    EXPECT_EQ(lh::needs_scaling_fp(v, 4), lh::needs_scaling_int(v, 4))
+        << "case " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Differential: underflow workloads MUST produce rescale events, and every
+// executor (host scalar, host int-cast, threaded, SPE at full optimization)
+// must agree on the exact per-pattern scale vector and event count.
+
+TEST(ConformanceScaling, UnderflowForcesIdenticalRescuesEverywhere) {
+  for (std::uint64_t i = 0; i < cases(); ++i) {
+    const std::uint64_t seed =
+        fixed_seed_requested() ? base_seed() : case_seed(0x5C, i);
+    const Workload wl(underflow_spec(seed));
+    const std::size_t np = wl.spec().np;
+    const std::size_t values = wl.padded_np() * wl.stride();
+
+    lh::HostExecutor host;  // float-branch conditional
+    aligned_vector<double> host_out(values, 0.0);
+    aligned_vector<std::int32_t> host_scale(wl.padded_np(), 0);
+    host.newview(wl.newview_task(host_out.data(), host_scale.data()));
+    const std::uint64_t host_events = host.counters().scale_events;
+    ASSERT_GT(host_events, 0u)
+        << "underflow workload produced no rescales: "
+        << wl.spec().describe() << "\n"
+        << repro_hint(seed, "UnderflowForcesIdenticalRescuesEverywhere");
+
+    // Rescue accounting: scale_out = inherited counts + 1 per event, and
+    // the events counter equals the sum of increments.
+    std::uint64_t increments = 0;
+    for (std::size_t p = 0; p < np; ++p) {
+      const std::int32_t inherited = wl.scale1()[p] + wl.scale2()[p];
+      ASSERT_GE(host_scale[p], inherited) << "pattern " << p;
+      ASSERT_LE(host_scale[p], inherited + 1) << "pattern " << p;
+      increments += static_cast<std::uint64_t>(host_scale[p] - inherited);
+    }
+    ASSERT_EQ(increments, host_events) << wl.spec().describe();
+
+    // Every other executor: identical scale vector, identical count,
+    // rescaled values within its pair bound (int-cast & SPE are bitwise).
+    lh::KernelConfig cast_cfg;
+    cast_cfg.scaling = lh::ScalingCheck::kIntCast;
+    lh::HostExecutor cast_host(cast_cfg);
+    lh::ThreadedExecutor threaded(4);
+    cell::CellMachine machine;
+    core::SpeExecConfig spe_cfg;
+    spe_cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
+    core::SpeExecutor spe(machine, spe_cfg);
+
+    struct Dut {
+      const char* name;
+      lh::KernelExecutor* exec;
+    } duts[] = {{"host-int-cast", &cast_host},
+                {"threaded", &threaded},
+                {"spe-offload-all", &spe}};
+    for (const Dut& dut : duts) {
+      aligned_vector<double> out(values, 0.0);
+      aligned_vector<std::int32_t> scale(wl.padded_np(), 0);
+      dut.exec->newview(wl.newview_task(out.data(), scale.data()));
+      EXPECT_EQ(dut.exec->counters().scale_events, host_events)
+          << dut.name << ": " << wl.spec().describe() << "\n"
+          << repro_hint(seed, "UnderflowForcesIdenticalRescuesEverywhere");
+      for (std::size_t p = 0; p < np; ++p)
+        ASSERT_EQ(host_scale[p], scale[p])
+            << dut.name << " scale_out[" << p
+            << "]: " << wl.spec().describe();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Metamorphic: a rescaled partial times 2^256 with scale+1 is the SAME
+// likelihood.  evaluate() must return lnl' = lnl - sum(weights) * ln(2^256)
+// when every pattern's inherited scale count is incremented by one — to
+// within one ulp-scale rounding of the subtraction, across executors.
+
+TEST(ConformanceScaling, EvaluateScaleCorrectionIdentity) {
+  for (std::uint64_t i = 0; i < (fixed_seed_requested() ? 1 : 50); ++i) {
+    const std::uint64_t seed =
+        fixed_seed_requested() ? base_seed() : case_seed(0x5D, i);
+    WorkloadSpec spec = WorkloadSpec::draw(seed);
+    const Workload wl(spec);
+    const std::size_t np = spec.np;
+
+    lh::HostExecutor host;
+    const double lnl = host.evaluate(wl.evaluate_task(nullptr));
+
+    aligned_vector<std::int32_t> bumped(wl.scale2(),
+                                        wl.scale2() + wl.padded_np());
+    for (std::size_t p = 0; p < np; ++p) ++bumped[p];
+    lh::EvaluateTask task = wl.evaluate_task(nullptr);
+    task.scale2 = bumped.data();
+    const double shifted = host.evaluate(task);
+
+    double weight_sum = 0.0;
+    for (std::size_t p = 0; p < np; ++p) weight_sum += wl.weights()[p];
+    const double expected = lnl - weight_sum * lh::kLogScaleFactor;
+    EXPECT_NEAR(shifted, expected, 1e-9 * (std::abs(expected) + 1.0))
+        << wl.spec().describe() << "\n"
+        << repro_hint(seed, "EvaluateScaleCorrectionIdentity");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Chained depth: feeding a rescaled newview output back in as a child must
+// keep absolute likelihoods consistent — the scale counts exactly offset
+// the 2^256 multipliers.  (Guards against double-counting inherited
+// scales, the classic RAxML porting bug.)
+
+TEST(ConformanceScaling, InheritedScaleCountsOffsetMultipliers) {
+  for (std::uint64_t i = 0; i < (fixed_seed_requested() ? 1 : 50); ++i) {
+    const std::uint64_t seed =
+        fixed_seed_requested() ? base_seed() : case_seed(0x5E, i);
+    const Workload wl(underflow_spec(seed));
+    const std::size_t values = wl.padded_np() * wl.stride();
+
+    lh::HostExecutor host;
+    aligned_vector<double> out(values, 0.0);
+    aligned_vector<std::int32_t> scale(wl.padded_np(), 0);
+    host.newview(wl.newview_task(out.data(), scale.data()));
+
+    // Evaluate against the freshly computed (possibly rescaled) partial.
+    lh::EvaluateTask task = wl.evaluate_task(nullptr);
+    task.partial2 = out.data();
+    task.scale2 = scale.data();
+    const double lnl_scaled = host.evaluate(task);
+
+    // Reference: the same partial with rescues manually undone (divide by
+    // 2^256 per event) and the inherited counts restored.
+    aligned_vector<double> undone(out);
+    aligned_vector<std::int32_t> base_scale(wl.padded_np(), 0);
+    const std::size_t st = wl.stride();
+    for (std::size_t p = 0; p < wl.spec().np; ++p) {
+      const std::int32_t inherited = wl.scale1()[p] + wl.scale2()[p];
+      std::int32_t events = scale[p] - inherited;
+      base_scale[p] = inherited;
+      for (; events > 0; --events)
+        for (std::size_t k = 0; k < st; ++k)
+          undone[p * st + k] /= lh::kScaleFactor;
+    }
+    task.partial2 = undone.data();
+    task.scale2 = base_scale.data();
+    const double lnl_undone = host.evaluate(task);
+
+    EXPECT_NEAR(lnl_scaled, lnl_undone,
+                1e-9 * (std::abs(lnl_undone) + 1.0))
+        << wl.spec().describe() << "\n"
+        << repro_hint(seed, "InheritedScaleCountsOffsetMultipliers");
+  }
+}
+
+}  // namespace
+}  // namespace rxc::conformance

@@ -1,0 +1,277 @@
+/// Golden virtual-cycle traces: four fixed workloads through every
+/// optimization stage, with the full timing/DMA fingerprint pinned to a
+/// checked-in golden file.  A cost-model or DMA-schedule regression — even
+/// one that keeps the numerics bitwise — moves a fingerprint and fails.
+///
+/// Regenerating after an INTENTIONAL cost-model change:
+///   RXC_UPDATE_GOLDEN=1 ctest --test-dir build -R GoldenStage
+/// then review the golden diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "cell/invariants.h"
+#include "cell/spu.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "harness.h"
+#include "likelihood/executor.h"
+#include "workload.h"
+
+#ifndef RXC_CONF_GOLDEN_FILE
+#error "RXC_CONF_GOLDEN_FILE must point at the checked-in golden trace file"
+#endif
+
+namespace rxc::conformance {
+namespace {
+
+/// One (workload, stage) fingerprint.  Integer fields are scheduling facts
+/// and must match exactly; cycle fields are FP accumulations compared at
+/// 1e-9 relative (bitwise on one platform, tolerant of cross-platform
+/// summation differences).
+struct Fingerprint {
+  std::string key;  // "<workload>/<stage>"
+  std::uint64_t segments = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t scale_events = 0;
+  std::uint64_t exp_calls = 0;
+  double ppe_cycles = 0.0;
+  double spe_cycles = 0.0;
+  double stall_cycles = 0.0;
+
+  std::string serialize() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << key << " segs=" << segments << " xfers=" << transfers
+       << " bytes=" << bytes << " scale=" << scale_events
+       << " exp=" << exp_calls << " ppe=" << ppe_cycles
+       << " spe=" << spe_cycles << " stall=" << stall_cycles;
+    return os.str();
+  }
+
+  static bool parse(const std::string& line, Fingerprint& out) {
+    std::istringstream is(line);
+    std::string tok;
+    if (!(is >> out.key)) return false;
+    auto field = [&](const char* name, auto& dst) {
+      std::string t;
+      if (!(is >> t)) return false;
+      const std::string prefix = std::string(name) + "=";
+      if (t.rfind(prefix, 0) != 0) return false;
+      std::istringstream vs(t.substr(prefix.size()));
+      return static_cast<bool>(vs >> dst);
+    };
+    return field("segs", out.segments) && field("xfers", out.transfers) &&
+           field("bytes", out.bytes) && field("scale", out.scale_events) &&
+           field("exp", out.exp_calls) && field("ppe", out.ppe_cycles) &&
+           field("spe", out.spe_cycles) && field("stall", out.stall_cycles);
+  }
+};
+
+bool cycles_close(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * (std::max(std::abs(a), std::abs(b)) + 1.0);
+}
+
+/// The four pinned workloads: one per structural corner the cost model
+/// treats differently.
+struct NamedSpec {
+  const char* name;
+  WorkloadSpec spec;
+};
+
+std::vector<NamedSpec> golden_specs() {
+  std::vector<NamedSpec> specs;
+  {
+    WorkloadSpec s;  // bread-and-butter CAT, tip/inner, strip-aligned
+    s.seed = 0x601d01;
+    s.mode = lh::RateMode::kCat;
+    s.ncat = 4;
+    s.np = 240;
+    s.tip1 = true;
+    s.brlen1 = 0.05;
+    s.brlen2 = 0.3;
+    s.brlen = 0.12;
+    s.t = 0.12;
+    specs.push_back({"cat-tip-inner-240", s});
+  }
+  {
+    WorkloadSpec s;  // GAMMA with rescale traffic (scale DMA + conditionals)
+    s.seed = 0x601d02;
+    s.mode = lh::RateMode::kGamma;
+    s.ncat = 4;
+    s.np = 100;
+    s.underflow = true;
+    s.brlen1 = 0.8;
+    s.brlen2 = 0.02;
+    s.brlen = 0.5;
+    s.t = 0.07;
+    specs.push_back({"gamma-underflow-100", s});
+  }
+  {
+    WorkloadSpec s;  // 25-category CAT, tip/tip, odd pattern count
+    s.seed = 0x601d03;
+    s.mode = lh::RateMode::kCat;
+    s.ncat = 25;
+    s.np = 777;
+    s.tip1 = s.tip2 = true;
+    s.brlen1 = 1.7;
+    s.brlen2 = 0.004;
+    s.brlen = 0.9;
+    s.t = 0.4;
+    specs.push_back({"cat25-tip-tip-777", s});
+  }
+  {
+    WorkloadSpec s;  // tiny sub-strip GAMMA at the branch-length extremes
+    s.seed = 0x601d04;
+    s.mode = lh::RateMode::kGamma;
+    s.ncat = 8;
+    s.np = 33;
+    s.tip1 = true;
+    s.brlen1 = lh::kMinBranch;
+    s.brlen2 = lh::kMaxBranch;
+    s.brlen = lh::kMinBranch;
+    s.t = lh::kMaxBranch;
+    specs.push_back({"gamma-extremes-33", s});
+  }
+  return specs;
+}
+
+Fingerprint run_fingerprint(const NamedSpec& named, core::Stage stage) {
+  const Workload wl(named.spec);
+  const std::size_t values = wl.padded_np() * wl.stride();
+
+  cell::CellMachine machine;
+  core::SpeExecConfig cfg;
+  cfg.toggles = core::stage_toggles(stage);
+  core::SpeExecutor exec(machine, cfg);
+  exec.begin_task();
+
+  aligned_vector<double> out(values, 0.0), sum(values, 0.0);
+  aligned_vector<std::int32_t> scale(wl.padded_np(), 0);
+  exec.newview(wl.newview_task(out.data(), scale.data()));
+  (void)exec.evaluate(wl.evaluate_task(nullptr));
+  exec.begin_compound();
+  exec.sumtable(wl.sumtable_task(sum.data()));
+  (void)exec.nr_derivatives(wl.nr_task(sum.data(), named.spec.t));
+  (void)exec.nr_derivatives(wl.nr_task(
+      sum.data(), std::min(lh::kMaxBranch, named.spec.t * 2.0)));
+  exec.end_compound();
+
+  const core::TaskTrace trace = exec.take_trace();
+  EXPECT_TRUE(cell::check_quiescent(machine).ok())
+      << named.name << "/" << core::stage_name(stage) << ":\n"
+      << cell::check_quiescent(machine).to_string();
+
+  Fingerprint fp;
+  fp.key = std::string(named.name) + "/" + core::stage_name(stage);
+  fp.segments = trace.segments.size();
+  fp.scale_events = trace.counters.scale_events;
+  fp.exp_calls = trace.counters.exp_calls;
+  fp.ppe_cycles = trace.total_ppe();
+  fp.spe_cycles = trace.total_spe();
+  for (int i = 0; i < machine.spe_count(); ++i) {
+    const cell::MfcCounters& mc = machine.spe(i).mfc().counters();
+    fp.transfers += mc.transfers;
+    fp.bytes += mc.bytes;
+    fp.stall_cycles += machine.spe(i).counters().dma_stall_cycles;
+  }
+  return fp;
+}
+
+TEST(ConformanceTrace, GoldenStageCycles) {
+  constexpr core::Stage kStages[] = {
+      core::Stage::kPpeOnly,      core::Stage::kOffloadNewview,
+      core::Stage::kFastExp,      core::Stage::kIntCond,
+      core::Stage::kDoubleBuffer, core::Stage::kVectorize,
+      core::Stage::kDirectComm,   core::Stage::kOffloadAll,
+  };
+  std::vector<Fingerprint> current;
+  for (const NamedSpec& named : golden_specs())
+    for (core::Stage stage : kStages)
+      current.push_back(run_fingerprint(named, stage));
+
+  const char* path = RXC_CONF_GOLDEN_FILE;
+  if (std::getenv("RXC_UPDATE_GOLDEN")) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << "# Golden virtual-cycle fingerprints: workload/stage, then exact\n"
+          "# scheduling facts (segments, DMA transfers/bytes, scale events,\n"
+          "# exp calls) and cycle totals (1e-9 relative).  Regenerate with\n"
+          "# RXC_UPDATE_GOLDEN=1 after an intentional cost-model change.\n";
+    for (const Fingerprint& fp : current) os << fp.serialize() << "\n";
+    SUCCEED() << "golden file regenerated at " << path;
+    return;
+  }
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is) << "missing golden file " << path
+                  << " — run with RXC_UPDATE_GOLDEN=1 to create it";
+  std::vector<Fingerprint> golden;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Fingerprint fp;
+    ASSERT_TRUE(Fingerprint::parse(line, fp)) << "bad golden line: " << line;
+    golden.push_back(fp);
+  }
+  ASSERT_EQ(golden.size(), current.size())
+      << "golden file is stale (workload/stage grid changed); regenerate "
+         "with RXC_UPDATE_GOLDEN=1";
+
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    const Fingerprint& want = golden[i];
+    const Fingerprint& got = current[i];
+    ASSERT_EQ(want.key, got.key) << "golden ordering changed at entry " << i;
+    EXPECT_EQ(want.segments, got.segments) << got.key;
+    EXPECT_EQ(want.transfers, got.transfers) << got.key;
+    EXPECT_EQ(want.bytes, got.bytes) << got.key;
+    EXPECT_EQ(want.scale_events, got.scale_events) << got.key;
+    EXPECT_EQ(want.exp_calls, got.exp_calls) << got.key;
+    EXPECT_TRUE(cycles_close(want.ppe_cycles, got.ppe_cycles))
+        << got.key << ": ppe " << want.ppe_cycles << " -> "
+        << got.ppe_cycles;
+    EXPECT_TRUE(cycles_close(want.spe_cycles, got.spe_cycles))
+        << got.key << ": spe " << want.spe_cycles << " -> "
+        << got.spe_cycles;
+    EXPECT_TRUE(cycles_close(want.stall_cycles, got.stall_cycles))
+        << got.key << ": stall " << want.stall_cycles << " -> "
+        << got.stall_cycles;
+  }
+}
+
+/// The stage progression itself is part of the contract the paper's tables
+/// document: each optimization must not make the end-to-end virtual time
+/// worse on the bread-and-butter workload.
+TEST(ConformanceTrace, StagesMonotonicallyImprove) {
+  const NamedSpec named = golden_specs().front();
+  double prev = -1.0;
+  core::Stage prev_stage = core::Stage::kPpeOnly;
+  constexpr core::Stage kStages[] = {
+      core::Stage::kPpeOnly,      core::Stage::kOffloadNewview,
+      core::Stage::kFastExp,      core::Stage::kIntCond,
+      core::Stage::kDoubleBuffer, core::Stage::kVectorize,
+      core::Stage::kDirectComm,   core::Stage::kOffloadAll,
+  };
+  for (core::Stage stage : kStages) {
+    const Fingerprint fp = run_fingerprint(named, stage);
+    const double serial = fp.ppe_cycles + fp.spe_cycles;
+    if (prev >= 0.0 && stage != core::Stage::kOffloadNewview) {
+      // The naive first offload is ALLOWED to be slower than PPE-only (the
+      // paper's Table 1 regression); every later stage must improve.
+      EXPECT_LE(serial, prev * 1.0000001)
+          << core::stage_name(stage) << " regressed vs "
+          << core::stage_name(prev_stage);
+    }
+    prev = serial;
+    prev_stage = stage;
+  }
+}
+
+}  // namespace
+}  // namespace rxc::conformance

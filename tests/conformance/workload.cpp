@@ -1,0 +1,237 @@
+#include "workload.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace rxc::conformance {
+namespace {
+
+/// Log-uniform branch length over the legal range, with the endpoints
+/// themselves drawn at elevated probability (1/8 each): the kMinBranch and
+/// kMaxBranch clamps are where Newton-Raphson bugs historically hide.
+double draw_branch(Rng& rng) {
+  const std::uint64_t roll = rng.below(8);
+  if (roll == 0) return lh::kMinBranch;
+  if (roll == 1) return lh::kMaxBranch;
+  return std::exp(
+      rng.uniform(std::log(lh::kMinBranch), std::log(lh::kMaxBranch)));
+}
+
+}  // namespace
+
+WorkloadSpec WorkloadSpec::draw(std::uint64_t seed) {
+  Rng rng(seed);
+  WorkloadSpec s;
+  s.seed = seed;
+
+  s.mode = rng.below(2) ? lh::RateMode::kGamma : lh::RateMode::kCat;
+  // CAT runs anywhere up to the paper's 25 categories; GAMMA needs >= 2 for
+  // the averaging to differ from CAT.  25 * 4 states * 8 B = 800 B/pattern
+  // keeps even a 16-pattern strip under the 16 KB DMA ceiling.
+  s.ncat = s.mode == lh::RateMode::kCat
+               ? 1 + static_cast<int>(rng.below(25))
+               : 2 + static_cast<int>(rng.below(24));
+
+  // Pattern-count classes: tiny (sub-strip), exact strip multiples, and two
+  // general ranges.  Most general draws are not multiples of the 16-pattern
+  // strip, exercising the partial final chunk on the SPE path.
+  switch (rng.below(4)) {
+    case 0: s.np = 1 + rng.below(16); break;
+    case 1: s.np = 16 * (1 + rng.below(8)); break;
+    case 2: s.np = 1 + rng.below(300); break;
+    default: s.np = 1 + rng.below(1200); break;
+  }
+
+  switch (rng.below(3)) {
+    case 0: s.tip1 = true; s.tip2 = true; break;   // tip/tip
+    case 1: s.tip1 = true; s.tip2 = false; break;  // tip/inner
+    default: s.tip1 = false; s.tip2 = false; break;
+  }
+
+  // Scaling underflow needs tiny * tiny products, which requires both
+  // newview children to be inner partials (a tip contributes O(1) terms).
+  s.underflow = rng.below(4) == 0;
+  if (s.underflow) s.tip1 = s.tip2 = false;
+
+  s.brlen1 = draw_branch(rng);
+  s.brlen2 = draw_branch(rng);
+  s.brlen = draw_branch(rng);
+  s.t = draw_branch(rng);
+  return s;
+}
+
+std::string WorkloadSpec::describe() const {
+  std::ostringstream os;
+  os << "seed=0x" << std::hex << seed << std::dec
+     << " mode=" << (mode == lh::RateMode::kCat ? "CAT" : "GAMMA")
+     << " ncat=" << ncat << " np=" << np << " children="
+     << (tip2 ? "tip/tip" : (tip1 ? "tip/inner" : "inner/inner"))
+     << " underflow=" << (underflow ? 1 : 0) << " brlen1=" << brlen1
+     << " brlen2=" << brlen2 << " brlen=" << brlen << " t=" << t;
+  return os.str();
+}
+
+Workload::Workload(const WorkloadSpec& spec) : spec_(spec) {
+  // Expansion randomness is salted off the spec seed so hand-written specs
+  // (golden traces) get deterministic buffers too.
+  std::uint64_t sm = spec_.seed ^ 0xda7a5a17ULL;
+  Rng rng(splitmix64(sm));
+
+  // Random GTR model with frequencies bounded away from zero, so the eigen
+  // decomposition stays well-conditioned.
+  std::array<double, 6> ex;
+  for (double& r : ex) r = std::exp(rng.uniform(std::log(0.25), std::log(4.0)));
+  std::array<double, 4> freqs;
+  double total = 0.0;
+  for (double& f : freqs) total += (f = rng.uniform(0.1, 1.0));
+  for (double& f : freqs) f /= total;
+  model_ = model::DnaModel::gtr(ex, freqs);
+  es_ = model::decompose(model_);
+
+  const int ncat = spec_.ncat;
+  rates_.resize(static_cast<std::size_t>(ncat));
+  for (double& r : rates_)
+    r = std::exp(rng.uniform(std::log(0.05), std::log(4.0)));
+
+  const std::size_t pnp = padded_np();
+  const std::size_t values = pnp * stride();
+
+  cat_.assign(pnp, 0);
+  if (spec_.mode == lh::RateMode::kCat)
+    for (std::size_t p = 0; p < spec_.np; ++p)
+      cat_[p] = static_cast<int>(rng.below(static_cast<std::uint64_t>(ncat)));
+
+  // Tips: any of the 15 IUPAC bitmask codes, including the full-ambiguity
+  // gap (0b1111).  Padding patterns get 'A'; the kernels never read them,
+  // but the MFC DMAs whole strips.
+  tip1_.assign(pnp, seq::DnaCode{1});
+  tip2_.assign(pnp, seq::DnaCode{1});
+  for (std::size_t p = 0; p < spec_.np; ++p) {
+    tip1_[p] = static_cast<seq::DnaCode>(1 + rng.below(15));
+    tip2_[p] = static_cast<seq::DnaCode>(1 + rng.below(15));
+  }
+
+  // Underflow patterns carry ~1e-40 values in BOTH partials: products land
+  // around 1e-80, robustly below the 2^-256 ~ 1.16e-77 threshold.  Normal
+  // patterns stay in [0.05, 1): products >= 0.0025 never rescale.  The gap
+  // between the populations keeps the scaling decision identical across
+  // every executor and summation order.
+  std::vector<bool> tiny(spec_.np, false);
+  if (spec_.underflow) {
+    bool any = false;
+    for (std::size_t p = 0; p < spec_.np; ++p)
+      any |= (tiny[p] = rng.below(2) == 0);
+    if (!any) tiny[0] = true;  // underflow workloads promise >= 1 rescale
+  }
+
+  partial1_.assign(values, 1.0);
+  partial2_.assign(values, 1.0);
+  const std::size_t st = stride();
+  for (std::size_t p = 0; p < spec_.np; ++p) {
+    for (std::size_t k = 0; k < st; ++k) {
+      const std::size_t i = p * st + k;
+      partial1_[i] = tiny[p] ? rng.uniform(0.5e-40, 2e-40)
+                             : rng.uniform(0.05, 1.0);
+      partial2_[i] = tiny[p] ? rng.uniform(0.5e-40, 2e-40)
+                             : rng.uniform(0.05, 1.0);
+    }
+  }
+
+  // Inner children always carry a scale vector (prior rescale counts 0..2);
+  // evaluate must fold these into the log-likelihood.
+  scale1_.assign(pnp, 0);
+  scale2_.assign(pnp, 0);
+  for (std::size_t p = 0; p < spec_.np; ++p) {
+    scale1_[p] = static_cast<std::int32_t>(rng.below(3));
+    scale2_[p] = static_cast<std::int32_t>(rng.below(3));
+  }
+
+  weights_.assign(pnp, 0.0);
+  for (std::size_t p = 0; p < spec_.np; ++p)
+    weights_[p] = static_cast<double>(1 + rng.below(20));
+}
+
+std::size_t Workload::stride() const {
+  return spec_.mode == lh::RateMode::kCat
+             ? 4u
+             : static_cast<std::size_t>(spec_.ncat) * 4u;
+}
+
+std::size_t Workload::padded_np() const { return round_up(spec_.np, 16); }
+
+lh::TaskContext Workload::ctx() const {
+  lh::TaskContext c;
+  c.es = &es_;
+  c.rates = rates_.data();
+  c.ncat = spec_.ncat;
+  c.cat = spec_.mode == lh::RateMode::kCat ? cat_.data() : nullptr;
+  c.mode = spec_.mode;
+  return c;
+}
+
+lh::NewviewTask Workload::newview_task(double* out,
+                                       std::int32_t* scale_out) const {
+  lh::NewviewTask t;
+  t.ctx = ctx();
+  t.brlen1 = spec_.brlen1;
+  t.brlen2 = spec_.brlen2;
+  t.np = spec_.np;
+  if (spec_.tip1) {
+    t.tip1 = tip1_.data();
+  } else {
+    t.partial1 = partial1_.data();
+    t.scale1 = scale1_.data();
+  }
+  if (spec_.tip2) {
+    t.tip2 = tip2_.data();
+  } else {
+    t.partial2 = partial2_.data();
+    t.scale2 = scale2_.data();
+  }
+  t.out = out;
+  t.scale_out = scale_out;
+  return t;
+}
+
+lh::EvaluateTask Workload::evaluate_task(double* site_lnl_out) const {
+  lh::EvaluateTask t;
+  t.ctx = ctx();
+  t.brlen = spec_.brlen;
+  t.np = spec_.np;
+  if (spec_.tip1) {
+    t.tip1 = tip1_.data();
+  } else {
+    t.partial1 = partial1_.data();
+    t.scale1 = scale1_.data();
+  }
+  t.partial2 = partial2_.data();
+  t.scale2 = scale2_.data();
+  t.weights = weights_.data();
+  t.site_lnl_out = site_lnl_out;
+  return t;
+}
+
+lh::SumtableTask Workload::sumtable_task(double* out) const {
+  lh::SumtableTask t;
+  t.ctx = ctx();
+  t.np = spec_.np;
+  if (spec_.tip1)
+    t.tip1 = tip1_.data();
+  else
+    t.partial1 = partial1_.data();
+  t.partial2 = partial2_.data();
+  t.out = out;
+  return t;
+}
+
+lh::NrTask Workload::nr_task(const double* sumtable, double t) const {
+  lh::NrTask task;
+  task.ctx = ctx();
+  task.sumtable = sumtable;
+  task.np = spec_.np;
+  task.weights = weights_.data();
+  task.t = t;
+  return task;
+}
+
+}  // namespace rxc::conformance

@@ -1,0 +1,92 @@
+#pragma once
+/// \file workload.h
+/// Seeded random kernel workloads for the differential conformance suite.
+///
+/// A WorkloadSpec is drawn deterministically from a single 64-bit seed and
+/// expands into one set of input buffers (model, rates, tips, partials,
+/// scale vectors, weights) shared by every executor under test.  The draw
+/// deliberately covers the awkward corners of the kernel contract:
+///  - pattern counts that are not multiples of the 16-pattern DMA strip
+///    granularity (including np == 1);
+///  - CAT and GAMMA rate modes with category counts up to the paper's 25;
+///  - all three child combinations (tip/tip, tip/inner, inner/inner);
+///  - branch lengths spanning the full legal range [0, kMaxBranch],
+///    including the kMinBranch and kMaxBranch endpoints;
+///  - inner partials drawn around 1e-40 so newview products land below
+///    RAxML's 2^-256 rescale threshold and force scaling events.
+///
+/// Buffers are 16-byte aligned and padded to a multiple of 16 patterns,
+/// because the simulated MFC reads whole 128-bit-aligned strips (a DMA of
+/// round_up(np, 16) tip codes is architecturally legal and must not run off
+/// the end of a host buffer).
+
+#include <cstdint>
+#include <string>
+
+#include "likelihood/executor.h"
+#include "model/dna_model.h"
+#include "seq/alignment.h"
+#include "support/aligned.h"
+#include "support/rng.h"
+
+namespace rxc::conformance {
+
+struct WorkloadSpec {
+  std::uint64_t seed = 0x5eed;
+  lh::RateMode mode = lh::RateMode::kCat;
+  int ncat = 1;
+  std::size_t np = 64;
+  bool tip1 = false;      ///< child 1 is a tip (canonical: tip first)
+  bool tip2 = false;      ///< child 2 is a tip (implies tip1)
+  bool underflow = false; ///< inner partials drawn tiny => rescale events
+  double brlen1 = 0.1;    ///< newview child branches
+  double brlen2 = 0.1;
+  double brlen = 0.1;     ///< evaluate branch
+  double t = 0.1;         ///< Newton-Raphson candidate branch
+
+  /// Fully random spec from a seed (the property-test entry point).
+  static WorkloadSpec draw(std::uint64_t seed);
+
+  /// One-line description, printed with every conformance failure.
+  std::string describe() const;
+};
+
+/// Expanded input buffers for one spec.  The same Workload instance feeds
+/// every executor of a differential pair; only output buffers differ.
+class Workload {
+public:
+  explicit Workload(const WorkloadSpec& spec);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// Doubles per pattern in partial/sumtable layouts (4 or ncat*4).
+  std::size_t stride() const;
+  /// Pattern count padded to the 16-pattern DMA strip granularity; output
+  /// buffers must hold padded_np() * stride() values (or padded_np() ints).
+  std::size_t padded_np() const;
+
+  /// Input scale vectors / weights (padded_np entries), for tests that
+  /// reason about rescale accounting directly.
+  const std::int32_t* scale1() const { return scale1_.data(); }
+  const std::int32_t* scale2() const { return scale2_.data(); }
+  const double* weights() const { return weights_.data(); }
+
+  lh::TaskContext ctx() const;
+  lh::NewviewTask newview_task(double* out, std::int32_t* scale_out) const;
+  lh::EvaluateTask evaluate_task(double* site_lnl_out) const;
+  lh::SumtableTask sumtable_task(double* out) const;
+  lh::NrTask nr_task(const double* sumtable, double t) const;
+
+private:
+  WorkloadSpec spec_;
+  model::DnaModel model_;
+  model::EigenSystem es_;
+  aligned_vector<double> rates_;
+  aligned_vector<int> cat_;
+  aligned_vector<seq::DnaCode> tip1_, tip2_;
+  aligned_vector<double> partial1_, partial2_;
+  aligned_vector<std::int32_t> scale1_, scale2_;
+  aligned_vector<double> weights_;
+};
+
+}  // namespace rxc::conformance

@@ -11,6 +11,8 @@
 #include "cell/mailbox.h"
 #include "cell/mfc.h"
 #include "cell/spu.h"
+#include "cell/fault.h"
+#include "cell/invariants.h"
 #include "cell/timeline.h"
 #include "support/aligned.h"
 #include "support/error.h"
@@ -231,4 +233,60 @@ TEST(Timeline, AcquireEarliestPicksLeastLoaded) {
   EXPECT_EQ(which, 1u);
   acquire_earliest(pool, 0.0, 1.0, &which);
   EXPECT_EQ(which, 1u);  // 4 < 10
+}
+
+// --- invariants & fault injection ---------------------------------------------
+
+TEST(Invariants, FreshSpuIsCleanAndQuiescent) {
+  CostParams params;
+  Spu spu(0, params);
+  EXPECT_TRUE(check_invariants(spu).ok());
+  EXPECT_TRUE(check_quiescent(spu).ok());
+}
+
+TEST(Invariants, QuiescenceCatchesUnwaitedDma) {
+  CostParams params;
+  Spu spu(0, params);
+  aligned_vector<double> host(256);
+  const LsAddr dst = spu.ls().alloc(2048);
+  spu.mfc().get(dst, host.data(), 2048, 5, spu.now());
+  // The transfer is in flight (completion time ahead of the SPU clock):
+  // legal hardware state, but not a clean hand-back point.
+  EXPECT_TRUE(check_invariants(spu).ok());
+  const InvariantReport rep = check_quiescent(spu);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("tag 5"), std::string::npos)
+      << rep.to_string();
+  spu.wait_dma(5);
+  EXPECT_TRUE(check_quiescent(spu).ok());
+}
+
+TEST(Invariants, ReportNamesEverySpe) {
+  CellMachine machine;
+  machine.spe(1).inbox().write(7u);
+  machine.spe(6).inbox().write(7u);
+  const InvariantReport rep = check_quiescent(machine);
+  EXPECT_EQ(rep.violations.size(), 2u) << rep.to_string();
+  EXPECT_NE(rep.to_string().find("spe1"), std::string::npos);
+  EXPECT_NE(rep.to_string().find("spe6"), std::string::npos);
+}
+
+TEST(FaultInjection, EveryFaultClassTrapsCleanly) {
+  CostParams params;
+  Spu spu(0, params);
+  for (Fault fault : kAllFaults) {
+    const FaultOutcome outcome = inject_fault(spu, fault);
+    EXPECT_TRUE(outcome.trapped) << fault_name(fault) << ": " << outcome.error;
+    EXPECT_TRUE(outcome.state_intact)
+        << fault_name(fault) << ": " << outcome.error;
+  }
+}
+
+TEST(FaultInjection, RepeatedInjectionIsIdempotent) {
+  CostParams params;
+  Spu spu(0, params);
+  for (int round = 0; round < 3; ++round)
+    for (Fault fault : kAllFaults)
+      EXPECT_TRUE(inject_fault(spu, fault).ok()) << fault_name(fault);
+  EXPECT_TRUE(check_quiescent(spu).ok());
 }
