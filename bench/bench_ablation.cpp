@@ -22,14 +22,13 @@ void llp_scaling(const seq::PatternAlignment& pa) {
   std::printf("%-8s %14s %10s\n", "ways", "vtime[s]", "speedup");
   double base = 0.0;
   for (const int ways : {1, 2, 4, 8}) {
-    cell::CellMachine machine;
-    core::SpeExecConfig cfg;
-    cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
-    cfg.llp_ways = ways;
-    core::SpeExecutor exec(machine, cfg);
+    const auto holder = lh::make_executor(
+        core::cell_executor_spec(core::Stage::kOffloadAll, ways));
+    auto& exec = core::as_cell_executor(*holder);
     const auto trace = core::execute_task(
         pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
-    const double sec = trace.serial_cycles() / machine.params().clock_hz;
+    const double sec =
+        trace.serial_cycles() / exec.machine().params().clock_hz;
     if (ways == 1) base = sec;
     std::printf("%-8d %14.3f %10.2f\n", ways, sec, base / sec);
   }
@@ -42,15 +41,15 @@ void eib_contention(const seq::PatternAlignment& pa) {
   std::printf("--- EIB contention sensitivity (per-task serial vtime) ---\n");
   std::printf("%-12s %14s\n", "factor", "vtime[s]");
   for (const double factor : {1.0, 1.25, 1.5, 2.0, 4.0}) {
-    cell::CellMachine machine;
-    core::SpeExecConfig cfg;
-    cfg.toggles = core::stage_toggles(core::Stage::kIntCond);  // no dbuf
-    cfg.eib_contention = factor;
-    core::SpeExecutor exec(machine, cfg);
+    lh::ExecutorSpec spec =
+        core::cell_executor_spec(core::Stage::kIntCond);  // no dbuf
+    spec.eib_contention = factor;
+    const auto holder = lh::make_executor(spec);
+    auto& exec = core::as_cell_executor(*holder);
     const auto trace = core::execute_task(
         pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
     std::printf("%-12.2f %14.3f\n", factor,
-                trace.serial_cycles() / machine.params().clock_hz);
+                trace.serial_cycles() / exec.machine().params().clock_hz);
   }
 }
 
@@ -93,14 +92,13 @@ void cat_vs_gamma(const seq::PatternAlignment& pa) {
     ec.alpha = 0.7;
     search::SearchOptions so;
     so.max_rounds = 2;
-    cell::CellMachine machine;
-    core::SpeExecConfig cfg;
-    cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
-    core::SpeExecutor exec(machine, cfg);
+    const auto holder = lh::make_executor(
+        core::cell_executor_spec(core::Stage::kOffloadAll));
+    auto& exec = core::as_cell_executor(*holder);
     const auto trace = core::execute_task(
         pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
     std::printf("%-22s %14.3f %14.2f\n", c.label,
-                trace.serial_cycles() / machine.params().clock_hz,
+                trace.serial_cycles() / exec.machine().params().clock_hz,
                 trace.log_likelihood);
   }
 }
@@ -117,14 +115,13 @@ void category_sweep(const seq::PatternAlignment& pa) {
     ec.categories = ncat;
     search::SearchOptions so;
     so.max_rounds = 2;
-    cell::CellMachine machine;
-    core::SpeExecConfig cfg;
-    cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
-    core::SpeExecutor exec(machine, cfg);
+    const auto holder = lh::make_executor(
+        core::cell_executor_spec(core::Stage::kOffloadAll));
+    auto& exec = core::as_cell_executor(*holder);
     const auto trace = core::execute_task(
         pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
     std::printf("%-8d %14.3f %16llu\n", ncat,
-                trace.serial_cycles() / machine.params().clock_hz,
+                trace.serial_cycles() / exec.machine().params().clock_hz,
                 static_cast<unsigned long long>(trace.counters.exp_calls));
   }
 }

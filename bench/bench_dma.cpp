@@ -27,21 +27,22 @@ int main() {
 
     for (const std::size_t strip : {512u, 1024u, 2048u, 4096u, 8192u}) {
       for (const bool dbuf : {false, true}) {
-        cell::CellMachine machine;
-        core::SpeExecConfig cfg;
-        cfg.toggles = core::stage_toggles(core::Stage::kIntCond);
-        cfg.toggles.double_buffer = dbuf;
-        cfg.strip_bytes = strip;
-        core::SpeExecutor exec(machine, cfg);
+        // kDoubleBuffer is exactly kIntCond + double buffering, so the
+        // (stage, dbuf) grid maps onto two adjacent cumulative stages.
+        lh::ExecutorSpec spec = core::cell_executor_spec(
+            dbuf ? core::Stage::kDoubleBuffer : core::Stage::kIntCond);
+        spec.strip_bytes = strip;
+        const auto holder = lh::make_executor(spec);
+        auto& exec = core::as_cell_executor(*holder);
         (void)core::execute_task(pa, ec, so, task, exec);
-        const auto& c = machine.spe(0).counters();
+        const auto& c = exec.machine().spe(0).counters();
         const double busy = c.busy_cycles / 1e6;
         const double stall = c.dma_stall_cycles / 1e6;
         std::printf("%-12zu %-8s %14.1f %14.1f %9.1f%% %12llu\n", strip,
                     dbuf ? "yes" : "no", busy, stall,
                     100.0 * stall / (busy + stall),
                     static_cast<unsigned long long>(
-                        machine.spe(0).mfc().counters().transfers));
+                        exec.machine().spe(0).mfc().counters().transfers));
       }
     }
     std::printf("[wall %.1fs]\n\n", wall.seconds());

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <thread>
 
-#include "likelihood/threaded_executor.h"
+#include "likelihood/executor.h"
 #include "search/search.h"
 #include "seq/seqgen.h"
 #include "support/stopwatch.h"
@@ -48,8 +48,13 @@ int main() {
       double base = 0.0;
       for (int threads = 1; threads <= static_cast<int>(hw); threads *= 2) {
         lh::LikelihoodEngine engine(pa, cfg);
-        lh::ThreadedExecutor exec(threads, cfg.kernels, 64);
-        engine.set_executor(&exec);
+        lh::ExecutorSpec spec;
+        spec.kind = lh::ExecutorKind::kThreaded;
+        spec.threads = threads;
+        spec.kernels = cfg.kernels;
+        spec.chunk_patterns = 64;
+        const auto exec = lh::make_executor(spec);
+        engine.set_executor(exec.get());
         Stopwatch sw;
         const auto result = search::run_search(pa, engine, so, 3);
         const double wall = sw.seconds();

@@ -5,21 +5,26 @@
 
 #include "table_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rxc::bench;
-  int rc = run_table({
-      "Table 1(a): whole application on the PPE",
-      "paper: 36.9 / 207.67 / 427.95 / 824 s",
-      rxc::core::Stage::kPpeOnly,
-      standard_rows(36.9, 207.67, 427.95, 824.0),
-  });
-  rc |= run_table({
-      "Table 1(b): newview() naively offloaded (libm exp, branchy "
-      "conditional, no double buffering, scalar, mailboxes)",
-      "paper: 106.37 / 459.16 / 915.75 / 1836.6 s (2.2-2.9x SLOWER than "
-      "the PPE)",
-      rxc::core::Stage::kOffloadNewview,
-      standard_rows(106.37, 459.16, 915.75, 1836.6),
-  });
+  JsonReport json = JsonReport::from_args(argc, argv);
+  int rc = run_table(
+      {
+          "Table 1(a): whole application on the PPE",
+          "paper: 36.9 / 207.67 / 427.95 / 824 s",
+          rxc::core::Stage::kPpeOnly,
+          standard_rows(36.9, 207.67, 427.95, 824.0),
+      },
+      &json);
+  rc |= run_table(
+      {
+          "Table 1(b): newview() naively offloaded (libm exp, branchy "
+          "conditional, no double buffering, scalar, mailboxes)",
+          "paper: 106.37 / 459.16 / 915.75 / 1836.6 s (2.2-2.9x SLOWER than "
+          "the PPE)",
+          rxc::core::Stage::kOffloadNewview,
+          standard_rows(106.37, 459.16, 915.75, 1836.6),
+      },
+      &json);
   return rc;
 }

@@ -4,11 +4,15 @@
 
 #include "table_common.h"
 
-int main() {
-  return rxc::bench::run_table({
-      "Table 2: + Cell-SDK exp() on the SPE",
-      "paper: 62.8 / 285.25 / 572.92 / 1138.5 s",
-      rxc::core::Stage::kFastExp,
-      rxc::bench::standard_rows(62.8, 285.25, 572.92, 1138.5),
-  });
+int main(int argc, char** argv) {
+  rxc::bench::JsonReport json =
+      rxc::bench::JsonReport::from_args(argc, argv);
+  return rxc::bench::run_table(
+      {
+          "Table 2: + Cell-SDK exp() on the SPE",
+          "paper: 62.8 / 285.25 / 572.92 / 1138.5 s",
+          rxc::core::Stage::kFastExp,
+          rxc::bench::standard_rows(62.8, 285.25, 572.92, 1138.5),
+      },
+      &json);
 }

@@ -5,11 +5,15 @@
 
 #include "table_common.h"
 
-int main() {
-  return rxc::bench::run_table({
-      "Table 3: + cast & vectorized scaling conditional",
-      "paper: 49.3 / 230 / 460.43 / 917.09 s",
-      rxc::core::Stage::kIntCond,
-      rxc::bench::standard_rows(49.3, 230.0, 460.43, 917.09),
-  });
+int main(int argc, char** argv) {
+  rxc::bench::JsonReport json =
+      rxc::bench::JsonReport::from_args(argc, argv);
+  return rxc::bench::run_table(
+      {
+          "Table 3: + cast & vectorized scaling conditional",
+          "paper: 49.3 / 230 / 460.43 / 917.09 s",
+          rxc::core::Stage::kIntCond,
+          rxc::bench::standard_rows(49.3, 230.0, 460.43, 917.09),
+      },
+      &json);
 }

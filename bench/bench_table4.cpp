@@ -4,11 +4,15 @@
 
 #include "table_common.h"
 
-int main() {
-  return rxc::bench::run_table({
-      "Table 4: + double-buffered 2KB strip DMA",
-      "paper: 47 / 220.92 / 441.39 / 884.47 s",
-      rxc::core::Stage::kDoubleBuffer,
-      rxc::bench::standard_rows(47.0, 220.92, 441.39, 884.47),
-  });
+int main(int argc, char** argv) {
+  rxc::bench::JsonReport json =
+      rxc::bench::JsonReport::from_args(argc, argv);
+  return rxc::bench::run_table(
+      {
+          "Table 4: + double-buffered 2KB strip DMA",
+          "paper: 47 / 220.92 / 441.39 / 884.47 s",
+          rxc::core::Stage::kDoubleBuffer,
+          rxc::bench::standard_rows(47.0, 220.92, 441.39, 884.47),
+      },
+      &json);
 }

@@ -5,11 +5,15 @@
 
 #include "table_common.h"
 
-int main() {
-  return rxc::bench::run_table({
-      "Table 5: + SIMD likelihood loops",
-      "paper: 40.9 / 195.7 / 393 / 800.9 s",
-      rxc::core::Stage::kVectorize,
-      rxc::bench::standard_rows(40.9, 195.7, 393.0, 800.9),
-  });
+int main(int argc, char** argv) {
+  rxc::bench::JsonReport json =
+      rxc::bench::JsonReport::from_args(argc, argv);
+  return rxc::bench::run_table(
+      {
+          "Table 5: + SIMD likelihood loops",
+          "paper: 40.9 / 195.7 / 393 / 800.9 s",
+          rxc::core::Stage::kVectorize,
+          rxc::bench::standard_rows(40.9, 195.7, 393.0, 800.9),
+      },
+      &json);
 }

@@ -4,11 +4,15 @@
 
 #include "table_common.h"
 
-int main() {
-  return rxc::bench::run_table({
-      "Table 6: + direct memory-to-memory signaling",
-      "paper: 39.9 / 180.46 / 357.08 / 712.2 s",
-      rxc::core::Stage::kDirectComm,
-      rxc::bench::standard_rows(39.9, 180.46, 357.08, 712.2),
-  });
+int main(int argc, char** argv) {
+  rxc::bench::JsonReport json =
+      rxc::bench::JsonReport::from_args(argc, argv);
+  return rxc::bench::run_table(
+      {
+          "Table 6: + direct memory-to-memory signaling",
+          "paper: 39.9 / 180.46 / 357.08 / 712.2 s",
+          rxc::core::Stage::kDirectComm,
+          rxc::bench::standard_rows(39.9, 180.46, 357.08, 712.2),
+      },
+      &json);
 }

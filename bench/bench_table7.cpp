@@ -5,11 +5,15 @@
 
 #include "table_common.h"
 
-int main() {
-  return rxc::bench::run_table({
-      "Table 7: + makenewz()/evaluate() offloaded (full module)",
-      "paper: 27.7 / 112.41 / 224.69 / 444.87 s",
-      rxc::core::Stage::kOffloadAll,
-      rxc::bench::standard_rows(27.7, 112.41, 224.69, 444.87),
-  });
+int main(int argc, char** argv) {
+  rxc::bench::JsonReport json =
+      rxc::bench::JsonReport::from_args(argc, argv);
+  return rxc::bench::run_table(
+      {
+          "Table 7: + makenewz()/evaluate() offloaded (full module)",
+          "paper: 27.7 / 112.41 / 224.69 / 444.87 s",
+          rxc::core::Stage::kOffloadAll,
+          rxc::bench::standard_rows(27.7, 112.41, 224.69, 444.87),
+      },
+      &json);
 }

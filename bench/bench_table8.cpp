@@ -8,10 +8,11 @@
 
 #include "table_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rxc;
   using namespace rxc::bench;
   try {
+    JsonReport json = JsonReport::from_args(argc, argv);
     Stopwatch wall;
     const auto sim = seq::make_42sc();
     const auto pa = seq::PatternAlignment::compress(sim.alignment);
@@ -29,6 +30,12 @@ int main() {
                 "speedups 1.57 / 2.67 / 2.67 / 2.65)\n");
     std::printf("%-14s %12s %12s | %10s %10s\n", "bootstraps", "mgps[s]",
                 "naive[s]", "speedup", "paper");
+    JsonWriter jw;
+    jw.begin_object()
+        .kv("table", "Table 8: MGPS dynamic multi-grain scheduling")
+        .kv("stage", core::stage_name(core::Stage::kOffloadAll))
+        .key("rows")
+        .begin_array();
     for (const Row& row : rows) {
       const TableRow tr{row.bootstraps == 1 ? 1 : 2, row.bootstraps, 0, 0};
       const double mgps =
@@ -38,7 +45,16 @@ int main() {
                                    core::SchedulerModel::kNaiveMpi, tr);
       std::printf("%-14d %12.3f %12.3f | %10.2f %10.2f\n", row.bootstraps,
                   mgps, naive, naive / mgps, row.paper_naive / row.paper_mgps);
+      jw.begin_object()
+          .kv("bootstraps", row.bootstraps)
+          .kv("mgps_s", mgps)
+          .kv("naive_s", naive)
+          .kv("speedup", naive / mgps)
+          .kv("paper_speedup", row.paper_naive / row.paper_mgps)
+          .end_object();
     }
+    jw.end_array().end_object();
+    json.emit(jw.str());
     std::printf("[wall %.1fs]\n\n", wall.seconds());
     return 0;
   } catch (const std::exception& e) {

@@ -9,12 +9,14 @@
 /// the paper's own ratio.  See EXPERIMENTS.md.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/port.h"
 #include "seq/patterns.h"
 #include "seq/seqgen.h"
+#include "support/json.h"
 #include "support/stopwatch.h"
 
 namespace rxc::bench {
@@ -44,6 +46,46 @@ struct TableSpec {
   core::SchedulerModel scheduler = core::SchedulerModel::kNaiveMpi;
 };
 
+/// `--json` / `--json=FILE` handling shared by the table benches.  When
+/// enabled, each table additionally emits one machine-readable JSON object
+/// per line (NDJSON, so binaries that print several tables stay parseable);
+/// with a FILE the lines go there instead of stdout.
+class JsonReport {
+ public:
+  static JsonReport from_args(int argc, char** argv) {
+    JsonReport r;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        r.enabled_ = true;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        r.enabled_ = true;
+        r.path_ = arg.substr(7);
+      }
+    }
+    return r;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  void emit(const std::string& line) {
+    if (!enabled_) return;
+    if (path_.empty()) {
+      std::printf("%s\n", line.c_str());
+      return;
+    }
+    std::ofstream os(path_, wrote_ ? std::ios::app : std::ios::trunc);
+    RXC_REQUIRE(os.good(), "cannot open --json file " + path_);
+    os << line << '\n';
+    wrote_ = true;
+  }
+
+ private:
+  bool enabled_ = false;
+  bool wrote_ = false;
+  std::string path_;
+};
+
 inline double run_row(const seq::PatternAlignment& pa, core::Stage stage,
                       core::SchedulerModel scheduler, const TableRow& row,
                       std::size_t trace_samples = 4) {
@@ -56,7 +98,7 @@ inline double run_row(const seq::PatternAlignment& pa, core::Stage stage,
   return core::run_on_cell(pa, cfg, tasks).virtual_seconds;
 }
 
-inline int run_table(const TableSpec& spec) {
+inline int run_table(const TableSpec& spec, JsonReport* json = nullptr) {
   try {
     rxc::Stopwatch wall;
     const auto sim = seq::make_42sc();
@@ -71,6 +113,13 @@ inline int run_table(const TableSpec& spec) {
                 "vtime[s]", "ppe-only[s]", "paper[s]", "paper-ppe[s]",
                 "ratio", "paper");
 
+    JsonWriter jw;
+    jw.begin_object()
+        .kv("table", spec.title)
+        .kv("paper_ref", spec.paper_ref)
+        .kv("stage", core::stage_name(spec.stage))
+        .key("rows")
+        .begin_array();
     for (const auto& row : spec.rows) {
       const double vsec = run_row(pa, spec.stage, spec.scheduler, row);
       const double base =
@@ -82,7 +131,19 @@ inline int run_table(const TableSpec& spec) {
       std::printf("%-22s %12.3f %12.3f | %12.2f %12.2f | %10.3f %10.3f\n",
                   label, vsec, base, row.paper_seconds, row.paper_ppe_seconds,
                   vsec / base, row.paper_seconds / row.paper_ppe_seconds);
+      jw.begin_object()
+          .kv("workers", row.workers)
+          .kv("bootstraps", row.bootstraps)
+          .kv("vtime_s", vsec)
+          .kv("ppe_only_s", base)
+          .kv("ratio", vsec / base)
+          .kv("paper_s", row.paper_seconds)
+          .kv("paper_ppe_s", row.paper_ppe_seconds)
+          .kv("paper_ratio", row.paper_seconds / row.paper_ppe_seconds)
+          .end_object();
     }
+    jw.end_array().end_object();
+    if (json) json->emit(jw.str());
     std::printf("[wall %.1fs]\n\n", wall.seconds());
     return 0;
   } catch (const std::exception& e) {

@@ -31,7 +31,8 @@
 #include "core/port.h"
 #include "io/phylip.h"
 #include "io/tree_list.h"
-#include "likelihood/threaded_executor.h"
+#include "likelihood/executor.h"
+#include "obs/obs.h"
 #include "search/checkpoint.h"
 #include "search/model_opt.h"
 #include "seq/seqgen.h"
@@ -60,6 +61,9 @@ rxc::model::DnaModel parse_model(const std::string& name,
 int main(int argc, char** argv) {
   using namespace rxc;
   try {
+    // RXC_TRACE=off|summary|json:<path> and RXC_LOG=... take effect here;
+    // the trace (wall spans + Cell virtual timeline) is flushed at exit.
+    obs::init_from_env();
     const Options opt(argc, argv);
     opt.check_known({"phylip", "fasta", "demo", "model", "mode", "categories",
                      "alpha", "inferences", "bootstraps", "seed", "radius",
@@ -155,12 +159,18 @@ int main(int argc, char** argv) {
           patterns, engine_cfg, search_opt, tasks, opt.get("checkpoint", ""));
     } else {
       const int threads = static_cast<int>(opt.get_int("threads", 1));
-      lh::ThreadedExecutor exec(threads, engine_cfg.kernels);
+      lh::ExecutorSpec spec;
+      spec.kind = threads > 1 ? lh::ExecutorKind::kThreaded
+                              : lh::ExecutorKind::kHost;
+      spec.threads = threads;
+      spec.kernels = engine_cfg.kernels;
+      const auto exec = lh::make_executor(spec);
       results.reserve(tasks.size());
       for (const auto& task : tasks) {
         results.push_back(search::run_task(patterns, engine_cfg, search_opt,
                                            task,
-                                           threads > 1 ? &exec : nullptr));
+                                           threads > 1 ? exec.get()
+                                                       : nullptr));
         std::printf("  task %zu/%zu (%s, seed %llu): lnL %.4f\n",
                     results.size(), tasks.size(),
                     task.kind == search::TaskKind::kBootstrap ? "bootstrap"

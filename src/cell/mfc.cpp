@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace rxc::cell {
+
+namespace {
+
+/// Hot-path DMA metrics (no-ops unless obs is enabled).
+void count_transfer(std::size_t bytes) {
+  static obs::Counter& transfers = obs::counter("cell.dma.transfers");
+  static obs::Counter& total = obs::counter("cell.dma.bytes");
+  static obs::Histogram& sizes = obs::histogram("cell.dma.transfer_bytes");
+  transfers.add();
+  total.add(bytes);
+  sizes.observe(static_cast<double>(bytes));
+}
+
+}  // namespace
 
 Mfc::Mfc(LocalStore& ls, const CostParams& params)
     : ls_(&ls), params_(&params) {}
@@ -49,6 +65,7 @@ void Mfc::get(LsAddr dst, const void* src, std::size_t size, int tag,
   tag_done_[tag] = std::max(tag_done_[tag], now) + transfer_cycles(size);
   ++counters_.transfers;
   counters_.bytes += size;
+  count_transfer(size);
 }
 
 void Mfc::put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now) {
@@ -58,6 +75,7 @@ void Mfc::put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now) {
   tag_done_[tag] = std::max(tag_done_[tag], now) + transfer_cycles(size);
   ++counters_.transfers;
   counters_.bytes += size;
+  count_transfer(size);
 }
 
 void Mfc::get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
@@ -73,6 +91,7 @@ void Mfc::get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
     cursor += round_up(entry.size, kDmaAlignment);
     ++counters_.transfers;
     counters_.bytes += entry.size;
+    count_transfer(entry.size);
   }
   tag_done_[tag] = done;
   ++counters_.list_transfers;
@@ -86,6 +105,8 @@ VCycles Mfc::completion(int tag) const {
 VCycles Mfc::wait(int tag, VCycles now) {
   const VCycles stall = std::max(0.0, completion(tag) - now);
   counters_.stall_cycles += stall;
+  static obs::Histogram& stalls = obs::histogram("cell.dma.stall_cycles");
+  stalls.observe(stall);
   return stall;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "seq/bootstrap.h"
 #include "support/error.h"
 #include "support/log.h"
@@ -27,6 +28,7 @@ TaskTrace execute_task(const seq::PatternAlignment& pa,
                        const search::SearchOptions& search_options,
                        const search::AnalysisTask& task,
                        SpeExecutor& executor) {
+  obs::ScopedTimer span("core.execute_task", "port");
   executor.begin_task();
   lh::LikelihoodEngine engine(pa, engine_config);
   engine.set_executor(&executor);
@@ -40,6 +42,15 @@ TaskTrace execute_task(const seq::PatternAlignment& pa,
   trace.log_likelihood = sr.log_likelihood;
   trace.newick = sr.tree.to_newick(pa.names());
   return trace;
+}
+
+TaskTrace execute_task(const seq::PatternAlignment& pa,
+                       const lh::EngineConfig& engine_config,
+                       const search::SearchOptions& search_options,
+                       const search::AnalysisTask& task,
+                       CellExecutor& executor) {
+  return execute_task(pa, engine_config, search_options, task,
+                      executor.spe());
 }
 
 int mgps_llp_ways(std::size_t remaining) {
@@ -104,6 +115,7 @@ CellRunResult run_on_cell(const seq::PatternAlignment& pa,
                           const CellRunConfig& config,
                           const std::vector<search::AnalysisTask>& tasks) {
   RXC_REQUIRE(!tasks.empty(), "run_on_cell: no tasks");
+  obs::ScopedTimer span("core.run_on_cell", "port");
   CellRunResult result;
   const std::span<const search::AnalysisTask> all(tasks);
 
@@ -135,7 +147,8 @@ CellRunResult run_on_cell(const seq::PatternAlignment& pa,
           contention_for(config.params, cell::kSpeCount),
           std::max(1, cell::kSpeCount / config.llp_ways), result);
       ScheduleConfig sc{Policy::kLlp,
-                        std::max(1, cell::kSpeCount / config.llp_ways)};
+                        std::max(1, cell::kSpeCount / config.llp_ways),
+                        config.llp_ways};
       result.schedule = schedule_traces(config.params, batch.order, sc);
       break;
     }
@@ -160,7 +173,7 @@ CellRunResult run_on_cell(const seq::PatternAlignment& pa,
             contention_for(config.params, cell::kSpeCount),
             static_cast<int>(rem), result);
         ScheduleConfig sc{ways > 1 ? Policy::kLlp : Policy::kEdtlp,
-                          static_cast<int>(rem)};
+                          static_cast<int>(rem), ways};
         const ScheduleResult tail =
             schedule_traces(config.params, batch.order, sc);
         total.makespan += tail.makespan;

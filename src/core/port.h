@@ -69,6 +69,12 @@ TaskTrace execute_task(const seq::PatternAlignment& pa,
                        const search::SearchOptions& search_options,
                        const search::AnalysisTask& task,
                        SpeExecutor& executor);
+/// Same, for the machine-owning backend make_executor builds.
+TaskTrace execute_task(const seq::PatternAlignment& pa,
+                       const lh::EngineConfig& engine_config,
+                       const search::SearchOptions& search_options,
+                       const search::AnalysisTask& task,
+                       CellExecutor& executor);
 
 /// Runs `tasks` on the simulated Cell.
 CellRunResult run_on_cell(const seq::PatternAlignment& pa,

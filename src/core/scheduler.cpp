@@ -2,27 +2,42 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "support/error.h"
 
 namespace rxc::core {
 
-ScheduleResult schedule_traces(const cell::CostParams& params,
-                               const std::vector<const TaskTrace*>& tasks,
-                               const ScheduleConfig& config) {
-  RXC_REQUIRE(config.processes >= 1, "need at least one process");
-  switch (config.policy) {
+void ScheduleConfig::validate() const {
+  RXC_REQUIRE(processes >= 1, "need at least one process");
+  RXC_REQUIRE(llp_ways >= 1 && llp_ways <= cell::kSpeCount,
+              "llp_ways must be 1.." + std::to_string(cell::kSpeCount));
+  switch (policy) {
     case Policy::kNaive:
-      RXC_REQUIRE(config.processes <= cell::kPpeThreads,
+      RXC_REQUIRE(processes <= cell::kPpeThreads,
                   "naive port: one MPI process per PPE thread");
       break;
     case Policy::kEdtlp:
-      RXC_REQUIRE(config.processes <= cell::kSpeCount,
+      RXC_REQUIRE(processes <= cell::kSpeCount,
                   "EDTLP: at most one process per SPE");
       break;
     case Policy::kLlp:
-      break;  // validated against llp_ways by the caller
+      RXC_REQUIRE(processes * llp_ways <= cell::kSpeCount,
+                  "LLP: processes * llp_ways must not exceed the SPE count "
+                  "(" +
+                      std::to_string(processes) + " * " +
+                      std::to_string(llp_ways) + " > " +
+                      std::to_string(cell::kSpeCount) + ")");
+      break;
   }
+}
+
+ScheduleResult schedule_traces(const cell::CostParams& params,
+                               const std::vector<const TaskTrace*>& tasks,
+                               const ScheduleConfig& config) {
+  config.validate();
 
   const int nproc = std::min<int>(config.processes,
                                   static_cast<int>(tasks.size()));
@@ -31,6 +46,9 @@ ScheduleResult schedule_traces(const cell::CostParams& params,
 
   const bool oversubscribed = nproc > cell::kPpeThreads;
   const double smt = nproc >= 2 ? params.ppe_smt_factor : 1.0;
+  // Virtual-timeline export: cycles -> microseconds at the machine clock.
+  const bool tracing = obs::recording();
+  const double us = 1e6 / params.clock_hz;
 
   std::vector<cell::ResourceTimeline> ppe(cell::kPpeThreads);
 
@@ -70,6 +88,8 @@ ScheduleResult schedule_traces(const cell::CostParams& params,
       continue;
     }
     const TraceSegment& seg = ps.trace->segments[ps.seg++];
+    const std::string proc_args =
+        tracing ? "{\"proc\":" + std::to_string(ps.id) + "}" : std::string();
 
     double ppe_cycles = seg.ppe_cycles * smt;
     if (seg.signaled) {
@@ -82,14 +102,44 @@ ScheduleResult schedule_traces(const cell::CostParams& params,
       }
     }
     cell::VCycles t = ps.ready;
+    cell::VCycles ppe_start = t;
     if (ppe_cycles > 0.0) {
+      std::size_t which = 0;
       const cell::VCycles start =
-          cell::acquire_earliest(ppe, t, ppe_cycles);
+          cell::acquire_earliest(ppe, t, ppe_cycles, &which);
       result.ppe_busy += ppe_cycles;
+      ppe_start = start;
       t = start + ppe_cycles;
+      if (tracing) {
+        obs::record_span(obs::Timeline::kVirtual, kernel_kind_name(seg.kind),
+                         "ppe", static_cast<int>(which), start * us,
+                         ppe_cycles * us, proc_args);
+        if (seg.signal_cycles > 0.0)
+          obs::record_span(obs::Timeline::kVirtual, "signal", "ppe-signal",
+                           static_cast<int>(which), start * us,
+                           seg.signal_cycles * smt * us, proc_args);
+      }
     }
     // The process's SPE(s) are private and therefore immediately available.
     if (seg.spe_cycles > 0.0) {
+      if (tracing) {
+        const cell::VCycles busy = seg.spe_cycles - seg.dma_stall_cycles;
+        for (int k = 0; k < seg.llp_ways; ++k) {
+          const int lane =
+              obs::kLaneSpeBase + ps.id * config.llp_ways + k;
+          if (seg.signaled && t > ppe_start)
+            obs::record_span(obs::Timeline::kVirtual, "mailbox-wait",
+                             "spe-wait", lane, ppe_start * us,
+                             (t - ppe_start) * us, proc_args);
+          obs::record_span(obs::Timeline::kVirtual,
+                           kernel_kind_name(seg.kind), "spe", lane, t * us,
+                           busy * us, proc_args);
+          if (seg.dma_stall_cycles > 0.0)
+            obs::record_span(obs::Timeline::kVirtual, "dma-stall", "spe-dma",
+                             lane, (t + busy) * us,
+                             seg.dma_stall_cycles * us, proc_args);
+        }
+      }
       t += seg.spe_cycles;
       result.spe_busy += seg.spe_cycles * seg.llp_ways;
     }
@@ -98,6 +148,10 @@ ScheduleResult schedule_traces(const cell::CostParams& params,
   }
 
   result.makespan = makespan;
+  static obs::Counter& signaled = obs::counter("sched.signaled_offloads");
+  static obs::Counter& switches = obs::counter("sched.context_switches");
+  signaled.add(result.signaled_offloads);
+  switches.add(result.context_switches);
   return result;
 }
 

@@ -35,6 +35,15 @@ struct ScheduleConfig {
   /// Concurrent processes: kNaive <= 2; kEdtlp <= 8; kLlp: processes *
   /// llp_ways <= 8.
   int processes = 2;
+  /// SPEs each process's offloaded loops span.  Must match the llp_ways the
+  /// traces were generated with (1 for kNaive/kEdtlp).
+  int llp_ways = 1;
+
+  /// Throws rxc::Error on illegal combos: processes < 1, kNaive beyond the
+  /// PPE SMT width, kEdtlp beyond the SPE count, or kLlp with
+  /// processes * llp_ways exceeding the SPE count.  Called by
+  /// schedule_traces.
+  void validate() const;
 };
 
 struct ScheduleResult {

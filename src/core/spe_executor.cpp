@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace rxc::core {
@@ -101,10 +102,12 @@ double SpeExecutor::offload_ppe_cycles(int ways) {
           : p.mailbox_signal_cycles * cfg_.mailbox_contention;
   if (in_compound_ && compound_signaled_) {
     last_offload_signaled_ = false;
+    last_signal_cycles_ = 0.0;
     return 0.0;
   }
   if (in_compound_) compound_signaled_ = true;
   last_offload_signaled_ = true;
+  last_signal_cycles_ = 2.0 * signal * ways;
   // Once all three functions are SPE-resident, calls chain on the SPE and
   // the PPE's per-call marshal/wait work collapses (§5.2.7).
   const double overhead = cfg_.toggles.offload_rest
@@ -115,7 +118,7 @@ double SpeExecutor::offload_ppe_cycles(int ways) {
 }
 
 void SpeExecutor::record(KernelKind kind, double ppe, double spe, int ways,
-                         bool signaled) {
+                         bool signaled, double dma_stall) {
   if (signaled && !cfg_.toggles.direct_comm) {
     // Functional mailbox round trip (the pre-§5.2.6 signaling path): the
     // PPE writes the command word into each cooperating SPU's inbound
@@ -133,6 +136,8 @@ void SpeExecutor::record(KernelKind kind, double ppe, double spe, int ways,
   seg.kind = kind;
   seg.ppe_cycles = ppe;
   seg.spe_cycles = spe;
+  seg.dma_stall_cycles = dma_stall;
+  seg.signal_cycles = signaled ? last_signal_cycles_ : 0.0;
   seg.llp_ways = static_cast<std::uint8_t>(ways);
   seg.signaled = signaled;
   segments_.push_back(seg);
@@ -140,7 +145,8 @@ void SpeExecutor::record(KernelKind kind, double ppe, double spe, int ways,
 
 template <class Body>
 double SpeExecutor::run_chunks(std::size_t np, std::size_t pattern_bytes,
-                               int ways, const Body& body) {
+                               int ways, const Body& body,
+                               cell::VCycles* stall_out) {
   // Chunk starts must be multiples of 16 patterns so every strip transfer
   // stays 128-bit aligned (DnaCode rows are byte-granular).
   const std::size_t quota =
@@ -153,6 +159,7 @@ double SpeExecutor::run_chunks(std::size_t np, std::size_t pattern_bytes,
       std::max<std::size_t>(16, strip_patterns / 16 * 16);
 
   double max_elapsed = 0.0;
+  VCycles max_stall = 0.0;
   for (int w = 0; w < ways; ++w) {
     const std::size_t lo = static_cast<std::size_t>(w) * quota;
     if (lo >= np) break;
@@ -160,12 +167,17 @@ double SpeExecutor::run_chunks(std::size_t np, std::size_t pattern_bytes,
     cell::Spu& spu = machine_->spe(w);
     spu.mfc().set_contention(cfg_.eib_contention);
     const VCycles start = spu.now();
+    const VCycles stall_before = spu.counters().dma_stall_cycles;
     body(spu, lo, n, strip);
     double elapsed = spu.now() - start;
     if (ways > 1) elapsed += machine_->params().llp_fork_join_cycles;
-    max_elapsed = std::max(max_elapsed, elapsed);
+    if (elapsed > max_elapsed) {
+      max_elapsed = elapsed;
+      max_stall = spu.counters().dma_stall_cycles - stall_before;
+    }
     spu.count_invocation();
   }
+  if (stall_out != nullptr) *stall_out = max_stall;
   return max_elapsed;
 }
 
@@ -219,6 +231,7 @@ double SpeExecutor::ppe_nr_cycles(const lh::NrTask& task) const {
 // --- kernel dispatch ----------------------------------------------------------
 
 void SpeExecutor::newview(const lh::NewviewTask& task) {
+  task.validate();
   if (!cfg_.toggles.offload_newview) {
     ppe_exec_.newview(task);
     counters_ += ppe_exec_.counters();
@@ -238,6 +251,7 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
                                      ? lh::ScalingCheck::kIntCast
                                      : lh::ScalingCheck::kFloatBranch;
   std::uint64_t scale_events = 0;
+  VCycles dma_stall = 0.0;
 
   const double spe = run_chunks(
       task.np, pp, cfg_.llp_ways,
@@ -266,10 +280,10 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
         for (int b = 0; b < nbuf; ++b) {
           buf[b].in1 = task.tip1 ? ls.alloc(dma_bytes(strip, 1))
                                  : ls.alloc(strip * pp);
-          buf[b].sc1 = task.scale1 ? ls.alloc(dma_bytes(strip, 4)) : 0;
+          buf[b].sc1 = task.partial1.scale ? ls.alloc(dma_bytes(strip, 4)) : 0;
           buf[b].in2 = task.tip2 ? ls.alloc(dma_bytes(strip, 1))
                                  : ls.alloc(strip * pp);
-          buf[b].sc2 = task.scale2 ? ls.alloc(dma_bytes(strip, 4)) : 0;
+          buf[b].sc2 = task.partial2.scale ? ls.alloc(dma_bytes(strip, 4)) : 0;
           buf[b].cat = ctx.cat ? ls.alloc(dma_bytes(strip, 4)) : 0;
           buf[b].out = ls.alloc(strip * pp);
           buf[b].outsc = ls.alloc(dma_bytes(strip, 4));
@@ -282,23 +296,23 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
           const Buffers& b = buf[s % nbuf];
           const int tag = static_cast<int>(s % nbuf);
           if (task.tip1) {
-            mfc.get(b.in1, task.tip1 + base, dma_bytes(cnt, 1), tag,
+            mfc.get(b.in1, task.tip1.codes + base, dma_bytes(cnt, 1), tag,
                     spu.now());
           } else {
             const std::size_t stride_d = pp / 8;
-            mfc.get(b.in1, task.partial1 + base * stride_d, cnt * pp, tag,
+            mfc.get(b.in1, task.partial1.values + base * stride_d, cnt * pp, tag,
                     spu.now());
-            mfc.get(b.sc1, task.scale1 + base, dma_bytes(cnt, 4), tag,
+            mfc.get(b.sc1, task.partial1.scale + base, dma_bytes(cnt, 4), tag,
                     spu.now());
           }
           if (task.tip2) {
-            mfc.get(b.in2, task.tip2 + base, dma_bytes(cnt, 1), tag,
+            mfc.get(b.in2, task.tip2.codes + base, dma_bytes(cnt, 1), tag,
                     spu.now());
           } else {
             const std::size_t stride_d = pp / 8;
-            mfc.get(b.in2, task.partial2 + base * stride_d, cnt * pp, tag,
+            mfc.get(b.in2, task.partial2.values + base * stride_d, cnt * pp, tag,
                     spu.now());
-            mfc.get(b.sc2, task.scale2 + base, dma_bytes(cnt, 4), tag,
+            mfc.get(b.sc2, task.partial2.scale + base, dma_bytes(cnt, 4), tag,
                     spu.now());
           }
           if (ctx.cat)
@@ -334,13 +348,13 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
           args.partial1 =
               task.tip1 ? nullptr : ls.as<const double>(b.in1, cnt * pp / 8);
           args.scale1 =
-              task.scale1 ? ls.as<const std::int32_t>(b.sc1, cnt) : nullptr;
+              task.partial1.scale ? ls.as<const std::int32_t>(b.sc1, cnt) : nullptr;
           args.tip2 =
               task.tip2 ? ls.as<const seq::DnaCode>(b.in2, cnt) : nullptr;
           args.partial2 =
               task.tip2 ? nullptr : ls.as<const double>(b.in2, cnt * pp / 8);
           args.scale2 =
-              task.scale2 ? ls.as<const std::int32_t>(b.sc2, cnt) : nullptr;
+              task.partial2.scale ? ls.as<const std::int32_t>(b.sc2, cnt) : nullptr;
           args.out = ls.as<double>(b.out, cnt * pp / 8);
           args.scale_out = ls.as<std::int32_t>(b.outsc, cnt);
           args.scaling = check;
@@ -375,19 +389,29 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
         // Drain outstanding puts.
         spu.wait_dma(2);
         spu.wait_dma(3);
-      });
+      },
+      &dma_stall);
 
   counters_.scale_events += scale_events;
   ++counters_.newview_calls;
   counters_.newview_patterns += task.np;
   counters_.pmatrix_builds += 2 * cfg_.llp_ways;
   counters_.exp_calls += 6ull * ncat * cfg_.llp_ways;
+  static obs::Counter& obs_calls = obs::counter("kernel.newview.calls");
+  static obs::Counter& obs_patterns = obs::counter("kernel.newview.patterns");
+  static obs::Counter& obs_exps = obs::counter("kernel.exp_calls");
+  static obs::Counter& obs_scales = obs::counter("kernel.scale_events");
+  obs_calls.add();
+  obs_patterns.add(task.np);
+  obs_exps.add(6ull * ncat * cfg_.llp_ways);
+  obs_scales.add(scale_events);
   const double ppe_cost = offload_ppe_cycles(cfg_.llp_ways);
   record(KernelKind::kNewview, ppe_cost, spe, cfg_.llp_ways,
-         last_offload_signaled_);
+         last_offload_signaled_, dma_stall);
 }
 
 double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
+  task.validate();
   if (!cfg_.toggles.offload_rest) {
     const double result = ppe_exec_.evaluate(task);
     counters_ += ppe_exec_.counters();
@@ -404,6 +428,7 @@ double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
   const lh::ExpFn exp_fn =
       cfg_.toggles.sdk_exp ? &lh::exp_sdk : &lh::exp_libm;
   double lnl = 0.0;
+  VCycles dma_stall = 0.0;
 
   // evaluate() is light; the port never loop-parallelizes it (ways = 1).
   const double spe = run_chunks(
@@ -421,9 +446,9 @@ double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
 
         const LsAddr in1 = task.tip1 ? ls.alloc(dma_bytes(strip, 1))
                                      : ls.alloc(strip * pp);
-        const LsAddr sc1 = task.scale1 ? ls.alloc(dma_bytes(strip, 4)) : 0;
+        const LsAddr sc1 = task.partial1.scale ? ls.alloc(dma_bytes(strip, 4)) : 0;
         const LsAddr in2 = ls.alloc(strip * pp);
-        const LsAddr sc2 = task.scale2 ? ls.alloc(dma_bytes(strip, 4)) : 0;
+        const LsAddr sc2 = task.partial2.scale ? ls.alloc(dma_bytes(strip, 4)) : 0;
         const LsAddr wts = ls.alloc(dma_bytes(strip, 8));
         const LsAddr catb = ctx.cat ? ls.alloc(dma_bytes(strip, 4)) : 0;
         const LsAddr site =
@@ -435,16 +460,16 @@ double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
           const std::size_t cnt = std::min(strip, lo + n - base);
           const std::size_t stride_d = pp / 8;
           if (task.tip1) {
-            mfc.get(in1, task.tip1 + base, dma_bytes(cnt, 1), 0, spu.now());
+            mfc.get(in1, task.tip1.codes + base, dma_bytes(cnt, 1), 0, spu.now());
           } else {
-            mfc.get(in1, task.partial1 + base * stride_d, cnt * pp, 0,
+            mfc.get(in1, task.partial1.values + base * stride_d, cnt * pp, 0,
                     spu.now());
-            mfc.get(sc1, task.scale1 + base, dma_bytes(cnt, 4), 0, spu.now());
+            mfc.get(sc1, task.partial1.scale + base, dma_bytes(cnt, 4), 0, spu.now());
           }
-          mfc.get(in2, task.partial2 + base * stride_d, cnt * pp, 0,
+          mfc.get(in2, task.partial2.values + base * stride_d, cnt * pp, 0,
                   spu.now());
-          if (task.scale2)
-            mfc.get(sc2, task.scale2 + base, dma_bytes(cnt, 4), 0, spu.now());
+          if (task.partial2.scale)
+            mfc.get(sc2, task.partial2.scale + base, dma_bytes(cnt, 4), 0, spu.now());
           mfc.get(wts, task.weights + base, dma_bytes(cnt, 8), 0, spu.now());
           if (ctx.cat)
             mfc.get(catb, ctx.cat + base, dma_bytes(cnt, 4), 0, spu.now());
@@ -461,10 +486,10 @@ double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
           args.partial1 =
               task.tip1 ? nullptr : ls.as<const double>(in1, cnt * pp / 8);
           args.scale1 =
-              task.scale1 ? ls.as<const std::int32_t>(sc1, cnt) : nullptr;
+              task.partial1.scale ? ls.as<const std::int32_t>(sc1, cnt) : nullptr;
           args.partial2 = ls.as<const double>(in2, cnt * pp / 8);
           args.scale2 =
-              task.scale2 ? ls.as<const std::int32_t>(sc2, cnt) : nullptr;
+              task.partial2.scale ? ls.as<const std::int32_t>(sc2, cnt) : nullptr;
           args.weights = ls.as<const double>(wts, cnt);
           args.site_lnl_out =
               task.site_lnl_out ? ls.as<double>(site, cnt) : nullptr;
@@ -490,17 +515,24 @@ double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
           }
         }
         spu.wait_dma(1);
-      });
+      },
+      &dma_stall);
 
   ++counters_.evaluate_calls;
   ++counters_.pmatrix_builds;
   counters_.exp_calls += 3ull * ncat;
+  static obs::Counter& obs_calls = obs::counter("kernel.evaluate.calls");
+  static obs::Counter& obs_exps = obs::counter("kernel.exp_calls");
+  obs_calls.add();
+  obs_exps.add(3ull * ncat);
   const double ppe_cost = offload_ppe_cycles(1);
-  record(KernelKind::kEvaluate, ppe_cost, spe, 1, last_offload_signaled_);
+  record(KernelKind::kEvaluate, ppe_cost, spe, 1, last_offload_signaled_,
+         dma_stall);
   return lnl;
 }
 
 void SpeExecutor::sumtable(const lh::SumtableTask& task) {
+  task.validate();
   if (!cfg_.toggles.offload_rest) {
     ppe_exec_.sumtable(task);
     counters_ += ppe_exec_.counters();
@@ -514,6 +546,7 @@ void SpeExecutor::sumtable(const lh::SumtableTask& task) {
   const int ncat = ctx.ncat;
   const bool cat_mode = ctx.mode == lh::RateMode::kCat;
   const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
+  VCycles dma_stall = 0.0;
 
   const double spe = run_chunks(
       task.np, pp, 1,
@@ -532,12 +565,12 @@ void SpeExecutor::sumtable(const lh::SumtableTask& task) {
           const std::size_t cnt = std::min(strip, lo + n - base);
           const std::size_t stride_d = pp / 8;
           if (task.tip1) {
-            mfc.get(in1, task.tip1 + base, dma_bytes(cnt, 1), 0, spu.now());
+            mfc.get(in1, task.tip1.codes + base, dma_bytes(cnt, 1), 0, spu.now());
           } else {
-            mfc.get(in1, task.partial1 + base * stride_d, cnt * pp, 0,
+            mfc.get(in1, task.partial1.values + base * stride_d, cnt * pp, 0,
                     spu.now());
           }
-          mfc.get(in2, task.partial2 + base * stride_d, cnt * pp, 0,
+          mfc.get(in2, task.partial2.values + base * stride_d, cnt * pp, 0,
                   spu.now());
           spu.wait_dma(0);
 
@@ -567,9 +600,12 @@ void SpeExecutor::sumtable(const lh::SumtableTask& task) {
           mfc.put(task.out + base * stride_d, out, cnt * pp, 1, spu.now());
         }
         spu.wait_dma(1);
-      });
+      },
+      &dma_stall);
 
   ++counters_.sumtable_calls;
+  static obs::Counter& obs_calls = obs::counter("kernel.sumtable.calls");
+  obs_calls.add();
   // If the whole sumtable (plus weights and categories) fits in the local
   // store, the offloaded makenewz keeps it there across Newton iterations.
   const std::size_t resident_bytes =
@@ -578,10 +614,12 @@ void SpeExecutor::sumtable(const lh::SumtableTask& task) {
       in_compound_ &&
       resident_bytes + 4096 < cell::kLocalStoreBytes - cell::kOffloadCodeBytes;
   const double ppe_cost = offload_ppe_cycles(1);
-  record(KernelKind::kSumtable, ppe_cost, spe, 1, last_offload_signaled_);
+  record(KernelKind::kSumtable, ppe_cost, spe, 1, last_offload_signaled_,
+         dma_stall);
 }
 
 lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
+  task.validate();
   if (!cfg_.toggles.offload_rest) {
     const lh::NrResult result = ppe_exec_.nr_derivatives(task);
     counters_ += ppe_exec_.counters();
@@ -598,6 +636,7 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
   const lh::ExpFn exp_fn =
       cfg_.toggles.sdk_exp ? &lh::exp_sdk : &lh::exp_libm;
   lh::NrResult total;
+  VCycles dma_stall = 0.0;
 
   if (sumtable_resident_) {
     // Sumtable, weights and categories are already in local store from the
@@ -625,6 +664,10 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
                    static_cast<double>(task.np));
     ++counters_.nr_calls;
     counters_.exp_calls += 3ull * ncat;
+    static obs::Counter& obs_res_calls = obs::counter("kernel.nr.calls");
+    static obs::Counter& obs_res_exps = obs::counter("kernel.exp_calls");
+    obs_res_calls.add();
+    obs_res_exps.add(3ull * ncat);
     const double resident_ppe = offload_ppe_cycles(1);
     record(KernelKind::kNrDerivatives, resident_ppe, spu.now() - start, 1,
            last_offload_signaled_);
@@ -681,14 +724,101 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
                spe_log_cycles() + p.spu_ls_cycles_per_pattern) *
               static_cast<double>(cnt));
         }
-      });
+      },
+      &dma_stall);
 
   ++counters_.nr_calls;
   counters_.exp_calls += 3ull * ncat;
+  static obs::Counter& obs_calls = obs::counter("kernel.nr.calls");
+  static obs::Counter& obs_exps = obs::counter("kernel.exp_calls");
+  obs_calls.add();
+  obs_exps.add(3ull * ncat);
   const double ppe_cost = offload_ppe_cycles(1);
   record(KernelKind::kNrDerivatives, ppe_cost, spe, 1,
-         last_offload_signaled_);
+         last_offload_signaled_, dma_stall);
   return total;
+}
+
+// --- CellExecutor: machine-owning wrapper + factory registration -------------
+
+CellExecutor::CellExecutor(SpeExecConfig config, cell::CostParams params)
+    : machine_(params), exec_(machine_, config) {}
+
+void CellExecutor::newview(const lh::NewviewTask& task) {
+  exec_.newview(task);
+  sync_counters();
+}
+
+double CellExecutor::evaluate(const lh::EvaluateTask& task) {
+  const double result = exec_.evaluate(task);
+  sync_counters();
+  return result;
+}
+
+void CellExecutor::sumtable(const lh::SumtableTask& task) {
+  exec_.sumtable(task);
+  sync_counters();
+}
+
+lh::NrResult CellExecutor::nr_derivatives(const lh::NrTask& task) {
+  const lh::NrResult result = exec_.nr_derivatives(task);
+  sync_counters();
+  return result;
+}
+
+void CellExecutor::begin_compound() { exec_.begin_compound(); }
+void CellExecutor::end_compound() { exec_.end_compound(); }
+
+void CellExecutor::reset_counters() {
+  exec_.reset_counters();
+  counters_ = {};
+}
+
+void CellExecutor::begin_task() {
+  exec_.begin_task();
+  counters_ = {};
+}
+
+TaskTrace CellExecutor::take_trace() { return exec_.take_trace(); }
+
+namespace {
+
+std::unique_ptr<lh::KernelExecutor> make_cell_executor(
+    const lh::ExecutorSpec& spec) {
+  SpeExecConfig cfg;
+  cfg.toggles = stage_toggles(static_cast<Stage>(spec.cell_stage));
+  cfg.llp_ways = spec.llp_ways;
+  cfg.eib_contention = spec.eib_contention;
+  cfg.mailbox_contention = spec.mailbox_contention;
+  cfg.strip_bytes = spec.strip_bytes;
+  return std::make_unique<CellExecutor>(cfg);
+}
+
+/// Registers the Cell backend with lh::make_executor at static-init time.
+/// Lives in this TU so any binary that references the executor (directly or
+/// through cell_executor_spec) links the registrar in.
+const bool g_cell_factory_registered = [] {
+  lh::register_executor_factory(lh::ExecutorKind::kSpe, &make_cell_executor);
+  return true;
+}();
+
+}  // namespace
+
+lh::ExecutorSpec cell_executor_spec(Stage stage, int llp_ways) {
+  (void)g_cell_factory_registered;
+  lh::ExecutorSpec spec;
+  spec.kind = lh::ExecutorKind::kSpe;
+  spec.cell_stage = static_cast<int>(stage);
+  spec.llp_ways = llp_ways;
+  return spec;
+}
+
+CellExecutor& as_cell_executor(lh::KernelExecutor& exec) {
+  auto* cell = dynamic_cast<CellExecutor*>(&exec);
+  RXC_REQUIRE(cell != nullptr,
+              "executor is not the Cell backend (build it with "
+              "make_executor(cell_executor_spec(...)))");
+  return *cell;
 }
 
 }  // namespace rxc::core

@@ -15,6 +15,7 @@
 /// reassociation across strips.  Every invocation appends a TraceSegment;
 /// the schedulers replay the trace onto machine resources.
 
+#include <memory>
 #include <vector>
 
 #include "cell/spu.h"
@@ -70,19 +71,22 @@ private:
   double spe_flop_cycles(double flops) const;
   double spe_cond_cycles() const;
   /// PPE-side signal+orchestration for one offload; 0 inside a compound
-  /// after its first signaled segment.  Sets last_offload_signaled_.
+  /// after its first signaled segment.  Sets last_offload_signaled_ and
+  /// last_signal_cycles_ (the signal component of the returned total).
   double offload_ppe_cycles(int ways);
 
-  /// Appends a segment and handles compound bookkeeping.
+  /// Appends a segment and handles compound bookkeeping.  `dma_stall` is
+  /// the critical SPE's stall time within `spe`.
   void record(KernelKind kind, double ppe, double spe, int ways,
-              bool signaled);
+              bool signaled, double dma_stall = 0.0);
 
   /// Runs `body(spu, lo, n, strip)` over pattern chunks on `ways` SPEs and
   /// returns the max per-SPE elapsed cycles.  `pattern_bytes` is the
-  /// per-pattern footprint used to derive the strip length.
+  /// per-pattern footprint used to derive the strip length.  `stall_out`,
+  /// when set, receives the DMA-stall portion of the critical SPE's time.
   template <class Body>
   double run_chunks(std::size_t np, std::size_t pattern_bytes, int ways,
-                    const Body& body);
+                    const Body& body, cell::VCycles* stall_out = nullptr);
 
   // PPE (host) execution of non-offloaded kernels, with cycle estimate.
   double ppe_newview_cycles(const lh::NewviewTask& task) const;
@@ -100,10 +104,56 @@ private:
   /// (false for compound continuations, which run SPE-side without a PPE
   /// round trip).
   bool last_offload_signaled_ = true;
+  /// Signal component of the most recent offload_ppe_cycles() result.
+  double last_signal_cycles_ = 0.0;
   /// Set when the compound's sumtable fits in local store: the offloaded
   /// makenewz keeps it resident, so Newton iterations run DMA-free (the
   /// communication saving §5.2.7 reports).
   bool sumtable_resident_ = false;
 };
+
+/// Self-contained simulated-Cell executor: owns the machine and the
+/// SpeExecutor on top of it.  This is what lh::make_executor builds for
+/// ExecutorKind::kSpe — callers that only need kernels use the
+/// KernelExecutor interface; callers that replay traces downcast and use
+/// begin_task()/take_trace().
+class CellExecutor final : public lh::KernelExecutor {
+public:
+  explicit CellExecutor(SpeExecConfig config,
+                        cell::CostParams params = cell::kDefaultCostParams);
+
+  void newview(const lh::NewviewTask& task) override;
+  double evaluate(const lh::EvaluateTask& task) override;
+  void sumtable(const lh::SumtableTask& task) override;
+  lh::NrResult nr_derivatives(const lh::NrTask& task) override;
+  void begin_compound() override;
+  void end_compound() override;
+  void reset_counters() override;
+
+  void begin_task();
+  TaskTrace take_trace();
+
+  cell::CellMachine& machine() { return machine_; }
+  SpeExecutor& spe() { return exec_; }
+
+private:
+  /// Mirrors the inner executor's counters into counters_ so the
+  /// non-virtual KernelExecutor::counters() accessor stays truthful.
+  void sync_counters() { counters_ = exec_.counters(); }
+
+  cell::CellMachine machine_;
+  SpeExecutor exec_;
+};
+
+/// Spec for a simulated-Cell executor at `stage` — the idiomatic way to ask
+/// make_executor for the Cell backend.  Referencing this helper also pins
+/// this translation unit into the link, which is what registers the kSpe
+/// factory with lh::make_executor.
+lh::ExecutorSpec cell_executor_spec(Stage stage, int llp_ways = 1);
+
+/// Downcast to the Cell backend for machine-level access (counters,
+/// invariants, trace replay) on executors built via make_executor.  Throws
+/// rxc::Error when `exec` is not a CellExecutor.
+CellExecutor& as_cell_executor(lh::KernelExecutor& exec);
 
 }  // namespace rxc::core

@@ -30,12 +30,30 @@ struct TraceSegment {
   /// SPE-side cycles for this invocation: busy + DMA stalls.  Zero when the
   /// kernel ran on the PPE.  Under LLP this is the per-SPE maximum.
   cell::VCycles spe_cycles = 0.0;
+  /// Portion of spe_cycles the critical SPE spent stalled on DMA waits
+  /// (zero under perfect double buffering).  The trace exporter renders it
+  /// as a distinct sub-span so stalls are visible in the timeline.
+  cell::VCycles dma_stall_cycles = 0.0;
+  /// Portion of ppe_cycles spent in the signaling round trip (mailbox or
+  /// direct memory-to-memory); zero for unsignaled segments.
+  cell::VCycles signal_cycles = 0.0;
   /// SPEs that cooperated on this invocation (1 = plain offload).
   std::uint8_t llp_ways = 1;
   /// True when this invocation was signaled individually (false inside a
   /// makenewz compound, which signals once).
   bool signaled = true;
 };
+
+/// Display name for one kernel kind (trace spans, reports).
+constexpr const char* kernel_kind_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kNewview: return "newview";
+    case KernelKind::kEvaluate: return "evaluate";
+    case KernelKind::kSumtable: return "sumtable";
+    case KernelKind::kNrDerivatives: return "nr_derivatives";
+  }
+  return "?";
+}
 
 /// Virtual-time breakdown per kernel kind (the simulator's analogue of the
 /// paper's gprof profile: newview 76.8%, makenewz 19.2%, evaluate 2.4%).

@@ -4,9 +4,22 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/recorder.h"
 #include "support/error.h"
 
 namespace rxc::lh {
+
+void EngineConfig::validate() const {
+  RXC_REQUIRE(categories >= 1 && categories <= kMaxRateCategories,
+              "engine config: categories must be in [1, " +
+                  std::to_string(kMaxRateCategories) + "], got " +
+                  std::to_string(categories));
+  RXC_REQUIRE(mode != RateMode::kGamma || alpha > 0.0,
+              "engine config: Gamma shape alpha must be positive");
+  model.validate();
+}
 
 LikelihoodEngine::LikelihoodEngine(const seq::PatternAlignment& pa,
                                    EngineConfig config)
@@ -17,7 +30,8 @@ LikelihoodEngine::LikelihoodEngine(const seq::PatternAlignment& pa,
       exec_(&host_exec_),
       np_(pa.pattern_count()),
       scale_stride_(round_up(pa.pattern_count(), 4)) {
-  RXC_REQUIRE(cfg_.categories >= 1, "need at least one rate category");
+  cfg_.validate();
+  obs::init_from_env();
   weights_.assign(round_up(np_, 2), 0.0);
   std::copy(pa.weights().begin(), pa.weights().end(), weights_.begin());
   if (cfg_.mode == RateMode::kCat) {
@@ -79,11 +93,10 @@ LikelihoodEngine::ChildRef LikelihoodEngine::child_ref(int child_node,
                                                        int edge) {
   ChildRef ref;
   if (tree_->is_tip(child_node)) {
-    ref.tip = pa_->row(child_node);
+    ref.tip.codes = pa_->row(child_node);
   } else {
     const int dir = tree_->dir_index(child_node, edge);
-    ref.partial = partial_ptr(dir);
-    ref.scale = scale_ptr(dir);
+    ref.partial = {partial_ptr(dir), scale_ptr(dir)};
   }
   return ref;
 }
@@ -118,18 +131,23 @@ void LikelihoodEngine::compute_partial(int dir) {
   const ChildRef c2 = child_ref(child_node[1], child_edge[1]);
   task.tip1 = c1.tip;
   task.partial1 = c1.partial;
-  task.scale1 = c1.scale;
   task.tip2 = c2.tip;
   task.partial2 = c2.partial;
-  task.scale2 = c2.scale;
   task.out = partial_ptr(dir);
   task.scale_out = scale_ptr(dir);
+  static obs::Counter& misses = obs::counter("engine.partial.misses");
+  misses.add();
   exec_->newview(task);
   valid_[dir] = 1;
 }
 
 void LikelihoodEngine::ensure_partial(int dir) {
   RXC_ASSERT(tree_ != nullptr);
+  static obs::Counter& hits = obs::counter("engine.partial.hits");
+  if (valid_[dir]) {
+    hits.add();
+    return;
+  }
   std::vector<int> stack{dir};
   while (!stack.empty()) {
     const int d = stack.back();
@@ -165,17 +183,15 @@ double LikelihoodEngine::evaluate(int edge) {
   task.brlen = tree_->branch_length(edge);
   task.np = np_;
   if (tree_->is_tip(u)) {
-    task.tip1 = pa_->row(u);
+    task.tip1.codes = pa_->row(u);
   } else {
     const int du = tree_->dir_index(u, edge);
     ensure_partial(du);
-    task.partial1 = partial_ptr(du);
-    task.scale1 = scale_ptr(du);
+    task.partial1 = {partial_ptr(du), scale_ptr(du)};
   }
   const int dv = tree_->dir_index(v, edge);
   ensure_partial(dv);
-  task.partial2 = partial_ptr(dv);
-  task.scale2 = scale_ptr(dv);
+  task.partial2 = {partial_ptr(dv), scale_ptr(dv)};
   task.weights = weights_.data();
   return exec_->evaluate(task);
 }
@@ -199,17 +215,15 @@ std::vector<double> LikelihoodEngine::site_log_likelihoods(int edge) {
   task.brlen = tree_->branch_length(edge);
   task.np = np_;
   if (tree_->is_tip(u)) {
-    task.tip1 = pa_->row(u);
+    task.tip1.codes = pa_->row(u);
   } else {
     const int du = tree_->dir_index(u, edge);
     ensure_partial(du);
-    task.partial1 = partial_ptr(du);
-    task.scale1 = scale_ptr(du);
+    task.partial1 = {partial_ptr(du), scale_ptr(du)};
   }
   const int dv = tree_->dir_index(v, edge);
   ensure_partial(dv);
-  task.partial2 = partial_ptr(dv);
-  task.scale2 = scale_ptr(dv);
+  task.partial2 = {partial_ptr(dv), scale_ptr(dv)};
   task.weights = weights_.data();
   task.site_lnl_out = site_scratch_.data();
   exec_->evaluate(task);
@@ -225,15 +239,15 @@ void LikelihoodEngine::prepare_branch(int edge) {
   st.ctx = context();
   st.np = np_;
   if (tree_->is_tip(u)) {
-    st.tip1 = pa_->row(u);
+    st.tip1.codes = pa_->row(u);
   } else {
     const int du = tree_->dir_index(u, edge);
     ensure_partial(du);
-    st.partial1 = partial_ptr(du);
+    st.partial1.values = partial_ptr(du);
   }
   const int dv = tree_->dir_index(v, edge);
   ensure_partial(dv);
-  st.partial2 = partial_ptr(dv);
+  st.partial2.values = partial_ptr(dv);
   const std::size_t st_size =
       cfg_.mode == RateMode::kCat
           ? np_ * 4
@@ -326,6 +340,7 @@ double LikelihoodEngine::optimize_branch(int edge, int max_iterations) {
 
 double LikelihoodEngine::optimize_all_branches(int max_passes,
                                                double epsilon) {
+  obs::ScopedTimer span("engine.optimize_all_branches", "engine");
   double prev = log_likelihood();
   for (int pass = 0; pass < max_passes; ++pass) {
     for (std::size_t e = 0; e < tree_->edge_slots(); ++e)
@@ -343,6 +358,7 @@ double LikelihoodEngine::optimize_all_branches(int max_passes,
 void LikelihoodEngine::assign_cat_categories() {
   RXC_REQUIRE(cfg_.mode == RateMode::kCat,
               "assign_cat_categories requires CAT mode");
+  obs::ScopedTimer span("engine.assign_cat_categories", "engine");
   // Score every pattern under every palette rate by forcing all patterns
   // into category c and reading site log-likelihoods.
   int eval_edge = -1;
@@ -421,38 +437,34 @@ double LikelihoodEngine::score_insertion(const tree::Tree::PruneRecord& rec,
 
   ChildRef moved;
   if (tree_->is_tip(rec.s)) {
-    moved.tip = pa_->row(rec.s);
+    moved.tip.codes = pa_->row(rec.s);
   } else {
     const int ds = tree_->dir_index(rec.s, edge_xs);
     ensure_partial(ds);
-    moved.partial = partial_ptr(ds);
-    moved.scale = scale_ptr(ds);
+    moved.partial = {partial_ptr(ds), scale_ptr(ds)};
   }
   ChildRef cside = [&]() -> ChildRef {
     ChildRef ref;
     if (tree_->is_tip(c)) {
-      ref.tip = pa_->row(c);
+      ref.tip.codes = pa_->row(c);
     } else {
       const int dc = tree_->dir_index(c, target_edge);
       ensure_partial(dc);
-      ref.partial = partial_ptr(dc);
-      ref.scale = scale_ptr(dc);
+      ref.partial = {partial_ptr(dc), scale_ptr(dc)};
     }
     return ref;
   }();
 
   // Canonical order: tip child first.
-  const bool moved_first = moved.tip != nullptr || cside.tip == nullptr;
+  const bool moved_first = static_cast<bool>(moved.tip) || !cside.tip;
   const ChildRef& first = moved_first ? moved : cside;
   const ChildRef& second = moved_first ? cside : moved;
   task.brlen1 = moved_first ? tree_->branch_length(edge_xs) : half;
   task.brlen2 = moved_first ? half : tree_->branch_length(edge_xs);
   task.tip1 = first.tip;
   task.partial1 = first.partial;
-  task.scale1 = first.scale;
   task.tip2 = second.tip;
   task.partial2 = second.partial;
-  task.scale2 = second.scale;
   task.out = partial_ptr(scratch);
   task.scale_out = scale_ptr(scratch);
   exec_->newview(task);
@@ -463,15 +475,13 @@ double LikelihoodEngine::score_insertion(const tree::Tree::PruneRecord& rec,
   ev.brlen = half;
   ev.np = np_;
   if (tree_->is_tip(d)) {
-    ev.tip1 = pa_->row(d);
+    ev.tip1.codes = pa_->row(d);
   } else {
     const int dd = tree_->dir_index(d, target_edge);
     ensure_partial(dd);
-    ev.partial1 = partial_ptr(dd);
-    ev.scale1 = scale_ptr(dd);
+    ev.partial1 = {partial_ptr(dd), scale_ptr(dd)};
   }
-  ev.partial2 = partial_ptr(scratch);
-  ev.scale2 = scale_ptr(scratch);
+  ev.partial2 = {partial_ptr(scratch), scale_ptr(scratch)};
   ev.weights = weights_.data();
   return exec_->evaluate(ev);
 }

@@ -34,6 +34,11 @@ struct EngineConfig {
   double alpha = 1.0;
   /// Kernel knobs for the built-in host executor (stages II/III/V).
   KernelConfig kernels;
+
+  /// Throws rxc::Error on illegal combos (categories outside
+  /// [1, kMaxRateCategories], non-positive Gamma shape).  Called from the
+  /// LikelihoodEngine constructor, so an engine never exists misconfigured.
+  void validate() const;
 };
 
 class LikelihoodEngine {
@@ -157,9 +162,8 @@ private:
   /// Fills task child fields for the subtree behind directed edge
   /// (child_node -> parent), canonicalizing tips.
   struct ChildRef {
-    const seq::DnaCode* tip = nullptr;
-    const double* partial = nullptr;
-    const std::int32_t* scale = nullptr;
+    TipView tip;
+    PartialView partial;
   };
   ChildRef child_ref(int child_node, int edge);
 

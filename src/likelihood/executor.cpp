@@ -1,8 +1,73 @@
 #include "likelihood/executor.h"
 
+#include <mutex>
+
+#include "likelihood/threaded_executor.h"
+#include "obs/obs.h"
 #include "support/error.h"
 
 namespace rxc::lh {
+
+// --- task validation --------------------------------------------------------
+
+void TaskContext::validate() const {
+  RXC_REQUIRE(es != nullptr, "task: missing eigensystem");
+  RXC_REQUIRE(rates != nullptr, "task: missing category rates");
+  RXC_REQUIRE(ncat >= 1 && ncat <= kMaxRateCategories,
+              "task: ncat must be in [1, " +
+                  std::to_string(kMaxRateCategories) + "], got " +
+                  std::to_string(ncat));
+  RXC_REQUIRE(mode != RateMode::kGamma || cat == nullptr,
+              "task: per-pattern categories are a CAT-mode concept; the "
+              "GAMMA kernels would silently ignore them");
+}
+
+namespace {
+
+/// Exactly one of tip/partial must be populated for a newview/evaluate
+/// child slot.
+void check_child(const TipView& tip, const PartialView& partial,
+                 const char* which) {
+  RXC_REQUIRE(static_cast<bool>(tip) != static_cast<bool>(partial),
+              std::string("task: child ") + which +
+                  " must be exactly one of tip or partial");
+}
+
+}  // namespace
+
+void NewviewTask::validate() const {
+  ctx.validate();
+  RXC_REQUIRE(np > 0, "newview: empty pattern range");
+  check_child(tip1, partial1, "1");
+  check_child(tip2, partial2, "2");
+  RXC_REQUIRE(out != nullptr && scale_out != nullptr,
+              "newview: missing output buffers");
+}
+
+void EvaluateTask::validate() const {
+  ctx.validate();
+  RXC_REQUIRE(np > 0, "evaluate: empty pattern range");
+  check_child(tip1, partial1, "1");
+  RXC_REQUIRE(static_cast<bool>(partial2), "evaluate: side 2 must be inner");
+  RXC_REQUIRE(weights != nullptr, "evaluate: missing pattern weights");
+}
+
+void SumtableTask::validate() const {
+  ctx.validate();
+  RXC_REQUIRE(np > 0, "sumtable: empty pattern range");
+  check_child(tip1, partial1, "1");
+  RXC_REQUIRE(static_cast<bool>(partial2), "sumtable: side 2 must be inner");
+  RXC_REQUIRE(out != nullptr, "sumtable: missing output buffer");
+}
+
+void NrTask::validate() const {
+  ctx.validate();
+  RXC_REQUIRE(np > 0, "nr_derivatives: empty pattern range");
+  RXC_REQUIRE(sumtable != nullptr && weights != nullptr,
+              "nr_derivatives: missing sumtable/weights");
+}
+
+// --- host executor ----------------------------------------------------------
 
 HostExecutor::HostExecutor(KernelConfig config) : config_(config) {}
 
@@ -13,13 +78,15 @@ double* HostExecutor::pmat_scratch(int ncat) {
 }
 
 void HostExecutor::newview(const NewviewTask& task) {
+  task.validate();
   const auto& ctx = task.ctx;
   double* pm = pmat_scratch(ctx.ncat);
   double* pm2 = pm + static_cast<std::size_t>(ctx.ncat) * 16;
-  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
-                                         task.brlen1, config_.exp_fn, pm);
-  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
-                                         task.brlen2, config_.exp_fn, pm2);
+  std::uint64_t exp_calls = build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
+                                            task.brlen1, config_.exp_fn, pm);
+  exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat, task.brlen2,
+                               config_.exp_fn, pm2);
+  counters_.exp_calls += exp_calls;
   counters_.pmatrix_builds += 2;
 
   NewviewArgs args;
@@ -28,12 +95,12 @@ void HostExecutor::newview(const NewviewTask& task) {
   args.ncat = ctx.ncat;
   args.cat = ctx.cat;
   args.np = task.np;
-  args.tip1 = task.tip1;
-  args.partial1 = task.partial1;
-  args.scale1 = task.scale1;
-  args.tip2 = task.tip2;
-  args.partial2 = task.partial2;
-  args.scale2 = task.scale2;
+  args.tip1 = task.tip1.codes;
+  args.partial1 = task.partial1.values;
+  args.scale1 = task.partial1.scale;
+  args.tip2 = task.tip2.codes;
+  args.partial2 = task.partial2.values;
+  args.scale2 = task.partial2.scale;
   args.out = task.out;
   args.scale_out = task.scale_out;
   args.scaling = config_.scaling;
@@ -48,13 +115,24 @@ void HostExecutor::newview(const NewviewTask& task) {
   counters_.scale_events += scale_events;
   ++counters_.newview_calls;
   counters_.newview_patterns += task.np;
+
+  static obs::Counter& calls = obs::counter("kernel.newview.calls");
+  static obs::Counter& patterns = obs::counter("kernel.newview.patterns");
+  static obs::Counter& exps = obs::counter("kernel.exp_calls");
+  static obs::Counter& scales = obs::counter("kernel.scale_events");
+  calls.add();
+  patterns.add(task.np);
+  exps.add(exp_calls);
+  scales.add(scale_events);
 }
 
 double HostExecutor::evaluate(const EvaluateTask& task) {
+  task.validate();
   const auto& ctx = task.ctx;
   double* pm = pmat_scratch(ctx.ncat);
-  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
-                                         task.brlen, config_.exp_fn, pm);
+  const std::uint64_t exp_calls = build_pmatrices(
+      *ctx.es, ctx.rates, ctx.ncat, task.brlen, config_.exp_fn, pm);
+  counters_.exp_calls += exp_calls;
   ++counters_.pmatrix_builds;
 
   EvaluateArgs args;
@@ -63,30 +141,37 @@ double HostExecutor::evaluate(const EvaluateTask& task) {
   args.ncat = ctx.ncat;
   args.cat = ctx.cat;
   args.np = task.np;
-  args.tip1 = task.tip1;
-  args.partial1 = task.partial1;
-  args.scale1 = task.scale1;
-  args.partial2 = task.partial2;
-  args.scale2 = task.scale2;
+  args.tip1 = task.tip1.codes;
+  args.partial1 = task.partial1.values;
+  args.scale1 = task.partial1.scale;
+  args.partial2 = task.partial2.values;
+  args.scale2 = task.partial2.scale;
   args.weights = task.weights;
   args.site_lnl_out = task.site_lnl_out;
 
   ++counters_.evaluate_calls;
+  static obs::Counter& calls = obs::counter("kernel.evaluate.calls");
+  static obs::Counter& exps = obs::counter("kernel.exp_calls");
+  calls.add();
+  exps.add(exp_calls);
   if (ctx.mode == RateMode::kCat)
     return config_.simd ? evaluate_cat_simd(args) : evaluate_cat(args);
   return config_.simd ? evaluate_gamma_simd(args) : evaluate_gamma(args);
 }
 
 void HostExecutor::sumtable(const SumtableTask& task) {
+  task.validate();
   SumtableArgs args;
   args.es = task.ctx.es;
   args.ncat = task.ctx.ncat;
   args.np = task.np;
-  args.tip1 = task.tip1;
-  args.partial1 = task.partial1;
-  args.partial2 = task.partial2;
+  args.tip1 = task.tip1.codes;
+  args.partial1 = task.partial1.values;
+  args.partial2 = task.partial2.values;
   args.out = task.out;
   ++counters_.sumtable_calls;
+  static obs::Counter& calls = obs::counter("kernel.sumtable.calls");
+  calls.add();
   if (task.ctx.mode == RateMode::kCat) {
     config_.simd ? make_sumtable_cat_simd(args) : make_sumtable_cat(args);
   } else {
@@ -96,6 +181,7 @@ void HostExecutor::sumtable(const SumtableTask& task) {
 }
 
 NrResult HostExecutor::nr_derivatives(const NrTask& task) {
+  task.validate();
   NrArgs args;
   args.sumtable = task.sumtable;
   args.lambda = task.ctx.es->lambda.data();
@@ -111,7 +197,82 @@ NrResult HostExecutor::nr_derivatives(const NrTask& task) {
                               ? nr_derivatives_cat(args)
                               : nr_derivatives_gamma(args);
   counters_.exp_calls += result.exp_calls;
+  static obs::Counter& calls = obs::counter("kernel.nr.calls");
+  static obs::Counter& exps = obs::counter("kernel.exp_calls");
+  calls.add();
+  exps.add(result.exp_calls);
   return result;
+}
+
+// --- factory ----------------------------------------------------------------
+
+void ExecutorSpec::validate() const {
+  switch (kind) {
+    case ExecutorKind::kHost:
+      break;
+    case ExecutorKind::kThreaded:
+      RXC_REQUIRE(threads >= 1, "executor spec: threads must be >= 1");
+      RXC_REQUIRE(chunk_patterns >= 1,
+                  "executor spec: chunk_patterns must be >= 1");
+      break;
+    case ExecutorKind::kSpe:
+      RXC_REQUIRE(cell_stage >= 0 && cell_stage <= 7,
+                  "executor spec: cell_stage must be a Stage ordinal 0..7");
+      RXC_REQUIRE(llp_ways >= 1 && llp_ways <= 8,
+                  "executor spec: llp_ways must be 1..8");
+      RXC_REQUIRE(strip_bytes >= 256,
+                  "executor spec: strip buffer too small (< 256 bytes)");
+      RXC_REQUIRE(eib_contention >= 1.0 && mailbox_contention >= 1.0,
+                  "executor spec: contention factors must be >= 1");
+      break;
+  }
+}
+
+namespace {
+
+struct FactoryRegistry {
+  std::mutex mutex;
+  ExecutorFactory factories[3] = {nullptr, nullptr, nullptr};
+};
+
+FactoryRegistry& factory_registry() {
+  static FactoryRegistry* r = new FactoryRegistry;
+  return *r;
+}
+
+}  // namespace
+
+void register_executor_factory(ExecutorKind kind, ExecutorFactory factory) {
+  FactoryRegistry& r = factory_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.factories[static_cast<int>(kind)] = factory;
+}
+
+std::unique_ptr<KernelExecutor> make_executor(const ExecutorSpec& spec) {
+  // The factory is the one construction chokepoint, so picking up
+  // RXC_TRACE/RXC_LOG here makes every executor-using binary observable
+  // without its own wiring (the engine constructor covers the rest).
+  obs::init_from_env();
+  spec.validate();
+  switch (spec.kind) {
+    case ExecutorKind::kHost:
+      return std::make_unique<HostExecutor>(spec.kernels);
+    case ExecutorKind::kThreaded:
+      return std::make_unique<ThreadedExecutor>(spec.threads, spec.kernels,
+                                                spec.chunk_patterns);
+    case ExecutorKind::kSpe:
+      break;
+  }
+  ExecutorFactory factory;
+  {
+    FactoryRegistry& r = factory_registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    factory = r.factories[static_cast<int>(spec.kind)];
+  }
+  RXC_REQUIRE(factory != nullptr,
+              "make_executor: no backend registered for this kind (link "
+              "rxc_core for the simulated-Cell executor)");
+  return factory(spec);
 }
 
 }  // namespace rxc::lh

@@ -14,14 +14,24 @@
 /// Tasks carry branch lengths rather than prebuilt transition matrices:
 /// the matrices are built inside the invocation (the paper's "first loop",
 /// where exp() lives), so the executor owns that cost.
+///
+/// Executors are constructed through make_executor(ExecutorSpec); backends
+/// living above this library (the simulated-Cell executor in core/)
+/// register themselves via register_executor_factory, so examples, benches
+/// and tests share one construction path.
 
 #include <cstdint>
+#include <memory>
 
 #include "likelihood/kernels.h"
 #include "model/dna_model.h"
 #include "support/aligned.h"
 
 namespace rxc::lh {
+
+/// RAxML's CAT palette ceiling (the paper's exp-call count implies 25);
+/// also the GAMMA quadrature bound we accept.
+inline constexpr int kMaxRateCategories = 25;
 
 /// Shared rate/model context for one task.
 struct TaskContext {
@@ -30,42 +40,67 @@ struct TaskContext {
   int ncat = 1;
   const int* cat = nullptr;       ///< per-pattern categories (CAT) or null
   RateMode mode = RateMode::kCat;
+
+  /// Throws rxc::Error on illegal combos (missing model, ncat out of
+  /// [1, kMaxRateCategories], per-pattern `cat` under GAMMA — which the
+  /// kernels would silently ignore).
+  void validate() const;
 };
 
+/// A partial-likelihood strip together with its per-pattern rescale counts.
+/// Kernels that don't consume scale counts (sumtable) leave `scale` null.
+struct PartialView {
+  const double* values = nullptr;
+  const std::int32_t* scale = nullptr;
+
+  explicit operator bool() const { return values != nullptr; }
+};
+
+/// A tip row: per-pattern IUPAC bitmask codes.
+struct TipView {
+  const seq::DnaCode* codes = nullptr;
+
+  explicit operator bool() const { return codes != nullptr; }
+};
+
+/// Each newview child is EITHER a tip or an inner partial; the matching
+/// view is set and the other left empty.  validate() enforces this.
 struct NewviewTask {
   TaskContext ctx;
   double brlen1 = 0.0, brlen2 = 0.0;
   std::size_t np = 0;
-  const seq::DnaCode* tip1 = nullptr;
-  const double* partial1 = nullptr;
-  const std::int32_t* scale1 = nullptr;
-  const seq::DnaCode* tip2 = nullptr;
-  const double* partial2 = nullptr;
-  const std::int32_t* scale2 = nullptr;
+  TipView tip1;
+  PartialView partial1;
+  TipView tip2;
+  PartialView partial2;
   double* out = nullptr;
   std::int32_t* scale_out = nullptr;
+
+  void validate() const;
 };
 
 struct EvaluateTask {
   TaskContext ctx;
   double brlen = 0.0;
   std::size_t np = 0;
-  const seq::DnaCode* tip1 = nullptr;
-  const double* partial1 = nullptr;
-  const std::int32_t* scale1 = nullptr;
-  const double* partial2 = nullptr;
-  const std::int32_t* scale2 = nullptr;
+  TipView tip1;          ///< side 1: tip or ...
+  PartialView partial1;  ///< ... inner partial
+  PartialView partial2;  ///< side 2 is always inner
   const double* weights = nullptr;
-  double* site_lnl_out = nullptr;
+  double* site_lnl_out = nullptr;  ///< optional per-pattern output
+
+  void validate() const;
 };
 
 struct SumtableTask {
   TaskContext ctx;
   std::size_t np = 0;
-  const seq::DnaCode* tip1 = nullptr;
-  const double* partial1 = nullptr;
-  const double* partial2 = nullptr;
+  TipView tip1;
+  PartialView partial1;  ///< scale counts unused (they cancel in d1/d2)
+  PartialView partial2;
   double* out = nullptr;
+
+  void validate() const;
 };
 
 struct NrTask {
@@ -74,6 +109,8 @@ struct NrTask {
   std::size_t np = 0;
   const double* weights = nullptr;
   double t = 0.0;
+
+  void validate() const;
 };
 
 class KernelExecutor {
@@ -92,7 +129,9 @@ public:
   virtual void end_compound() {}
 
   const KernelCounters& counters() const { return counters_; }
-  void reset_counters() { counters_ = {}; }
+  /// Virtual so delegating executors (core::CellExecutor) can forward the
+  /// reset to the executor they wrap.
+  virtual void reset_counters() { counters_ = {}; }
 
 protected:
   KernelCounters counters_;
@@ -119,5 +158,48 @@ private:
   KernelConfig config_;
   aligned_vector<double> pmat_;
 };
+
+// --- construction ----------------------------------------------------------
+
+enum class ExecutorKind {
+  kHost,      ///< HostExecutor: direct, single-threaded
+  kThreaded,  ///< ThreadedExecutor: chunked loop-level thread pool
+  kSpe,       ///< simulated-Cell executor (registered by core/)
+};
+
+/// Everything needed to build any executor backend.  Host/threaded knobs
+/// are interpreted here; the Cell knobs are interpreted by the backend
+/// core/spe_executor.cpp registers (cell_stage is a core::Stage ordinal —
+/// kept as int so this header stays below core in the layering).
+struct ExecutorSpec {
+  ExecutorKind kind = ExecutorKind::kHost;
+  /// Host-side kernel knobs (kHost, kThreaded).
+  KernelConfig kernels;
+  /// kThreaded: worker count and loop-split granularity.
+  int threads = 1;
+  std::size_t chunk_patterns = 64;
+  /// kSpe: cumulative optimization stage (core::Stage ordinal 0..7,
+  /// default offload-all) and simulation knobs.
+  int cell_stage = 7;
+  int llp_ways = 1;
+  double eib_contention = 1.0;
+  double mailbox_contention = 1.0;
+  std::size_t strip_bytes = 2048;
+
+  /// Throws rxc::Error on out-of-range knobs for the selected kind.
+  void validate() const;
+};
+
+using ExecutorFactory =
+    std::unique_ptr<KernelExecutor> (*)(const ExecutorSpec&);
+
+/// Backends outside this library register their constructor here (the Cell
+/// executor does so from a static registrar in core/spe_executor.cpp).
+void register_executor_factory(ExecutorKind kind, ExecutorFactory factory);
+
+/// The single construction path for executors: validates `spec` and builds
+/// the requested backend.  Throws rxc::Error if the backend is not
+/// registered (e.g. kSpe in a binary that doesn't link rxc_core).
+std::unique_ptr<KernelExecutor> make_executor(const ExecutorSpec& spec);
 
 }  // namespace rxc::lh

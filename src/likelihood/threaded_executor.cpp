@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace rxc::lh {
@@ -26,15 +27,17 @@ ThreadedExecutor::ThreadedExecutor(int threads, KernelConfig config,
 }
 
 void ThreadedExecutor::newview(const NewviewTask& task) {
+  task.validate();
   const auto& ctx = task.ctx;
   const std::size_t need = 2 * static_cast<std::size_t>(ctx.ncat) * 16;
   if (pmat_.size() < need) pmat_.resize(need);
   double* pm1 = pmat_.data();
   double* pm2 = pm1 + static_cast<std::size_t>(ctx.ncat) * 16;
-  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
-                                         task.brlen1, config_.exp_fn, pm1);
-  counters_.exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
-                                         task.brlen2, config_.exp_fn, pm2);
+  std::uint64_t exp_calls = build_pmatrices(*ctx.es, ctx.rates, ctx.ncat,
+                                            task.brlen1, config_.exp_fn, pm1);
+  exp_calls += build_pmatrices(*ctx.es, ctx.rates, ctx.ncat, task.brlen2,
+                               config_.exp_fn, pm2);
+  counters_.exp_calls += exp_calls;
   counters_.pmatrix_builds += 2;
 
   const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
@@ -50,12 +53,16 @@ void ThreadedExecutor::newview(const NewviewTask& task) {
     args.ncat = ctx.ncat;
     args.cat = ctx.cat ? ctx.cat + lo : nullptr;
     args.np = count;
-    args.tip1 = task.tip1 ? task.tip1 + lo : nullptr;
-    args.partial1 = task.partial1 ? task.partial1 + lo * stride : nullptr;
-    args.scale1 = task.scale1 ? task.scale1 + lo : nullptr;
-    args.tip2 = task.tip2 ? task.tip2 + lo : nullptr;
-    args.partial2 = task.partial2 ? task.partial2 + lo * stride : nullptr;
-    args.scale2 = task.scale2 ? task.scale2 + lo : nullptr;
+    args.tip1 = task.tip1 ? task.tip1.codes + lo : nullptr;
+    args.partial1 =
+        task.partial1 ? task.partial1.values + lo * stride : nullptr;
+    args.scale1 =
+        task.partial1.scale ? task.partial1.scale + lo : nullptr;
+    args.tip2 = task.tip2 ? task.tip2.codes + lo : nullptr;
+    args.partial2 =
+        task.partial2 ? task.partial2.values + lo * stride : nullptr;
+    args.scale2 =
+        task.partial2.scale ? task.partial2.scale + lo : nullptr;
     args.out = task.out + lo * stride;
     args.scale_out = task.scale_out + lo;
     args.scaling = config_.scaling;
@@ -73,14 +80,24 @@ void ThreadedExecutor::newview(const NewviewTask& task) {
   counters_.scale_events += events.load();
   ++counters_.newview_calls;
   counters_.newview_patterns += task.np;
+  static obs::Counter& calls = obs::counter("kernel.newview.calls");
+  static obs::Counter& patterns = obs::counter("kernel.newview.patterns");
+  static obs::Counter& scales = obs::counter("kernel.scale_events");
+  static obs::Counter& exps = obs::counter("kernel.exp_calls");
+  calls.add();
+  patterns.add(task.np);
+  scales.add(events.load());
+  exps.add(exp_calls);
 }
 
 double ThreadedExecutor::evaluate(const EvaluateTask& task) {
+  task.validate();
   const auto& ctx = task.ctx;
   const std::size_t need = static_cast<std::size_t>(ctx.ncat) * 16;
   if (pmat_.size() < need) pmat_.resize(need);
-  counters_.exp_calls += build_pmatrices(
+  const std::uint64_t exp_calls = build_pmatrices(
       *ctx.es, ctx.rates, ctx.ncat, task.brlen, config_.exp_fn, pmat_.data());
+  counters_.exp_calls += exp_calls;
   ++counters_.pmatrix_builds;
 
   const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
@@ -96,11 +113,14 @@ double ThreadedExecutor::evaluate(const EvaluateTask& task) {
     args.ncat = ctx.ncat;
     args.cat = ctx.cat ? ctx.cat + lo : nullptr;
     args.np = count;
-    args.tip1 = task.tip1 ? task.tip1 + lo : nullptr;
-    args.partial1 = task.partial1 ? task.partial1 + lo * stride : nullptr;
-    args.scale1 = task.scale1 ? task.scale1 + lo : nullptr;
-    args.partial2 = task.partial2 + lo * stride;
-    args.scale2 = task.scale2 ? task.scale2 + lo : nullptr;
+    args.tip1 = task.tip1 ? task.tip1.codes + lo : nullptr;
+    args.partial1 =
+        task.partial1 ? task.partial1.values + lo * stride : nullptr;
+    args.scale1 =
+        task.partial1.scale ? task.partial1.scale + lo : nullptr;
+    args.partial2 = task.partial2.values + lo * stride;
+    args.scale2 =
+        task.partial2.scale ? task.partial2.scale + lo : nullptr;
     args.weights = task.weights + lo;
     args.site_lnl_out =
         task.site_lnl_out ? task.site_lnl_out + lo : nullptr;
@@ -109,12 +129,17 @@ double ThreadedExecutor::evaluate(const EvaluateTask& task) {
   });
 
   ++counters_.evaluate_calls;
+  static obs::Counter& calls = obs::counter("kernel.evaluate.calls");
+  static obs::Counter& exps = obs::counter("kernel.exp_calls");
+  calls.add();
+  exps.add(exp_calls);
   double lnl = 0.0;  // fixed-order reduction: deterministic
   for (std::size_t c = 0; c < nchunks; ++c) lnl += partial_lnl_[c];
   return lnl;
 }
 
 void ThreadedExecutor::sumtable(const SumtableTask& task) {
+  task.validate();
   const auto& ctx = task.ctx;
   const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
   const std::size_t stride =
@@ -125,9 +150,10 @@ void ThreadedExecutor::sumtable(const SumtableTask& task) {
     args.es = ctx.es;
     args.ncat = ctx.ncat;
     args.np = count;
-    args.tip1 = task.tip1 ? task.tip1 + lo : nullptr;
-    args.partial1 = task.partial1 ? task.partial1 + lo * stride : nullptr;
-    args.partial2 = task.partial2 + lo * stride;
+    args.tip1 = task.tip1 ? task.tip1.codes + lo : nullptr;
+    args.partial1 =
+        task.partial1 ? task.partial1.values + lo * stride : nullptr;
+    args.partial2 = task.partial2.values + lo * stride;
     args.out = task.out + lo * stride;
     if (ctx.mode == RateMode::kCat) {
       make_sumtable_cat(args);
@@ -136,9 +162,12 @@ void ThreadedExecutor::sumtable(const SumtableTask& task) {
     }
   });
   ++counters_.sumtable_calls;
+  static obs::Counter& calls = obs::counter("kernel.sumtable.calls");
+  calls.add();
 }
 
 NrResult ThreadedExecutor::nr_derivatives(const NrTask& task) {
+  task.validate();
   const auto& ctx = task.ctx;
   const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
   const std::size_t stride =
@@ -163,6 +192,8 @@ NrResult ThreadedExecutor::nr_derivatives(const NrTask& task) {
 
   ++counters_.nr_calls;
   counters_.exp_calls += 3ull * ctx.ncat;  // etab cost counted once
+  static obs::Counter& calls = obs::counter("kernel.nr.calls");
+  calls.add();
   NrResult total;
   for (std::size_t c = 0; c < nchunks; ++c) {
     total.lnl += partial_[c].lnl;

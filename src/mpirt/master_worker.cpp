@@ -1,5 +1,9 @@
 #include "mpirt/master_worker.h"
 
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "support/log.h"
+
 namespace rxc::mpirt {
 namespace {
 // Message tags.
@@ -19,6 +23,10 @@ std::vector<std::string> master_worker_run(
   RXC_REQUIRE(comm.size() >= 2, "master-worker needs >= 2 ranks");
 
   if (rank == 0) {
+    obs::ScopedTimer span("mpirt.master", "mpirt");
+    log_debug("mpirt master: " + std::to_string(ntasks) + " tasks over " +
+              std::to_string(comm.size() - 1) + " workers");
+    static obs::Counter& assigned = obs::counter("mpirt.tasks_assigned");
     std::vector<std::string> results(ntasks);
     std::size_t next = 0;
     std::size_t done = 0;
@@ -29,6 +37,7 @@ std::vector<std::string> master_worker_run(
       if (msg.tag == kTagRequest) {
         if (next < ntasks) {
           comm.send(0, msg.source, Message::of(kTagAssign, next));
+          assigned.add();
           ++next;
         } else {
           comm.send(0, msg.source, Message::of(kTagStop, 0));
@@ -60,7 +69,13 @@ std::vector<std::string> master_worker_run(
     if (msg.tag == kTagStop) break;
     RXC_REQUIRE(msg.tag == kTagAssign, "worker expected an assignment");
     const std::size_t task = msg.as<std::size_t>();
-    const std::string result = work(task);
+    std::string result;
+    {
+      obs::ScopedTimer task_span("mpirt.worker_task", "mpirt");
+      result = work(task);
+    }
+    log_debug("mpirt worker " + std::to_string(rank) + ": task " +
+              std::to_string(task) + " done");
 
     Message reply;
     reply.tag = kTagResult;

@@ -1,0 +1,140 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "support/error.h"
+
+namespace rxc::obs {
+
+namespace detail {
+std::atomic<int> g_mode{0};
+}  // namespace detail
+
+int Histogram::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN land in bucket 0
+  const std::uint64_t u =
+      v >= 9.0e18 ? ~std::uint64_t{0} : static_cast<std::uint64_t>(v);
+  return std::min(kBuckets - 1, static_cast<int>(std::bit_width(u)));
+}
+
+void Histogram::observe(double v) {
+  if (!detail::metrics_on()) return;
+  const std::uint64_t before =
+      count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  // min/max races on the very first sample are tolerable (diagnostics, not
+  // accounting), but seed them so min() isn't stuck at 0 for positive data.
+  if (before == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// One map per kind; std::map keeps snapshots name-sorted for free, and
+/// unique_ptr keeps handles stable across rehash-free inserts.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives static destructors
+  return *r;
+}
+
+void check_unique_kind(const Registry& r, const std::string& name,
+                      const void* self_map) {
+  int kinds = 0;
+  kinds += (&r.counters == self_map || !r.counters.count(name)) ? 0 : 1;
+  kinds += (&r.gauges == self_map || !r.gauges.count(name)) ? 0 : 1;
+  kinds += (&r.histograms == self_map || !r.histograms.count(name)) ? 0 : 1;
+  RXC_REQUIRE(kinds == 0,
+              "obs metric '" + name + "' already registered as another kind");
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    check_unique_kind(r, name, &r.counters);
+    it = r.counters.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) {
+    check_unique_kind(r, name, &r.gauges);
+    it = r.gauges.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    check_unique_kind(r, name, &r.histograms);
+    it = r.histograms.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  MetricsSnapshot s;
+  s.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters)
+    s.counters.push_back({name, c->value()});
+  s.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges)
+    s.gauges.push_back({name, g->value()});
+  s.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms)
+    s.histograms.push_back({name, h->count(), h->sum(), h->min(), h->max()});
+  return s;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace rxc::obs

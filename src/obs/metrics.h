@@ -1,0 +1,135 @@
+#pragma once
+/// \file metrics.h
+/// Process-wide metrics registry: named counters, gauges and histograms
+/// with lock-free hot paths.  The registry is the "always cheap" half of
+/// the flight recorder (obs.h): every increment is guarded by one relaxed
+/// atomic load of the global mode, so with RXC_TRACE unset the cost is a
+/// load + predicted branch — no locks, no allocation, no syscalls.
+///
+/// Handles returned by counter()/gauge()/histogram() are stable for the
+/// life of the process; hot call sites cache them:
+///
+///     static obs::Counter& c = obs::counter("kernel.newview.calls");
+///     c.add();
+///
+/// Names are dotted paths (subsystem.object.metric); the summary printer
+/// and the Chrome exporter sort by name, so related metrics group together.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rxc::obs {
+
+namespace detail {
+/// Global mode as an int (obs::Mode); 0 = off.  Defined in obs.cpp.
+extern std::atomic<int> g_mode;
+inline bool metrics_on() {
+  return g_mode.load(std::memory_order_relaxed) != 0;
+}
+/// Relaxed CAS add for pre-C++20-style atomic doubles.
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (detail::metrics_on()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (detail::metrics_on()) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double v) {
+    if (detail::metrics_on()) detail::atomic_add(v_, v);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two-bucketed histogram over non-negative samples.  Bucket i
+/// holds samples in [2^(i-1), 2^i) (bucket 0: [0, 1)); count/sum/min/max
+/// are tracked exactly, so summaries report true totals while the buckets
+/// give the shape.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  /// Index of the bucket a sample lands in.
+  static int bucket_index(double v);
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Lookup-or-create by name.  Registering the same name as two different
+/// metric kinds throws rxc::Error.  The returned reference never moves.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value;
+};
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count;
+  double sum, min, max;
+};
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;    ///< sorted by name
+  std::vector<GaugeSnapshot> gauges;        ///< sorted by name
+  std::vector<HistogramSnapshot> histograms;  ///< sorted by name
+};
+
+/// Point-in-time copy of every registered metric (sorted by name).
+MetricsSnapshot snapshot_metrics();
+
+/// Zeroes every registered metric (registrations survive; handles stay
+/// valid).  Called by obs::configure().
+void reset_metrics();
+
+}  // namespace rxc::obs

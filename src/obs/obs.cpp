@@ -1,0 +1,189 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/log.h"
+
+namespace rxc::obs {
+
+namespace {
+
+std::mutex g_config_mutex;
+Config g_config;
+bool g_flushed = false;
+std::once_flag g_env_once;
+
+LogLevel parse_log_level(const std::string& value) {
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  throw Error("RXC_LOG: expected debug|info|warn|error, got '" + value + "'");
+}
+
+}  // namespace
+
+Config parse_trace_config(const std::string& value) {
+  Config cfg;
+  if (value.empty() || value == "off") {
+    cfg.mode = Mode::kOff;
+  } else if (value == "summary") {
+    cfg.mode = Mode::kSummary;
+  } else if (value == "json" || value.rfind("json:", 0) == 0) {
+    cfg.mode = Mode::kJson;
+    if (value.size() > 5) cfg.json_path = value.substr(5);
+  } else {
+    throw Error("RXC_TRACE: expected off|summary|json[:<path>], got '" +
+                value + "'");
+  }
+  return cfg;
+}
+
+void configure(const Config& cfg) {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  g_config = cfg;
+  g_flushed = false;
+  reset_metrics();
+  reset_recorder();
+  detail::g_mode.store(static_cast<int>(cfg.mode),
+                       std::memory_order_relaxed);
+}
+
+const Config& config() { return g_config; }
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    if (const char* lv = std::getenv("RXC_LOG"); lv && *lv)
+      set_log_level(parse_log_level(lv));
+    const char* tv = std::getenv("RXC_TRACE");
+    if (!tv || !*tv) return;
+    const Config cfg = parse_trace_config(tv);
+    if (cfg.mode == Mode::kOff) return;
+    configure(cfg);
+    std::atexit([] { flush(); });
+  });
+}
+
+std::string summary_text() {
+  const MetricsSnapshot snap = snapshot_metrics();
+  std::ostringstream os;
+  for (const auto& c : snap.counters)
+    if (c.value) os << c.name << " = " << c.value << "\n";
+  for (const auto& g : snap.gauges)
+    if (g.value != 0.0) os << g.name << " = " << g.value << "\n";
+  for (const auto& h : snap.histograms)
+    if (h.count)
+      os << h.name << ": n=" << h.count << " sum=" << h.sum
+         << " min=" << h.min << " max=" << h.max
+         << " mean=" << h.sum / static_cast<double>(h.count) << "\n";
+  return os.str();
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = snapshot_events();
+  const MetricsSnapshot snap = snapshot_metrics();
+
+  constexpr int kWallPid = 1, kVirtualPid = 2;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  auto metadata = [&w](int pid, int tid, const char* what,
+                       const std::string& name) {
+    w.begin_object();
+    w.kv("ph", "M").kv("pid", pid).kv("tid", tid).kv("name", what);
+    w.key("args").begin_object().kv("name", name).end_object();
+    w.end_object();
+  };
+  metadata(kWallPid, 0, "process_name", "wall");
+  metadata(kVirtualPid, 0, "process_name", "cell-virtual");
+
+  // Name every lane that actually appears, so Perfetto shows "PPE.T0" /
+  // "SPE 3" instead of bare tids.
+  std::set<int> virtual_lanes, wall_lanes;
+  for (const TraceEvent& e : events)
+    (e.timeline == Timeline::kVirtual ? virtual_lanes : wall_lanes)
+        .insert(e.tid);
+  for (const int tid : wall_lanes)
+    metadata(kWallPid, tid, "thread_name",
+             "thread " + std::to_string(tid));
+  for (const int tid : virtual_lanes) {
+    std::string name;
+    if (tid == kLanePpe0 || tid == kLanePpe1)
+      name = "PPE.T" + std::to_string(tid);
+    else if (tid >= kLaneSpeBase)
+      name = "SPE " + std::to_string(tid - kLaneSpeBase);
+    else
+      name = "lane " + std::to_string(tid);
+    metadata(kVirtualPid, tid, "thread_name", name);
+  }
+
+  double end_ts = 0.0;
+  for (const TraceEvent& e : events) {
+    end_ts = std::max(end_ts, e.ts_us + e.dur_us);
+    w.begin_object();
+    w.kv("name", e.name).kv("cat", e.cat);
+    w.key("ph").value(std::string_view(&e.ph, 1));
+    w.kv("pid", e.timeline == Timeline::kWall ? kWallPid : kVirtualPid);
+    w.kv("tid", e.tid).kv("ts", e.ts_us);
+    if (e.ph == 'X') w.kv("dur", e.dur_us);
+    if (e.ph == 'i') w.kv("s", "t");  // thread-scoped instant
+    if (!e.args.empty()) w.key("args").raw(e.args);
+    w.end_object();
+  }
+
+  // Final counter values as Chrome counter tracks: one sample at the end of
+  // the trace per non-zero metric.
+  for (const auto& c : snap.counters) {
+    if (!c.value) continue;
+    w.begin_object();
+    w.kv("name", c.name).kv("ph", "C").kv("pid", kWallPid).kv("tid", 0);
+    w.kv("ts", end_ts);
+    w.key("args").begin_object().kv("value", c.value).end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool flush() {
+  Config cfg;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    if (g_flushed || g_config.mode == Mode::kOff) return true;
+    g_flushed = true;
+    cfg = g_config;
+  }
+  if (cfg.mode == Mode::kSummary) {
+    // The summary was explicitly requested, so it bypasses the log level
+    // (which defaults to warn and would swallow a diagnostic-level report).
+    std::fprintf(stderr, "--- obs summary (RXC_TRACE=summary) ---\n%s",
+                 summary_text().c_str());
+    return true;
+  }
+  const std::string json = chrome_trace_json();
+  std::ofstream out(cfg.json_path, std::ios::binary);
+  if (!out) {
+    log_error("obs: cannot write trace to '" + cfg.json_path + "'");
+    return false;
+  }
+  out << json;
+  out.close();
+  log_info("obs: wrote Chrome trace (" + std::to_string(json.size()) +
+           " bytes, " + std::to_string(event_count()) + " events) to " +
+           cfg.json_path);
+  return true;
+}
+
+}  // namespace rxc::obs

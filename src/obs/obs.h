@@ -1,0 +1,74 @@
+#pragma once
+/// \file obs.h
+/// Observability switchboard: configuration, env-var wiring, and the
+/// Chrome trace-event exporter.
+///
+/// Modes (env var `RXC_TRACE`, or programmatic configure()):
+///   off           — everything compiles to near-no-ops (one relaxed load
+///                   per would-be increment); the default.
+///   summary       — metrics are collected and a sorted summary is written
+///                   through the leveled logger (support/log.h) at flush,
+///                   so it interleaves coherently with other diagnostics.
+///   json[:<path>] — metrics plus the flight recorder; flush writes a
+///                   Chrome trace-event JSON file (default rxc_trace.json)
+///                   loadable in chrome://tracing or Perfetto, containing
+///                   BOTH timelines: wall-clock spans (pid "wall") and the
+///                   simulator's virtual-cycle timeline (pid
+///                   "cell-virtual": per-SPE busy / dma-stall /
+///                   mailbox-wait spans and PPE thread occupancy).
+///
+/// `RXC_LOG=debug|info|warn|error` rides along: init_from_env() forwards it
+/// to rxc::set_log_level so one knob pair controls all diagnostics.
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace rxc::obs {
+
+enum class Mode { kOff = 0, kSummary = 1, kJson = 2 };
+
+struct Config {
+  Mode mode = Mode::kOff;
+  std::string json_path = "rxc_trace.json";  ///< used in kJson mode
+  std::size_t max_events = 1u << 20;  ///< flight-recorder buffer bound
+};
+
+/// Parses an RXC_TRACE value: "off", "summary", "json" or "json:<path>".
+/// Throws rxc::Error on anything else.
+Config parse_trace_config(const std::string& value);
+
+/// Installs `cfg`, zeroing all metrics and the event buffer so a run
+/// traces from a clean slate.  Thread-compatible: call before spawning
+/// workers.
+void configure(const Config& cfg);
+
+const Config& config();
+
+inline bool enabled() {
+  return detail::g_mode.load(std::memory_order_relaxed) != 0;
+}
+/// Spans recorded (json mode).
+inline bool tracing() {
+  return detail::g_mode.load(std::memory_order_relaxed) == 2;
+}
+
+/// Reads RXC_TRACE / RXC_LOG once per process and configures accordingly;
+/// registers an atexit flush when a mode is enabled.  Safe and cheap to
+/// call repeatedly (the engine constructor calls it), so every binary that
+/// computes a likelihood honours the env vars without its own wiring.
+void init_from_env();
+
+/// Multi-line, name-sorted rendering of every non-zero metric.
+std::string summary_text();
+
+/// Renders both timelines plus final counter tracks as a Chrome
+/// trace-event JSON document.
+std::string chrome_trace_json();
+
+/// Writes the configured output (summary -> log, json -> file).  Idempotent
+/// per configure(); returns false if a json write failed.
+bool flush();
+
+}  // namespace rxc::obs

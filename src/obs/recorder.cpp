@@ -1,0 +1,105 @@
+#include "obs/recorder.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "obs/obs.h"
+
+namespace rxc::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct EventStore {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  Clock::time_point epoch = Clock::now();
+  std::atomic<int> next_lane{0};
+};
+
+EventStore& store() {
+  static EventStore* s = new EventStore;  // leaked: usable from atexit
+  return *s;
+}
+
+void push(TraceEvent&& e) {
+  EventStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.events.size() >= config().max_events) {
+    static Counter& dropped = counter("obs.dropped_events");
+    dropped.add();
+    return;
+  }
+  s.events.push_back(std::move(e));
+}
+
+}  // namespace
+
+void record_span(Timeline tl, std::string name, std::string cat, int tid,
+                 double ts_us, double dur_us, std::string args) {
+  if (!recording()) return;
+  TraceEvent e;
+  e.timeline = tl;
+  e.ph = 'X';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void record_instant(Timeline tl, std::string name, std::string cat, int tid,
+                    double ts_us, std::string args) {
+  if (!recording()) return;
+  TraceEvent e;
+  e.timeline = tl;
+  e.ph = 'i';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+double wall_now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   store().epoch)
+      .count();
+}
+
+int wall_lane() {
+  thread_local int lane =
+      store().next_lane.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+void mark(std::string name, std::string cat, std::string args) {
+  if (!recording()) return;
+  record_instant(Timeline::kWall, std::move(name), std::move(cat),
+                 wall_lane(), wall_now_us(), std::move(args));
+}
+
+std::vector<TraceEvent> snapshot_events() {
+  EventStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.events;
+}
+
+void reset_recorder() {
+  EventStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.clear();
+  s.epoch = Clock::now();
+}
+
+std::size_t event_count() {
+  EventStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.events.size();
+}
+
+}  // namespace rxc::obs

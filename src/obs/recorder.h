@@ -1,0 +1,96 @@
+#pragma once
+/// \file recorder.h
+/// Flight-recorder span store: the "when" half of the observability layer.
+/// Two timelines share one event buffer:
+///
+///   * kWall    — real time, microseconds since obs::configure().  Lanes
+///                (Chrome `tid`s) are assigned per OS thread in first-use
+///                order.  Emitted by RAII ScopedTimer and record_* calls in
+///                the engine, search, executors and mpirt.
+///   * kVirtual — the simulator's virtual-cycle clock converted to
+///                microseconds at the modeled 3.2 GHz.  Lanes follow the
+///                machine: PPE hardware threads 0..1, SPE i at
+///                kLaneSpeBase + i.  Emitted by the trace-replay scheduler,
+///                which is the one place segment start times exist.
+///
+/// Events are recorded only in json mode (obs::tracing()); the buffer is
+/// bounded by Config::max_events and overflow increments the
+/// "obs.dropped_events" counter instead of growing without limit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rxc::obs {
+
+enum class Timeline { kWall, kVirtual };
+
+/// Virtual-timeline lane assignments (Chrome `tid` within the virtual pid).
+inline constexpr int kLanePpe0 = 0;
+inline constexpr int kLanePpe1 = 1;
+inline constexpr int kLaneSpeBase = 8;  ///< SPE i renders as lane 8 + i
+
+struct TraceEvent {
+  Timeline timeline = Timeline::kWall;
+  char ph = 'X';    ///< 'X' complete span, 'i' instant
+  std::string name;
+  std::string cat;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< spans only
+  std::string args;     ///< pre-rendered JSON object ("{...}") or empty
+};
+
+/// True while spans are being recorded (json mode).  Mirrors obs::tracing();
+/// redeclared here so recorder users need only this header.
+inline bool recording() {
+  return detail::g_mode.load(std::memory_order_relaxed) == 2;
+}
+
+/// Appends a complete span / instant to the buffer (no-op unless recording).
+void record_span(Timeline tl, std::string name, std::string cat, int tid,
+                 double ts_us, double dur_us, std::string args = {});
+void record_instant(Timeline tl, std::string name, std::string cat, int tid,
+                    double ts_us, std::string args = {});
+
+/// Wall-clock helpers: microseconds since the recorder epoch (reset by
+/// obs::configure()) and the calling thread's wall lane.
+double wall_now_us();
+int wall_lane();
+
+/// Instant on the wall timeline at "now", on the calling thread's lane.
+void mark(std::string name, std::string cat, std::string args = {});
+
+/// RAII wall-clock span: opens at construction, closes at destruction.
+/// Costs two branches when not recording.  Name/category must be literals
+/// or otherwise outlive the timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, const char* cat = "wall")
+      : name_(name), cat_(cat), t0_(recording() ? wall_now_us() : -1.0) {}
+  ~ScopedTimer() {
+    if (t0_ >= 0.0)
+      record_span(Timeline::kWall, name_, cat_, wall_lane(), t0_,
+                  wall_now_us() - t0_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  double t0_;
+};
+
+/// Copy of the buffered events, in record order.
+std::vector<TraceEvent> snapshot_events();
+
+/// Drops all buffered events and re-anchors the wall epoch to "now".
+/// Called by obs::configure().
+void reset_recorder();
+
+std::size_t event_count();
+
+}  // namespace rxc::obs

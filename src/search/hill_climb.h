@@ -9,6 +9,8 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "search/search.h"
 #include "support/log.h"
 #include "tree/moves.h"
@@ -82,15 +84,28 @@ template <class Engine>
 SearchResult hill_climb(tree::Tree& t, Engine& eng, const SearchOptions& opt,
                         double lnl) {
   SearchResult result{t, lnl, 0, 0, 0};
+  static obs::Counter& rounds = obs::counter("search.rounds");
+  static obs::Counter& accepted = obs::counter("search.moves.accepted");
+  static obs::Counter& rejected = obs::counter("search.moves.rejected");
+  static obs::Counter& misses = obs::counter("engine.partial.misses");
+  static obs::Histogram& newviews_per_round =
+      obs::histogram("search.newviews_per_round");
   for (int round = 0; round < opt.max_rounds; ++round) {
+    obs::ScopedTimer span("search.round", "search");
     const double round_start = lnl;
+    const std::uint64_t misses_start = misses.value();
     const auto points = tree::enumerate_prune_points(t);
     for (const auto& [x, s] : points) {
       if (t.edge_between(x, s) < 0) continue;  // invalidated by earlier move
-      try_prune_point(t, eng, opt, x, s, lnl, result);
+      const bool kept = try_prune_point(t, eng, opt, x, s, lnl, result);
+      (kept ? accepted : rejected).add();
     }
     lnl = eng.optimize_all_branches(opt.branch_passes);
     ++result.rounds;
+    rounds.add();
+    newviews_per_round.observe(
+        static_cast<double>(misses.value() - misses_start));
+    obs::mark("search.round_done", "search");
     log_debug("search round " + std::to_string(round) +
               " lnl=" + std::to_string(lnl));
     if (lnl - round_start < opt.epsilon) break;

@@ -1,7 +1,9 @@
 #include "search/search.h"
 
+#include "obs/recorder.h"
 #include "search/hill_climb.h"
 #include "support/error.h"
+#include "support/log.h"
 #include "tree/parsimony.h"
 
 namespace rxc::search {
@@ -9,6 +11,7 @@ namespace rxc::search {
 SearchResult run_search(const seq::PatternAlignment& pa,
                         lh::LikelihoodEngine& engine,
                         const SearchOptions& options, std::uint64_t seed) {
+  obs::ScopedTimer span("search.run_search", "search");
   Rng rng(seed);
   tree::Tree t = tree::stepwise_addition_tree(pa, rng, options.attach_brlen);
   engine.set_tree(&t);
@@ -20,6 +23,9 @@ SearchResult run_search(const seq::PatternAlignment& pa,
   }
 
   SearchResult result = detail::hill_climb(t, engine, options, lnl);
+  log_debug("search done: seed=" + std::to_string(seed) + " rounds=" +
+            std::to_string(result.rounds) +
+            " lnl=" + std::to_string(result.log_likelihood));
   // The engine was observing the local tree; detach before it goes away.
   engine.set_tree(nullptr);
   return result;

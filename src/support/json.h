@@ -1,0 +1,151 @@
+#pragma once
+/// \file json.h
+/// Minimal streaming JSON writer — enough for the Chrome trace exporter and
+/// the bench `--json` reports, nothing more.  No DOM, no parsing: callers
+/// emit begin/end/key/value in order and the writer handles commas and
+/// string escaping.  Misuse (value without a key inside an object, unmatched
+/// end) is a programming error and asserts.
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace rxc {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    RXC_ASSERT_MSG(!stack_.empty() && stack_.back() == '{' && !have_key_,
+                   "JsonWriter::key outside object");
+    comma();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    have_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    pre_value();
+    out_ += '"';
+    out_ += json_escape(s);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    pre_value();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double d) {
+    pre_value();
+    if (!std::isfinite(d)) {
+      out_ += "null";  // JSON has no NaN/Inf
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  /// Splices pre-rendered JSON (must itself be a valid value).
+  JsonWriter& raw(std::string_view json) {
+    pre_value();
+    out_ += json;
+    return *this;
+  }
+
+  template <typename V>
+  JsonWriter& kv(std::string_view k, V&& v) {
+    key(k);
+    return value(std::forward<V>(v));
+  }
+
+  const std::string& str() const {
+    RXC_ASSERT_MSG(stack_.empty(), "JsonWriter::str with open scopes");
+    return out_;
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    pre_value();
+    out_ += c;
+    stack_.push_back(c == '{' ? '{' : '[');
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    RXC_ASSERT_MSG(!stack_.empty() && stack_.back() == (c == '}' ? '{' : '['),
+                   "JsonWriter: unmatched close");
+    stack_.pop_back();
+    out_ += c;
+    fresh_ = false;
+    return *this;
+  }
+  void pre_value() {
+    if (!stack_.empty() && stack_.back() == '{') {
+      RXC_ASSERT_MSG(have_key_, "JsonWriter: value without key in object");
+      have_key_ = false;
+      return;
+    }
+    comma();
+  }
+  void comma() {
+    if (!fresh_ && !stack_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+
+  std::string out_;
+  std::vector<char> stack_;
+  bool fresh_ = true;   ///< no element written yet in the current scope
+  bool have_key_ = false;
+};
+
+}  // namespace rxc

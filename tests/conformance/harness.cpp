@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "likelihood/fast_exp.h"
+#include "support/error.h"
 
 namespace rxc::conformance {
 namespace {
@@ -164,6 +165,33 @@ CaseResult run_case(lh::KernelExecutor& ref_newview,
 CaseResult run_case(lh::KernelExecutor& ref, lh::KernelExecutor& dut,
                     const Workload& wl, const Bounds& bounds) {
   return run_case(ref, ref, dut, wl, bounds);
+}
+
+std::unique_ptr<lh::KernelExecutor> make_host(lh::KernelConfig config) {
+  lh::ExecutorSpec spec;
+  spec.kind = lh::ExecutorKind::kHost;
+  spec.kernels = config;
+  return lh::make_executor(spec);
+}
+
+std::unique_ptr<lh::KernelExecutor> make_threaded(int threads,
+                                                  lh::KernelConfig config) {
+  lh::ExecutorSpec spec;
+  spec.kind = lh::ExecutorKind::kThreaded;
+  spec.kernels = config;
+  spec.threads = threads;
+  return lh::make_executor(spec);
+}
+
+std::unique_ptr<lh::KernelExecutor> make_cell(core::Stage stage, int llp_ways,
+                                              std::size_t strip_bytes) {
+  lh::ExecutorSpec spec = core::cell_executor_spec(stage, llp_ways);
+  spec.strip_bytes = strip_bytes;
+  return lh::make_executor(spec);
+}
+
+core::CellExecutor& as_cell(lh::KernelExecutor& exec) {
+  return core::as_cell_executor(exec);
 }
 
 lh::KernelConfig mirror_config(const core::StageToggles& toggles) {

@@ -18,8 +18,10 @@
 /// property-test failure can be replayed as a single deterministic case.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "core/spe_executor.h"
 #include "core/stage.h"
 #include "likelihood/executor.h"
 #include "workload.h"
@@ -66,6 +68,21 @@ CaseResult run_case(lh::KernelExecutor& ref, lh::KernelExecutor& dut,
 /// Host KernelConfig matching what the SPE path computes under `toggles`
 /// (for differential refs of offloaded kernels).
 lh::KernelConfig mirror_config(const core::StageToggles& toggles);
+
+/// Executor construction for the suite, routed through lh::make_executor —
+/// the same path examples and benches use, so the factory itself is under
+/// differential test alongside the kernels.
+std::unique_ptr<lh::KernelExecutor> make_host(lh::KernelConfig config = {});
+std::unique_ptr<lh::KernelExecutor> make_threaded(
+    int threads, lh::KernelConfig config = {});
+/// Simulated-Cell executor at a cumulative optimization stage.  The
+/// returned executor owns its CellMachine; reach it via as_cell().
+std::unique_ptr<lh::KernelExecutor> make_cell(core::Stage stage,
+                                              int llp_ways = 1,
+                                              std::size_t strip_bytes = 2048);
+/// Downcast to the Cell backend for machine-level checks (invariants,
+/// traces).  Throws rxc::Error if `exec` was not built by make_cell.
+core::CellExecutor& as_cell(lh::KernelExecutor& exec);
 
 /// Base seed for property runs: RXC_CONF_SEED env var if set (accepts
 /// decimal or 0x hex), else a fixed default so CI is reproducible.

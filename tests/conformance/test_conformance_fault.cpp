@@ -51,16 +51,13 @@ TEST(ConformanceFault, FaultsOnBusyMachineLeaveWorkReproducible) {
   const Workload wl(spec);
   const std::size_t values = wl.padded_np() * wl.stride();
 
-  cell::CellMachine machine;
-  core::SpeExecConfig cfg;
-  cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
-  cfg.llp_ways = 8;  // touch every SPE
-  core::SpeExecutor exec(machine, cfg);
+  const auto exec = make_cell(core::Stage::kOffloadAll, /*llp_ways=*/8);
+  cell::CellMachine& machine = as_cell(*exec).machine();
 
   aligned_vector<double> out1(values, 0.0), out2(values, 0.0);
   aligned_vector<std::int32_t> sc1(wl.padded_np(), 0), sc2(wl.padded_np(), 0);
-  exec.newview(wl.newview_task(out1.data(), sc1.data()));
-  const double lnl1 = exec.evaluate(wl.evaluate_task(nullptr));
+  exec->newview(wl.newview_task(out1.data(), sc1.data()));
+  const double lnl1 = exec->evaluate(wl.evaluate_task(nullptr));
 
   for (int s = 0; s < machine.spe_count(); ++s)
     for (Fault fault : cell::kAllFaults) {
@@ -72,8 +69,8 @@ TEST(ConformanceFault, FaultsOnBusyMachineLeaveWorkReproducible) {
     }
 
   // The machine keeps computing, and computes the same bits.
-  exec.newview(wl.newview_task(out2.data(), sc2.data()));
-  const double lnl2 = exec.evaluate(wl.evaluate_task(nullptr));
+  exec->newview(wl.newview_task(out2.data(), sc2.data()));
+  const double lnl2 = exec->evaluate(wl.evaluate_task(nullptr));
   EXPECT_EQ(lnl1, lnl2);
   for (std::size_t k = 0; k < spec.np * wl.stride(); ++k)
     ASSERT_EQ(out1[k], out2[k]) << "out[" << k << "]";
@@ -99,18 +96,15 @@ TEST(ConformanceFault, OversizedStripRejectedByMfc) {
   const Workload wl(spec);
   const std::size_t values = wl.padded_np() * wl.stride();
 
-  cell::CellMachine machine;
-  core::SpeExecConfig cfg;
-  cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
   // 32 KB buffers give 32-pattern strips => 25.6 KB partial transfers:
   // beyond the MFC ceiling, but small enough that local store still fits
   // (so it is the DMA rule, not the allocator, that fires).
-  cfg.strip_bytes = 32 * 1024;
-  core::SpeExecutor exec(machine, cfg);
+  const auto exec =
+      make_cell(core::Stage::kOffloadAll, 1, /*strip_bytes=*/32 * 1024);
 
   aligned_vector<double> out(values, 0.0);
   aligned_vector<std::int32_t> scale(wl.padded_np(), 0);
-  EXPECT_THROW(exec.newview(wl.newview_task(out.data(), scale.data())),
+  EXPECT_THROW(exec->newview(wl.newview_task(out.data(), scale.data())),
                HardwareError);
 }
 

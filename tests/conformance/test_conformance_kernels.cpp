@@ -13,7 +13,6 @@
 #include "core/stage.h"
 #include "harness.h"
 #include "likelihood/executor.h"
-#include "likelihood/threaded_executor.h"
 #include "workload.h"
 
 namespace rxc::conformance {
@@ -39,13 +38,14 @@ TEST(ConformanceKernels, HostScalarVsHostSimd) {
   lh::KernelConfig scalar_cfg;
   lh::KernelConfig simd_cfg;
   simd_cfg.simd = true;
-  lh::HostExecutor ref(scalar_cfg), dut(simd_cfg);
+  const auto ref = make_host(scalar_cfg);
+  const auto dut = make_host(simd_cfg);
   Bounds bounds{"SIMD reorders within-pattern arithmetic", 1e-11, kSumRel,
                 true};
   for (std::uint64_t i = 0; i < cases(); ++i) {
     const std::uint64_t seed = seed_for(0xA, i);
     const Workload wl(WorkloadSpec::draw(seed));
-    const CaseResult r = run_case(ref, dut, wl, bounds);
+    const CaseResult r = run_case(*ref, *dut, wl, bounds);
     ASSERT_TRUE(r.ok) << r.detail << "\n"
                       << repro_hint(seed, "HostScalarVsHostSimd");
   }
@@ -57,9 +57,9 @@ TEST(ConformanceKernels, HostScalarVsHostSimd) {
 // differ.
 
 TEST(ConformanceKernels, HostVsThreaded) {
-  lh::HostExecutor ref;
+  const auto ref = make_host();
   for (int threads : {2, 5, 8}) {
-    lh::ThreadedExecutor dut(threads);
+    const auto dut = make_threaded(threads);
     Bounds bounds{"same config; chunked reductions reassociate (threads=" +
                       std::to_string(threads) + ")",
                   0.0, kSumRel, true};
@@ -67,7 +67,7 @@ TEST(ConformanceKernels, HostVsThreaded) {
       const std::uint64_t seed =
           seed_for(0xB0 + static_cast<std::uint64_t>(threads), i);
       const Workload wl(WorkloadSpec::draw(seed));
-      const CaseResult r = run_case(ref, dut, wl, bounds);
+      const CaseResult r = run_case(*ref, *dut, wl, bounds);
       ASSERT_TRUE(r.ok) << r.detail << "\n"
                         << repro_hint(seed, "HostVsThreaded");
     }
@@ -90,11 +90,12 @@ TEST(ConformanceKernels, HostVsSpeAllStages) {
   };
   for (core::Stage stage : kStages) {
     const core::StageToggles toggles = core::stage_toggles(stage);
-    lh::HostExecutor ref_newview(toggles.offload_newview
-                                     ? mirror_config(toggles)
-                                     : lh::KernelConfig{});
-    lh::HostExecutor ref_rest(toggles.offload_rest ? mirror_config(toggles)
-                                                   : lh::KernelConfig{});
+    const auto ref_newview = make_host(toggles.offload_newview
+                                           ? mirror_config(toggles)
+                                           : lh::KernelConfig{});
+    const auto ref_rest = make_host(toggles.offload_rest
+                                        ? mirror_config(toggles)
+                                        : lh::KernelConfig{});
     Bounds bounds{"strip-mined DMA must be bitwise (stage " +
                       core::stage_name(stage) + ")",
                   0.0, kSumRel, true};
@@ -102,14 +103,12 @@ TEST(ConformanceKernels, HostVsSpeAllStages) {
       const std::uint64_t seed =
           seed_for(0xC0 + static_cast<std::uint64_t>(stage), i);
       const Workload wl(WorkloadSpec::draw(seed));
-      cell::CellMachine machine;
-      core::SpeExecConfig cfg;
-      cfg.toggles = toggles;
-      core::SpeExecutor dut(machine, cfg);
-      const CaseResult r = run_case(ref_newview, ref_rest, dut, wl, bounds);
+      const auto dut = make_cell(stage);
+      const CaseResult r = run_case(*ref_newview, *ref_rest, *dut, wl, bounds);
       ASSERT_TRUE(r.ok) << r.detail << "\n"
                         << repro_hint(seed, "HostVsSpeAllStages");
-      const cell::InvariantReport inv = cell::check_quiescent(machine);
+      const cell::InvariantReport inv =
+          cell::check_quiescent(as_cell(*dut).machine());
       ASSERT_TRUE(inv.ok())
           << "[" << wl.spec().describe() << "] stage "
           << core::stage_name(stage)
@@ -126,8 +125,6 @@ TEST(ConformanceKernels, HostVsSpeAllStages) {
 // per-SPE sums in fixed order.
 
 TEST(ConformanceKernels, SpeLlpVsSingleSpe) {
-  const core::StageToggles toggles =
-      core::stage_toggles(core::Stage::kOffloadAll);
   for (int ways : {2, 4, 8}) {
     Bounds bounds{"LLP split must be bitwise per pattern (ways=" +
                       std::to_string(ways) + ")",
@@ -136,17 +133,13 @@ TEST(ConformanceKernels, SpeLlpVsSingleSpe) {
       const std::uint64_t seed =
           seed_for(0xD0 + static_cast<std::uint64_t>(ways), i);
       const Workload wl(WorkloadSpec::draw(seed));
-      cell::CellMachine ref_machine, dut_machine;
-      core::SpeExecConfig ref_cfg, dut_cfg;
-      ref_cfg.toggles = dut_cfg.toggles = toggles;
-      ref_cfg.llp_ways = 1;
-      dut_cfg.llp_ways = ways;
-      core::SpeExecutor ref(ref_machine, ref_cfg);
-      core::SpeExecutor dut(dut_machine, dut_cfg);
-      const CaseResult r = run_case(ref, dut, wl, bounds);
+      const auto ref = make_cell(core::Stage::kOffloadAll, 1);
+      const auto dut = make_cell(core::Stage::kOffloadAll, ways);
+      const CaseResult r = run_case(*ref, *dut, wl, bounds);
       ASSERT_TRUE(r.ok) << r.detail << "\n"
                         << repro_hint(seed, "SpeLlpVsSingleSpe");
-      const cell::InvariantReport inv = cell::check_quiescent(dut_machine);
+      const cell::InvariantReport inv =
+          cell::check_quiescent(as_cell(*dut).machine());
       ASSERT_TRUE(inv.ok()) << inv.to_string() << "\n"
                             << repro_hint(seed, "SpeLlpVsSingleSpe");
     }
@@ -160,16 +153,16 @@ TEST(ConformanceKernels, SpeLlpVsSingleSpe) {
 // the likelihood recursion.
 
 TEST(ConformanceKernels, ExpLibmVsExpSdk) {
-  lh::HostExecutor ref;  // libm
+  const auto ref = make_host();  // libm
   lh::KernelConfig sdk_cfg;
   sdk_cfg.exp_fn = &lh::exp_sdk;
-  lh::HostExecutor dut(sdk_cfg);
+  const auto dut = make_host(sdk_cfg);
   Bounds bounds{"SDK exp differs by its documented error bound", 1e-9, 1e-7,
                 true};
   for (std::uint64_t i = 0; i < cases(); ++i) {
     const std::uint64_t seed = seed_for(0xE, i);
     const Workload wl(WorkloadSpec::draw(seed));
-    const CaseResult r = run_case(ref, dut, wl, bounds);
+    const CaseResult r = run_case(*ref, *dut, wl, bounds);
     ASSERT_TRUE(r.ok) << r.detail << "\n"
                       << repro_hint(seed, "ExpLibmVsExpSdk");
   }
@@ -183,8 +176,6 @@ TEST(ConformanceKernels, ExpLibmVsExpSdk) {
 // (np=200) and the strip-repaging path (np=8000, 256 KB sumtable).
 
 TEST(ConformanceKernels, MakenewzLlpAgreement) {
-  const core::StageToggles toggles =
-      core::stage_toggles(core::Stage::kOffloadAll);
   for (std::size_t np : {std::size_t{200}, std::size_t{8000}}) {
     WorkloadSpec spec;
     spec.seed = 0x3A11D00DULL + np;
@@ -199,29 +190,22 @@ TEST(ConformanceKernels, MakenewzLlpAgreement) {
     const Workload wl(spec);
     const std::size_t values = wl.padded_np() * wl.stride();
 
-    cell::CellMachine base_machine;
-    core::SpeExecConfig base_cfg;
-    base_cfg.toggles = toggles;
-    core::SpeExecutor base(base_machine, base_cfg);
+    const auto base = make_cell(core::Stage::kOffloadAll);
     aligned_vector<double> base_sum(values, 0.0);
-    base.begin_compound();
-    base.sumtable(wl.sumtable_task(base_sum.data()));
-    lh::NrResult base_nr = base.nr_derivatives(wl.nr_task(base_sum.data(),
-                                                          spec.t));
-    base.end_compound();
+    base->begin_compound();
+    base->sumtable(wl.sumtable_task(base_sum.data()));
+    lh::NrResult base_nr = base->nr_derivatives(wl.nr_task(base_sum.data(),
+                                                           spec.t));
+    base->end_compound();
 
     for (int ways : {2, 4, 8}) {
-      cell::CellMachine machine;
-      core::SpeExecConfig cfg;
-      cfg.toggles = toggles;
-      cfg.llp_ways = ways;
-      core::SpeExecutor llp(machine, cfg);
+      const auto llp = make_cell(core::Stage::kOffloadAll, ways);
       aligned_vector<double> llp_sum(values, 0.0);
-      llp.begin_compound();
-      llp.sumtable(wl.sumtable_task(llp_sum.data()));
+      llp->begin_compound();
+      llp->sumtable(wl.sumtable_task(llp_sum.data()));
       const lh::NrResult llp_nr =
-          llp.nr_derivatives(wl.nr_task(llp_sum.data(), spec.t));
-      llp.end_compound();
+          llp->nr_derivatives(wl.nr_task(llp_sum.data(), spec.t));
+      llp->end_compound();
 
       for (std::size_t k = 0; k < spec.np * wl.stride(); ++k)
         ASSERT_EQ(base_sum[k], llp_sum[k])
@@ -231,7 +215,8 @@ TEST(ConformanceKernels, MakenewzLlpAgreement) {
       EXPECT_EQ(base_nr.d1, llp_nr.d1) << "ways=" << ways << " np=" << np;
       EXPECT_EQ(base_nr.d2, llp_nr.d2) << "ways=" << ways << " np=" << np;
 
-      const cell::InvariantReport inv = cell::check_quiescent(machine);
+      const cell::InvariantReport inv =
+          cell::check_quiescent(as_cell(*llp).machine());
       EXPECT_TRUE(inv.ok()) << inv.to_string();
     }
   }

@@ -15,7 +15,6 @@
 #include "harness.h"
 #include "likelihood/executor.h"
 #include "likelihood/scaling.h"
-#include "likelihood/threaded_executor.h"
 #include "workload.h"
 
 namespace rxc::conformance {
@@ -99,11 +98,11 @@ TEST(ConformanceScaling, UnderflowForcesIdenticalRescuesEverywhere) {
     const std::size_t np = wl.spec().np;
     const std::size_t values = wl.padded_np() * wl.stride();
 
-    lh::HostExecutor host;  // float-branch conditional
+    const auto host = make_host();  // float-branch conditional
     aligned_vector<double> host_out(values, 0.0);
     aligned_vector<std::int32_t> host_scale(wl.padded_np(), 0);
-    host.newview(wl.newview_task(host_out.data(), host_scale.data()));
-    const std::uint64_t host_events = host.counters().scale_events;
+    host->newview(wl.newview_task(host_out.data(), host_scale.data()));
+    const std::uint64_t host_events = host->counters().scale_events;
     ASSERT_GT(host_events, 0u)
         << "underflow workload produced no rescales: "
         << wl.spec().describe() << "\n"
@@ -124,19 +123,16 @@ TEST(ConformanceScaling, UnderflowForcesIdenticalRescuesEverywhere) {
     // rescaled values within its pair bound (int-cast & SPE are bitwise).
     lh::KernelConfig cast_cfg;
     cast_cfg.scaling = lh::ScalingCheck::kIntCast;
-    lh::HostExecutor cast_host(cast_cfg);
-    lh::ThreadedExecutor threaded(4);
-    cell::CellMachine machine;
-    core::SpeExecConfig spe_cfg;
-    spe_cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
-    core::SpeExecutor spe(machine, spe_cfg);
+    const auto cast_host = make_host(cast_cfg);
+    const auto threaded = make_threaded(4);
+    const auto spe = make_cell(core::Stage::kOffloadAll);
 
     struct Dut {
       const char* name;
       lh::KernelExecutor* exec;
-    } duts[] = {{"host-int-cast", &cast_host},
-                {"threaded", &threaded},
-                {"spe-offload-all", &spe}};
+    } duts[] = {{"host-int-cast", cast_host.get()},
+                {"threaded", threaded.get()},
+                {"spe-offload-all", spe.get()}};
     for (const Dut& dut : duts) {
       aligned_vector<double> out(values, 0.0);
       aligned_vector<std::int32_t> scale(wl.padded_np(), 0);
@@ -166,15 +162,15 @@ TEST(ConformanceScaling, EvaluateScaleCorrectionIdentity) {
     const Workload wl(spec);
     const std::size_t np = spec.np;
 
-    lh::HostExecutor host;
-    const double lnl = host.evaluate(wl.evaluate_task(nullptr));
+    const auto host = make_host();
+    const double lnl = host->evaluate(wl.evaluate_task(nullptr));
 
     aligned_vector<std::int32_t> bumped(wl.scale2(),
                                         wl.scale2() + wl.padded_np());
     for (std::size_t p = 0; p < np; ++p) ++bumped[p];
     lh::EvaluateTask task = wl.evaluate_task(nullptr);
-    task.scale2 = bumped.data();
-    const double shifted = host.evaluate(task);
+    task.partial2.scale = bumped.data();
+    const double shifted = host->evaluate(task);
 
     double weight_sum = 0.0;
     for (std::size_t p = 0; p < np; ++p) weight_sum += wl.weights()[p];
@@ -198,16 +194,15 @@ TEST(ConformanceScaling, InheritedScaleCountsOffsetMultipliers) {
     const Workload wl(underflow_spec(seed));
     const std::size_t values = wl.padded_np() * wl.stride();
 
-    lh::HostExecutor host;
+    const auto host = make_host();
     aligned_vector<double> out(values, 0.0);
     aligned_vector<std::int32_t> scale(wl.padded_np(), 0);
-    host.newview(wl.newview_task(out.data(), scale.data()));
+    host->newview(wl.newview_task(out.data(), scale.data()));
 
     // Evaluate against the freshly computed (possibly rescaled) partial.
     lh::EvaluateTask task = wl.evaluate_task(nullptr);
-    task.partial2 = out.data();
-    task.scale2 = scale.data();
-    const double lnl_scaled = host.evaluate(task);
+    task.partial2 = {out.data(), scale.data()};
+    const double lnl_scaled = host->evaluate(task);
 
     // Reference: the same partial with rescues manually undone (divide by
     // 2^256 per event) and the inherited counts restored.
@@ -222,9 +217,8 @@ TEST(ConformanceScaling, InheritedScaleCountsOffsetMultipliers) {
         for (std::size_t k = 0; k < st; ++k)
           undone[p * st + k] /= lh::kScaleFactor;
     }
-    task.partial2 = undone.data();
-    task.scale2 = base_scale.data();
-    const double lnl_undone = host.evaluate(task);
+    task.partial2 = {undone.data(), base_scale.data()};
+    const double lnl_undone = host->evaluate(task);
 
     EXPECT_NEAR(lnl_scaled, lnl_undone,
                 1e-9 * (std::abs(lnl_undone) + 1.0))

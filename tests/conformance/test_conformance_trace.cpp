@@ -146,10 +146,9 @@ Fingerprint run_fingerprint(const NamedSpec& named, core::Stage stage) {
   const Workload wl(named.spec);
   const std::size_t values = wl.padded_np() * wl.stride();
 
-  cell::CellMachine machine;
-  core::SpeExecConfig cfg;
-  cfg.toggles = core::stage_toggles(stage);
-  core::SpeExecutor exec(machine, cfg);
+  const auto holder = make_cell(stage);
+  core::CellExecutor& exec = as_cell(*holder);
+  cell::CellMachine& machine = exec.machine();
   exec.begin_task();
 
   aligned_vector<double> out(values, 0.0), sum(values, 0.0);

@@ -177,16 +177,14 @@ lh::NewviewTask Workload::newview_task(double* out,
   t.brlen2 = spec_.brlen2;
   t.np = spec_.np;
   if (spec_.tip1) {
-    t.tip1 = tip1_.data();
+    t.tip1.codes = tip1_.data();
   } else {
-    t.partial1 = partial1_.data();
-    t.scale1 = scale1_.data();
+    t.partial1 = {partial1_.data(), scale1_.data()};
   }
   if (spec_.tip2) {
-    t.tip2 = tip2_.data();
+    t.tip2.codes = tip2_.data();
   } else {
-    t.partial2 = partial2_.data();
-    t.scale2 = scale2_.data();
+    t.partial2 = {partial2_.data(), scale2_.data()};
   }
   t.out = out;
   t.scale_out = scale_out;
@@ -199,13 +197,11 @@ lh::EvaluateTask Workload::evaluate_task(double* site_lnl_out) const {
   t.brlen = spec_.brlen;
   t.np = spec_.np;
   if (spec_.tip1) {
-    t.tip1 = tip1_.data();
+    t.tip1.codes = tip1_.data();
   } else {
-    t.partial1 = partial1_.data();
-    t.scale1 = scale1_.data();
+    t.partial1 = {partial1_.data(), scale1_.data()};
   }
-  t.partial2 = partial2_.data();
-  t.scale2 = scale2_.data();
+  t.partial2 = {partial2_.data(), scale2_.data()};
   t.weights = weights_.data();
   t.site_lnl_out = site_lnl_out;
   return t;
@@ -216,10 +212,10 @@ lh::SumtableTask Workload::sumtable_task(double* out) const {
   t.ctx = ctx();
   t.np = spec_.np;
   if (spec_.tip1)
-    t.tip1 = tip1_.data();
+    t.tip1.codes = tip1_.data();
   else
-    t.partial1 = partial1_.data();
-  t.partial2 = partial2_.data();
+    t.partial1.values = partial1_.data();
+  t.partial2.values = partial2_.data();
   t.out = out;
   return t;
 }

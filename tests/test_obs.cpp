@@ -1,0 +1,438 @@
+/// Observability layer (src/obs): metrics-registry semantics, RXC_TRACE
+/// parsing, the config validate() surfaces the obs PR hardened, the
+/// executor factory, and a golden Chrome-trace snippet for a fixed-seed
+/// 4-taxon run (the virtual timeline is fully deterministic, so its shape
+/// is pinned like the conformance fingerprints).
+///
+/// Regenerating the golden after an INTENTIONAL cost-model or
+/// span-emission change:
+///   RXC_UPDATE_GOLDEN=1 ctest --test-dir build -R ObsGolden
+/// then review the golden diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/port.h"
+#include "core/scheduler.h"
+#include "core/spe_executor.h"
+#include "likelihood/engine.h"
+#include "likelihood/executor.h"
+#include "obs/obs.h"
+#include "seq/seqgen.h"
+#include "support/error.h"
+
+namespace rxc {
+namespace {
+
+/// Installs an obs mode for one test and restores "off" (resetting all
+/// metrics/events) on the way out, so tests cannot leak state.
+class ObsModeGuard {
+ public:
+  explicit ObsModeGuard(obs::Mode mode, std::size_t max_events = 1u << 20) {
+    obs::Config cfg;
+    cfg.mode = mode;
+    cfg.max_events = max_events;
+    obs::configure(cfg);
+  }
+  ~ObsModeGuard() { obs::configure(obs::Config{}); }
+};
+
+// --- metrics registry -------------------------------------------------------
+
+TEST(ObsMetrics, CounterCountsOnlyWhenEnabled) {
+  obs::Counter& c = obs::counter("test.counter.gated");
+  {
+    ObsModeGuard guard(obs::Mode::kOff);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 0u) << "off mode must not record";
+  }
+  {
+    ObsModeGuard guard(obs::Mode::kSummary);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+  }
+}
+
+TEST(ObsMetrics, HandlesAreStableAndShared) {
+  obs::Counter& a = obs::counter("test.counter.shared");
+  obs::Counter& b = obs::counter("test.counter.shared");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsMetrics, NameKindCollisionThrows) {
+  obs::counter("test.collision");
+  EXPECT_THROW(obs::gauge("test.collision"), rxc::Error);
+  EXPECT_THROW(obs::histogram("test.collision"), rxc::Error);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  ObsModeGuard guard(obs::Mode::kSummary);
+  obs::Gauge& g = obs::gauge("test.gauge.setadd");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(ObsMetrics, HistogramStatsAndBuckets) {
+  ObsModeGuard guard(obs::Mode::kSummary);
+  obs::Histogram& h = obs::histogram("test.histo.stats");
+  for (const double v : {0.25, 1.0, 3.0, 100.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 104.25 / 4.0);
+  // Bucket i holds [2^(i-1), 2^i); bucket 0 holds [0, 1).
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(0.25), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(1.0), 1);
+  EXPECT_EQ(obs::Histogram::bucket_index(3.0), 2);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_index(100.0)), 1u);
+}
+
+TEST(ObsMetrics, ConcurrentCountersStayExact) {
+  ObsModeGuard guard(obs::Mode::kSummary);
+  obs::Counter& c = obs::counter("test.counter.concurrent");
+  constexpr int kThreads = 4, kAdds = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(ObsMetrics, SnapshotIsSortedByName) {
+  ObsModeGuard guard(obs::Mode::kSummary);
+  obs::counter("test.sorted.b").add();
+  obs::counter("test.sorted.a").add();
+  const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i)
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+}
+
+// --- trace config / recorder ------------------------------------------------
+
+TEST(ObsConfig, ParseTraceConfig) {
+  EXPECT_EQ(obs::parse_trace_config("").mode, obs::Mode::kOff);
+  EXPECT_EQ(obs::parse_trace_config("off").mode, obs::Mode::kOff);
+  EXPECT_EQ(obs::parse_trace_config("summary").mode, obs::Mode::kSummary);
+  const obs::Config plain = obs::parse_trace_config("json");
+  EXPECT_EQ(plain.mode, obs::Mode::kJson);
+  EXPECT_EQ(plain.json_path, "rxc_trace.json");
+  const obs::Config pathed = obs::parse_trace_config("json:/tmp/t.json");
+  EXPECT_EQ(pathed.mode, obs::Mode::kJson);
+  EXPECT_EQ(pathed.json_path, "/tmp/t.json");
+  EXPECT_THROW(obs::parse_trace_config("verbose"), rxc::Error);
+  EXPECT_THROW(obs::parse_trace_config("json=/tmp/t.json"), rxc::Error);
+}
+
+TEST(ObsRecorder, SpansOnlyRecordedInJsonMode) {
+  {
+    ObsModeGuard guard(obs::Mode::kSummary);
+    obs::record_span(obs::Timeline::kWall, "s", "c", 0, 0.0, 1.0);
+    EXPECT_EQ(obs::event_count(), 0u);
+  }
+  {
+    ObsModeGuard guard(obs::Mode::kJson);
+    obs::record_span(obs::Timeline::kWall, "s", "c", 0, 0.0, 1.0);
+    { obs::ScopedTimer timer("scoped", "test"); }
+    EXPECT_EQ(obs::event_count(), 2u);
+    const auto events = obs::snapshot_events();
+    EXPECT_EQ(events[0].name, "s");
+    EXPECT_EQ(events[1].name, "scoped");
+  }
+}
+
+TEST(ObsRecorder, BufferBoundDropsInsteadOfGrowing) {
+  ObsModeGuard guard(obs::Mode::kJson, /*max_events=*/4);
+  for (int i = 0; i < 10; ++i)
+    obs::record_span(obs::Timeline::kWall, "s", "c", 0, i, 1.0);
+  EXPECT_EQ(obs::event_count(), 4u);
+  EXPECT_EQ(obs::counter("obs.dropped_events").value(), 6u);
+}
+
+TEST(ObsExporter, ChromeTraceCarriesBothTimelines) {
+  ObsModeGuard guard(obs::Mode::kJson);
+  obs::record_span(obs::Timeline::kWall, "wall-span", "test", 0, 1.0, 2.0);
+  obs::record_span(obs::Timeline::kVirtual, "newview", "spe",
+                   obs::kLaneSpeBase + 2, 5.0, 7.0);
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_NE(json.find("\"wall\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell-virtual\""), std::string::npos);
+  EXPECT_NE(json.find("\"SPE 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"newview\""), std::string::npos);
+}
+
+// --- config validation surfaces ---------------------------------------------
+
+TEST(ObsValidate, EngineConfigRejectsIllegalCombos) {
+  lh::EngineConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  lh::EngineConfig cats = ok;
+  cats.categories = 0;
+  EXPECT_THROW(cats.validate(), rxc::Error);
+  cats.categories = lh::kMaxRateCategories + 1;
+  EXPECT_THROW(cats.validate(), rxc::Error);
+
+  lh::EngineConfig alpha = ok;
+  alpha.mode = lh::RateMode::kGamma;
+  alpha.alpha = 0.0;
+  EXPECT_THROW(alpha.validate(), rxc::Error);
+}
+
+TEST(ObsValidate, TaskContextRejectsGammaWithPerPatternCategories) {
+  const model::EigenSystem es =
+      model::decompose(lh::EngineConfig{}.model);
+  const double rates[4] = {1.0, 1.0, 1.0, 1.0};
+  const int cat[1] = {0};
+  lh::TaskContext ctx;
+  ctx.es = &es;
+  ctx.rates = rates;
+  ctx.ncat = 4;
+  ctx.mode = lh::RateMode::kGamma;
+  EXPECT_NO_THROW(ctx.validate());
+  ctx.cat = cat;
+  EXPECT_THROW(ctx.validate(), rxc::Error);
+  ctx.mode = lh::RateMode::kCat;
+  EXPECT_NO_THROW(ctx.validate());
+}
+
+TEST(ObsValidate, ScheduleConfigRejectsOvercommit) {
+  core::ScheduleConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  core::ScheduleConfig bad = ok;
+  bad.processes = 0;
+  EXPECT_THROW(bad.validate(), rxc::Error);
+
+  bad = ok;
+  bad.policy = core::Policy::kNaive;
+  bad.processes = 3;  // only two PPE hardware threads
+  EXPECT_THROW(bad.validate(), rxc::Error);
+
+  bad = ok;
+  bad.policy = core::Policy::kLlp;
+  bad.processes = 4;
+  bad.llp_ways = 4;  // 4 * 4 > 8 SPEs
+  EXPECT_THROW(bad.validate(), rxc::Error);
+  bad.llp_ways = 2;  // 4 * 2 == 8 fits exactly
+  EXPECT_NO_THROW(bad.validate());
+}
+
+TEST(ObsValidate, ExecutorSpecRejectsBadCellParameters) {
+  lh::ExecutorSpec spec;
+  spec.kind = lh::ExecutorKind::kThreaded;
+  spec.threads = 0;
+  EXPECT_THROW(spec.validate(), rxc::Error);
+
+  spec = lh::ExecutorSpec{};
+  spec.kind = lh::ExecutorKind::kSpe;
+  EXPECT_NO_THROW(spec.validate());
+  spec.cell_stage = 8;
+  EXPECT_THROW(spec.validate(), rxc::Error);
+
+  spec = lh::ExecutorSpec{};
+  spec.kind = lh::ExecutorKind::kSpe;
+  spec.llp_ways = 9;
+  EXPECT_THROW(spec.validate(), rxc::Error);
+
+  spec = lh::ExecutorSpec{};
+  spec.kind = lh::ExecutorKind::kSpe;
+  spec.strip_bytes = 128;
+  EXPECT_THROW(spec.validate(), rxc::Error);
+
+  spec = lh::ExecutorSpec{};
+  spec.kind = lh::ExecutorKind::kSpe;
+  spec.eib_contention = 0.5;
+  EXPECT_THROW(spec.validate(), rxc::Error);
+}
+
+// --- executor factory -------------------------------------------------------
+
+TEST(ObsFactory, MakeExecutorBuildsEveryKind) {
+  lh::ExecutorSpec host;
+  const auto h = lh::make_executor(host);
+  ASSERT_NE(h, nullptr);
+  EXPECT_NE(dynamic_cast<lh::HostExecutor*>(h.get()), nullptr);
+
+  lh::ExecutorSpec threaded;
+  threaded.kind = lh::ExecutorKind::kThreaded;
+  threaded.threads = 2;
+  const auto t = lh::make_executor(threaded);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(dynamic_cast<lh::HostExecutor*>(t.get()), nullptr);
+
+  const auto c =
+      lh::make_executor(core::cell_executor_spec(core::Stage::kOffloadAll));
+  ASSERT_NE(c, nullptr);
+  EXPECT_NO_THROW(core::as_cell_executor(*c));
+  EXPECT_THROW(core::as_cell_executor(*h), rxc::Error);
+}
+
+TEST(ObsFactory, MakeExecutorValidatesSpec) {
+  lh::ExecutorSpec spec;
+  spec.kind = lh::ExecutorKind::kSpe;
+  spec.llp_ways = 0;
+  EXPECT_THROW(lh::make_executor(spec), rxc::Error);
+}
+
+// --- golden virtual timeline ------------------------------------------------
+
+#ifdef RXC_OBS_GOLDEN_FILE
+
+/// Serialized form of the deterministic part of a trace: per-span-name
+/// totals over the whole virtual timeline, plus the first events verbatim
+/// (a Chrome-trace "snippet") and the end-of-trace timestamp.  Wall spans
+/// are real time and excluded.
+struct TraceDigest {
+  std::map<std::string, std::uint64_t> counts;
+  std::vector<obs::TraceEvent> head;
+  double end_ts_us = 0.0;
+
+  static constexpr std::size_t kHeadEvents = 48;
+
+  std::vector<std::string> serialize() const {
+    std::vector<std::string> lines;
+    for (const auto& [name, n] : counts) {
+      std::ostringstream os;
+      os << "count " << name << " " << n;
+      lines.push_back(os.str());
+    }
+    for (const obs::TraceEvent& e : head) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "ev name=" << e.name << " cat=" << e.cat << " tid=" << e.tid
+         << " ts=" << e.ts_us << " dur=" << e.dur_us;
+      lines.push_back(os.str());
+    }
+    std::ostringstream os;
+    os.precision(17);
+    os << "end " << end_ts_us;
+    lines.push_back(os.str());
+    return lines;
+  }
+};
+
+bool us_close(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * (std::max(std::abs(a), std::abs(b)) + 1.0);
+}
+
+/// Compares one serialized line pair; "ev"/"end" lines get the 1e-9
+/// relative tolerance on their trailing ts/dur numbers, everything else is
+/// exact.
+void expect_line_matches(const std::string& want, const std::string& got,
+                         std::size_t lineno) {
+  auto split_numbers = [](const std::string& line, std::string& text,
+                          std::vector<double>& nums) {
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok) {
+      const auto eq = tok.find('=');
+      const std::string value =
+          eq == std::string::npos ? tok : tok.substr(eq + 1);
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end && *end == '\0' && end != value.c_str() &&
+          (tok.rfind("ts=", 0) == 0 || tok.rfind("dur=", 0) == 0 ||
+           tok == value)) {
+        if (eq != std::string::npos) tok = tok.substr(0, eq + 1) + "#";
+        else tok = "#";
+        nums.push_back(v);
+      }
+      text += tok + " ";
+    }
+  };
+  if (want.rfind("ev ", 0) == 0 || want.rfind("end", 0) == 0) {
+    std::string wt, gt;
+    std::vector<double> wn, gn;
+    split_numbers(want, wt, wn);
+    split_numbers(got, gt, gn);
+    EXPECT_EQ(wt, gt) << "line " << lineno;
+    ASSERT_EQ(wn.size(), gn.size()) << "line " << lineno;
+    for (std::size_t i = 0; i < wn.size(); ++i)
+      EXPECT_TRUE(us_close(wn[i], gn[i]))
+          << "line " << lineno << ": " << want << " -> " << got;
+  } else {
+    EXPECT_EQ(want, got) << "line " << lineno;
+  }
+}
+
+TEST(ObsGolden, VirtualTimelineOfFixedSeedRun) {
+  ObsModeGuard guard(obs::Mode::kJson);
+
+  seq::SimOptions opt;
+  opt.ntaxa = 4;
+  opt.nsites = 96;
+  opt.seed = 0x4a11ce;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+
+  core::CellRunConfig cfg;
+  cfg.stage = core::Stage::kOffloadAll;
+  cfg.scheduler = core::SchedulerModel::kMgps;
+  cfg.workers = 2;
+  cfg.search.max_rounds = 3;
+  const auto tasks = search::make_analysis(1, 1, /*base_seed=*/11);
+  const auto run = core::run_on_cell(pa, cfg, tasks);
+  EXPECT_LT(run.task_log_likelihoods.at(0), 0.0);
+
+  TraceDigest digest;
+  for (const obs::TraceEvent& e : obs::snapshot_events()) {
+    if (e.timeline != obs::Timeline::kVirtual) continue;
+    ++digest.counts[e.name];
+    if (digest.head.size() < TraceDigest::kHeadEvents)
+      digest.head.push_back(e);
+    digest.end_ts_us = std::max(digest.end_ts_us, e.ts_us + e.dur_us);
+  }
+  ASSERT_FALSE(digest.head.empty()) << "no virtual spans were recorded";
+  // The paper's bottleneck must be visible in the timeline: DMA stalls.
+  EXPECT_GT(digest.counts["dma-stall"], 0u);
+  EXPECT_GT(digest.counts["newview"], 0u);
+
+  const std::vector<std::string> current = digest.serialize();
+  const char* path = RXC_OBS_GOLDEN_FILE;
+  if (std::getenv("RXC_UPDATE_GOLDEN")) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << "# Golden virtual-timeline digest: span counts over the whole\n"
+          "# trace, the first " << TraceDigest::kHeadEvents
+       << " virtual events verbatim, and the end timestamp\n"
+          "# (microseconds at the modeled clock, 1e-9 relative).\n"
+          "# Regenerate with RXC_UPDATE_GOLDEN=1 after an intentional\n"
+          "# cost-model or span-emission change.\n";
+    for (const std::string& line : current) os << line << "\n";
+    SUCCEED() << "golden file regenerated at " << path;
+    return;
+  }
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is) << "missing golden file " << path
+                  << " — run with RXC_UPDATE_GOLDEN=1 to create it";
+  std::vector<std::string> golden;
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty() && line[0] != '#') golden.push_back(line);
+  ASSERT_EQ(golden.size(), current.size())
+      << "golden file is stale; regenerate with RXC_UPDATE_GOLDEN=1";
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    expect_line_matches(golden[i], current[i], i + 1);
+}
+
+#endif  // RXC_OBS_GOLDEN_FILE
+
+}  // namespace
+}  // namespace rxc
