@@ -1,0 +1,63 @@
+#include "analysis/analyze.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "support/log.h"
+
+namespace rxc::analysis {
+
+namespace {
+
+std::unique_ptr<RaceDetector> g_detector;
+
+}  // namespace
+
+AnalyzeMode parse_analyze(const std::string& value) {
+  if (value.empty() || value == "off") return AnalyzeMode::kOff;
+  if (value == "race") return AnalyzeMode::kRace;
+  if (value == "race:fatal") return AnalyzeMode::kRaceFatal;
+  throw Error("RXC_ANALYZE: unknown mode '" + value +
+              "' (expected off, race, or race:fatal)");
+}
+
+void configure(AnalyzeMode mode) {
+  // Detach the sink before destroying the old detector so a concurrent hook
+  // never dereferences a dead object.
+  cell::set_event_sink(nullptr);
+  g_detector.reset();
+  if (mode == AnalyzeMode::kOff) return;
+  g_detector =
+      std::make_unique<RaceDetector>(mode == AnalyzeMode::kRaceFatal);
+  cell::set_event_sink(g_detector.get());
+}
+
+RaceDetector* global_detector() { return g_detector.get(); }
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* value = std::getenv("RXC_ANALYZE");
+    if (!value) return;
+    const AnalyzeMode mode = parse_analyze(value);
+    configure(mode);
+    if (mode != AnalyzeMode::kOff) {
+      log_info(std::string("analysis: race detector armed") +
+               (mode == AnalyzeMode::kRaceFatal ? " (fatal)" : ""));
+      // Report on stderr at process exit, like RXC_TRACE=summary: stdout
+      // stays byte-identical to an unarmed run.
+      std::atexit([] {
+        const RaceDetector* det = g_detector.get();
+        if (!det) return;
+        const AnalysisReport report = det->report();
+        std::fputs(report.to_string().c_str(), stderr);
+        std::fprintf(stderr, "[rxc:analysis] race detector: %zu finding(s)\n",
+                     report.total);
+      });
+    }
+  });
+}
+
+}  // namespace rxc::analysis

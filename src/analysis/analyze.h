@@ -1,0 +1,33 @@
+#pragma once
+/// \file analyze.h
+/// Process-wide arming of the race detector, mirroring obs::init_from_env.
+///
+/// `RXC_ANALYZE=race` installs a RaceDetector as the cell event sink for the
+/// lifetime of the process; `RXC_ANALYZE=race:fatal` additionally throws
+/// AnalysisError at the first finding.  Unset (or `off`) costs one relaxed
+/// atomic load per hook site — the detector object is never constructed.
+
+#include <string>
+
+#include "analysis/race_detector.h"
+
+namespace rxc::analysis {
+
+enum class AnalyzeMode { kOff, kRace, kRaceFatal };
+
+/// Parses an RXC_ANALYZE value: "off", "race", or "race:fatal".
+/// Throws Error on anything else.
+AnalyzeMode parse_analyze(const std::string& value);
+
+/// Installs (or removes, for kOff) the global detector as the cell event
+/// sink.  Replaces any previously configured detector.
+void configure(AnalyzeMode mode);
+
+/// The armed detector, or nullptr when analysis is off.
+RaceDetector* global_detector();
+
+/// Reads RXC_ANALYZE once per process and configures accordingly.  Safe to
+/// call from multiple entry points; later calls are no-ops.
+void init_from_env();
+
+}  // namespace rxc::analysis

@@ -1,0 +1,363 @@
+#include "analysis/race_detector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace rxc::analysis {
+
+namespace {
+
+/// Virtual cycles -> microseconds on the recorder's virtual timeline (the
+/// modeled 3.2 GHz clock; matches the trace-replay scheduler's conversion).
+double cycles_to_us(cell::VCycles cycles) {
+  return cycles * (1e6 / cell::kDefaultCostParams.clock_hz);
+}
+
+std::string hex_range(std::uint64_t lo, std::uint64_t hi) {
+  std::ostringstream os;
+  os << "[0x" << std::hex << lo << ",0x" << hi << ")";
+  return os.str();
+}
+
+}  // namespace
+
+const char* hazard_kind_name(HazardKind kind) {
+  switch (kind) {
+    case HazardKind::kReadBeforeWait: return "read-before-wait";
+    case HazardKind::kBufferHazard: return "buffer-hazard";
+    case HazardKind::kEaPutOverlap: return "ea-put-overlap";
+    case HazardKind::kSignalOrder: return "signal-order";
+    case HazardKind::kStalePartial: return "stale-partial";
+  }
+  return "unknown-hazard";
+}
+
+std::string Hazard::to_string() const {
+  std::ostringstream os;
+  os << "race[" << hazard_kind_name(kind) << "] spe=" << spe;
+  if (other_spe >= 0 && other_spe != spe) os << " vs spe=" << other_spe;
+  if (tag >= 0) os << " tag=" << tag;
+  if (hi > lo) os << ' ' << (ea_range ? "ea" : "ls") << hex_range(lo, hi);
+  os << " @cycle " << second_cycle << ": " << second << " races with "
+     << first << " (issued @cycle " << first_cycle << ")";
+  return os.str();
+}
+
+std::string AnalysisReport::to_string() const {
+  std::ostringstream os;
+  for (const Hazard& h : findings) os << h.to_string() << '\n';
+  if (total > findings.size())
+    os << "... and " << (total - findings.size())
+       << " further findings (capped at " << findings.size() << ")\n";
+  return os.str();
+}
+
+RaceDetector::SpeState& RaceDetector::spe_state(int spe) {
+  if (spe < 0) spe = 0;
+  if (static_cast<std::size_t>(spe) >= spes_.size())
+    spes_.resize(static_cast<std::size_t>(spe) + 1);
+  return spes_[static_cast<std::size_t>(spe)];
+}
+
+std::string RaceDetector::transfer_desc(int spe, const Transfer& t) const {
+  std::ostringstream os;
+  os << "un-waited dma-" << (t.is_get ? "get" : "put") << " spe=" << spe
+     << " tag=" << t.tag << " ls" << hex_range(t.ls_lo, t.ls_hi) << " ea"
+     << hex_range(t.ea_lo, t.ea_hi);
+  return os.str();
+}
+
+void RaceDetector::add_finding(Hazard hazard) {
+  ++report_.total;
+  static obs::Counter& findings = obs::counter("analysis.findings");
+  findings.add();
+  if (obs::recording())
+    obs::record_instant(
+        obs::Timeline::kVirtual,
+        std::string("race:") + hazard_kind_name(hazard.kind), "analysis",
+        obs::kLaneSpeBase + std::max(0, hazard.spe),
+        cycles_to_us(hazard.second_cycle));
+  if (fatal_) throw AnalysisError(hazard.to_string());
+  if (report_.findings.size() < kMaxFindings)
+    report_.findings.push_back(std::move(hazard));
+}
+
+void RaceDetector::on_dma_get(int spe, int tag, std::uintptr_t ea,
+                              cell::LsAddr ls, std::size_t size,
+                              cell::VCycles issue, cell::VCycles complete) {
+  (void)complete;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.dma_events;
+  const std::uint64_t ls_lo = ls, ls_hi = ls + size;
+  const std::uint64_t ea_lo = ea, ea_hi = ea + size;
+
+  // (e) The source bytes are covered by a put nobody waited on: the get may
+  // observe the pre-put (stale) contents on real hardware.
+  for (std::size_t s = 0; s < spes_.size(); ++s) {
+    for (const Transfer& t : spes_[s].outstanding) {
+      if (t.is_get || !overlap(ea_lo, ea_hi, t.ea_lo, t.ea_hi)) continue;
+      Hazard h;
+      h.kind = HazardKind::kStalePartial;
+      h.spe = spe;
+      h.other_spe = static_cast<int>(s);
+      h.tag = t.tag;
+      h.lo = std::max(ea_lo, t.ea_lo);
+      h.hi = std::min(ea_hi, t.ea_hi);
+      h.ea_range = true;
+      h.first_cycle = t.issue;
+      h.second_cycle = issue;
+      h.first = transfer_desc(static_cast<int>(s), t);
+      h.second = "dma-get sourcing ea" + hex_range(ea_lo, ea_hi);
+      add_finding(std::move(h));
+    }
+  }
+
+  // (b) The target local-store range collides with a transfer still in
+  // flight on this SPE: two unordered DMA writes, or a get clobbering bytes
+  // an outstanding put is still reading.
+  SpeState& st = spe_state(spe);
+  for (const Transfer& t : st.outstanding) {
+    if (!overlap(ls_lo, ls_hi, t.ls_lo, t.ls_hi)) continue;
+    Hazard h;
+    h.kind = HazardKind::kBufferHazard;
+    h.spe = spe;
+    h.other_spe = spe;
+    h.tag = t.tag;
+    h.lo = std::max(ls_lo, t.ls_lo);
+    h.hi = std::min(ls_hi, t.ls_hi);
+    h.first_cycle = t.issue;
+    h.second_cycle = issue;
+    h.first = transfer_desc(spe, t);
+    h.second = "dma-get into ls" + hex_range(ls_lo, ls_hi) + " tag " +
+               std::to_string(tag);
+    add_finding(std::move(h));
+  }
+
+  st.outstanding.push_back(
+      Transfer{tag, true, ls_lo, ls_hi, ea_lo, ea_hi, issue, epoch_});
+}
+
+void RaceDetector::on_dma_put(int spe, int tag, cell::LsAddr ls,
+                              std::uintptr_t ea, std::size_t size,
+                              cell::VCycles issue, cell::VCycles complete) {
+  (void)complete;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.dma_events;
+  const std::uint64_t ls_lo = ls, ls_hi = ls + size;
+  const std::uint64_t ea_lo = ea, ea_hi = ea + size;
+
+  // (c) Another SPE already put to an overlapping main-memory range this
+  // epoch; no machine primitive orders the two MFCs, so the final contents
+  // are a coin flip on silicon.  A tag wait by the other SPE does not help
+  // (it orders that SPE's own program, not the EIB), hence epoch_puts_.
+  // Same-SPE pairs are ordered by program order + tag wait and are handled
+  // through the outstanding list below instead.
+  for (const EpochPut& p : epoch_puts_) {
+    if (p.spe == spe || !overlap(ea_lo, ea_hi, p.ea_lo, p.ea_hi)) continue;
+    Hazard h;
+    h.kind = HazardKind::kEaPutOverlap;
+    h.spe = spe;
+    h.other_spe = p.spe;
+    h.tag = tag;
+    h.lo = std::max(ea_lo, p.ea_lo);
+    h.hi = std::min(ea_hi, p.ea_hi);
+    h.ea_range = true;
+    h.first_cycle = p.issue;
+    h.second_cycle = issue;
+    h.first = "dma-put spe=" + std::to_string(p.spe) + " tag=" +
+              std::to_string(p.tag) + " ea" + hex_range(p.ea_lo, p.ea_hi);
+    h.second = "dma-put ea" + hex_range(ea_lo, ea_hi);
+    add_finding(std::move(h));
+  }
+
+  // (b) The put reads local-store bytes an outstanding get is still
+  // writing on this SPE; (c) same-SPE variant: two un-waited puts to
+  // overlapping main memory (tag groups complete in any order).
+  SpeState& st = spe_state(spe);
+  for (const Transfer& t : st.outstanding) {
+    if (t.is_get && overlap(ls_lo, ls_hi, t.ls_lo, t.ls_hi)) {
+      Hazard h;
+      h.kind = HazardKind::kBufferHazard;
+      h.spe = spe;
+      h.other_spe = spe;
+      h.tag = t.tag;
+      h.lo = std::max(ls_lo, t.ls_lo);
+      h.hi = std::min(ls_hi, t.ls_hi);
+      h.first_cycle = t.issue;
+      h.second_cycle = issue;
+      h.first = transfer_desc(spe, t);
+      h.second = "dma-put from ls" + hex_range(ls_lo, ls_hi) + " tag " +
+                 std::to_string(tag);
+      add_finding(std::move(h));
+    } else if (!t.is_get && overlap(ea_lo, ea_hi, t.ea_lo, t.ea_hi)) {
+      Hazard h;
+      h.kind = HazardKind::kEaPutOverlap;
+      h.spe = spe;
+      h.other_spe = spe;
+      h.tag = t.tag;
+      h.lo = std::max(ea_lo, t.ea_lo);
+      h.hi = std::min(ea_hi, t.ea_hi);
+      h.ea_range = true;
+      h.first_cycle = t.issue;
+      h.second_cycle = issue;
+      h.first = transfer_desc(spe, t);
+      h.second = "dma-put ea" + hex_range(ea_lo, ea_hi) + " tag " +
+                 std::to_string(tag);
+      add_finding(std::move(h));
+    }
+  }
+
+  st.outstanding.push_back(
+      Transfer{tag, false, ls_lo, ls_hi, ea_lo, ea_hi, issue, epoch_});
+  epoch_puts_.push_back(EpochPut{spe, tag, ea_lo, ea_hi, issue});
+}
+
+void RaceDetector::on_tag_wait(int spe, int tag, cell::VCycles now) {
+  (void)now;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.wait_events;
+  SpeState& st = spe_state(spe);
+  std::erase_if(st.outstanding,
+                [tag](const Transfer& t) { return t.tag == tag; });
+}
+
+void RaceDetector::on_ls_read(int spe, cell::LsAddr addr, std::size_t size,
+                              cell::VCycles t0, cell::VCycles t1) {
+  (void)t1;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.window_events;
+  const std::uint64_t lo = addr, hi = addr + size;
+  SpeState& st = spe_state(spe);
+  for (const Transfer& t : st.outstanding) {
+    // Reading bytes an un-waited inbound DMA targets: check (a).  An
+    // outstanding put over the same range is benign — both sides read.
+    if (!t.is_get || !overlap(lo, hi, t.ls_lo, t.ls_hi)) continue;
+    Hazard h;
+    h.kind = HazardKind::kReadBeforeWait;
+    h.spe = spe;
+    h.other_spe = spe;
+    h.tag = t.tag;
+    h.lo = std::max(lo, t.ls_lo);
+    h.hi = std::min(hi, t.ls_hi);
+    h.first_cycle = t.issue;
+    h.second_cycle = t0;
+    h.first = transfer_desc(spe, t);
+    h.second = "kernel read of ls" + hex_range(lo, hi);
+    add_finding(std::move(h));
+  }
+}
+
+void RaceDetector::on_ls_write(int spe, cell::LsAddr addr, std::size_t size,
+                               cell::VCycles t0, cell::VCycles t1) {
+  (void)t1;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.window_events;
+  const std::uint64_t lo = addr, hi = addr + size;
+  SpeState& st = spe_state(spe);
+  for (const Transfer& t : st.outstanding) {
+    if (!overlap(lo, hi, t.ls_lo, t.ls_hi)) continue;
+    // Writing over an in-flight get's target or an un-drained put's source:
+    // check (b), the double-buffering discipline.
+    Hazard h;
+    h.kind = HazardKind::kBufferHazard;
+    h.spe = spe;
+    h.other_spe = spe;
+    h.tag = t.tag;
+    h.lo = std::max(lo, t.ls_lo);
+    h.hi = std::min(hi, t.ls_hi);
+    h.first_cycle = t.issue;
+    h.second_cycle = t0;
+    h.first = transfer_desc(spe, t);
+    h.second = "kernel write of ls" + hex_range(lo, hi);
+    add_finding(std::move(h));
+  }
+}
+
+void RaceDetector::on_mailbox(int spe, bool inbound, bool write,
+                              std::uint32_t value) {
+  (void)spe;
+  (void)inbound;
+  (void)write;
+  (void)value;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.mailbox_events;
+}
+
+void RaceDetector::on_signal(int spe, cell::SignalOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.signal_events;
+  SpeState& st = spe_state(spe);
+  const char* violation = nullptr;
+  switch (op) {
+    case cell::SignalOp::kGo:
+      if (st.signal != SignalState::kIdle)
+        violation = st.signal == SignalState::kArmed
+                        ? "command word overwritten before the SPE consumed "
+                          "the previous command"
+                        : "command word overwritten before the PPE read the "
+                          "pending completion";
+      st.signal = SignalState::kArmed;
+      break;
+    case cell::SignalOp::kComplete:
+      if (st.signal != SignalState::kArmed)
+        violation = "completion store with no armed command";
+      st.signal = SignalState::kDone;
+      break;
+    case cell::SignalOp::kRead:
+      if (st.signal != SignalState::kDone)
+        violation = "PPE read the completion word with no intervening SPE "
+                    "completion store";
+      st.signal = SignalState::kIdle;
+      break;
+  }
+  if (violation != nullptr) {
+    Hazard h;
+    h.kind = HazardKind::kSignalOrder;
+    h.spe = spe;
+    h.other_spe = spe;
+    h.first = "direct-signal channel state";
+    h.second = violation;
+    add_finding(std::move(h));
+  }
+}
+
+void RaceDetector::on_epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.epochs;
+  ++epoch_;
+  // The PPE join is the global edge: same-epoch put overlaps can no longer
+  // form, so the cross-SPE registry resets.  Outstanding (un-waited)
+  // transfers survive — a join does not flush anyone's MFC.
+  epoch_puts_.clear();
+}
+
+AnalysisReport RaceDetector::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+AnalysisReport RaceDetector::take_report() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AnalysisReport out = std::move(report_);
+  report_ = {};
+  return out;
+}
+
+DetectorStats RaceDetector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RaceDetector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spes_.clear();
+  epoch_puts_.clear();
+  epoch_ = 0;
+  report_ = {};
+  stats_ = {};
+}
+
+}  // namespace rxc::analysis

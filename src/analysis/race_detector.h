@@ -1,0 +1,184 @@
+#pragma once
+/// \file race_detector.h
+/// Happens-before race detector over the simulated Cell's event stream.
+///
+/// The simulator executes sequentially, so a skipped tag-group wait or a
+/// prematurely reused DMA buffer still computes the right bytes — but on
+/// real silicon the same program order is a data race that corrupts results
+/// nondeterministically.  This detector reconstructs the *concurrency*
+/// semantics from the machine events (cell/events.h) and flags every access
+/// pair that lacks a synchronization edge, independent of whether the
+/// simulated timing happened to be lucky.
+///
+/// Synchronization model (what creates happens-before edges):
+///  * mfc wait(tag) on SPE s orders every transfer issued on (s, tag)
+///    before all subsequent events of SPE s — the ONLY intra-SPE edge the
+///    MFC architecture provides;
+///  * the PPE join at the end of an offloaded invocation (EventSink::
+///    on_epoch) orders everything before it across SPEs — inter-SPE
+///    accesses inside one epoch have no ordering at all.
+///
+/// Checks, keyed to the paper optimization each one guards:
+///  (a) kReadBeforeWait  — kernel reads local-store bytes targeted by an
+///      inbound DMA get that was never tag-waited (Opt IV strip-mining).
+///  (b) kBufferHazard    — kernel or DMA rewrites a buffer while an
+///      un-waited transfer still uses it (Opt IV double buffering).
+///  (c) kEaPutOverlap    — DMA puts from two SPEs target overlapping main-
+///      memory ranges within one epoch (LLP result partitioning).
+///  (d) kSignalOrder     — direct-memory signaling protocol violation: the
+///      PPE reads a completion word no SPE store ordered before it
+///      (Opt VI).
+///  (e) kStalePartial    — DMA get sources main-memory bytes covered by a
+///      put that has not been waited on: the consumer may read a stale
+///      partial-likelihood vector (MGPS scheduling, Opt VII).
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cell/cost_params.h"
+#include "cell/events.h"
+#include "support/error.h"
+
+namespace rxc::analysis {
+
+/// Thrown by the detector in fatal mode (`RXC_ANALYZE=race:fatal`) at the
+/// first finding, so the failing virtual instruction sits on top of the
+/// C++ stack trace.
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& what) : Error(what) {}
+};
+
+enum class HazardKind {
+  kReadBeforeWait,
+  kBufferHazard,
+  kEaPutOverlap,
+  kSignalOrder,
+  kStalePartial,
+};
+
+const char* hazard_kind_name(HazardKind kind);
+
+/// One detected race, with both racing events pinned down.
+struct Hazard {
+  HazardKind kind = HazardKind::kReadBeforeWait;
+  int spe = -1;        ///< SPE of the event that exposed the race
+  int other_spe = -1;  ///< SPE of the earlier racing event (may equal spe)
+  int tag = -1;        ///< MFC tag of the outstanding transfer (-1: none)
+  std::uint64_t lo = 0, hi = 0;  ///< overlapping byte range [lo, hi)
+  bool ea_range = false;  ///< range is an effective address (else LS offset)
+  cell::VCycles first_cycle = 0.0;   ///< issue time of the earlier event
+  cell::VCycles second_cycle = 0.0;  ///< time of the exposing event
+  std::string first;   ///< description of the earlier racing event
+  std::string second;  ///< description of the exposing event
+
+  /// "race[buffer-hazard] spe=3 tag=2 ls[0x1d400,0x1d600) @cycle ..." line.
+  std::string to_string() const;
+};
+
+/// Outcome of an analysis session: empty == race-free.  Mirrors
+/// cell::InvariantReport so callers audit both the same way.
+struct AnalysisReport {
+  std::vector<Hazard> findings;
+  /// Findings are capped (kMaxFindings); this is the uncapped count.
+  std::uint64_t total = 0;
+
+  bool ok() const { return total == 0; }
+  /// One finding per line (empty string when ok).
+  std::string to_string() const;
+};
+
+/// Event-stream statistics, exposed so tests can assert the hooks fire and
+/// docs can quote the (armed) bookkeeping cost honestly.
+struct DetectorStats {
+  std::uint64_t dma_events = 0;
+  std::uint64_t wait_events = 0;
+  std::uint64_t window_events = 0;
+  std::uint64_t mailbox_events = 0;
+  std::uint64_t signal_events = 0;
+  std::uint64_t epochs = 0;
+};
+
+class RaceDetector final : public cell::EventSink {
+ public:
+  static constexpr std::size_t kMaxFindings = 256;
+
+  explicit RaceDetector(bool fatal = false) : fatal_(fatal) {}
+
+  // --- EventSink ----------------------------------------------------------
+  void on_dma_get(int spe, int tag, std::uintptr_t ea, cell::LsAddr ls,
+                  std::size_t size, cell::VCycles issue,
+                  cell::VCycles complete) override;
+  void on_dma_put(int spe, int tag, cell::LsAddr ls, std::uintptr_t ea,
+                  std::size_t size, cell::VCycles issue,
+                  cell::VCycles complete) override;
+  void on_tag_wait(int spe, int tag, cell::VCycles now) override;
+  void on_ls_read(int spe, cell::LsAddr addr, std::size_t size,
+                  cell::VCycles t0, cell::VCycles t1) override;
+  void on_ls_write(int spe, cell::LsAddr addr, std::size_t size,
+                   cell::VCycles t0, cell::VCycles t1) override;
+  void on_mailbox(int spe, bool inbound, bool write,
+                  std::uint32_t value) override;
+  void on_signal(int spe, cell::SignalOp op) override;
+  void on_epoch() override;
+
+  // --- results ------------------------------------------------------------
+  bool fatal() const { return fatal_; }
+  /// Copy of the accumulated report (thread-safe).
+  AnalysisReport report() const;
+  /// Moves the report out and resets findings (outstanding state survives).
+  AnalysisReport take_report();
+  DetectorStats stats() const;
+  /// Drops findings AND all outstanding tracking state (fresh session).
+  void clear();
+
+ private:
+  /// One in-flight (issued, not yet tag-waited) DMA command.
+  struct Transfer {
+    int tag = 0;
+    bool is_get = false;  ///< get writes LS / reads EA; put is the reverse
+    std::uint64_t ls_lo = 0, ls_hi = 0;
+    std::uint64_t ea_lo = 0, ea_hi = 0;
+    cell::VCycles issue = 0.0;
+    std::uint64_t epoch = 0;
+  };
+  /// Direct-signal channel protocol state (per SPE).
+  enum class SignalState { kIdle, kArmed, kDone };
+  struct SpeState {
+    std::vector<Transfer> outstanding;
+    SignalState signal = SignalState::kIdle;
+  };
+  /// Every put of the current epoch (including tag-waited ones): a wait by
+  /// the issuing SPE does not order the put against OTHER SPEs, so the
+  /// cross-SPE overlap check (c) must see retired puts until the next epoch
+  /// boundary provides the global edge.
+  struct EpochPut {
+    int spe = 0;
+    int tag = 0;
+    std::uint64_t ea_lo = 0, ea_hi = 0;
+    cell::VCycles issue = 0.0;
+  };
+
+  static bool overlap(std::uint64_t a_lo, std::uint64_t a_hi,
+                      std::uint64_t b_lo, std::uint64_t b_hi) {
+    return a_lo < b_hi && b_lo < a_hi;
+  }
+
+  SpeState& spe_state(int spe);
+  std::string transfer_desc(int spe, const Transfer& t) const;
+  /// Records (and in fatal mode throws; caller must hold mu_).
+  void add_finding(Hazard hazard);
+
+  mutable std::mutex mu_;
+  bool fatal_;
+  std::vector<SpeState> spes_;
+  std::vector<EpochPut> epoch_puts_;
+  std::uint64_t epoch_ = 0;
+  AnalysisReport report_;
+  DetectorStats stats_;
+};
+
+}  // namespace rxc::analysis

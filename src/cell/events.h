@@ -1,0 +1,88 @@
+#pragma once
+/// \file events.h
+/// Machine-event hooks: the simulator's memory-consistency event stream.
+///
+/// Every DMA command, tag-group wait, mailbox operation, direct-memory
+/// signal and kernel local-store access window can be observed by an
+/// installed EventSink.  The race detector in src/analysis is the primary
+/// consumer; nothing in src/cell depends on it — the dependency points the
+/// other way, through this interface.
+///
+/// Cost discipline mirrors the obs metrics registry: with no sink installed
+/// (the default) every hook site is one relaxed atomic load plus a
+/// predicted-not-taken branch, so `RXC_ANALYZE=off` adds no measurable
+/// overhead to simulation hot paths.
+///
+/// Times are virtual cycles on the issuing SPU's clock.  Effective
+/// addresses are host pointers reduced to integers — the sink reasons about
+/// byte-range overlap, never dereferences.
+
+#include <atomic>
+#include <cstdint>
+
+#include "cell/local_store.h"
+
+namespace rxc::cell {
+
+/// Virtual time in cycles (same alias as mfc.h; kept self-contained here so
+/// the hook header stays leaf-level).
+using VCycles = double;
+
+/// Phases of the direct memory-to-memory signaling protocol (the paper's
+/// §5.2.6 replacement for mailbox round trips).  The safe order per
+/// offload is kGo (PPE stores the command word), kComplete (SPE stores the
+/// completion word), kRead (PPE reads it back).
+enum class SignalOp { kGo, kComplete, kRead };
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// DMA get: main memory [ea, ea+size) -> local store [ls, ls+size).
+  /// `complete` is the tag group's completion time after this command.
+  virtual void on_dma_get(int spe, int tag, std::uintptr_t ea, LsAddr ls,
+                          std::size_t size, VCycles issue,
+                          VCycles complete) = 0;
+  /// DMA put: local store [ls, ls+size) -> main memory [ea, ea+size).
+  virtual void on_dma_put(int spe, int tag, LsAddr ls, std::uintptr_t ea,
+                          std::size_t size, VCycles issue,
+                          VCycles complete) = 0;
+  /// Tag-group wait: the SPU clock has advanced to `now`; every transfer
+  /// issued on `tag` before this point happens-before subsequent events on
+  /// this SPE.
+  virtual void on_tag_wait(int spe, int tag, VCycles now) = 0;
+  /// Kernel code read the local-store window [addr, addr+size) during the
+  /// compute interval [t0, t1].
+  virtual void on_ls_read(int spe, LsAddr addr, std::size_t size, VCycles t0,
+                          VCycles t1) = 0;
+  /// Kernel code wrote the local-store window [addr, addr+size) during the
+  /// compute interval [t0, t1].
+  virtual void on_ls_write(int spe, LsAddr addr, std::size_t size, VCycles t0,
+                           VCycles t1) = 0;
+  /// Mailbox traffic (inbound = PPE -> SPU).  Ordering context for
+  /// diagnostics; depth violations already throw HardwareError.
+  virtual void on_mailbox(int spe, bool inbound, bool write,
+                          std::uint32_t value) = 0;
+  /// One phase of the direct-signaling protocol on `spe`'s channel.
+  virtual void on_signal(int spe, SignalOp op) = 0;
+  /// PPE join point (end of one offloaded kernel invocation): a global
+  /// happens-before edge across all SPEs that participated.
+  virtual void on_epoch() = 0;
+};
+
+namespace detail {
+inline std::atomic<EventSink*> g_event_sink{nullptr};
+}  // namespace detail
+
+/// Currently installed sink, or nullptr (the common, zero-cost case).
+inline EventSink* event_sink() {
+  return detail::g_event_sink.load(std::memory_order_relaxed);
+}
+
+/// Installs (or, with nullptr, removes) the process-global sink.  The sink
+/// must outlive all simulation activity; install before running executors.
+inline void set_event_sink(EventSink* sink) {
+  detail::g_event_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace rxc::cell

@@ -170,4 +170,81 @@ FaultOutcome inject_fault(Spu& spu, Fault fault) {
   return outcome;
 }
 
+const char* race_hazard_name(RaceHazard hazard) {
+  switch (hazard) {
+    case RaceHazard::kSkippedTagWait: return "skipped-tag-wait";
+    case RaceHazard::kPrematureBufferReuse: return "premature-buffer-reuse";
+    case RaceHazard::kOverlappingEaPut: return "overlapping-ea-put";
+    case RaceHazard::kBrokenSignalOrder: return "broken-signal-order";
+    case RaceHazard::kStalePartialRead: return "stale-partial-read";
+  }
+  return "unknown-hazard";
+}
+
+void plant_hazard(CellMachine& machine, RaceHazard hazard) {
+  Spu& spe0 = machine.spe(0);
+  Spu& spe1 = machine.spe(1);
+  spe0.ls().reset();
+  spe1.ls().reset();
+  aligned_vector<std::byte> host(128);
+  EventSink* sink = event_sink();
+
+  switch (hazard) {
+    case RaceHazard::kSkippedTagWait: {
+      // The double-buffering bug the paper's Opt IV must avoid: compute
+      // starts on a strip whose inbound DMA was never tag-waited.
+      const LsAddr buf = spe0.ls().alloc(64);
+      spe0.mfc().get(buf, host.data(), 64, 0, spe0.now());
+      if (sink != nullptr)
+        sink->on_ls_read(spe0.id(), buf, 64, spe0.now(), spe0.now());
+      spe0.wait_dma(0);
+      break;
+    }
+    case RaceHazard::kPrematureBufferReuse: {
+      // The outbound half of the same bug: the kernel rewrites a buffer
+      // while the previous strip's put is still reading it.
+      const LsAddr buf = spe0.ls().alloc(64);
+      spe0.mfc().put(host.data(), buf, 64, 1, spe0.now());
+      if (sink != nullptr)
+        sink->on_ls_write(spe0.id(), buf, 64, spe0.now(), spe0.now());
+      spe0.wait_dma(1);
+      break;
+    }
+    case RaceHazard::kOverlappingEaPut: {
+      // Two SPEs target the same result range inside one epoch: a broken
+      // loop-level-parallel partition (no primitive orders the two MFCs).
+      const LsAddr b0 = spe0.ls().alloc(64);
+      const LsAddr b1 = spe1.ls().alloc(64);
+      spe0.mfc().put(host.data(), b0, 64, 2, spe0.now());
+      spe1.mfc().put(host.data() + 32, b1, 64, 2, spe1.now());
+      spe0.wait_dma(2);
+      spe1.wait_dma(2);
+      break;
+    }
+    case RaceHazard::kBrokenSignalOrder:
+      // Opt VI gone wrong: the PPE reads the completion word with no
+      // intervening SPE completion store ordering it.
+      if (sink != nullptr) {
+        sink->on_signal(spe0.id(), SignalOp::kGo);
+        sink->on_signal(spe0.id(), SignalOp::kRead);
+      }
+      break;
+    case RaceHazard::kStalePartialRead: {
+      // Opt VII gone wrong: a consumer fetches a partial-likelihood vector
+      // whose producing put was never waited on — it may read stale bytes.
+      const LsAddr src = spe0.ls().alloc(64);
+      const LsAddr dst = spe1.ls().alloc(64);
+      spe0.mfc().put(host.data(), src, 64, 3, spe0.now());
+      spe1.mfc().get(dst, host.data(), 64, 4, spe1.now());
+      spe0.wait_dma(3);
+      spe1.wait_dma(4);
+      break;
+    }
+  }
+
+  spe0.ls().reset();
+  spe1.ls().reset();
+  if (sink != nullptr) sink->on_epoch();
+}
+
 }  // namespace rxc::cell

@@ -66,4 +66,34 @@ struct FaultOutcome {
 /// returning, matching the per-invocation reset the executors perform.
 FaultOutcome inject_fault(Spu& spu, Fault fault);
 
+/// One class of concurrency hazard the race detector (src/analysis) must
+/// catch.  Unlike `Fault`, these sequences are architecturally *legal* —
+/// every individual operation succeeds — but the missing synchronization
+/// edge makes the combination a data race on real silicon.
+enum class RaceHazard {
+  kSkippedTagWait,        ///< kernel reads a get's target, wait skipped
+  kPrematureBufferReuse,  ///< kernel rewrites a buffer an un-drained put reads
+  kOverlappingEaPut,      ///< two SPEs put to the same main-memory range
+  kBrokenSignalOrder,     ///< PPE reads completion with no SPE store
+  kStalePartialRead,      ///< get sources bytes an un-waited put covers
+};
+
+inline constexpr std::array<RaceHazard, 5> kAllRaceHazards = {
+    RaceHazard::kSkippedTagWait,       RaceHazard::kPrematureBufferReuse,
+    RaceHazard::kOverlappingEaPut,     RaceHazard::kBrokenSignalOrder,
+    RaceHazard::kStalePartialRead,
+};
+
+const char* race_hazard_name(RaceHazard hazard);
+
+/// Executes the racy-but-legal sequence for `hazard` against the machine's
+/// first SPE(s), through the same primitives the executors use (real DMA
+/// commands plus the events.h hooks for kernel windows and signals).  Every
+/// operation succeeds; the armed event sink is expected to flag the race.
+/// Resets the involved SPEs' local-store allocators, drains all planted
+/// transfers, and closes the epoch before returning, so consecutive plants
+/// are independent.  Functional no-op (beyond those resets) when no event
+/// sink is armed.
+void plant_hazard(CellMachine& machine, RaceHazard hazard);
+
 }  // namespace rxc::cell

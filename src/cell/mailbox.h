@@ -11,13 +11,18 @@
 #include <deque>
 
 #include "cell/cost_params.h"
+#include "cell/events.h"
 #include "support/error.h"
 
 namespace rxc::cell {
 
 class Mailbox {
 public:
-  explicit Mailbox(int depth) : depth_(depth) { RXC_ASSERT(depth >= 1); }
+  /// `owner`/`inbound` stamp emitted machine events (see events.h).
+  explicit Mailbox(int depth, int owner = 0, bool inbound = true)
+      : depth_(depth), owner_(owner), inbound_(inbound) {
+    RXC_ASSERT(depth >= 1);
+  }
 
   int depth() const { return depth_; }
   std::size_t pending() const { return entries_.size(); }
@@ -30,17 +35,23 @@ public:
     if (full()) throw HardwareError("mailbox overflow (depth " +
                                     std::to_string(depth_) + ")");
     entries_.push_back(value);
+    if (EventSink* sink = event_sink())
+      sink->on_mailbox(owner_, inbound_, true, value);
   }
 
   std::uint32_t read() {
     if (empty()) throw HardwareError("read from empty mailbox");
     const std::uint32_t v = entries_.front();
     entries_.pop_front();
+    if (EventSink* sink = event_sink())
+      sink->on_mailbox(owner_, inbound_, false, v);
     return v;
   }
 
 private:
   int depth_;
+  int owner_;
+  bool inbound_;
   std::deque<std::uint32_t> entries_;
 };
 

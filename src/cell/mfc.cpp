@@ -21,8 +21,8 @@ void count_transfer(std::size_t bytes) {
 
 }  // namespace
 
-Mfc::Mfc(LocalStore& ls, const CostParams& params)
-    : ls_(&ls), params_(&params) {}
+Mfc::Mfc(LocalStore& ls, const CostParams& params, int owner)
+    : ls_(&ls), params_(&params), owner_(owner) {}
 
 void Mfc::set_contention(double factor) {
   RXC_REQUIRE(factor >= 1.0, "EIB contention factor must be >= 1");
@@ -66,6 +66,9 @@ void Mfc::get(LsAddr dst, const void* src, std::size_t size, int tag,
   ++counters_.transfers;
   counters_.bytes += size;
   count_transfer(size);
+  if (EventSink* sink = event_sink())
+    sink->on_dma_get(owner_, tag, reinterpret_cast<std::uintptr_t>(src), dst,
+                     size, now, tag_done_[tag]);
 }
 
 void Mfc::put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now) {
@@ -76,6 +79,9 @@ void Mfc::put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now) {
   ++counters_.transfers;
   counters_.bytes += size;
   count_transfer(size);
+  if (EventSink* sink = event_sink())
+    sink->on_dma_put(owner_, tag, src, reinterpret_cast<std::uintptr_t>(dst),
+                     size, now, tag_done_[tag]);
 }
 
 void Mfc::get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
@@ -88,10 +94,14 @@ void Mfc::get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
     validate(entry.ea, cursor, entry.size);
     std::memcpy(ls_->data(cursor, entry.size), entry.ea, entry.size);
     done += transfer_cycles(entry.size);
-    cursor += round_up(entry.size, kDmaAlignment);
     ++counters_.transfers;
     counters_.bytes += entry.size;
     count_transfer(entry.size);
+    if (EventSink* sink = event_sink())
+      sink->on_dma_get(owner_, tag,
+                       reinterpret_cast<std::uintptr_t>(entry.ea), cursor,
+                       entry.size, now, done);
+    cursor += round_up(entry.size, kDmaAlignment);
   }
   tag_done_[tag] = done;
   ++counters_.list_transfers;
@@ -107,6 +117,8 @@ VCycles Mfc::wait(int tag, VCycles now) {
   counters_.stall_cycles += stall;
   static obs::Histogram& stalls = obs::histogram("cell.dma.stall_cycles");
   stalls.observe(stall);
+  if (EventSink* sink = event_sink())
+    sink->on_tag_wait(owner_, tag, now + stall);
   return stall;
 }
 

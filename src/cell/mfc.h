@@ -19,6 +19,7 @@
 #include <span>
 
 #include "cell/cost_params.h"
+#include "cell/events.h"
 #include "cell/local_store.h"
 
 namespace rxc::cell {
@@ -42,7 +43,8 @@ struct MfcCounters {
 
 class Mfc {
 public:
-  Mfc(LocalStore& ls, const CostParams& params);
+  /// `owner` is the SPE id stamped on emitted machine events.
+  Mfc(LocalStore& ls, const CostParams& params, int owner = 0);
 
   /// EIB contention factor (>= 1): effective bandwidth = nominal / factor.
   /// Set by the scheduler according to how many SPEs it runs concurrently.
@@ -73,6 +75,7 @@ private:
 
   LocalStore* ls_;
   const CostParams* params_;
+  int owner_;
   double contention_ = 1.0;
   std::array<VCycles, kMfcTagCount> tag_done_{};
   MfcCounters counters_;

@@ -25,9 +25,9 @@ public:
       : id_(id),
         params_(&params),
         ls_(kOffloadCodeBytes),
-        mfc_(ls_, params),
-        inbox_(kMailboxInDepth),
-        outbox_(kMailboxOutDepth) {}
+        mfc_(ls_, params, id),
+        inbox_(kMailboxInDepth, id, /*inbound=*/true),
+        outbox_(kMailboxOutDepth, id, /*inbound=*/false) {}
 
   int id() const { return id_; }
   const CostParams& params() const { return *params_; }

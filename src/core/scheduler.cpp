@@ -4,9 +4,11 @@
 #include <queue>
 #include <string>
 
+#include "analysis/analyze.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "support/error.h"
+#include "support/log.h"
 
 namespace rxc::core {
 
@@ -43,6 +45,21 @@ ScheduleResult schedule_traces(const cell::CostParams& params,
                                   static_cast<int>(tasks.size()));
   ScheduleResult result;
   if (nproc == 0) return result;
+
+  // Scheduling traces produced by racy executions replays wrong timings
+  // (Opt VII staleness): surface it once per schedule when the detector is
+  // armed and already holds findings.
+  if (analysis::RaceDetector* det = analysis::global_detector()) {
+    const analysis::AnalysisReport report = det->report();
+    if (!report.ok()) {
+      static obs::Counter& tainted = obs::counter("sched.tainted_schedules");
+      tainted.add();
+      log_warn("scheduler: scheduling " + std::to_string(tasks.size()) +
+               " trace(s) while the race detector holds " +
+               std::to_string(report.total) +
+               " finding(s); replayed timings may reflect racy executions");
+    }
+  }
 
   const bool oversubscribed = nproc > cell::kPpeThreads;
   const double smt = nproc >= 2 ? params.ppe_smt_factor : 1.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/analyze.h"
+#include "cell/events.h"
 #include "obs/metrics.h"
 #include "support/error.h"
 
@@ -39,6 +41,8 @@ SpeExecutor::SpeExecutor(cell::CellMachine& machine, SpeExecConfig config)
   RXC_REQUIRE(cfg_.llp_ways >= 1 && cfg_.llp_ways <= machine.spe_count(),
               "llp_ways out of range");
   RXC_REQUIRE(cfg_.strip_bytes >= 256, "strip buffer too small");
+  // Arms the race detector when RXC_ANALYZE is set (no-op otherwise).
+  analysis::init_from_env();
 }
 
 void SpeExecutor::begin_task() {
@@ -141,6 +145,20 @@ void SpeExecutor::record(KernelKind kind, double ppe, double spe, int ways,
   seg.llp_ways = static_cast<std::uint8_t>(ways);
   seg.signaled = signaled;
   segments_.push_back(seg);
+  if (cell::EventSink* sink = cell::event_sink()) {
+    if (signaled && cfg_.toggles.direct_comm) {
+      // Direct-memory signaling (§5.2.6): the PPE stores the command word,
+      // the SPE spins on it and stores completion, the PPE reads it back.
+      for (int w = 0; w < ways; ++w) {
+        sink->on_signal(w, cell::SignalOp::kGo);
+        sink->on_signal(w, cell::SignalOp::kComplete);
+        sink->on_signal(w, cell::SignalOp::kRead);
+      }
+    }
+    // The PPE join: every record() closes one offloaded invocation, the
+    // only cross-SPE happens-before edge the machine provides.
+    sink->on_epoch();
+  }
 }
 
 template <class Body>
@@ -332,6 +350,7 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
           spu.wait_dma(tag);
           if (s >= static_cast<std::size_t>(nbuf))
             spu.wait_dma(out_tag);  // out buffer must have drained
+          const VCycles w0 = spu.now();
 
           const std::size_t base = lo + s * strip;
           const std::size_t cnt = std::min(strip, lo + n - base);
@@ -379,6 +398,26 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
           spu.charge(compute * static_cast<double>(cnt) +
                      static_cast<double>(events) * 8.0 *
                          p.spu_dp_flop_cycles);
+
+          // Declare this strip's local-store access windows to the armed
+          // race detector (the kernels address LS through raw pointers, so
+          // the executor reports the ranges on their behalf).
+          if (cell::EventSink* sink = cell::event_sink()) {
+            const int id = spu.id();
+            const VCycles w1 = spu.now();
+            sink->on_ls_read(id, b.in1,
+                             task.tip1 ? dma_bytes(cnt, 1) : cnt * pp, w0, w1);
+            if (task.partial1.scale)
+              sink->on_ls_read(id, b.sc1, dma_bytes(cnt, 4), w0, w1);
+            sink->on_ls_read(id, b.in2,
+                             task.tip2 ? dma_bytes(cnt, 1) : cnt * pp, w0, w1);
+            if (task.partial2.scale)
+              sink->on_ls_read(id, b.sc2, dma_bytes(cnt, 4), w0, w1);
+            if (ctx.cat)
+              sink->on_ls_read(id, b.cat, dma_bytes(cnt, 4), w0, w1);
+            sink->on_ls_write(id, b.out, cnt * pp, w0, w1);
+            sink->on_ls_write(id, b.outsc, dma_bytes(cnt, 4), w0, w1);
+          }
 
           const std::size_t stride_d = pp / 8;
           mfc.put(task.out + base * stride_d, b.out, cnt * pp, out_tag,
@@ -474,6 +513,11 @@ double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
           if (ctx.cat)
             mfc.get(catb, ctx.cat + base, dma_bytes(cnt, 4), 0, spu.now());
           spu.wait_dma(0);
+          // The site buffer is rewritten below; the previous strip's put
+          // must have drained first.  Never stalls: the tag-0 group above
+          // moves strictly more bytes, so it always completes later.
+          if (task.site_lnl_out && s > 0) spu.wait_dma(1);
+          const VCycles w0 = spu.now();
 
           lh::EvaluateArgs args;
           args.pmat = ls.as<const double>(pm, ncat * 16);
@@ -508,6 +552,22 @@ double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
                                       per_pattern_cats) +
                       spe_log_cycles() + p.spu_ls_cycles_per_pattern) *
                      static_cast<double>(cnt));
+
+          if (cell::EventSink* sink = cell::event_sink()) {
+            const int id = spu.id();
+            const VCycles w1 = spu.now();
+            sink->on_ls_read(id, in1,
+                             task.tip1 ? dma_bytes(cnt, 1) : cnt * pp, w0, w1);
+            if (task.partial1.scale)
+              sink->on_ls_read(id, sc1, dma_bytes(cnt, 4), w0, w1);
+            sink->on_ls_read(id, in2, cnt * pp, w0, w1);
+            if (task.partial2.scale)
+              sink->on_ls_read(id, sc2, dma_bytes(cnt, 4), w0, w1);
+            sink->on_ls_read(id, wts, dma_bytes(cnt, 8), w0, w1);
+            if (ctx.cat) sink->on_ls_read(id, catb, dma_bytes(cnt, 4), w0, w1);
+            if (task.site_lnl_out)
+              sink->on_ls_write(id, site, dma_bytes(cnt, 8), w0, w1);
+          }
 
           if (task.site_lnl_out) {
             mfc.put(task.site_lnl_out + base, site, dma_bytes(cnt, 8), 1,
@@ -573,6 +633,11 @@ void SpeExecutor::sumtable(const lh::SumtableTask& task) {
           mfc.get(in2, task.partial2.values + base * stride_d, cnt * pp, 0,
                   spu.now());
           spu.wait_dma(0);
+          // The out buffer is rewritten below; the previous strip's put must
+          // have drained first.  Never stalls: the tag-0 group above moves
+          // strictly more bytes, so it always completes later.
+          if (s > 0) spu.wait_dma(1);
+          const VCycles w0 = spu.now();
 
           lh::SumtableArgs args;
           args.es = ctx.es;
@@ -597,6 +662,14 @@ void SpeExecutor::sumtable(const lh::SumtableTask& task) {
                                       per_pattern_cats) +
                       p.spu_ls_cycles_per_pattern) *
                      static_cast<double>(cnt));
+          if (cell::EventSink* sink = cell::event_sink()) {
+            const int id = spu.id();
+            const VCycles w1 = spu.now();
+            sink->on_ls_read(id, in1,
+                             task.tip1 ? dma_bytes(cnt, 1) : cnt * pp, w0, w1);
+            sink->on_ls_read(id, in2, cnt * pp, w0, w1);
+            sink->on_ls_write(id, out, cnt * pp, w0, w1);
+          }
           mfc.put(task.out + base * stride_d, out, cnt * pp, 1, spu.now());
         }
         spu.wait_dma(1);
@@ -700,6 +773,7 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
           if (ctx.cat)
             mfc.get(catb, ctx.cat + base, dma_bytes(cnt, 4), 0, spu.now());
           spu.wait_dma(0);
+          const VCycles w0 = spu.now();
 
           lh::NrArgs args;
           args.sumtable = ls.as<const double>(st, cnt * pp / 8);
@@ -723,6 +797,13 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
               (spe_flop_cycles(kNrFlopsPerPattern * per_pattern_cats) +
                spe_log_cycles() + p.spu_ls_cycles_per_pattern) *
               static_cast<double>(cnt));
+          if (cell::EventSink* sink = cell::event_sink()) {
+            const int id = spu.id();
+            const VCycles w1 = spu.now();
+            sink->on_ls_read(id, st, cnt * pp, w0, w1);
+            sink->on_ls_read(id, wts, dma_bytes(cnt, 8), w0, w1);
+            if (ctx.cat) sink->on_ls_read(id, catb, dma_bytes(cnt, 4), w0, w1);
+          }
         }
       },
       &dma_stall);

@@ -11,6 +11,7 @@ namespace rxc::obs {
 
 namespace detail {
 std::atomic<int> g_mode{0};
+std::atomic<std::size_t> g_max_events{1u << 20};
 }  // namespace detail
 
 int Histogram::bucket_index(double v) {

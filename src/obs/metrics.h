@@ -25,6 +25,10 @@ namespace rxc::obs {
 namespace detail {
 /// Global mode as an int (obs::Mode); 0 = off.  Defined in obs.cpp.
 extern std::atomic<int> g_mode;
+/// Flight-recorder buffer bound, mirrored atomically from Config so the
+/// recorder's hot path never reads the mutex-guarded Config concurrently
+/// with configure() (a TSan-visible race otherwise).  Defined in obs.cpp.
+extern std::atomic<std::size_t> g_max_events;
 inline bool metrics_on() {
   return g_mode.load(std::memory_order_relaxed) != 0;
 }

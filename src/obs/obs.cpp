@@ -53,6 +53,7 @@ void configure(const Config& cfg) {
   g_flushed = false;
   reset_metrics();
   reset_recorder();
+  detail::g_max_events.store(cfg.max_events, std::memory_order_relaxed);
   detail::g_mode.store(static_cast<int>(cfg.mode),
                        std::memory_order_relaxed);
 }

@@ -26,7 +26,10 @@ EventStore& store() {
 void push(TraceEvent&& e) {
   EventStore& s = store();
   std::lock_guard<std::mutex> lock(s.mutex);
-  if (s.events.size() >= config().max_events) {
+  // Read the bound through its atomic mirror: config() itself is guarded by
+  // a different mutex and may be mid-write in configure().
+  if (s.events.size() >=
+      detail::g_max_events.load(std::memory_order_relaxed)) {
     static Counter& dropped = counter("obs.dropped_events");
     dropped.add();
     return;

@@ -65,14 +65,25 @@ MaskPatterns MaskPatterns::from_aa(const seq::AaPatternAlignment& pa) {
 
 double parsimony_score(const Tree& t, const MaskPatterns& mp) {
   RXC_ASSERT(mp.weights.size() == mp.npatterns);
-  // Root at tip 0's inner neighbor; fold tip 0 in as the final union step.
-  const int anchor = t.neighbors(0)[0].node;
+  // Root at the first *attached* tip's inner neighbor and fold that tip in
+  // as the final union step.  Stepwise addition scores partial trees, where
+  // tip 0 may not be attached yet: anchoring blindly at tip 0 walked a dead
+  // adjacency slot (node id -1) and read a pattern row out of bounds.
+  int root_tip = -1;
+  for (std::size_t i = 0; i < t.tip_count(); ++i) {
+    if (t.degree(static_cast<int>(i)) > 0) {
+      root_tip = static_cast<int>(i);
+      break;
+    }
+  }
+  RXC_REQUIRE(root_tip >= 0, "parsimony_score: tree has no attached tips");
+  const int anchor = t.neighbors(root_tip)[0].node;
   double score = 0.0;
   std::vector<std::uint32_t> states;
-  fitch_down(t, mp, anchor, 0, states, score);
-  const std::uint32_t* tip0 = mp.row(0);
+  fitch_down(t, mp, anchor, root_tip, states, score);
+  const std::uint32_t* root_row = mp.row(static_cast<std::size_t>(root_tip));
   for (std::size_t p = 0; p < mp.npatterns; ++p)
-    if (!(states[p] & tip0[p])) score += mp.weights[p];
+    if (!(states[p] & root_row[p])) score += mp.weights[p];
   return score;
 }
 

@@ -15,6 +15,7 @@
 
 #include "seq/aa_alignment.h"
 #include "seq/patterns.h"
+#include "support/error.h"
 #include "tree/tree.h"
 
 namespace rxc::tree {
@@ -27,6 +28,7 @@ struct MaskPatterns {
   std::vector<double> weights;       ///< per-pattern multiplicities
 
   const std::uint32_t* row(std::size_t taxon) const {
+    RXC_ASSERT(taxon < ntaxa);  // a node id < 0 wraps huge through size_t
     return masks.data() + taxon * npatterns;
   }
 

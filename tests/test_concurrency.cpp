@@ -1,0 +1,149 @@
+/// Concurrency stress suite.  Functionally these tests assert little beyond
+/// "the totals add up"; their real job is to drive every cross-thread code
+/// path (metric registry creation, recorder push vs. reconfigure, thread
+/// pool fan-out, detector event handlers) hard enough that the TSan build
+/// (-DRXC_SANITIZE=thread) turns any missing synchronization into a failure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/race_detector.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/recorder.h"
+#include "support/thread_pool.h"
+
+namespace rxc {
+namespace {
+
+/// Enables metrics for one test body and restores "off" on exit so the
+/// suite leaves the process the way tier-1 expects it.
+class ScopedObs {
+ public:
+  explicit ScopedObs(obs::Mode mode, std::size_t max_events = 1u << 20) {
+    obs::Config cfg;
+    cfg.mode = mode;
+    cfg.max_events = max_events;
+    obs::configure(cfg);
+  }
+  ~ScopedObs() { obs::configure(obs::Config{}); }
+};
+
+TEST(Concurrency, MetricRegistryLookupOrCreateIsThreadSafe) {
+  ScopedObs on(obs::Mode::kSummary);
+  constexpr int kThreads = 8;
+  constexpr int kNames = 16;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        // Everyone races to create/lookup the same small name set.
+        const std::string name =
+            "test.concurrency.c" + std::to_string(i % kNames);
+        obs::counter(name).add();
+        obs::histogram("test.concurrency.h" + std::to_string(i % kNames))
+            .observe(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::uint64_t total = 0;
+  for (int n = 0; n < kNames; ++n)
+    total += obs::counter("test.concurrency.c" + std::to_string(n)).value();
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Concurrency, RecorderPushRacesReconfigureCleanly) {
+  // The exact interleaving behind the fixed max_events race: writers push
+  // spans while another thread repeatedly reconfigures (which rewrites the
+  // Config and clears the buffer).  Under TSan this test is the assertion.
+  ScopedObs on(obs::Mode::kJson, /*max_events=*/256);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::record_span(obs::Timeline::kWall, "stress", "test", t, 0.0, 1.0);
+        obs::mark("instant", "test");
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    obs::Config cfg;
+    cfg.mode = obs::Mode::kJson;
+    cfg.max_events = (i % 2) ? 64 : 256;
+    obs::configure(cfg);
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_LE(obs::event_count(), 256u);  // bound honoured throughout
+}
+
+TEST(Concurrency, RecorderBoundIsExact) {
+  ScopedObs on(obs::Mode::kJson, /*max_events=*/100);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < 200; ++i)
+        obs::record_span(obs::Timeline::kWall, "bounded", "test", t,
+                         static_cast<double>(i), 1.0);
+    });
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(obs::event_count(), 100u);
+  EXPECT_EQ(obs::counter("obs.dropped_events").value(), 700u);
+}
+
+TEST(Concurrency, ThreadPoolParallelForCompletesEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(kN, [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(), 5) << "index " << i;
+}
+
+TEST(Concurrency, RaceDetectorHandlersAreThreadSafe) {
+  // The detector is installed process-globally while executors may run on
+  // several host threads; its handlers must tolerate concurrent delivery.
+  analysis::RaceDetector det;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&det, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Each thread plays one SPE with a disjoint EA range: a clean,
+        // fully synchronized stream — zero findings expected.
+        const std::uintptr_t ea = 0x100000u * (t + 1);
+        det.on_dma_get(t, 0, ea, 0x1000, 256, 1.0 * i, 1.0 * i + 10);
+        det.on_tag_wait(t, 0, 1.0 * i + 10);
+        det.on_ls_read(t, 0x1000, 256, 1.0 * i + 10, 1.0 * i + 20);
+        det.on_dma_put(t, 1, 0x2000, ea + 0x10000, 256, 1.0 * i + 20,
+                       1.0 * i + 30);
+        det.on_tag_wait(t, 1, 1.0 * i + 30);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const analysis::AnalysisReport report = det.report();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  const analysis::DetectorStats stats = det.stats();
+  EXPECT_EQ(stats.dma_events,
+            static_cast<std::uint64_t>(2 * kThreads) * kIters);
+  EXPECT_EQ(stats.wait_events,
+            static_cast<std::uint64_t>(2 * kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace rxc

@@ -1,0 +1,270 @@
+/// Race-detector suite: every planted hazard class must be caught with a
+/// precise diagnostic, and every correctly synchronized executor run must
+/// produce zero findings at every optimization stage — the same
+/// 100%-detection / zero-false-positive bar the invariant checker meets.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "analysis/race_detector.h"
+#include "cell/fault.h"
+#include "cell/spu.h"
+#include "core/spe_executor.h"
+#include "harness.h"
+#include "support/aligned.h"
+#include "workload.h"
+
+namespace rxc {
+namespace {
+
+using analysis::AnalysisReport;
+using analysis::HazardKind;
+using analysis::RaceDetector;
+using conformance::Workload;
+using conformance::WorkloadSpec;
+
+/// Arms a local detector as the process event sink for one test body and
+/// guarantees disarm on every exit path.
+class ArmedDetector {
+ public:
+  explicit ArmedDetector(bool fatal = false) : det_(fatal) {
+    cell::set_event_sink(&det_);
+  }
+  ~ArmedDetector() { cell::set_event_sink(nullptr); }
+  RaceDetector& operator*() { return det_; }
+  RaceDetector* operator->() { return &det_; }
+
+ private:
+  RaceDetector det_;
+};
+
+HazardKind expected_kind(cell::RaceHazard hazard) {
+  switch (hazard) {
+    case cell::RaceHazard::kSkippedTagWait:
+      return HazardKind::kReadBeforeWait;
+    case cell::RaceHazard::kPrematureBufferReuse:
+      return HazardKind::kBufferHazard;
+    case cell::RaceHazard::kOverlappingEaPut:
+      return HazardKind::kEaPutOverlap;
+    case cell::RaceHazard::kBrokenSignalOrder:
+      return HazardKind::kSignalOrder;
+    case cell::RaceHazard::kStalePartialRead:
+      return HazardKind::kStalePartial;
+  }
+  return HazardKind::kReadBeforeWait;
+}
+
+TEST(RaceDetector, CatchesEveryPlantedHazardClass) {
+  for (const cell::RaceHazard hazard : cell::kAllRaceHazards) {
+    ArmedDetector det;
+    cell::CellMachine machine;
+    cell::plant_hazard(machine, hazard);
+    const AnalysisReport report = det->report();
+    ASSERT_EQ(report.total, 1u) << cell::race_hazard_name(hazard) << ": "
+                                << report.to_string();
+    EXPECT_EQ(report.findings[0].kind, expected_kind(hazard))
+        << report.findings[0].to_string();
+  }
+}
+
+TEST(RaceDetector, FindingsCarryPreciseDiagnostics) {
+  ArmedDetector det;
+  cell::CellMachine machine;
+  cell::plant_hazard(machine, cell::RaceHazard::kOverlappingEaPut);
+  const AnalysisReport report = det->report();
+  ASSERT_EQ(report.total, 1u);
+  const analysis::Hazard& h = report.findings[0];
+  EXPECT_EQ(h.spe, 1);        // the second putter exposes the race
+  EXPECT_EQ(h.other_spe, 0);  // against the first SPE's put
+  EXPECT_TRUE(h.ea_range);
+  EXPECT_EQ(h.hi - h.lo, 32u);  // the planted 32-byte overlap
+  const std::string line = h.to_string();
+  EXPECT_NE(line.find("race[ea-put-overlap]"), std::string::npos) << line;
+  EXPECT_NE(line.find("spe=1"), std::string::npos) << line;
+  EXPECT_NE(line.find("@cycle"), std::string::npos) << line;
+}
+
+TEST(RaceDetector, PlantsAreIndependent) {
+  // Consecutive plants against one machine must each report exactly once:
+  // no state leaks across the epoch boundary each plant closes with.
+  ArmedDetector det;
+  cell::CellMachine machine;
+  for (const cell::RaceHazard hazard : cell::kAllRaceHazards)
+    cell::plant_hazard(machine, hazard);
+  EXPECT_EQ(det->report().total, cell::kAllRaceHazards.size());
+}
+
+TEST(RaceDetector, TagWaitCreatesTheOrderingEdge) {
+  // The same access pattern with the wait present must be silent: the
+  // detector keys on synchronization structure, not on simulated timing.
+  ArmedDetector det;
+  cell::CellMachine machine;
+  cell::Spu& spu = machine.spe(0);
+  aligned_vector<std::byte> host(64);
+  const cell::LsAddr buf = spu.ls().alloc(64);
+  spu.mfc().get(buf, host.data(), 64, 0, spu.now());
+  spu.wait_dma(0);
+  cell::event_sink()->on_ls_read(spu.id(), buf, 64, spu.now(), spu.now());
+  EXPECT_TRUE(det->report().ok()) << det->report().to_string();
+}
+
+TEST(RaceDetector, UnwaitedPutSurvivesTheEpochBoundary) {
+  // A PPE join orders SPEs against each other but does not flush anyone's
+  // MFC: a put left un-waited must still taint a get in the NEXT epoch.
+  ArmedDetector det;
+  cell::CellMachine machine;
+  cell::Spu& spe0 = machine.spe(0);
+  cell::Spu& spe1 = machine.spe(1);
+  aligned_vector<std::byte> host(64);
+  const cell::LsAddr src = spe0.ls().alloc(64);
+  const cell::LsAddr dst = spe1.ls().alloc(64);
+  spe0.mfc().put(host.data(), src, 64, 0, spe0.now());
+  cell::event_sink()->on_epoch();
+  spe1.mfc().get(dst, host.data(), 64, 0, spe1.now());
+  const AnalysisReport report = det->report();
+  ASSERT_EQ(report.total, 1u) << report.to_string();
+  EXPECT_EQ(report.findings[0].kind, HazardKind::kStalePartial);
+}
+
+TEST(RaceDetector, EpochBoundaryRetiresCrossSpePutOverlap) {
+  // The dual: overlapping puts in DIFFERENT epochs are ordered by the join
+  // (once both are drained) and must not be flagged.
+  ArmedDetector det;
+  cell::CellMachine machine;
+  cell::Spu& spe0 = machine.spe(0);
+  cell::Spu& spe1 = machine.spe(1);
+  aligned_vector<std::byte> host(64);
+  const cell::LsAddr b0 = spe0.ls().alloc(64);
+  const cell::LsAddr b1 = spe1.ls().alloc(64);
+  spe0.mfc().put(host.data(), b0, 64, 0, spe0.now());
+  spe0.wait_dma(0);
+  cell::event_sink()->on_epoch();
+  spe1.mfc().put(host.data(), b1, 64, 0, spe1.now());
+  spe1.wait_dma(0);
+  EXPECT_TRUE(det->report().ok()) << det->report().to_string();
+}
+
+TEST(RaceDetector, FatalModeThrowsAtTheFirstFinding) {
+  ArmedDetector det(/*fatal=*/true);
+  cell::CellMachine machine;
+  EXPECT_THROW(
+      cell::plant_hazard(machine, cell::RaceHazard::kSkippedTagWait),
+      analysis::AnalysisError);
+}
+
+TEST(RaceDetector, FindingStorageIsCappedButCountingIsNot) {
+  ArmedDetector det;
+  cell::CellMachine machine;
+  const std::size_t rounds = RaceDetector::kMaxFindings + 10;
+  for (std::size_t i = 0; i < rounds; ++i)
+    cell::plant_hazard(machine, cell::RaceHazard::kBrokenSignalOrder);
+  const AnalysisReport report = det->report();
+  EXPECT_EQ(report.total, rounds);
+  EXPECT_EQ(report.findings.size(), RaceDetector::kMaxFindings);
+  EXPECT_NE(report.to_string().find("further findings"), std::string::npos);
+}
+
+TEST(RaceDetector, TakeReportResetsFindingsOnly) {
+  ArmedDetector det;
+  cell::CellMachine machine;
+  cell::plant_hazard(machine, cell::RaceHazard::kSkippedTagWait);
+  EXPECT_EQ(det->take_report().total, 1u);
+  EXPECT_TRUE(det->report().ok());
+  EXPECT_GT(det->stats().dma_events, 0u);  // stats survive
+}
+
+TEST(RaceDetector, CleanExecutorRunsProduceZeroFindingsAtEveryStage) {
+  // The zero-false-positive bar: the full kernel sequence through the
+  // simulated Cell — every cumulative optimization stage, multi-SPE LLP,
+  // mailbox and direct signaling — must be race-free under analysis.
+  const Workload wl(WorkloadSpec::draw(conformance::base_seed()));
+  for (const core::Stage stage :
+       {core::Stage::kOffloadNewview, core::Stage::kFastExp,
+        core::Stage::kIntCond, core::Stage::kDoubleBuffer,
+        core::Stage::kVectorize, core::Stage::kDirectComm,
+        core::Stage::kOffloadAll}) {
+    for (const int ways : {1, 4, 8}) {
+      ArmedDetector det;
+      auto exec = conformance::make_cell(stage, ways);
+
+      aligned_vector<double> out(wl.padded_np() * wl.stride());
+      aligned_vector<std::int32_t> scale_out(wl.padded_np());
+      aligned_vector<double> site(wl.padded_np());
+      aligned_vector<double> sumtab(wl.padded_np() * wl.stride());
+      exec->newview(wl.newview_task(out.data(), scale_out.data()));
+      (void)exec->evaluate(wl.evaluate_task(site.data()));
+      exec->begin_compound();
+      exec->sumtable(wl.sumtable_task(sumtab.data()));
+      (void)exec->nr_derivatives(wl.nr_task(sumtab.data(), wl.spec().t));
+      exec->end_compound();
+
+      const AnalysisReport report = det->report();
+      EXPECT_TRUE(report.ok())
+          << "stage=" << core::stage_name(stage) << " ways=" << ways << '\n'
+          << report.to_string();
+      const analysis::DetectorStats stats = det->stats();
+      EXPECT_GT(stats.dma_events, 0u);     // the hooks actually fired
+      EXPECT_GT(stats.window_events, 0u);  // kernel windows were declared
+      EXPECT_GT(stats.epochs, 0u);         // every record() closed an epoch
+    }
+  }
+}
+
+TEST(RaceDetector, SkippingTheSiteBufferDrainIsCaught) {
+  // Regression guard for the evaluate()/sumtable() strip loops: rewriting
+  // the outbound buffer without draining the previous strip's put must be
+  // flagged (this PR added exactly those waits to the executor).
+  ArmedDetector det;
+  cell::CellMachine machine;
+  cell::Spu& spu = machine.spe(0);
+  aligned_vector<std::byte> host(256);
+  const cell::LsAddr out = spu.ls().alloc(64);
+  for (int strip = 0; strip < 2; ++strip) {
+    cell::event_sink()->on_ls_write(spu.id(), out, 64, spu.now(), spu.now());
+    spu.mfc().put(host.data() + 64 * strip, out, 64, 1, spu.now());
+  }
+  const AnalysisReport report = det->report();
+  ASSERT_EQ(report.total, 1u) << report.to_string();
+  EXPECT_EQ(report.findings[0].kind, HazardKind::kBufferHazard);
+}
+
+TEST(AnalyzeConfig, ParsesTheEnvGrammar) {
+  EXPECT_EQ(analysis::parse_analyze(""), analysis::AnalyzeMode::kOff);
+  EXPECT_EQ(analysis::parse_analyze("off"), analysis::AnalyzeMode::kOff);
+  EXPECT_EQ(analysis::parse_analyze("race"), analysis::AnalyzeMode::kRace);
+  EXPECT_EQ(analysis::parse_analyze("race:fatal"),
+            analysis::AnalyzeMode::kRaceFatal);
+  EXPECT_THROW(analysis::parse_analyze("races"), Error);
+  EXPECT_THROW(analysis::parse_analyze("race:warn"), Error);
+}
+
+TEST(AnalyzeConfig, ConfigureInstallsAndRemovesTheGlobalDetector) {
+  analysis::configure(analysis::AnalyzeMode::kRace);
+  ASSERT_NE(analysis::global_detector(), nullptr);
+  EXPECT_EQ(cell::event_sink(), analysis::global_detector());
+  EXPECT_FALSE(analysis::global_detector()->fatal());
+
+  analysis::configure(analysis::AnalyzeMode::kRaceFatal);
+  ASSERT_NE(analysis::global_detector(), nullptr);
+  EXPECT_TRUE(analysis::global_detector()->fatal());
+
+  analysis::configure(analysis::AnalyzeMode::kOff);
+  EXPECT_EQ(analysis::global_detector(), nullptr);
+  EXPECT_EQ(cell::event_sink(), nullptr);
+}
+
+TEST(AnalyzeConfig, DisarmedMachineEmitsNothing) {
+  // With no sink installed the hooks are a single relaxed load: hazards run
+  // to completion silently and no detector state exists to consult.
+  ASSERT_EQ(cell::event_sink(), nullptr);
+  cell::CellMachine machine;
+  for (const cell::RaceHazard hazard : cell::kAllRaceHazards)
+    cell::plant_hazard(machine, hazard);  // must not crash or leak state
+  EXPECT_EQ(analysis::global_detector(), nullptr);
+}
+
+}  // namespace
+}  // namespace rxc

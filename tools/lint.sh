@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Static-analysis driver: clang-tidy over the whole compilation database.
+#
+#   tools/lint.sh [build-dir] [-- extra clang-tidy args...]
+#
+# Builds (or reuses) a compile_commands.json, then runs clang-tidy with the
+# repo-root .clang-tidy profile over every first-party translation unit.
+# Exits non-zero on any diagnostic from the WarningsAsErrors set, so CI can
+# gate on it.  Degrades gracefully: missing clang-tidy is a skip (exit 0
+# with a notice), not a failure, because the sanitizer matrix provides the
+# dynamic half of the net on toolchains without clang.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build-lint}"
+shift || true
+extra_args=()
+if [[ "${1:-}" == "--" ]]; then
+  shift
+  extra_args=("$@")
+fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "lint.sh: $tidy_bin not found; skipping static analysis" >&2
+  echo "lint.sh: install clang-tidy (or set CLANG_TIDY) to enable" >&2
+  exit 0
+fi
+
+# The database must exist before clang-tidy can map sources to flags.
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# First-party TUs only: generated/third-party code is not ours to lint.
+mapfile -t sources < <(cd "$repo_root" && \
+  find src tests examples benches -name '*.cpp' 2>/dev/null | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "lint.sh: no sources found" >&2
+  exit 1
+fi
+
+echo "lint.sh: ${#sources[@]} translation units, profile $repo_root/.clang-tidy"
+status=0
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # The parallel driver when available (ships with clang-tools).
+  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+    "${extra_args[@]}" "${sources[@]/#/$repo_root/}" || status=$?
+else
+  for src in "${sources[@]}"; do
+    "$tidy_bin" -p "$build_dir" --quiet "${extra_args[@]}" \
+      "$repo_root/$src" || status=$?
+  done
+fi
+exit "$status"
