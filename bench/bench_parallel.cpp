@@ -1,0 +1,125 @@
+/// \file bench_parallel.cpp
+/// Wall-clock benefit of the parallel host backend.  Each case executes the
+/// identical simulated-Cell workload twice — host_threads=1 (sequential
+/// reference) and host_threads=8 (thread pool) — and reports both clocks:
+/// virtual seconds must be bitwise identical (the pool only reorders wall
+/// execution, never virtual accounting), wall seconds are the quantity under
+/// test.
+///
+/// Cases:
+///   llp8   — LLP scheduler, 8 SPEs per offloaded newview loop: the 8 strip
+///            payloads of every offload run concurrently on the pool.
+///   batch  — naive 1-way schedule: whole dependency levels of independent
+///            newview tasks are dispatched as one batch across the 8 SPEs.
+///
+/// Flags: --smoke shrinks the workload for CI gates; --json[=FILE] emits one
+/// NDJSON object compatible with tools/bench.sh.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/thread_pool.h"
+#include "table_common.h"
+
+namespace rxc::bench {
+namespace {
+
+struct CaseSpec {
+  const char* name;
+  core::SchedulerModel scheduler;
+  int bootstraps;
+  std::size_t trace_samples;
+};
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  JsonReport json = JsonReport::from_args(argc, argv);
+
+  const auto sim = seq::make_42sc();
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  const CaseSpec cases[] = {
+      {"llp8", core::SchedulerModel::kLlp, 1, 1},
+      {"batch", core::SchedulerModel::kNaiveMpi, 1, 1},
+  };
+
+  std::printf("=== parallel host backend (%s workload) ===\n",
+              smoke ? "smoke" : "full");
+  std::printf("(workload: synthetic 42_SC, %zu taxa x %zu sites, %zu "
+              "patterns; auto host threads on this machine: %d)\n",
+              pa.taxon_count(), pa.site_count(), pa.pattern_count(),
+              host_thread_count());
+  std::printf("%-8s %12s %12s %12s %10s %s\n", "case", "vtime[s]",
+              "wall-seq[s]", "wall-par[s]", "speedup", "vtime-identical");
+
+  JsonWriter jw;
+  jw.begin_object()
+      .kv("table", "parallel-backend")
+      .kv("smoke", smoke)
+      .kv("host_threads_auto", host_thread_count())
+      .key("rows")
+      .begin_array();
+
+  int failures = 0;
+  for (const CaseSpec& c : cases) {
+    const TableRow row{1, c.bootstraps, 0.0, 0.0};
+    core::CellRunConfig cfg;
+    cfg.stage = core::Stage::kOffloadAll;
+    cfg.scheduler = c.scheduler;
+    cfg.trace_samples = c.trace_samples;
+    if (smoke) {
+      // Trim the SPR search so the CI gate finishes in seconds while still
+      // driving the parallel newview paths hard enough to time.
+      cfg.search.radius = 2;
+      cfg.search.max_rounds = 2;
+      cfg.search.branch_passes = 1;
+    }
+    cfg.host_threads = 1;
+    const RowTiming seq_t = run_row_timed(pa, cfg, row);
+    cfg.host_threads = 8;
+    const RowTiming par_t = run_row_timed(pa, cfg, row);
+    const bool identical = seq_t.virtual_s == par_t.virtual_s;
+    if (!identical) ++failures;
+    const double speedup =
+        par_t.wall_s > 0.0 ? seq_t.wall_s / par_t.wall_s : 0.0;
+    std::printf("%-8s %12.3f %12.3f %12.3f %10.2f %s\n", c.name,
+                seq_t.virtual_s, seq_t.wall_s, par_t.wall_s, speedup,
+                identical ? "yes" : "NO (BUG)");
+    jw.begin_object()
+        .kv("case", c.name)
+        .kv("bootstraps", c.bootstraps)
+        .kv("vtime_s", seq_t.virtual_s)
+        .kv("wall_seq_s", seq_t.wall_s)
+        .kv("wall_par_s", par_t.wall_s)
+        .kv("speedup", speedup)
+        .kv("vtime_identical", identical)
+        .kv("host_threads_par", 8)
+        .end_object();
+  }
+  jw.end_array().end_object();
+  json.emit(jw.str());
+
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d case(s) changed virtual time under the parallel "
+                 "backend\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rxc::bench
+
+int main(int argc, char** argv) {
+  try {
+    return rxc::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench failed: %s\n", e.what());
+    return 1;
+  }
+}

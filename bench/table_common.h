@@ -86,16 +86,44 @@ class JsonReport {
   std::string path_;
 };
 
-inline double run_row(const seq::PatternAlignment& pa, core::Stage stage,
-                      core::SchedulerModel scheduler, const TableRow& row,
-                      std::size_t trace_samples = 4) {
+/// One bench row's outcome on both clocks: virtual seconds (the modeled
+/// Cell) and wall seconds (how long the simulation itself took).
+struct RowTiming {
+  double virtual_s = 0.0;
+  double wall_s = 0.0;
+};
+
+/// Runs `row.bootstraps` tasks under a fully prepared config (stage,
+/// scheduler, trace_samples, host_threads, search options already set).
+inline RowTiming run_row_timed(const seq::PatternAlignment& pa,
+                               core::CellRunConfig cfg, const TableRow& row) {
+  cfg.workers = row.workers;
+  const auto tasks = search::make_analysis(0, row.bootstraps);
+  rxc::Stopwatch wall;
+  RowTiming t;
+  t.virtual_s = core::run_on_cell(pa, cfg, tasks).virtual_seconds;
+  t.wall_s = wall.seconds();
+  return t;
+}
+
+inline RowTiming run_row_timed(const seq::PatternAlignment& pa,
+                               core::Stage stage,
+                               core::SchedulerModel scheduler,
+                               const TableRow& row,
+                               std::size_t trace_samples = 4,
+                               int host_threads = 0) {
   core::CellRunConfig cfg;
   cfg.stage = stage;
   cfg.scheduler = scheduler;
-  cfg.workers = row.workers;
   cfg.trace_samples = trace_samples;
-  const auto tasks = search::make_analysis(0, row.bootstraps);
-  return core::run_on_cell(pa, cfg, tasks).virtual_seconds;
+  cfg.host_threads = host_threads;
+  return run_row_timed(pa, cfg, row);
+}
+
+inline double run_row(const seq::PatternAlignment& pa, core::Stage stage,
+                      core::SchedulerModel scheduler, const TableRow& row,
+                      std::size_t trace_samples = 4) {
+  return run_row_timed(pa, stage, scheduler, row, trace_samples).virtual_s;
 }
 
 inline int run_table(const TableSpec& spec, JsonReport* json = nullptr) {

@@ -80,6 +80,7 @@ TraceBatch build_traces(const seq::PatternAlignment& pa,
   exec_cfg.llp_ways = llp_ways;
   exec_cfg.eib_contention = eib_contention;
   exec_cfg.mailbox_contention = std::max(1, concurrent_workers);
+  exec_cfg.host_threads = cfg.host_threads;
   SpeExecutor executor(machine, exec_cfg);
 
   TraceBatch batch;

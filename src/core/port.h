@@ -42,6 +42,10 @@ struct CellRunConfig {
   /// results; the benches use this to keep wall time low on 128-bootstrap
   /// sweeps.
   std::size_t trace_samples = 0;
+  /// Host worker threads for wall-clock-parallel payload execution
+  /// (0 = auto via RXC_HOST_THREADS / hardware, 1 = sequential reference).
+  /// Virtual seconds are identical for every value.
+  int host_threads = 0;
   cell::CostParams params = cell::kDefaultCostParams;
 };
 

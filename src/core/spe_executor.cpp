@@ -41,8 +41,20 @@ SpeExecutor::SpeExecutor(cell::CellMachine& machine, SpeExecConfig config)
   RXC_REQUIRE(cfg_.llp_ways >= 1 && cfg_.llp_ways <= machine.spe_count(),
               "llp_ways out of range");
   RXC_REQUIRE(cfg_.strip_bytes >= 256, "strip buffer too small");
+  RXC_REQUIRE(cfg_.host_threads >= 0 && cfg_.host_threads <= 64,
+              "host_threads must be 0 (auto) or 1..64");
+  // Wall-clock workers: more than one per SPE buys nothing (a payload is a
+  // serial strip loop), so clamp at the machine width.
+  host_threads_ =
+      std::min(cfg_.host_threads > 0 ? cfg_.host_threads : host_thread_count(),
+               machine.spe_count());
   // Arms the race detector when RXC_ANALYZE is set (no-op otherwise).
   analysis::init_from_env();
+}
+
+ThreadPool& SpeExecutor::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(host_threads_);
+  return *pool_;
 }
 
 void SpeExecutor::begin_task() {
@@ -122,14 +134,14 @@ double SpeExecutor::offload_ppe_cycles(int ways) {
 }
 
 void SpeExecutor::record(KernelKind kind, double ppe, double spe, int ways,
-                         bool signaled, double dma_stall) {
+                         bool signaled, double dma_stall, int base_spe) {
   if (signaled && !cfg_.toggles.direct_comm) {
     // Functional mailbox round trip (the pre-§5.2.6 signaling path): the
     // PPE writes the command word into each cooperating SPU's inbound
     // mailbox, the SPU consumes it, and returns the completion word through
     // the 1-deep outbound mailbox.  Exercises the architected depths.
     for (int w = 0; w < ways; ++w) {
-      cell::Spu& spu = machine_->spe(w);
+      cell::Spu& spu = machine_->spe(base_spe + w);
       spu.inbox().write(static_cast<std::uint32_t>(kind));
       (void)spu.inbox().read();
       spu.outbox().write(1u);
@@ -150,15 +162,22 @@ void SpeExecutor::record(KernelKind kind, double ppe, double spe, int ways,
       // Direct-memory signaling (§5.2.6): the PPE stores the command word,
       // the SPE spins on it and stores completion, the PPE reads it back.
       for (int w = 0; w < ways; ++w) {
-        sink->on_signal(w, cell::SignalOp::kGo);
-        sink->on_signal(w, cell::SignalOp::kComplete);
-        sink->on_signal(w, cell::SignalOp::kRead);
+        sink->on_signal(base_spe + w, cell::SignalOp::kGo);
+        sink->on_signal(base_spe + w, cell::SignalOp::kComplete);
+        sink->on_signal(base_spe + w, cell::SignalOp::kRead);
       }
     }
     // The PPE join: every record() closes one offloaded invocation, the
     // only cross-SPE happens-before edge the machine provides.
     sink->on_epoch();
   }
+}
+
+std::size_t SpeExecutor::strip_patterns(std::size_t pattern_bytes) const {
+  // Strip length in patterns, floored to a multiple of 16 so every strip's
+  // byte offset is 128-bit aligned for all element widths (tip codes are
+  // 1 byte/pattern, the narrowest).
+  return std::max<std::size_t>(16, cfg_.strip_bytes / pattern_bytes / 16 * 16);
 }
 
 template <class Body>
@@ -169,18 +188,23 @@ double SpeExecutor::run_chunks(std::size_t np, std::size_t pattern_bytes,
   // stays 128-bit aligned (DnaCode rows are byte-granular).
   const std::size_t quota =
       rxc::round_up((np + ways - 1) / static_cast<std::size_t>(ways), 16);
-  // Strip length in patterns, floored to a multiple of 16 so every strip's
-  // byte offset is 128-bit aligned for all element widths (tip codes are
-  // 1 byte/pattern, the narrowest).
-  const std::size_t strip_patterns = cfg_.strip_bytes / pattern_bytes;
-  const std::size_t strip =
-      std::max<std::size_t>(16, strip_patterns / 16 * 16);
+  const std::size_t strip = strip_patterns(pattern_bytes);
 
-  double max_elapsed = 0.0;
-  VCycles max_stall = 0.0;
-  for (int w = 0; w < ways; ++w) {
+  // Ways that actually have patterns (trailing ways can be empty when the
+  // quota rounding overshoots np).
+  int active = 0;
+  while (active < ways && static_cast<std::size_t>(active) * quota < np)
+    ++active;
+
+  // Each way's payload touches only its own Spu (clock, local store, MFC,
+  // counters) and its own reduction slot, so the ways are free to run
+  // concurrently; elapsed/stall land in per-way slots and the max reduction
+  // below runs the same fixed-order comparisons as the sequential loop.
+  double way_elapsed[8] = {};
+  VCycles way_stall[8] = {};
+  const auto run_way = [&](std::size_t wi) {
+    const int w = static_cast<int>(wi);
     const std::size_t lo = static_cast<std::size_t>(w) * quota;
-    if (lo >= np) break;
     const std::size_t n = std::min(quota, np - lo);
     cell::Spu& spu = machine_->spe(w);
     spu.mfc().set_contention(cfg_.eib_contention);
@@ -189,11 +213,23 @@ double SpeExecutor::run_chunks(std::size_t np, std::size_t pattern_bytes,
     body(spu, lo, n, strip);
     double elapsed = spu.now() - start;
     if (ways > 1) elapsed += machine_->params().llp_fork_join_cycles;
-    if (elapsed > max_elapsed) {
-      max_elapsed = elapsed;
-      max_stall = spu.counters().dma_stall_cycles - stall_before;
-    }
+    way_elapsed[w] = elapsed;
+    way_stall[w] = spu.counters().dma_stall_cycles - stall_before;
     spu.count_invocation();
+  };
+  if (active > 1 && host_threads_ > 1) {
+    pool().parallel_for(static_cast<std::size_t>(active), run_way);
+  } else {
+    for (int w = 0; w < active; ++w) run_way(static_cast<std::size_t>(w));
+  }
+
+  double max_elapsed = 0.0;
+  VCycles max_stall = 0.0;
+  for (int w = 0; w < active; ++w) {
+    if (way_elapsed[w] > max_elapsed) {
+      max_elapsed = way_elapsed[w];
+      max_stall = way_stall[w];
+    }
   }
   if (stall_out != nullptr) *stall_out = max_stall;
   return max_elapsed;
@@ -248,16 +284,10 @@ double SpeExecutor::ppe_nr_cycles(const lh::NrTask& task) const {
 
 // --- kernel dispatch ----------------------------------------------------------
 
-void SpeExecutor::newview(const lh::NewviewTask& task) {
-  task.validate();
-  if (!cfg_.toggles.offload_newview) {
-    ppe_exec_.newview(task);
-    counters_ += ppe_exec_.counters();
-    ppe_exec_.reset_counters();
-    record(KernelKind::kNewview, ppe_newview_cycles(task), 0.0, 1, false);
-    return;
-  }
-
+void SpeExecutor::newview_payload(const lh::NewviewTask& task, cell::Spu& spu,
+                                  std::size_t lo, std::size_t n,
+                                  std::size_t strip,
+                                  std::uint64_t* scale_events) {
   const auto& ctx = task.ctx;
   const auto& p = machine_->params();
   const int ncat = ctx.ncat;
@@ -268,15 +298,10 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
   const lh::ScalingCheck check = cfg_.toggles.int_cond
                                      ? lh::ScalingCheck::kIntCast
                                      : lh::ScalingCheck::kFloatBranch;
-  std::uint64_t scale_events = 0;
-  VCycles dma_stall = 0.0;
-
-  const double spe = run_chunks(
-      task.np, pp, cfg_.llp_ways,
-      [&](cell::Spu& spu, std::size_t lo, std::size_t n, std::size_t strip) {
-        auto& ls = spu.ls();
-        auto& mfc = spu.mfc();
-        ls.reset();
+  {
+    auto& ls = spu.ls();
+    auto& mfc = spu.mfc();
+    ls.reset();
 
         // Transition matrices: built in local store at invocation start
         // (the paper's "first loop" — where exp() lives).
@@ -386,7 +411,7 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
             events = cfg_.toggles.vectorized ? lh::newview_gamma_simd(args)
                                              : lh::newview_gamma(args);
           }
-          scale_events += events;
+          *scale_events += events;
 
           const double per_pattern_cats =
               cat_mode ? 1.0 : static_cast<double>(ncat);
@@ -428,9 +453,36 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
         // Drain outstanding puts.
         spu.wait_dma(2);
         spu.wait_dma(3);
+  }
+}
+
+void SpeExecutor::newview(const lh::NewviewTask& task) {
+  task.validate();
+  if (!cfg_.toggles.offload_newview) {
+    ppe_exec_.newview(task);
+    counters_ += ppe_exec_.counters();
+    ppe_exec_.reset_counters();
+    record(KernelKind::kNewview, ppe_newview_cycles(task), 0.0, 1, false);
+    return;
+  }
+
+  const int ncat = task.ctx.ncat;
+  const bool cat_mode = task.ctx.mode == lh::RateMode::kCat;
+  const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
+  // Per-way scale-event slots: ways may run concurrently, and the sum below
+  // is order-insensitive (integer addition).
+  std::uint64_t way_scale[8] = {};
+  VCycles dma_stall = 0.0;
+
+  const double spe = run_chunks(
+      task.np, pp, cfg_.llp_ways,
+      [&](cell::Spu& spu, std::size_t lo, std::size_t n, std::size_t strip) {
+        newview_payload(task, spu, lo, n, strip, &way_scale[spu.id()]);
       },
       &dma_stall);
 
+  std::uint64_t scale_events = 0;
+  for (std::uint64_t s : way_scale) scale_events += s;
   counters_.scale_events += scale_events;
   ++counters_.newview_calls;
   counters_.newview_patterns += task.np;
@@ -447,6 +499,77 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
   const double ppe_cost = offload_ppe_cycles(cfg_.llp_ways);
   record(KernelKind::kNewview, ppe_cost, spe, cfg_.llp_ways,
          last_offload_signaled_, dma_stall);
+}
+
+void SpeExecutor::newview_batch(const lh::NewviewTask* tasks,
+                                std::size_t count) {
+  // The batch path pays off only for offloaded single-way invocations that
+  // can spread across idle SPEs; everything else already parallelizes
+  // inside newview() (llp_ways > 1) or runs on the PPE.
+  if (count <= 1 || host_threads_ <= 1 || cfg_.llp_ways != 1 ||
+      !cfg_.toggles.offload_newview || machine_->spe_count() <= 1) {
+    for (std::size_t i = 0; i < count; ++i) newview(tasks[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) tasks[i].validate();
+
+  // Round-robin tasks across the machine's SPEs.  The sequential path runs
+  // every ways==1 invocation on SPE 0, but per-invocation elapsed cycles
+  // are independent of the hosting SPU: each payload starts from drained
+  // MFC tag groups and measures spu.now() deltas only, and the golden
+  // fingerprints sum DMA/stall counters across all SPEs.  Tasks that land
+  // on the same lane run in task order, serially, on that lane's SPU.
+  const int nspe = machine_->spe_count();
+  struct TaskResult {
+    double elapsed = 0.0;
+    VCycles stall = 0.0;
+    std::uint64_t scale_events = 0;
+  };
+  std::vector<TaskResult> results(count);
+  const int lanes = std::min<int>(nspe, static_cast<int>(count));
+  pool().parallel_for(
+      static_cast<std::size_t>(lanes), [&](std::size_t lane) {
+        for (std::size_t i = lane; i < count; i += static_cast<std::size_t>(nspe)) {
+          const lh::NewviewTask& task = tasks[i];
+          const bool cat = task.ctx.mode == lh::RateMode::kCat;
+          const std::size_t pp =
+              (cat ? 1u : static_cast<std::size_t>(task.ctx.ncat)) * 32;
+          cell::Spu& spu = machine_->spe(static_cast<int>(lane));
+          spu.mfc().set_contention(cfg_.eib_contention);
+          const VCycles start = spu.now();
+          const VCycles stall_before = spu.counters().dma_stall_cycles;
+          newview_payload(task, spu, 0, task.np, strip_patterns(pp),
+                          &results[i].scale_events);
+          results[i].elapsed = spu.now() - start;
+          results[i].stall = spu.counters().dma_stall_cycles - stall_before;
+          spu.count_invocation();
+        }
+      });
+
+  // Trace/obs/accounting in original task order — the segment stream (and
+  // the epoch stream the race detector sees) is identical to the serial
+  // loop's.
+  for (std::size_t i = 0; i < count; ++i) {
+    const int ncat = tasks[i].ctx.ncat;
+    counters_.scale_events += results[i].scale_events;
+    ++counters_.newview_calls;
+    counters_.newview_patterns += tasks[i].np;
+    counters_.pmatrix_builds += 2;
+    counters_.exp_calls += 6ull * ncat;
+    static obs::Counter& obs_calls = obs::counter("kernel.newview.calls");
+    static obs::Counter& obs_patterns =
+        obs::counter("kernel.newview.patterns");
+    static obs::Counter& obs_exps = obs::counter("kernel.exp_calls");
+    static obs::Counter& obs_scales = obs::counter("kernel.scale_events");
+    obs_calls.add();
+    obs_patterns.add(tasks[i].np);
+    obs_exps.add(6ull * ncat);
+    obs_scales.add(results[i].scale_events);
+    const double ppe_cost = offload_ppe_cycles(1);
+    record(KernelKind::kNewview, ppe_cost, results[i].elapsed, 1,
+           last_offload_signaled_, results[i].stall,
+           static_cast<int>(i) % nspe);
+  }
 }
 
 double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
@@ -830,6 +953,12 @@ void CellExecutor::newview(const lh::NewviewTask& task) {
   sync_counters();
 }
 
+void CellExecutor::newview_batch(const lh::NewviewTask* tasks,
+                                 std::size_t count) {
+  exec_.newview_batch(tasks, count);
+  sync_counters();
+}
+
 double CellExecutor::evaluate(const lh::EvaluateTask& task) {
   const double result = exec_.evaluate(task);
   sync_counters();
@@ -872,6 +1001,7 @@ std::unique_ptr<lh::KernelExecutor> make_cell_executor(
   cfg.eib_contention = spec.eib_contention;
   cfg.mailbox_contention = spec.mailbox_contention;
   cfg.strip_bytes = spec.strip_bytes;
+  cfg.host_threads = spec.host_threads;
   return std::make_unique<CellExecutor>(cfg);
 }
 

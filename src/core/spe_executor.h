@@ -22,6 +22,7 @@
 #include "core/stage.h"
 #include "core/trace.h"
 #include "likelihood/executor.h"
+#include "support/thread_pool.h"
 
 namespace rxc::core {
 
@@ -41,6 +42,12 @@ struct SpeExecConfig {
   double mailbox_contention = 1.0;
   /// Strip buffer size (the paper settles on 2 KB, §5.2.4).
   std::size_t strip_bytes = 2048;
+  /// Host worker threads for wall-clock-parallel payload execution (the
+  /// two-clock model: virtual cycles and numerics are identical for every
+  /// value — this knob only changes how fast the simulation itself runs).
+  /// 0 = auto (RXC_HOST_THREADS, else hardware concurrency); 1 = the
+  /// sequential reference path.
+  int host_threads = 0;
 };
 
 class SpeExecutor final : public lh::KernelExecutor {
@@ -49,6 +56,14 @@ public:
   SpeExecutor(cell::CellMachine& machine, SpeExecConfig config);
 
   void newview(const lh::NewviewTask& task) override;
+  /// Batch of independent newview invocations.  Semantically the serial
+  /// loop (same segments, counters, epochs, numerics, virtual cycles); with
+  /// host_threads > 1 and llp_ways == 1 the payloads run concurrently,
+  /// round-robined across the machine's SPEs.  Virtual accounting is
+  /// unchanged because every payload drains its MFC tags before returning,
+  /// so per-invocation elapsed cycles are independent of which (drained)
+  /// SPU hosts it and of the SPU's absolute clock.
+  void newview_batch(const lh::NewviewTask* tasks, std::size_t count) override;
   double evaluate(const lh::EvaluateTask& task) override;
   void sumtable(const lh::SumtableTask& task) override;
   lh::NrResult nr_derivatives(const lh::NrTask& task) override;
@@ -61,6 +76,8 @@ public:
   TaskTrace take_trace();
 
   const SpeExecConfig& config() const { return cfg_; }
+  /// Resolved host worker count (config knob, RXC_HOST_THREADS, hardware).
+  int host_threads() const { return host_threads_; }
 
 private:
   // --- cost model helpers -------------------------------------------------
@@ -76,17 +93,38 @@ private:
   double offload_ppe_cycles(int ways);
 
   /// Appends a segment and handles compound bookkeeping.  `dma_stall` is
-  /// the critical SPE's stall time within `spe`.
+  /// the critical SPE's stall time within `spe`.  `base_spe` is the machine
+  /// SPE hosting the invocation's first way (nonzero for batch payloads
+  /// round-robined off SPE 0) — the functional mailbox round trip and the
+  /// direct-signal protocol events must target the SPUs that actually ran.
   void record(KernelKind kind, double ppe, double spe, int ways,
-              bool signaled, double dma_stall = 0.0);
+              bool signaled, double dma_stall = 0.0, int base_spe = 0);
+
+  /// Strip length in patterns for a per-pattern footprint (floored to a
+  /// multiple of 16 so every strip offset stays 128-bit aligned).
+  std::size_t strip_patterns(std::size_t pattern_bytes) const;
 
   /// Runs `body(spu, lo, n, strip)` over pattern chunks on `ways` SPEs and
   /// returns the max per-SPE elapsed cycles.  `pattern_bytes` is the
   /// per-pattern footprint used to derive the strip length.  `stall_out`,
   /// when set, receives the DMA-stall portion of the critical SPE's time.
+  /// With host_threads > 1 the per-way payloads run concurrently on the
+  /// pool; per-SPE state is thread-private and the max reduction runs in
+  /// fixed way order afterwards, so the result is bitwise-identical to the
+  /// sequential loop for any thread count.
   template <class Body>
   double run_chunks(std::size_t np, std::size_t pattern_bytes, int ways,
                     const Body& body, cell::VCycles* stall_out = nullptr);
+
+  /// One way's worth of the offloaded newview strip loop on `spu` for
+  /// patterns [lo, lo+n); adds this way's scale events into *scale_events
+  /// (a per-way slot under concurrent execution).
+  void newview_payload(const lh::NewviewTask& task, cell::Spu& spu,
+                       std::size_t lo, std::size_t n, std::size_t strip,
+                       std::uint64_t* scale_events);
+
+  /// Lazily constructed pool for wall-clock-parallel payload execution.
+  ThreadPool& pool();
 
   // PPE (host) execution of non-offloaded kernels, with cycle estimate.
   double ppe_newview_cycles(const lh::NewviewTask& task) const;
@@ -96,6 +134,8 @@ private:
 
   cell::CellMachine* machine_;
   SpeExecConfig cfg_;
+  int host_threads_ = 1;  ///< resolved worker count (see SpeExecConfig)
+  std::unique_ptr<ThreadPool> pool_;
   lh::HostExecutor ppe_exec_;  ///< original code path (libm, branchy, scalar)
   std::vector<TraceSegment> segments_;
   bool in_compound_ = false;
@@ -123,6 +163,7 @@ public:
                         cell::CostParams params = cell::kDefaultCostParams);
 
   void newview(const lh::NewviewTask& task) override;
+  void newview_batch(const lh::NewviewTask* tasks, std::size_t count) override;
   double evaluate(const lh::EvaluateTask& task) override;
   void sumtable(const lh::SumtableTask& task) override;
   lh::NrResult nr_derivatives(const lh::NrTask& task) override;

@@ -101,7 +101,7 @@ LikelihoodEngine::ChildRef LikelihoodEngine::child_ref(int child_node,
   return ref;
 }
 
-void LikelihoodEngine::compute_partial(int dir) {
+NewviewTask LikelihoodEngine::build_newview_task(int dir) {
   const auto [u, edge] = tree_->dir_nodes(dir);
   RXC_ASSERT(!tree_->is_tip(u));
 
@@ -135,6 +135,11 @@ void LikelihoodEngine::compute_partial(int dir) {
   task.partial2 = c2.partial;
   task.out = partial_ptr(dir);
   task.scale_out = scale_ptr(dir);
+  return task;
+}
+
+void LikelihoodEngine::compute_partial(int dir) {
+  const NewviewTask task = build_newview_task(dir);
   static obs::Counter& misses = obs::counter("engine.partial.misses");
   misses.add();
   exec_->newview(task);
@@ -148,10 +153,15 @@ void LikelihoodEngine::ensure_partial(int dir) {
     hits.add();
     return;
   }
+  // Pass 1: collect the stale dirs in the exact order the sequential
+  // recursion computes them (children deepest-first, neighbor order), using
+  // `planned` the way the compute loop uses valid_.
+  std::vector<int> order;
+  std::vector<char> planned(valid_.size(), 0);
   std::vector<int> stack{dir};
   while (!stack.empty()) {
     const int d = stack.back();
-    if (valid_[d]) {
+    if (valid_[d] || planned[d]) {
       stack.pop_back();
       continue;
     }
@@ -161,15 +171,52 @@ void LikelihoodEngine::ensure_partial(int dir) {
     for (const auto& nb : tree_->neighbors(u)) {
       if (nb.edge == edge || tree_->is_tip(nb.node)) continue;
       const int cd = tree_->dir_index(nb.node, nb.edge);
-      if (!valid_[cd]) {
+      if (!valid_[cd] && !planned[cd]) {
         stack.push_back(cd);
         ready = false;
       }
     }
     if (!ready) continue;
-    compute_partial(d);
+    planned[d] = 1;
+    order.push_back(d);
     stack.pop_back();
   }
+
+  // Pass 2: submit maximal consecutive runs of mutually independent tasks
+  // as one batch — a run breaks exactly when the next dir reads a partial
+  // the current batch is still computing.  Inside a run, outputs are
+  // distinct dir slots and inputs are partials validated by earlier runs,
+  // so the executor may compute the batch in any order (or concurrently);
+  // the trace it records stays in `order`.
+  static obs::Counter& misses = obs::counter("engine.partial.misses");
+  std::vector<NewviewTask> batch;
+  std::vector<char> in_batch(valid_.size(), 0);
+  std::vector<int> batch_dirs;
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    exec_->newview_batch(batch.data(), batch.size());
+    for (const int d : batch_dirs) {
+      valid_[d] = 1;
+      in_batch[d] = 0;
+    }
+    batch.clear();
+    batch_dirs.clear();
+  };
+  for (const int d : order) {
+    const auto [u, edge] = tree_->dir_nodes(d);
+    for (const auto& nb : tree_->neighbors(u)) {
+      if (nb.edge == edge || tree_->is_tip(nb.node)) continue;
+      if (in_batch[tree_->dir_index(nb.node, nb.edge)]) {
+        flush();
+        break;
+      }
+    }
+    batch.push_back(build_newview_task(d));
+    batch_dirs.push_back(d);
+    in_batch[d] = 1;
+    misses.add();
+  }
+  flush();
 }
 
 double LikelihoodEngine::evaluate(int edge) {

@@ -150,7 +150,14 @@ private:
     return scales_.data() + static_cast<std::size_t>(dir) * scale_stride_;
   }
   /// Recomputes (iteratively) all stale partials the directed edge needs.
+  /// The stale set is collected in the deepest-first order the recursion
+  /// would visit, then submitted to the executor as batches of consecutive
+  /// mutually-independent newview tasks (no task in a batch reads another's
+  /// output), so a parallel backend can run them concurrently while the
+  /// trace stays in the sequential order.
   void ensure_partial(int dir);
+  /// Builds the newview task for one partial whose children are fresh.
+  NewviewTask build_newview_task(int dir);
   /// Computes one partial assuming its children are fresh.
   void compute_partial(int dir);
   /// Marks invalid every directed edge pointing away from `edge`, on the

@@ -224,6 +224,8 @@ void ExecutorSpec::validate() const {
                   "executor spec: strip buffer too small (< 256 bytes)");
       RXC_REQUIRE(eib_contention >= 1.0 && mailbox_contention >= 1.0,
                   "executor spec: contention factors must be >= 1");
+      RXC_REQUIRE(host_threads >= 0 && host_threads <= 64,
+                  "executor spec: host_threads must be 0 (auto) or 1..64");
       break;
   }
 }

@@ -121,6 +121,16 @@ public:
   virtual void sumtable(const SumtableTask& task) = 0;
   virtual NrResult nr_derivatives(const NrTask& task) = 0;
 
+  /// Executes `count` newview invocations whose inputs and outputs are
+  /// mutually independent (no task reads another's `out`/`scale_out`).
+  /// Semantically identical to calling newview() on each task in order —
+  /// counters, traces and numerics must come out the same — but a backend
+  /// with wall-clock parallelism may run the payloads concurrently and
+  /// amortize per-invocation accounting.  Default: the serial loop.
+  virtual void newview_batch(const NewviewTask* tasks, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) newview(tasks[i]);
+  }
+
   /// Brackets a makenewz sequence (one sumtable + its Newton iterations).
   /// RAxML offloads makenewz as a single unit, so an offloading executor
   /// signals once per compound rather than once per inner kernel.  Default:
@@ -185,6 +195,11 @@ struct ExecutorSpec {
   double eib_contention = 1.0;
   double mailbox_contention = 1.0;
   std::size_t strip_bytes = 2048;
+  /// kSpe: host worker threads for wall-clock-parallel payload execution.
+  /// 0 = auto (RXC_HOST_THREADS, else hardware concurrency); 1 = the
+  /// sequential reference path.  Virtual cycles and numerics are identical
+  /// for every value — this knob trades wall-clock only.
+  int host_threads = 0;
 
   /// Throws rxc::Error on out-of-range knobs for the selected kind.
   void validate() const;

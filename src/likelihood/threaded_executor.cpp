@@ -40,7 +40,7 @@ void ThreadedExecutor::newview(const NewviewTask& task) {
   counters_.exp_calls += exp_calls;
   counters_.pmatrix_builds += 2;
 
-  const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
+  const std::size_t nchunks = chunk_count(task.np);
   const std::size_t stride =
       ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
   std::atomic<std::uint64_t> events{0};
@@ -100,7 +100,7 @@ double ThreadedExecutor::evaluate(const EvaluateTask& task) {
   counters_.exp_calls += exp_calls;
   ++counters_.pmatrix_builds;
 
-  const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
+  const std::size_t nchunks = chunk_count(task.np);
   const std::size_t stride =
       ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
   if (partial_lnl_.size() < nchunks) partial_lnl_.resize(nchunks);
@@ -141,7 +141,7 @@ double ThreadedExecutor::evaluate(const EvaluateTask& task) {
 void ThreadedExecutor::sumtable(const SumtableTask& task) {
   task.validate();
   const auto& ctx = task.ctx;
-  const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
+  const std::size_t nchunks = chunk_count(task.np);
   const std::size_t stride =
       ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
   pool_.parallel_for(nchunks, [&](std::size_t c) {
@@ -169,7 +169,7 @@ void ThreadedExecutor::sumtable(const SumtableTask& task) {
 NrResult ThreadedExecutor::nr_derivatives(const NrTask& task) {
   task.validate();
   const auto& ctx = task.ctx;
-  const std::size_t nchunks = (task.np + chunk_ - 1) / chunk_;
+  const std::size_t nchunks = chunk_count(task.np);
   const std::size_t stride =
       ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
   if (partial_.size() < nchunks) partial_.resize(nchunks);

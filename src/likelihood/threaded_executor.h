@@ -30,9 +30,9 @@ public:
   NrResult nr_derivatives(const NrTask& task) override;
 
 private:
-  std::size_t chunk_count(std::size_t np) const {
-    return (np + chunk_) / chunk_;  // at least 1
-  }
+  /// Chunks covering np patterns — exactly np/chunk_ when chunk_ divides np
+  /// (no trailing empty chunk), 0 when np == 0.
+  std::size_t chunk_count(std::size_t np) const { return ceil_div(np, chunk_); }
 
   ThreadPool pool_;
   KernelConfig config_;

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace rxc::obs {
 
@@ -78,6 +79,34 @@ void check_unique_kind(const Registry& r, const std::string& name,
   RXC_REQUIRE(kinds == 0,
               "obs metric '" + name + "' already registered as another kind");
 }
+
+/// Bridges support/thread_pool's utilization samples into the registry
+/// (support sits below obs, so the pool can't name obs::counter itself).
+/// Handles are resolved once; the registry's function-local singleton makes
+/// this safe even if a pool runs during static init.
+void pool_metric_sink(PoolMetric m, std::uint64_t n) {
+  static Counter& jobs = counter("pool.jobs");
+  static Counter& inline_jobs = counter("pool.inline_jobs");
+  static Counter& items = counter("pool.items");
+  static Counter& steals = counter("pool.steals");
+  static Counter& idle = counter("pool.idle_wakeups");
+  static Gauge& threads = gauge("pool.threads");
+  switch (m) {
+    case PoolMetric::kJobs: jobs.add(n); break;
+    case PoolMetric::kInlineJobs: inline_jobs.add(n); break;
+    case PoolMetric::kItems: items.add(n); break;
+    case PoolMetric::kSteals: steals.add(n); break;
+    case PoolMetric::kIdleWakeups: idle.add(n); break;
+    case PoolMetric::kThreads: threads.set(static_cast<double>(n)); break;
+  }
+}
+
+/// Installed at load time of any binary linking the registry; binaries
+/// without obs simply leave the pool's sink null.
+const bool g_pool_sink_installed = [] {
+  set_pool_metric_sink(&pool_metric_sink);
+  return true;
+}();
 
 }  // namespace
 

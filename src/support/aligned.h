@@ -59,4 +59,10 @@ constexpr std::size_t round_up(std::size_t n, std::size_t align) {
   return (n + align - 1) / align * align;
 }
 
+/// Ceiling division: number of `d`-sized chunks needed to cover `n`
+/// (0 when n == 0; exactly n/d when d divides n — no trailing empty chunk).
+constexpr std::size_t ceil_div(std::size_t n, std::size_t d) {
+  return (n + d - 1) / d;
+}
+
 }  // namespace rxc

@@ -1,14 +1,52 @@
 #include "support/thread_pool.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "support/error.h"
 
 namespace rxc {
 
+namespace {
+
+constexpr std::uint64_t pack(std::uint64_t next, std::uint64_t end) {
+  return (next << 32) | end;
+}
+constexpr std::uint64_t range_next(std::uint64_t packed) {
+  return packed >> 32;
+}
+constexpr std::uint64_t range_end(std::uint64_t packed) {
+  return packed & 0xffffffffu;
+}
+
+std::atomic<PoolMetricSink> g_pool_sink{nullptr};
+
+void emit(PoolMetric m, std::uint64_t n) {
+  if (PoolMetricSink sink = g_pool_sink.load(std::memory_order_acquire))
+    sink(m, n);
+}
+
+}  // namespace
+
+void set_pool_metric_sink(PoolMetricSink sink) {
+  g_pool_sink.store(sink, std::memory_order_release);
+}
+
+int host_thread_count() {
+  if (const char* env = std::getenv("RXC_HOST_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(std::min(v, 64L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
 ThreadPool::ThreadPool(int threads) : nthreads_(threads) {
   RXC_REQUIRE(threads >= 1, "thread pool needs at least one thread");
-  workers_.reserve(threads - 1);
+  emit(PoolMetric::kThreads, static_cast<std::uint64_t>(threads));
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 1; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -17,37 +55,119 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   wake_.notify_all();
+  park_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  std::uint64_t seen_generation = 0;
+void ThreadPool::record_error(Job& job, std::size_t index,
+                              std::exception_ptr err) {
+  std::lock_guard lock(job.err_mutex);
+  if (!job.err || index < job.err_index) {
+    job.err = std::move(err);
+    job.err_index = index;
+  }
+}
+
+std::size_t ThreadPool::run_slot(Job& job, int slot) {
+  const int slots = nthreads_;
+  std::size_t worked = 0;
+  int victim = slot;  // own range first
   for (;;) {
-    const std::function<void(std::size_t)>* job = nullptr;
-    std::size_t size = 0;
+    if (job.completed.load(std::memory_order_relaxed) >= job.n) break;
+    // Claim the next index from the current victim range.
+    std::uint64_t cur = job.ranges[victim].load(std::memory_order_relaxed);
+    bool claimed = false;
+    std::size_t index = 0;
+    while (range_next(cur) < range_end(cur)) {
+      const std::uint64_t want = cur + (std::uint64_t{1} << 32);
+      if (job.ranges[victim].compare_exchange_weak(
+              cur, want, std::memory_order_acq_rel)) {
+        index = range_next(cur);
+        claimed = true;
+        break;
+      }
+    }
+    if (claimed) {
+      try {
+        (*job.fn)(index);
+      } catch (...) {
+        record_error(job, index, std::current_exception());
+      }
+      ++worked;
+      continue;
+    }
+    // Current range is dry: steal the far half of the fullest range.
+    int best = -1;
+    std::uint64_t best_remaining = 0;
+    for (int s = 0; s < slots; ++s) {
+      const std::uint64_t p = job.ranges[s].load(std::memory_order_relaxed);
+      const std::uint64_t rem =
+          range_next(p) < range_end(p) ? range_end(p) - range_next(p) : 0;
+      if (rem > best_remaining) {
+        best_remaining = rem;
+        best = s;
+      }
+    }
+    if (best < 0) break;  // every range is dry: done
+    std::uint64_t p = job.ranges[best].load(std::memory_order_relaxed);
+    const std::uint64_t next = range_next(p);
+    const std::uint64_t end = range_end(p);
+    if (next >= end) continue;  // raced: rescan
+    // Keep the near floor(rem/2) for the victim and take the far half.  The
+    // rounding direction matters: rounding the kept half up would make a
+    // 1-item range yield mid == end, i.e. a "successful" steal of nothing,
+    // and every thief would spin on it until the owner drains the item.
+    const std::uint64_t mid = next + (end - next) / 2;
+    if (job.ranges[best].compare_exchange_strong(p, pack(next, mid),
+                                                 std::memory_order_acq_rel)) {
+      job.ranges[slot].store(pack(mid, end), std::memory_order_release);
+      victim = slot;
+      emit(PoolMetric::kSteals, 1);
+    }
+    // CAS failure: owner claimed or another thief got here first; rescan.
+  }
+  emit(PoolMetric::kItems, worked);
+  if (worked == 0) {
+    emit(PoolMetric::kIdleWakeups, 1);
+    return 0;  // completed unchanged: nothing to signal
+  }
+  const std::size_t before =
+      job.completed.fetch_add(worked, std::memory_order_acq_rel);
+  if (before + worked >= job.n) {
+    // Lock-then-notify so the caller cannot check the predicate between our
+    // fetch_add and the notification and then sleep forever.
+    std::lock_guard lock(mutex_);
+    done_.notify_all();
+  }
+  return worked;
+}
+
+void ThreadPool::worker_loop(int slot) {
+  std::uint64_t seen_generation = 0;
+  int idle_streak = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
     {
       std::unique_lock lock(mutex_);
+      if (idle_streak >= kParkAfterIdleJobs) {
+        ++parked_;
+        const std::uint64_t seen_unparks = unparks_;
+        park_.wait(lock, [&] {
+          return shutdown_ || unparks_ != seen_unparks;
+        });
+        --parked_;
+        idle_streak = 0;
+      }
       wake_.wait(lock, [&] {
-        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+        return shutdown_ || generation_ != seen_generation;
       });
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
-      size = job_size_;
     }
-    // Pull indices until exhausted.
-    std::size_t worked = 0;
-    for (;;) {
-      const std::size_t i = next_.fetch_add(1);
-      if (i >= size) break;
-      (*job)(i);
-      ++worked;
-    }
-    {
-      std::lock_guard lock(mutex_);
-      completed_ += worked;
-      if (completed_ >= size) done_.notify_all();
-    }
+    if (!job) continue;
+    const std::size_t worked = run_slot(*job, slot);
+    idle_streak = worked == 0 ? idle_streak + 1 : 0;
   }
 }
 
@@ -55,34 +175,51 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (nthreads_ == 1 || n == 1) {
+    emit(PoolMetric::kInlineJobs, 1);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  RXC_REQUIRE(n < (std::uint64_t{1} << 32),
+              "parallel_for index range exceeds 32 bits");
+  emit(PoolMetric::kJobs, 1);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  const std::size_t slots = static_cast<std::size_t>(nthreads_);
+  job->ranges = std::make_unique<PackedRange[]>(slots);
+  // Balanced contiguous ranges, one per participant (slot 0 = caller).
+  const std::size_t base = n / slots;
+  const std::size_t extra = n % slots;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    job->ranges[s].store(pack(begin, begin + len), std::memory_order_relaxed);
+    begin += len;
+  }
   {
     std::lock_guard lock(mutex_);
-    job_ = &fn;
-    job_size_ = n;
-    next_.store(0);
-    completed_ = 0;
+    job_ = job;
     ++generation_;
   }
   wake_.notify_all();
-  // The calling thread participates too.
-  std::size_t worked = 0;
-  for (;;) {
-    const std::size_t i = next_.fetch_add(1);
-    if (i >= n) break;
-    fn(i);
-    ++worked;
+  // The calling thread participates as slot 0; under oversubscription it
+  // typically drains every range itself before the workers are scheduled.
+  run_slot(*job, 0);
+  if (job->completed.load(std::memory_order_acquire) < n) {
+    std::unique_lock lock(mutex_);
+    if (parked_ > 0 && job->completed.load(std::memory_order_acquire) < n) {
+      // About to block on unfinished work: this is the one moment parked
+      // workers are worth waking.
+      ++unparks_;
+      park_.notify_all();
+    }
+    done_.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) >= n;
+    });
   }
-  std::unique_lock lock(mutex_);
-  completed_ += worked;
-  if (completed_ >= n) {
-    job_ = nullptr;
-    return;
-  }
-  done_.wait(lock, [&] { return completed_ >= n; });
-  job_ = nullptr;
+  // completed == n orders after every fn call and error store, so the error
+  // slot is stable without taking job->err_mutex.
+  if (job->err) std::rethrow_exception(job->err);
 }
 
 }  // namespace rxc

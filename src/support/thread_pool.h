@@ -1,20 +1,62 @@
 #pragma once
 /// \file thread_pool.h
-/// Minimal persistent worker pool with a blocking parallel-for — the
+/// Persistent worker pool with a blocking, work-stealing parallel-for — the
 /// substrate for the loop-level shared-memory parallelization of the
-/// likelihood kernels (the paper's §3 RAxML-OMP analogue).
+/// likelihood kernels (the paper's §3 RAxML-OMP analogue) and for the
+/// wall-clock-parallel Cell simulation (concurrent SPE payload execution).
+///
+/// Scheduling: parallel_for splits [0, n) into one contiguous range per
+/// participant (workers + the calling thread).  Each participant drains its
+/// own range first (cache-friendly, zero contention on balanced loads), then
+/// steals the far half of the fullest remaining range.  Ranges live in a
+/// single packed 64-bit atomic each, so claiming and stealing are lock-free.
+///
+/// Exceptions thrown by fn are captured and rethrown on the calling thread
+/// after every index has been dispatched; when several indices throw, the
+/// lowest index wins, so the propagated error is deterministic regardless of
+/// thread count or interleaving (this is what lets RXC_ANALYZE=race:fatal
+/// produce the same AnalysisError under any RXC_HOST_THREADS).
+///
+/// Utilization counters (pool.jobs / pool.items / pool.steals /
+/// pool.idle_wakeups, gauge pool.threads) flow through the obs registry so
+/// RXC_TRACE=summary|json shows host-thread occupancy next to the virtual
+/// SPE timelines.
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace rxc {
 
+/// Host worker count for wall-clock parallel execution: `RXC_HOST_THREADS`
+/// when set to a positive integer (clamped to [1, 64]), otherwise
+/// std::thread::hardware_concurrency() (at least 1).  This is the "auto"
+/// resolution used whenever a config knob leaves host_threads at 0.
+int host_thread_count();
+
+/// Pool utilization metrics, reported through an installable sink so the
+/// support layer stays below obs in the module graph: obs/metrics.cpp
+/// installs a translator into its registry at static-init, and any binary
+/// without the registry simply drops the samples.
+enum class PoolMetric {
+  kJobs,         ///< parallel_for calls that fanned out to workers
+  kInlineJobs,   ///< parallel_for calls run inline (n==1 or 1 thread)
+  kItems,        ///< indices executed (all participants)
+  kSteals,       ///< successful half-range steals
+  kIdleWakeups,  ///< a participant woke for a job but claimed zero items
+  kThreads,      ///< pool size (gauge semantics: last constructed pool)
+};
+using PoolMetricSink = void (*)(PoolMetric, std::uint64_t);
+void set_pool_metric_sink(PoolMetricSink sink);
+
 class ThreadPool {
-public:
+ public:
   /// Spawns `threads` persistent workers (>= 1; 1 means the calling thread
   /// does all work, no spawn).
   explicit ThreadPool(int threads);
@@ -25,13 +67,59 @@ public:
 
   int thread_count() const { return nthreads_; }
 
-  /// Runs fn(i) for every i in [0, n), distributing dynamically over the
-  /// workers (and the calling thread).  Blocks until all indices are done.
-  /// fn must be safe to call concurrently for distinct i.
+  /// Runs fn(i) for every i in [0, n), distributing over the workers (and
+  /// the calling thread) with per-participant ranges + half-range stealing.
+  /// Blocks until all indices are done.  fn must be safe to call
+  /// concurrently for distinct i.  If any fn(i) throws, every index is
+  /// still dispatched and the exception from the lowest throwing index is
+  /// rethrown here.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
-private:
-  void worker_loop();
+ private:
+  /// One participant's index range, packed (next << 32) | end so claim and
+  /// steal are single CAS operations.  Indices are < 2^32 (a parallel_for
+  /// over more than 4G items has no business in this simulator).
+  using PackedRange = std::atomic<std::uint64_t>;
+
+  /// All state of one parallel_for dispatch, heap-allocated and shared by
+  /// every participant.  This is what keeps dispatch latency flat under
+  /// oversubscription: the caller returns as soon as all ITEMS are done
+  /// (often having drained every range itself), while a worker that wakes
+  /// late still holds a valid Job whose ranges are simply dry — the next
+  /// dispatch never waits for stragglers of the previous one.
+  ///
+  /// Claims (and hence fn calls and error recording) can only happen while
+  /// completed < n, i.e. while the caller is still blocked in parallel_for,
+  /// so the borrowed `fn` pointer and the error slot stay valid for exactly
+  /// as long as anyone can touch them.
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::unique_ptr<PackedRange[]> ranges;  ///< one per participant slot
+    std::atomic<std::size_t> completed{0};
+    std::mutex err_mutex;
+    std::exception_ptr err;
+    std::size_t err_index = 0;
+  };
+
+  void worker_loop(int slot);
+  /// Drains ranges for `slot`: own range first, then steals.  Adds the
+  /// executed-index count to job.completed and signals done_ on the last.
+  /// Returns the number of indices executed.
+  std::size_t run_slot(Job& job, int slot);
+  static void record_error(Job& job, std::size_t index,
+                           std::exception_ptr err);
+
+  /// A worker that came up empty this many consecutive jobs parks itself:
+  /// it stops being notified per dispatch and is woken again only when a
+  /// caller actually has to block on unfinished work — the one situation
+  /// where extra hands help.  This keeps fine-grained dispatch cheap when
+  /// the pool is oversubscribed (more threads than cores): spare workers
+  /// otherwise wake on every dispatch, find the caller already drained the
+  /// ranges, and convoy on the mutex, starving the caller.  On hardware
+  /// with genuinely parallel workers each participant claims items every
+  /// job, so nobody parks and dispatch latency is unaffected.
+  static constexpr int kParkAfterIdleJobs = 4;
 
   int nthreads_;
   std::vector<std::thread> workers_;
@@ -39,11 +127,11 @@ private:
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_size_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::size_t completed_ = 0;
+  std::condition_variable park_;
+  std::shared_ptr<Job> job_;  ///< most recent dispatch (may be finished)
   std::uint64_t generation_ = 0;
+  std::uint64_t unparks_ = 0;  ///< bumped to release parked workers
+  int parked_ = 0;
   bool shutdown_ = false;
 };
 

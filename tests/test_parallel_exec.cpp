@@ -1,0 +1,221 @@
+// Tests for the wall-clock-parallel simulated-Cell backend: with any number
+// of host worker threads, the executor must produce bitwise-identical
+// results AND bitwise-identical virtual time.  The pool only reorders wall
+// execution of independent payloads; fixed-order reduction slots keep every
+// floating-point sum/max in the sequential order, and each payload drains
+// its MFC tags before returning, so virtual accounting cannot observe the
+// host interleaving.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "core/port.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "likelihood/threaded_executor.h"
+#include "obs/obs.h"
+#include "seq/seqgen.h"
+#include "support/aligned.h"
+#include "support/stats.h"
+#include "tree/tree.h"
+
+using namespace rxc;
+
+namespace {
+
+struct Fixture {
+  seq::SimResult sim;
+  seq::PatternAlignment pa;
+  lh::EngineConfig ec;
+  search::SearchOptions so;
+
+  Fixture() : sim(make()), pa(seq::PatternAlignment::compress(sim.alignment)) {
+    ec.mode = lh::RateMode::kCat;
+    ec.categories = 8;
+    so.max_rounds = 2;
+    so.radius = 3;
+  }
+  static seq::SimResult make() {
+    seq::SimOptions opt;
+    opt.ntaxa = 12;
+    opt.nsites = 400;
+    opt.branch_scale = 0.07;
+    opt.seed = 17;
+    return sim_result(opt);
+  }
+  static seq::SimResult sim_result(const seq::SimOptions& opt) {
+    return seq::simulate_alignment(opt);
+  }
+};
+
+struct RunOut {
+  double virtual_seconds;
+  std::vector<double> lnls;
+  std::vector<std::string> newicks;
+};
+
+RunOut run_case(const Fixture& f, core::SchedulerModel scheduler,
+                int host_threads) {
+  core::CellRunConfig cfg;
+  cfg.stage = core::Stage::kOffloadAll;
+  cfg.scheduler = scheduler;
+  cfg.engine = f.ec;
+  cfg.search = f.so;
+  cfg.host_threads = host_threads;
+  const auto tasks = search::make_analysis(0, 2);
+  const auto r = core::run_on_cell(f.pa, cfg, tasks);
+  return {r.virtual_seconds, r.task_log_likelihoods, r.task_newicks};
+}
+
+/// Bitwise equality across host thread counts: lnLs compared with ==, not a
+/// tolerance, and virtual makespans identical to the last bit.
+void expect_identical_across_threads(core::SchedulerModel scheduler) {
+  Fixture f;
+  const RunOut ref = run_case(f, scheduler, 1);
+  ASSERT_FALSE(ref.lnls.empty());
+  for (const int threads : {2, 8}) {
+    const RunOut got = run_case(f, scheduler, threads);
+    EXPECT_EQ(got.virtual_seconds, ref.virtual_seconds)
+        << threads << " host threads changed the virtual makespan";
+    ASSERT_EQ(got.lnls.size(), ref.lnls.size());
+    for (std::size_t i = 0; i < ref.lnls.size(); ++i) {
+      EXPECT_EQ(got.lnls[i], ref.lnls[i])
+          << "task " << i << ", " << threads << " host threads";
+    }
+    EXPECT_EQ(got.newicks, ref.newicks) << threads << " host threads";
+  }
+}
+
+}  // namespace
+
+// LLP: the 8 per-SPE strip payloads of every offloaded newview run on the
+// pool; the fixed-slot elapsed/stall reduction keeps timing exact.
+TEST(ParallelExec, LlpBitwiseIdenticalAcrossHostThreads) {
+  expect_identical_across_threads(core::SchedulerModel::kLlp);
+}
+
+// Batched dispatch: whole dependency levels of independent newview tasks
+// round-robin across SPEs; records land in the original task order.
+TEST(ParallelExec, BatchBitwiseIdenticalAcrossHostThreads) {
+  expect_identical_across_threads(core::SchedulerModel::kNaiveMpi);
+}
+
+// Newton-Raphson derivatives come from sumtable+evaluate kernels running on
+// top of parallel-computed partials; they too must be bitwise stable.
+TEST(ParallelExec, DerivativesBitwiseIdenticalAcrossHostThreads) {
+  Fixture f;
+  Rng rng(7);
+  tree::Tree t = tree::Tree::random_topology(f.pa.taxon_count(), rng, 0.08);
+
+  lh::NrResult ref{};
+  double ref_lnl = 0.0;
+  for (const int threads : {1, 2, 8}) {
+    cell::CellMachine machine(cell::kDefaultCostParams);
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
+    cfg.llp_ways = 8;
+    cfg.host_threads = threads;
+    core::SpeExecutor exec(machine, cfg);
+
+    lh::LikelihoodEngine engine(f.pa, f.ec);
+    engine.set_executor(&exec);
+    auto tc = t;
+    engine.set_tree(&tc);
+    const double lnl = engine.evaluate(0);
+    engine.prepare_branch(0);
+    const lh::NrResult nr = engine.branch_derivatives(0.13);
+    if (threads == 1) {
+      ref = nr;
+      ref_lnl = lnl;
+    } else {
+      EXPECT_EQ(lnl, ref_lnl) << threads << " host threads";
+      EXPECT_EQ(nr.lnl, ref.lnl) << threads << " host threads";
+      EXPECT_EQ(nr.d1, ref.d1) << threads << " host threads";
+      EXPECT_EQ(nr.d2, ref.d2) << threads << " host threads";
+    }
+  }
+}
+
+// The happens-before race detector must stay clean when payloads execute
+// concurrently: epochs are recorded in task order after the parallel region,
+// and batch groups contain only mutually independent tasks.
+TEST(ParallelExec, RaceDetectorFatalStaysClean) {
+  analysis::configure(analysis::AnalyzeMode::kRaceFatal);
+  Fixture f;
+  EXPECT_NO_THROW({
+    const RunOut a = run_case(f, core::SchedulerModel::kLlp, 8);
+    const RunOut b = run_case(f, core::SchedulerModel::kNaiveMpi, 8);
+    (void)a;
+    (void)b;
+  });
+  analysis::configure(analysis::AnalyzeMode::kOff);
+}
+
+// Pool occupancy counters flow through the obs registry (support publishes
+// via the installable sink; obs/metrics.cpp installs the translator).
+TEST(ParallelExec, PoolMetricsReachObsRegistry) {
+  obs::Config cfg;
+  cfg.mode = obs::Mode::kSummary;
+  obs::configure(cfg);
+
+  Fixture f;
+  (void)run_case(f, core::SchedulerModel::kNaiveMpi, 8);
+
+  const auto snap = obs::snapshot_metrics();
+  std::uint64_t jobs = 0, items = 0;
+  double threads_gauge = 0.0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "pool.jobs") jobs = c.value;
+    if (c.name == "pool.items") items = c.value;
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.name == "pool.threads") threads_gauge = g.value;
+  }
+  EXPECT_GT(jobs, 0u) << "no parallel_for dispatches reached the registry";
+  EXPECT_GT(items, 0u);
+  EXPECT_EQ(threads_gauge, 8.0);
+
+  obs::configure(obs::Config{});  // back to off
+}
+
+// Satellite regression: ThreadedExecutor::chunk_count used to compute
+// (np + chunk) / chunk, i.e. one spurious extra chunk whenever np was an
+// exact multiple of the chunk size.  ceil_div is the shared fix.
+TEST(ParallelExec, CeilDivBoundaries) {
+  EXPECT_EQ(ceil_div(0, 64), 0u);
+  EXPECT_EQ(ceil_div(1, 64), 1u);
+  EXPECT_EQ(ceil_div(63, 64), 1u);
+  EXPECT_EQ(ceil_div(64, 64), 1u);   // np == 1*chunk: exactly one chunk
+  EXPECT_EQ(ceil_div(65, 64), 2u);
+  EXPECT_EQ(ceil_div(128, 64), 2u);  // np == 2*chunk: no trailing empty chunk
+  EXPECT_EQ(ceil_div(192, 64), 3u);
+}
+
+// End-to-end guard for the same bug: a pattern count that is an exact
+// multiple of the chunk size must produce results identical to chunk sizes
+// that do not divide it (the executor pads chunks, so an off-by-one chunk
+// count would touch the padding strip).
+TEST(ParallelExec, ThreadedExecutorExactMultipleChunking) {
+  Fixture f;
+  Rng rng(11);
+  tree::Tree t = tree::Tree::random_topology(f.pa.taxon_count(), rng, 0.08);
+
+  lh::LikelihoodEngine host(f.pa, f.ec);
+  auto t1 = t;
+  host.set_tree(&t1);
+  const double want = host.log_likelihood();
+
+  const std::size_t np = f.pa.pattern_count();
+  for (const std::size_t chunk : {np, np / 2, np / 3 + 1}) {
+    lh::LikelihoodEngine engine(f.pa, f.ec);
+    lh::ThreadedExecutor exec(2, f.ec.kernels, chunk);
+    engine.set_executor(&exec);
+    auto t2 = t;
+    engine.set_tree(&t2);
+    const double got = engine.log_likelihood();
+    EXPECT_LT(rel_diff(got, want), 1e-12) << "chunk=" << chunk;
+  }
+}

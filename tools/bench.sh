@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the performance benches and writes the committed baselines:
+#
+#   BENCH_kernels.json   — google-benchmark JSON from bench_kernels (host
+#                          wall time per kernel variant)
+#   BENCH_schedule.json  — NDJSON, one object per table/case: virtual cycles
+#                          per stage/policy plus wall seconds, from the
+#                          §5.2 table benches and the parallel-backend bench
+#
+# Usage: tools/bench.sh [--smoke] [--build-dir DIR]
+#
+#   --smoke      shrunken workloads for CI gating: bench_parallel --smoke
+#                plus a short-min-time kernel pass.  The full (default) mode
+#                regenerates the committed baselines.
+#   --build-dir  existing CMake build tree (default: build, configured as
+#                Release if missing).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+BUILD=build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --build-dir) BUILD=$2; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" -j \
+  --target bench_kernels bench_table7 bench_table8 bench_parallel
+
+# --- kernels: real host wall time per kernel variant ----------------------
+# (fast enough to run in full even for --smoke; min-time flags differ across
+# google-benchmark versions, so we don't pass any)
+"$BUILD"/bench/bench_kernels \
+  --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+
+# --- schedule: virtual time per stage/policy + parallel-backend wall time -
+# Each bench appends NDJSON lines to its own temp file; concatenate so a
+# partial failure never leaves a truncated baseline behind.
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+if [ "$SMOKE" = 1 ]; then
+  "$BUILD"/bench/bench_parallel --smoke --json="$TMP/parallel.json"
+else
+  "$BUILD"/bench/bench_table7 --json="$TMP/table7.json"
+  "$BUILD"/bench/bench_table8 --json="$TMP/table8.json"
+  "$BUILD"/bench/bench_parallel --json="$TMP/parallel.json"
+fi
+cat "$TMP"/*.json > BENCH_schedule.json
+
+echo "wrote BENCH_kernels.json and BENCH_schedule.json"
