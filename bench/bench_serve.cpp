@@ -1,0 +1,129 @@
+/// \file bench_serve.cpp
+/// Serving-layer throughput: one mixed-priority batch pushed through
+/// serve::Server over simulated-Cell device pools of growing size.  The
+/// quantity under test is batch wall time (and jobs/s) as the pool scales —
+/// MGPS-style dynamic sharing means a batch of independent jobs should scale
+/// close to linearly until the host runs out of cores.  Every job's result
+/// is still checked terminal-and-completed, so this doubles as a quick
+/// stress of admission/backpressure under real contention.
+///
+/// Flags: --smoke shrinks the batch and pool list for CI gates; --json[=FILE]
+/// emits one NDJSON object compatible with tools/bench.sh.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spe_executor.h"
+#include "serve/server.h"
+#include "support/stopwatch.h"
+#include "support/thread_pool.h"
+#include "table_common.h"
+
+namespace rxc::bench {
+namespace {
+
+serve::JobSpec batch_job(int i) {
+  serve::JobSpec spec;
+  spec.id = "job-" + std::to_string(i);
+  spec.priority = i % 3;
+  spec.workload.sim_taxa = 8;
+  spec.workload.sim_sites = 120;
+  spec.workload.sim_seed = 100 + static_cast<std::uint64_t>(i % 4);
+  spec.model = "jc";
+  spec.categories = 4;
+  spec.inferences = i % 2 ? 1 : 0;
+  spec.bootstraps = i % 2 ? 0 : 2;
+  spec.max_rounds = 2;
+  return spec;
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  JsonReport json = JsonReport::from_args(argc, argv);
+
+  const int jobs = smoke ? 8 : 24;
+  const std::vector<int> pools = smoke ? std::vector<int>{1, 2}
+                                       : std::vector<int>{1, 2, 4};
+
+  std::printf("=== serving throughput (%s batch: %d jobs) ===\n",
+              smoke ? "smoke" : "full", jobs);
+  std::printf("(simulated-Cell devices, stage 7; host cores here: %d)\n",
+              host_thread_count());
+  std::printf("%-8s %10s %10s %10s %10s %12s\n", "devices", "wall[s]",
+              "jobs/s", "retries", "preempts", "speedup-vs-1");
+
+  JsonWriter jw;
+  jw.begin_object()
+      .kv("table", "serve-throughput")
+      .kv("smoke", smoke)
+      .kv("jobs", jobs)
+      .kv("host_threads_auto", host_thread_count())
+      .key("rows")
+      .begin_array();
+
+  double wall_1dev = 0.0;
+  int failures = 0;
+  for (const int devices : pools) {
+    serve::ServerConfig cfg;
+    cfg.queue_capacity = 16;  // small bound so backpressure is part of the run
+    serve::Server server(
+        std::vector<lh::ExecutorSpec>(
+            static_cast<std::size_t>(devices),
+            core::cell_executor_spec(core::Stage::kOffloadAll)),
+        cfg);
+    rxc::Stopwatch wall;
+    for (int i = 0; i < jobs; ++i) {
+      const auto spec = batch_job(i);
+      while (server.submit(spec) == serve::SubmitStatus::kQueueFull)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server.join();
+    const double wall_s = wall.seconds();
+    if (devices == 1) wall_1dev = wall_s;
+
+    int retries = 0, preemptions = 0;
+    for (const auto& r : server.results()) {
+      if (r.state != serve::JobState::kCompleted) ++failures;
+      retries += r.retries;
+      preemptions += r.preemptions;
+    }
+    if (server.results().size() != static_cast<std::size_t>(jobs)) ++failures;
+
+    const double speedup = wall_s > 0.0 ? wall_1dev / wall_s : 0.0;
+    std::printf("%-8d %10.3f %10.1f %10d %10d %12.2f\n", devices, wall_s,
+                jobs / wall_s, retries, preemptions, speedup);
+    jw.begin_object()
+        .kv("devices", devices)
+        .kv("wall_s", wall_s)
+        .kv("jobs_per_s", jobs / wall_s)
+        .kv("retries", retries)
+        .kv("preemptions", preemptions)
+        .kv("speedup_vs_1", speedup)
+        .end_object();
+  }
+  jw.end_array().end_object();
+  json.emit(jw.str());
+
+  if (failures > 0) {
+    std::fprintf(stderr, "FAIL: %d job(s) did not complete\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rxc::bench
+
+int main(int argc, char** argv) {
+  try {
+    return rxc::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench failed: %s\n", e.what());
+    return 1;
+  }
+}

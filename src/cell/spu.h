@@ -4,6 +4,7 @@
 /// mailboxes.  Kernel code running "on" the SPE charges its virtual clock
 /// through this interface; the scheduler reads the accumulated busy time.
 
+#include <atomic>
 #include <memory>
 
 #include "cell/cost_params.h"
@@ -13,6 +14,20 @@
 
 namespace rxc::cell {
 
+/// Reserves a block of kSpeCount process-unique SPU event ids and returns
+/// its base.  Machines built with a reserved base stamp machine events
+/// (events.h) with ids no other machine uses, so an event sink observing
+/// SEVERAL machines running concurrently (the serving layer's device pool)
+/// can partition per-SPU state correctly — with the default base 0, SPE i
+/// of every machine aliases to the same id, which is fine for the
+/// one-machine-at-a-time uses but makes the race detector see phantom
+/// overlaps between unrelated devices.  Blocks start above the default ids
+/// 0..kSpeCount-1, so reserved machines never collide with default ones.
+inline int reserve_spu_event_base() {
+  static std::atomic<int> next{kSpeCount};
+  return next.fetch_add(kSpeCount, std::memory_order_relaxed);
+}
+
 struct SpuCounters {
   VCycles busy_cycles = 0.0;      ///< compute (excludes DMA stalls)
   VCycles dma_stall_cycles = 0.0;
@@ -21,15 +36,19 @@ struct SpuCounters {
 
 class Spu {
 public:
-  Spu(int id, const CostParams& params)
+  /// `event_id` is the id stamped on emitted machine events (events.h);
+  /// -1 (default) means "same as id".  See reserve_spu_event_base().
+  Spu(int id, const CostParams& params, int event_id = -1)
       : id_(id),
+        event_id_(event_id < 0 ? id : event_id),
         params_(&params),
         ls_(kOffloadCodeBytes),
-        mfc_(ls_, params, id),
-        inbox_(kMailboxInDepth, id, /*inbound=*/true),
-        outbox_(kMailboxOutDepth, id, /*inbound=*/false) {}
+        mfc_(ls_, params, event_id_),
+        inbox_(kMailboxInDepth, event_id_, /*inbound=*/true),
+        outbox_(kMailboxOutDepth, event_id_, /*inbound=*/false) {}
 
   int id() const { return id_; }
+  int event_id() const { return event_id_; }
   const CostParams& params() const { return *params_; }
   LocalStore& ls() { return ls_; }
   const LocalStore& ls() const { return ls_; }
@@ -67,6 +86,7 @@ public:
 
 private:
   int id_;
+  int event_id_;
   const CostParams* params_;
   LocalStore ls_;
   Mfc mfc_;
@@ -80,10 +100,14 @@ private:
 /// eight SPEs.
 class CellMachine {
 public:
-  explicit CellMachine(CostParams params = kDefaultCostParams)
+  /// `event_base` offsets the ids stamped on this machine's events; 0 (the
+  /// default) keeps the historical ids 0..kSpeCount-1, a
+  /// reserve_spu_event_base() block makes them process-unique.
+  explicit CellMachine(CostParams params = kDefaultCostParams,
+                       int event_base = 0)
       : params_(params) {
     for (int i = 0; i < kSpeCount; ++i)
-      spes_.push_back(std::make_unique<Spu>(i, params_));
+      spes_.push_back(std::make_unique<Spu>(i, params_, event_base + i));
   }
 
   const CostParams& params() const { return params_; }

@@ -162,9 +162,10 @@ void SpeExecutor::record(KernelKind kind, double ppe, double spe, int ways,
       // Direct-memory signaling (§5.2.6): the PPE stores the command word,
       // the SPE spins on it and stores completion, the PPE reads it back.
       for (int w = 0; w < ways; ++w) {
-        sink->on_signal(base_spe + w, cell::SignalOp::kGo);
-        sink->on_signal(base_spe + w, cell::SignalOp::kComplete);
-        sink->on_signal(base_spe + w, cell::SignalOp::kRead);
+        const int id = machine_->spe(base_spe + w).event_id();
+        sink->on_signal(id, cell::SignalOp::kGo);
+        sink->on_signal(id, cell::SignalOp::kComplete);
+        sink->on_signal(id, cell::SignalOp::kRead);
       }
     }
     // The PPE join: every record() closes one offloaded invocation, the
@@ -428,7 +429,7 @@ void SpeExecutor::newview_payload(const lh::NewviewTask& task, cell::Spu& spu,
           // race detector (the kernels address LS through raw pointers, so
           // the executor reports the ranges on their behalf).
           if (cell::EventSink* sink = cell::event_sink()) {
-            const int id = spu.id();
+            const int id = spu.event_id();
             const VCycles w1 = spu.now();
             sink->on_ls_read(id, b.in1,
                              task.tip1 ? dma_bytes(cnt, 1) : cnt * pp, w0, w1);
@@ -677,7 +678,7 @@ double SpeExecutor::evaluate(const lh::EvaluateTask& task) {
                      static_cast<double>(cnt));
 
           if (cell::EventSink* sink = cell::event_sink()) {
-            const int id = spu.id();
+            const int id = spu.event_id();
             const VCycles w1 = spu.now();
             sink->on_ls_read(id, in1,
                              task.tip1 ? dma_bytes(cnt, 1) : cnt * pp, w0, w1);
@@ -786,7 +787,7 @@ void SpeExecutor::sumtable(const lh::SumtableTask& task) {
                       p.spu_ls_cycles_per_pattern) *
                      static_cast<double>(cnt));
           if (cell::EventSink* sink = cell::event_sink()) {
-            const int id = spu.id();
+            const int id = spu.event_id();
             const VCycles w1 = spu.now();
             sink->on_ls_read(id, in1,
                              task.tip1 ? dma_bytes(cnt, 1) : cnt * pp, w0, w1);
@@ -921,7 +922,7 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
                spe_log_cycles() + p.spu_ls_cycles_per_pattern) *
               static_cast<double>(cnt));
           if (cell::EventSink* sink = cell::event_sink()) {
-            const int id = spu.id();
+            const int id = spu.event_id();
             const VCycles w1 = spu.now();
             sink->on_ls_read(id, st, cnt * pp, w0, w1);
             sink->on_ls_read(id, wts, dma_bytes(cnt, 8), w0, w1);
@@ -946,7 +947,7 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
 // --- CellExecutor: machine-owning wrapper + factory registration -------------
 
 CellExecutor::CellExecutor(SpeExecConfig config, cell::CostParams params)
-    : machine_(params), exec_(machine_, config) {}
+    : machine_(params, config.event_base), exec_(machine_, config) {}
 
 void CellExecutor::newview(const lh::NewviewTask& task) {
   exec_.newview(task);
@@ -1002,6 +1003,7 @@ std::unique_ptr<lh::KernelExecutor> make_cell_executor(
   cfg.mailbox_contention = spec.mailbox_contention;
   cfg.strip_bytes = spec.strip_bytes;
   cfg.host_threads = spec.host_threads;
+  cfg.event_base = spec.cell_unique_events ? cell::reserve_spu_event_base() : 0;
   return std::make_unique<CellExecutor>(cfg);
 }
 

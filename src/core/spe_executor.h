@@ -48,6 +48,11 @@ struct SpeExecConfig {
   /// 0 = auto (RXC_HOST_THREADS, else hardware concurrency); 1 = the
   /// sequential reference path.
   int host_threads = 0;
+  /// Event-id base for the owned machine (CellExecutor only): 0 keeps the
+  /// historical ids, a cell::reserve_spu_event_base() block makes this
+  /// device's events process-unique so a global event sink (the race
+  /// detector) can tell concurrently-running devices apart.
+  int event_base = 0;
 };
 
 class SpeExecutor final : public lh::KernelExecutor {

@@ -207,26 +207,50 @@ NrResult HostExecutor::nr_derivatives(const NrTask& task) {
 // --- factory ----------------------------------------------------------------
 
 void ExecutorSpec::validate() const {
-  switch (kind) {
-    case ExecutorKind::kHost:
-      break;
-    case ExecutorKind::kThreaded:
-      RXC_REQUIRE(threads >= 1, "executor spec: threads must be >= 1");
-      RXC_REQUIRE(chunk_patterns >= 1,
-                  "executor spec: chunk_patterns must be >= 1");
-      break;
-    case ExecutorKind::kSpe:
-      RXC_REQUIRE(cell_stage >= 0 && cell_stage <= 7,
-                  "executor spec: cell_stage must be a Stage ordinal 0..7");
-      RXC_REQUIRE(llp_ways >= 1 && llp_ways <= 8,
-                  "executor spec: llp_ways must be 1..8");
-      RXC_REQUIRE(strip_bytes >= 256,
-                  "executor spec: strip buffer too small (< 256 bytes)");
-      RXC_REQUIRE(eib_contention >= 1.0 && mailbox_contention >= 1.0,
-                  "executor spec: contention factors must be >= 1");
-      RXC_REQUIRE(host_threads >= 0 && host_threads <= 64,
-                  "executor spec: host_threads must be 0 (auto) or 1..64");
-      break;
+  const bool threaded = kind == ExecutorKind::kThreaded;
+  const bool spe = kind == ExecutorKind::kSpe;
+  auto require = [](bool ok, const std::string& msg) {
+    if (!ok) throw ConfigError("executor spec: " + msg);
+  };
+
+  // Range checks for the knobs the selected kind interprets.
+  if (threaded) {
+    require(threads >= 1, "threads must be >= 1");
+    require(chunk_patterns >= 1, "chunk_patterns must be >= 1");
+  }
+  if (spe) {
+    require(cell_stage >= 0 && cell_stage <= 7,
+            "cell_stage must be a Stage ordinal 0..7");
+    require(llp_ways >= 1 && llp_ways <= 8, "llp_ways must be 1..8");
+    require(strip_bytes >= 256, "strip buffer too small (< 256 bytes)");
+    require(eib_contention >= 1.0 && mailbox_contention >= 1.0,
+            "contention factors must be >= 1");
+    require(host_threads >= 0 && host_threads <= 64,
+            "host_threads must be 0 (auto) or 1..64");
+  }
+
+  // Cross-kind checks: a knob meant for a different kind than the selected
+  // one would be silently ignored by the backend, which hides typos like
+  // asking a kHost executor for 8 host_threads.  Reject any non-default
+  // value on a kind that does not interpret it.
+  if (!threaded) {
+    require(threads == 1, "threads is a kThreaded knob; leave it at 1");
+    require(chunk_patterns == 64,
+            "chunk_patterns is a kThreaded knob; leave it at 64");
+  }
+  if (!spe) {
+    require(cell_stage == 7, "cell_stage is a kSpe knob; leave it at 7");
+    require(llp_ways == 1, "llp_ways is a kSpe knob; leave it at 1");
+    require(eib_contention == 1.0,
+            "eib_contention is a kSpe knob; leave it at 1.0");
+    require(mailbox_contention == 1.0,
+            "mailbox_contention is a kSpe knob; leave it at 1.0");
+    require(strip_bytes == 2048,
+            "strip_bytes is a kSpe knob; leave it at 2048");
+    require(host_threads == 0,
+            "host_threads is a kSpe knob; leave it at 0");
+    require(!cell_unique_events,
+            "cell_unique_events is a kSpe knob; leave it false");
   }
 }
 

@@ -200,8 +200,17 @@ struct ExecutorSpec {
   /// sequential reference path.  Virtual cycles and numerics are identical
   /// for every value — this knob trades wall-clock only.
   int host_threads = 0;
+  /// kSpe: stamp this device's machine events with a process-unique SPU id
+  /// block (cell::reserve_spu_event_base) so a global event sink — the race
+  /// detector — can tell concurrently-running devices apart.  Required for
+  /// device pools (serve::DevicePool sets it); single-device binaries keep
+  /// the historical ids 0..7.
+  bool cell_unique_events = false;
 
-  /// Throws rxc::Error on out-of-range knobs for the selected kind.
+  /// Throws rxc::ConfigError on out-of-range knobs for the selected kind,
+  /// and on knobs set for a DIFFERENT kind than the selected one (which the
+  /// backends would silently ignore — e.g. host_threads on kHost, or
+  /// threads on kSpe).
   void validate() const;
 };
 

@@ -100,6 +100,64 @@ AnalysisCheckpoint AnalysisCheckpoint::fresh(std::vector<AnalysisTask> tasks) {
   return cp;
 }
 
+std::string AnalysisCheckpoint::to_string() const {
+  std::ostringstream out;
+  save(out);
+  return out.str();
+}
+
+AnalysisCheckpoint AnalysisCheckpoint::from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load(in);
+}
+
+void AnalysisCheckpoint::require_matches(
+    const std::vector<AnalysisTask>& expected) const {
+  RXC_REQUIRE(tasks.size() == expected.size(),
+              "checkpoint does not match the task list (count)");
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    RXC_REQUIRE(tasks[i].kind == expected[i].kind &&
+                    tasks[i].seed == expected[i].seed,
+                "checkpoint does not match the task list (task " +
+                    std::to_string(i) + ")");
+}
+
+// --- stepper ----------------------------------------------------------------
+
+AnalysisStepper::AnalysisStepper(const seq::PatternAlignment& pa,
+                                 const lh::EngineConfig& engine_config,
+                                 const SearchOptions& search_options,
+                                 AnalysisCheckpoint checkpoint)
+    : pa_(&pa),
+      engine_config_(engine_config),
+      search_options_(search_options),
+      checkpoint_(std::move(checkpoint)) {
+  RXC_REQUIRE(checkpoint_.tasks.size() == checkpoint_.results.size(),
+              "stepper: checkpoint results/tasks size mismatch");
+}
+
+std::size_t AnalysisStepper::next_index() const {
+  for (std::size_t i = 0; i < checkpoint_.tasks.size(); ++i)
+    if (!checkpoint_.results[i]) return i;
+  return checkpoint_.tasks.size();
+}
+
+std::size_t AnalysisStepper::step(lh::KernelExecutor* executor) {
+  const std::size_t i = next_index();
+  RXC_REQUIRE(i < checkpoint_.tasks.size(), "stepper: analysis already done");
+  checkpoint_.results[i] = run_task(*pa_, engine_config_, search_options_,
+                                    checkpoint_.tasks[i], executor);
+  return i;
+}
+
+std::vector<TaskResult> AnalysisStepper::results() const {
+  RXC_REQUIRE(done(), "stepper: results() before the analysis is done");
+  std::vector<TaskResult> out;
+  out.reserve(checkpoint_.results.size());
+  for (const auto& r : checkpoint_.results) out.push_back(*r);
+  return out;
+}
+
 std::vector<TaskResult> run_analysis_checkpointed(
     const seq::PatternAlignment& pa, const lh::EngineConfig& engine_config,
     const SearchOptions& search_options,
@@ -108,27 +166,17 @@ std::vector<TaskResult> run_analysis_checkpointed(
   AnalysisCheckpoint cp;
   if (std::filesystem::exists(checkpoint_path)) {
     cp = AnalysisCheckpoint::load_file(checkpoint_path);
-    RXC_REQUIRE(cp.tasks.size() == tasks.size(),
-                "checkpoint does not match the task list (count)");
-    for (std::size_t i = 0; i < tasks.size(); ++i)
-      RXC_REQUIRE(cp.tasks[i].kind == tasks[i].kind &&
-                      cp.tasks[i].seed == tasks[i].seed,
-                  "checkpoint does not match the task list (task " +
-                      std::to_string(i) + ")");
+    cp.require_matches(tasks);
   } else {
     cp = AnalysisCheckpoint::fresh(tasks);
   }
 
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    if (cp.results[i]) continue;  // resumed
-    cp.results[i] = run_task(pa, engine_config, search_options, tasks[i]);
-    cp.save_file(checkpoint_path);
+  AnalysisStepper stepper(pa, engine_config, search_options, std::move(cp));
+  while (!stepper.done()) {
+    stepper.step();
+    stepper.checkpoint().save_file(checkpoint_path);
   }
-
-  std::vector<TaskResult> out;
-  out.reserve(tasks.size());
-  for (auto& r : cp.results) out.push_back(std::move(*r));
-  return out;
+  return stepper.results();
 }
 
 }  // namespace rxc::search

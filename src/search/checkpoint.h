@@ -36,6 +36,56 @@ struct AnalysisCheckpoint {
 
   /// Creates an empty checkpoint for `tasks`.
   static AnalysisCheckpoint fresh(std::vector<AnalysisTask> tasks);
+
+  /// Serialized text form (the save() stream as a string) — the unit of
+  /// suspend/resume for the serving layer: a suspended job IS this string.
+  std::string to_string() const;
+  static AnalysisCheckpoint from_string(const std::string& text);
+
+  /// Throws rxc::Error unless this checkpoint's task list matches `tasks`
+  /// (same count, kinds and seeds) — resuming against a different analysis
+  /// is always a bug.
+  void require_matches(const std::vector<AnalysisTask>& tasks) const;
+};
+
+/// Incremental execution of a checkpointed analysis: one step() runs the
+/// next incomplete task and records its result.  Between steps the state is
+/// entirely inside the AnalysisCheckpoint, so a caller can stop after any
+/// step, serialize the checkpoint, and later rebuild a stepper — on a
+/// different executor/device — that continues bitwise-identically: tasks
+/// are deterministic given their seeds and each step builds a fresh engine,
+/// so results never depend on which device ran the earlier steps.  This is
+/// the preemption boundary the serving layer (src/serve) suspends at.
+class AnalysisStepper {
+ public:
+  /// `pa` must outlive the stepper.  The checkpoint may already hold
+  /// completed results (a resume); its task list is the work list.
+  AnalysisStepper(const seq::PatternAlignment& pa,
+                  const lh::EngineConfig& engine_config,
+                  const SearchOptions& search_options,
+                  AnalysisCheckpoint checkpoint);
+
+  bool done() const { return checkpoint_.done(); }
+  /// Index of the task the next step() will run (tasks.size() when done).
+  std::size_t next_index() const;
+  std::size_t total() const { return checkpoint_.tasks.size(); }
+  std::size_t completed() const { return checkpoint_.completed(); }
+
+  /// Runs the next incomplete task (on `executor` when given, else a
+  /// private host executor per task) and records its result.  Returns the
+  /// index it ran.  Throws rxc::Error when already done.
+  std::size_t step(lh::KernelExecutor* executor = nullptr);
+
+  const AnalysisCheckpoint& checkpoint() const { return checkpoint_; }
+
+  /// Completed results in task order; requires done().
+  std::vector<TaskResult> results() const;
+
+ private:
+  const seq::PatternAlignment* pa_;
+  lh::EngineConfig engine_config_;
+  SearchOptions search_options_;
+  AnalysisCheckpoint checkpoint_;
 };
 
 /// Runs `tasks`, resuming from `checkpoint_path` if it exists (and matches

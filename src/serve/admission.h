@@ -1,0 +1,118 @@
+#pragma once
+/// \file admission.h
+/// Bounded, priority-ordered admission queue — the server's front door.
+///
+/// Two entry paths with different rules:
+///  * try_submit() is the CLIENT path: capacity-checked, so a tenant
+///    flooding the server observes backpressure (a refusal) instead of
+///    unbounded queue growth.
+///  * requeue() is the SERVER path: preempted, faulted or resumed jobs
+///    re-enter past the bound.  They were already admitted once; bouncing
+///    them would turn a preemption into a spurious rejection.
+///
+/// Ordering: strictly by priority (higher first), FIFO within a priority
+/// class — the EDTLP idea applied to whole jobs: keep every device busy,
+/// let urgent work overtake bulk bootstrap batches at task boundaries
+/// (see DESIGN.md).  Unlike MpmcQueue (support/mpmc_queue.h) this is not a
+/// generic pipe: close() semantics are tailored to server shutdown, where
+/// in-flight jobs must still be able to requeue.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "support/error.h"
+
+namespace rxc::serve {
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+    RXC_REQUIRE(capacity >= 1, "AdmissionQueue: capacity must be >= 1");
+  }
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Client submission: false when the queue is full (backpressure) or
+  /// closed (shutdown).
+  bool try_submit(int priority, T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ >= capacity_) return false;
+      ready_[priority].push_back(std::move(value));
+      ++size_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Server-side re-entry (preempted/faulted/resumed jobs): ignores both
+  /// the capacity bound and closed state.  FIFO within the class, so a
+  /// preempted job goes behind waiting peers of its own priority.
+  void requeue(int priority, T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ready_[priority].push_back(std::move(value));
+      ++size_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks for the highest-priority element; nullopt once closed AND
+  /// empty.  A requeue after close wakes poppers again — the queue is only
+  /// ever abandoned empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;
+    auto it = ready_.begin();  // std::greater: highest priority first
+    T out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) ready_.erase(it);
+    --size_;
+    return out;
+  }
+
+  /// True when an element with priority strictly above `priority` waits —
+  /// the preemption probe a running job polls at checkpoint boundaries.
+  bool has_waiting_above(int priority) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !ready_.empty() && ready_.begin()->first > priority;
+  }
+
+  /// Stops client submissions and wakes blocked poppers.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int, std::deque<T>, std::greater<int>> ready_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace rxc::serve

@@ -1,0 +1,74 @@
+#include "serve/device_pool.h"
+
+#include <string>
+
+#include "core/spe_executor.h"
+#include "obs/obs.h"
+#include "support/error.h"
+
+namespace rxc::serve {
+
+Device::Device(int id, lh::ExecutorSpec spec) : id_(id) {
+  cell_ = spec.kind == lh::ExecutorKind::kSpe;
+  if (cell_) spec.cell_unique_events = true;
+  exec_ = lh::make_executor(spec);
+}
+
+void Device::begin_step() {
+  ++steps_;
+  static obs::Counter& total_steps = obs::counter("serve.device.steps");
+  total_steps.add();
+
+  // Fresh trace and counters per leased step: jobs are unbounded, device
+  // memory must not be, and per-task counters should describe that task.
+  if (cell_)
+    core::as_cell_executor(*exec_).begin_task();
+  else
+    exec_->reset_counters();
+
+  std::optional<cell::Fault> fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (armed_ && --fault_countdown_ <= 0) {
+      fire = armed_;
+      armed_.reset();
+    }
+  }
+  if (!fire) return;
+
+  ++faults_;
+  static obs::Counter& fault_count = obs::counter("serve.device.faults");
+  fault_count.add();
+  std::string detail = cell::fault_name(*fire);
+  if (cell_) {
+    // Run the real violation against the live SPU.  ok() is the simulator's
+    // trap-before-mutate contract: the fault trapped AND the device state
+    // survived bit-for-bit — which is precisely what entitles the server to
+    // retry on this same device rather than fence it.
+    auto& machine = core::as_cell_executor(*exec_).machine();
+    const cell::FaultOutcome outcome = cell::inject_fault(machine.spe(0), *fire);
+    RXC_REQUIRE(outcome.ok(),
+                std::string("device ") + std::to_string(id_) +
+                    ": injected fault corrupted state: " + outcome.error);
+    detail += " (trapped, state intact)";
+  }
+  throw HardwareError("device " + std::to_string(id_) +
+                      ": injected fault " + detail);
+}
+
+void Device::arm_fault(cell::Fault fault, int after_steps) {
+  RXC_REQUIRE(after_steps >= 1, "arm_fault: after_steps must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = fault;
+  fault_countdown_ = after_steps;
+}
+
+DevicePool::DevicePool(const std::vector<lh::ExecutorSpec>& specs) {
+  RXC_REQUIRE(!specs.empty(), "DevicePool: need at least one device spec");
+  devices_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    devices_.push_back(
+        std::make_unique<Device>(static_cast<int>(i), specs[i]));
+}
+
+}  // namespace rxc::serve

@@ -1,0 +1,81 @@
+#pragma once
+/// \file device_pool.h
+/// The server's fleet of leased executors.  Each Device wraps one executor
+/// built through lh::make_executor — typically a simulated-Cell machine
+/// (ExecutorKind::kSpe), but host/threaded backends work identically, which
+/// is what makes the serving layer testable against cheap devices.
+///
+/// Simulated-Cell devices are forced to `cell_unique_events`: a pool runs
+/// several CellMachines concurrently, and without process-unique SPU event
+/// ids a global event sink (the race detector, RXC_ANALYZE=race:fatal)
+/// would see SPE i of every machine as one stream and report phantom
+/// overlaps between unrelated devices.
+///
+/// Fault injection for resilience testing: arm_fault() plants a
+/// cell::Fault that fires on the Nth upcoming begin_step().  The simulator's
+/// trap-before-mutate contract (cell/fault.h) is verified at the injection
+/// point, which is exactly why the server may keep the device and retry the
+/// job from its last checkpoint instead of fencing the hardware.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "cell/fault.h"
+#include "likelihood/executor.h"
+
+namespace rxc::serve {
+
+class Device {
+ public:
+  /// Builds the executor from `spec` (validated by make_executor).  kSpe
+  /// specs get cell_unique_events forced on — see the file comment.
+  Device(int id, lh::ExecutorSpec spec);
+
+  int id() const { return id_; }
+  bool is_cell() const { return cell_; }
+  lh::KernelExecutor& executor() { return *exec_; }
+
+  /// Called by the server once per checkpoint step leased to this device:
+  /// resets the per-task trace on Cell devices (bounds trace memory across
+  /// unboundedly many jobs) and fires an armed fault — throwing
+  /// rxc::HardwareError AFTER verifying the device survived it intact.
+  void begin_step();
+
+  /// Arms `fault` to fire on the `after_steps`-th upcoming begin_step()
+  /// (1 = the very next).  One-shot; re-arming replaces the previous plan.
+  /// On non-Cell devices the fault class is only reported, not simulated.
+  void arm_fault(cell::Fault fault, int after_steps = 1);
+
+  /// Steps this device has started (including the faulted ones).
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t faults() const { return faults_; }
+
+ private:
+  int id_;
+  bool cell_ = false;
+  std::unique_ptr<lh::KernelExecutor> exec_;
+
+  std::mutex mu_;  ///< guards the fault plan (armed from other threads)
+  std::optional<cell::Fault> armed_;
+  int fault_countdown_ = 0;
+
+  std::uint64_t steps_ = 0;   ///< worker-thread-owned
+  std::uint64_t faults_ = 0;
+};
+
+class DevicePool {
+ public:
+  /// One Device per spec, ids 0..n-1.  Requires >= 1 spec.
+  explicit DevicePool(const std::vector<lh::ExecutorSpec>& specs);
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace rxc::serve

@@ -1,0 +1,33 @@
+#include "serve/job.h"
+
+namespace rxc::serve {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kPreempted: return "preempted";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kExpired: return "expired";
+    case JobState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState state) {
+  switch (state) {
+    case JobState::kCompleted:
+    case JobState::kFailed:
+    case JobState::kExpired:
+    case JobState::kRejected:
+      return true;
+    case JobState::kQueued:
+    case JobState::kRunning:
+    case JobState::kPreempted:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace rxc::serve

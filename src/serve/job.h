@@ -1,0 +1,82 @@
+#pragma once
+/// \file job.h
+/// Client-facing job model for the serving layer: what a tenant submits
+/// (JobSpec), what the server reports back (JobResult), and the lifecycle
+/// states in between.
+///
+/// A job is one complete phylogenetic analysis — `inferences` ML searches
+/// plus `bootstraps` replicates on one alignment — exactly the work unit of
+/// search::make_analysis.  The server executes it through a checkpointable
+/// stepper (search::AnalysisStepper), so a job can be preempted at any
+/// task boundary, survive an injected device fault, and resume on a
+/// different device with bitwise-identical results.
+
+#include <cstdint>
+#include <string>
+
+namespace rxc::serve {
+
+/// Lifecycle.  kQueued/kRunning/kPreempted are transient; the rest are
+/// terminal.  Every accepted job reaches a terminal state by Server::join().
+enum class JobState {
+  kQueued,     ///< admitted, waiting for a device
+  kRunning,    ///< on a device
+  kPreempted,  ///< suspended at a checkpoint boundary, back in the queue
+  kCompleted,  ///< all tasks done
+  kFailed,     ///< device fault retries exhausted (or compile error)
+  kExpired,    ///< deadline passed before completion
+  kRejected,   ///< never admitted (invalid spec); recorded for the client
+};
+
+const char* job_state_name(JobState state);
+bool job_state_terminal(JobState state);
+
+/// The alignment a job runs on: a PHYLIP file, or (when `phylip` is empty)
+/// a deterministic simulated alignment — the serving analogue of the
+/// --demo workload, and what the tests and the smoke CI submit.
+struct WorkloadSpec {
+  std::string phylip;
+  std::size_t sim_taxa = 8;
+  std::size_t sim_sites = 120;
+  std::uint64_t sim_seed = 42;
+};
+
+struct JobSpec {
+  std::string id;           ///< client-assigned, unique per server
+  int priority = 0;         ///< higher preempts lower at task boundaries
+  double deadline_ms = 0.0; ///< wall-clock budget from submission; 0 = none
+
+  WorkloadSpec workload;
+  std::string model = "gtr";      ///< jc|k80|hky|gtr
+  std::string rate_mode = "cat";  ///< cat|gamma
+  int categories = 4;
+  double alpha = 1.0;
+
+  std::size_t inferences = 1;
+  std::size_t bootstraps = 0;
+  std::uint64_t seed = 1;
+  int radius = 5;
+  int max_rounds = 10;
+  double epsilon = 0.05;
+};
+
+struct JobResult {
+  std::string id;
+  JobState state = JobState::kQueued;
+  std::string error;  ///< kFailed/kRejected diagnosis
+
+  double best_lnl = 0.0;       ///< kCompleted: best inference (or task 0)
+  std::string best_newick;
+  std::size_t tasks_total = 0;
+  std::size_t tasks_completed = 0;
+
+  int retries = 0;      ///< fault-triggered reruns from the last checkpoint
+  int preemptions = 0;  ///< checkpoint suspensions in favour of higher prio
+  int last_device = -1;
+
+  double queue_ms = 0.0;  ///< submission -> first time on a device
+  double run_ms = 0.0;    ///< cumulative on-device time across leases
+  double total_ms = 0.0;  ///< submission -> terminal state
+};
+
+}  // namespace rxc::serve

@@ -1,0 +1,369 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "io/phylip.h"
+#include "obs/obs.h"
+#include "search/analysis.h"
+#include "seq/seqgen.h"
+#include "support/error.h"
+
+namespace rxc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+model::DnaModel parse_model(const std::string& name,
+                            const seq::Alignment& aln) {
+  using model::DnaModel;
+  if (name == "jc") return DnaModel::jc69();
+  if (name == "k80") return DnaModel::k80(2.0);
+  if (name == "hky") return DnaModel::hky85(2.0, aln.empirical_base_freqs());
+  if (name == "gtr")
+    return DnaModel::gtr({1, 1, 1, 1, 1, 1}, aln.empirical_base_freqs());
+  throw Error("job spec: unknown model '" + name + "' (jc|k80|hky|gtr)");
+}
+
+}  // namespace
+
+const char* submit_status_name(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kQueueFull: return "queue-full";
+    case SubmitStatus::kDuplicateId: return "duplicate-id";
+    case SubmitStatus::kRejected: return "rejected";
+    case SubmitStatus::kClosed: return "closed";
+  }
+  return "?";
+}
+
+/// A compiled, admitted job.  The alignment lives here (stable address —
+/// jobs_ holds unique_ptrs) so every lease's stepper can reference it.
+/// Mutated only by the worker currently holding the job; the published
+/// record (Server::records_) is the cross-thread view.
+struct Server::Job {
+  JobSpec spec;
+  std::optional<seq::PatternAlignment> pa;
+  lh::EngineConfig engine_cfg;
+  search::SearchOptions search_opt;
+  std::vector<search::AnalysisTask> tasks;
+
+  /// Serialized progress; empty = fresh.  THE suspend/resume token: every
+  /// preemption and fault retry round-trips through this text, so resuming
+  /// on a different device exercises the same path as resuming from disk.
+  std::string checkpoint_text;
+
+  JobState state = JobState::kQueued;
+  std::string error;
+  int retries = 0;
+  int preemptions = 0;
+  int last_device = -1;
+
+  Clock::time_point submitted;
+  std::optional<Clock::time_point> deadline;
+  bool started = false;
+  double queue_ms = 0.0;
+  double run_ms = 0.0;
+  double total_ms = 0.0;
+
+  double best_lnl = 0.0;
+  std::string best_newick;
+  std::size_t tasks_completed = 0;
+
+  JobResult record() const {
+    JobResult r;
+    r.id = spec.id;
+    r.state = state;
+    r.error = error;
+    r.best_lnl = best_lnl;
+    r.best_newick = best_newick;
+    r.tasks_total = tasks.size();
+    r.tasks_completed = tasks_completed;
+    r.retries = retries;
+    r.preemptions = preemptions;
+    r.last_device = last_device;
+    r.queue_ms = queue_ms;
+    r.run_ms = run_ms;
+    r.total_ms = total_ms;
+    return r;
+  }
+
+  /// Compiles the workload: load/simulate the alignment, build the model
+  /// and the task list.  Throws rxc::Error on an unusable spec.
+  void compile() {
+    seq::Alignment alignment = [&] {
+      if (!spec.workload.phylip.empty())
+        return seq::Alignment::from_records(
+            io::read_phylip_file(spec.workload.phylip));
+      seq::SimOptions opt;
+      opt.ntaxa = spec.workload.sim_taxa;
+      opt.nsites = spec.workload.sim_sites;
+      opt.seed = spec.workload.sim_seed;
+      return seq::simulate_alignment(opt).alignment;
+    }();
+    engine_cfg.model = parse_model(spec.model, alignment);
+    RXC_REQUIRE(spec.rate_mode == "cat" || spec.rate_mode == "gamma",
+                "job spec: mode must be cat|gamma");
+    engine_cfg.mode = spec.rate_mode == "cat" ? lh::RateMode::kCat
+                                              : lh::RateMode::kGamma;
+    engine_cfg.categories = spec.categories;
+    engine_cfg.alpha = spec.alpha;
+    search_opt.radius = spec.radius;
+    search_opt.max_rounds = spec.max_rounds;
+    search_opt.epsilon = spec.epsilon;
+    RXC_REQUIRE(spec.inferences + spec.bootstraps >= 1,
+                "job spec: inferences + bootstraps must be >= 1");
+    tasks = search::make_analysis(spec.inferences, spec.bootstraps, spec.seed);
+    pa.emplace(seq::PatternAlignment::compress(alignment));
+  }
+};
+
+Server::Server(const std::vector<lh::ExecutorSpec>& device_specs,
+               ServerConfig config)
+    : config_(config),
+      pool_(device_specs),
+      queue_(config.queue_capacity) {
+  if (config_.result_channel_capacity > 0)
+    channel_ = std::make_unique<MpmcQueue<JobResult>>(
+        config_.result_channel_capacity);
+  workers_.reserve(static_cast<std::size_t>(pool_.size()));
+  for (int i = 0; i < pool_.size(); ++i)
+    workers_.emplace_back([this, i] { worker(pool_.device(i)); });
+}
+
+Server::~Server() { join(); }
+
+SubmitStatus Server::submit(const JobSpec& spec) {
+  static obs::Counter& submitted = obs::counter("serve.jobs.submitted");
+  static obs::Counter& rejected = obs::counter("serve.jobs.rejected");
+  static obs::Counter& refused = obs::counter("serve.jobs.queue_full");
+  static obs::Gauge& depth = obs::gauge("serve.queue.depth");
+  submitted.add();
+
+  if (spec.id.empty()) {
+    rejected.add();
+    return SubmitStatus::kRejected;  // no id to record the rejection under
+  }
+
+  auto job = std::make_unique<Job>();
+  job->spec = spec;
+  try {
+    job->compile();
+  } catch (const Error& e) {
+    job->state = JobState::kRejected;
+    job->error = e.what();
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (records_.count(spec.id)) return SubmitStatus::kDuplicateId;
+    records_[spec.id] = job->record();
+    rejected.add();
+    return SubmitStatus::kRejected;
+  }
+
+  job->submitted = Clock::now();
+  if (spec.deadline_ms > 0)
+    job->deadline = job->submitted +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            spec.deadline_ms));
+
+  Job* ptr = job.get();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (!accepting_) return SubmitStatus::kClosed;
+    if (records_.count(spec.id)) return SubmitStatus::kDuplicateId;
+    records_[spec.id] = job->record();
+    jobs_.push_back(std::move(job));
+  }
+  if (!queue_.try_submit(spec.priority, ptr)) {
+    // Backpressure: withdraw the reservation so a later retry of the same
+    // id is not mistaken for a duplicate.
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    records_.erase(spec.id);
+    jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                               [&](const auto& j) { return j.get() == ptr; }),
+                jobs_.end());
+    refused.add();
+    return SubmitStatus::kQueueFull;
+  }
+  depth.set(static_cast<double>(queue_.depth()));
+  obs::mark("serve.submit", "serve");
+  return SubmitStatus::kAccepted;
+}
+
+void Server::close() {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    accepting_ = false;
+  }
+  queue_.close();
+}
+
+void Server::join() {
+  close();
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+  if (channel_) channel_->close();
+}
+
+std::vector<JobResult> Server::results() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  std::vector<JobResult> out;
+  out.reserve(records_.size());
+  for (const auto& [id, r] : records_) out.push_back(r);
+  return out;
+}
+
+std::optional<JobResult> Server::result(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Server::publish(const Job& job) {
+  JobResult r = job.record();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    records_[job.spec.id] = r;
+  }
+  if (channel_ && job_state_terminal(job.state)) {
+    // Best-effort stream; the records_ map stays authoritative.
+    static obs::Counter& dropped = obs::counter("serve.results.dropped");
+    if (!channel_->try_push(std::move(r))) dropped.add();
+  }
+}
+
+void Server::finalize(Job& job, JobState state, const std::string& error) {
+  static obs::Counter& completed = obs::counter("serve.jobs.completed");
+  static obs::Counter& failed = obs::counter("serve.jobs.failed");
+  static obs::Counter& expired = obs::counter("serve.jobs.expired");
+  static obs::Histogram& run_ms = obs::histogram("serve.job.run_ms");
+  static obs::Histogram& total_ms = obs::histogram("serve.job.total_ms");
+
+  job.state = state;
+  job.error = error;
+  job.total_ms = ms_between(job.submitted, Clock::now());
+  switch (state) {
+    case JobState::kCompleted: completed.add(); break;
+    case JobState::kFailed: failed.add(); break;
+    case JobState::kExpired: expired.add(); break;
+    default: break;
+  }
+  run_ms.observe(job.run_ms);
+  total_ms.observe(job.total_ms);
+  obs::mark(std::string("serve.") + job_state_name(state), "serve");
+  publish(job);
+}
+
+void Server::worker(Device& device) {
+  while (auto popped = queue_.pop()) run_lease(**popped, device);
+}
+
+void Server::run_lease(Job& job, Device& device) {
+  static obs::Histogram& queue_ms = obs::histogram("serve.job.queue_ms");
+  static obs::Counter& preemptions = obs::counter("serve.jobs.preemptions");
+  static obs::Counter& retries = obs::counter("serve.jobs.retries");
+  static obs::Gauge& depth = obs::gauge("serve.queue.depth");
+  depth.set(static_cast<double>(queue_.depth()));
+
+  const auto lease_start = Clock::now();
+  if (!job.started) {
+    job.started = true;
+    job.queue_ms = ms_between(job.submitted, lease_start);
+    queue_ms.observe(job.queue_ms);
+  }
+  if (job.deadline && lease_start > *job.deadline) {
+    finalize(job, JobState::kExpired);
+    return;
+  }
+  job.state = JobState::kRunning;
+  job.last_device = device.id();
+  publish(job);
+
+  // Rebuild the stepper from the serialized checkpoint — the same text a
+  // disk resume would read, so every preemption proves the round trip.
+  search::AnalysisCheckpoint cp =
+      job.checkpoint_text.empty()
+          ? search::AnalysisCheckpoint::fresh(job.tasks)
+          : search::AnalysisCheckpoint::from_string(job.checkpoint_text);
+  cp.require_matches(job.tasks);
+  search::AnalysisStepper stepper(*job.pa, job.engine_cfg, job.search_opt,
+                                  std::move(cp));
+
+  const auto lease_t0 = Clock::now();
+  auto end_lease = [&] { job.run_ms += ms_between(lease_t0, Clock::now()); };
+
+  while (!stepper.done()) {
+    if (job.deadline && Clock::now() > *job.deadline) {
+      end_lease();
+      finalize(job, JobState::kExpired);
+      return;
+    }
+    if (config_.preempt && queue_.has_waiting_above(job.spec.priority)) {
+      job.checkpoint_text = stepper.checkpoint().to_string();
+      job.tasks_completed = stepper.completed();
+      ++job.preemptions;
+      preemptions.add();
+      end_lease();
+      job.state = JobState::kPreempted;
+      publish(job);
+      queue_.requeue(job.spec.priority, &job);
+      return;
+    }
+    try {
+      obs::ScopedTimer step_timer("serve.step", "serve");
+      device.begin_step();
+      stepper.step(&device.executor());
+    } catch (const HardwareError& e) {
+      ++job.retries;
+      retries.add();
+      job.checkpoint_text = stepper.checkpoint().to_string();
+      job.tasks_completed = stepper.completed();
+      end_lease();
+      if (job.retries > config_.max_retries) {
+        finalize(job, JobState::kFailed, e.what());
+        return;
+      }
+      // Exponential backoff, then back in line: the next lease may land on
+      // any device (resume-elsewhere is the common case under load).
+      const double backoff =
+          config_.retry_backoff_ms *
+          static_cast<double>(1u << static_cast<unsigned>(job.retries - 1));
+      job.state = JobState::kQueued;
+      publish(job);
+      if (backoff > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      queue_.requeue(job.spec.priority, &job);
+      return;
+    }
+  }
+
+  job.checkpoint_text = stepper.checkpoint().to_string();
+  const std::vector<search::TaskResult> results = stepper.results();
+  job.tasks_completed = results.size();
+  const bool has_inference =
+      std::any_of(job.tasks.begin(), job.tasks.end(), [](const auto& t) {
+        return t.kind == search::TaskKind::kInference;
+      });
+  std::size_t best = 0;
+  if (has_inference) {
+    best = search::best_inference(results, job.tasks);
+  } else {
+    for (std::size_t i = 1; i < results.size(); ++i)
+      if (results[i].log_likelihood > results[best].log_likelihood) best = i;
+  }
+  job.best_lnl = results[best].log_likelihood;
+  job.best_newick = results[best].newick;
+  end_lease();
+  finalize(job, JobState::kCompleted);
+}
+
+}  // namespace rxc::serve

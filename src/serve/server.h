@@ -1,0 +1,136 @@
+#pragma once
+/// \file server.h
+/// Multi-tenant inference server: clients submit jobs (job.h) into a
+/// bounded admission queue; one worker thread per pooled device drains
+/// them.  The scheduling story maps the paper's PPE-side ideas onto whole
+/// jobs (DESIGN.md "Serving"):
+///
+///  * admission — bounded queue, priority-ordered, backpressure on full
+///    (EDTLP's oversubscription bound: accept enough work to keep every
+///    device busy, refuse the rest loudly);
+///  * placement — any idle device takes the highest-priority waiting job;
+///    jobs are not pinned, so after a preemption or fault a job usually
+///    resumes on a DIFFERENT device (MGPS's dynamic SPE sharing, at job
+///    granularity);
+///  * preemption — a running job polls the queue at every checkpoint
+///    boundary (one analysis task) and yields to strictly-higher-priority
+///    waiters by serializing its AnalysisCheckpoint and requeueing.  Tasks
+///    are deterministic given seeds and each step builds a fresh engine, so
+///    resumption is bitwise-identical wherever it lands;
+///  * resilience — a device fault (cell/fault.h, injected or real) throws
+///    HardwareError out of the step; the trap-before-mutate contract means
+///    the device survives, and the job retries from its last checkpoint
+///    with exponential backoff, up to max_retries;
+///  * deadlines — checked when a job is popped and at every checkpoint
+///    boundary; an expired job terminates as kExpired.  A job whose final
+///    step straddles the deadline completes (finished work is not thrown
+///    away).
+///
+/// Observability: per-job queue/run/total latencies, queue depth, retry and
+/// preemption counts and per-device step counts flow through the obs
+/// metrics registry (serve.* names); submissions and terminal states mark
+/// the flight recorder when tracing.
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/checkpoint.h"
+#include "serve/admission.h"
+#include "serve/device_pool.h"
+#include "serve/job.h"
+#include "support/mpmc_queue.h"
+
+namespace rxc::serve {
+
+struct ServerConfig {
+  /// Admission bound: queued-not-yet-running jobs beyond this are refused.
+  std::size_t queue_capacity = 64;
+  /// Fault retries per job before it fails (0 = fail on first fault).
+  int max_retries = 2;
+  /// Base backoff after a fault; doubles per retry of the same job.
+  double retry_backoff_ms = 0.5;
+  /// Yield running jobs to strictly-higher-priority waiters.
+  bool preempt = true;
+  /// When > 0, terminal results are also streamed into result_channel().
+  /// Best-effort: if the channel is full the notification is dropped (the
+  /// results() map is always authoritative) — a slow consumer must never
+  /// wedge a device worker.
+  std::size_t result_channel_capacity = 0;
+};
+
+enum class SubmitStatus {
+  kAccepted,     ///< queued; a terminal JobResult will exist by join()
+  kQueueFull,    ///< backpressure — retry later
+  kDuplicateId,  ///< id already known to this server
+  kRejected,     ///< spec invalid; a kRejected JobResult records why
+  kClosed,       ///< server no longer accepts work
+};
+
+const char* submit_status_name(SubmitStatus status);
+
+class Server {
+ public:
+  /// Builds the device pool (one worker thread per device) and starts
+  /// serving immediately.
+  Server(const std::vector<lh::ExecutorSpec>& device_specs,
+         ServerConfig config = {});
+  ~Server();  ///< close() + join()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Compiles and enqueues `spec`.  Compilation (alignment load/simulation,
+  /// model setup) happens on the caller's thread so devices only ever run
+  /// checkpoint steps.  kRejected specs get a terminal JobResult under
+  /// their id (when the id is usable) so NDJSON clients see every job
+  /// reflected in the output.
+  SubmitStatus submit(const JobSpec& spec);
+
+  /// Stops accepting submissions.  Queued and in-flight jobs still run to
+  /// a terminal state.
+  void close();
+  /// close() + wait until every accepted job is terminal and all workers
+  /// have exited.
+  void join();
+
+  std::size_t queue_depth() const { return queue_.depth(); }
+  DevicePool& devices() { return pool_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// Snapshot of every known job's result record (any state).
+  std::vector<JobResult> results() const;
+  std::optional<JobResult> result(const std::string& id) const;
+
+  /// Streaming channel of terminal results (see ServerConfig); nullptr
+  /// when result_channel_capacity == 0.
+  MpmcQueue<JobResult>* result_channel() { return channel_.get(); }
+
+ private:
+  struct Job;  // compiled job, internal to server.cpp
+
+  void worker(Device& device);
+  void run_lease(Job& job, Device& device);
+  void finalize(Job& job, JobState state, const std::string& error = {});
+  void publish(const Job& job);
+
+  ServerConfig config_;
+  DevicePool pool_;
+  AdmissionQueue<Job*> queue_;
+  std::unique_ptr<MpmcQueue<JobResult>> channel_;
+
+  mutable std::mutex jobs_mu_;  ///< guards jobs_ / records_ / accepting_
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::map<std::string, JobResult> records_;
+  bool accepting_ = true;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rxc::serve

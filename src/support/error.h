@@ -34,6 +34,15 @@ public:
   explicit HardwareError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown on nonsensical configuration: knob combinations that a component
+/// would otherwise silently ignore (e.g. host_threads on a non-SPE executor
+/// kind).  Distinct from plain Error so config-validation failures are
+/// testable without matching message text.
+class ConfigError : public Error {
+public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] void assert_fail(const char* expr, std::source_location loc,
                               const std::string& msg);
 

@@ -1,0 +1,122 @@
+#pragma once
+/// \file mpmc_queue.h
+/// Bounded multi-producer/multi-consumer blocking queue — the backpressure
+/// primitive under the serving layer (src/serve): producers observe a full
+/// queue instead of growing it without limit, and close() gives consumers a
+/// clean end-of-stream.  Mutex + two condition variables; the serving rates
+/// this feeds (whole inference jobs, not kernel invocations) make lock-free
+/// cleverness pointless here.
+///
+/// Semantics:
+///  * push/try_push fail (return false) once the queue is closed; elements
+///    already queued remain poppable ("close drains").
+///  * pop blocks until an element arrives or the queue is closed AND empty,
+///    in which case it returns nullopt.
+///  * FIFO order among elements; no priority (the serving layer's
+///    AdmissionQueue adds priority on top of its own structure).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "support/error.h"
+
+namespace rxc {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    RXC_REQUIRE(capacity >= 1, "MpmcQueue: capacity must be >= 1");
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push: waits while full.  False when the queue is (or becomes)
+  /// closed — the element is NOT queued in that case.
+  bool push(T value) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return out;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Blocking pop: waits for an element; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return out;  // closed and drained
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Stops accepting pushes and wakes every waiter.  Idempotent.  Queued
+  /// elements stay poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rxc

@@ -155,3 +155,92 @@ TEST(Checkpoint, MismatchedTaskListRejected) {
   EXPECT_THROW(
       search::run_analysis_checkpointed(pa, cfg, so, bigger, tmp.path), Error);
 }
+
+// --- AnalysisStepper --------------------------------------------------------
+
+TEST(Stepper, StepwiseMatchesDirectRuns) {
+  seq::SimOptions opt;
+  opt.ntaxa = 8;
+  opt.nsites = 150;
+  opt.seed = 5;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  lh::EngineConfig cfg;
+  cfg.categories = 2;
+  search::SearchOptions so;
+  so.max_rounds = 1;
+  const auto tasks = search::make_analysis(1, 2);
+
+  search::AnalysisStepper stepper(pa, cfg, so,
+                                  AnalysisCheckpoint::fresh(tasks));
+  EXPECT_EQ(stepper.total(), 3u);
+  EXPECT_EQ(stepper.next_index(), 0u);
+  while (!stepper.done()) {
+    const std::size_t before = stepper.completed();
+    EXPECT_EQ(stepper.step(), before);
+    EXPECT_EQ(stepper.completed(), before + 1);
+  }
+  EXPECT_EQ(stepper.next_index(), tasks.size());
+  EXPECT_THROW(stepper.step(), Error);
+
+  const auto results = stepper.results();
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto direct = search::run_task(pa, cfg, so, tasks[i]);
+    EXPECT_EQ(results[i].log_likelihood, direct.log_likelihood);
+    EXPECT_EQ(results[i].newick, direct.newick);
+  }
+}
+
+TEST(Stepper, SerializedResumeAtEveryBoundaryIsBitwiseIdentical) {
+  seq::SimOptions opt;
+  opt.ntaxa = 7;
+  opt.nsites = 120;
+  opt.seed = 3;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  lh::EngineConfig cfg;
+  cfg.categories = 2;
+  search::SearchOptions so;
+  so.max_rounds = 1;
+  const auto tasks = search::make_analysis(1, 2);
+
+  // Uninterrupted reference run.
+  search::AnalysisStepper ref(pa, cfg, so, AnalysisCheckpoint::fresh(tasks));
+  while (!ref.done()) ref.step();
+  const auto expect = ref.results();
+
+  // Suspend at every boundary: run k steps, round-trip the checkpoint
+  // through its text form, resume in a fresh stepper, finish.
+  for (std::size_t k = 0; k <= tasks.size(); ++k) {
+    search::AnalysisStepper first(pa, cfg, so,
+                                  AnalysisCheckpoint::fresh(tasks));
+    for (std::size_t i = 0; i < k; ++i) first.step();
+    const std::string text = first.checkpoint().to_string();
+
+    auto resumed_cp = AnalysisCheckpoint::from_string(text);
+    resumed_cp.require_matches(tasks);
+    EXPECT_EQ(resumed_cp.completed(), k);
+    search::AnalysisStepper second(pa, cfg, so, std::move(resumed_cp));
+    while (!second.done()) second.step();
+    const auto results = second.results();
+    ASSERT_EQ(results.size(), expect.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].log_likelihood, expect[i].log_likelihood)
+          << "suspend after " << k << " steps, task " << i;
+      EXPECT_EQ(results[i].newick, expect[i].newick);
+    }
+  }
+}
+
+TEST(Stepper, RejectsMismatchedCheckpoint) {
+  seq::SimOptions opt;
+  opt.ntaxa = 6;
+  opt.nsites = 80;
+  const auto sim = seq::simulate_alignment(opt);
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  const auto cp = AnalysisCheckpoint::fresh(search::make_analysis(1, 1));
+  EXPECT_THROW(cp.require_matches(search::make_analysis(1, 1, 999)), Error);
+  EXPECT_THROW(cp.require_matches(search::make_analysis(2, 1)), Error);
+  EXPECT_NO_THROW(cp.require_matches(search::make_analysis(1, 1)));
+}

@@ -261,6 +261,43 @@ TEST(ObsValidate, ExecutorSpecRejectsBadCellParameters) {
   EXPECT_THROW(spec.validate(), rxc::Error);
 }
 
+// A knob set for a different kind than the selected one would be silently
+// ignored by the backend; validate() rejects the combination with a
+// ConfigError instead.
+TEST(ObsValidate, ExecutorSpecRejectsCrossKindKnobs) {
+  lh::ExecutorSpec spec;  // kHost
+  spec.host_threads = 8;  // a kSpe knob
+  EXPECT_THROW(spec.validate(), rxc::ConfigError);
+
+  spec = lh::ExecutorSpec{};
+  spec.kind = lh::ExecutorKind::kThreaded;
+  spec.threads = 4;
+  spec.llp_ways = 4;  // a kSpe knob
+  EXPECT_THROW(spec.validate(), rxc::ConfigError);
+
+  spec = lh::ExecutorSpec{};
+  spec.kind = lh::ExecutorKind::kSpe;
+  spec.threads = 4;  // a kThreaded knob
+  EXPECT_THROW(spec.validate(), rxc::ConfigError);
+
+  spec = lh::ExecutorSpec{};
+  spec.kind = lh::ExecutorKind::kHost;
+  spec.cell_unique_events = true;  // a kSpe knob
+  EXPECT_THROW(spec.validate(), rxc::ConfigError);
+
+  spec = lh::ExecutorSpec{};
+  spec.kind = lh::ExecutorKind::kThreaded;
+  spec.chunk_patterns = 128;  // its own knob: fine
+  EXPECT_NO_THROW(spec.validate());
+  spec.kind = lh::ExecutorKind::kHost;
+  EXPECT_THROW(spec.validate(), rxc::ConfigError);
+
+  // ConfigError is a refinement of Error, so existing catch sites hold.
+  spec = lh::ExecutorSpec{};
+  spec.host_threads = 2;
+  EXPECT_THROW(spec.validate(), rxc::Error);
+}
+
 // --- executor factory -------------------------------------------------------
 
 TEST(ObsFactory, MakeExecutorBuildsEveryKind) {

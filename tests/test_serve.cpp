@@ -1,0 +1,556 @@
+// Tests for src/serve: the multi-tenant inference service.  The load-bearing
+// guarantees:
+//
+//  * admission — bounded queue, priority order, backpressure observable by
+//    clients, requeue exempt (preempted work must never bounce);
+//  * suspend/resume — a job preempted at any checkpoint boundary resumes on
+//    a DIFFERENT device through the serialized checkpoint text and finishes
+//    bitwise-identical to an uninterrupted run;
+//  * resilience — an injected device fault (trap-before-mutate verified)
+//    costs one retry from the last checkpoint, not the job, not the device;
+//  * the soak: a mixed-priority batch over a 4-device simulated-Cell pool
+//    with faults armed and a sub-deadline job, every job terminal, every
+//    completed lnL bitwise equal to a direct single-engine run, metrics in
+//    the obs registry — with the happens-before race detector fatal.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "core/spe_executor.h"
+#include "obs/obs.h"
+#include "search/analysis.h"
+#include "search/checkpoint.h"
+#include "seq/seqgen.h"
+#include "serve/admission.h"
+#include "serve/ndjson.h"
+#include "serve/server.h"
+
+using namespace rxc;
+
+namespace {
+
+/// Job specs the tests submit; model jc + fixed options so the direct
+/// reference runs below replicate the server's compilation exactly.
+serve::JobSpec make_spec(const std::string& id, std::uint64_t sim_seed,
+                         std::size_t inferences, std::size_t bootstraps,
+                         int priority = 0) {
+  serve::JobSpec spec;
+  spec.id = id;
+  spec.priority = priority;
+  spec.workload.sim_taxa = 6;
+  spec.workload.sim_sites = 60;
+  spec.workload.sim_seed = sim_seed;
+  spec.model = "jc";
+  spec.rate_mode = "cat";
+  spec.categories = 2;
+  spec.inferences = inferences;
+  spec.bootstraps = bootstraps;
+  spec.seed = 1;
+  spec.max_rounds = 1;
+  return spec;
+}
+
+/// What serve::Server::Job::compile() produces for make_spec specs.
+struct DirectWorkload {
+  seq::PatternAlignment pa;
+  lh::EngineConfig ec;
+  search::SearchOptions so;
+  std::vector<search::AnalysisTask> tasks;
+};
+
+DirectWorkload compile_direct(const serve::JobSpec& spec) {
+  seq::SimOptions opt;
+  opt.ntaxa = spec.workload.sim_taxa;
+  opt.nsites = spec.workload.sim_sites;
+  opt.seed = spec.workload.sim_seed;
+  lh::EngineConfig ec;
+  ec.model = model::DnaModel::jc69();
+  ec.mode = lh::RateMode::kCat;
+  ec.categories = spec.categories;
+  search::SearchOptions so;
+  so.radius = spec.radius;
+  so.max_rounds = spec.max_rounds;
+  so.epsilon = spec.epsilon;
+  return {seq::PatternAlignment::compress(
+              seq::simulate_alignment(opt).alignment),
+          ec, so,
+          search::make_analysis(spec.inferences, spec.bootstraps, spec.seed)};
+}
+
+std::vector<lh::ExecutorSpec> cell_pool_specs(int devices) {
+  return std::vector<lh::ExecutorSpec>(
+      static_cast<std::size_t>(devices),
+      core::cell_executor_spec(core::Stage::kOffloadAll));
+}
+
+/// Best lnL/newick of a direct single-engine run on a fresh Cell executor
+/// of the pool's spec — the bitwise reference for server results.
+std::pair<double, std::string> direct_best(const serve::JobSpec& spec) {
+  const DirectWorkload w = compile_direct(spec);
+  const auto exec =
+      lh::make_executor(core::cell_executor_spec(core::Stage::kOffloadAll));
+  std::vector<search::TaskResult> results;
+  for (const auto& task : w.tasks)
+    results.push_back(run_task(w.pa, w.ec, w.so, task, exec.get()));
+  const bool has_inf =
+      std::any_of(w.tasks.begin(), w.tasks.end(), [](const auto& t) {
+        return t.kind == search::TaskKind::kInference;
+      });
+  std::size_t best = 0;
+  if (has_inf) {
+    best = search::best_inference(results, w.tasks);
+  } else {
+    for (std::size_t i = 1; i < results.size(); ++i)
+      if (results[i].log_likelihood > results[best].log_likelihood) best = i;
+  }
+  return {results[best].log_likelihood, results[best].newick};
+}
+
+}  // namespace
+
+// --- AdmissionQueue ---------------------------------------------------------
+
+TEST(Admission, PriorityOrderFifoWithinClass) {
+  serve::AdmissionQueue<int> q(8);
+  EXPECT_TRUE(q.try_submit(0, 1));
+  EXPECT_TRUE(q.try_submit(5, 2));
+  EXPECT_TRUE(q.try_submit(0, 3));
+  EXPECT_TRUE(q.try_submit(5, 4));
+  EXPECT_TRUE(q.try_submit(-3, 5));
+  EXPECT_EQ(q.pop().value(), 2);  // priority 5, first in
+  EXPECT_EQ(q.pop().value(), 4);  // priority 5, second in
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.pop().value(), 5);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(Admission, BackpressureAndRequeueExemption) {
+  serve::AdmissionQueue<int> q(2);
+  EXPECT_TRUE(q.try_submit(0, 1));
+  EXPECT_TRUE(q.try_submit(0, 2));
+  EXPECT_FALSE(q.try_submit(0, 3));  // full: client sees backpressure
+  q.requeue(9, 4);                   // server path ignores the bound
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.pop().value(), 4);
+  EXPECT_THROW(serve::AdmissionQueue<int>(0), Error);
+}
+
+TEST(Admission, HasWaitingAboveIsStrict) {
+  serve::AdmissionQueue<int> q(4);
+  EXPECT_FALSE(q.has_waiting_above(0));
+  q.requeue(3, 1);
+  EXPECT_TRUE(q.has_waiting_above(0));
+  EXPECT_TRUE(q.has_waiting_above(2));
+  EXPECT_FALSE(q.has_waiting_above(3));  // equal priority never preempts
+  EXPECT_FALSE(q.has_waiting_above(7));
+}
+
+TEST(Admission, CloseEndsStreamButRequeueRevives) {
+  serve::AdmissionQueue<int> q(4);
+  q.requeue(0, 1);
+  q.close();
+  EXPECT_FALSE(q.try_submit(0, 2));   // no client submissions after close
+  EXPECT_EQ(q.pop().value(), 1);      // drain continues
+  // An in-flight job may still requeue after close (preemption/retry); the
+  // queue is only abandoned empty.
+  q.requeue(0, 3);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_FALSE(q.pop().has_value());  // closed and drained
+}
+
+// --- NDJSON -----------------------------------------------------------------
+
+TEST(Ndjson, ParsesValuesAndEscapes) {
+  const auto v = serve::parse_json(
+      R"({"s":"a\"b\u0041\n","n":-2.5e2,"t":true,"z":null,"arr":[1,{"k":2}]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->as_string(), "a\"bA\n");
+  EXPECT_EQ(v.find("n")->as_number(), -250.0);
+  EXPECT_TRUE(v.find("t")->as_bool());
+  EXPECT_TRUE(v.find("z")->is_null());
+  ASSERT_EQ(v.find("arr")->array.size(), 2u);
+  EXPECT_EQ(v.find("arr")->array[1].find("k")->as_number(), 2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Ndjson, RejectsMalformedDocuments) {
+  EXPECT_THROW(serve::parse_json("{\"a\":1} trailing"), ParseError);
+  EXPECT_THROW(serve::parse_json("{\"a\":}"), ParseError);
+  EXPECT_THROW(serve::parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW(serve::parse_json("{\"a\":1e}"), ParseError);
+  EXPECT_THROW(serve::parse_json("nul"), ParseError);
+  EXPECT_THROW(serve::parse_json("\"\\q\""), ParseError);
+  EXPECT_THROW(serve::parse_json(std::string(100, '[')), ParseError);
+}
+
+TEST(Ndjson, JobSpecRoundTrip) {
+  const auto spec = serve::job_spec_from_json(
+      R"({"id":"j1","priority":7,"deadline_ms":125.5,"sim_taxa":10,)"
+      R"("sim_sites":200,"model":"jc","mode":"gamma","categories":4,)"
+      R"("inferences":2,"bootstraps":3,"seed":11,"max_rounds":2})");
+  EXPECT_EQ(spec.id, "j1");
+  EXPECT_EQ(spec.priority, 7);
+  EXPECT_EQ(spec.deadline_ms, 125.5);
+  EXPECT_EQ(spec.workload.sim_taxa, 10u);
+  EXPECT_EQ(spec.rate_mode, "gamma");
+  EXPECT_EQ(spec.inferences, 2u);
+  EXPECT_EQ(spec.bootstraps, 3u);
+  EXPECT_EQ(spec.seed, 11u);
+
+  EXPECT_THROW(serve::job_spec_from_json(R"({"priority":1})"), ParseError);
+  EXPECT_THROW(serve::job_spec_from_json(R"({"id":"a","bogus":1})"),
+               ParseError);
+  EXPECT_THROW(serve::job_spec_from_json(R"({"id":"a","priority":"high"})"),
+               ParseError);
+  EXPECT_THROW(
+      serve::job_spec_from_json(R"({"id":"a","inferences":0,"bootstraps":0})"),
+      ParseError);
+  EXPECT_THROW(serve::job_spec_from_json("[1,2]"), ParseError);
+}
+
+TEST(Ndjson, ResultRecordShape) {
+  serve::JobResult r;
+  r.id = "j\"1";
+  r.state = serve::JobState::kCompleted;
+  r.best_lnl = -123.456;
+  r.best_newick = "(a,b);";
+  r.tasks_total = 3;
+  r.tasks_completed = 3;
+  const std::string line = serve::job_result_to_json(r);
+  const auto v = serve::parse_json(line);  // parser/writer agree
+  EXPECT_EQ(v.find("id")->as_string(), "j\"1");
+  EXPECT_EQ(v.find("state")->as_string(), "completed");
+  EXPECT_EQ(v.find("best_lnl")->as_number(), -123.456);
+  EXPECT_EQ(v.find("tasks_total")->as_number(), 3.0);
+  EXPECT_EQ(v.find("error"), nullptr);  // empty error omitted
+}
+
+// --- device pool ------------------------------------------------------------
+
+TEST(DevicePool, InjectedFaultTrapsAndDeviceSurvives) {
+  serve::DevicePool pool(cell_pool_specs(1));
+  serve::Device& dev = pool.device(0);
+  ASSERT_TRUE(dev.is_cell());
+
+  const auto spec = make_spec("f", 21, 1, 0);
+  const DirectWorkload w = compile_direct(spec);
+
+  dev.arm_fault(cell::Fault::kDmaOversize, 1);
+  EXPECT_THROW(dev.begin_step(), HardwareError);
+  EXPECT_EQ(dev.faults(), 1u);
+
+  // The trap-before-mutate contract held (begin_step verified it), so the
+  // SAME device must now produce bitwise-reference results.
+  dev.begin_step();  // disarmed: no throw
+  const auto on_device = run_task(w.pa, w.ec, w.so, w.tasks[0], &dev.executor());
+  const auto exec =
+      lh::make_executor(core::cell_executor_spec(core::Stage::kOffloadAll));
+  const auto fresh = run_task(w.pa, w.ec, w.so, w.tasks[0], exec.get());
+  EXPECT_EQ(on_device.log_likelihood, fresh.log_likelihood);
+  EXPECT_EQ(on_device.newick, fresh.newick);
+}
+
+// Satellite: suspend at EVERY checkpoint boundary, resume on a DIFFERENT
+// pool device, final results bitwise-identical to the uninterrupted run.
+TEST(DevicePool, ResumeOnDifferentDeviceEveryBoundaryBitwiseIdentical) {
+  serve::DevicePool pool(cell_pool_specs(2));
+  const auto spec = make_spec("r", 31, 1, 2);
+  const DirectWorkload w = compile_direct(spec);
+
+  // Uninterrupted run, wholly on device 0.
+  search::AnalysisStepper ref(w.pa, w.ec, w.so,
+                              search::AnalysisCheckpoint::fresh(w.tasks));
+  while (!ref.done()) {
+    pool.device(0).begin_step();
+    ref.step(&pool.device(0).executor());
+  }
+  const auto expect = ref.results();
+
+  for (std::size_t k = 0; k <= w.tasks.size(); ++k) {
+    // k steps on device 0 ...
+    search::AnalysisStepper first(w.pa, w.ec, w.so,
+                                  search::AnalysisCheckpoint::fresh(w.tasks));
+    for (std::size_t i = 0; i < k; ++i) {
+      pool.device(0).begin_step();
+      first.step(&pool.device(0).executor());
+    }
+    // ... suspend through the serialized text, resume on device 1.
+    auto cp = search::AnalysisCheckpoint::from_string(
+        first.checkpoint().to_string());
+    cp.require_matches(w.tasks);
+    search::AnalysisStepper second(w.pa, w.ec, w.so, std::move(cp));
+    while (!second.done()) {
+      pool.device(1).begin_step();
+      second.step(&pool.device(1).executor());
+    }
+    const auto results = second.results();
+    ASSERT_EQ(results.size(), expect.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].log_likelihood, expect[i].log_likelihood)
+          << "suspended after " << k << " of " << w.tasks.size() << " tasks";
+      EXPECT_EQ(results[i].newick, expect[i].newick);
+    }
+  }
+}
+
+// --- server -----------------------------------------------------------------
+
+TEST(Server, CompletesJobsBitwiseEqualToDirectRuns) {
+  serve::Server server(cell_pool_specs(2));
+  const auto a = make_spec("a", 41, 1, 1);
+  const auto b = make_spec("b", 42, 0, 2, /*priority=*/3);
+  EXPECT_EQ(server.submit(a), serve::SubmitStatus::kAccepted);
+  EXPECT_EQ(server.submit(b), serve::SubmitStatus::kAccepted);
+  EXPECT_EQ(server.submit(a), serve::SubmitStatus::kDuplicateId);
+  server.join();
+
+  for (const auto& spec : {a, b}) {
+    const auto r = server.result(spec.id);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->state, serve::JobState::kCompleted);
+    EXPECT_EQ(r->tasks_completed, r->tasks_total);
+    const auto [lnl, newick] = direct_best(spec);
+    EXPECT_EQ(r->best_lnl, lnl) << spec.id;
+    EXPECT_EQ(r->best_newick, newick) << spec.id;
+    EXPECT_GE(r->last_device, 0);
+  }
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_EQ(server.submit(a), serve::SubmitStatus::kClosed);
+}
+
+TEST(Server, RejectsInvalidSpecsWithRecords) {
+  serve::Server server(cell_pool_specs(1));
+  auto bad = make_spec("bad-model", 1, 1, 0);
+  bad.model = "nope";
+  EXPECT_EQ(server.submit(bad), serve::SubmitStatus::kRejected);
+  auto no_id = make_spec("", 1, 1, 0);
+  EXPECT_EQ(server.submit(no_id), serve::SubmitStatus::kRejected);
+  server.join();
+
+  const auto r = server.result("bad-model");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->state, serve::JobState::kRejected);
+  EXPECT_NE(r->error.find("unknown model"), std::string::npos);
+  EXPECT_EQ(server.results().size(), 1u);  // empty-id spec left no record
+}
+
+TEST(Server, FaultRetriesFromCheckpointAndCompletes) {
+  serve::Server server(cell_pool_specs(1));
+  server.devices().device(0).arm_fault(cell::Fault::kMailboxUnderflow, 1);
+  const auto spec = make_spec("faulted", 51, 1, 1);
+  ASSERT_EQ(server.submit(spec), serve::SubmitStatus::kAccepted);
+  server.join();
+
+  const auto r = server.result("faulted");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->state, serve::JobState::kCompleted);
+  EXPECT_EQ(r->retries, 1);
+  EXPECT_EQ(server.devices().device(0).faults(), 1u);
+  const auto [lnl, newick] = direct_best(spec);
+  EXPECT_EQ(r->best_lnl, lnl);
+  EXPECT_EQ(r->best_newick, newick);
+}
+
+TEST(Server, RetriesExhaustedFailsTheJob) {
+  serve::ServerConfig cfg;
+  cfg.max_retries = 0;
+  cfg.retry_backoff_ms = 0.0;
+  serve::Server server(cell_pool_specs(1), cfg);
+  server.devices().device(0).arm_fault(cell::Fault::kDmaMisalignedEa, 1);
+  ASSERT_EQ(server.submit(make_spec("doomed", 52, 1, 0)),
+            serve::SubmitStatus::kAccepted);
+  server.join();
+
+  const auto r = server.result("doomed");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->state, serve::JobState::kFailed);
+  EXPECT_NE(r->error.find("injected fault"), std::string::npos);
+}
+
+TEST(Server, DeadlineExpiresCleanly) {
+  serve::Server server(cell_pool_specs(1));
+  auto spec = make_spec("late", 53, 1, 1);  // 2 tasks: cannot beat 10us
+  spec.deadline_ms = 0.01;
+  ASSERT_EQ(server.submit(spec), serve::SubmitStatus::kAccepted);
+  server.join();
+
+  const auto r = server.result("late");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->state, serve::JobState::kExpired);
+  EXPECT_LT(r->tasks_completed, r->tasks_total);
+}
+
+// Forced preemption: a long low-priority job observed running, then a
+// high-priority job arrives; the runner must yield at a checkpoint
+// boundary, requeue, resume, and still match the direct reference.
+TEST(Server, PreemptionYieldsAndResumesBitwiseIdentical) {
+  serve::Server server(cell_pool_specs(1));
+  const auto big = make_spec("big", 61, 0, 10);  // 10 checkpoint boundaries
+  ASSERT_EQ(server.submit(big), serve::SubmitStatus::kAccepted);
+  // Wait until the worker has the job on the device ...
+  while (true) {
+    const auto r = server.result("big");
+    if (r && r->state != serve::JobState::kQueued) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // ... then outrank it.
+  ASSERT_EQ(server.submit(make_spec("urgent", 62, 1, 0, /*priority=*/9)),
+            serve::SubmitStatus::kAccepted);
+  server.join();
+
+  const auto r_big = server.result("big");
+  const auto r_urgent = server.result("urgent");
+  ASSERT_TRUE(r_big && r_urgent);
+  EXPECT_EQ(r_big->state, serve::JobState::kCompleted);
+  EXPECT_EQ(r_urgent->state, serve::JobState::kCompleted);
+  EXPECT_GE(r_big->preemptions, 1);
+  const auto [lnl, newick] = direct_best(big);
+  EXPECT_EQ(r_big->best_lnl, lnl);
+  EXPECT_EQ(r_big->best_newick, newick);
+}
+
+// --- the soak ---------------------------------------------------------------
+
+// Acceptance soak: >= 50 mixed-priority jobs over a 4-device simulated-Cell
+// pool with fault injection armed on two devices and one sub-deadline job,
+// race detector fatal throughout.  Every job must reach a terminal state
+// with no queue leak; every completed job must equal its direct
+// single-engine reference bitwise; the serving metrics must land in the obs
+// registry.
+TEST(ServeSoak, MixedPriorityBatchWithFaultsAndDeadline) {
+  obs::Config ocfg;
+  ocfg.mode = obs::Mode::kSummary;
+  obs::configure(ocfg);
+  analysis::configure(analysis::AnalyzeMode::kRaceFatal);
+
+  constexpr int kJobs = 50;
+  // Five workload variants; references computed once each.
+  std::vector<serve::JobSpec> variants;
+  for (std::uint64_t v = 0; v < 5; ++v)
+    variants.push_back(make_spec("variant", 100 + v, v % 2 ? 1 : 0,
+                                 1 + static_cast<std::size_t>(v % 3)));
+  std::map<std::uint64_t, std::pair<double, std::string>> reference;
+  for (const auto& v : variants)
+    reference[v.workload.sim_seed] = direct_best(v);
+
+  serve::ServerConfig cfg;
+  cfg.queue_capacity = 16;  // small bound: backpressure actually exercised
+  cfg.max_retries = 2;
+  cfg.retry_backoff_ms = 0.1;
+  cfg.result_channel_capacity = 64;
+  serve::Server server(cell_pool_specs(4), cfg);
+  server.devices().device(1).arm_fault(cell::Fault::kDmaOversize, 3);
+  server.devices().device(2).arm_fault(cell::Fault::kLocalStoreOob, 5);
+
+  std::size_t accepted = 0;
+  auto submit_with_backpressure = [&](const serve::JobSpec& spec) {
+    while (true) {
+      const auto st = server.submit(spec);
+      if (st == serve::SubmitStatus::kAccepted) {
+        ++accepted;
+        return;
+      }
+      ASSERT_EQ(st, serve::SubmitStatus::kQueueFull)
+          << serve::submit_status_name(st);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  const int priorities[] = {0, 0, 1, 5, 9};
+  for (int i = 0; i < kJobs; ++i) {
+    auto spec = variants[static_cast<std::size_t>(i) % variants.size()];
+    spec.id = "job-" + std::to_string(i);
+    spec.priority = priorities[i % 5];
+    submit_with_backpressure(spec);
+    if (i == kJobs / 2) {
+      auto late = make_spec("deadline-job", 100, 0, 2, /*priority=*/9);
+      late.deadline_ms = 0.01;
+      submit_with_backpressure(late);
+    }
+  }
+  server.join();
+
+  const auto results = server.results();
+  EXPECT_EQ(results.size(), accepted);
+  EXPECT_EQ(accepted, static_cast<std::size_t>(kJobs) + 1);
+  EXPECT_EQ(server.queue_depth(), 0u);
+
+  std::size_t completed = 0, expired = 0;
+  int total_retries = 0, total_preemptions = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(serve::job_state_terminal(r.state))
+        << r.id << " stuck in " << serve::job_state_name(r.state);
+    EXPECT_NE(r.state, serve::JobState::kFailed) << r.id << ": " << r.error;
+    total_retries += r.retries;
+    total_preemptions += r.preemptions;
+    if (r.state == serve::JobState::kExpired) {
+      ++expired;
+      EXPECT_EQ(r.id, "deadline-job");
+      continue;
+    }
+    ASSERT_EQ(r.state, serve::JobState::kCompleted) << r.id;
+    ++completed;
+    EXPECT_EQ(r.tasks_completed, r.tasks_total) << r.id;
+    std::uint64_t sim_seed = 0;
+    for (const auto& v : variants)
+      if (r.tasks_total == v.inferences + v.bootstraps &&
+          reference[v.workload.sim_seed].first == r.best_lnl)
+        sim_seed = v.workload.sim_seed;
+    // Identify the variant by id suffix instead: job-i -> variant i % 5.
+    const int idx = std::stoi(r.id.substr(4)) % 5;
+    const auto& want = reference[variants[static_cast<std::size_t>(idx)]
+                                     .workload.sim_seed];
+    EXPECT_EQ(r.best_lnl, want.first) << r.id;
+    EXPECT_EQ(r.best_newick, want.second) << r.id;
+    (void)sim_seed;
+  }
+  EXPECT_EQ(completed, static_cast<std::size_t>(kJobs));
+  EXPECT_EQ(expired, 1u);
+  // Both armed faults fired (each device certainly ran >= 5 steps) and cost
+  // retries, not jobs.
+  EXPECT_GE(total_retries, 2);
+  EXPECT_EQ(server.devices().device(1).faults() +
+                server.devices().device(2).faults(),
+            2u);
+
+  // Metrics surfaced through the obs registry.
+  const auto snap = obs::snapshot_metrics();
+  std::map<std::string, std::uint64_t> counters;
+  for (const auto& c : snap.counters) counters[c.name] = c.value;
+  EXPECT_GE(counters["serve.jobs.submitted"],
+            static_cast<std::uint64_t>(kJobs) + 1);
+  EXPECT_EQ(counters["serve.jobs.completed"],
+            static_cast<std::uint64_t>(completed));
+  EXPECT_EQ(counters["serve.jobs.expired"], 1u);
+  EXPECT_EQ(counters["serve.jobs.retries"],
+            static_cast<std::uint64_t>(total_retries));
+  EXPECT_EQ(counters["serve.jobs.preemptions"],
+            static_cast<std::uint64_t>(total_preemptions));
+  EXPECT_EQ(counters["serve.jobs.failed"], 0u);
+  EXPECT_GT(counters["serve.device.steps"], 0u);
+  EXPECT_EQ(counters["serve.device.faults"], 2u);
+  bool have_total_ms = false;
+  for (const auto& h : snap.histograms)
+    if (h.name == "serve.job.total_ms") {
+      have_total_ms = true;
+      EXPECT_EQ(h.count, static_cast<std::uint64_t>(kJobs) + 1);
+    }
+  EXPECT_TRUE(have_total_ms);
+
+  // The streaming channel saw every terminal job exactly once (capacity 64
+  // held them all; join() closed the channel).
+  std::size_t streamed = 0;
+  while (server.result_channel()->pop()) ++streamed;
+  EXPECT_EQ(streamed, accepted);
+
+  analysis::configure(analysis::AnalyzeMode::kOff);
+  obs::configure(obs::Config{});
+}

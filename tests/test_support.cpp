@@ -159,3 +159,64 @@ TEST(Error, RequireThrowsWithMessage) {
     EXPECT_NE(std::string(e.what()).find("the reason"), std::string::npos);
   }
 }
+
+// --- MpmcQueue --------------------------------------------------------------
+
+#include <atomic>
+#include <thread>
+
+#include "support/mpmc_queue.h"
+
+TEST(MpmcQueue, FifoAndCapacity) {
+  MpmcQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: backpressure
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, CloseDrainsThenEndsStream) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.try_push(8));  // no pushes after close
+  EXPECT_FALSE(q.push(9));
+  EXPECT_EQ(q.pop().value(), 7);           // queued elements stay poppable
+  EXPECT_FALSE(q.pop().has_value());       // closed + drained = end of stream
+  EXPECT_NO_THROW(q.close());              // idempotent
+}
+
+TEST(MpmcQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(MpmcQueue<int>(0), Error);
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 250;
+  MpmcQueue<int> q(8);  // small bound so producers actually block
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        received.fetch_add(1);
+      }
+    });
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  for (std::size_t t = kConsumers; t < threads.size(); ++t) threads[t].join();
+  q.close();
+  for (int t = 0; t < kConsumers; ++t) threads[static_cast<std::size_t>(t)].join();
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), kTotal);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kTotal) * (kTotal - 1) / 2);
+}

@@ -5,7 +5,14 @@
 #                          wall time per kernel variant)
 #   BENCH_schedule.json  — NDJSON, one object per table/case: virtual cycles
 #                          per stage/policy plus wall seconds, from the
-#                          §5.2 table benches and the parallel-backend bench
+#                          §5.2 table benches, the parallel-backend bench and
+#                          the serving-throughput bench
+#
+# Wall-clock numbers are meaningless without the machine they came from, so
+# both baselines carry the recording host's core count and the
+# RXC_HOST_THREADS override in effect ("auto" when unset): BENCH_kernels.json
+# in its google-benchmark context block, BENCH_schedule.json as a leading
+# host-info NDJSON line.
 #
 # Usage: tools/bench.sh [--smoke] [--build-dir DIR]
 #
@@ -32,13 +39,19 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" -j \
-  --target bench_kernels bench_table7 bench_table8 bench_parallel
+  --target bench_kernels bench_table7 bench_table8 bench_parallel bench_serve
+
+# The wall-time environment the baselines were recorded under.
+HOST_CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+HOST_THREADS=${RXC_HOST_THREADS:-auto}
 
 # --- kernels: real host wall time per kernel variant ----------------------
 # (fast enough to run in full even for --smoke; min-time flags differ across
 # google-benchmark versions, so we don't pass any)
 "$BUILD"/bench/bench_kernels \
-  --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+  --benchmark_out=BENCH_kernels.json --benchmark_out_format=json \
+  --benchmark_context=host_cores="$HOST_CORES" \
+  --benchmark_context=rxc_host_threads="$HOST_THREADS"
 
 # --- schedule: virtual time per stage/policy + parallel-backend wall time -
 # Each bench appends NDJSON lines to its own temp file; concatenate so a
@@ -48,11 +61,15 @@ trap 'rm -rf "$TMP"' EXIT
 
 if [ "$SMOKE" = 1 ]; then
   "$BUILD"/bench/bench_parallel --smoke --json="$TMP/parallel.json"
+  "$BUILD"/bench/bench_serve --smoke --json="$TMP/serve.json"
 else
   "$BUILD"/bench/bench_table7 --json="$TMP/table7.json"
   "$BUILD"/bench/bench_table8 --json="$TMP/table8.json"
   "$BUILD"/bench/bench_parallel --json="$TMP/parallel.json"
+  "$BUILD"/bench/bench_serve --json="$TMP/serve.json"
 fi
-cat "$TMP"/*.json > BENCH_schedule.json
+printf '{"table":"host-info","host_cores":%s,"rxc_host_threads":"%s"}\n' \
+  "$HOST_CORES" "$HOST_THREADS" > BENCH_schedule.json
+cat "$TMP"/*.json >> BENCH_schedule.json
 
 echo "wrote BENCH_kernels.json and BENCH_schedule.json"

@@ -1,0 +1,186 @@
+/// rxc-serve — NDJSON front end for the serving layer (src/serve): job
+/// specs in (one JSON object per line), result records out (same shape).
+///
+///   rxc-serve --jobs jobs.ndjson --devices 4 --kind spe --out results.ndjson
+///   printf '{"id":"a","sim_taxa":6,"sim_sites":60,"max_rounds":1}\n' | rxc-serve
+///
+/// Options:
+///   --jobs FILE            NDJSON job specs (default: stdin)
+///   --out FILE             NDJSON results (default: stdout)
+///   --devices N            pool size (default 2)
+///   --kind spe|host|threaded   device backend (default spe)
+///   --stage N              kSpe: core::Stage ordinal 0..7 (default 7)
+///   --queue-capacity N     admission bound (default 64)
+///   --max-retries N        fault retries per job (default 2)
+///   --no-preempt           disable checkpoint-boundary preemption
+///   --submit-retries N     backpressure: attempts per job before giving
+///                          up and reporting queue-full (default 200)
+///   --fault-device I --fault-after N
+///                          arm one injected device fault (resilience
+///                          smoke; fires on that device's Nth step)
+///   --summary              print a metrics summary to stderr at exit
+///
+/// Exit status: 0 when every submitted job reached a terminal state and
+/// none FAILED; 1 on failed jobs, queue leaks, or malformed input lines
+/// (malformed lines still produce an error record in the output).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "core/spe_executor.h"
+#include "obs/obs.h"
+#include "serve/ndjson.h"
+#include "serve/server.h"
+#include "support/json.h"
+#include "support/options.h"
+
+namespace {
+
+std::vector<rxc::lh::ExecutorSpec> device_specs(const std::string& kind,
+                                                int stage, int devices) {
+  using namespace rxc;
+  RXC_REQUIRE(devices >= 1, "--devices must be >= 1");
+  lh::ExecutorSpec spec;
+  if (kind == "spe") {
+    spec = core::cell_executor_spec(static_cast<core::Stage>(stage));
+  } else if (kind == "threaded") {
+    spec.kind = lh::ExecutorKind::kThreaded;
+    spec.threads = 2;
+  } else if (kind == "host") {
+    spec.kind = lh::ExecutorKind::kHost;
+  } else {
+    throw Error("--kind must be spe|host|threaded");
+  }
+  return std::vector<lh::ExecutorSpec>(static_cast<std::size_t>(devices),
+                                       spec);
+}
+
+std::string error_record(const std::string& id, const std::string& what) {
+  rxc::JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("state", "rejected");
+  w.kv("error", what);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rxc;
+  try {
+    obs::init_from_env();
+    const Options opt(argc, argv);
+    opt.check_known({"jobs", "out", "devices", "kind", "stage",
+                     "queue-capacity", "max-retries", "no-preempt",
+                     "submit-retries", "fault-device", "fault-after",
+                     "summary"});
+
+    serve::ServerConfig cfg;
+    cfg.queue_capacity =
+        static_cast<std::size_t>(opt.get_int("queue-capacity", 64));
+    cfg.max_retries = static_cast<int>(opt.get_int("max-retries", 2));
+    cfg.preempt = !opt.get_bool("no-preempt", false);
+
+    serve::Server server(
+        device_specs(opt.get("kind", "spe"),
+                     static_cast<int>(opt.get_int("stage", 7)),
+                     static_cast<int>(opt.get_int("devices", 2))),
+        cfg);
+
+    if (opt.has("fault-device")) {
+      const int dev = static_cast<int>(opt.get_int("fault-device", 0));
+      RXC_REQUIRE(dev >= 0 && dev < server.devices().size(),
+                  "--fault-device out of range");
+      server.devices().device(dev).arm_fault(
+          cell::Fault::kDmaOversize,
+          static_cast<int>(opt.get_int("fault-after", 1)));
+    }
+
+    // --- read + submit -----------------------------------------------------
+    std::ifstream jobs_file;
+    std::istream* in = &std::cin;
+    if (opt.has("jobs")) {
+      jobs_file.open(opt.get("jobs", ""));
+      RXC_REQUIRE(jobs_file.good(), "cannot open --jobs file");
+      in = &jobs_file;
+    }
+
+    const int submit_retries =
+        static_cast<int>(opt.get_int("submit-retries", 200));
+    std::vector<std::string> extra_records;  // rejections the server can't track
+    std::size_t submitted = 0, line_no = 0;
+    bool input_errors = false;
+    std::string line;
+    while (std::getline(*in, line)) {
+      ++line_no;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      serve::JobSpec spec;
+      try {
+        spec = serve::job_spec_from_json(line);
+      } catch (const Error& e) {
+        extra_records.push_back(
+            error_record("line-" + std::to_string(line_no), e.what()));
+        input_errors = true;
+        continue;
+      }
+      // Backpressure loop: a full queue is a signal to wait, not an error —
+      // bounded so a wedged server still terminates the client.
+      serve::SubmitStatus st = serve::SubmitStatus::kQueueFull;
+      for (int attempt = 0; attempt < submit_retries; ++attempt) {
+        st = server.submit(spec);
+        if (st != serve::SubmitStatus::kQueueFull) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (st == serve::SubmitStatus::kAccepted ||
+          st == serve::SubmitStatus::kRejected) {
+        ++submitted;  // both leave a result record in the server
+      } else {
+        extra_records.push_back(
+            error_record(spec.id, std::string("submit: ") +
+                                      serve::submit_status_name(st)));
+        input_errors = true;
+      }
+    }
+
+    server.join();
+
+    // --- report ------------------------------------------------------------
+    std::ofstream out_file;
+    std::ostream* out = &std::cout;
+    if (opt.has("out")) {
+      out_file.open(opt.get("out", ""));
+      RXC_REQUIRE(out_file.good(), "cannot open --out file");
+      out = &out_file;
+    }
+    const auto results = server.results();
+    std::size_t terminal = 0, failed = 0;
+    for (const auto& r : results) {
+      *out << serve::job_result_to_json(r) << '\n';
+      if (serve::job_state_terminal(r.state)) ++terminal;
+      if (r.state == serve::JobState::kFailed) ++failed;
+    }
+    for (const auto& rec : extra_records) *out << rec << '\n';
+
+    const bool leak = terminal != results.size() ||
+                      results.size() != submitted ||
+                      server.queue_depth() != 0;
+    std::fprintf(stderr,
+                 "rxc-serve: %zu submitted, %zu records (%zu terminal, %zu "
+                 "failed), queue depth %zu\n",
+                 submitted, results.size(), terminal, failed,
+                 server.queue_depth());
+    if (opt.get_bool("summary", false))
+      std::fputs(obs::summary_text().c_str(), stderr);
+    if (leak) std::fputs("rxc-serve: QUEUE LEAK\n", stderr);
+    return (leak || failed > 0 || input_errors) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rxc-serve: error: %s\n", e.what());
+    return 2;
+  }
+}

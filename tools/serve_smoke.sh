@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# CI smoke for the serving layer: pushes a mixed-priority NDJSON batch
+# through rxc-serve against a 2-device simulated-Cell pool with one
+# injected device fault armed and one sub-deadline job, then asserts the
+# service invariants on the output records:
+#
+#   * every submitted job reached a terminal state (no queue leak — also
+#     enforced by rxc-serve's own exit status),
+#   * no job FAILED: the injected fault cost a retry, not a job,
+#   * the armed fault actually fired (total retries >= 1),
+#   * exactly the sub-deadline job expired, everything else completed
+#     with a likelihood and a tree.
+#
+# Usage: tools/serve_smoke.sh [--build-dir DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD=$2; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cmake --build "$BUILD" -j --target rxc-serve
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# 24 tiny jobs over 4 workload variants and 3 priority classes, plus one
+# job that cannot possibly meet its deadline.  ~40 checkpoint steps across
+# 2 devices guarantees device 0 reaches its armed fault (fires on step 2).
+{
+  for i in $(seq 0 23); do
+    prio=$(( (i % 3) * 4 ))
+    if [ $((i % 2)) = 0 ]; then inf=1 bs=0; else inf=0 bs=2; fi
+    printf '{"id":"job-%d","priority":%d,"sim_taxa":6,"sim_sites":60,"sim_seed":%d,"model":"jc","categories":2,"inferences":%d,"bootstraps":%d,"max_rounds":1}\n' \
+      "$i" "$prio" $((100 + i % 4)) "$inf" "$bs"
+  done
+  printf '{"id":"deadline-job","priority":9,"sim_taxa":6,"sim_sites":60,"model":"jc","categories":2,"inferences":0,"bootstraps":2,"max_rounds":1,"deadline_ms":0.01}\n'
+} > "$TMP/jobs.ndjson"
+
+"$BUILD"/tools/rxc-serve \
+  --jobs "$TMP/jobs.ndjson" --out "$TMP/results.ndjson" \
+  --devices 2 --kind spe --queue-capacity 8 \
+  --fault-device 0 --fault-after 2 --summary
+
+python3 - "$TMP/results.ndjson" <<'EOF'
+import json, sys
+
+records = [json.loads(line) for line in open(sys.argv[1])]
+by_state = {}
+retries = 0
+ok = True
+for r in records:
+    by_state.setdefault(r["state"], []).append(r["id"])
+    retries += r.get("retries", 0)
+    if r["state"] == "completed" and not (
+        "best_lnl" in r and r.get("best_newick")
+    ):
+        print(f"FAIL: {r['id']} completed without a result payload")
+        ok = False
+
+print(f"{len(records)} records: " +
+      ", ".join(f"{s}={len(ids)}" for s, ids in sorted(by_state.items())) +
+      f", total retries={retries}")
+
+if len(records) != 25:
+    print("FAIL: expected 25 result records")
+    ok = False
+if sorted(by_state) != ["completed", "expired"]:
+    print("FAIL: expected only completed/expired states")
+    ok = False
+if by_state.get("expired") != ["deadline-job"]:
+    print("FAIL: exactly deadline-job should expire")
+    ok = False
+if len(by_state.get("completed", [])) != 24:
+    print("FAIL: all 24 regular jobs should complete")
+    ok = False
+if retries < 1:
+    print("FAIL: the armed device fault never fired")
+    ok = False
+sys.exit(0 if ok else 1)
+EOF
+
+echo "serve smoke: OK"
