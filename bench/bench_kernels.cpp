@@ -69,6 +69,21 @@ struct KernelData {
     a.scaling = lh::ScalingCheck::kIntCast;
     return a;
   }
+
+  lh::EvaluateArgs evaluate_args() {
+    lh::EvaluateArgs a;
+    a.pmat = pmat1.data();
+    a.freqs = es.freqs.data();
+    a.ncat = kNcat;
+    a.cat = cat.data();
+    a.np = kNp;
+    a.partial1 = partial1.data();
+    a.scale1 = scale1.data();
+    a.partial2 = partial2.data();
+    a.scale2 = scale2.data();
+    a.weights = weights.data();
+    return a;
+  }
 };
 
 void BM_NewviewCatScalar(benchmark::State& state) {
@@ -107,21 +122,19 @@ BENCHMARK(BM_PmatricesSdk);
 
 void BM_EvaluateCat(benchmark::State& state) {
   KernelData d;
-  lh::EvaluateArgs a;
-  a.pmat = d.pmat1.data();
-  a.freqs = d.es.freqs.data();
-  a.ncat = kNcat;
-  a.cat = d.cat.data();
-  a.np = kNp;
-  a.partial1 = d.partial1.data();
-  a.scale1 = d.scale1.data();
-  a.partial2 = d.partial2.data();
-  a.scale2 = d.scale2.data();
-  a.weights = d.weights.data();
+  auto a = d.evaluate_args();
   for (auto _ : state) benchmark::DoNotOptimize(lh::evaluate_cat(a));
   state.SetItemsProcessed(state.iterations() * kNp);
 }
 BENCHMARK(BM_EvaluateCat);
+
+void BM_EvaluateCatSimd(benchmark::State& state) {
+  KernelData d;
+  auto a = d.evaluate_args();
+  for (auto _ : state) benchmark::DoNotOptimize(lh::evaluate_cat_simd(a));
+  state.SetItemsProcessed(state.iterations() * kNp);
+}
+BENCHMARK(BM_EvaluateCatSimd);
 
 void BM_SumtableCat(benchmark::State& state) {
   KernelData d;
@@ -139,6 +152,23 @@ void BM_SumtableCat(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kNp);
 }
 BENCHMARK(BM_SumtableCat);
+
+void BM_SumtableCatSimd(benchmark::State& state) {
+  KernelData d;
+  lh::SumtableArgs a;
+  a.es = &d.es;
+  a.ncat = kNcat;
+  a.np = kNp;
+  a.partial1 = d.partial1.data();
+  a.partial2 = d.partial2.data();
+  a.out = d.sumtable.data();
+  for (auto _ : state) {
+    lh::make_sumtable_cat_simd(a);
+    benchmark::DoNotOptimize(d.sumtable.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kNp);
+}
+BENCHMARK(BM_SumtableCatSimd);
 
 void BM_NrDerivativesCat(benchmark::State& state) {
   KernelData d;
@@ -198,4 +228,14 @@ BENCHMARK(BM_NewviewGammaScalarVsSimd)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Wall times for the *_simd benches are meaningless without knowing which
+// instruction set they dispatched to, so stamp it into the JSON context.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "rxc_simd_level", lh::simd_level_name(lh::active_simd_level()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -274,6 +274,19 @@ void register_executor_factory(ExecutorKind kind, ExecutorFactory factory) {
   r.factories[static_cast<int>(kind)] = factory;
 }
 
+bool executor_registered(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kHost:
+    case ExecutorKind::kThreaded:
+      return true;  // built into this library
+    case ExecutorKind::kSpe:
+      break;
+  }
+  FactoryRegistry& r = factory_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.factories[static_cast<int>(kind)] != nullptr;
+}
+
 std::unique_ptr<KernelExecutor> make_executor(const ExecutorSpec& spec) {
   // The factory is the one construction chokepoint, so picking up
   // RXC_TRACE/RXC_LOG here makes every executor-using binary observable

@@ -29,10 +29,6 @@
 
 namespace rxc::lh {
 
-/// RAxML's CAT palette ceiling (the paper's exp-call count implies 25);
-/// also the GAMMA quadrature bound we accept.
-inline constexpr int kMaxRateCategories = 25;
-
 /// Shared rate/model context for one task.
 struct TaskContext {
   const model::EigenSystem* es = nullptr;
@@ -220,6 +216,12 @@ using ExecutorFactory =
 /// Backends outside this library register their constructor here (the Cell
 /// executor does so from a static registrar in core/spe_executor.cpp).
 void register_executor_factory(ExecutorKind kind, ExecutorFactory factory);
+
+/// True when make_executor can build this kind in the current binary: always
+/// for the built-in host/threaded backends, for kSpe only when a factory was
+/// registered (i.e. rxc_core is linked).  registry.h uses this to include
+/// the simulated-Cell backend exactly where it is constructible.
+bool executor_registered(ExecutorKind kind);
 
 /// The single construction path for executors: validates `spec` and builds
 /// the requested backend.  Throws rxc::Error if the backend is not

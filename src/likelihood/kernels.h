@@ -31,6 +31,35 @@ namespace rxc::lh {
 
 enum class RateMode { kCat, kGamma };
 
+/// RAxML's CAT palette ceiling (the paper's exp-call count implies 25);
+/// also the GAMMA quadrature bound we accept.  Lives here (not executor.h)
+/// because the vectorized kernels size per-invocation scratch with it.
+inline constexpr int kMaxRateCategories = 25;
+/// Doubles in a full transition-matrix set (ncat 4x4 matrices).
+inline constexpr int kMaxPmatDoubles = kMaxRateCategories * 16;
+
+// ---------------------------------------------------------------------
+// SIMD dispatch
+//
+// The *_simd kernels pick their implementation at runtime from the CPU:
+// AVX2+FMA where available, the 2-wide SSE2 scheme otherwise, scalar as the
+// last resort.  Dispatch is process-global so every executor (host,
+// threaded, simulated SPE) computes identical bits for a given level.  The
+// level can be capped — never raised past what the CPU supports — via the
+// RXC_SIMD environment variable (scalar|sse2|avx2) or set_simd_level(),
+// which tests use to differentially compare the levels in one process.
+
+enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Best level this CPU (and build) can run, after applying the RXC_SIMD cap.
+SimdLevel detect_simd_level();
+/// Level the *_simd kernels currently dispatch to.
+SimdLevel active_simd_level();
+/// Caps the active level (requests above detect_simd_level() are clamped
+/// down, so asking for AVX2 on an SSE2 box safely degrades).  Thread-safe.
+void set_simd_level(SimdLevel level);
+const char* simd_level_name(SimdLevel level);
+
 /// Branch-length bounds (expected substitutions/site), RAxML-style; shared
 /// by the DNA and protein engines' Newton-Raphson optimizers.
 inline constexpr double kMinBranch = 1e-8;
@@ -96,8 +125,8 @@ struct NewviewArgs {
 std::uint64_t newview_cat(const NewviewArgs& a);
 std::uint64_t newview_gamma(const NewviewArgs& a);
 
-/// SIMD (2-wide double) kernels; exact same contract.  Fall back to scalar
-/// when the build lacks SSE2.
+/// Vectorized kernels; exact same contract.  Dispatch on active_simd_level()
+/// (AVX2/FMA, SSE2, or the scalar fallback).
 std::uint64_t newview_cat_simd(const NewviewArgs& a);
 std::uint64_t newview_gamma_simd(const NewviewArgs& a);
 
@@ -127,7 +156,7 @@ struct EvaluateArgs {
 double evaluate_cat(const EvaluateArgs& a);
 double evaluate_gamma(const EvaluateArgs& a);
 
-/// SIMD variants (2-wide double; scalar fallback without SSE2).
+/// Vectorized variants (runtime dispatch like newview_*_simd).
 double evaluate_cat_simd(const EvaluateArgs& a);
 double evaluate_gamma_simd(const EvaluateArgs& a);
 

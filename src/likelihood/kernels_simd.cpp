@@ -1,144 +1,314 @@
 /// \file kernels_simd.cpp
-/// 2-wide double SIMD newview kernels (paper §5.2.5, Figure 2).
+/// Vectorized likelihood kernels with runtime CPU dispatch.
 ///
-/// The SPE's 128-bit vector registers hold two doubles; the paper's
-/// vectorization splats each child likelihood entry (spu_splats) and
-/// multiply-adds gathered transition-matrix columns (spu_madd).  On the
-/// host we mirror that scheme with SSE2: _mm_set1_pd for the splats,
-/// _mm_set_pd gathers for the matrix columns, mul+add for the madds, and
-/// _mm_cmplt_pd/_mm_movemask_pd for the vectorized scaling conditional.
-/// Builds without SSE2 fall back to the scalar kernels.
+/// The paper's SPE scheme (§5.2.5, Figure 2) splats each child likelihood
+/// entry and multiply-adds gathered transition-matrix columns.  Mirrored
+/// naively on the host that gather (_mm_set_pd per column, per pattern) is
+/// what made the old "SIMD" kernels *slower* than scalar: 8 two-element
+/// gathers per pattern cost more than the 32 madds they fed.
+///
+/// The rewrite restructures the loops around a per-invocation matrix
+/// transpose: column j of each 4x4 transition matrix becomes a contiguous
+/// row, so the hot loop is broadcast + aligned vector load + FMA with zero
+/// shuffles.  The transpose costs ncat*16 scalar copies once per invocation
+/// and is amortized over the pattern strip.
+///
+/// Three implementations selected at runtime (see kernels.h):
+///   kAvx2   — 4-wide double AVX2+FMA, compiled via function target
+///             attributes so the object file builds (and sanitizes) on any
+///             x86-64 toolchain without -mavx2, and the binary still runs
+///             on CPUs without AVX2;
+///   kSse2   — the 2-wide scheme, kept for pre-AVX2 x86;
+///   kScalar — the plain kernels (non-x86 builds).
+///
+/// All three are deterministic; dispatch is process-global, so host,
+/// threaded and simulated-SPE executors agree bitwise at any level.
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
 
 #include "likelihood/kernels.h"
 #include "likelihood/tip_table.h"
 #include "support/error.h"
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-#if defined(__AVX2__)
+#if defined(__x86_64__) || defined(__i386__)
+#define RXC_SIMD_X86 1
 #include <immintrin.h>
 #endif
 
 namespace rxc::lh {
 
-#if defined(__SSE2__)
+// --- dispatch ---------------------------------------------------------------
 
 namespace {
 
-/// Two rows (r, r+1) of the 4x4 matvec P * l, as one vector.
-inline __m128d matvec_pair(const double* p, int row, __m128d l0, __m128d l1,
-                           __m128d l2, __m128d l3) {
-  // Column j over rows {row, row+1}: low lane = row, high lane = row+1.
-  const __m128d c0 = _mm_set_pd(p[(row + 1) * 4 + 0], p[row * 4 + 0]);
-  const __m128d c1 = _mm_set_pd(p[(row + 1) * 4 + 1], p[row * 4 + 1]);
-  const __m128d c2 = _mm_set_pd(p[(row + 1) * 4 + 2], p[row * 4 + 2]);
-  const __m128d c3 = _mm_set_pd(p[(row + 1) * 4 + 3], p[row * 4 + 3]);
-  __m128d acc = _mm_mul_pd(c0, l0);
-  acc = _mm_add_pd(acc, _mm_mul_pd(c1, l1));
-  acc = _mm_add_pd(acc, _mm_mul_pd(c2, l2));
-  acc = _mm_add_pd(acc, _mm_mul_pd(c3, l3));
-  return acc;
-}
-
-/// Branch-free "all 4 entries < kMinLikelihood" over out[0..3].
-inline bool all_below_ml(const double* out) {
-  const __m128d ml = _mm_set1_pd(kMinLikelihood);
-  const __m128d abs_mask =
-      _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL));
-  const __m128d v01 = _mm_and_pd(_mm_loadu_pd(out), abs_mask);
-  const __m128d v23 = _mm_and_pd(_mm_loadu_pd(out + 2), abs_mask);
-  const int m01 = _mm_movemask_pd(_mm_cmplt_pd(v01, ml));
-  const int m23 = _mm_movemask_pd(_mm_cmplt_pd(v23, ml));
-  return (m01 & m23) == 0x3;
-}
-
-#if defined(__AVX2__)
-
-/// 4-wide AVX2 body: all four states of (P*l) in one register — the modern
-/// host's widening of the paper's 2-wide SPE scheme.  Uses FMA when the
-/// target has it.
-inline __m256d matvec_avx(const double* p, __m256d l0, __m256d l1,
-                          __m256d l2, __m256d l3) {
-  // Column j of P over all four rows (stride-4 gather).
-  const __m256d c0 = _mm256_set_pd(p[12], p[8], p[4], p[0]);
-  const __m256d c1 = _mm256_set_pd(p[13], p[9], p[5], p[1]);
-  const __m256d c2 = _mm256_set_pd(p[14], p[10], p[6], p[2]);
-  const __m256d c3 = _mm256_set_pd(p[15], p[11], p[7], p[3]);
-#if defined(__FMA__)
-  __m256d acc = _mm256_mul_pd(c0, l0);
-  acc = _mm256_fmadd_pd(c1, l1, acc);
-  acc = _mm256_fmadd_pd(c2, l2, acc);
-  acc = _mm256_fmadd_pd(c3, l3, acc);
-#else
-  __m256d acc = _mm256_mul_pd(c0, l0);
-  acc = _mm256_add_pd(acc, _mm256_mul_pd(c1, l1));
-  acc = _mm256_add_pd(acc, _mm256_mul_pd(c2, l2));
-  acc = _mm256_add_pd(acc, _mm256_mul_pd(c3, l3));
+SimdLevel cpu_best_level() {
+#if defined(RXC_SIMD_X86)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return SimdLevel::kAvx2;
+#if defined(__SSE2__)
+  return SimdLevel::kSse2;
 #endif
-  return acc;
+#endif
+  return SimdLevel::kScalar;
 }
 
-inline void newview_body(const double* p1, const double* p2, const double* l1,
-                         const double* l2, double* out) {
-  const __m256d s1 =
-      matvec_avx(p1, _mm256_set1_pd(l1[0]), _mm256_set1_pd(l1[1]),
-                 _mm256_set1_pd(l1[2]), _mm256_set1_pd(l1[3]));
-  const __m256d s2 =
-      matvec_avx(p2, _mm256_set1_pd(l2[0]), _mm256_set1_pd(l2[1]),
-                 _mm256_set1_pd(l2[2]), _mm256_set1_pd(l2[3]));
-  _mm256_storeu_pd(out, _mm256_mul_pd(s1, s2));
+SimdLevel env_cap() {
+  const char* env = std::getenv("RXC_SIMD");
+  if (env == nullptr) return SimdLevel::kAvx2;
+  const std::string want(env);
+  if (want == "scalar") return SimdLevel::kScalar;
+  if (want == "sse2") return SimdLevel::kSse2;
+  if (want == "avx2") return SimdLevel::kAvx2;
+  throw ConfigError("RXC_SIMD must be scalar|sse2|avx2, got '" + want + "'");
 }
 
-#else  // SSE2 only
-
-/// One pattern-slot of the vectorized newview body: out[0..3] =
-/// (P1*l1) .* (P2*l2).
-inline void newview_body(const double* p1, const double* p2, const double* l1,
-                         const double* l2, double* out) {
-  const __m128d a0 = _mm_set1_pd(l1[0]);
-  const __m128d a1 = _mm_set1_pd(l1[1]);
-  const __m128d a2 = _mm_set1_pd(l1[2]);
-  const __m128d a3 = _mm_set1_pd(l1[3]);
-  const __m128d b0 = _mm_set1_pd(l2[0]);
-  const __m128d b1 = _mm_set1_pd(l2[1]);
-  const __m128d b2 = _mm_set1_pd(l2[2]);
-  const __m128d b3 = _mm_set1_pd(l2[3]);
-  const __m128d s1_01 = matvec_pair(p1, 0, a0, a1, a2, a3);
-  const __m128d s1_23 = matvec_pair(p1, 2, a0, a1, a2, a3);
-  const __m128d s2_01 = matvec_pair(p2, 0, b0, b1, b2, b3);
-  const __m128d s2_23 = matvec_pair(p2, 2, b0, b1, b2, b3);
-  _mm_storeu_pd(out, _mm_mul_pd(s1_01, s2_01));
-  _mm_storeu_pd(out + 2, _mm_mul_pd(s1_23, s2_23));
-}
-
-#endif  // __AVX2__
+/// Active level, encoded level+1 so 0 means "not yet detected".
+std::atomic<int> g_level{0};
 
 }  // namespace
 
-std::uint64_t newview_cat_simd(const NewviewArgs& a) {
-  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
-  std::uint64_t scale_events = 0;
-  const __m128d scale_v = _mm_set1_pd(kScaleFactor);
-  for (std::size_t p = 0; p < a.np; ++p) {
-    const int c = a.cat ? a.cat[p] : 0;
-    const double* l1 =
-        a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
-    const double* l2 =
-        a.tip2 ? kTipTable.row(a.tip2[p]) : a.partial2 + p * 4;
-    double* out = a.out + p * 4;
-    newview_body(a.pmat1 + c * 16, a.pmat2 + c * 16, l1, l2, out);
+SimdLevel detect_simd_level() {
+  return std::min(cpu_best_level(), env_cap());
+}
 
-    std::int32_t scale = (a.scale1 ? a.scale1[p] : 0) +
-                         (a.scale2 ? a.scale2[p] : 0);
-    const bool below = a.scaling == ScalingCheck::kIntCast
-                           ? all_below_ml(out)
-                           : needs_scaling_fp(out, 4);
+SimdLevel active_simd_level() {
+  int encoded = g_level.load(std::memory_order_relaxed);
+  if (encoded == 0) {
+    // Benign race: every thread computes the same value.
+    encoded = static_cast<int>(detect_simd_level()) + 1;
+    g_level.store(encoded, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(encoded - 1);
+}
+
+void set_simd_level(SimdLevel level) {
+  const SimdLevel capped = std::min(level, detect_simd_level());
+  g_level.store(static_cast<int>(capped) + 1, std::memory_order_relaxed);
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+// --- shared helpers ---------------------------------------------------------
+
+namespace {
+
+/// Transposes ncat 4x4 matrices so matrix column j is a contiguous run of
+/// 4 doubles (tp[c*16 + j*4 + i] = p[c*16 + i*4 + j]).  The vector kernels
+/// then compute P*l as sum_j l[j] * column_j with plain loads, no gathers.
+inline void transpose_pmats(const double* p, int ncat, double* tp) {
+  for (int c = 0; c < ncat; ++c) {
+    const double* m = p + c * 16;
+    double* t = tp + c * 16;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) t[j * 4 + i] = m[i * 4 + j];
+  }
+}
+
+inline std::int32_t scale_in(const std::int32_t* scale, std::size_t p) {
+  return scale ? scale[p] : 0;
+}
+
+}  // namespace
+
+// --- AVX2 + FMA path --------------------------------------------------------
+
+#if defined(RXC_SIMD_X86)
+
+#define RXC_TARGET_AVX2 __attribute__((target("avx2,fma")))
+
+namespace avx2 {
+
+/// P*l from a transposed matrix: broadcast each l[j], FMA its column row.
+/// Two accumulators halve the FMA dependency chain (the kernels are
+/// latency-bound, not throughput-bound, at 4 states).
+RXC_TARGET_AVX2 inline __m256d matvec_t(const double* tp, const double* l) {
+  __m256d even = _mm256_mul_pd(_mm256_broadcast_sd(l), _mm256_loadu_pd(tp));
+  __m256d odd =
+      _mm256_mul_pd(_mm256_broadcast_sd(l + 1), _mm256_loadu_pd(tp + 4));
+  even = _mm256_fmadd_pd(_mm256_broadcast_sd(l + 2), _mm256_loadu_pd(tp + 8),
+                         even);
+  odd = _mm256_fmadd_pd(_mm256_broadcast_sd(l + 3), _mm256_loadu_pd(tp + 12),
+                        odd);
+  return _mm256_add_pd(even, odd);
+}
+
+/// all(|v_i| < kMinLikelihood) — the vector form of both conditional
+/// variants (they agree on the likelihood domain: finite, non-NaN).
+RXC_TARGET_AVX2 inline bool all_below_ml(__m256d v) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d lt = _mm256_cmp_pd(_mm256_and_pd(v, abs_mask),
+                                   _mm256_set1_pd(kMinLikelihood), _CMP_LT_OQ);
+  return _mm256_movemask_pd(lt) == 0xF;
+}
+
+/// Pairwise horizontal sum (l0+l1)+(l2+l3).  Every evaluate pattern — full
+/// block or tail — reduces with exactly this tree, so per-pattern values are
+/// independent of strip offset and chunk length (the bitwise cross-executor
+/// pairs depend on that).
+RXC_TARGET_AVX2 inline double hsum_pairwise(__m256d v) {
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, v);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+/// Four horizontal sums at once: lane p of the result is the pairwise sum
+/// of vp — bit-identical to hsum_pairwise(vp).
+RXC_TARGET_AVX2 inline __m256d reduce4(__m256d v0, __m256d v1, __m256d v2,
+                                       __m256d v3) {
+  const __m256d t01 = _mm256_hadd_pd(v0, v1);  // [v0_01 v1_01 v0_23 v1_23]
+  const __m256d t23 = _mm256_hadd_pd(v2, v3);
+  const __m256d lo = _mm256_permute2f128_pd(t01, t23, 0x20);
+  const __m256d hi = _mm256_permute2f128_pd(t01, t23, 0x31);
+  return _mm256_add_pd(lo, hi);
+}
+
+/// Four log()s at once — the scalar std::log per pattern is what kept the
+/// old evaluate kernel at parity with scalar.  Decompose x = m * 2^k with
+/// m in [1/sqrt2, sqrt2), then log(m) = 2*atanh(s), s = (m-1)/(m+1), via
+/// the odd series truncated at s^19 (|s| <= 0.1716 makes the next term
+/// < 1e-17, below double rounding).  Worst-case error is a couple of ULP;
+/// no cancellation is possible because |log m| <= 0.347 < ln2.
+///
+/// Each lane depends only on its own input, so padding tail blocks with 1.0
+/// reproduces full-block bits exactly.  Callers guarantee positive inputs
+/// >= 1e-300 (the kernels clamp); +inf falls back to std::log outside.
+RXC_TARGET_AVX2 inline __m256d log4_pd(__m256d x) {
+  const __m256i mant_mask = _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL);
+  const __m256i half_bits = _mm256_set1_epi64x(0x3FE0000000000000LL);
+  const __m256i xi = _mm256_castpd_si256(x);
+  // Exponent as int32 per lane: x = m0 * 2^k0 with m0 in [0.5, 1).
+  const __m256i k64 = _mm256_sub_epi64(_mm256_srli_epi64(xi, 52),
+                                       _mm256_set1_epi64x(1022));
+  const __m128i k32 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+      k64, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0)));
+  __m256d k = _mm256_cvtepi32_pd(k32);
+  __m256d m = _mm256_castsi256_pd(
+      _mm256_or_si256(_mm256_and_si256(xi, mant_mask), half_bits));
+  // Shift m into [1/sqrt2, sqrt2): double it (and drop k) below the split.
+  const __m256d below =
+      _mm256_cmp_pd(m, _mm256_set1_pd(0.70710678118654752440), _CMP_LT_OQ);
+  m = _mm256_add_pd(m, _mm256_and_pd(below, m));
+  k = _mm256_add_pd(k, _mm256_and_pd(below, _mm256_set1_pd(-1.0)));
+
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d s =
+      _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+  const __m256d w = _mm256_mul_pd(s, s);
+  const __m256d w2 = _mm256_mul_pd(w, w);
+  // 2*atanh series coefficients 2/(2i+1), Estrin over w^2 (two chains).
+  __m256d even = _mm256_set1_pd(2.0 / 17.0);
+  __m256d odd = _mm256_set1_pd(2.0 / 19.0);
+  even = _mm256_fmadd_pd(even, w2, _mm256_set1_pd(2.0 / 13.0));
+  odd = _mm256_fmadd_pd(odd, w2, _mm256_set1_pd(2.0 / 15.0));
+  even = _mm256_fmadd_pd(even, w2, _mm256_set1_pd(2.0 / 9.0));
+  odd = _mm256_fmadd_pd(odd, w2, _mm256_set1_pd(2.0 / 11.0));
+  even = _mm256_fmadd_pd(even, w2, _mm256_set1_pd(2.0 / 5.0));
+  odd = _mm256_fmadd_pd(odd, w2, _mm256_set1_pd(2.0 / 7.0));
+  even = _mm256_fmadd_pd(even, w2, _mm256_set1_pd(2.0));
+  odd = _mm256_fmadd_pd(odd, w2, _mm256_set1_pd(2.0 / 3.0));
+  const __m256d poly = _mm256_fmadd_pd(odd, w, even);
+  const __m256d logm = _mm256_mul_pd(s, poly);
+  // k*ln2 in hi/lo halves: k*ln2_hi is exact (|k| <= 1075 < 2^11, ln2_hi
+  // carries 42 mantissa bits).
+  const __m256d ln2_hi = _mm256_set1_pd(6.93147180369123816490e-01);
+  const __m256d ln2_lo = _mm256_set1_pd(1.90821492927058770002e-10);
+  return _mm256_fmadd_pd(k, ln2_hi, _mm256_fmadd_pd(k, ln2_lo, logm));
+}
+
+RXC_TARGET_AVX2 std::uint64_t newview_cat(const NewviewArgs& a) {
+  alignas(32) double tp1[kMaxPmatDoubles], tp2[kMaxPmatDoubles];
+  transpose_pmats(a.pmat1, a.ncat, tp1);
+  transpose_pmats(a.pmat2, a.ncat, tp2);
+  // Hot fields in locals so the stores through `out` cannot force re-loads.
+  const int* cat = a.cat;
+  const seq::DnaCode* tip1 = a.tip1;
+  const seq::DnaCode* tip2 = a.tip2;
+  const double* partial1 = a.partial1;
+  const double* partial2 = a.partial2;
+  const std::int32_t* scale1 = a.scale1;
+  const std::int32_t* scale2 = a.scale2;
+  double* out = a.out;
+  std::int32_t* scale_out = a.scale_out;
+  const __m256d scale_v = _mm256_set1_pd(kScaleFactor);
+  std::uint64_t scale_events = 0;
+
+  auto child1 = [&](std::size_t p) {
+    return tip1 ? kTipTable.row(tip1[p]) : partial1 + p * 4;
+  };
+  auto child2 = [&](std::size_t p) {
+    return tip2 ? kTipTable.row(tip2[p]) : partial2 + p * 4;
+  };
+  auto finish = [&](std::size_t p, __m256d r) {
+    std::int32_t scale = scale_in(scale1, p) + scale_in(scale2, p);
+    if (all_below_ml(r)) {
+      r = _mm256_mul_pd(r, scale_v);
+      ++scale;
+      ++scale_events;
+    }
+    _mm256_storeu_pd(out + p * 4, r);
+    scale_out[p] = scale;
+  };
+
+  // Two patterns per iteration: four independent FMA chains in flight.
+  std::size_t p = 0;
+  for (; p + 2 <= a.np; p += 2) {
+    const int ca = cat ? cat[p] : 0;
+    const int cb = cat ? cat[p + 1] : 0;
+    const __m256d ra = _mm256_mul_pd(matvec_t(tp1 + ca * 16, child1(p)),
+                                     matvec_t(tp2 + ca * 16, child2(p)));
+    const __m256d rb =
+        _mm256_mul_pd(matvec_t(tp1 + cb * 16, child1(p + 1)),
+                      matvec_t(tp2 + cb * 16, child2(p + 1)));
+    finish(p, ra);
+    finish(p + 1, rb);
+  }
+  for (; p < a.np; ++p) {
+    const int c = cat ? cat[p] : 0;
+    finish(p, _mm256_mul_pd(matvec_t(tp1 + c * 16, child1(p)),
+                            matvec_t(tp2 + c * 16, child2(p))));
+  }
+  return scale_events;
+}
+
+RXC_TARGET_AVX2 std::uint64_t newview_gamma(const NewviewArgs& a) {
+  alignas(32) double tp1[kMaxPmatDoubles], tp2[kMaxPmatDoubles];
+  const int ncat = a.ncat;
+  transpose_pmats(a.pmat1, ncat, tp1);
+  transpose_pmats(a.pmat2, ncat, tp2);
+  const __m256d scale_v = _mm256_set1_pd(kScaleFactor);
+  std::uint64_t scale_events = 0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double* out = a.out + p * static_cast<std::size_t>(ncat) * 4;
+    bool below = true;
+    for (int c = 0; c < ncat; ++c) {
+      const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* l1 = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      const double* l2 = a.tip2 ? kTipTable.row(a.tip2[p]) : a.partial2 + idx;
+      const __m256d r = _mm256_mul_pd(matvec_t(tp1 + c * 16, l1),
+                                      matvec_t(tp2 + c * 16, l2));
+      below = below && all_below_ml(r);
+      _mm256_storeu_pd(out + c * 4, r);
+    }
+    std::int32_t scale = scale_in(a.scale1, p) + scale_in(a.scale2, p);
     if (below) {
-      _mm_storeu_pd(out, _mm_mul_pd(_mm_loadu_pd(out), scale_v));
-      _mm_storeu_pd(out + 2, _mm_mul_pd(_mm_loadu_pd(out + 2), scale_v));
+      for (int c = 0; c < ncat; ++c) {
+        const __m256d v = _mm256_loadu_pd(out + c * 4);
+        _mm256_storeu_pd(out + c * 4, _mm256_mul_pd(v, scale_v));
+      }
       ++scale;
       ++scale_events;
     }
@@ -147,29 +317,226 @@ std::uint64_t newview_cat_simd(const NewviewArgs& a) {
   return scale_events;
 }
 
-std::uint64_t newview_gamma_simd(const NewviewArgs& a) {
-  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+/// Shared evaluate tail: clamp a block of <= 4 site terms, take their logs
+/// in one log4_pd, then apply scale corrections and accumulate in pattern
+/// order (matching the scalar kernels' running-sum order).  Lanes past `n`
+/// hold the 1.0 padding and are ignored.
+struct EvaluateAccum {
+  const std::int32_t* scale1;
+  const std::int32_t* scale2;
+  const double* weights;
+  double* site_out;
+  double lnl = 0.0;
+
+  RXC_TARGET_AVX2 void block(std::size_t base, std::size_t n, __m256d terms) {
+    terms = _mm256_max_pd(terms, _mm256_set1_pd(1e-300));
+    // log4_pd assumes finite input; +inf (outside the likelihood domain,
+    // but cheap to honor) falls back to std::log lane-wise.
+    const int finite = _mm256_movemask_pd(_mm256_cmp_pd(
+        terms, _mm256_set1_pd(std::numeric_limits<double>::max()),
+        _CMP_LE_OQ));
+    alignas(32) double t[4], logs[4];
+    _mm256_store_pd(t, terms);
+    _mm256_store_pd(logs, log4_pd(terms));
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t p = base + j;
+      const double log_term =
+          ((finite >> j) & 1) ? logs[j] : std::log(t[j]);
+      const double scale =
+          static_cast<double>(scale_in(scale1, p) + scale_in(scale2, p));
+      const double site = log_term - scale * kLogScaleFactor;
+      if (site_out) site_out[p] = site;
+      lnl += weights[p] * site;
+    }
+  }
+};
+
+RXC_TARGET_AVX2 double evaluate_cat(const EvaluateArgs& a) {
+  alignas(32) double tp[kMaxPmatDoubles];
+  transpose_pmats(a.pmat, a.ncat, tp);
+  const __m256d f = _mm256_loadu_pd(a.freqs);
+  const int* cat = a.cat;
+  const seq::DnaCode* tip1 = a.tip1;
+  const double* partial1 = a.partial1;
+  const double* partial2 = a.partial2;
+  EvaluateAccum acc{a.scale1, a.scale2, a.weights, a.site_lnl_out};
+
+  auto term_vec = [&](std::size_t p) {
+    const int c = cat ? cat[p] : 0;
+    const double* va = tip1 ? kTipTable.row(tip1[p]) : partial1 + p * 4;
+    const __m256d bp = matvec_t(tp + c * 16, partial2 + p * 4);
+    return _mm256_mul_pd(_mm256_mul_pd(f, _mm256_loadu_pd(va)), bp);
+  };
+
+  std::size_t p = 0;
+  for (; p + 4 <= a.np; p += 4) {
+    acc.block(p, 4,
+              reduce4(term_vec(p), term_vec(p + 1), term_vec(p + 2),
+                      term_vec(p + 3)));
+  }
+  if (p < a.np) {
+    alignas(32) double t[4] = {1.0, 1.0, 1.0, 1.0};
+    for (std::size_t j = 0; p + j < a.np; ++j)
+      t[j] = hsum_pairwise(term_vec(p + j));
+    acc.block(p, a.np - p, _mm256_load_pd(t));
+  }
+  return acc.lnl;
+}
+
+RXC_TARGET_AVX2 double evaluate_gamma(const EvaluateArgs& a) {
+  alignas(32) double tp[kMaxPmatDoubles];
   const int ncat = a.ncat;
-  std::uint64_t scale_events = 0;
-  const __m128d scale_v = _mm_set1_pd(kScaleFactor);
-  for (std::size_t p = 0; p < a.np; ++p) {
-    double* out = a.out + p * static_cast<std::size_t>(ncat) * 4;
+  transpose_pmats(a.pmat, ncat, tp);
+  const __m256d f = _mm256_loadu_pd(a.freqs);
+  const double catw = 1.0 / static_cast<double>(ncat);
+  EvaluateAccum acc{a.scale1, a.scale2, a.weights, a.site_lnl_out};
+
+  // Per-pattern category sums are lane-wise and reduce pairwise, so every
+  // pattern's term is independent of its position in the strip/block.
+  auto term_of = [&](std::size_t p) {
+    __m256d sum = _mm256_setzero_pd();
     for (int c = 0; c < ncat; ++c) {
       const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
-      const double* l1 =
-          a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
-      const double* l2 =
-          a.tip2 ? kTipTable.row(a.tip2[p]) : a.partial2 + idx;
-      newview_body(a.pmat1 + c * 16, a.pmat2 + c * 16, l1, l2, out + c * 4);
+      const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      const __m256d bp = matvec_t(tp + c * 16, a.partial2 + idx);
+      sum = _mm256_fmadd_pd(_mm256_mul_pd(f, _mm256_loadu_pd(va)), bp, sum);
     }
-    std::int32_t scale = (a.scale1 ? a.scale1[p] : 0) +
-                         (a.scale2 ? a.scale2[p] : 0);
+    return hsum_pairwise(sum) * catw;
+  };
+
+  for (std::size_t p = 0; p < a.np; p += 4) {
+    const std::size_t n = a.np - p < 4 ? a.np - p : 4;
+    alignas(32) double t[4] = {1.0, 1.0, 1.0, 1.0};
+    for (std::size_t j = 0; j < n; ++j) t[j] = term_of(p + j);
+    acc.block(p, n, _mm256_load_pd(t));
+  }
+  return acc.lnl;
+}
+
+/// One pattern-slot of the sumtable.  U's rows are already contiguous in k;
+/// V needs its columns contiguous, so the caller passes V transposed.
+RXC_TARGET_AVX2 inline void sumtable_body(const double* u, const double* vt,
+                                          const double* fva, const double* vb,
+                                          double* s) {
+  __m256d left = _mm256_mul_pd(_mm256_broadcast_sd(fva), _mm256_loadu_pd(u));
+  __m256d right = _mm256_mul_pd(_mm256_broadcast_sd(vb), _mm256_loadu_pd(vt));
+  for (int i = 1; i < 4; ++i) {
+    left = _mm256_fmadd_pd(_mm256_broadcast_sd(fva + i),
+                           _mm256_loadu_pd(u + i * 4), left);
+    right = _mm256_fmadd_pd(_mm256_broadcast_sd(vb + i),
+                            _mm256_loadu_pd(vt + i * 4), right);
+  }
+  _mm256_storeu_pd(s, _mm256_mul_pd(left, right));
+}
+
+RXC_TARGET_AVX2 void make_sumtable_cat(const SumtableArgs& a) {
+  const auto& es = *a.es;
+  alignas(32) double vt[16];
+  transpose_pmats(es.v.data(), 1, vt);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    alignas(32) double fva[4];
+    for (int i = 0; i < 4; ++i) fva[i] = es.freqs[i] * va[i];
+    sumtable_body(es.u.data(), vt, fva, a.partial2 + p * 4, a.out + p * 4);
+  }
+}
+
+RXC_TARGET_AVX2 void make_sumtable_gamma(const SumtableArgs& a) {
+  const auto& es = *a.es;
+  const int ncat = a.ncat;
+  alignas(32) double vt[16];
+  transpose_pmats(es.v.data(), 1, vt);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    for (int c = 0; c < ncat; ++c) {
+      const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      alignas(32) double fva[4];
+      for (int i = 0; i < 4; ++i) fva[i] = es.freqs[i] * va[i];
+      sumtable_body(es.u.data(), vt, fva, a.partial2 + idx, a.out + idx);
+    }
+  }
+}
+
+}  // namespace avx2
+
+#endif  // RXC_SIMD_X86
+
+// --- SSE2 path --------------------------------------------------------------
+
+#if defined(RXC_SIMD_X86) && defined(__SSE2__)
+
+namespace sse2 {
+
+/// Rows {row, row+1} of P*l from the transposed matrix: column j of P over
+/// this row pair is a contiguous 2-vector at tp[j*4 + row].
+inline __m128d matvec_pair_t(const double* tp, int row, const double* l) {
+  __m128d acc = _mm_mul_pd(_mm_set1_pd(l[0]), _mm_loadu_pd(tp + row));
+  acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(l[1]), _mm_loadu_pd(tp + 4 + row)));
+  acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(l[2]), _mm_loadu_pd(tp + 8 + row)));
+  acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(l[3]), _mm_loadu_pd(tp + 12 + row)));
+  return acc;
+}
+
+inline bool all_below_ml(__m128d v01, __m128d v23) {
+  const __m128d ml = _mm_set1_pd(kMinLikelihood);
+  const __m128d abs_mask =
+      _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL));
+  const int m01 = _mm_movemask_pd(_mm_cmplt_pd(_mm_and_pd(v01, abs_mask), ml));
+  const int m23 = _mm_movemask_pd(_mm_cmplt_pd(_mm_and_pd(v23, abs_mask), ml));
+  return (m01 & m23) == 0x3;
+}
+
+std::uint64_t newview_cat(const NewviewArgs& a) {
+  alignas(16) double tp1[kMaxPmatDoubles], tp2[kMaxPmatDoubles];
+  transpose_pmats(a.pmat1, a.ncat, tp1);
+  transpose_pmats(a.pmat2, a.ncat, tp2);
+  const __m128d scale_v = _mm_set1_pd(kScaleFactor);
+  std::uint64_t scale_events = 0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const int c = a.cat ? a.cat[p] : 0;
+    const double* l1 = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    const double* l2 = a.tip2 ? kTipTable.row(a.tip2[p]) : a.partial2 + p * 4;
+    __m128d r01 = _mm_mul_pd(matvec_pair_t(tp1 + c * 16, 0, l1),
+                             matvec_pair_t(tp2 + c * 16, 0, l2));
+    __m128d r23 = _mm_mul_pd(matvec_pair_t(tp1 + c * 16, 2, l1),
+                             matvec_pair_t(tp2 + c * 16, 2, l2));
+    std::int32_t scale = scale_in(a.scale1, p) + scale_in(a.scale2, p);
+    if (all_below_ml(r01, r23)) {
+      r01 = _mm_mul_pd(r01, scale_v);
+      r23 = _mm_mul_pd(r23, scale_v);
+      ++scale;
+      ++scale_events;
+    }
+    _mm_storeu_pd(a.out + p * 4, r01);
+    _mm_storeu_pd(a.out + p * 4 + 2, r23);
+    a.scale_out[p] = scale;
+  }
+  return scale_events;
+}
+
+std::uint64_t newview_gamma(const NewviewArgs& a) {
+  alignas(16) double tp1[kMaxPmatDoubles], tp2[kMaxPmatDoubles];
+  const int ncat = a.ncat;
+  transpose_pmats(a.pmat1, ncat, tp1);
+  transpose_pmats(a.pmat2, ncat, tp2);
+  const __m128d scale_v = _mm_set1_pd(kScaleFactor);
+  std::uint64_t scale_events = 0;
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double* out = a.out + p * static_cast<std::size_t>(ncat) * 4;
     bool below = true;
-    for (int c = 0; below && c < ncat; ++c) {
-      below = a.scaling == ScalingCheck::kIntCast
-                  ? all_below_ml(out + c * 4)
-                  : needs_scaling_fp(out + c * 4, 4);
+    for (int c = 0; c < ncat; ++c) {
+      const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* l1 = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      const double* l2 = a.tip2 ? kTipTable.row(a.tip2[p]) : a.partial2 + idx;
+      const __m128d r01 = _mm_mul_pd(matvec_pair_t(tp1 + c * 16, 0, l1),
+                                     matvec_pair_t(tp2 + c * 16, 0, l2));
+      const __m128d r23 = _mm_mul_pd(matvec_pair_t(tp1 + c * 16, 2, l1),
+                                     matvec_pair_t(tp2 + c * 16, 2, l2));
+      below = below && all_below_ml(r01, r23);
+      _mm_storeu_pd(out + c * 4, r01);
+      _mm_storeu_pd(out + c * 4 + 2, r23);
     }
+    std::int32_t scale = scale_in(a.scale1, p) + scale_in(a.scale2, p);
     if (below) {
       for (int i = 0; i < 2 * ncat; ++i) {
         const __m128d v = _mm_loadu_pd(out + i * 2);
@@ -183,35 +550,28 @@ std::uint64_t newview_gamma_simd(const NewviewArgs& a) {
   return scale_events;
 }
 
-double evaluate_cat_simd(const EvaluateArgs& a) {
-  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+double evaluate_cat(const EvaluateArgs& a) {
+  alignas(16) double tp[kMaxPmatDoubles];
+  transpose_pmats(a.pmat, a.ncat, tp);
+  const __m128d f01 = _mm_loadu_pd(a.freqs);
+  const __m128d f23 = _mm_loadu_pd(a.freqs + 2);
   double lnl = 0.0;
   for (std::size_t p = 0; p < a.np; ++p) {
     const int c = a.cat ? a.cat[p] : 0;
-    const double* pm = a.pmat + c * 16;
-    const double* va =
-        a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
     const double* vb = a.partial2 + p * 4;
-    // b' = P * vb over row pairs, then term = sum_i f_i * va_i * b'_i.
-    const __m128d b0 = _mm_set1_pd(vb[0]);
-    const __m128d b1 = _mm_set1_pd(vb[1]);
-    const __m128d b2 = _mm_set1_pd(vb[2]);
-    const __m128d b3 = _mm_set1_pd(vb[3]);
-    const __m128d bp01 = matvec_pair(pm, 0, b0, b1, b2, b3);
-    const __m128d bp23 = matvec_pair(pm, 2, b0, b1, b2, b3);
-    const __m128d f01 = _mm_loadu_pd(a.freqs);
-    const __m128d f23 = _mm_loadu_pd(a.freqs + 2);
-    const __m128d va01 = _mm_loadu_pd(va);
-    const __m128d va23 = _mm_loadu_pd(va + 2);
-    const __m128d t01 = _mm_mul_pd(_mm_mul_pd(f01, va01), bp01);
-    const __m128d t23 = _mm_mul_pd(_mm_mul_pd(f23, va23), bp23);
-    const __m128d sum2 = _mm_add_pd(t01, t23);
-    alignas(16) double lanes[2];
-    _mm_store_pd(lanes, sum2);
-    double term = lanes[0] + lanes[1];
+    const __m128d bp01 = matvec_pair_t(tp + c * 16, 0, vb);
+    const __m128d bp23 = matvec_pair_t(tp + c * 16, 2, vb);
+    const __m128d t01 = _mm_mul_pd(_mm_mul_pd(f01, _mm_loadu_pd(va)), bp01);
+    const __m128d t23 =
+        _mm_mul_pd(_mm_mul_pd(f23, _mm_loadu_pd(va + 2)), bp23);
+    alignas(16) double l01[2], l23[2];
+    _mm_store_pd(l01, t01);
+    _mm_store_pd(l23, t23);
+    double term = ((l01[0] + l01[1]) + l23[0]) + l23[1];
     if (term < 1e-300) term = 1e-300;
-    const double scale = static_cast<double>(
-        (a.scale1 ? a.scale1[p] : 0) + (a.scale2 ? a.scale2[p] : 0));
+    const double scale =
+        static_cast<double>(scale_in(a.scale1, p) + scale_in(a.scale2, p));
     const double site = std::log(term) - scale * kLogScaleFactor;
     if (a.site_lnl_out) a.site_lnl_out[p] = site;
     lnl += a.weights[p] * site;
@@ -219,38 +579,35 @@ double evaluate_cat_simd(const EvaluateArgs& a) {
   return lnl;
 }
 
-double evaluate_gamma_simd(const EvaluateArgs& a) {
-  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+double evaluate_gamma(const EvaluateArgs& a) {
+  alignas(16) double tp[kMaxPmatDoubles];
   const int ncat = a.ncat;
-  const double catw = 1.0 / static_cast<double>(ncat);
-  double lnl = 0.0;
+  transpose_pmats(a.pmat, ncat, tp);
   const __m128d f01 = _mm_loadu_pd(a.freqs);
   const __m128d f23 = _mm_loadu_pd(a.freqs + 2);
+  const double catw = 1.0 / static_cast<double>(ncat);
+  double lnl = 0.0;
   for (std::size_t p = 0; p < a.np; ++p) {
-    __m128d acc = _mm_setzero_pd();
+    __m128d acc01 = _mm_setzero_pd();
+    __m128d acc23 = _mm_setzero_pd();
     for (int c = 0; c < ncat; ++c) {
-      const double* pm = a.pmat + c * 16;
       const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
-      const double* va =
-          a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
       const double* vb = a.partial2 + idx;
-      const __m128d b0 = _mm_set1_pd(vb[0]);
-      const __m128d b1 = _mm_set1_pd(vb[1]);
-      const __m128d b2 = _mm_set1_pd(vb[2]);
-      const __m128d b3 = _mm_set1_pd(vb[3]);
-      const __m128d bp01 = matvec_pair(pm, 0, b0, b1, b2, b3);
-      const __m128d bp23 = matvec_pair(pm, 2, b0, b1, b2, b3);
-      const __m128d va01 = _mm_loadu_pd(va);
-      const __m128d va23 = _mm_loadu_pd(va + 2);
-      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_mul_pd(f01, va01), bp01));
-      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_mul_pd(f23, va23), bp23));
+      const __m128d bp01 = matvec_pair_t(tp + c * 16, 0, vb);
+      const __m128d bp23 = matvec_pair_t(tp + c * 16, 2, vb);
+      acc01 = _mm_add_pd(acc01,
+                         _mm_mul_pd(_mm_mul_pd(f01, _mm_loadu_pd(va)), bp01));
+      acc23 = _mm_add_pd(
+          acc23, _mm_mul_pd(_mm_mul_pd(f23, _mm_loadu_pd(va + 2)), bp23));
     }
-    alignas(16) double lanes[2];
-    _mm_store_pd(lanes, acc);
-    double term = (lanes[0] + lanes[1]) * catw;
+    alignas(16) double l01[2], l23[2];
+    _mm_store_pd(l01, acc01);
+    _mm_store_pd(l23, acc23);
+    double term = (((l01[0] + l01[1]) + l23[0]) + l23[1]) * catw;
     if (term < 1e-300) term = 1e-300;
-    const double scale = static_cast<double>(
-        (a.scale1 ? a.scale1[p] : 0) + (a.scale2 ? a.scale2[p] : 0));
+    const double scale =
+        static_cast<double>(scale_in(a.scale1, p) + scale_in(a.scale2, p));
     const double site = std::log(term) - scale * kLogScaleFactor;
     if (a.site_lnl_out) a.site_lnl_out[p] = site;
     lnl += a.weights[p] * site;
@@ -258,66 +615,111 @@ double evaluate_gamma_simd(const EvaluateArgs& a) {
   return lnl;
 }
 
-namespace {
-
-/// One pattern-slot of the sumtable: s_k = (sum_i f_i va_i U_ik)
-/// (sum_j V_kj vb_j), vectorized over k pairs.
-inline void sumtable_body(const model::EigenSystem& es, const double* va,
+/// One pattern-slot of the sumtable over k pairs (see avx2::sumtable_body).
+inline void sumtable_body(const double* u, const double* vt, const double* fva,
                           const double* vb, double* s) {
-  // left_k over k pairs: gather U columns.
   for (int k = 0; k < 4; k += 2) {
     __m128d left = _mm_setzero_pd();
     __m128d right = _mm_setzero_pd();
     for (int i = 0; i < 4; ++i) {
-      const __m128d u_pair =
-          _mm_set_pd(es.u[i * 4 + k + 1], es.u[i * 4 + k]);
-      const __m128d v_pair =
-          _mm_set_pd(es.v[(k + 1) * 4 + i], es.v[k * 4 + i]);
-      left = _mm_add_pd(left,
-                        _mm_mul_pd(_mm_set1_pd(es.freqs[i] * va[i]), u_pair));
-      right = _mm_add_pd(right, _mm_mul_pd(_mm_set1_pd(vb[i]), v_pair));
+      left = _mm_add_pd(
+          left, _mm_mul_pd(_mm_set1_pd(fva[i]), _mm_loadu_pd(u + i * 4 + k)));
+      right = _mm_add_pd(
+          right, _mm_mul_pd(_mm_set1_pd(vb[i]), _mm_loadu_pd(vt + i * 4 + k)));
     }
     _mm_storeu_pd(s + k, _mm_mul_pd(left, right));
   }
 }
 
-}  // namespace
-
-void make_sumtable_cat_simd(const SumtableArgs& a) {
-  RXC_ASSERT(a.es && a.partial2 && a.out);
+void make_sumtable_cat(const SumtableArgs& a) {
+  const auto& es = *a.es;
+  alignas(16) double vt[16];
+  transpose_pmats(es.v.data(), 1, vt);
   for (std::size_t p = 0; p < a.np; ++p) {
-    const double* va =
-        a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
-    sumtable_body(*a.es, va, a.partial2 + p * 4, a.out + p * 4);
+    const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    alignas(16) double fva[4];
+    for (int i = 0; i < 4; ++i) fva[i] = es.freqs[i] * va[i];
+    sumtable_body(es.u.data(), vt, fva, a.partial2 + p * 4, a.out + p * 4);
   }
 }
 
-void make_sumtable_gamma_simd(const SumtableArgs& a) {
-  RXC_ASSERT(a.es && a.partial2 && a.out);
+void make_sumtable_gamma(const SumtableArgs& a) {
+  const auto& es = *a.es;
   const int ncat = a.ncat;
+  alignas(16) double vt[16];
+  transpose_pmats(es.v.data(), 1, vt);
   for (std::size_t p = 0; p < a.np; ++p) {
     for (int c = 0; c < ncat; ++c) {
       const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
-      const double* va =
-          a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
-      sumtable_body(*a.es, va, a.partial2 + idx, a.out + idx);
+      const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      alignas(16) double fva[4];
+      for (int i = 0; i < 4; ++i) fva[i] = es.freqs[i] * va[i];
+      sumtable_body(es.u.data(), vt, fva, a.partial2 + idx, a.out + idx);
     }
   }
 }
 
-#else  // !__SSE2__
+}  // namespace sse2
 
-std::uint64_t newview_cat_simd(const NewviewArgs& a) { return newview_cat(a); }
+#endif  // RXC_SIMD_X86 && __SSE2__
+
+// --- dispatched entry points ------------------------------------------------
+
+#if defined(RXC_SIMD_X86) && defined(__SSE2__)
+#define RXC_SIMD_DISPATCH(fn, args)                              \
+  switch (active_simd_level()) {                                 \
+    case SimdLevel::kAvx2: return avx2::fn(args);                \
+    case SimdLevel::kSse2: return sse2::fn(args);                \
+    case SimdLevel::kScalar: break;                              \
+  }
+#elif defined(RXC_SIMD_X86)
+#define RXC_SIMD_DISPATCH(fn, args)                              \
+  switch (active_simd_level()) {                                 \
+    case SimdLevel::kAvx2: return avx2::fn(args);                \
+    default: break;                                              \
+  }
+#else
+#define RXC_SIMD_DISPATCH(fn, args) (void)0;
+#endif
+
+std::uint64_t newview_cat_simd(const NewviewArgs& a) {
+  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+  RXC_ASSERT(a.ncat >= 1 && a.ncat <= kMaxRateCategories);
+  RXC_SIMD_DISPATCH(newview_cat, a)
+  return newview_cat(a);
+}
+
 std::uint64_t newview_gamma_simd(const NewviewArgs& a) {
+  RXC_ASSERT(a.out && a.scale_out && a.pmat1 && a.pmat2);
+  RXC_ASSERT(a.ncat >= 1 && a.ncat <= kMaxRateCategories);
+  RXC_SIMD_DISPATCH(newview_gamma, a)
   return newview_gamma(a);
 }
-double evaluate_cat_simd(const EvaluateArgs& a) { return evaluate_cat(a); }
-double evaluate_gamma_simd(const EvaluateArgs& a) { return evaluate_gamma(a); }
-void make_sumtable_cat_simd(const SumtableArgs& a) { make_sumtable_cat(a); }
-void make_sumtable_gamma_simd(const SumtableArgs& a) {
-  make_sumtable_gamma(a);
+
+double evaluate_cat_simd(const EvaluateArgs& a) {
+  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+  RXC_ASSERT(a.ncat >= 1 && a.ncat <= kMaxRateCategories);
+  RXC_SIMD_DISPATCH(evaluate_cat, a)
+  return evaluate_cat(a);
 }
 
-#endif
+double evaluate_gamma_simd(const EvaluateArgs& a) {
+  RXC_ASSERT(a.pmat && a.freqs && a.partial2 && a.weights);
+  RXC_ASSERT(a.ncat >= 1 && a.ncat <= kMaxRateCategories);
+  RXC_SIMD_DISPATCH(evaluate_gamma, a)
+  return evaluate_gamma(a);
+}
+
+void make_sumtable_cat_simd(const SumtableArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.out);
+  RXC_SIMD_DISPATCH(make_sumtable_cat, a)
+  return make_sumtable_cat(a);
+}
+
+void make_sumtable_gamma_simd(const SumtableArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.out);
+  RXC_SIMD_DISPATCH(make_sumtable_gamma, a)
+  return make_sumtable_gamma(a);
+}
 
 }  // namespace rxc::lh

@@ -1,0 +1,366 @@
+#include "likelihood/registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "likelihood/fast_exp.h"
+#include "model/dna_model.h"
+#include "support/aligned.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rxc::lh {
+namespace {
+
+/// Threads for the host-threaded backend: the host's concurrency, clamped
+/// to [2, 8] so the backend stays distinct from host-simd on 1-core boxes
+/// and chunk granularity stays useful on huge ones.
+int threaded_width() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 2u, 8u));
+}
+
+KernelConfig scalar_kernels() { return KernelConfig{}; }
+
+KernelConfig simd_kernels() {
+  KernelConfig config;
+  config.simd = true;
+  return config;
+}
+
+/// The kernel knobs core::Stage kOffloadAll toggles on (fast exp, int-cast
+/// conditional, vectorized bodies).  Hardcoded because this layer sits
+/// below core/; tests/conformance cross-checks it against
+/// core::stage_toggles so drift fails loudly.
+KernelConfig cell_offload_all_kernels() {
+  KernelConfig config;
+  config.exp_fn = &exp_sdk;
+  config.scaling = ScalingCheck::kIntCast;
+  config.simd = true;
+  return config;
+}
+
+const char* mode_name(RateMode mode) {
+  return mode == RateMode::kCat ? "cat" : "gamma";
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+// --- calibration micro-benchmark -------------------------------------------
+
+/// Seeded synthetic inputs of one shape, reused across every backend so
+/// the comparison is apples-to-apples.
+struct CalibrationWorkload {
+  model::EigenSystem es;
+  std::vector<double> rates;
+  std::vector<int> cat;
+  std::vector<double> weights;
+  aligned_vector<double> partial1, partial2, out;
+  std::vector<std::int32_t> scale1, scale2, scale_out;
+  WorkloadShape shape;
+
+  explicit CalibrationWorkload(const WorkloadShape& s)
+      : es(model::decompose(model::DnaModel::gtr(
+            {1.2, 3.1, 0.9, 1.1, 3.4, 1.0}, {0.30, 0.21, 0.24, 0.25}))),
+        shape(s) {
+    const std::size_t stride =
+        s.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(s.ncat) * 4;
+    Rng rng(0x5CA1AB1EULL);
+    rates.resize(static_cast<std::size_t>(s.ncat));
+    for (int c = 0; c < s.ncat; ++c)
+      rates[static_cast<std::size_t>(c)] = 0.05 * (c + 1);
+    if (s.mode == RateMode::kCat) {
+      cat.resize(s.patterns);
+      for (int& c : cat)
+        c = static_cast<int>(rng.below(static_cast<std::uint64_t>(s.ncat)));
+    }
+    weights.assign(s.patterns, 1.0);
+    partial1.resize(s.patterns * stride);
+    partial2.resize(s.patterns * stride);
+    out.resize(s.patterns * stride);
+    for (double& x : partial1) x = rng.uniform(1e-3, 1e-2);
+    for (double& x : partial2) x = rng.uniform(1e-3, 1e-2);
+    scale1.assign(s.patterns, 0);
+    scale2.assign(s.patterns, 0);
+    scale_out.assign(s.patterns, 0);
+  }
+
+  TaskContext context() {
+    TaskContext ctx;
+    ctx.es = &es;
+    ctx.rates = rates.data();
+    ctx.ncat = shape.ncat;
+    ctx.cat = shape.mode == RateMode::kCat ? cat.data() : nullptr;
+    ctx.mode = shape.mode;
+    return ctx;
+  }
+
+  NewviewTask newview_task() {
+    NewviewTask task;
+    task.ctx = context();
+    task.brlen1 = 0.13;
+    task.brlen2 = 0.27;
+    task.np = shape.patterns;
+    task.partial1 = {partial1.data(), scale1.data()};
+    task.partial2 = {partial2.data(), scale2.data()};
+    task.out = out.data();
+    task.scale_out = scale_out.data();
+    return task;
+  }
+
+  EvaluateTask evaluate_task() {
+    EvaluateTask task;
+    task.ctx = context();
+    task.brlen = 0.17;
+    task.np = shape.patterns;
+    task.partial1 = {partial1.data(), scale1.data()};
+    task.partial2 = {partial2.data(), scale2.data()};
+    task.weights = weights.data();
+    return task;
+  }
+};
+
+/// One backend's score: wall nanoseconds per pattern over `reps` rounds of
+/// newview + evaluate (the two kernels that dominate tree search).
+double time_backend(const Backend& backend, CalibrationWorkload& wl,
+                    int reps) {
+  const auto exec = make_executor(backend.spec);
+  NewviewTask nv = wl.newview_task();
+  EvaluateTask ev = wl.evaluate_task();
+  double sink = 0.0;
+  // Warm-up: first-touch allocations, thread-pool spin-up, DMA buffers.
+  exec->newview(nv);
+  sink += exec->evaluate(ev);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    exec->newview(nv);
+    sink += exec->evaluate(ev);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  // Keep `sink` alive without <benchmark>-style tricks.
+  if (sink == 0.12345) std::abort();
+  return ns / (static_cast<double>(reps) *
+               static_cast<double>(wl.shape.patterns));
+}
+
+}  // namespace
+
+std::string TolerancePolicy::describe() const {
+  if (bitwise) return "bitwise (sums rel " + fmt_double(sum_rel) + ")";
+  return "<= " + std::to_string(value_ulp) + " ulp (sums rel " +
+         fmt_double(sum_rel) + ")";
+}
+
+void WorkloadShape::validate() const {
+  if (taxa < 1) throw ConfigError("shape: taxa must be >= 1");
+  if (patterns < 1) throw ConfigError("shape: patterns must be >= 1");
+  if (ncat < 1 || ncat > kMaxRateCategories) {
+    throw ConfigError("shape: ncat must be in [1, " +
+                      std::to_string(kMaxRateCategories) + "], got " +
+                      std::to_string(ncat));
+  }
+  if (states != 4)
+    throw ConfigError("shape: only 4-state DNA models are supported");
+}
+
+std::string WorkloadShape::describe() const {
+  std::ostringstream os;
+  os << "taxa=" << taxa << " patterns=" << patterns << " ncat=" << ncat
+     << " mode=" << mode_name(mode) << " states=" << states;
+  return os.str();
+}
+
+std::vector<Backend> registered_backends() {
+  std::vector<Backend> backends;
+
+  Backend scalar;
+  scalar.name = "host-scalar";
+  scalar.spec.kind = ExecutorKind::kHost;
+  scalar.spec.kernels = scalar_kernels();
+  scalar.ref_kernels = scalar_kernels();
+  scalar.tolerance = {true, 0, 0.0};  // it IS the reference computation
+  backends.push_back(scalar);
+
+  Backend simd;
+  simd.name = "host-simd";
+  simd.spec.kind = ExecutorKind::kHost;
+  simd.spec.kernels = simd_kernels();
+  // Validated against the SCALAR kernels — the whole point is bounding the
+  // vectorized rewrite (reassociated matvecs, pairwise site reductions,
+  // the 4-lane log).  Worst observed deviation is a few ULP; 32 leaves
+  // headroom while still sitting ~1e5 below any real kernel bug.
+  simd.ref_kernels = scalar_kernels();
+  simd.tolerance = {false, 32, 1e-9};
+  backends.push_back(simd);
+
+  Backend threaded;
+  threaded.name = "host-threaded";
+  threaded.spec.kind = ExecutorKind::kThreaded;
+  threaded.spec.kernels = simd_kernels();
+  threaded.spec.threads = threaded_width();
+  // Same kernels as the reference: chunking must not change a bit of any
+  // per-pattern value; only the chunk reductions reassociate.
+  threaded.ref_kernels = simd_kernels();
+  threaded.tolerance = {true, 0, 1e-9};
+  backends.push_back(threaded);
+
+  if (executor_registered(ExecutorKind::kSpe)) {
+    Backend cell;
+    cell.name = "cell-sim";
+    cell.spec.kind = ExecutorKind::kSpe;
+    cell.spec.cell_stage = 7;  // core::Stage::kOffloadAll ordinal
+    cell.ref_kernels = cell_offload_all_kernels();
+    // The paper-faithful promise: strip-mining through (simulated) DMA is
+    // bitwise; only per-strip lnl accumulation reassociates.
+    cell.tolerance = {true, 0, 1e-9};
+    backends.push_back(cell);
+  }
+  return backends;
+}
+
+std::optional<Backend> find_backend(const std::string& name) {
+  for (Backend& b : registered_backends())
+    if (b.name == name) return std::move(b);
+  return std::nullopt;
+}
+
+const CalibrationEntry* CalibrationTable::best() const {
+  const CalibrationEntry* winner = nullptr;
+  for (const CalibrationEntry& e : entries) {
+    if (!find_backend(e.backend)) continue;
+    if (winner == nullptr || e.nanos_per_pattern < winner->nanos_per_pattern ||
+        (e.nanos_per_pattern == winner->nanos_per_pattern &&
+         e.backend < winner->backend)) {
+      winner = &e;
+    }
+  }
+  return winner;
+}
+
+std::string CalibrationTable::to_string() const {
+  std::ostringstream os;
+  os << "shape " << shape.describe() << "\n";
+  for (const CalibrationEntry& e : entries)
+    os << "backend " << e.backend << " " << fmt_double(e.nanos_per_pattern)
+       << "\n";
+  return os.str();
+}
+
+CalibrationTable CalibrationTable::from_string(const std::string& text) {
+  CalibrationTable table;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_shape = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "shape") {
+      std::string field;
+      while (ls >> field) {
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+          throw ConfigError("calibration table: malformed shape field '" +
+                            field + "'");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        try {
+          if (key == "taxa") {
+            table.shape.taxa = std::stoi(value);
+          } else if (key == "patterns") {
+            table.shape.patterns = std::stoull(value);
+          } else if (key == "ncat") {
+            table.shape.ncat = std::stoi(value);
+          } else if (key == "states") {
+            table.shape.states = std::stoi(value);
+          } else if (key == "mode") {
+            if (value != "cat" && value != "gamma")
+              throw ConfigError("calibration table: unknown rate mode '" +
+                                value + "'");
+            table.shape.mode =
+                value == "cat" ? RateMode::kCat : RateMode::kGamma;
+          } else {
+            throw ConfigError("calibration table: unknown shape key '" + key +
+                              "'");
+          }
+        } catch (const std::invalid_argument&) {
+          throw ConfigError("calibration table: non-numeric shape value '" +
+                            value + "'");
+        }
+      }
+      saw_shape = true;
+    } else if (tag == "backend") {
+      CalibrationEntry entry;
+      ls >> entry.backend >> entry.nanos_per_pattern;
+      if (ls.fail() || entry.backend.empty())
+        throw ConfigError("calibration table: malformed backend line '" +
+                          line + "'");
+      table.entries.push_back(std::move(entry));
+    } else {
+      throw ConfigError("calibration table: unknown line tag '" + tag + "'");
+    }
+  }
+  if (!saw_shape)
+    throw ConfigError("calibration table: missing shape line");
+  table.shape.validate();
+  return table;
+}
+
+CalibrationTable calibrate(const WorkloadShape& shape) {
+  shape.validate();
+  CalibrationWorkload wl(shape);
+  // Enough rounds that a small shape still clears timer granularity, capped
+  // so a 10^6-pattern shape doesn't stall job admission.
+  const int reps = static_cast<int>(
+      std::clamp<std::size_t>((std::size_t{1} << 16) / shape.patterns, 2, 64));
+  CalibrationTable table;
+  table.shape = shape;
+  for (const Backend& backend : registered_backends())
+    table.entries.push_back(
+        {backend.name, time_backend(backend, wl, reps)});
+  return table;
+}
+
+Backend choose_backend(const WorkloadShape& shape) {
+  return choose_backend(shape, calibrate(shape));
+}
+
+Backend choose_backend(const WorkloadShape& shape,
+                       const CalibrationTable& pinned) {
+  shape.validate();
+  if (pinned.shape.taxa != shape.taxa ||
+      pinned.shape.patterns != shape.patterns ||
+      pinned.shape.ncat != shape.ncat || pinned.shape.mode != shape.mode ||
+      pinned.shape.states != shape.states) {
+    throw ConfigError("choose_backend: calibration table was built for "
+                      "shape [" + pinned.shape.describe() + "], job is [" +
+                      shape.describe() + "]");
+  }
+  const CalibrationEntry* winner = pinned.best();
+  if (winner == nullptr)
+    throw ConfigError("choose_backend: no calibration entry names a backend "
+                      "registered in this binary");
+  return *find_backend(winner->backend);
+}
+
+std::unique_ptr<KernelExecutor> choose_executor(const WorkloadShape& shape) {
+  return make_executor(choose_backend(shape).spec);
+}
+
+std::unique_ptr<KernelExecutor> choose_executor(
+    const WorkloadShape& shape, const CalibrationTable& pinned) {
+  return make_executor(choose_backend(shape, pinned).spec);
+}
+
+}  // namespace rxc::lh

@@ -1,0 +1,128 @@
+#pragma once
+/// \file registry.h
+/// Backend registry + workload-shaped auto-selection, after BEAGLE's
+/// resource model (PAPERS.md): one likelihood API over several backends,
+/// each advertising how it may deviate numerically from the scalar
+/// reference, plus a calibration pass that scores every constructible
+/// backend against a concrete job shape and picks the fastest.
+///
+/// Where BEAGLE scores abstract resources (flops, memory) statically, a
+/// simulated-Cell fleet has no honest static model — the Cell backend's
+/// wall-clock cost depends on simulation overhead, the threaded backend's
+/// on the host's core count, the SIMD backend's on what the CPU dispatches
+/// to.  So calibrate() measures: it runs each backend's newview+evaluate
+/// over a synthetic workload of the job's shape (taxa x patterns x rate
+/// categories x states) and records nanoseconds per pattern.  The resulting
+/// CalibrationTable serializes (to_string/from_string) so servers can pin a
+/// measured table instead of re-benching per job — and so tests can pin a
+/// synthetic one and assert selection is deterministic.
+///
+/// Tolerance contract: every backend declares a TolerancePolicy relative to
+/// a plain HostExecutor running `ref_kernels`.  Bitwise backends promise
+/// identical per-pattern values (chunking/strip-mining must not change a
+/// bit); non-bitwise backends bound per-pattern deviation in ULPs.  The
+/// conformance suite (tests/conformance) asserts exactly the declared
+/// policy for every registered backend.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "likelihood/executor.h"
+
+namespace rxc::lh {
+
+/// How a backend's numbers may deviate from a scalar-host reference run
+/// with the backend's own kernel knobs (Backend::ref_kernels).
+struct TolerancePolicy {
+  /// Per-pattern values (newview partials, site lnls, sumtable entries)
+  /// are bit-identical to the reference.
+  bool bitwise = true;
+  /// When !bitwise: maximum ULP distance for per-pattern values.
+  std::uint64_t value_ulp = 0;
+  /// Reductions (evaluate lnl, NR derivatives) reassociate; relative bound
+  /// against the accumulated magnitude.
+  double sum_rel = 1e-9;
+
+  std::string describe() const;
+};
+
+/// The job shape selection keys on — the same axes BEAGLE's resource
+/// scoring uses.  `taxa` sizes the tree (how many newviews amortize one
+/// calibration); the rest size a single kernel invocation.
+struct WorkloadShape {
+  int taxa = 4;
+  std::size_t patterns = 256;
+  int ncat = 4;
+  RateMode mode = RateMode::kCat;
+  int states = 4;  ///< DNA only; validate() rejects anything else
+
+  /// Throws rxc::ConfigError on non-positive axes, states != 4, or ncat
+  /// out of [1, kMaxRateCategories].
+  void validate() const;
+  std::string describe() const;
+};
+
+struct Backend {
+  std::string name;    ///< stable id: "host-scalar", "host-simd", ...
+  ExecutorSpec spec;   ///< what make_executor builds for this backend
+  /// Kernel knobs a plain HostExecutor needs to reproduce this backend's
+  /// per-pattern numbers (the conformance reference).  For cell-sim this
+  /// mirrors core::Stage offload-all toggles — asserted against
+  /// core::stage_toggles by the conformance suite, since this layer cannot
+  /// see core/.
+  KernelConfig ref_kernels;
+  TolerancePolicy tolerance;
+};
+
+/// Every backend constructible in this binary, in deterministic order:
+/// host-scalar, host-simd, host-threaded, then cell-sim when rxc_core is
+/// linked (executor_registered(kSpe)).
+std::vector<Backend> registered_backends();
+
+/// Lookup by stable name; nullopt when unknown or not constructible here.
+std::optional<Backend> find_backend(const std::string& name);
+
+// --- calibration -----------------------------------------------------------
+
+struct CalibrationEntry {
+  std::string backend;
+  double nanos_per_pattern = 0.0;
+};
+
+struct CalibrationTable {
+  WorkloadShape shape;
+  std::vector<CalibrationEntry> entries;
+
+  /// Fastest entry naming a registered backend; ties break on backend name
+  /// (lexicographically smallest) so selection is stable under reordering.
+  /// nullptr when no entry names a registered backend.
+  const CalibrationEntry* best() const;
+
+  /// Line-based round-trippable text ("shape ..." then one "backend <name>
+  /// <ns>" per entry, full double precision).
+  std::string to_string() const;
+  /// Inverse of to_string(); throws rxc::ConfigError on malformed input.
+  static CalibrationTable from_string(const std::string& text);
+};
+
+/// Micro-benchmarks every registered backend against a synthetic workload
+/// of `shape` (seeded, deterministic data; wall-clock timing) and returns
+/// the scored table.  Repetitions scale inversely with shape size so tiny
+/// shapes still measure above timer noise.
+CalibrationTable calibrate(const WorkloadShape& shape);
+
+/// The winner for `shape` per a fresh calibrate() run / a pinned table.
+/// The pinned overload validates that the table was built for the same
+/// shape and throws rxc::ConfigError when no usable backend remains.
+Backend choose_backend(const WorkloadShape& shape);
+Backend choose_backend(const WorkloadShape& shape,
+                       const CalibrationTable& pinned);
+
+/// make_executor(choose_backend(...).spec) — the one-call auto path.
+std::unique_ptr<KernelExecutor> choose_executor(const WorkloadShape& shape);
+std::unique_ptr<KernelExecutor> choose_executor(const WorkloadShape& shape,
+                                                const CalibrationTable& pinned);
+
+}  // namespace rxc::lh

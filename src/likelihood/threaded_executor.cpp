@@ -124,8 +124,13 @@ double ThreadedExecutor::evaluate(const EvaluateTask& task) {
     args.weights = task.weights + lo;
     args.site_lnl_out =
         task.site_lnl_out ? task.site_lnl_out + lo : nullptr;
-    partial_lnl_[c] = ctx.mode == RateMode::kCat ? evaluate_cat(args)
-                                                 : evaluate_gamma(args);
+    if (ctx.mode == RateMode::kCat) {
+      partial_lnl_[c] =
+          config_.simd ? evaluate_cat_simd(args) : evaluate_cat(args);
+    } else {
+      partial_lnl_[c] =
+          config_.simd ? evaluate_gamma_simd(args) : evaluate_gamma(args);
+    }
   });
 
   ++counters_.evaluate_calls;
@@ -156,9 +161,10 @@ void ThreadedExecutor::sumtable(const SumtableTask& task) {
     args.partial2 = task.partial2.values + lo * stride;
     args.out = task.out + lo * stride;
     if (ctx.mode == RateMode::kCat) {
-      make_sumtable_cat(args);
+      config_.simd ? make_sumtable_cat_simd(args) : make_sumtable_cat(args);
     } else {
-      make_sumtable_gamma(args);
+      config_.simd ? make_sumtable_gamma_simd(args)
+                   : make_sumtable_gamma(args);
     }
   });
   ++counters_.sumtable_calls;

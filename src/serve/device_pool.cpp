@@ -71,4 +71,20 @@ DevicePool::DevicePool(const std::vector<lh::ExecutorSpec>& specs) {
         std::make_unique<Device>(static_cast<int>(i), specs[i]));
 }
 
+std::vector<lh::ExecutorSpec> auto_device_specs(const lh::WorkloadShape& shape,
+                                                int count) {
+  return auto_device_specs(shape, count, lh::calibrate(shape));
+}
+
+std::vector<lh::ExecutorSpec> auto_device_specs(
+    const lh::WorkloadShape& shape, int count,
+    const lh::CalibrationTable& pinned) {
+  RXC_REQUIRE(count >= 1, "auto_device_specs: need at least one device");
+  const lh::Backend winner = lh::choose_backend(shape, pinned);
+  static obs::Counter& chosen = obs::counter("serve.pool.auto_selected");
+  chosen.add();
+  return std::vector<lh::ExecutorSpec>(static_cast<std::size_t>(count),
+                                       winner.spec);
+}
+
 }  // namespace rxc::serve

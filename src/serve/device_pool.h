@@ -25,6 +25,7 @@
 
 #include "cell/fault.h"
 #include "likelihood/executor.h"
+#include "likelihood/registry.h"
 
 namespace rxc::serve {
 
@@ -77,5 +78,17 @@ class DevicePool {
  private:
   std::vector<std::unique_ptr<Device>> devices_;
 };
+
+/// Best-backend leasing: `count` copies of the ExecutorSpec that
+/// lh::choose_backend picks for `shape`, so pools are no longer Cell-only —
+/// whichever registered backend calibrates fastest for the job shape serves
+/// it.  The pinned overload skips the measurement pass (servers calibrate
+/// once, then stamp out devices); it throws rxc::ConfigError when the table
+/// shape mismatches or names no registered backend.  Requires count >= 1.
+std::vector<lh::ExecutorSpec> auto_device_specs(const lh::WorkloadShape& shape,
+                                                int count);
+std::vector<lh::ExecutorSpec> auto_device_specs(
+    const lh::WorkloadShape& shape, int count,
+    const lh::CalibrationTable& pinned);
 
 }  // namespace rxc::serve

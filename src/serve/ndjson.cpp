@@ -118,6 +118,12 @@ class Parser {
     while (true) {
       skip_ws();
       std::string key = parse_string();
+      // Reject duplicates instead of keeping first-or-last silently: the two
+      // behaviors disagree across JSON parsers, which makes duplicate keys a
+      // classic smuggling vector for "one validator saw X, the executor saw
+      // Y" bugs.  Objects here are tiny (job specs), so the scan is cheap.
+      for (const auto& [existing, unused] : v.object)
+        if (existing == key) fail("duplicate object key '" + key + "'");
       skip_ws();
       expect(':');
       v.object.emplace_back(std::move(key), parse_value());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "likelihood/fast_exp.h"
@@ -24,15 +25,29 @@ std::string preamble(const Workload& wl, const Bounds& bounds) {
   return "[" + wl.spec().describe() + "] (" + bounds.why + ") ";
 }
 
+/// Per-pattern value comparison: ULP-bounded when the pair declares
+/// value_ulp, else relative/bitwise via close().
 bool compare_array(const char* what, const double* ref, const double* dut,
-                   std::size_t n, double tol, const Workload& wl,
-                   const Bounds& bounds, CaseResult& result) {
+                   std::size_t n, const Workload& wl, const Bounds& bounds,
+                   CaseResult& result) {
   for (std::size_t i = 0; i < n; ++i) {
-    if (close(ref[i], dut[i], tol)) continue;
+    if (bounds.value_ulp > 0) {
+      const std::uint64_t dist = ulp_distance(ref[i], dut[i]);
+      if (dist <= bounds.value_ulp) continue;
+      result.ok = false;
+      result.detail = preamble(wl, bounds) + what + "[" + std::to_string(i) +
+                      "]: ref=" + fmt(ref[i]) + " dut=" + fmt(dut[i]) +
+                      " ulp=" +
+                      (dist == UINT64_MAX ? std::string("inf")
+                                          : std::to_string(dist)) +
+                      " (bound " + std::to_string(bounds.value_ulp) + ")";
+      return false;
+    }
+    if (close(ref[i], dut[i], bounds.value_rel)) continue;
     result.ok = false;
     result.detail = preamble(wl, bounds) + what + "[" + std::to_string(i) +
                     "]: ref=" + fmt(ref[i]) + " dut=" + fmt(dut[i]) +
-                    " tol=" + fmt(tol);
+                    " tol=" + fmt(bounds.value_rel);
     return false;
   }
   return true;
@@ -68,6 +83,28 @@ bool close(double a, double b, double tol) {
   return std::abs(a - b) <= tol * (std::max(std::abs(a), std::abs(b)) + 1.0);
 }
 
+std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return UINT64_MAX;
+  if (a == b) return 0;  // covers -0.0 vs 0.0
+  if (std::signbit(a) != std::signbit(b)) return UINT64_MAX;
+  std::uint64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof ia);
+  std::memcpy(&ib, &b, sizeof ib);
+  // Same sign: the IEEE-754 total order over the magnitude bits is
+  // monotone, so the bit-pattern gap counts representable values between.
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+Bounds bounds_for(const std::string& why, const lh::TolerancePolicy& policy) {
+  Bounds bounds;
+  bounds.why = why + " [" + policy.describe() + "]";
+  bounds.value_rel = 0.0;  // bitwise unless the policy grants ULP slack
+  bounds.value_ulp = policy.bitwise ? 0 : policy.value_ulp;
+  bounds.sum_rel = policy.sum_rel;
+  bounds.scale_exact = true;
+  return bounds;
+}
+
 CaseResult run_case(lh::KernelExecutor& ref_newview,
                     lh::KernelExecutor& ref_rest, lh::KernelExecutor& dut,
                     const Workload& wl, const Bounds& bounds) {
@@ -87,7 +124,7 @@ CaseResult run_case(lh::KernelExecutor& ref_newview,
   dut.newview(wl.newview_task(dut_out.data(), dut_scale.data()));
 
   if (!compare_array("newview.out", ref_out.data(), dut_out.data(),
-                     np * wl.stride(), bounds.value_rel, wl, bounds, result))
+                     np * wl.stride(), wl, bounds, result))
     return result;
   if (bounds.scale_exact) {
     for (std::size_t i = 0; i < np; ++i) {
@@ -119,7 +156,7 @@ CaseResult run_case(lh::KernelExecutor& ref_newview,
                       wl, bounds, result))
     return result;
   if (!compare_array("evaluate.site_lnl", ref_site.data(), dut_site.data(),
-                     np, bounds.value_rel, wl, bounds, result))
+                     np, wl, bounds, result))
     return result;
 
   // --- makenewz compound: sumtable + Newton-Raphson at three lengths ----
@@ -131,8 +168,7 @@ CaseResult run_case(lh::KernelExecutor& ref_newview,
   ref_rest.sumtable(wl.sumtable_task(ref_sum.data()));
   dut.sumtable(wl.sumtable_task(dut_sum.data()));
   if (!compare_array("sumtable.out", ref_sum.data(), dut_sum.data(),
-                     np * wl.stride(), bounds.value_rel, wl, bounds,
-                     result)) {
+                     np * wl.stride(), wl, bounds, result)) {
     ref_rest.end_compound();
     dut.end_compound();
     return result;

@@ -24,6 +24,7 @@
 #include "core/spe_executor.h"
 #include "core/stage.h"
 #include "likelihood/executor.h"
+#include "likelihood/registry.h"
 #include "workload.h"
 
 namespace rxc::conformance {
@@ -36,12 +37,29 @@ struct Bounds {
   std::string why;
   /// Per-pattern values: newview partials, site lnls, sumtable entries.
   double value_rel = 0.0;
+  /// When nonzero, per-pattern values compare by ULP distance instead of
+  /// value_rel: |ulp_distance(ref, dut)| <= value_ulp.  ULP bounds are
+  /// magnitude-proportional, so they stay meaningful across the ~600
+  /// orders of magnitude a rescaled partial can span — a fixed relative
+  /// epsilon is either vacuous for tiny values or unreachable for huge
+  /// ones.  0 keeps the value_rel (or bitwise) semantics.
+  std::uint64_t value_ulp = 0;
   /// Reductions: evaluate lnl, NR lnl/d1/d2.
   double sum_rel = 0.0;
   /// Scale vectors and scale_events counters must match exactly (the
   /// workload generator guarantees a deterministic scaling decision).
   bool scale_exact = true;
 };
+
+/// The pair entitlement a backend's self-declared TolerancePolicy maps to:
+/// bitwise policies demand exact per-pattern values; ULP policies compare
+/// values by ULP distance.  Reductions always use the policy's sum_rel.
+Bounds bounds_for(const std::string& why, const lh::TolerancePolicy& policy);
+
+/// Directed distance in representable doubles between a and b (0 for
+/// bitwise-equal values, including -0.0 vs 0.0).  Returns UINT64_MAX when
+/// either is NaN or they differ in sign (a sign flip is never "close").
+std::uint64_t ulp_distance(double a, double b);
 
 struct CaseResult {
   bool ok = true;

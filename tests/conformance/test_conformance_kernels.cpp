@@ -40,7 +40,7 @@ TEST(ConformanceKernels, HostScalarVsHostSimd) {
   simd_cfg.simd = true;
   const auto ref = make_host(scalar_cfg);
   const auto dut = make_host(simd_cfg);
-  Bounds bounds{"SIMD reorders within-pattern arithmetic", 1e-11, kSumRel,
+  Bounds bounds{"SIMD reorders within-pattern arithmetic", 1e-11, 0, kSumRel,
                 true};
   for (std::uint64_t i = 0; i < cases(); ++i) {
     const std::uint64_t seed = seed_for(0xA, i);
@@ -62,7 +62,7 @@ TEST(ConformanceKernels, HostVsThreaded) {
     const auto dut = make_threaded(threads);
     Bounds bounds{"same config; chunked reductions reassociate (threads=" +
                       std::to_string(threads) + ")",
-                  0.0, kSumRel, true};
+                  0.0, 0, kSumRel, true};
     for (std::uint64_t i = 0; i < cases(); ++i) {
       const std::uint64_t seed =
           seed_for(0xB0 + static_cast<std::uint64_t>(threads), i);
@@ -98,7 +98,7 @@ TEST(ConformanceKernels, HostVsSpeAllStages) {
                                         : lh::KernelConfig{});
     Bounds bounds{"strip-mined DMA must be bitwise (stage " +
                       core::stage_name(stage) + ")",
-                  0.0, kSumRel, true};
+                  0.0, 0, kSumRel, true};
     for (std::uint64_t i = 0; i < cases(); ++i) {
       const std::uint64_t seed =
           seed_for(0xC0 + static_cast<std::uint64_t>(stage), i);
@@ -128,7 +128,7 @@ TEST(ConformanceKernels, SpeLlpVsSingleSpe) {
   for (int ways : {2, 4, 8}) {
     Bounds bounds{"LLP split must be bitwise per pattern (ways=" +
                       std::to_string(ways) + ")",
-                  0.0, kSumRel, true};
+                  0.0, 0, kSumRel, true};
     for (std::uint64_t i = 0; i < cases(); ++i) {
       const std::uint64_t seed =
           seed_for(0xD0 + static_cast<std::uint64_t>(ways), i);
@@ -157,8 +157,8 @@ TEST(ConformanceKernels, ExpLibmVsExpSdk) {
   lh::KernelConfig sdk_cfg;
   sdk_cfg.exp_fn = &lh::exp_sdk;
   const auto dut = make_host(sdk_cfg);
-  Bounds bounds{"SDK exp differs by its documented error bound", 1e-9, 1e-7,
-                true};
+  Bounds bounds{"SDK exp differs by its documented error bound", 1e-9, 0,
+                1e-7, true};
   for (std::uint64_t i = 0; i < cases(); ++i) {
     const std::uint64_t seed = seed_for(0xE, i);
     const Workload wl(WorkloadSpec::draw(seed));

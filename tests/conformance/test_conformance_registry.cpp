@@ -1,0 +1,92 @@
+/// Registry-driven conformance: every backend lh::registered_backends()
+/// exposes runs >= 200 seeded workloads against a scalar-host reference
+/// configured with the backend's own ref_kernels, asserted at exactly the
+/// tolerance the backend declares — bitwise backends get no slack at all,
+/// ULP backends get their declared per-pattern ULP budget (tier2).
+///
+/// This is the registry's half of the auto-selection bargain: whatever
+/// choose_executor picks, its numbers were differentially validated against
+/// the reference at a self-declared bound.  Failures print the seed;
+/// replay with RXC_CONF_SEED as usual.
+
+#include <gtest/gtest.h>
+
+#include "core/stage.h"
+#include "harness.h"
+#include "likelihood/registry.h"
+#include "workload.h"
+
+namespace rxc::conformance {
+namespace {
+
+std::uint64_t cases() { return fixed_seed_requested() ? 1 : 200; }
+
+/// The registry (below core/ in the layering) hardcodes the kernel knobs it
+/// claims the offload-all Cell stage uses; this is the cross-check that
+/// keeps that claim honest when core::stage_toggles changes.
+TEST(ConformanceRegistry, CellRefKernelsMirrorOffloadAllStage) {
+  const auto cell = lh::find_backend("cell-sim");
+  ASSERT_TRUE(cell.has_value()) << "rxc_core is linked; cell-sim must exist";
+  const lh::KernelConfig mirrored =
+      mirror_config(core::stage_toggles(core::Stage::kOffloadAll));
+  EXPECT_EQ(cell->ref_kernels.exp_fn, mirrored.exp_fn);
+  EXPECT_EQ(cell->ref_kernels.scaling, mirrored.scaling);
+  EXPECT_EQ(cell->ref_kernels.simd, mirrored.simd);
+  EXPECT_EQ(cell->spec.cell_stage,
+            static_cast<int>(core::Stage::kOffloadAll));
+}
+
+TEST(ConformanceRegistry, EveryBackendMeetsItsDeclaredPolicy) {
+  const std::vector<lh::Backend> backends = lh::registered_backends();
+  ASSERT_FALSE(backends.empty());
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    const lh::Backend& backend = backends[b];
+    const auto ref = make_host(backend.ref_kernels);
+    const auto dut = lh::make_executor(backend.spec);
+    const Bounds bounds =
+        bounds_for("registry backend " + backend.name, backend.tolerance);
+    for (std::uint64_t i = 0; i < cases(); ++i) {
+      const std::uint64_t seed = fixed_seed_requested()
+                                     ? base_seed()
+                                     : case_seed(0xF0 + b, i);
+      const Workload wl(WorkloadSpec::draw(seed));
+      const CaseResult r = run_case(*ref, *dut, wl, bounds);
+      ASSERT_TRUE(r.ok) << r.detail << "\n"
+                        << repro_hint(
+                               seed, "ConformanceRegistry") << "\nbackend="
+                        << backend.name << " policy="
+                        << backend.tolerance.describe();
+    }
+  }
+}
+
+/// The bitwise guarantee must not have been weakened by the ULP extension:
+/// a backend whose policy says bitwise compares with zero tolerance, so a
+/// single flipped mantissa bit in any per-pattern value fails.
+TEST(ConformanceRegistry, BitwisePoliciesCompareExactly) {
+  for (const lh::Backend& backend : lh::registered_backends()) {
+    const Bounds bounds = bounds_for(backend.name, backend.tolerance);
+    if (backend.tolerance.bitwise) {
+      EXPECT_EQ(bounds.value_ulp, 0u) << backend.name;
+      EXPECT_EQ(bounds.value_rel, 0.0) << backend.name;
+    } else {
+      EXPECT_GT(bounds.value_ulp, 0u) << backend.name;
+    }
+    EXPECT_TRUE(bounds.scale_exact) << backend.name;
+  }
+}
+
+TEST(ConformanceRegistry, UlpDistanceSemantics) {
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulp_distance(0.0, -0.0), 0u);
+  EXPECT_EQ(ulp_distance(1.0, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_EQ(ulp_distance(1.0, std::nextafter(std::nextafter(1.0, 0.0), 0.0)),
+            2u);
+  EXPECT_EQ(ulp_distance(-1.0, std::nextafter(-1.0, -2.0)), 1u);
+  // Sign flips and NaNs are never close.
+  EXPECT_EQ(ulp_distance(1e-300, -1e-300), UINT64_MAX);
+  EXPECT_EQ(ulp_distance(std::nan(""), 1.0), UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace rxc::conformance

@@ -308,6 +308,71 @@ TEST(Equivalence, SimdNewviewBitwiseClose) {
     EXPECT_LT(rel_diff(out_s[i], out_v[i]), 1e-13) << "entry " << i;
 }
 
+TEST(Equivalence, DispatchLevelsAgreeAcrossKernels) {
+  // Pins each runtime SIMD level in turn (scalar, SSE2, AVX2) and compares
+  // the dispatched kernels against the plain scalar ones on identical data.
+  // Levels above what the CPU supports are skipped (set_simd_level caps).
+  // Tier-1 on purpose: the sanitizer CI legs run this, so the AVX2 bodies
+  // are executed — not merely compiled — under ASan/UBSan/TSan.
+  Rng rng(29);
+  const int ncat = 7;
+  const std::size_t np = 53;  // partial SIMD block + odd unroll remainder
+  const auto es = model::decompose(kGtr);
+  std::vector<double> rates(ncat);
+  for (int c = 0; c < ncat; ++c) rates[c] = 0.1 * (c + 1);
+  std::vector<double> pm(ncat * 16);
+  lh::build_pmatrices(es, rates.data(), ncat, 0.23, &lh::exp_libm, pm.data());
+  std::vector<double> part1(np * 4), part2(np * 4), weights(np, 1.0);
+  for (double& x : part1) x = rng.uniform() * 1e-3;
+  for (double& x : part2) x = rng.uniform() * 1e-3;
+  std::vector<int> cat(np);
+  for (auto& c : cat) c = static_cast<int>(rng.below(ncat));
+
+  lh::EvaluateArgs ev;
+  ev.pmat = pm.data();
+  ev.freqs = es.freqs.data();
+  ev.ncat = ncat;
+  ev.cat = cat.data();
+  ev.np = np;
+  ev.partial1 = part1.data();
+  ev.partial2 = part2.data();
+  ev.weights = weights.data();
+  std::vector<double> site_ref(np), site_dut(np);
+  ev.site_lnl_out = site_ref.data();
+  const double lnl_ref = lh::evaluate_cat(ev);
+
+  lh::SumtableArgs st;
+  st.es = &es;
+  st.ncat = ncat;
+  st.np = np;
+  st.partial1 = part1.data();
+  st.partial2 = part2.data();
+  std::vector<double> sum_ref(np * 4), sum_dut(np * 4);
+  st.out = sum_ref.data();
+  lh::make_sumtable_cat(st);
+
+  const lh::SimdLevel original = lh::active_simd_level();
+  for (const lh::SimdLevel level :
+       {lh::SimdLevel::kScalar, lh::SimdLevel::kSse2, lh::SimdLevel::kAvx2}) {
+    lh::set_simd_level(level);
+    if (lh::active_simd_level() != level) continue;  // CPU cannot do it
+    SCOPED_TRACE(lh::simd_level_name(level));
+
+    ev.site_lnl_out = site_dut.data();
+    const double lnl = lh::evaluate_cat_simd(ev);
+    EXPECT_LT(rel_diff(lnl, lnl_ref), 1e-11);
+    for (std::size_t p = 0; p < np; ++p)
+      EXPECT_LT(rel_diff(site_dut[p], site_ref[p]), 1e-11) << "site " << p;
+
+    st.out = sum_dut.data();
+    lh::make_sumtable_cat_simd(st);
+    for (std::size_t i = 0; i < sum_ref.size(); ++i)
+      EXPECT_LT(rel_diff(sum_dut[i], sum_ref[i]), 1e-11) << "entry " << i;
+  }
+  lh::set_simd_level(original);
+  EXPECT_EQ(lh::active_simd_level(), original);
+}
+
 // --- scaling ----------------------------------------------------------------
 
 TEST(Scaling, DeepTreeTriggersEventsAndStaysFinite) {

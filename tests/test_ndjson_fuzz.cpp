@@ -1,0 +1,127 @@
+/// Adversarial NDJSON decoding: the serving codec sits on the trust
+/// boundary (arbitrary client bytes -> JobSpec), so hostile shapes must die
+/// as ParseError, never as a crash, hang, or silently-wrong spec.  The
+/// random-mutation sweeps are seeded and deterministic; they earn their keep
+/// under the sanitizer CI legs, where any out-of-bounds scan in the parser
+/// becomes a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/ndjson.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rxc::serve {
+namespace {
+
+const char kValidSpec[] =
+    R"({"id":"job-1","sim_taxa":8,"sim_sites":64,"mode":"cat","categories":4,)"
+    R"("inferences":1,"bootstraps":2,"seed":7,"epsilon":0.01})";
+
+/// Parse must either succeed or throw ParseError — anything else (other
+/// exception types, crashes) fails the test.
+bool parses(const std::string& text) {
+  try {
+    parse_json(text);
+    return true;
+  } catch (const ParseError&) {
+    return false;
+  }
+}
+
+TEST(NdjsonFuzz, EveryTruncationOfAValidLineIsRejectedCleanly) {
+  const std::string line = kValidSpec;
+  ASSERT_TRUE(parses(line));
+  for (std::size_t n = 0; n < line.size(); ++n) {
+    const std::string prefix = line.substr(0, n);
+    EXPECT_FALSE(parses(prefix)) << "prefix of length " << n << ": " << prefix;
+    EXPECT_THROW(job_spec_from_json(prefix), ParseError);
+  }
+  EXPECT_NO_THROW(job_spec_from_json(line));
+}
+
+TEST(NdjsonFuzz, DeepNestingIsBoundedNotStackOverflow) {
+  // Well under the cap: fine.
+  std::string shallow(32, '[');
+  shallow += "1";
+  shallow += std::string(32, ']');
+  EXPECT_TRUE(parses(shallow));
+
+  // A pathological line of brackets must be cut off by the depth bound long
+  // before the recursion touches the guard page.
+  for (const std::size_t depth : {std::size_t{65}, std::size_t{100000}}) {
+    std::string deep(depth, '[');
+    deep += "1";
+    deep += std::string(depth, ']');
+    EXPECT_FALSE(parses(deep)) << depth << " levels";
+    std::string objects;
+    for (std::size_t i = 0; i < depth; ++i) objects += R"({"k":)";
+    EXPECT_FALSE(parses(objects)) << depth << " unclosed objects";
+  }
+}
+
+TEST(NdjsonFuzz, NonFiniteNumberSpellingsAreRejected) {
+  // JSON has no NaN/Infinity; strtod accepts several spellings, so the
+  // parser must gate them out itself — a NaN deadline or alpha would
+  // otherwise sail through every later range check (NaN compares false).
+  for (const char* bad :
+       {"nan", "NaN", "-nan", "inf", "Infinity", "-Infinity", "-inf",
+        R"({"deadline_ms":nan})", R"({"alpha":-inf})", "[Infinity]"}) {
+    EXPECT_FALSE(parses(bad)) << bad;
+  }
+  // Finite-looking overflow literals round to infinity: same rejection.
+  EXPECT_FALSE(parses("1e999"));
+  EXPECT_FALSE(parses("-1e999"));
+  EXPECT_FALSE(parses(R"({"epsilon":1e999})"));
+}
+
+TEST(NdjsonFuzz, DuplicateKeysAreRejectedAtEveryLevel) {
+  EXPECT_FALSE(parses(R"({"a":1,"a":2})"));
+  EXPECT_FALSE(parses(R"({"a":1,"b":{"c":1,"c":2}})"));
+  EXPECT_FALSE(parses(R"([{"x":1,"x":1}])"));
+  // Same key spelled via a \u escape is still the same key post-decode.
+  EXPECT_FALSE(parses("{\"i\\u0064\":1,\"id\":2}"));
+  EXPECT_THROW(job_spec_from_json(R"({"id":"a","id":"b","inferences":1})"),
+               ParseError);
+  // Distinct keys stay fine.
+  EXPECT_TRUE(parses(R"({"a":{"x":1},"b":{"x":1}})"));
+}
+
+TEST(NdjsonFuzz, SeededByteMutationsNeverEscapeParseError) {
+  Rng rng(0xD15EA5EDULL);
+  const std::string line = kValidSpec;
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = line;
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.below(mutated.size());
+      mutated[at] = static_cast<char>(rng.below(256));
+    }
+    try {
+      const JsonValue doc = parse_json(mutated);
+      // Survivors must still behave like values (find() on non-objects is
+      // null, accessors throw rather than read junk).
+      if (!doc.is_object()) {
+        EXPECT_EQ(doc.find("id"), nullptr);
+      }
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(NdjsonFuzz, SeededGarbageLinesNeverEscapeParseError) {
+  Rng rng(0xBADC0DEULL);
+  for (int round = 0; round < 2000; ++round) {
+    std::string garbage(rng.below(120), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.below(256));
+    try {
+      job_spec_from_json(garbage);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rxc::serve

@@ -1,0 +1,231 @@
+/// Backend auto-selection: the registry's choose_backend/choose_executor
+/// must be a pure function of (shape, calibration table) — deterministic,
+/// stable under entry reordering, round-trippable through the table's text
+/// form, and total over degenerate shapes.  The numeric conformance of each
+/// backend lives in tests/conformance/test_conformance_registry.cpp; this
+/// suite covers the selection logic itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/spe_executor.h"
+#include "likelihood/registry.h"
+#include "support/error.h"
+
+namespace rxc::lh {
+namespace {
+
+/// Referencing cell_executor_spec links core's SPE-factory registrar TU
+/// into this binary (the documented idiom), so cell-sim registers exactly
+/// as it does in the serving binary.
+const ExecutorSpec g_force_cell_link =
+    core::cell_executor_spec(core::Stage::kOffloadAll);
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  for (const Backend& b : registered_backends()) names.push_back(b.name);
+  return names;
+}
+
+CalibrationTable table_for(const WorkloadShape& shape,
+                           std::vector<CalibrationEntry> entries) {
+  CalibrationTable table;
+  table.shape = shape;
+  table.entries = std::move(entries);
+  return table;
+}
+
+TEST(Registry, DeterministicOrderIncludesCellWhenCoreLinked) {
+  // This binary links rxc_core, so the SPE factory is registered and the
+  // full set must appear, in stable order.
+  const std::vector<std::string> expected = {"host-scalar", "host-simd",
+                                             "host-threaded", "cell-sim"};
+  EXPECT_EQ(backend_names(), expected);
+  EXPECT_EQ(backend_names(), expected) << "second call must agree";
+}
+
+TEST(Registry, FindBackendRoundTripsEveryName) {
+  for (const Backend& b : registered_backends()) {
+    const auto found = find_backend(b.name);
+    ASSERT_TRUE(found.has_value()) << b.name;
+    EXPECT_EQ(found->name, b.name);
+    EXPECT_EQ(found->spec.kind, b.spec.kind);
+    EXPECT_EQ(found->tolerance.bitwise, b.tolerance.bitwise);
+  }
+  EXPECT_FALSE(find_backend("gpu-cuda").has_value());
+  EXPECT_FALSE(find_backend("").has_value());
+}
+
+TEST(Registry, PoliciesAreInternallyConsistent) {
+  for (const Backend& b : registered_backends()) {
+    // A bitwise promise with a nonzero ULP budget is a contradiction the
+    // conformance harness would silently ignore — reject it here.
+    if (b.tolerance.bitwise) {
+      EXPECT_EQ(b.tolerance.value_ulp, 0u) << b.name;
+    } else {
+      EXPECT_GT(b.tolerance.value_ulp, 0u) << b.name;
+    }
+    EXPECT_GE(b.tolerance.sum_rel, 0.0) << b.name;
+  }
+}
+
+TEST(Select, PinnedTableSelectionIsDeterministic) {
+  WorkloadShape shape;
+  const CalibrationTable pinned =
+      table_for(shape, {{"host-scalar", 9.0},
+                        {"host-simd", 3.0},
+                        {"host-threaded", 7.0},
+                        {"cell-sim", 40.0}});
+  for (int i = 0; i < 3; ++i) {
+    const Backend winner = choose_backend(shape, pinned);
+    EXPECT_EQ(winner.name, "host-simd");
+    EXPECT_EQ(winner.spec.kind, ExecutorKind::kHost);
+    EXPECT_TRUE(winner.spec.kernels.simd);
+  }
+  EXPECT_NE(choose_executor(shape, pinned), nullptr);
+}
+
+TEST(Select, TieBreaksOnNameRegardlessOfEntryOrder) {
+  WorkloadShape shape;
+  const std::vector<CalibrationEntry> forward = {{"host-simd", 5.0},
+                                                 {"host-scalar", 5.0}};
+  std::vector<CalibrationEntry> reversed = forward;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_EQ(choose_backend(shape, table_for(shape, forward)).name,
+            "host-scalar");
+  EXPECT_EQ(choose_backend(shape, table_for(shape, reversed)).name,
+            "host-scalar");
+}
+
+TEST(Select, UnregisteredEntriesAreSkippedNotChosen) {
+  WorkloadShape shape;
+  // A table measured on a machine with backends this binary lacks must fall
+  // through to the best backend that IS constructible here.
+  const CalibrationTable pinned = table_for(
+      shape, {{"gpu-cuda", 0.01}, {"host-threaded", 6.0}, {"fpga", 0.02}});
+  EXPECT_EQ(choose_backend(shape, pinned).name, "host-threaded");
+
+  const CalibrationTable useless =
+      table_for(shape, {{"gpu-cuda", 0.01}, {"fpga", 0.02}});
+  EXPECT_THROW(choose_backend(shape, useless), ConfigError);
+}
+
+TEST(Select, ShapeMismatchAgainstPinnedTableThrows) {
+  WorkloadShape measured;
+  measured.patterns = 512;
+  WorkloadShape job = measured;
+  job.patterns = 513;
+  const CalibrationTable pinned =
+      table_for(measured, {{"host-scalar", 1.0}});
+  EXPECT_NO_THROW(choose_backend(measured, pinned));
+  EXPECT_THROW(choose_backend(job, pinned), ConfigError);
+  job = measured;
+  job.mode = RateMode::kGamma;
+  EXPECT_THROW(choose_backend(job, pinned), ConfigError);
+}
+
+TEST(Select, CalibrationTableTextRoundTrips) {
+  WorkloadShape shape;
+  shape.taxa = 17;
+  shape.patterns = 999;
+  shape.ncat = 25;
+  shape.mode = RateMode::kGamma;
+  const CalibrationTable table = table_for(
+      shape, {{"host-scalar", 12.25}, {"host-simd", 3.0000000000000004}});
+  const CalibrationTable back = CalibrationTable::from_string(table.to_string());
+  EXPECT_EQ(back.shape.taxa, shape.taxa);
+  EXPECT_EQ(back.shape.patterns, shape.patterns);
+  EXPECT_EQ(back.shape.ncat, shape.ncat);
+  EXPECT_EQ(back.shape.mode, shape.mode);
+  EXPECT_EQ(back.shape.states, shape.states);
+  ASSERT_EQ(back.entries.size(), table.entries.size());
+  for (std::size_t i = 0; i < table.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].backend, table.entries[i].backend);
+    // precision-17 text round-trips doubles exactly, so the reloaded table
+    // must select identically, not just approximately.
+    EXPECT_EQ(back.entries[i].nanos_per_pattern,
+              table.entries[i].nanos_per_pattern);
+  }
+  EXPECT_EQ(choose_backend(shape, back).name,
+            choose_backend(shape, table).name);
+}
+
+TEST(Select, MalformedTablesThrowConfigError) {
+  EXPECT_THROW(CalibrationTable::from_string(""), ConfigError);
+  EXPECT_THROW(CalibrationTable::from_string("backend host-scalar 1.0\n"),
+               ConfigError);  // no shape line
+  EXPECT_THROW(CalibrationTable::from_string("bogus line\n"), ConfigError);
+  EXPECT_THROW(CalibrationTable::from_string("shape taxa\n"), ConfigError);
+  EXPECT_THROW(CalibrationTable::from_string("shape taxa=abc\n"), ConfigError);
+  EXPECT_THROW(CalibrationTable::from_string("shape rate=4\n"), ConfigError);
+  EXPECT_THROW(CalibrationTable::from_string(
+                   "shape taxa=4 patterns=8 ncat=4 mode=lognormal states=4\n"),
+               ConfigError);
+  EXPECT_THROW(CalibrationTable::from_string(
+                   "shape taxa=4 patterns=8 ncat=4 mode=cat states=4\n"
+                   "backend host-scalar\n"),
+               ConfigError);  // backend line missing the score
+  // Shape line present but invalid as a workload.
+  EXPECT_THROW(CalibrationTable::from_string(
+                   "shape taxa=4 patterns=8 ncat=4 mode=cat states=20\n"),
+               ConfigError);
+}
+
+TEST(Select, ShapeValidationRejectsEveryBadAxis) {
+  const WorkloadShape good;
+  EXPECT_NO_THROW(good.validate());
+  WorkloadShape s = good;
+  s.taxa = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = good;
+  s.patterns = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = good;
+  s.ncat = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = good;
+  s.ncat = kMaxRateCategories + 1;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = good;
+  s.states = 20;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+/// Live calibration on degenerate shapes: 1 pattern (smaller than any SIMD
+/// block, any thread chunk, any DMA strip), 1 taxon, and the ncat ceiling.
+/// Must not crash, and must hand back a backend this binary can build.
+TEST(Select, DegenerateShapeSweepPicksValidBackends) {
+  std::set<std::string> valid;
+  for (const std::string& name : backend_names()) valid.insert(name);
+
+  std::vector<WorkloadShape> shapes;
+  for (const RateMode mode : {RateMode::kCat, RateMode::kGamma}) {
+    WorkloadShape s;
+    s.mode = mode;
+    s.taxa = 1;
+    s.patterns = 1;
+    s.ncat = 1;
+    shapes.push_back(s);
+    s.ncat = kMaxRateCategories;
+    shapes.push_back(s);
+    s.patterns = 3;  // forces a partial SIMD block
+    shapes.push_back(s);
+  }
+  for (const WorkloadShape& shape : shapes) {
+    SCOPED_TRACE(shape.describe());
+    const CalibrationTable table = calibrate(shape);
+    EXPECT_EQ(table.entries.size(), registered_backends().size());
+    for (const CalibrationEntry& e : table.entries)
+      EXPECT_GT(e.nanos_per_pattern, 0.0) << e.backend;
+    const Backend winner = choose_backend(shape, table);
+    EXPECT_TRUE(valid.count(winner.name)) << winner.name;
+    EXPECT_NE(choose_executor(shape, table), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace rxc::lh

@@ -28,7 +28,9 @@
 #include "search/analysis.h"
 #include "search/checkpoint.h"
 #include "seq/seqgen.h"
+#include "likelihood/registry.h"
 #include "serve/admission.h"
+#include "serve/device_pool.h"
 #include "serve/ndjson.h"
 #include "serve/server.h"
 
@@ -256,6 +258,39 @@ TEST(DevicePool, InjectedFaultTrapsAndDeviceSurvives) {
   const auto fresh = run_task(w.pa, w.ec, w.so, w.tasks[0], exec.get());
   EXPECT_EQ(on_device.log_likelihood, fresh.log_likelihood);
   EXPECT_EQ(on_device.newick, fresh.newick);
+}
+
+TEST(DevicePool, AutoDeviceSpecsLeaseTheCalibratedWinner) {
+  lh::WorkloadShape shape;
+  shape.patterns = 128;
+  lh::CalibrationTable pinned;
+  pinned.shape = shape;
+  pinned.entries = {{"host-scalar", 9.0},
+                    {"host-simd", 2.0},
+                    {"cell-sim", 50.0}};
+
+  // Host winner: the whole pool leases host-SIMD devices, count copies.
+  const auto specs = serve::auto_device_specs(shape, 3, pinned);
+  ASSERT_EQ(specs.size(), 3u);
+  for (const lh::ExecutorSpec& s : specs) {
+    EXPECT_EQ(s.kind, lh::ExecutorKind::kHost);
+    EXPECT_TRUE(s.kernels.simd);
+  }
+  serve::DevicePool host_pool(specs);
+  EXPECT_FALSE(host_pool.device(0).is_cell());
+
+  // Cell winner: devices come up as simulated Cells (with the per-device
+  // unique event bases the Device constructor forces).
+  pinned.entries = {{"cell-sim", 1.0}, {"host-scalar", 2.0}};
+  serve::DevicePool cell_pool(serve::auto_device_specs(shape, 2, pinned));
+  EXPECT_TRUE(cell_pool.device(0).is_cell());
+  EXPECT_TRUE(cell_pool.device(1).is_cell());
+
+  // A table measured for another shape must not be applied silently.
+  lh::WorkloadShape other = shape;
+  other.patterns = 64;
+  EXPECT_THROW(serve::auto_device_specs(other, 1, pinned), ConfigError);
+  EXPECT_THROW(serve::auto_device_specs(shape, 0, pinned), Error);
 }
 
 // Satellite: suspend at EVERY checkpoint boundary, resume on a DIFFERENT

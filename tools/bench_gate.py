@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Perf gate over BENCH_kernels.json: the vectorized kernels must beat their
+scalar twins by a floor ratio, so the regression that motivated the SIMD
+rewrite (gather-heavy "vector" code slower than scalar) can never land
+silently again.
+
+Usage: tools/bench_gate.py [BENCH_kernels.json] [--min-speedup=1.5]
+
+The gate SKIPS (exit 0, with the reason on stdout) rather than fails when
+the measurement cannot be trusted or is meaningless:
+  - host_cores <= 1: shared single-core CI runners time-slice the bench
+    against its own process noise; medians still swing well past the gate
+    margin, so a verdict either way would be luck, not signal.
+  - rxc_simd_level != avx2: runtime dispatch fell back (old CPU, or an
+    RXC_SIMD cap), so "simd" and "scalar" run nearly the same code.
+Both fields are recorded in the baseline's context block by tools/bench.sh
+and bench_kernels itself — the gate never guesses at the environment.
+"""
+
+import json
+import statistics
+import sys
+
+PAIRS = [
+    ("BM_NewviewCatScalar", "BM_NewviewCatSimd"),
+    ("BM_EvaluateCat", "BM_EvaluateCatSimd"),
+    ("BM_SumtableCat", "BM_SumtableCatSimd"),
+    ("BM_NewviewGammaScalarVsSimd/0", "BM_NewviewGammaScalarVsSimd/1"),
+]
+
+
+def median_time(benchmarks, name):
+    times = [
+        b["cpu_time"]
+        for b in benchmarks
+        if b["name"] == name and b.get("run_type", "iteration") == "iteration"
+    ]
+    if not times:
+        sys.exit(f"bench_gate: no runs named {name!r} in the baseline")
+    return statistics.median(times)
+
+
+def main(argv):
+    path = "BENCH_kernels.json"
+    min_speedup = 1.5
+    for arg in argv[1:]:
+        if arg.startswith("--min-speedup="):
+            min_speedup = float(arg.split("=", 1)[1])
+        else:
+            path = arg
+
+    with open(path) as f:
+        doc = json.load(f)
+    context = doc.get("context", {})
+
+    cores = int(context.get("host_cores", 0))
+    if cores <= 1:
+        print(f"bench_gate: SKIP - host_cores={cores} (single-core runner: "
+              "timings are noise-dominated, gate verdict would be luck)")
+        return 0
+
+    level = context.get("rxc_simd_level", "unknown")
+    if level != "avx2":
+        print(f"bench_gate: SKIP - rxc_simd_level={level} (no AVX2 dispatch, "
+              "vector and scalar paths are not meaningfully different)")
+        return 0
+
+    benchmarks = doc["benchmarks"]
+    failed = False
+    for scalar, simd in PAIRS:
+        t_scalar = median_time(benchmarks, scalar)
+        t_simd = median_time(benchmarks, simd)
+        speedup = t_scalar / t_simd
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(f"{verdict}: {simd} {speedup:.2f}x vs {scalar} "
+              f"({t_simd:.0f} vs {t_scalar:.0f} ns), floor {min_speedup}x")
+        if speedup < min_speedup:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

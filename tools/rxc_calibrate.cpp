@@ -1,0 +1,74 @@
+/// rxc-calibrate — micro-benchmarks every registered likelihood backend
+/// (host-scalar, host-simd, host-threaded, cell-sim) against one job shape
+/// and emits the calibration table in the serving layer's pinned-table
+/// format (lh::CalibrationTable::to_string).  Servers can pass the saved
+/// table to auto_device_specs instead of re-benching per job; CI uploads it
+/// as a per-runner record of which backend won and by how much.
+///
+///   rxc-calibrate --shape-patterns 252 --shape-ncat 25 --out table.txt
+///
+/// Options:
+///   --shape-taxa N       tree size axis            (default 42)
+///   --shape-patterns N   patterns per kernel call  (default 252)
+///   --shape-ncat N       rate categories           (default 25)
+///   --mode cat|gamma     rate heterogeneity model  (default cat)
+///   --out FILE           write the table here      (default stdout)
+///
+/// The winner and per-backend scores also go to stderr for humans; stdout
+/// (or --out) carries only the machine-readable table.  Exit 0 on success.
+
+#include <fstream>
+#include <iostream>
+
+#include "core/spe_executor.h"
+#include "likelihood/registry.h"
+#include "support/error.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace rxc;
+  try {
+    const Options opt(argc, argv);
+    opt.check_known(
+        {"shape-taxa", "shape-patterns", "shape-ncat", "mode", "out"});
+
+    // Referencing cell_executor_spec links core's SPE-factory registrar in,
+    // so cell-sim is scored exactly as in the serving binary.
+    (void)core::cell_executor_spec(core::Stage::kOffloadAll);
+
+    lh::WorkloadShape shape;
+    shape.taxa = static_cast<int>(opt.get_int("shape-taxa", 42));
+    shape.patterns =
+        static_cast<std::size_t>(opt.get_int("shape-patterns", 252));
+    shape.ncat = static_cast<int>(opt.get_int("shape-ncat", 25));
+    const std::string mode = opt.get("mode", "cat");
+    if (mode == "gamma") {
+      shape.mode = lh::RateMode::kGamma;
+    } else if (mode != "cat") {
+      throw Error("--mode must be cat|gamma");
+    }
+    shape.validate();
+
+    const lh::CalibrationTable table = lh::calibrate(shape);
+    const lh::Backend winner = lh::choose_backend(shape, table);
+    std::cerr << "shape: " << shape.describe() << "\n";
+    for (const lh::CalibrationEntry& e : table.entries)
+      std::cerr << (e.backend == winner.name ? "  * " : "    ") << e.backend
+                << ": " << e.nanos_per_pattern << " ns/pattern\n";
+    std::cerr << "winner: " << winner.name << " [" +
+                     winner.tolerance.describe() + "]\n";
+
+    const std::string text = table.to_string();
+    if (opt.has("out")) {
+      std::ofstream out(opt.get("out", ""));
+      RXC_REQUIRE(out.good(), "cannot open --out file");
+      out << text;
+    } else {
+      std::cout << text;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rxc-calibrate: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -8,8 +8,13 @@
 ///   --jobs FILE            NDJSON job specs (default: stdin)
 ///   --out FILE             NDJSON results (default: stdout)
 ///   --devices N            pool size (default 2)
-///   --kind spe|host|threaded   device backend (default spe)
+///   --kind spe|host|threaded|auto  device backend (default spe); auto
+///                          calibrates every registered backend against the
+///                          --shape-* axes and leases the fastest
 ///   --stage N              kSpe: core::Stage ordinal 0..7 (default 7)
+///   --shape-taxa N --shape-patterns N --shape-ncat N
+///                          --kind auto: the job shape to calibrate for
+///                          (defaults 42 / 252 / 25, the paper's 42_SC)
 ///   --queue-capacity N     admission bound (default 64)
 ///   --max-retries N        fault retries per job (default 2)
 ///   --no-preempt           disable checkpoint-boundary preemption
@@ -33,6 +38,7 @@
 
 #include "core/spe_executor.h"
 #include "obs/obs.h"
+#include "serve/device_pool.h"
 #include "serve/ndjson.h"
 #include "serve/server.h"
 #include "support/json.h"
@@ -41,11 +47,15 @@
 namespace {
 
 std::vector<rxc::lh::ExecutorSpec> device_specs(const std::string& kind,
-                                                int stage, int devices) {
+                                                int stage, int devices,
+                                                const rxc::lh::WorkloadShape&
+                                                    shape) {
   using namespace rxc;
   RXC_REQUIRE(devices >= 1, "--devices must be >= 1");
   lh::ExecutorSpec spec;
-  if (kind == "spe") {
+  if (kind == "auto") {
+    return serve::auto_device_specs(shape, devices);
+  } else if (kind == "spe") {
     spec = core::cell_executor_spec(static_cast<core::Stage>(stage));
   } else if (kind == "threaded") {
     spec.kind = lh::ExecutorKind::kThreaded;
@@ -53,7 +63,7 @@ std::vector<rxc::lh::ExecutorSpec> device_specs(const std::string& kind,
   } else if (kind == "host") {
     spec.kind = lh::ExecutorKind::kHost;
   } else {
-    throw Error("--kind must be spe|host|threaded");
+    throw Error("--kind must be spe|host|threaded|auto");
   }
   return std::vector<lh::ExecutorSpec>(static_cast<std::size_t>(devices),
                                        spec);
@@ -79,7 +89,8 @@ int main(int argc, char** argv) {
     opt.check_known({"jobs", "out", "devices", "kind", "stage",
                      "queue-capacity", "max-retries", "no-preempt",
                      "submit-retries", "fault-device", "fault-after",
-                     "summary"});
+                     "summary", "shape-taxa", "shape-patterns",
+                     "shape-ncat"});
 
     serve::ServerConfig cfg;
     cfg.queue_capacity =
@@ -87,10 +98,15 @@ int main(int argc, char** argv) {
     cfg.max_retries = static_cast<int>(opt.get_int("max-retries", 2));
     cfg.preempt = !opt.get_bool("no-preempt", false);
 
+    lh::WorkloadShape shape;
+    shape.taxa = static_cast<int>(opt.get_int("shape-taxa", 42));
+    shape.patterns =
+        static_cast<std::size_t>(opt.get_int("shape-patterns", 252));
+    shape.ncat = static_cast<int>(opt.get_int("shape-ncat", 25));
     serve::Server server(
         device_specs(opt.get("kind", "spe"),
                      static_cast<int>(opt.get_int("stage", 7)),
-                     static_cast<int>(opt.get_int("devices", 2))),
+                     static_cast<int>(opt.get_int("devices", 2)), shape),
         cfg);
 
     if (opt.has("fault-device")) {
