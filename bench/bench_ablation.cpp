@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "core/port.h"
+#include "core/spe_executor.h"
 #include "seq/seqgen.h"
 #include "support/stopwatch.h"
 
@@ -40,15 +41,19 @@ void eib_contention(const seq::PatternAlignment& pa) {
   so.max_rounds = 2;
   std::printf("--- EIB contention sensitivity (per-task serial vtime) ---\n");
   std::printf("%-12s %14s\n", "factor", "vtime[s]");
-  for (const double factor : {1.0, 1.25, 1.5, 2.0, 4.0}) {
-    lh::ExecutorSpec spec =
-        core::cell_executor_spec(core::Stage::kIntCond);  // no dbuf
-    spec.eib_contention = factor;
-    const auto holder = lh::make_executor(spec);
-    auto& exec = core::as_cell_executor(*holder);
+  // The knob moved into the device model: sweep the per-SPE contention
+  // coefficient with all 8 SPEs declared active, so factor = 1 + 7c.
+  for (const double coeff : {0.0, 0.05, 0.1, 0.2, 0.5}) {
+    cell::DeviceModel dev;
+    dev.cost.eib_contention_per_spe = coeff;
+    core::SpeExecConfig cfg;
+    cfg.toggles = core::stage_toggles(core::Stage::kIntCond);  // no dbuf
+    cfg.active_spes = dev.spe_count;
+    core::CellExecutor exec(cfg, dev);
     const auto trace = core::execute_task(
         pa, ec, so, {search::TaskKind::kBootstrap, 1}, exec);
-    std::printf("%-12.2f %14.3f\n", factor,
+    std::printf("%-12.2f %14.3f\n",
+                exec.machine().device().eib_factor(8),
                 trace.serial_cycles() / exec.machine().params().clock_hz);
   }
 }

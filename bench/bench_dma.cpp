@@ -31,7 +31,7 @@ int main() {
         // (stage, dbuf) grid maps onto two adjacent cumulative stages.
         lh::ExecutorSpec spec = core::cell_executor_spec(
             dbuf ? core::Stage::kDoubleBuffer : core::Stage::kIntCond);
-        spec.strip_bytes = strip;
+        spec.cell().strip_bytes = strip;
         const auto holder = lh::make_executor(spec);
         auto& exec = core::as_cell_executor(*holder);
         (void)core::execute_task(pa, ec, so, task, exec);

@@ -48,12 +48,12 @@ int main() {
       double base = 0.0;
       for (int threads = 1; threads <= static_cast<int>(hw); threads *= 2) {
         lh::LikelihoodEngine engine(pa, cfg);
-        lh::ExecutorSpec spec;
-        spec.kind = lh::ExecutorKind::kThreaded;
-        spec.threads = threads;
-        spec.kernels = cfg.kernels;
-        spec.chunk_patterns = 64;
-        const auto exec = lh::make_executor(spec);
+        lh::ThreadedOptions topt;
+        topt.threads = threads;
+        topt.kernels = cfg.kernels;
+        topt.chunk_patterns = 64;
+        const auto exec =
+            lh::make_executor(lh::ExecutorSpec::threaded_spec(topt));
         engine.set_executor(exec.get());
         Stopwatch sw;
         const auto result = search::run_search(pa, engine, so, 3);

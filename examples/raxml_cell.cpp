@@ -160,10 +160,14 @@ int main(int argc, char** argv) {
     } else {
       const int threads = static_cast<int>(opt.get_int("threads", 1));
       lh::ExecutorSpec spec;
-      spec.kind = threads > 1 ? lh::ExecutorKind::kThreaded
-                              : lh::ExecutorKind::kHost;
-      spec.threads = threads;
-      spec.kernels = engine_cfg.kernels;
+      if (threads > 1) {
+        lh::ThreadedOptions topt;
+        topt.threads = threads;
+        topt.kernels = engine_cfg.kernels;
+        spec = lh::ExecutorSpec::threaded_spec(topt);
+      } else {
+        spec = lh::ExecutorSpec::host_spec(lh::HostOptions{engine_cfg.kernels});
+      }
       const auto exec = lh::make_executor(spec);
       results.reserve(tasks.size());
       for (const auto& task : tasks) {

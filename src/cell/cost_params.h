@@ -125,24 +125,15 @@ struct CostParams {
   double seconds(Cycles cycles) const {
     return static_cast<double>(cycles) / clock_hz;
   }
+
+  friend bool operator==(const CostParams&, const CostParams&) = default;
 };
 
 /// Default parameters (see file comment for provenance).
 inline constexpr CostParams kDefaultCostParams{};
 
-// --- hardware architecture constants (functional simulator) ---------------
-
-inline constexpr std::size_t kLocalStoreBytes = 256 * 1024;
-inline constexpr std::size_t kDmaMaxBytes = 16 * 1024;
-inline constexpr std::size_t kDmaListMaxEntries = 2048;
-inline constexpr int kSpeCount = 8;
-inline constexpr int kPpeThreads = 2;
-inline constexpr int kMailboxInDepth = 4;   ///< PPE -> SPU inbound mailbox
-inline constexpr int kMailboxOutDepth = 1;  ///< SPU -> PPE outbound mailbox
-
-/// Code footprint of the offloaded module (newview + makenewz + evaluate),
-/// reserved at the bottom of local store: the paper measures 117 KB total,
-/// leaving 139 KB for stack/heap/static data.
-inline constexpr std::size_t kOffloadCodeBytes = 117 * 1024;
+// The hardware architecture constants (local-store size, SPE count, DMA
+// limits, mailbox depths) that used to live here are now fields of
+// cell::DeviceModel (device_model.h) — geometry is configuration, not code.
 
 }  // namespace rxc::cell

@@ -1,0 +1,294 @@
+#include "cell/device_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "support/aligned.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/json_value.h"
+
+namespace rxc::cell {
+namespace {
+
+/// Every CostParams field, by wire key, for table-driven (de)serialization:
+/// one list keeps to_string and from_string from drifting apart.
+struct CostField {
+  const char* key;
+  double CostParams::*member;
+};
+
+constexpr CostField kCostFields[] = {
+    {"clock_hz", &CostParams::clock_hz},
+    {"spu_dp_flop_cycles", &CostParams::spu_dp_flop_cycles},
+    {"spu_dp_vector_instr_cycles", &CostParams::spu_dp_vector_instr_cycles},
+    {"spu_vector_build_cycles", &CostParams::spu_vector_build_cycles},
+    {"spu_ls_cycles_per_pattern", &CostParams::spu_ls_cycles_per_pattern},
+    {"spu_exp_libm_cycles", &CostParams::spu_exp_libm_cycles},
+    {"spu_exp_sdk_cycles", &CostParams::spu_exp_sdk_cycles},
+    {"spu_log_libm_cycles", &CostParams::spu_log_libm_cycles},
+    {"spu_log_sdk_cycles", &CostParams::spu_log_sdk_cycles},
+    {"spu_cond_fp_cycles", &CostParams::spu_cond_fp_cycles},
+    {"spu_cond_int_cycles", &CostParams::spu_cond_int_cycles},
+    {"spu_branch_miss_cycles", &CostParams::spu_branch_miss_cycles},
+    {"dma_startup_cycles", &CostParams::dma_startup_cycles},
+    {"dma_bytes_per_cycle", &CostParams::dma_bytes_per_cycle},
+    {"eib_contention_per_spe", &CostParams::eib_contention_per_spe},
+    {"mailbox_signal_cycles", &CostParams::mailbox_signal_cycles},
+    {"direct_signal_cycles", &CostParams::direct_signal_cycles},
+    {"spe_poll_cycles", &CostParams::spe_poll_cycles},
+    {"ppe_dp_flop_cycles", &CostParams::ppe_dp_flop_cycles},
+    {"ppe_exp_libm_cycles", &CostParams::ppe_exp_libm_cycles},
+    {"ppe_log_cycles", &CostParams::ppe_log_cycles},
+    {"ppe_smt_factor", &CostParams::ppe_smt_factor},
+    {"ppe_cond_cycles", &CostParams::ppe_cond_cycles},
+    {"ppe_mem_cycles_per_pattern", &CostParams::ppe_mem_cycles_per_pattern},
+    {"ppe_offload_overhead_cycles", &CostParams::ppe_offload_overhead_cycles},
+    {"ppe_chained_overhead_cycles", &CostParams::ppe_chained_overhead_cycles},
+    {"ppe_context_switch_cycles", &CostParams::ppe_context_switch_cycles},
+    {"llp_fork_join_cycles", &CostParams::llp_fork_join_cycles},
+};
+
+[[noreturn]] void bad(const std::string& what) {
+  throw ConfigError("device model: " + what);
+}
+
+int as_range_int(const JsonValue& v, const std::string& key, int lo, int hi) {
+  const double d = v.as_number();
+  if (d != std::floor(d) || d < lo || d > hi)
+    bad("'" + key + "' must be an integer in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "]");
+  return static_cast<int>(d);
+}
+
+std::size_t as_size(const JsonValue& v, const std::string& key) {
+  const double d = v.as_number();
+  if (d < 0 || d != std::floor(d) || d > 9e15)
+    bad("'" + key + "' must be a non-negative integer");
+  return static_cast<std::size_t>(d);
+}
+
+void parse_cost(const JsonValue& v, CostParams& cost) {
+  if (!v.is_object()) bad("'cost' must be a JSON object");
+  for (const auto& [key, field] : v.object) {
+    const CostField* found = nullptr;
+    for (const CostField& f : kCostFields)
+      if (key == f.key) {
+        found = &f;
+        break;
+      }
+    if (found == nullptr) bad("cost: unknown key '" + key + "'");
+    cost.*(found->member) = field.as_number();
+  }
+}
+
+void require_nonneg(const char* key, double v) {
+  if (!(v >= 0.0)) bad(std::string("cost.") + key + " must be >= 0");
+}
+
+}  // namespace
+
+double DeviceModel::eib_factor(int active_spes) const {
+  return 1.0 + cost.eib_contention_per_spe * std::max(0, active_spes - 1);
+}
+
+double DeviceModel::mailbox_factor(int concurrent_workers) const {
+  return std::max(1, concurrent_workers);
+}
+
+void DeviceModel::validate() const {
+  if (name.empty()) bad("name must be non-empty");
+  // Names flow into whitespace-delimited calibration tables and CLI flags.
+  for (char c : name)
+    if (c <= ' ' || c == '@')
+      bad("name must not contain whitespace, control characters or '@'");
+  if (spe_count < 1 || spe_count > kMaxDeviceSpes)
+    bad("spe_count must be in [1, " + std::to_string(kMaxDeviceSpes) +
+        "], got " + std::to_string(spe_count));
+  if (ppe_threads < 1 || ppe_threads > 16)
+    bad("ppe_threads must be in [1, 16]");
+  if (local_store_bytes < 4096 || local_store_bytes > (std::size_t{1} << 30))
+    bad("local_store_bytes must be in [4096, 2^30]");
+  if (round_up(offload_code_bytes, kDmaAlignment) >= local_store_bytes)
+    bad("offload_code_bytes (" + std::to_string(offload_code_bytes) +
+        ") must leave room below local_store_bytes (" +
+        std::to_string(local_store_bytes) + ")");
+  if (dma_max_bytes < kDmaAlignment || dma_max_bytes % kDmaAlignment != 0 ||
+      dma_max_bytes > (std::size_t{1} << 24))
+    bad("dma_max_bytes must be a multiple of 16 in [16, 2^24]");
+  if (dma_list_max_entries < 1 || dma_list_max_entries > (std::size_t{1} << 20))
+    bad("dma_list_max_entries must be in [1, 2^20]");
+  if (mfc_tag_count < 1 || mfc_tag_count > 128)
+    bad("mfc_tag_count must be in [1, 128]");
+  if (mailbox_in_depth < 1 || mailbox_in_depth > 1024)
+    bad("mailbox_in_depth must be in [1, 1024]");
+  if (mailbox_out_depth < 1 || mailbox_out_depth > 1024)
+    bad("mailbox_out_depth must be in [1, 1024]");
+  if (!(cost.clock_hz > 0.0)) bad("cost.clock_hz must be > 0");
+  if (!(cost.dma_bytes_per_cycle > 0.0))
+    bad("cost.dma_bytes_per_cycle must be > 0");
+  if (!(cost.ppe_smt_factor >= 1.0)) bad("cost.ppe_smt_factor must be >= 1");
+  for (const CostField& f : kCostFields) require_nonneg(f.key, cost.*(f.member));
+}
+
+std::string DeviceModel::to_string() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("spe_count", static_cast<std::uint64_t>(spe_count));
+  w.kv("ppe_threads", static_cast<std::uint64_t>(ppe_threads));
+  w.kv("local_store_bytes", static_cast<std::uint64_t>(local_store_bytes));
+  w.kv("offload_code_bytes", static_cast<std::uint64_t>(offload_code_bytes));
+  w.kv("dma_max_bytes", static_cast<std::uint64_t>(dma_max_bytes));
+  w.kv("dma_list_max_entries",
+       static_cast<std::uint64_t>(dma_list_max_entries));
+  w.kv("mfc_tag_count", static_cast<std::uint64_t>(mfc_tag_count));
+  w.kv("mailbox_in_depth", static_cast<std::uint64_t>(mailbox_in_depth));
+  w.kv("mailbox_out_depth", static_cast<std::uint64_t>(mailbox_out_depth));
+  w.key("cost");
+  w.begin_object();
+  for (const CostField& f : kCostFields) w.kv(f.key, cost.*(f.member));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+DeviceModel DeviceModel::from_string(const std::string& text) {
+  JsonValue doc;
+  try {
+    doc = parse_json(text);
+  } catch (const ParseError& e) {
+    throw ConfigError(std::string("device model: ") + e.what());
+  }
+  if (!doc.is_object()) bad("document is not a JSON object");
+
+  DeviceModel m;
+  bool saw_name = false;
+  try {
+    for (const auto& [key, v] : doc.object) {
+      if (key == "name") {
+        m.name = v.as_string();
+        saw_name = true;
+      } else if (key == "spe_count") {
+        m.spe_count = as_range_int(v, key, 1, kMaxDeviceSpes);
+      } else if (key == "ppe_threads") {
+        m.ppe_threads = as_range_int(v, key, 1, 16);
+      } else if (key == "local_store_bytes") {
+        m.local_store_bytes = as_size(v, key);
+      } else if (key == "offload_code_bytes") {
+        m.offload_code_bytes = as_size(v, key);
+      } else if (key == "dma_max_bytes") {
+        m.dma_max_bytes = as_size(v, key);
+      } else if (key == "dma_list_max_entries") {
+        m.dma_list_max_entries = as_size(v, key);
+      } else if (key == "mfc_tag_count") {
+        m.mfc_tag_count = as_range_int(v, key, 1, 128);
+      } else if (key == "mailbox_in_depth") {
+        m.mailbox_in_depth = as_range_int(v, key, 1, 1024);
+      } else if (key == "mailbox_out_depth") {
+        m.mailbox_out_depth = as_range_int(v, key, 1, 1024);
+      } else if (key == "cost") {
+        parse_cost(v, m.cost);
+      } else {
+        bad("unknown key '" + key + "'");
+      }
+    }
+  } catch (const ParseError& e) {
+    // Typed-accessor mismatches ("spe_count": "eight") are config errors at
+    // this layer: the JSON itself was well-formed.
+    throw ConfigError(std::string("device model: ") + e.what());
+  }
+  if (!saw_name) bad("missing required key 'name'");
+  m.validate();
+  return m;
+}
+
+const std::vector<DeviceModel>& device_presets() {
+  static const std::vector<DeviceModel>* presets = [] {
+    auto* v = new std::vector<DeviceModel>;
+    v->push_back(DeviceModel{});  // cell-2007: every default above
+
+    DeviceModel big;
+    big.name = "cell-16spe-512k";
+    big.spe_count = 16;
+    big.local_store_bytes = 512 * 1024;
+    v->push_back(big);
+
+    DeviceModel fast;
+    fast.name = "cell-fast-eib";
+    fast.cost.dma_bytes_per_cycle = 16.0;
+    fast.cost.eib_contention_per_spe = 0.0;
+    v->push_back(fast);
+
+    for (const DeviceModel& m : *v) m.validate();
+    return v;
+  }();
+  return *presets;
+}
+
+namespace {
+
+/// Process-global registry of file-loaded models (leaked: devices may be
+/// looked up from detached server threads during shutdown).
+std::mutex& registry_mutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::map<std::string, DeviceModel>& registry() {
+  static auto* models = new std::map<std::string, DeviceModel>;
+  return *models;
+}
+
+const DeviceModel* find_preset(const std::string& name) {
+  for (const DeviceModel& m : device_presets())
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+}  // namespace
+
+void register_device_model(const DeviceModel& model) {
+  model.validate();
+  if (const DeviceModel* preset = find_preset(model.name)) {
+    if (model == *preset) return;  // re-registering a preset verbatim is ok
+    bad("cannot replace built-in preset '" + model.name + "'");
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[model.name] = model;
+}
+
+std::optional<DeviceModel> find_device_model(const std::string& name) {
+  if (const DeviceModel* preset = find_preset(name)) return *preset;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(name);
+  if (it == registry().end()) return std::nullopt;
+  return it->second;
+}
+
+DeviceModel require_device_model(const std::string& name) {
+  std::optional<DeviceModel> m = find_device_model(name);
+  if (!m) bad("unknown device model '" + name + "'");
+  return *std::move(m);
+}
+
+DeviceModel load_device_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) bad("cannot open device config '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  DeviceModel model;
+  try {
+    model = DeviceModel::from_string(text.str());
+  } catch (const ConfigError& e) {
+    bad("device config '" + path + "': " + e.what());
+  }
+  register_device_model(model);
+  return model;
+}
+
+}  // namespace rxc::cell

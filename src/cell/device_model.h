@@ -1,0 +1,129 @@
+#pragma once
+/// \file device_model.h
+/// Declarative virtual-hardware description.  Everything that used to be a
+/// compile-time constant about THE Cell machine — SPE count, local-store
+/// size, DMA limits, mailbox depths, the whole CostParams cycle table — is
+/// lifted into one text-serializable value, so the simulator can be *a*
+/// machine instead of *the* machine: heterogeneous serving pools, what-if
+/// architecture sweeps (rxc-sweep), and per-device calibration all become
+/// data, mirroring BEAGLE's described-by-data resource model (PAPERS.md).
+///
+/// Contention semantics (the single source of truth — the old
+/// ExecutorSpec.eib_contention / mailbox_contention doubles are gone):
+///  * EIB: `eib_factor(active_spes)` = 1 + cost.eib_contention_per_spe x
+///    (active_spes - 1).  Each additional concurrently-DMAing SPE slows
+///    every port's effective bandwidth by the per-SPE coefficient; one SPE
+///    sees factor 1.0 (no self-contention).
+///  * Mailbox: `mailbox_factor(concurrent_workers)` = max(1, workers).
+///    MMIO mailbox accesses serialize through the PPE bus interface, so W
+///    concurrently-signaling workers each see W-fold signal latency.
+///
+/// Serialization is strict JSON (support/json_value.h): unknown keys,
+/// duplicate keys, wrong types, and out-of-range values all throw
+/// rxc::ConfigError.  to_string()/from_string() round-trip bitwise (doubles
+/// print at %.17g).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cell/cost_params.h"
+
+namespace rxc::cell {
+
+/// Upper bound on spe_count across all device models: sizes fixed per-way
+/// scratch arrays in the executor and the stride of process-unique SPU
+/// event-id blocks (reserve_spu_event_base).
+inline constexpr int kMaxDeviceSpes = 64;
+
+struct DeviceModel {
+  /// Stable identifier ("cell-2007", "cell-16spe-512k", ...).  Placement
+  /// constraints (JobSpec.device), calibration entries (cell-sim@<name>)
+  /// and sweep rows key on it.
+  std::string name = "cell-2007";
+
+  // --- geometry (the paper's machine, §4, as defaults) --------------------
+  int spe_count = 8;
+  int ppe_threads = 2;  ///< one PPE, two SMT hardware threads
+
+  /// Local store per SPU; the paper's CBE has 256 KB.
+  std::size_t local_store_bytes = 256 * 1024;
+  /// Code footprint of the offloaded module (newview + makenewz + evaluate),
+  /// reserved at the bottom of local store: the paper measures 117 KB,
+  /// leaving 139 KB for stack/heap/static data.
+  std::size_t offload_code_bytes = 117 * 1024;
+
+  /// MFC DMA limits: single transfers <= 16 KB, list commands <= 2048
+  /// entries, 32 tag groups.
+  std::size_t dma_max_bytes = 16 * 1024;
+  std::size_t dma_list_max_entries = 2048;
+  int mfc_tag_count = 32;
+
+  /// Architected mailbox depths: 4-entry inbound (PPE -> SPU), 1-entry
+  /// outbound (SPU -> PPE).
+  int mailbox_in_depth = 4;
+  int mailbox_out_depth = 1;
+
+  /// The virtual-cycle cost table (clock, per-op latencies, EIB/mailbox
+  /// contention coefficients).  See cost_params.h for provenance.
+  CostParams cost;
+
+  /// Local-store bytes available for data once the code image is resident.
+  std::size_t ls_data_bytes() const {
+    return local_store_bytes - offload_code_bytes;
+  }
+
+  /// Multiplicative EIB bandwidth slowdown when `active_spes` SPEs stream
+  /// concurrently (>= 1.0; exactly 1.0 for a single SPE).
+  double eib_factor(int active_spes) const;
+
+  /// Multiplicative mailbox signal-latency slowdown when
+  /// `concurrent_workers` processes signal concurrently (>= 1.0).
+  double mailbox_factor(int concurrent_workers) const;
+
+  /// Throws rxc::ConfigError on out-of-range or inconsistent fields (empty
+  /// name, spe_count outside [1, kMaxDeviceSpes], code image >= local
+  /// store, non-positive costs, ...).
+  void validate() const;
+
+  /// Strict-JSON round trip: from_string(to_string()) == *this, bitwise.
+  std::string to_string() const;
+  /// Parses a validated DeviceModel.  Every key is optional except "name";
+  /// omitted fields keep the cell-2007 defaults.  Unknown/duplicate keys,
+  /// type mismatches, malformed JSON and out-of-range values are
+  /// rxc::ConfigError.
+  static DeviceModel from_string(const std::string& text);
+
+  friend bool operator==(const DeviceModel&, const DeviceModel&) = default;
+};
+
+// --- presets & registry -----------------------------------------------------
+
+/// Built-in machine descriptions, in deterministic order:
+///  * "cell-2007"       — the paper's testbed (all defaults above).
+///  * "cell-16spe-512k" — a doubled machine: 16 SPEs, 512 KB local store.
+///  * "cell-fast-eib"   — cell-2007 with twice the port bandwidth and a
+///                        contention-free EIB.
+const std::vector<DeviceModel>& device_presets();
+
+/// Registers (or replaces) a model under its name for process-wide lookup —
+/// how file-loaded configs become addressable by calibration entries and
+/// job placement.  Preset names cannot be replaced.  Validates; throws
+/// rxc::ConfigError.
+void register_device_model(const DeviceModel& model);
+
+/// Preset or registered model by name; nullopt when unknown.  (Returned by
+/// value: the registry is shared across threads.)
+std::optional<DeviceModel> find_device_model(const std::string& name);
+
+/// find_device_model or rxc::ConfigError naming the unknown model.
+DeviceModel require_device_model(const std::string& name);
+
+/// Reads the JSON device description in `path` (DeviceModel::to_string
+/// format), registers it under its name, and returns it.  Throws
+/// rxc::ConfigError on an unreadable file, parse failure, or a name clash
+/// with a different registered model.  The tools' --device-config plumbing.
+DeviceModel load_device_model_file(const std::string& path);
+
+}  // namespace rxc::cell

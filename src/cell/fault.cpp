@@ -27,7 +27,7 @@ struct Snapshot {
   VCycles now = 0.0;
   SpuCounters spu_counters;
   MfcCounters mfc_counters;
-  std::array<VCycles, kMfcTagCount> tag_done{};
+  std::vector<VCycles> tag_done;  ///< one per configured MFC tag
   std::size_t inbox_pending = 0;
   std::size_t outbox_pending = 0;
 
@@ -38,8 +38,9 @@ struct Snapshot {
     s.now = spu.now();
     s.spu_counters = spu.counters();
     s.mfc_counters = spu.mfc().counters();
-    for (int tag = 0; tag < kMfcTagCount; ++tag)
-      s.tag_done[tag] = spu.mfc().completion(tag);
+    s.tag_done.resize(static_cast<std::size_t>(spu.mfc().tag_count()));
+    for (int tag = 0; tag < spu.mfc().tag_count(); ++tag)
+      s.tag_done[static_cast<std::size_t>(tag)] = spu.mfc().completion(tag);
     s.inbox_pending = spu.inbox().pending();
     s.outbox_pending = spu.outbox().pending();
     return s;
@@ -59,7 +60,7 @@ struct Snapshot {
         mfc_counters.list_transfers != o.mfc_counters.list_transfers ||
         mfc_counters.stall_cycles != o.mfc_counters.stall_cycles)
       return "MFC counters changed";
-    for (int tag = 0; tag < kMfcTagCount; ++tag)
+    for (std::size_t tag = 0; tag < tag_done.size(); ++tag)
       if (tag_done[tag] != o.tag_done[tag])
         return "tag " + std::to_string(tag) + " completion time moved";
     if (inbox_pending != o.inbox_pending) return "inbound mailbox changed";
@@ -116,7 +117,7 @@ FaultOutcome inject_fault(Spu& spu, Fault fault) {
         mfc.get(scratch, host.data(), 24, 0, now);
         break;
       case Fault::kDmaOversize:
-        mfc.get(scratch, host.data(), kDmaMaxBytes + 16, 0, now);
+        mfc.get(scratch, host.data(), spu.device().dma_max_bytes + 16, 0, now);
         break;
       case Fault::kDmaMisalignedEa:
         mfc.get(scratch, host.data() + 4, 32, 0, now);
@@ -128,8 +129,9 @@ FaultOutcome inject_fault(Spu& spu, Fault fault) {
         mfc.put(host.data() + 2, scratch, 4, 0, now);
         break;
       case Fault::kDmaListTooLong: {
-        const std::vector<DmaListEntry> list(kDmaListMaxEntries + 1,
-                                             DmaListEntry{host.data(), 16});
+        const std::vector<DmaListEntry> list(
+            spu.device().dma_list_max_entries + 1,
+            DmaListEntry{host.data(), 16});
         mfc.get_list(scratch, list, 0, now);
         break;
       }
@@ -182,6 +184,8 @@ const char* race_hazard_name(RaceHazard hazard) {
 }
 
 void plant_hazard(CellMachine& machine, RaceHazard hazard) {
+  RXC_REQUIRE(machine.spe_count() >= 2,
+              "plant_hazard needs a machine with at least 2 SPEs");
   Spu& spe0 = machine.spe(0);
   Spu& spe1 = machine.spe(1);
   spe0.ls().reset();

@@ -24,12 +24,12 @@ namespace rxc::cell {
 enum class Fault {
   kDmaZeroSize,          ///< transfer of 0 bytes
   kDmaIllegalSize,       ///< 24 B: neither 1/2/4/8 nor a multiple of 16
-  kDmaOversize,          ///< block transfer beyond the 16 KB MFC limit
+  kDmaOversize,          ///< block transfer beyond the configured MFC limit
   kDmaMisalignedEa,      ///< block transfer, main-memory address % 16 != 0
   kDmaMisalignedLs,      ///< block transfer, local-store address % 16 != 0
   kDmaSmallMisaligned,   ///< 4 B transfer without natural alignment
-  kDmaListTooLong,       ///< DMA list beyond 2,048 entries
-  kLocalStoreOverflow,   ///< allocation beyond the 256 KB local store
+  kDmaListTooLong,       ///< DMA list beyond the configured entry limit
+  kLocalStoreOverflow,   ///< allocation beyond the configured local store
   kLocalStoreOob,        ///< raw access crossing the local-store end
   kMailboxInOverflow,    ///< fifth write to the 4-deep inbound mailbox
   kMailboxOutOverflow,   ///< second write to the 1-deep outbound mailbox

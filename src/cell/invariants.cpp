@@ -67,14 +67,16 @@ InvariantReport check_invariants(const Spu& spu) {
   check_mailbox(report, spu, "outbound mailbox", spu.outbox());
 
   const Mfc& mfc = spu.mfc();
-  for (int tag = 0; tag < kMfcTagCount; ++tag)
+  for (int tag = 0; tag < mfc.tag_count(); ++tag)
     check_value(report, spu, "tag completion", mfc.completion(tag));
   const MfcCounters& mc = mfc.counters();
   check_value(report, spu, "mfc stall_cycles", mc.stall_cycles);
   if (mc.bytes < mc.transfers)
     add(report, spu, "MFC moved fewer bytes than transfers (min 1 B each)");
-  if (mc.bytes > mc.transfers * kDmaMaxBytes)
-    add(report, spu, "MFC byte counter exceeds transfers x 16 KB");
+  if (mc.bytes > mc.transfers * spu.device().dma_max_bytes)
+    add(report, spu,
+        "MFC byte counter exceeds transfers x the configured max DMA size (" +
+            std::to_string(spu.device().dma_max_bytes) + " B)");
 
   return report;
 }
@@ -99,7 +101,7 @@ InvariantReport check_quiescent(const Spu& spu) {
     add(report, spu,
         "outbound mailbox not drained (" +
             std::to_string(spu.outbox().pending()) + " pending)");
-  for (int tag = 0; tag < kMfcTagCount; ++tag) {
+  for (int tag = 0; tag < spu.mfc().tag_count(); ++tag) {
     const VCycles done = spu.mfc().completion(tag);
     if (done > spu.now() * (1.0 + kClockSlack) + kClockSlack)
       add(report, spu,

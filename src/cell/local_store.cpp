@@ -1,15 +1,12 @@
 #include "cell/local_store.h"
 
-#include "cell/cost_params.h"
-
 namespace rxc::cell {
 
-LocalStore::LocalStore(std::size_t code_bytes)
-    : bytes_(kLocalStoreBytes),
+LocalStore::LocalStore(std::size_t capacity, std::size_t code_bytes)
+    : bytes_(capacity),
       code_bytes_(round_up(code_bytes, kDmaAlignment)),
       top_(code_bytes_) {
-  RXC_REQUIRE(code_bytes_ < kLocalStoreBytes,
-              "code image exceeds local store");
+  RXC_REQUIRE(code_bytes_ < capacity, "code image exceeds local store");
 }
 
 LsAddr LocalStore::alloc(std::size_t size) {

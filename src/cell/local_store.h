@@ -1,9 +1,10 @@
 #pragma once
 /// \file local_store.h
-/// The SPE's 256 KB software-managed local store.  Unified code+data: the
-/// offloaded code image is reserved at the bottom (the paper's 117 KB
-/// module), and kernel buffers are carved from the remainder with a
-/// watermark allocator.  Capacity and alignment violations throw
+/// The SPE's software-managed local store (256 KB on the paper's machine;
+/// the capacity now comes from the owning device model).  Unified
+/// code+data: the offloaded code image is reserved at the bottom (the
+/// paper's 117 KB module), and kernel buffers are carved from the remainder
+/// with a watermark allocator.  Capacity and alignment violations throw
 /// HardwareError — on silicon they would corrupt the running image.
 
 #include <cstddef>
@@ -20,8 +21,9 @@ using LsAddr = std::uint32_t;
 
 class LocalStore {
 public:
-  /// Reserves `code_bytes` at the bottom for the loaded code image.
-  explicit LocalStore(std::size_t code_bytes);
+  /// A `capacity`-byte store with `code_bytes` reserved at the bottom for
+  /// the loaded code image.
+  LocalStore(std::size_t capacity, std::size_t code_bytes);
 
   std::size_t capacity() const { return bytes_.size(); }
   std::size_t code_bytes() const { return code_bytes_; }

@@ -21,8 +21,11 @@ void count_transfer(std::size_t bytes) {
 
 }  // namespace
 
-Mfc::Mfc(LocalStore& ls, const CostParams& params, int owner)
-    : ls_(&ls), params_(&params), owner_(owner) {}
+Mfc::Mfc(LocalStore& ls, const DeviceModel& device, int owner)
+    : ls_(&ls),
+      device_(&device),
+      owner_(owner),
+      tag_done_(static_cast<std::size_t>(device.mfc_tag_count), 0.0) {}
 
 void Mfc::set_contention(double factor) {
   RXC_REQUIRE(factor >= 1.0, "EIB contention factor must be >= 1");
@@ -30,9 +33,10 @@ void Mfc::set_contention(double factor) {
 }
 
 void Mfc::validate(const void* ea, LsAddr ls_addr, std::size_t size) const {
-  if (size == 0 || size > kDmaMaxBytes)
+  if (size == 0 || size > device_->dma_max_bytes)
     throw HardwareError("DMA size " + std::to_string(size) +
-                        " outside (0, 16K]");
+                        " outside (0, " +
+                        std::to_string(device_->dma_max_bytes) + "]");
   const bool small_ok =
       size == 1 || size == 2 || size == 4 || size == 8;
   if (!small_ok && size % 16 != 0)
@@ -52,14 +56,14 @@ void Mfc::validate(const void* ea, LsAddr ls_addr, std::size_t size) const {
 }
 
 VCycles Mfc::transfer_cycles(std::size_t bytes) const {
-  return params_->dma_startup_cycles +
+  return device_->cost.dma_startup_cycles +
          static_cast<double>(bytes) /
-             (params_->dma_bytes_per_cycle / contention_);
+             (device_->cost.dma_bytes_per_cycle / contention_);
 }
 
 void Mfc::get(LsAddr dst, const void* src, std::size_t size, int tag,
               VCycles now) {
-  RXC_ASSERT(tag >= 0 && tag < kMfcTagCount);
+  RXC_ASSERT(tag >= 0 && tag < tag_count());
   validate(src, dst, size);
   std::memcpy(ls_->data(dst, size), src, size);
   tag_done_[tag] = std::max(tag_done_[tag], now) + transfer_cycles(size);
@@ -72,7 +76,7 @@ void Mfc::get(LsAddr dst, const void* src, std::size_t size, int tag,
 }
 
 void Mfc::put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now) {
-  RXC_ASSERT(tag >= 0 && tag < kMfcTagCount);
+  RXC_ASSERT(tag >= 0 && tag < tag_count());
   validate(dst, src, size);
   std::memcpy(dst, ls_->data(src, size), size);
   tag_done_[tag] = std::max(tag_done_[tag], now) + transfer_cycles(size);
@@ -86,8 +90,10 @@ void Mfc::put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now) {
 
 void Mfc::get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
                    VCycles now) {
-  if (list.size() > kDmaListMaxEntries)
-    throw HardwareError("DMA list exceeds 2048 entries");
+  if (list.size() > device_->dma_list_max_entries)
+    throw HardwareError("DMA list exceeds " +
+                        std::to_string(device_->dma_list_max_entries) +
+                        " entries");
   VCycles done = std::max(tag_done_[tag], now);
   LsAddr cursor = dst;
   for (const auto& entry : list) {
@@ -108,7 +114,7 @@ void Mfc::get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
 }
 
 VCycles Mfc::completion(int tag) const {
-  RXC_ASSERT(tag >= 0 && tag < kMfcTagCount);
+  RXC_ASSERT(tag >= 0 && tag < tag_count());
   return tag_done_[tag];
 }
 

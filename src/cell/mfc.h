@@ -4,9 +4,10 @@
 ///
 /// Functional semantics: transfers actually move bytes between host memory
 /// ("main memory") and the local store.  Architectural rules are enforced
-/// exactly as documented for the CBE (§4 of the paper): transfer sizes of
-/// 1, 2, 4, 8 bytes or multiples of 16 up to 16 KB; 128-bit alignment on
-/// both addresses for block transfers; DMA lists of up to 2,048 entries.
+/// exactly as documented for the CBE (§4 of the paper) but against the
+/// owning DeviceModel's configured limits: transfer sizes of 1, 2, 4, 8
+/// bytes or multiples of 16 up to dma_max_bytes; 128-bit alignment on both
+/// addresses for block transfers; DMA lists of up to dma_list_max_entries.
 ///
 /// Timing semantics: each command completes at
 ///   issue_time + startup + bytes / (bandwidth / contention)
@@ -14,20 +15,15 @@
 /// completion and reports the stall — double buffering shows up naturally
 /// as wait() returning 0 because computation covered the latency.
 
-#include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
-#include "cell/cost_params.h"
+#include "cell/device_model.h"
 #include "cell/events.h"
 #include "cell/local_store.h"
 
 namespace rxc::cell {
-
-/// Virtual time in cycles (fractional cycles keep the arithmetic exact).
-using VCycles = double;
-
-inline constexpr int kMfcTagCount = 32;
 
 struct DmaListEntry {
   const void* ea = nullptr;  ///< main-memory address
@@ -43,20 +39,25 @@ struct MfcCounters {
 
 class Mfc {
 public:
-  /// `owner` is the SPE id stamped on emitted machine events.
-  Mfc(LocalStore& ls, const CostParams& params, int owner = 0);
+  /// `owner` is the SPE id stamped on emitted machine events.  `device`
+  /// supplies both the DMA limits and the cost table; it must outlive the
+  /// Mfc (Spu points it at its machine's model).
+  Mfc(LocalStore& ls, const DeviceModel& device, int owner = 0);
 
   /// EIB contention factor (>= 1): effective bandwidth = nominal / factor.
-  /// Set by the scheduler according to how many SPEs it runs concurrently.
+  /// Set by the scheduler according to how many SPEs it runs concurrently
+  /// (DeviceModel::eib_factor is the canonical curve).
   void set_contention(double factor);
+
+  int tag_count() const { return static_cast<int>(tag_done_.size()); }
 
   /// DMA get: main memory -> local store.  `now` is the SPU issue time.
   void get(LsAddr dst, const void* src, std::size_t size, int tag,
            VCycles now);
   /// DMA put: local store -> main memory.
   void put(void* dst, LsAddr src, std::size_t size, int tag, VCycles now);
-  /// DMA-list get: scatter/gather of up to 2,048 entries into contiguous
-  /// local store starting at dst.
+  /// DMA-list get: scatter/gather of up to dma_list_max_entries entries
+  /// into contiguous local store starting at dst.
   void get_list(LsAddr dst, std::span<const DmaListEntry> list, int tag,
                 VCycles now);
 
@@ -74,10 +75,10 @@ private:
   VCycles transfer_cycles(std::size_t bytes) const;
 
   LocalStore* ls_;
-  const CostParams* params_;
+  const DeviceModel* device_;
   int owner_;
   double contention_ = 1.0;
-  std::array<VCycles, kMfcTagCount> tag_done_{};
+  std::vector<VCycles> tag_done_;  ///< device_->mfc_tag_count entries
   MfcCounters counters_;
 };
 

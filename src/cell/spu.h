@@ -1,31 +1,35 @@
 #pragma once
 /// \file spu.h
 /// One Synergistic Processing Element: SPU clock + local store + MFC +
-/// mailboxes.  Kernel code running "on" the SPE charges its virtual clock
-/// through this interface; the scheduler reads the accumulated busy time.
+/// mailboxes, with all geometry (local-store size, mailbox depths, DMA
+/// limits) drawn from the owning machine's DeviceModel.  Kernel code
+/// running "on" the SPE charges its virtual clock through this interface;
+/// the scheduler reads the accumulated busy time.
 
 #include <atomic>
 #include <memory>
 
-#include "cell/cost_params.h"
+#include "cell/device_model.h"
 #include "cell/local_store.h"
 #include "cell/mailbox.h"
 #include "cell/mfc.h"
 
 namespace rxc::cell {
 
-/// Reserves a block of kSpeCount process-unique SPU event ids and returns
-/// its base.  Machines built with a reserved base stamp machine events
-/// (events.h) with ids no other machine uses, so an event sink observing
-/// SEVERAL machines running concurrently (the serving layer's device pool)
-/// can partition per-SPU state correctly — with the default base 0, SPE i
-/// of every machine aliases to the same id, which is fine for the
-/// one-machine-at-a-time uses but makes the race detector see phantom
-/// overlaps between unrelated devices.  Blocks start above the default ids
-/// 0..kSpeCount-1, so reserved machines never collide with default ones.
+/// Reserves a block of kMaxDeviceSpes process-unique SPU event ids and
+/// returns its base.  Machines built with a reserved base stamp machine
+/// events (events.h) with ids no other machine uses, so an event sink
+/// observing SEVERAL machines running concurrently (the serving layer's
+/// device pool) can partition per-SPU state correctly — with the default
+/// base 0, SPE i of every machine aliases to the same id, which is fine for
+/// the one-machine-at-a-time uses but makes the race detector see phantom
+/// overlaps between unrelated devices.  Blocks are kMaxDeviceSpes wide (the
+/// ceiling on any model's spe_count) and start above the default ids
+/// 0..kMaxDeviceSpes-1, so reserved machines never collide with default
+/// ones regardless of either machine's configured width.
 inline int reserve_spu_event_base() {
-  static std::atomic<int> next{kSpeCount};
-  return next.fetch_add(kSpeCount, std::memory_order_relaxed);
+  static std::atomic<int> next{kMaxDeviceSpes};
+  return next.fetch_add(kMaxDeviceSpes, std::memory_order_relaxed);
 }
 
 struct SpuCounters {
@@ -38,18 +42,20 @@ class Spu {
 public:
   /// `event_id` is the id stamped on emitted machine events (events.h);
   /// -1 (default) means "same as id".  See reserve_spu_event_base().
-  Spu(int id, const CostParams& params, int event_id = -1)
+  /// `device` must outlive the Spu (CellMachine owns both).
+  Spu(int id, const DeviceModel& device, int event_id = -1)
       : id_(id),
         event_id_(event_id < 0 ? id : event_id),
-        params_(&params),
-        ls_(kOffloadCodeBytes),
-        mfc_(ls_, params, event_id_),
-        inbox_(kMailboxInDepth, event_id_, /*inbound=*/true),
-        outbox_(kMailboxOutDepth, event_id_, /*inbound=*/false) {}
+        device_(&device),
+        ls_(device.local_store_bytes, device.offload_code_bytes),
+        mfc_(ls_, device, event_id_),
+        inbox_(device.mailbox_in_depth, event_id_, /*inbound=*/true),
+        outbox_(device.mailbox_out_depth, event_id_, /*inbound=*/false) {}
 
   int id() const { return id_; }
   int event_id() const { return event_id_; }
-  const CostParams& params() const { return *params_; }
+  const DeviceModel& device() const { return *device_; }
+  const CostParams& params() const { return device_->cost; }
   LocalStore& ls() { return ls_; }
   const LocalStore& ls() const { return ls_; }
   Mfc& mfc() { return mfc_; }
@@ -87,7 +93,7 @@ public:
 private:
   int id_;
   int event_id_;
-  const CostParams* params_;
+  const DeviceModel* device_;
   LocalStore ls_;
   Mfc mfc_;
   Mailbox inbox_;
@@ -96,27 +102,32 @@ private:
   SpuCounters counters_;
 };
 
-/// The machine: one PPE (2 hardware threads, modeled by the schedulers) and
-/// eight SPEs.
+/// The machine a DeviceModel describes: one PPE (device.ppe_threads SMT
+/// hardware threads, modeled by the schedulers) and device.spe_count SPEs.
 class CellMachine {
 public:
   /// `event_base` offsets the ids stamped on this machine's events; 0 (the
-  /// default) keeps the historical ids 0..kSpeCount-1, a
+  /// default) keeps the historical ids 0..spe_count-1, a
   /// reserve_spu_event_base() block makes them process-unique.
-  explicit CellMachine(CostParams params = kDefaultCostParams,
-                       int event_base = 0)
-      : params_(params) {
-    for (int i = 0; i < kSpeCount; ++i)
-      spes_.push_back(std::make_unique<Spu>(i, params_, event_base + i));
+  explicit CellMachine(DeviceModel device = {}, int event_base = 0)
+      : device_(std::move(device)) {
+    device_.validate();
+    for (int i = 0; i < device_.spe_count; ++i)
+      spes_.push_back(std::make_unique<Spu>(i, device_, event_base + i));
   }
 
-  const CostParams& params() const { return params_; }
+  /// Spus hold pointers into device_; the machine must stay put.
+  CellMachine(const CellMachine&) = delete;
+  CellMachine& operator=(const CellMachine&) = delete;
+
+  const DeviceModel& device() const { return device_; }
+  const CostParams& params() const { return device_.cost; }
   Spu& spe(int i) { return *spes_.at(i); }
   const Spu& spe(int i) const { return *spes_.at(i); }
   int spe_count() const { return static_cast<int>(spes_.size()); }
 
 private:
-  CostParams params_;
+  DeviceModel device_;
   std::vector<std::unique_ptr<Spu>> spes_;
 };
 

@@ -53,11 +53,12 @@ TaskTrace execute_task(const seq::PatternAlignment& pa,
                       executor.spe());
 }
 
-int mgps_llp_ways(std::size_t remaining) {
-  if (remaining <= 1) return 8;
-  if (remaining == 2) return 4;
-  if (remaining <= 4) return 2;
-  return 1;
+int mgps_llp_ways(std::size_t remaining, int spe_count) {
+  const int budget = std::max<int>(
+      1, spe_count / static_cast<int>(std::max<std::size_t>(1, remaining)));
+  int ways = 1;
+  while (ways * 2 <= budget) ways *= 2;
+  return ways;
 }
 
 namespace {
@@ -72,14 +73,14 @@ struct TraceBatch {
 TraceBatch build_traces(const seq::PatternAlignment& pa,
                         const CellRunConfig& cfg,
                         std::span<const search::AnalysisTask> tasks,
-                        int llp_ways, double eib_contention,
+                        int llp_ways, int active_spes,
                         int concurrent_workers, CellRunResult& result) {
-  cell::CellMachine machine(cfg.params);
+  cell::CellMachine machine(cfg.device);
   SpeExecConfig exec_cfg;
   exec_cfg.toggles = stage_toggles(cfg.stage);
   exec_cfg.llp_ways = llp_ways;
-  exec_cfg.eib_contention = eib_contention;
-  exec_cfg.mailbox_contention = std::max(1, concurrent_workers);
+  exec_cfg.active_spes = active_spes;
+  exec_cfg.concurrent_workers = std::max(1, concurrent_workers);
   exec_cfg.host_threads = cfg.host_threads;
   SpeExecutor executor(machine, exec_cfg);
 
@@ -97,6 +98,7 @@ TraceBatch build_traces(const seq::PatternAlignment& pa,
     result.task_newicks.push_back(t.newick);
     result.counters += t.counters;
     result.profile += t.profile();
+    result.dma_stall_cycles += t.total_dma_stall();
     ++result.executed_tasks;
   }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -106,10 +108,6 @@ TraceBatch build_traces(const seq::PatternAlignment& pa,
   return batch;
 }
 
-double contention_for(const cell::CostParams& params, int active_spes) {
-  return 1.0 + params.eib_contention_per_spe * std::max(0, active_spes - 1);
-}
-
 }  // namespace
 
 CellRunResult run_on_cell(const seq::PatternAlignment& pa,
@@ -117,66 +115,64 @@ CellRunResult run_on_cell(const seq::PatternAlignment& pa,
                           const std::vector<search::AnalysisTask>& tasks) {
   RXC_REQUIRE(!tasks.empty(), "run_on_cell: no tasks");
   obs::ScopedTimer span("core.run_on_cell", "port");
+  config.device.validate();
+  const int spes = config.device.spe_count;
   CellRunResult result;
   const std::span<const search::AnalysisTask> all(tasks);
 
   switch (config.scheduler) {
     case SchedulerModel::kNaiveMpi: {
-      RXC_REQUIRE(config.workers >= 1 && config.workers <= cell::kPpeThreads,
-                  "naive port supports 1 or 2 workers (PPE SMT width)");
-      const TraceBatch batch = build_traces(
-          pa, config, all, 1,
-          contention_for(config.params, config.workers), config.workers,
-          result);
+      RXC_REQUIRE(
+          config.workers >= 1 && config.workers <= config.device.ppe_threads,
+          "naive port: workers must not exceed the device's PPE SMT width (" +
+              std::to_string(config.device.ppe_threads) + ")");
+      const TraceBatch batch = build_traces(pa, config, all, 1,
+                                            config.workers, config.workers,
+                                            result);
       ScheduleConfig sc{Policy::kNaive, config.workers};
-      result.schedule = schedule_traces(config.params, batch.order, sc);
+      result.schedule = schedule_traces(config.device, batch.order, sc);
       break;
     }
     case SchedulerModel::kEdtlp: {
-      const TraceBatch batch = build_traces(
-          pa, config, all, 1, contention_for(config.params, cell::kSpeCount),
-          cell::kSpeCount, result);
-      ScheduleConfig sc{Policy::kEdtlp, cell::kSpeCount};
-      result.schedule = schedule_traces(config.params, batch.order, sc);
+      const TraceBatch batch =
+          build_traces(pa, config, all, 1, spes, spes, result);
+      ScheduleConfig sc{Policy::kEdtlp, spes};
+      result.schedule = schedule_traces(config.device, batch.order, sc);
       break;
     }
     case SchedulerModel::kLlp: {
-      RXC_REQUIRE(config.llp_ways >= 1 && config.llp_ways <= cell::kSpeCount,
-                  "llp_ways must be 1..8");
+      RXC_REQUIRE(config.llp_ways >= 1 && config.llp_ways <= spes,
+                  "llp_ways must be 1.." + std::to_string(spes) +
+                      " for device '" + config.device.name + "'");
       const TraceBatch batch = build_traces(
-          pa, config, all, config.llp_ways,
-          contention_for(config.params, cell::kSpeCount),
-          std::max(1, cell::kSpeCount / config.llp_ways), result);
-      ScheduleConfig sc{Policy::kLlp,
-                        std::max(1, cell::kSpeCount / config.llp_ways),
+          pa, config, all, config.llp_ways, spes,
+          std::max(1, spes / config.llp_ways), result);
+      ScheduleConfig sc{Policy::kLlp, std::max(1, spes / config.llp_ways),
                         config.llp_ways};
-      result.schedule = schedule_traces(config.params, batch.order, sc);
+      result.schedule = schedule_traces(config.device, batch.order, sc);
       break;
     }
     case SchedulerModel::kMgps: {
-      // Batches of eight run EDTLP; the remainder switches to LLP with the
-      // widest fan-out that keeps all SPEs fed (§5.3).
-      const std::size_t full = tasks.size() / cell::kSpeCount * cell::kSpeCount;
+      // Batches of one-process-per-SPE run EDTLP; the remainder switches to
+      // LLP with the widest fan-out that keeps all SPEs fed (§5.3).
+      const std::size_t full = tasks.size() / spes * spes;
       ScheduleResult total;
       if (full > 0) {
-        const TraceBatch batch = build_traces(
-            pa, config, all.subspan(0, full), 1,
-            contention_for(config.params, cell::kSpeCount), cell::kSpeCount,
-            result);
-        ScheduleConfig sc{Policy::kEdtlp, cell::kSpeCount};
-        total = schedule_traces(config.params, batch.order, sc);
+        const TraceBatch batch = build_traces(pa, config, all.subspan(0, full),
+                                              1, spes, spes, result);
+        ScheduleConfig sc{Policy::kEdtlp, spes};
+        total = schedule_traces(config.device, batch.order, sc);
       }
       const std::size_t rem = tasks.size() - full;
       if (rem > 0) {
-        const int ways = mgps_llp_ways(rem);
-        const TraceBatch batch = build_traces(
-            pa, config, all.subspan(full), ways,
-            contention_for(config.params, cell::kSpeCount),
-            static_cast<int>(rem), result);
+        const int ways = mgps_llp_ways(rem, spes);
+        const TraceBatch batch =
+            build_traces(pa, config, all.subspan(full), ways, spes,
+                         static_cast<int>(rem), result);
         ScheduleConfig sc{ways > 1 ? Policy::kLlp : Policy::kEdtlp,
                           static_cast<int>(rem), ways};
         const ScheduleResult tail =
-            schedule_traces(config.params, batch.order, sc);
+            schedule_traces(config.device, batch.order, sc);
         total.makespan += tail.makespan;
         total.ppe_busy += tail.ppe_busy;
         total.spe_busy += tail.spe_busy;
@@ -189,7 +185,7 @@ CellRunResult run_on_cell(const seq::PatternAlignment& pa,
   }
 
   result.virtual_seconds =
-      result.schedule.makespan / config.params.clock_hz;
+      result.schedule.makespan / config.device.cost.clock_hz;
   log_info("cell run: stage=" + stage_name(config.stage) + " tasks=" +
            std::to_string(tasks.size()) + " vtime=" +
            std::to_string(result.virtual_seconds) + "s");

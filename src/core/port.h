@@ -31,9 +31,9 @@ enum class SchedulerModel {
 struct CellRunConfig {
   Stage stage = Stage::kOffloadAll;
   SchedulerModel scheduler = SchedulerModel::kNaiveMpi;
-  /// MPI processes for kNaiveMpi (1 or 2, the PPE's SMT width).
+  /// MPI processes for kNaiveMpi (bounded by the device's PPE SMT width).
   int workers = 1;
-  /// SPEs per offloaded loop for kLlp.
+  /// SPEs per offloaded loop for kLlp (bounded by the device's SPE count).
   int llp_ways = 8;
   lh::EngineConfig engine;
   search::SearchOptions search;
@@ -46,7 +46,9 @@ struct CellRunConfig {
   /// (0 = auto via RXC_HOST_THREADS / hardware, 1 = sequential reference).
   /// Virtual seconds are identical for every value.
   int host_threads = 0;
-  cell::CostParams params = cell::kDefaultCostParams;
+  /// The virtual machine to run on (geometry + cycle-cost table); defaults
+  /// to the cell-2007 preset, the paper's QS20 blade.
+  cell::DeviceModel device;
 };
 
 struct CellRunResult {
@@ -61,6 +63,9 @@ struct CellRunResult {
   /// simulator's gprof: the paper reports newview 76.8%, makenewz 19.2%,
   /// evaluate 2.4% on the PPE build).
   KernelProfile profile;
+  /// DMA-stall cycles summed over executed tasks' critical SPEs (the sweep
+  /// tooling's stall column; replayed tasks are not double-counted).
+  cell::VCycles dma_stall_cycles = 0.0;
   /// Executed tasks vs replayed tasks.
   std::size_t executed_tasks = 0;
   std::size_t replayed_tasks = 0;
@@ -85,10 +90,12 @@ CellRunResult run_on_cell(const seq::PatternAlignment& pa,
                           const CellRunConfig& config,
                           const std::vector<search::AnalysisTask>& tasks);
 
-/// LLP fan-out MGPS uses for a remainder of r (< 8) tasks: 1 task -> 8
-/// SPEs, 2 -> 4, 3-4 -> 2, 5+ -> 1 ("loop-level parallelism can be
+/// LLP fan-out MGPS uses for a remainder of r (< spe_count) tasks: the
+/// widest power-of-two fan-out that keeps every remaining process on its
+/// own SPE set.  On the 8-SPE machine this is the paper's table — 1 task ->
+/// 8 SPEs, 2 -> 4, 3-4 -> 2, 5+ -> 1 ("loop-level parallelism can be
 /// extracted from up to four simultaneously executing MPI processes, using
 /// two SPEs per loop", §5.3).
-int mgps_llp_ways(std::size_t remaining);
+int mgps_llp_ways(std::size_t remaining, int spe_count);
 
 }  // namespace rxc::core

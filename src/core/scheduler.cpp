@@ -12,34 +12,36 @@
 
 namespace rxc::core {
 
-void ScheduleConfig::validate() const {
+void ScheduleConfig::validate(const cell::DeviceModel& device) const {
   RXC_REQUIRE(processes >= 1, "need at least one process");
-  RXC_REQUIRE(llp_ways >= 1 && llp_ways <= cell::kSpeCount,
-              "llp_ways must be 1.." + std::to_string(cell::kSpeCount));
+  RXC_REQUIRE(llp_ways >= 1 && llp_ways <= device.spe_count,
+              "llp_ways must be 1.." + std::to_string(device.spe_count) +
+                  " for device '" + device.name + "'");
   switch (policy) {
     case Policy::kNaive:
-      RXC_REQUIRE(processes <= cell::kPpeThreads,
+      RXC_REQUIRE(processes <= device.ppe_threads,
                   "naive port: one MPI process per PPE thread");
       break;
     case Policy::kEdtlp:
-      RXC_REQUIRE(processes <= cell::kSpeCount,
+      RXC_REQUIRE(processes <= device.spe_count,
                   "EDTLP: at most one process per SPE");
       break;
     case Policy::kLlp:
-      RXC_REQUIRE(processes * llp_ways <= cell::kSpeCount,
+      RXC_REQUIRE(processes * llp_ways <= device.spe_count,
                   "LLP: processes * llp_ways must not exceed the SPE count "
                   "(" +
                       std::to_string(processes) + " * " +
                       std::to_string(llp_ways) + " > " +
-                      std::to_string(cell::kSpeCount) + ")");
+                      std::to_string(device.spe_count) + ")");
       break;
   }
 }
 
-ScheduleResult schedule_traces(const cell::CostParams& params,
+ScheduleResult schedule_traces(const cell::DeviceModel& device,
                                const std::vector<const TaskTrace*>& tasks,
                                const ScheduleConfig& config) {
-  config.validate();
+  config.validate(device);
+  const cell::CostParams& params = device.cost;
 
   const int nproc = std::min<int>(config.processes,
                                   static_cast<int>(tasks.size()));
@@ -61,13 +63,13 @@ ScheduleResult schedule_traces(const cell::CostParams& params,
     }
   }
 
-  const bool oversubscribed = nproc > cell::kPpeThreads;
+  const bool oversubscribed = nproc > device.ppe_threads;
   const double smt = nproc >= 2 ? params.ppe_smt_factor : 1.0;
   // Virtual-timeline export: cycles -> microseconds at the machine clock.
   const bool tracing = obs::recording();
   const double us = 1e6 / params.clock_hz;
 
-  std::vector<cell::ResourceTimeline> ppe(cell::kPpeThreads);
+  std::vector<cell::ResourceTimeline> ppe(device.ppe_threads);
 
   struct ProcState {
     int id;

@@ -22,7 +22,7 @@
 
 #include <vector>
 
-#include "cell/cost_params.h"
+#include "cell/device_model.h"
 #include "cell/timeline.h"
 #include "core/trace.h"
 
@@ -39,11 +39,11 @@ struct ScheduleConfig {
   /// traces were generated with (1 for kNaive/kEdtlp).
   int llp_ways = 1;
 
-  /// Throws rxc::Error on illegal combos: processes < 1, kNaive beyond the
-  /// PPE SMT width, kEdtlp beyond the SPE count, or kLlp with
-  /// processes * llp_ways exceeding the SPE count.  Called by
+  /// Throws rxc::Error on combos illegal for `device`: processes < 1,
+  /// kNaive beyond the PPE SMT width, kEdtlp beyond the SPE count, or kLlp
+  /// with processes * llp_ways exceeding the SPE count.  Called by
   /// schedule_traces.
-  void validate() const;
+  void validate(const cell::DeviceModel& device) const;
 };
 
 struct ScheduleResult {
@@ -59,8 +59,9 @@ struct ScheduleResult {
 };
 
 /// Replays `tasks` (a work queue; processes pull dynamically) onto the
-/// machine.  Traces are borrowed; the same trace may appear many times.
-ScheduleResult schedule_traces(const cell::CostParams& params,
+/// machine `device` describes (PPE SMT width, SPE count, cost table).
+/// Traces are borrowed; the same trace may appear many times.
+ScheduleResult schedule_traces(const cell::DeviceModel& device,
                                const std::vector<const TaskTrace*>& tasks,
                                const ScheduleConfig& config);
 

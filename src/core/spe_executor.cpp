@@ -1,6 +1,7 @@
 #include "core/spe_executor.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "analysis/analyze.h"
@@ -40,9 +41,14 @@ SpeExecutor::SpeExecutor(cell::CellMachine& machine, SpeExecConfig config)
                                  lh::ScalingCheck::kFloatBranch, false}) {
   RXC_REQUIRE(cfg_.llp_ways >= 1 && cfg_.llp_ways <= machine.spe_count(),
               "llp_ways out of range");
+  RXC_REQUIRE(cfg_.active_spes >= 1, "active_spes must be >= 1");
+  RXC_REQUIRE(cfg_.concurrent_workers >= 1,
+              "concurrent_workers must be >= 1");
   RXC_REQUIRE(cfg_.strip_bytes >= 256, "strip buffer too small");
   RXC_REQUIRE(cfg_.host_threads >= 0 && cfg_.host_threads <= 64,
               "host_threads must be 0 (auto) or 1..64");
+  eib_factor_ = machine.device().eib_factor(cfg_.active_spes);
+  mailbox_factor_ = machine.device().mailbox_factor(cfg_.concurrent_workers);
   // Wall-clock workers: more than one per SPE buys nothing (a payload is a
   // serial strip loop), so clamp at the machine width.
   host_threads_ =
@@ -115,7 +121,7 @@ double SpeExecutor::offload_ppe_cycles(int ways) {
   const double signal =
       cfg_.toggles.direct_comm
           ? p.direct_signal_cycles
-          : p.mailbox_signal_cycles * cfg_.mailbox_contention;
+          : p.mailbox_signal_cycles * mailbox_factor_;
   if (in_compound_ && compound_signaled_) {
     last_offload_signaled_ = false;
     last_signal_cycles_ = 0.0;
@@ -201,14 +207,14 @@ double SpeExecutor::run_chunks(std::size_t np, std::size_t pattern_bytes,
   // counters) and its own reduction slot, so the ways are free to run
   // concurrently; elapsed/stall land in per-way slots and the max reduction
   // below runs the same fixed-order comparisons as the sequential loop.
-  double way_elapsed[8] = {};
-  VCycles way_stall[8] = {};
+  std::array<double, cell::kMaxDeviceSpes> way_elapsed{};
+  std::array<VCycles, cell::kMaxDeviceSpes> way_stall{};
   const auto run_way = [&](std::size_t wi) {
     const int w = static_cast<int>(wi);
     const std::size_t lo = static_cast<std::size_t>(w) * quota;
     const std::size_t n = std::min(quota, np - lo);
     cell::Spu& spu = machine_->spe(w);
-    spu.mfc().set_contention(cfg_.eib_contention);
+    spu.mfc().set_contention(eib_factor_);
     const VCycles start = spu.now();
     const VCycles stall_before = spu.counters().dma_stall_cycles;
     body(spu, lo, n, strip);
@@ -472,7 +478,7 @@ void SpeExecutor::newview(const lh::NewviewTask& task) {
   const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
   // Per-way scale-event slots: ways may run concurrently, and the sum below
   // is order-insensitive (integer addition).
-  std::uint64_t way_scale[8] = {};
+  std::array<std::uint64_t, cell::kMaxDeviceSpes> way_scale{};
   VCycles dma_stall = 0.0;
 
   const double spe = run_chunks(
@@ -536,7 +542,7 @@ void SpeExecutor::newview_batch(const lh::NewviewTask* tasks,
           const std::size_t pp =
               (cat ? 1u : static_cast<std::size_t>(task.ctx.ncat)) * 32;
           cell::Spu& spu = machine_->spe(static_cast<int>(lane));
-          spu.mfc().set_contention(cfg_.eib_contention);
+          spu.mfc().set_contention(eib_factor_);
           const VCycles start = spu.now();
           const VCycles stall_before = spu.counters().dma_stall_cycles;
           newview_payload(task, spu, 0, task.np, strip_patterns(pp),
@@ -809,7 +815,7 @@ void SpeExecutor::sumtable(const lh::SumtableTask& task) {
       task.np * pp + dma_bytes(task.np, 8) + dma_bytes(task.np, 4);
   sumtable_resident_ =
       in_compound_ &&
-      resident_bytes + 4096 < cell::kLocalStoreBytes - cell::kOffloadCodeBytes;
+      resident_bytes + 4096 < machine_->device().ls_data_bytes();
   const double ppe_cost = offload_ppe_cycles(1);
   record(KernelKind::kSumtable, ppe_cost, spe, 1, last_offload_signaled_,
          dma_stall);
@@ -882,8 +888,7 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
         const LsAddr catb = ctx.cat ? ls.alloc(dma_bytes(strip, 4)) : 0;
 
         // The exponent table is computed once per invocation on silicon;
-        // charge it once (the strip loop below recomputes it functionally,
-        // which is value-identical).
+        // charge it once.
         spu.charge(3.0 * ncat * spe_exp_cycles());
 
         const std::size_t nstrips = (n + strip - 1) / strip;
@@ -898,22 +903,6 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
             mfc.get(catb, ctx.cat + base, dma_bytes(cnt, 4), 0, spu.now());
           spu.wait_dma(0);
           const VCycles w0 = spu.now();
-
-          lh::NrArgs args;
-          args.sumtable = ls.as<const double>(st, cnt * pp / 8);
-          args.lambda = ctx.es->lambda.data();
-          args.rates = ctx.rates;
-          args.ncat = ncat;
-          args.cat = ctx.cat ? ls.as<const int>(catb, cnt) : nullptr;
-          args.np = cnt;
-          args.weights = ls.as<const double>(wts, cnt);
-          args.t = task.t;
-          args.exp_fn = exp_fn;
-          const lh::NrResult r = cat_mode ? lh::nr_derivatives_cat(args)
-                                          : lh::nr_derivatives_gamma(args);
-          total.lnl += r.lnl;
-          total.d1 += r.d1;
-          total.d2 += r.d2;
 
           const double per_pattern_cats =
               cat_mode ? 1.0 : static_cast<double>(ncat);
@@ -932,6 +921,28 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
       },
       &dma_stall);
 
+  // The functional result is computed once over the WHOLE range from the
+  // main-memory mirror.  The per-strip LS reads hold the same values, but a
+  // strip-by-strip reduction would tie the summation order to strip count
+  // and to residency — and residency follows ls_data_bytes(), a geometry
+  // knob.  Device models must be performance models only (the rxc-sweep
+  // lnl_identical contract), so the reduction order is fixed here and the
+  // strip loop above models DMA traffic and SPU cycles exclusively.
+  {
+    lh::NrArgs args;
+    args.sumtable = task.sumtable;
+    args.lambda = ctx.es->lambda.data();
+    args.rates = ctx.rates;
+    args.ncat = ncat;
+    args.cat = ctx.cat;
+    args.np = task.np;
+    args.weights = task.weights;
+    args.t = task.t;
+    args.exp_fn = exp_fn;
+    total = cat_mode ? lh::nr_derivatives_cat(args)
+                     : lh::nr_derivatives_gamma(args);
+  }
+
   ++counters_.nr_calls;
   counters_.exp_calls += 3ull * ncat;
   static obs::Counter& obs_calls = obs::counter("kernel.nr.calls");
@@ -946,8 +957,8 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
 
 // --- CellExecutor: machine-owning wrapper + factory registration -------------
 
-CellExecutor::CellExecutor(SpeExecConfig config, cell::CostParams params)
-    : machine_(params, config.event_base), exec_(machine_, config) {}
+CellExecutor::CellExecutor(SpeExecConfig config, cell::DeviceModel device)
+    : machine_(std::move(device), config.event_base), exec_(machine_, config) {}
 
 void CellExecutor::newview(const lh::NewviewTask& task) {
   exec_.newview(task);
@@ -996,15 +1007,14 @@ namespace {
 
 std::unique_ptr<lh::KernelExecutor> make_cell_executor(
     const lh::ExecutorSpec& spec) {
+  const lh::CellOptions& opts = spec.cell();
   SpeExecConfig cfg;
-  cfg.toggles = stage_toggles(static_cast<Stage>(spec.cell_stage));
-  cfg.llp_ways = spec.llp_ways;
-  cfg.eib_contention = spec.eib_contention;
-  cfg.mailbox_contention = spec.mailbox_contention;
-  cfg.strip_bytes = spec.strip_bytes;
-  cfg.host_threads = spec.host_threads;
-  cfg.event_base = spec.cell_unique_events ? cell::reserve_spu_event_base() : 0;
-  return std::make_unique<CellExecutor>(cfg);
+  cfg.toggles = stage_toggles(static_cast<Stage>(opts.stage));
+  cfg.llp_ways = opts.llp_ways;
+  cfg.strip_bytes = opts.strip_bytes;
+  cfg.host_threads = opts.host_threads;
+  cfg.event_base = opts.unique_events ? cell::reserve_spu_event_base() : 0;
+  return std::make_unique<CellExecutor>(cfg, opts.device);
 }
 
 /// Registers the Cell backend with lh::make_executor at static-init time.
@@ -1019,11 +1029,10 @@ const bool g_cell_factory_registered = [] {
 
 lh::ExecutorSpec cell_executor_spec(Stage stage, int llp_ways) {
   (void)g_cell_factory_registered;
-  lh::ExecutorSpec spec;
-  spec.kind = lh::ExecutorKind::kSpe;
-  spec.cell_stage = static_cast<int>(stage);
-  spec.llp_ways = llp_ways;
-  return spec;
+  lh::CellOptions opts;
+  opts.stage = static_cast<int>(stage);
+  opts.llp_ways = llp_ways;
+  return lh::ExecutorSpec::cell_spec(std::move(opts));
 }
 
 CellExecutor& as_cell_executor(lh::KernelExecutor& exec) {

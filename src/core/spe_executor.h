@@ -31,15 +31,19 @@ struct SpeExecConfig {
   /// SPEs cooperating on each offloaded invocation (loop-level
   /// parallelization); 1 = plain task-level offload.
   int llp_ways = 1;
-  /// EIB contention factor the scheduler anticipates (>= 1).
-  double eib_contention = 1.0;
-  /// Mailbox signaling contention: the PPE serializes MMIO mailbox polls
-  /// across the worker processes it runs, so the per-signal cost grows with
+  /// SPEs the scheduler expects to stream DMA concurrently machine-wide:
+  /// the executor charges the device model's EIB contention curve,
+  /// DeviceModel::eib_factor(active_spes), on every transfer.  1 = this
+  /// invocation's SPEs have the bus to themselves.
+  int active_spes = 1;
+  /// Worker processes signaling mailboxes concurrently: the PPE serializes
+  /// MMIO mailbox polls across them, so the per-signal cost grows with
   /// parallelism (the paper's §5.2.6 observation that the direct-memory
-  /// optimization "scales with parallelism").  Direct memory-to-memory
-  /// signaling is unaffected.  Set by the port to the concurrent worker
-  /// count.
-  double mailbox_contention = 1.0;
+  /// optimization "scales with parallelism"); the executor charges
+  /// DeviceModel::mailbox_factor(concurrent_workers).  Direct
+  /// memory-to-memory signaling is unaffected.  Set by the port to the
+  /// concurrent worker count.
+  int concurrent_workers = 1;
   /// Strip buffer size (the paper settles on 2 KB, §5.2.4).
   std::size_t strip_bytes = 2048;
   /// Host worker threads for wall-clock-parallel payload execution (the
@@ -139,6 +143,10 @@ private:
 
   cell::CellMachine* machine_;
   SpeExecConfig cfg_;
+  /// Contention factors resolved once from the machine's device model
+  /// (DeviceModel::eib_factor / mailbox_factor over the config's counts).
+  double eib_factor_ = 1.0;
+  double mailbox_factor_ = 1.0;
   int host_threads_ = 1;  ///< resolved worker count (see SpeExecConfig)
   std::unique_ptr<ThreadPool> pool_;
   lh::HostExecutor ppe_exec_;  ///< original code path (libm, branchy, scalar)
@@ -164,8 +172,8 @@ private:
 /// begin_task()/take_trace().
 class CellExecutor final : public lh::KernelExecutor {
 public:
-  explicit CellExecutor(SpeExecConfig config,
-                        cell::CostParams params = cell::kDefaultCostParams);
+  /// Builds the machine `device` describes and the SpeExecutor on top.
+  explicit CellExecutor(SpeExecConfig config, cell::DeviceModel device = {});
 
   void newview(const lh::NewviewTask& task) override;
   void newview_batch(const lh::NewviewTask* tasks, std::size_t count) override;

@@ -92,6 +92,13 @@ struct TaskTrace {
   /// Serial single-resource duration (PPE + SPE strictly alternating).
   cell::VCycles serial_cycles() const { return total_ppe() + total_spe(); }
 
+  /// DMA-stall portion of the critical SPE's time, summed over segments.
+  cell::VCycles total_dma_stall() const {
+    cell::VCycles sum = 0;
+    for (const auto& s : segments) sum += s.dma_stall_cycles;
+    return sum;
+  }
+
   /// Where the task's time went, by kernel kind (PPE + SPE cycles).
   KernelProfile profile() const {
     KernelProfile prof;

@@ -207,50 +207,26 @@ NrResult HostExecutor::nr_derivatives(const NrTask& task) {
 // --- factory ----------------------------------------------------------------
 
 void ExecutorSpec::validate() const {
-  const bool threaded = kind == ExecutorKind::kThreaded;
-  const bool spe = kind == ExecutorKind::kSpe;
   auto require = [](bool ok, const std::string& msg) {
     if (!ok) throw ConfigError("executor spec: " + msg);
   };
 
-  // Range checks for the knobs the selected kind interprets.
-  if (threaded) {
-    require(threads >= 1, "threads must be >= 1");
-    require(chunk_patterns >= 1, "chunk_patterns must be >= 1");
-  }
-  if (spe) {
-    require(cell_stage >= 0 && cell_stage <= 7,
-            "cell_stage must be a Stage ordinal 0..7");
-    require(llp_ways >= 1 && llp_ways <= 8, "llp_ways must be 1..8");
-    require(strip_bytes >= 256, "strip buffer too small (< 256 bytes)");
-    require(eib_contention >= 1.0 && mailbox_contention >= 1.0,
-            "contention factors must be >= 1");
-    require(host_threads >= 0 && host_threads <= 64,
+  // Per-kind range checks.  Cross-kind misuse needs no check anymore: the
+  // options variant holds exactly the selected kind's knobs.
+  if (const auto* t = std::get_if<ThreadedOptions>(&options)) {
+    require(t->threads >= 1, "threads must be >= 1");
+    require(t->chunk_patterns >= 1, "chunk_patterns must be >= 1");
+  } else if (const auto* c = std::get_if<CellOptions>(&options)) {
+    c->device.validate();
+    require(c->stage >= 0 && c->stage <= 7,
+            "stage must be a Stage ordinal 0..7");
+    require(c->llp_ways >= 1 && c->llp_ways <= c->device.spe_count,
+            "llp_ways must be 1..spe_count (" +
+                std::to_string(c->device.spe_count) + " for device '" +
+                c->device.name + "')");
+    require(c->strip_bytes >= 256, "strip buffer too small (< 256 bytes)");
+    require(c->host_threads >= 0 && c->host_threads <= 64,
             "host_threads must be 0 (auto) or 1..64");
-  }
-
-  // Cross-kind checks: a knob meant for a different kind than the selected
-  // one would be silently ignored by the backend, which hides typos like
-  // asking a kHost executor for 8 host_threads.  Reject any non-default
-  // value on a kind that does not interpret it.
-  if (!threaded) {
-    require(threads == 1, "threads is a kThreaded knob; leave it at 1");
-    require(chunk_patterns == 64,
-            "chunk_patterns is a kThreaded knob; leave it at 64");
-  }
-  if (!spe) {
-    require(cell_stage == 7, "cell_stage is a kSpe knob; leave it at 7");
-    require(llp_ways == 1, "llp_ways is a kSpe knob; leave it at 1");
-    require(eib_contention == 1.0,
-            "eib_contention is a kSpe knob; leave it at 1.0");
-    require(mailbox_contention == 1.0,
-            "mailbox_contention is a kSpe knob; leave it at 1.0");
-    require(strip_bytes == 2048,
-            "strip_bytes is a kSpe knob; leave it at 2048");
-    require(host_threads == 0,
-            "host_threads is a kSpe knob; leave it at 0");
-    require(!cell_unique_events,
-            "cell_unique_events is a kSpe knob; leave it false");
   }
 }
 
@@ -293,12 +269,13 @@ std::unique_ptr<KernelExecutor> make_executor(const ExecutorSpec& spec) {
   // without its own wiring (the engine constructor covers the rest).
   obs::init_from_env();
   spec.validate();
-  switch (spec.kind) {
+  switch (spec.kind()) {
     case ExecutorKind::kHost:
-      return std::make_unique<HostExecutor>(spec.kernels);
+      return std::make_unique<HostExecutor>(spec.host().kernels);
     case ExecutorKind::kThreaded:
-      return std::make_unique<ThreadedExecutor>(spec.threads, spec.kernels,
-                                                spec.chunk_patterns);
+      return std::make_unique<ThreadedExecutor>(spec.threaded().threads,
+                                                spec.threaded().kernels,
+                                                spec.threaded().chunk_patterns);
     case ExecutorKind::kSpe:
       break;
   }
@@ -306,7 +283,7 @@ std::unique_ptr<KernelExecutor> make_executor(const ExecutorSpec& spec) {
   {
     FactoryRegistry& r = factory_registry();
     std::lock_guard<std::mutex> lock(r.mutex);
-    factory = r.factories[static_cast<int>(spec.kind)];
+    factory = r.factories[static_cast<int>(spec.kind())];
   }
   RXC_REQUIRE(factory != nullptr,
               "make_executor: no backend registered for this kind (link "

@@ -22,10 +22,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <variant>
 
+#include "cell/device_model.h"
 #include "likelihood/kernels.h"
 #include "model/dna_model.h"
 #include "support/aligned.h"
+#include "support/error.h"
 
 namespace rxc::lh {
 
@@ -173,41 +176,100 @@ enum class ExecutorKind {
   kSpe,       ///< simulated-Cell executor (registered by core/)
 };
 
-/// Everything needed to build any executor backend.  Host/threaded knobs
-/// are interpreted here; the Cell knobs are interpreted by the backend
-/// core/spe_executor.cpp registers (cell_stage is a core::Stage ordinal —
-/// kept as int so this header stays below core in the layering).
-struct ExecutorSpec {
-  ExecutorKind kind = ExecutorKind::kHost;
-  /// Host-side kernel knobs (kHost, kThreaded).
+/// Knobs for ExecutorKind::kHost.
+struct HostOptions {
+  /// Kernel variants (exp flavour, conditional flavour, SIMD on/off).
   KernelConfig kernels;
-  /// kThreaded: worker count and loop-split granularity.
-  int threads = 1;
-  std::size_t chunk_patterns = 64;
-  /// kSpe: cumulative optimization stage (core::Stage ordinal 0..7,
-  /// default offload-all) and simulation knobs.
-  int cell_stage = 7;
+};
+
+/// Knobs for ExecutorKind::kThreaded.
+struct ThreadedOptions {
+  KernelConfig kernels;
+  int threads = 1;                 ///< worker count
+  std::size_t chunk_patterns = 64; ///< loop-split granularity
+};
+
+/// Knobs for ExecutorKind::kSpe — interpreted by the backend that
+/// core/spe_executor.cpp registers.  `stage` is a core::Stage ordinal, kept
+/// as int so this header stays below core in the layering.
+struct CellOptions {
+  /// The virtual machine to simulate (geometry + cycle-cost table).
+  /// Contention semantics live here too: DeviceModel::eib_factor /
+  /// mailbox_factor replaced the old loose eib_contention /
+  /// mailbox_contention doubles.
+  cell::DeviceModel device;
+  /// Cumulative optimization stage (core::Stage ordinal 0..7, default
+  /// offload-all).
+  int stage = 7;
   int llp_ways = 1;
-  double eib_contention = 1.0;
-  double mailbox_contention = 1.0;
   std::size_t strip_bytes = 2048;
-  /// kSpe: host worker threads for wall-clock-parallel payload execution.
+  /// Host worker threads for wall-clock-parallel payload execution.
   /// 0 = auto (RXC_HOST_THREADS, else hardware concurrency); 1 = the
   /// sequential reference path.  Virtual cycles and numerics are identical
   /// for every value — this knob trades wall-clock only.
   int host_threads = 0;
-  /// kSpe: stamp this device's machine events with a process-unique SPU id
-  /// block (cell::reserve_spu_event_base) so a global event sink — the race
+  /// Stamp this device's machine events with a process-unique SPU id block
+  /// (cell::reserve_spu_event_base) so a global event sink — the race
   /// detector — can tell concurrently-running devices apart.  Required for
   /// device pools (serve::DevicePool sets it); single-device binaries keep
-  /// the historical ids 0..7.
-  bool cell_unique_events = false;
+  /// the historical ids 0..spe_count-1.
+  bool unique_events = false;
+};
 
-  /// Throws rxc::ConfigError on out-of-range knobs for the selected kind,
-  /// and on knobs set for a DIFFERENT kind than the selected one (which the
-  /// backends would silently ignore — e.g. host_threads on kHost, or
-  /// threads on kSpe).
+/// Everything needed to build any executor backend.  One options struct per
+/// kind: a knob for a different backend than the selected one is
+/// unrepresentable by construction (the old flat knob bag let callers set
+/// host_threads on a kHost spec and be silently ignored).  The variant
+/// alternative order matches the ExecutorKind ordinals.
+struct ExecutorSpec {
+  std::variant<HostOptions, ThreadedOptions, CellOptions> options =
+      HostOptions{};
+
+  ExecutorKind kind() const {
+    return static_cast<ExecutorKind>(options.index());
+  }
+
+  /// Checked accessors: RXC_REQUIRE the matching kind is selected.
+  HostOptions& host() { return get<HostOptions>("kHost"); }
+  const HostOptions& host() const { return get<HostOptions>("kHost"); }
+  ThreadedOptions& threaded() { return get<ThreadedOptions>("kThreaded"); }
+  const ThreadedOptions& threaded() const {
+    return get<ThreadedOptions>("kThreaded");
+  }
+  CellOptions& cell() { return get<CellOptions>("kSpe"); }
+  const CellOptions& cell() const { return get<CellOptions>("kSpe"); }
+
+  static ExecutorSpec host_spec(HostOptions opts = {}) {
+    return ExecutorSpec{std::move(opts)};
+  }
+  static ExecutorSpec threaded_spec(ThreadedOptions opts = {}) {
+    return ExecutorSpec{std::move(opts)};
+  }
+  static ExecutorSpec cell_spec(CellOptions opts = {}) {
+    return ExecutorSpec{std::move(opts)};
+  }
+
+  /// Throws rxc::ConfigError on out-of-range knobs for the selected kind
+  /// (including an invalid CellOptions::device, or llp_ways exceeding that
+  /// device's SPE count).  Cross-kind misuse no longer needs a check — the
+  /// variant cannot hold another kind's knobs.
   void validate() const;
+
+ private:
+  template <class T>
+  T& get(const char* kind_name) {
+    if (!std::holds_alternative<T>(options))
+      throw ConfigError(std::string("ExecutorSpec: options are not for ") +
+                        kind_name);
+    return std::get<T>(options);
+  }
+  template <class T>
+  const T& get(const char* kind_name) const {
+    if (!std::holds_alternative<T>(options))
+      throw ConfigError(std::string("ExecutorSpec: options are not for ") +
+                        kind_name);
+    return std::get<T>(options);
+  }
 };
 
 using ExecutorFactory =

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "cell/device_model.h"
 #include "likelihood/fast_exp.h"
 #include "model/dna_model.h"
 #include "support/aligned.h"
@@ -185,16 +186,14 @@ std::vector<Backend> registered_backends() {
 
   Backend scalar;
   scalar.name = "host-scalar";
-  scalar.spec.kind = ExecutorKind::kHost;
-  scalar.spec.kernels = scalar_kernels();
+  scalar.spec = ExecutorSpec::host_spec(HostOptions{scalar_kernels()});
   scalar.ref_kernels = scalar_kernels();
   scalar.tolerance = {true, 0, 0.0};  // it IS the reference computation
   backends.push_back(scalar);
 
   Backend simd;
   simd.name = "host-simd";
-  simd.spec.kind = ExecutorKind::kHost;
-  simd.spec.kernels = simd_kernels();
+  simd.spec = ExecutorSpec::host_spec(HostOptions{simd_kernels()});
   // Validated against the SCALAR kernels — the whole point is bounding the
   // vectorized rewrite (reassociated matvecs, pairwise site reductions,
   // the 4-lane log).  Worst observed deviation is a few ULP; 32 leaves
@@ -205,9 +204,10 @@ std::vector<Backend> registered_backends() {
 
   Backend threaded;
   threaded.name = "host-threaded";
-  threaded.spec.kind = ExecutorKind::kThreaded;
-  threaded.spec.kernels = simd_kernels();
-  threaded.spec.threads = threaded_width();
+  ThreadedOptions threaded_opts;
+  threaded_opts.kernels = simd_kernels();
+  threaded_opts.threads = threaded_width();
+  threaded.spec = ExecutorSpec::threaded_spec(threaded_opts);
   // Same kernels as the reference: chunking must not change a bit of any
   // per-pattern value; only the chunk reductions reassociate.
   threaded.ref_kernels = simd_kernels();
@@ -217,8 +217,9 @@ std::vector<Backend> registered_backends() {
   if (executor_registered(ExecutorKind::kSpe)) {
     Backend cell;
     cell.name = "cell-sim";
-    cell.spec.kind = ExecutorKind::kSpe;
-    cell.spec.cell_stage = 7;  // core::Stage::kOffloadAll ordinal
+    // CellOptions defaults: stage 7 (core::Stage::kOffloadAll ordinal) on
+    // the default device model (the cell-2007 preset).
+    cell.spec = ExecutorSpec::cell_spec();
     cell.ref_kernels = cell_offload_all_kernels();
     // The paper-faithful promise: strip-mining through (simulated) DMA is
     // bitwise; only per-strip lnl accumulation reassociates.
@@ -229,6 +230,20 @@ std::vector<Backend> registered_backends() {
 }
 
 std::optional<Backend> find_backend(const std::string& name) {
+  // "cell-sim@<device>": the Cell backend pinned to a named device model.
+  // Device names cannot contain '@', so the first '@' is the split point.
+  const std::string cell_prefix = "cell-sim@";
+  if (name.size() > cell_prefix.size() &&
+      name.compare(0, cell_prefix.size(), cell_prefix) == 0) {
+    std::optional<Backend> base = find_backend("cell-sim");
+    if (!base) return std::nullopt;
+    const std::optional<cell::DeviceModel> device =
+        cell::find_device_model(name.substr(cell_prefix.size()));
+    if (!device) return std::nullopt;
+    base->name = name;
+    base->spec.cell().device = *device;
+    return base;
+  }
   for (Backend& b : registered_backends())
     if (b.name == name) return std::move(b);
   return std::nullopt;
@@ -317,8 +332,10 @@ CalibrationTable CalibrationTable::from_string(const std::string& text) {
   return table;
 }
 
-CalibrationTable calibrate(const WorkloadShape& shape) {
-  shape.validate();
+namespace {
+
+CalibrationTable calibrate_backends(const WorkloadShape& shape,
+                                    const std::vector<Backend>& backends) {
   CalibrationWorkload wl(shape);
   // Enough rounds that a small shape still clears timer granularity, capped
   // so a 10^6-pattern shape doesn't stall job admission.
@@ -326,10 +343,34 @@ CalibrationTable calibrate(const WorkloadShape& shape) {
       std::clamp<std::size_t>((std::size_t{1} << 16) / shape.patterns, 2, 64));
   CalibrationTable table;
   table.shape = shape;
-  for (const Backend& backend : registered_backends())
+  for (const Backend& backend : backends)
     table.entries.push_back(
         {backend.name, time_backend(backend, wl, reps)});
   return table;
+}
+
+}  // namespace
+
+CalibrationTable calibrate(const WorkloadShape& shape) {
+  shape.validate();
+  return calibrate_backends(shape, registered_backends());
+}
+
+CalibrationTable calibrate(const WorkloadShape& shape,
+                           const std::vector<std::string>& device_names) {
+  shape.validate();
+  std::vector<Backend> backends = registered_backends();
+  for (const std::string& device : device_names) {
+    std::optional<Backend> b = find_backend("cell-sim@" + device);
+    if (!b) {
+      throw ConfigError(
+          "calibrate: cannot score device model '" + device +
+          "' — unknown model name or the simulated-Cell backend is not "
+          "registered in this binary");
+    }
+    backends.push_back(std::move(*b));
+  }
+  return calibrate_backends(shape, backends);
 }
 
 Backend choose_backend(const WorkloadShape& shape) {

@@ -82,6 +82,9 @@ struct Backend {
 std::vector<Backend> registered_backends();
 
 /// Lookup by stable name; nullopt when unknown or not constructible here.
+/// "cell-sim@<device>" resolves the simulated-Cell backend pinned to a
+/// named device model (preset or registered via cell::register_device_model)
+/// — '@' cannot appear in device names, so the split is unambiguous.
 std::optional<Backend> find_backend(const std::string& name);
 
 // --- calibration -----------------------------------------------------------
@@ -112,6 +115,13 @@ struct CalibrationTable {
 /// the scored table.  Repetitions scale inversely with shape size so tiny
 /// shapes still measure above timer noise.
 CalibrationTable calibrate(const WorkloadShape& shape);
+
+/// Same, additionally scoring the simulated-Cell backend on each named
+/// device model ("cell-sim@<device>" entries) — the (backend x device)
+/// grid of the sweep tooling.  Throws rxc::ConfigError on an unknown
+/// device name or when the Cell backend is not constructible here.
+CalibrationTable calibrate(const WorkloadShape& shape,
+                           const std::vector<std::string>& device_names);
 
 /// The winner for `shape` per a fresh calibrate() run / a pinned table.
 /// The pinned overload validates that the table was built for the same

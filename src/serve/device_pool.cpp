@@ -9,8 +9,11 @@
 namespace rxc::serve {
 
 Device::Device(int id, lh::ExecutorSpec spec) : id_(id) {
-  cell_ = spec.kind == lh::ExecutorKind::kSpe;
-  if (cell_) spec.cell_unique_events = true;
+  cell_ = spec.kind() == lh::ExecutorKind::kSpe;
+  if (cell_) {
+    spec.cell().unique_events = true;
+    model_name_ = spec.cell().device.name;
+  }
   exec_ = lh::make_executor(spec);
 }
 
@@ -69,6 +72,12 @@ DevicePool::DevicePool(const std::vector<lh::ExecutorSpec>& specs) {
   for (std::size_t i = 0; i < specs.size(); ++i)
     devices_.push_back(
         std::make_unique<Device>(static_cast<int>(i), specs[i]));
+}
+
+bool DevicePool::has_model(const std::string& name) const {
+  for (const auto& d : devices_)
+    if (d->model_name() == name) return true;
+  return false;
 }
 
 std::vector<lh::ExecutorSpec> auto_device_specs(const lh::WorkloadShape& shape,

@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cell/fault.h"
@@ -37,6 +38,10 @@ class Device {
 
   int id() const { return id_; }
   bool is_cell() const { return cell_; }
+  /// Device-model name for simulated-Cell devices ("cell-2007", ...);
+  /// empty for host/threaded devices.  Jobs carrying a `device` constraint
+  /// are placed only on devices whose model name matches.
+  const std::string& model_name() const { return model_name_; }
   lh::KernelExecutor& executor() { return *exec_; }
 
   /// Called by the server once per checkpoint step leased to this device:
@@ -57,6 +62,7 @@ class Device {
  private:
   int id_;
   bool cell_ = false;
+  std::string model_name_;
   std::unique_ptr<lh::KernelExecutor> exec_;
 
   std::mutex mu_;  ///< guards the fault plan (armed from other threads)
@@ -69,11 +75,18 @@ class Device {
 
 class DevicePool {
  public:
-  /// One Device per spec, ids 0..n-1.  Requires >= 1 spec.
+  /// One Device per spec, ids 0..n-1.  Requires >= 1 spec.  Specs may
+  /// differ arbitrarily — a pool can lease a heterogeneous mix of device
+  /// models (and of backend kinds).
   explicit DevicePool(const std::vector<lh::ExecutorSpec>& specs);
 
   int size() const { return static_cast<int>(devices_.size()); }
   Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+
+  /// True when any pooled device's model name equals `name` — the admission
+  /// check behind JobSpec::device (a constraint no device satisfies would
+  /// otherwise circulate in the queue forever).
+  bool has_model(const std::string& name) const;
 
  private:
   std::vector<std::unique_ptr<Device>> devices_;

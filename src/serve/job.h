@@ -45,6 +45,8 @@ struct JobSpec {
   std::string id;           ///< client-assigned, unique per server
   int priority = 0;         ///< higher preempts lower at task boundaries
   double deadline_ms = 0.0; ///< wall-clock budget from submission; 0 = none
+  std::string device;       ///< restrict placement to devices whose model
+                            ///< name matches; empty = any device
 
   WorkloadSpec workload;
   std::string model = "gtr";      ///< jc|k80|hky|gtr

@@ -1,239 +1,12 @@
 #include "serve/ndjson.h"
 
 #include <cmath>
-#include <cstdlib>
 
 #include "support/error.h"
 #include "support/json.h"
 
 namespace rxc::serve {
-
-const JsonValue* JsonValue::find(std::string_view key) const {
-  if (kind != Kind::kObject) return nullptr;
-  for (const auto& [k, v] : object)
-    if (k == key) return &v;
-  return nullptr;
-}
-
-bool JsonValue::as_bool() const {
-  if (kind != Kind::kBool) throw ParseError("json: expected a boolean");
-  return boolean;
-}
-
-double JsonValue::as_number() const {
-  if (kind != Kind::kNumber) throw ParseError("json: expected a number");
-  return number;
-}
-
-const std::string& JsonValue::as_string() const {
-  if (kind != Kind::kString) throw ParseError("json: expected a string");
-  return string;
-}
-
 namespace {
-
-/// Recursive-descent JSON parser over a string_view.  Depth is bounded so a
-/// line of 100k '[' characters can't blow the stack.
-class Parser {
- public:
-  explicit Parser(std::string_view text) : p_(text.data()), end_(p_ + text.size()) {}
-
-  JsonValue parse_document() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (p_ != end_) fail("trailing characters after the document");
-    return v;
-  }
-
- private:
-  static constexpr int kMaxDepth = 64;
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw ParseError("json: " + what);
-  }
-
-  void skip_ws() {
-    while (p_ != end_ &&
-           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
-      ++p_;
-  }
-
-  char peek() {
-    if (p_ == end_) fail("unexpected end of input");
-    return *p_;
-  }
-
-  void expect(char c) {
-    if (p_ == end_ || *p_ != c)
-      fail(std::string("expected '") + c + "'");
-    ++p_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (static_cast<std::size_t>(end_ - p_) < lit.size()) return false;
-    if (std::string_view(p_, lit.size()) != lit) return false;
-    p_ += lit.size();
-    return true;
-  }
-
-  JsonValue parse_value() {
-    if (++depth_ > kMaxDepth) fail("nesting too deep");
-    skip_ws();
-    JsonValue v;
-    const char c = peek();
-    if (c == '{') {
-      v = parse_object();
-    } else if (c == '[') {
-      v = parse_array();
-    } else if (c == '"') {
-      v.kind = JsonValue::Kind::kString;
-      v.string = parse_string();
-    } else if (c == 't' && consume_literal("true")) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = true;
-    } else if (c == 'f' && consume_literal("false")) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = false;
-    } else if (c == 'n' && consume_literal("null")) {
-      v.kind = JsonValue::Kind::kNull;
-    } else if (c == '-' || (c >= '0' && c <= '9')) {
-      v.kind = JsonValue::Kind::kNumber;
-      v.number = parse_number();
-    } else {
-      fail(std::string("unexpected character '") + c + "'");
-    }
-    --depth_;
-    return v;
-  }
-
-  JsonValue parse_object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++p_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      // Reject duplicates instead of keeping first-or-last silently: the two
-      // behaviors disagree across JSON parsers, which makes duplicate keys a
-      // classic smuggling vector for "one validator saw X, the executor saw
-      // Y" bugs.  Objects here are tiny (job specs), so the scan is cheap.
-      for (const auto& [existing, unused] : v.object)
-        if (existing == key) fail("duplicate object key '" + key + "'");
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++p_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++p_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++p_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (p_ == end_) fail("unterminated string");
-      const char c = *p_++;
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20)
-        fail("raw control character in string");
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (p_ == end_) fail("unterminated escape");
-      const char e = *p_++;
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': out += parse_unicode_escape(); break;
-        default: fail(std::string("bad escape '\\") + e + "'");
-      }
-    }
-  }
-
-  /// \uXXXX -> UTF-8 (no surrogate-pair pairing; the serving format never
-  /// needs astral-plane taxon names, and a lone surrogate is rejected).
-  std::string parse_unicode_escape() {
-    unsigned cp = 0;
-    for (int i = 0; i < 4; ++i) {
-      if (p_ == end_) fail("unterminated \\u escape");
-      const char c = *p_++;
-      cp <<= 4;
-      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
-      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
-      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
-      else fail("bad hex digit in \\u escape");
-    }
-    if (cp >= 0xD800 && cp <= 0xDFFF) fail("surrogate in \\u escape");
-    std::string out;
-    if (cp < 0x80) {
-      out += static_cast<char>(cp);
-    } else if (cp < 0x800) {
-      out += static_cast<char>(0xC0 | (cp >> 6));
-      out += static_cast<char>(0x80 | (cp & 0x3F));
-    } else {
-      out += static_cast<char>(0xE0 | (cp >> 12));
-      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
-      out += static_cast<char>(0x80 | (cp & 0x3F));
-    }
-    return out;
-  }
-
-  double parse_number() {
-    const char* start = p_;
-    if (p_ != end_ && *p_ == '-') ++p_;
-    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
-                          *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-'))
-      ++p_;
-    const std::string text(start, p_);
-    char* parsed_end = nullptr;
-    const double v = std::strtod(text.c_str(), &parsed_end);
-    if (parsed_end != text.c_str() + text.size() || !std::isfinite(v))
-      fail("bad number '" + text + "'");
-    return v;
-  }
-
-  const char* p_;
-  const char* end_;
-  int depth_ = 0;
-};
 
 /// Positive integer field with range sanity (job specs are tiny numbers;
 /// 1e9 bootstraps is a typo, not a request).
@@ -257,10 +30,6 @@ int as_int(const JsonValue& v, const char* name, int lo, int hi) {
 
 }  // namespace
 
-JsonValue parse_json(std::string_view text) {
-  return Parser(text).parse_document();
-}
-
 JobSpec job_spec_from_json(std::string_view line) {
   const JsonValue doc = parse_json(line);
   if (!doc.is_object()) throw ParseError("job spec: line is not a JSON object");
@@ -270,6 +39,7 @@ JobSpec job_spec_from_json(std::string_view line) {
     if (key == "id") spec.id = v.as_string();
     else if (key == "priority") spec.priority = as_int(v, "priority", -100, 100);
     else if (key == "deadline_ms") spec.deadline_ms = v.as_number();
+    else if (key == "device") spec.device = v.as_string();
     else if (key == "phylip") spec.workload.phylip = v.as_string();
     else if (key == "sim_taxa") spec.workload.sim_taxa = as_count(v, "sim_taxa");
     else if (key == "sim_sites") spec.workload.sim_sites = as_count(v, "sim_sites");

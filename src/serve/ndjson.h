@@ -4,48 +4,20 @@
 /// come in, job results go out — both through rxc-serve and through any
 /// client driving serve::Server programmatically.
 ///
-/// The repo's JSON support so far is write-only (support/json.h); this adds
-/// the minimal recursive-descent *parser* the service needs.  It accepts
-/// strict JSON (objects, arrays, strings with escapes, numbers, booleans,
-/// null) and rejects everything else with rxc::ParseError — a service API
-/// should fail loudly on malformed input, not guess.
+/// The strict recursive-descent parser itself lives in support/json_value.h
+/// (it also backs cell::DeviceModel config files); this header re-exports
+/// it under the serve namespace and adds the job-spec/-result codecs.
 
 #include <string>
 #include <string_view>
-#include <utility>
-#include <vector>
 
 #include "serve/job.h"
+#include "support/json_value.h"
 
 namespace rxc::serve {
 
-/// A parsed JSON value (small DOM).  Objects keep insertion order; lookup
-/// is linear, which is fine at job-spec sizes.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
-
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<std::pair<std::string, JsonValue>> object;
-  std::vector<JsonValue> array;
-
-  bool is_null() const { return kind == Kind::kNull; }
-  bool is_object() const { return kind == Kind::kObject; }
-
-  /// Object member by key; nullptr when absent (or not an object).
-  const JsonValue* find(std::string_view key) const;
-
-  /// Typed accessors; throw rxc::ParseError on a kind mismatch so a spec
-  /// with `"priority": "high"` is reported instead of silently zeroed.
-  bool as_bool() const;
-  double as_number() const;
-  const std::string& as_string() const;
-};
-
-/// Parses exactly one JSON document; trailing non-whitespace is an error.
-JsonValue parse_json(std::string_view text);
+using rxc::JsonValue;
+using rxc::parse_json;
 
 /// Parses one NDJSON job-spec line.  Unknown keys throw ParseError (typo
 /// protection); `id` is required.

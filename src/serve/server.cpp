@@ -156,6 +156,8 @@ SubmitStatus Server::submit(const JobSpec& spec) {
   job->spec = spec;
   try {
     job->compile();
+    RXC_REQUIRE(spec.device.empty() || pool_.has_model(spec.device),
+                "job spec: no pooled device has model '" + spec.device + "'");
   } catch (const Error& e) {
     job->state = JobState::kRejected;
     job->error = e.what();
@@ -263,7 +265,20 @@ void Server::finalize(Job& job, JobState state, const std::string& error) {
 }
 
 void Server::worker(Device& device) {
-  while (auto popped = queue_.pop()) run_lease(**popped, device);
+  while (auto popped = queue_.pop()) {
+    Job& job = **popped;
+    if (!job.spec.device.empty() && job.spec.device != device.model_name()) {
+      // Device-model constraint this worker cannot satisfy: hand the job
+      // back for a matching device (submission guaranteed one exists) and
+      // pause briefly so a lone mismatched worker doesn't spin hot.
+      static obs::Counter& skips = obs::counter("serve.jobs.device_skips");
+      skips.add();
+      queue_.requeue(job.spec.priority, &job);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    run_lease(job, device);
+  }
 }
 
 void Server::run_lease(Job& job, Device& device) {

@@ -11,7 +11,10 @@
 ///  * placement — any idle device takes the highest-priority waiting job;
 ///    jobs are not pinned, so after a preemption or fault a job usually
 ///    resumes on a DIFFERENT device (MGPS's dynamic SPE sharing, at job
-///    granularity);
+///    granularity).  A job may carry a device-model constraint
+///    (JobSpec::device): only devices whose model name matches run it —
+///    others requeue it.  Submission rejects constraints no pooled device
+///    satisfies, so constrained jobs cannot circulate forever;
 ///  * preemption — a running job polls the queue at every checkpoint
 ///    boundary (one analysis task) and yields to strictly-higher-priority
 ///    waiters by serializing its AnalysisCheckpoint and requeueing.  Tasks

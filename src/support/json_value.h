@@ -1,0 +1,47 @@
+#pragma once
+/// \file json_value.h
+/// Strict JSON parsing for config surfaces (serving wire format, device
+/// model files).  support/json.h is write-only; this is the matching
+/// recursive-descent *parser*.  It accepts strict JSON (objects, arrays,
+/// strings with escapes, numbers, booleans, null) and rejects everything
+/// else with rxc::ParseError — config and service input should fail loudly
+/// on malformed text, not guess.  Duplicate object keys are rejected too:
+/// keep-first vs keep-last disagreement across parsers is a classic
+/// "validator saw X, executor saw Y" smuggling vector.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rxc {
+
+/// A parsed JSON value (small DOM).  Objects keep insertion order; lookup
+/// is linear, which is fine at config sizes.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member by key; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors; throw rxc::ParseError on a kind mismatch so a config
+  /// with `"priority": "high"` is reported instead of silently zeroed.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+};
+
+/// Parses exactly one JSON document; trailing non-whitespace is an error.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace rxc

@@ -13,13 +13,19 @@ Options::Options(int argc, const char* const* argv) {
     RXC_REQUIRE(arg.rfind("--", 0) == 0, "option must start with --: " + arg);
     arg.erase(0, 2);
     const auto eq = arg.find('=');
+    std::string key, value;
     if (eq != std::string::npos) {
-      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      kv_[arg] = argv[++i];
+      key = arg;
+      value = argv[++i];
     } else {
-      kv_[arg] = "1";
+      key = arg;
+      value = "1";
     }
+    kv_[key] = value;
+    ordered_.emplace_back(std::move(key), std::move(value));
   }
 }
 
@@ -49,6 +55,21 @@ bool Options::get_bool(const std::string& key, bool dflt) const {
   if (it == kv_.end()) return dflt;
   const std::string& v = it->second;
   return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Options::get_list(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : ordered_) {
+    if (k != key) continue;
+    std::size_t start = 0;
+    while (start <= v.size()) {
+      std::size_t comma = v.find(',', start);
+      if (comma == std::string::npos) comma = v.size();
+      if (comma > start) out.push_back(v.substr(start, comma - start));
+      start = comma + 1;
+    }
+  }
+  return out;
 }
 
 void Options::check_known(std::initializer_list<const char*> allowed) const {

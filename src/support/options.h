@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace rxc {
 
@@ -21,11 +23,20 @@ public:
   double get_double(const std::string& key, double dflt) const;
   bool get_bool(const std::string& key, bool dflt) const;
 
+  /// Every value given for a repeatable option, in command-line order:
+  /// "--k a --k b" and "--k=a,b" both yield {"a", "b"} (comma-separated
+  /// values are split; empty pieces dropped).  Empty when absent.  The
+  /// scalar getters see only the LAST occurrence.
+  std::vector<std::string> get_list(const std::string& key) const;
+
   /// Throws rxc::Error listing `allowed` if any parsed key is not in it.
   void check_known(std::initializer_list<const char*> allowed) const;
 
 private:
   std::map<std::string, std::string> kv_;
+  /// Every (key, value) pair in argv order — what get_list reads, so
+  /// repeated options accumulate instead of overwriting.
+  std::vector<std::pair<std::string, std::string>> ordered_;
 };
 
 }  // namespace rxc

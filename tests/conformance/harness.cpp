@@ -204,25 +204,21 @@ CaseResult run_case(lh::KernelExecutor& ref, lh::KernelExecutor& dut,
 }
 
 std::unique_ptr<lh::KernelExecutor> make_host(lh::KernelConfig config) {
-  lh::ExecutorSpec spec;
-  spec.kind = lh::ExecutorKind::kHost;
-  spec.kernels = config;
-  return lh::make_executor(spec);
+  return lh::make_executor(lh::ExecutorSpec::host_spec(lh::HostOptions{config}));
 }
 
 std::unique_ptr<lh::KernelExecutor> make_threaded(int threads,
                                                   lh::KernelConfig config) {
-  lh::ExecutorSpec spec;
-  spec.kind = lh::ExecutorKind::kThreaded;
-  spec.kernels = config;
-  spec.threads = threads;
-  return lh::make_executor(spec);
+  lh::ThreadedOptions opts;
+  opts.kernels = config;
+  opts.threads = threads;
+  return lh::make_executor(lh::ExecutorSpec::threaded_spec(opts));
 }
 
 std::unique_ptr<lh::KernelExecutor> make_cell(core::Stage stage, int llp_ways,
                                               std::size_t strip_bytes) {
   lh::ExecutorSpec spec = core::cell_executor_spec(stage, llp_ways);
-  spec.strip_bytes = strip_bytes;
+  spec.cell().strip_bytes = strip_bytes;
   return lh::make_executor(spec);
 }
 

@@ -1,0 +1,105 @@
+/// Device-geometry conformance: machine geometry is a PERFORMANCE model,
+/// never a NUMERICS model.  The same seeded workloads must produce bitwise
+/// identical kernel outputs, log-likelihoods and derivatives on every
+/// device model — presets and deliberately extreme customs — because only
+/// strip sizes (a per-spec knob, held fixed here) shape summation order.
+/// This is the contract that makes rxc-sweep's "lnl_identical" flag and
+/// heterogeneous serving pools (serve::DevicePool) safe: a job's numbers
+/// cannot depend on which pooled geometry it happened to lease.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cell/device_model.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "harness.h"
+#include "likelihood/executor.h"
+#include "workload.h"
+
+namespace rxc::conformance {
+namespace {
+
+std::uint64_t cases() { return fixed_seed_requested() ? 1 : 60; }
+
+std::uint64_t seed_for(std::uint64_t pair_salt, std::uint64_t i) {
+  return fixed_seed_requested() ? base_seed() : case_seed(pair_salt, i);
+}
+
+std::unique_ptr<lh::KernelExecutor> make_cell_on(
+    const cell::DeviceModel& device) {
+  lh::CellOptions opts;
+  opts.device = device;
+  opts.stage = static_cast<int>(core::Stage::kOffloadAll);
+  return lh::make_executor(lh::ExecutorSpec::cell_spec(std::move(opts)));
+}
+
+/// The sweep list: every preset plus two extreme customs that stress the
+/// residency/geometry paths (a minimal machine that forces sumtable DMA
+/// round trips, and an oversized one that keeps everything resident).
+std::vector<cell::DeviceModel> sweep_models() {
+  std::vector<cell::DeviceModel> models = cell::device_presets();
+
+  cell::DeviceModel tiny;
+  tiny.name = "conf-tiny";
+  tiny.spe_count = 1;
+  tiny.local_store_bytes = 224 * 1024;  // 107 KB of data room: enough for
+                                        // every strip buffer, small enough
+                                        // that big sumtables lose residency
+  tiny.cost.dma_bytes_per_cycle = 0.5;  // slow EIB: timing-only knob
+  models.push_back(tiny);
+
+  cell::DeviceModel huge;
+  huge.name = "conf-huge";
+  huge.spe_count = 64;
+  huge.local_store_bytes = 4 * 1024 * 1024;
+  huge.cost.eib_contention_per_spe = 0.9;
+  models.push_back(huge);
+
+  return models;
+}
+
+TEST(ConformanceDevices, LnlBitwiseIdenticalAcrossGeometries) {
+  const auto models = sweep_models();
+  const auto ref = make_cell_on(models[0]);  // cell-2007
+  for (std::size_t m = 1; m < models.size(); ++m) {
+    const auto dut = make_cell_on(models[m]);
+    const Bounds bounds{"device geometry must not touch numerics (" +
+                            models[m].name + " vs cell-2007)",
+                        0.0, 0, 0.0, true};
+    for (std::uint64_t i = 0; i < cases(); ++i) {
+      const std::uint64_t seed = seed_for(0xD0 + m, i);
+      const Workload wl(WorkloadSpec::draw(seed));
+      const CaseResult r = run_case(*ref, *dut, wl, bounds);
+      ASSERT_TRUE(r.ok) << r.detail << "\n"
+                        << repro_hint(seed, "ConformanceDevices");
+    }
+  }
+}
+
+/// Host-vs-custom-device differential at offload-all: per-pattern values
+/// stay bitwise against the mirrored host kernels whatever the geometry;
+/// only the strip-chunked reductions (lnl, d1, d2) carry the usual
+/// reassociation tolerance — the same entitlement the HostVsSpeAllStages
+/// pair declares, because it comes from strips, not from the device.
+TEST(ConformanceDevices, HostVsCustomDeviceValuesBitwise) {
+  const auto ref = make_host(mirror_config(
+      core::stage_toggles(core::Stage::kOffloadAll)));
+  for (const cell::DeviceModel& model : sweep_models()) {
+    const auto dut = make_cell_on(model);
+    const Bounds bounds{"host mirror vs device '" + model.name + "'",
+                        0.0, 0, 1e-9, true};
+    for (std::uint64_t i = 0; i < cases(); ++i) {
+      const std::uint64_t seed = seed_for(0xE0, i);
+      const Workload wl(WorkloadSpec::draw(seed));
+      const CaseResult r = run_case(*ref, *dut, wl, bounds);
+      ASSERT_TRUE(r.ok) << r.detail << "\n"
+                        << repro_hint(seed, "ConformanceDevices");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rxc::conformance

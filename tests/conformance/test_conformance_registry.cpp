@@ -32,7 +32,7 @@ TEST(ConformanceRegistry, CellRefKernelsMirrorOffloadAllStage) {
   EXPECT_EQ(cell->ref_kernels.exp_fn, mirrored.exp_fn);
   EXPECT_EQ(cell->ref_kernels.scaling, mirrored.scaling);
   EXPECT_EQ(cell->ref_kernels.simd, mirrored.simd);
-  EXPECT_EQ(cell->spec.cell_stage,
+  EXPECT_EQ(cell->spec.cell().stage,
             static_cast<int>(core::Stage::kOffloadAll));
 }
 

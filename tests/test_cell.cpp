@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "cell/cost_params.h"
+#include "cell/device_model.h"
 #include "cell/local_store.h"
 #include "cell/mailbox.h"
 #include "cell/mfc.h"
@@ -21,15 +22,16 @@ using namespace rxc;
 using namespace rxc::cell;
 
 TEST(LocalStore, CapacityAndCodeReservation) {
-  LocalStore ls(kOffloadCodeBytes);
-  EXPECT_EQ(ls.capacity(), kLocalStoreBytes);
-  EXPECT_EQ(ls.code_bytes(), kOffloadCodeBytes);
+  const DeviceModel dev;  // cell-2007 defaults
+  LocalStore ls(dev.local_store_bytes, dev.offload_code_bytes);
+  EXPECT_EQ(ls.capacity(), dev.local_store_bytes);
+  EXPECT_EQ(ls.code_bytes(), dev.offload_code_bytes);
   // The paper: 117 KB code leaves 139 KB for data.
   EXPECT_EQ(ls.free_bytes(), 139 * 1024);
 }
 
 TEST(LocalStore, AllocAligns16) {
-  LocalStore ls(1000);
+  LocalStore ls(256 * 1024, 1000);
   const LsAddr a = ls.alloc(10);
   const LsAddr b = ls.alloc(1);
   EXPECT_EQ(a % 16, 0u);
@@ -38,7 +40,8 @@ TEST(LocalStore, AllocAligns16) {
 }
 
 TEST(LocalStore, OverflowThrowsHardwareError) {
-  LocalStore ls(kOffloadCodeBytes);
+  const DeviceModel dev;
+  LocalStore ls(dev.local_store_bytes, dev.offload_code_bytes);
   (void)ls.alloc(100 * 1024);
   EXPECT_THROW(ls.alloc(100 * 1024), HardwareError);
   ls.reset();
@@ -46,21 +49,24 @@ TEST(LocalStore, OverflowThrowsHardwareError) {
 }
 
 TEST(LocalStore, OutOfBoundsAccessThrows) {
-  LocalStore ls(0);
-  EXPECT_THROW(ls.data(kLocalStoreBytes - 8, 16), HardwareError);
+  const DeviceModel dev;
+  LocalStore ls(dev.local_store_bytes, 0);
+  EXPECT_THROW(ls.data(dev.local_store_bytes - 8, 16), HardwareError);
 }
 
 TEST(LocalStore, CodeImageTooBigRejected) {
-  EXPECT_THROW(LocalStore(kLocalStoreBytes + 1), Error);
+  const DeviceModel dev;
+  EXPECT_THROW(LocalStore(dev.local_store_bytes, dev.local_store_bytes + 1),
+               Error);
 }
 
 // --- MFC ---------------------------------------------------------------
 
 class MfcTest : public ::testing::Test {
 protected:
-  CostParams params;
-  LocalStore ls{0};
-  Mfc mfc{ls, params};
+  DeviceModel dev;
+  LocalStore ls{dev.local_store_bytes, 0};
+  Mfc mfc{ls, dev};
   aligned_vector<double> host = aligned_vector<double>(1024);
 };
 
@@ -85,7 +91,7 @@ TEST_F(MfcTest, RejectsIllegalSizes) {
   EXPECT_THROW(mfc.get(dst, host.data(), 0, 0, 0.0), HardwareError);
   EXPECT_THROW(mfc.get(dst, host.data(), 3, 0, 0.0), HardwareError);
   EXPECT_THROW(mfc.get(dst, host.data(), 24, 0, 0.0), HardwareError);
-  EXPECT_THROW(mfc.get(dst, host.data(), kDmaMaxBytes + 16, 0, 0.0),
+  EXPECT_THROW(mfc.get(dst, host.data(), dev.dma_max_bytes + 16, 0, 0.0),
                HardwareError);
   EXPECT_NO_THROW(mfc.get(dst, host.data(), 8, 0, 0.0));
   EXPECT_NO_THROW(mfc.get(dst, host.data(), 1024, 0, 0.0));
@@ -107,7 +113,7 @@ TEST_F(MfcTest, TimingScalesWithSize) {
   mfc.get(dst, host.data(), 8192, 1, 0.0);
   const VCycles t2 = mfc.completion(1);
   EXPECT_GT(t2, t1);
-  EXPECT_NEAR(t2 - t1, (8192.0 - 1024.0) / params.dma_bytes_per_cycle, 1e-9);
+  EXPECT_NEAR(t2 - t1, (8192.0 - 1024.0) / dev.cost.dma_bytes_per_cycle, 1e-9);
 }
 
 TEST_F(MfcTest, TagGroupsAccumulate) {
@@ -132,7 +138,7 @@ TEST_F(MfcTest, ContentionSlowsTransfers) {
   const LsAddr dst = ls.alloc(4096);
   mfc.get(dst, host.data(), 4096, 0, 0.0);
   const VCycles solo = mfc.completion(0);
-  Mfc congested(ls, params);
+  Mfc congested(ls, dev);
   congested.set_contention(2.0);
   congested.get(dst, host.data(), 4096, 0, 0.0);
   EXPECT_GT(congested.completion(0), solo);
@@ -153,7 +159,8 @@ TEST_F(MfcTest, DmaListTransfersAll) {
 }
 
 TEST_F(MfcTest, DmaListSizeCapEnforced) {
-  std::vector<DmaListEntry> list(kDmaListMaxEntries + 1, {host.data(), 16});
+  std::vector<DmaListEntry> list(dev.dma_list_max_entries + 1,
+                                 {host.data(), 16});
   const LsAddr dst = ls.alloc(16);
   EXPECT_THROW(mfc.get_list(dst, list, 0, 0.0), HardwareError);
 }
@@ -169,7 +176,8 @@ TEST_F(MfcTest, CountersTrackBytes) {
 // --- mailboxes -------------------------------------------------------------
 
 TEST(Mailbox, FifoAndDepth) {
-  Mailbox inbox(kMailboxInDepth);
+  const DeviceModel dev;
+  Mailbox inbox(dev.mailbox_in_depth);
   for (int i = 0; i < 4; ++i) inbox.write(i);
   EXPECT_TRUE(inbox.full());
   EXPECT_THROW(inbox.write(99), HardwareError);
@@ -179,7 +187,8 @@ TEST(Mailbox, FifoAndDepth) {
 }
 
 TEST(Mailbox, OutboundDepthIsOne) {
-  Mailbox outbox(kMailboxOutDepth);
+  const DeviceModel dev;
+  Mailbox outbox(dev.mailbox_out_depth);
   outbox.write(1);
   EXPECT_TRUE(outbox.full());
   EXPECT_THROW(outbox.write(2), HardwareError);
@@ -188,8 +197,8 @@ TEST(Mailbox, OutboundDepthIsOne) {
 // --- SPU / machine -----------------------------------------------------------
 
 TEST(Spu, ChargeAdvancesClockAndBusy) {
-  CostParams params;
-  Spu spu(0, params);
+  const DeviceModel dev;
+  Spu spu(0, dev);
   spu.charge(100.0);
   spu.charge(50.0);
   EXPECT_DOUBLE_EQ(spu.now(), 150.0);
@@ -197,8 +206,8 @@ TEST(Spu, ChargeAdvancesClockAndBusy) {
 }
 
 TEST(Spu, DmaStallSeparatesFromBusy) {
-  CostParams params;
-  Spu spu(0, params);
+  const DeviceModel dev;
+  Spu spu(0, dev);
   aligned_vector<double> host(256);
   const LsAddr dst = spu.ls().alloc(2048);
   spu.mfc().get(dst, host.data(), 2048, 0, spu.now());
@@ -209,9 +218,20 @@ TEST(Spu, DmaStallSeparatesFromBusy) {
 }
 
 TEST(Machine, HasEightSpes) {
-  CellMachine machine;
+  CellMachine machine;  // default DeviceModel: cell-2007
   EXPECT_EQ(machine.spe_count(), 8);
   for (int i = 0; i < 8; ++i) EXPECT_EQ(machine.spe(i).id(), i);
+}
+
+TEST(Machine, GeometryFollowsTheDeviceModel) {
+  DeviceModel dev;
+  dev.name = "test-16spe";
+  dev.spe_count = 16;
+  dev.local_store_bytes = 512 * 1024;
+  CellMachine machine(dev);
+  EXPECT_EQ(machine.spe_count(), 16);
+  EXPECT_EQ(machine.spe(15).ls().capacity(), 512u * 1024u);
+  EXPECT_EQ(machine.device().name, "test-16spe");
 }
 
 // --- timelines ----------------------------------------------------------------
@@ -238,15 +258,15 @@ TEST(Timeline, AcquireEarliestPicksLeastLoaded) {
 // --- invariants & fault injection ---------------------------------------------
 
 TEST(Invariants, FreshSpuIsCleanAndQuiescent) {
-  CostParams params;
-  Spu spu(0, params);
+  const DeviceModel dev;
+  Spu spu(0, dev);
   EXPECT_TRUE(check_invariants(spu).ok());
   EXPECT_TRUE(check_quiescent(spu).ok());
 }
 
 TEST(Invariants, QuiescenceCatchesUnwaitedDma) {
-  CostParams params;
-  Spu spu(0, params);
+  const DeviceModel dev;
+  Spu spu(0, dev);
   aligned_vector<double> host(256);
   const LsAddr dst = spu.ls().alloc(2048);
   spu.mfc().get(dst, host.data(), 2048, 5, spu.now());
@@ -271,20 +291,25 @@ TEST(Invariants, ReportNamesEverySpe) {
   EXPECT_NE(rep.to_string().find("spe6"), std::string::npos);
 }
 
-TEST(FaultInjection, EveryFaultClassTrapsCleanly) {
-  CostParams params;
-  Spu spu(0, params);
-  for (Fault fault : kAllFaults) {
-    const FaultOutcome outcome = inject_fault(spu, fault);
-    EXPECT_TRUE(outcome.trapped) << fault_name(fault) << ": " << outcome.error;
-    EXPECT_TRUE(outcome.state_intact)
-        << fault_name(fault) << ": " << outcome.error;
+// Parameterized over every preset device model: the fault layer probes the
+// CONFIGURED limits (DMA size cap, list cap, mailbox depths), not baked-in
+// constants, so each geometry must trap against its own numbers.
+TEST(FaultInjection, EveryFaultClassTrapsCleanlyOnEveryPreset) {
+  for (const DeviceModel& dev : device_presets()) {
+    Spu spu(0, dev);
+    for (Fault fault : kAllFaults) {
+      const FaultOutcome outcome = inject_fault(spu, fault);
+      EXPECT_TRUE(outcome.trapped)
+          << dev.name << "/" << fault_name(fault) << ": " << outcome.error;
+      EXPECT_TRUE(outcome.state_intact)
+          << dev.name << "/" << fault_name(fault) << ": " << outcome.error;
+    }
   }
 }
 
 TEST(FaultInjection, RepeatedInjectionIsIdempotent) {
-  CostParams params;
-  Spu spu(0, params);
+  const DeviceModel dev;
+  Spu spu(0, dev);
   for (int round = 0; round < 3; ++round)
     for (Fault fault : kAllFaults)
       EXPECT_TRUE(inject_fault(spu, fault).ok()) << fault_name(fault);

@@ -236,74 +236,74 @@ core::TaskTrace synthetic_trace(int segments, double ppe, double spe) {
 }  // namespace
 
 TEST(Scheduler, SingleProcessIsSerial) {
-  cell::CostParams params;
-  params.ppe_context_switch_cycles = 0;
+  cell::DeviceModel dev;
+  dev.cost.ppe_context_switch_cycles = 0;
   const auto trace = synthetic_trace(10, 100.0, 900.0);
   const std::vector<const core::TaskTrace*> tasks{&trace};
-  const auto r = core::schedule_traces(params, tasks,
+  const auto r = core::schedule_traces(dev, tasks,
                                        {core::Policy::kNaive, 1});
   EXPECT_DOUBLE_EQ(r.makespan, 10 * (100.0 + 900.0));
   EXPECT_EQ(r.context_switches, 0u);
 }
 
 TEST(Scheduler, TwoWorkersHalveIndependentWork) {
-  cell::CostParams params;
-  params.ppe_smt_factor = 1.0;  // isolate the parallelism effect
+  cell::DeviceModel dev;
+  dev.cost.ppe_smt_factor = 1.0;  // isolate the parallelism effect
   const auto trace = synthetic_trace(5, 10.0, 990.0);
   const std::vector<const core::TaskTrace*> tasks{&trace, &trace, &trace,
                                                   &trace};
-  const auto r1 = core::schedule_traces(params, tasks,
+  const auto r1 = core::schedule_traces(dev, tasks,
                                         {core::Policy::kNaive, 1});
-  const auto r2 = core::schedule_traces(params, tasks,
+  const auto r2 = core::schedule_traces(dev, tasks,
                                         {core::Policy::kNaive, 2});
   EXPECT_NEAR(r2.makespan, r1.makespan / 2.0, r1.makespan * 0.01);
 }
 
 TEST(Scheduler, SmtFactorSlowsPpeBoundWork) {
-  cell::CostParams params;
+  cell::DeviceModel dev;
   const auto trace = synthetic_trace(5, 1000.0, 0.0);  // pure PPE work
   const std::vector<const core::TaskTrace*> tasks{&trace, &trace};
-  params.ppe_smt_factor = 1.0;
-  const auto fast = core::schedule_traces(params, tasks,
+  dev.cost.ppe_smt_factor = 1.0;
+  const auto fast = core::schedule_traces(dev, tasks,
                                           {core::Policy::kNaive, 2});
-  params.ppe_smt_factor = 1.5;
-  const auto slow = core::schedule_traces(params, tasks,
+  dev.cost.ppe_smt_factor = 1.5;
+  const auto slow = core::schedule_traces(dev, tasks,
                                           {core::Policy::kNaive, 2});
   EXPECT_NEAR(slow.makespan, fast.makespan * 1.5, 1e-6);
 }
 
 TEST(Scheduler, EdtlpUsesAllSpes) {
-  cell::CostParams params;
-  params.ppe_context_switch_cycles = 0;
-  params.ppe_smt_factor = 1.0;
+  cell::DeviceModel dev;
+  dev.cost.ppe_context_switch_cycles = 0;
+  dev.cost.ppe_smt_factor = 1.0;
   const auto trace = synthetic_trace(4, 1.0, 999.0);  // SPE-bound
   std::vector<const core::TaskTrace*> tasks(8, &trace);
-  const auto naive = core::schedule_traces(params, tasks,
+  const auto naive = core::schedule_traces(dev, tasks,
                                            {core::Policy::kNaive, 2});
-  const auto edtlp = core::schedule_traces(params, tasks,
+  const auto edtlp = core::schedule_traces(dev, tasks,
                                            {core::Policy::kEdtlp, 8});
   EXPECT_LT(edtlp.makespan, naive.makespan / 3.0);
 }
 
 TEST(Scheduler, EdtlpPaysContextSwitches) {
-  cell::CostParams params;
+  cell::DeviceModel dev;
   const auto trace = synthetic_trace(10, 10.0, 100.0);
   std::vector<const core::TaskTrace*> tasks(8, &trace);
-  const auto r = core::schedule_traces(params, tasks,
+  const auto r = core::schedule_traces(dev, tasks,
                                        {core::Policy::kEdtlp, 8});
   EXPECT_EQ(r.context_switches, 80u);  // one per signaled offload
-  const auto two = core::schedule_traces(params, tasks,
+  const auto two = core::schedule_traces(dev, tasks,
                                          {core::Policy::kNaive, 2});
   EXPECT_EQ(two.context_switches, 0u);  // not oversubscribed
 }
 
 TEST(Scheduler, MakespanNeverBelowCriticalPath) {
-  cell::CostParams params;
+  cell::DeviceModel dev;
   const auto trace = synthetic_trace(7, 50.0, 500.0);
   std::vector<const core::TaskTrace*> tasks(5, &trace);
   for (const auto policy : {core::Policy::kNaive, core::Policy::kEdtlp}) {
     const int procs = policy == core::Policy::kNaive ? 2 : 8;
-    const auto r = core::schedule_traces(params, tasks, {policy, procs});
+    const auto r = core::schedule_traces(dev, tasks, {policy, procs});
     EXPECT_GE(r.makespan, trace.serial_cycles());  // one task is serial
   }
 }
@@ -346,12 +346,18 @@ TEST(Port, TraceSamplingCountsExecutedVsReplayed) {
 }
 
 TEST(Port, MgpsLlpWaysMapping) {
-  EXPECT_EQ(core::mgps_llp_ways(1), 8);
-  EXPECT_EQ(core::mgps_llp_ways(2), 4);
-  EXPECT_EQ(core::mgps_llp_ways(3), 2);
-  EXPECT_EQ(core::mgps_llp_ways(4), 2);
-  EXPECT_EQ(core::mgps_llp_ways(5), 1);
-  EXPECT_EQ(core::mgps_llp_ways(7), 1);
+  // The paper's 8-SPE machine (historic table) ...
+  EXPECT_EQ(core::mgps_llp_ways(1, 8), 8);
+  EXPECT_EQ(core::mgps_llp_ways(2, 8), 4);
+  EXPECT_EQ(core::mgps_llp_ways(3, 8), 2);
+  EXPECT_EQ(core::mgps_llp_ways(4, 8), 2);
+  EXPECT_EQ(core::mgps_llp_ways(5, 8), 1);
+  EXPECT_EQ(core::mgps_llp_ways(7, 8), 1);
+  // ... generalizes to the configured SPE count.
+  EXPECT_EQ(core::mgps_llp_ways(1, 16), 16);
+  EXPECT_EQ(core::mgps_llp_ways(3, 16), 4);
+  EXPECT_EQ(core::mgps_llp_ways(5, 16), 2);
+  EXPECT_EQ(core::mgps_llp_ways(17, 16), 1);
 }
 
 TEST(Port, RejectsBadConfigs) {

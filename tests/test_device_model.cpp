@@ -1,0 +1,196 @@
+// Tests for cell::DeviceModel: the declarative virtual-hardware layer.
+// Strict-JSON parsing (unknown/duplicate keys, type and range errors are
+// ConfigError, never a silent default), bitwise to_string/from_string round
+// trips, the preset table, the process-wide registry, and the contention
+// semantics that replaced the old loose ExecutorSpec doubles.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cell/device_model.h"
+#include "support/error.h"
+
+using namespace rxc;
+using namespace rxc::cell;
+
+TEST(DeviceModel, DefaultsAreThePapersMachine) {
+  const DeviceModel dev;
+  EXPECT_EQ(dev.name, "cell-2007");
+  EXPECT_EQ(dev.spe_count, 8);
+  EXPECT_EQ(dev.ppe_threads, 2);
+  EXPECT_EQ(dev.local_store_bytes, 256u * 1024u);
+  EXPECT_EQ(dev.offload_code_bytes, 117u * 1024u);
+  EXPECT_EQ(dev.ls_data_bytes(), 139u * 1024u);  // the paper: 139 KB left
+  EXPECT_EQ(dev.dma_max_bytes, 16u * 1024u);
+  EXPECT_EQ(dev.dma_list_max_entries, 2048u);
+  EXPECT_EQ(dev.mfc_tag_count, 32);
+  EXPECT_EQ(dev.mailbox_in_depth, 4);
+  EXPECT_EQ(dev.mailbox_out_depth, 1);
+  EXPECT_NO_THROW(dev.validate());
+}
+
+TEST(DeviceModel, ContentionFactorsMatchTheDocumentedFormulas) {
+  DeviceModel dev;
+  EXPECT_DOUBLE_EQ(dev.eib_factor(1), 1.0);  // no self-contention
+  EXPECT_DOUBLE_EQ(dev.eib_factor(8),
+                   1.0 + 7.0 * dev.cost.eib_contention_per_spe);
+  EXPECT_DOUBLE_EQ(dev.eib_factor(0), 1.0);   // degenerate: clamped
+  EXPECT_DOUBLE_EQ(dev.mailbox_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(dev.mailbox_factor(4), 4.0);
+  EXPECT_DOUBLE_EQ(dev.mailbox_factor(0), 1.0);
+
+  dev.cost.eib_contention_per_spe = 0.25;
+  EXPECT_DOUBLE_EQ(dev.eib_factor(5), 2.0);
+}
+
+// --- round trip -------------------------------------------------------------
+
+TEST(DeviceModel, ToStringFromStringRoundTripsBitwise) {
+  for (const DeviceModel& preset : device_presets()) {
+    const DeviceModel back = DeviceModel::from_string(preset.to_string());
+    EXPECT_TRUE(back == preset) << preset.name;
+    // Idempotent serialization too (doubles print at full precision).
+    EXPECT_EQ(back.to_string(), preset.to_string()) << preset.name;
+  }
+}
+
+TEST(DeviceModel, RoundTripSurvivesAwkwardCostValues) {
+  DeviceModel dev;
+  dev.name = "awkward";
+  dev.cost.dma_bytes_per_cycle = 0.1;             // not exactly representable
+  dev.cost.eib_contention_per_spe = 1.0 / 3.0;    // repeating binary fraction
+  dev.cost.ppe_smt_factor = 1.0000000000000002;   // 1 + 1 ulp
+  const DeviceModel back = DeviceModel::from_string(dev.to_string());
+  EXPECT_TRUE(back == dev);
+}
+
+TEST(DeviceModel, OmittedKeysKeepCell2007Defaults) {
+  const DeviceModel m =
+      DeviceModel::from_string("{\"name\": \"minimal\", \"spe_count\": 4}");
+  EXPECT_EQ(m.name, "minimal");
+  EXPECT_EQ(m.spe_count, 4);
+  EXPECT_EQ(m.local_store_bytes, 256u * 1024u);  // untouched default
+  EXPECT_EQ(m.cost.clock_hz, DeviceModel{}.cost.clock_hz);
+}
+
+// --- malformed-config table -------------------------------------------------
+
+struct BadConfig {
+  const char* label;
+  const char* text;
+};
+
+class DeviceModelRejects : public ::testing::TestWithParam<BadConfig> {};
+
+TEST_P(DeviceModelRejects, WithConfigError) {
+  EXPECT_THROW(DeviceModel::from_string(GetParam().text), ConfigError)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedTable, DeviceModelRejects,
+    ::testing::Values(
+        BadConfig{"not_json", "spe_count: 8"},
+        BadConfig{"truncated", "{\"name\": \"x\", \"spe_count\": "},
+        BadConfig{"not_an_object", "[1, 2, 3]"},
+        BadConfig{"missing_name", "{\"spe_count\": 8}"},
+        BadConfig{"empty_name", "{\"name\": \"\"}"},
+        BadConfig{"name_with_space", "{\"name\": \"two words\"}"},
+        BadConfig{"name_with_at", "{\"name\": \"cell@home\"}"},
+        BadConfig{"unknown_key", "{\"name\": \"x\", \"spe_cuont\": 8}"},
+        BadConfig{"duplicate_key",
+                  "{\"name\": \"x\", \"spe_count\": 4, \"spe_count\": 8}"},
+        BadConfig{"wrong_type", "{\"name\": \"x\", \"spe_count\": \"eight\"}"},
+        BadConfig{"fractional_int", "{\"name\": \"x\", \"spe_count\": 2.5}"},
+        BadConfig{"zero_spes", "{\"name\": \"x\", \"spe_count\": 0}"},
+        BadConfig{"too_many_spes", "{\"name\": \"x\", \"spe_count\": 65}"},
+        BadConfig{"negative_depth",
+                  "{\"name\": \"x\", \"mailbox_in_depth\": -1}"},
+        BadConfig{"code_exceeds_store",
+                  "{\"name\": \"x\", \"local_store_bytes\": 65536, "
+                  "\"offload_code_bytes\": 65536}"},
+        BadConfig{"unaligned_dma_max",
+                  "{\"name\": \"x\", \"dma_max_bytes\": 1000}"},
+        BadConfig{"cost_not_object", "{\"name\": \"x\", \"cost\": 3}"},
+        BadConfig{"cost_unknown_key",
+                  "{\"name\": \"x\", \"cost\": {\"warp_speed\": 9}}"},
+        BadConfig{"cost_negative",
+                  "{\"name\": \"x\", \"cost\": {\"dma_startup_cycles\": -1}}"},
+        BadConfig{"cost_zero_clock",
+                  "{\"name\": \"x\", \"cost\": {\"clock_hz\": 0}}"},
+        BadConfig{"cost_smt_below_one",
+                  "{\"name\": \"x\", \"cost\": {\"ppe_smt_factor\": 0.5}}"}),
+    [](const auto& inf) { return std::string(inf.param.label); });
+
+// --- presets & registry -----------------------------------------------------
+
+TEST(DeviceModel, PresetTableIsStableAndValid) {
+  const auto& presets = device_presets();
+  ASSERT_EQ(presets.size(), 3u);
+  EXPECT_EQ(presets[0].name, "cell-2007");
+  EXPECT_EQ(presets[1].name, "cell-16spe-512k");
+  EXPECT_EQ(presets[2].name, "cell-fast-eib");
+
+  // cell-2007 IS the default-constructed model — the compatibility anchor
+  // that keeps every golden file valid.
+  EXPECT_TRUE(presets[0] == DeviceModel{});
+
+  EXPECT_EQ(presets[1].spe_count, 16);
+  EXPECT_EQ(presets[1].local_store_bytes, 512u * 1024u);
+  EXPECT_DOUBLE_EQ(presets[2].cost.eib_contention_per_spe, 0.0);
+  EXPECT_DOUBLE_EQ(presets[2].eib_factor(8), 1.0);
+}
+
+TEST(DeviceModel, RegistryFindsPresetsAndRegisteredModels) {
+  EXPECT_TRUE(find_device_model("cell-2007").has_value());
+  EXPECT_FALSE(find_device_model("no-such-machine").has_value());
+  EXPECT_THROW(require_device_model("no-such-machine"), ConfigError);
+
+  DeviceModel mine;
+  mine.name = "test-registry-model";
+  mine.spe_count = 2;
+  register_device_model(mine);
+  const auto found = find_device_model("test-registry-model");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(*found == mine);
+
+  // Presets cannot be shadowed by a different model under the same name...
+  DeviceModel impostor;
+  impostor.name = "cell-2007";
+  impostor.spe_count = 1;
+  EXPECT_THROW(register_device_model(impostor), ConfigError);
+  // ... but re-registering a preset verbatim is harmless (file-loaded
+  // copies of shipped configs do exactly this).
+  EXPECT_NO_THROW(register_device_model(DeviceModel{}));
+}
+
+TEST(DeviceModel, LoadFileParsesRegistersAndNamesThePathOnError) {
+  const std::string path = ::testing::TempDir() + "rxc_dev_model_test.json";
+  {
+    DeviceModel dev;
+    dev.name = "test-from-file";
+    dev.spe_count = 6;
+    std::ofstream out(path);
+    out << dev.to_string();
+  }
+  const DeviceModel loaded = load_device_model_file(path);
+  EXPECT_EQ(loaded.name, "test-from-file");
+  EXPECT_EQ(loaded.spe_count, 6);
+  EXPECT_TRUE(find_device_model("test-from-file").has_value());
+
+  {
+    std::ofstream out(path);
+    out << "{\"name\": \"broken\", \"spe_count\": 0}";
+  }
+  try {
+    load_device_model_file(path);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+
+  EXPECT_THROW(load_device_model_file("/no/such/dir/dev.json"), ConfigError);
+}

@@ -212,90 +212,84 @@ TEST(ObsValidate, TaskContextRejectsGammaWithPerPatternCategories) {
 }
 
 TEST(ObsValidate, ScheduleConfigRejectsOvercommit) {
+  const cell::DeviceModel dev;  // cell-2007: 8 SPEs, 2 PPE threads
   core::ScheduleConfig ok;
-  EXPECT_NO_THROW(ok.validate());
+  EXPECT_NO_THROW(ok.validate(dev));
 
   core::ScheduleConfig bad = ok;
   bad.processes = 0;
-  EXPECT_THROW(bad.validate(), rxc::Error);
+  EXPECT_THROW(bad.validate(dev), rxc::Error);
 
   bad = ok;
   bad.policy = core::Policy::kNaive;
   bad.processes = 3;  // only two PPE hardware threads
-  EXPECT_THROW(bad.validate(), rxc::Error);
+  EXPECT_THROW(bad.validate(dev), rxc::Error);
 
   bad = ok;
   bad.policy = core::Policy::kLlp;
   bad.processes = 4;
   bad.llp_ways = 4;  // 4 * 4 > 8 SPEs
-  EXPECT_THROW(bad.validate(), rxc::Error);
+  EXPECT_THROW(bad.validate(dev), rxc::Error);
   bad.llp_ways = 2;  // 4 * 2 == 8 fits exactly
-  EXPECT_NO_THROW(bad.validate());
+  EXPECT_NO_THROW(bad.validate(dev));
+
+  // The same overcommit is legal on a wider machine: the limits are the
+  // configured device's, not baked-in constants.
+  cell::DeviceModel wide = dev;
+  wide.spe_count = 16;
+  bad.llp_ways = 4;  // 4 * 4 == 16 fits on the 16-SPE model
+  EXPECT_NO_THROW(bad.validate(wide));
 }
 
 TEST(ObsValidate, ExecutorSpecRejectsBadCellParameters) {
-  lh::ExecutorSpec spec;
-  spec.kind = lh::ExecutorKind::kThreaded;
-  spec.threads = 0;
-  EXPECT_THROW(spec.validate(), rxc::Error);
+  lh::ThreadedOptions topt;
+  topt.threads = 0;
+  EXPECT_THROW(lh::ExecutorSpec::threaded_spec(topt).validate(), rxc::Error);
 
-  spec = lh::ExecutorSpec{};
-  spec.kind = lh::ExecutorKind::kSpe;
+  lh::ExecutorSpec spec = lh::ExecutorSpec::cell_spec();
   EXPECT_NO_THROW(spec.validate());
-  spec.cell_stage = 8;
+  spec.cell().stage = 8;
   EXPECT_THROW(spec.validate(), rxc::Error);
 
-  spec = lh::ExecutorSpec{};
-  spec.kind = lh::ExecutorKind::kSpe;
-  spec.llp_ways = 9;
+  spec = lh::ExecutorSpec::cell_spec();
+  spec.cell().llp_ways = 9;  // > the default device's 8 SPEs
+  EXPECT_THROW(spec.validate(), rxc::Error);
+  spec.cell().device.spe_count = 16;  // limits follow the device model
+  EXPECT_NO_THROW(spec.validate());
+
+  spec = lh::ExecutorSpec::cell_spec();
+  spec.cell().strip_bytes = 128;
   EXPECT_THROW(spec.validate(), rxc::Error);
 
-  spec = lh::ExecutorSpec{};
-  spec.kind = lh::ExecutorKind::kSpe;
-  spec.strip_bytes = 128;
-  EXPECT_THROW(spec.validate(), rxc::Error);
-
-  spec = lh::ExecutorSpec{};
-  spec.kind = lh::ExecutorKind::kSpe;
-  spec.eib_contention = 0.5;
+  // A broken device model fails spec validation too (validate() recurses
+  // into CellOptions::device).
+  spec = lh::ExecutorSpec::cell_spec();
+  spec.cell().device.cost.eib_contention_per_spe = -0.5;
   EXPECT_THROW(spec.validate(), rxc::Error);
 }
 
-// A knob set for a different kind than the selected one would be silently
-// ignored by the backend; validate() rejects the combination with a
-// ConfigError instead.
-TEST(ObsValidate, ExecutorSpecRejectsCrossKindKnobs) {
-  lh::ExecutorSpec spec;  // kHost
-  spec.host_threads = 8;  // a kSpe knob
-  EXPECT_THROW(spec.validate(), rxc::ConfigError);
+// A knob for a different kind than the selected one used to be silently
+// ignorable; under the variant ExecutorSpec it is unrepresentable, and the
+// checked accessors throw ConfigError instead of handing back junk.
+TEST(ObsValidate, ExecutorSpecAccessorsRejectKindMismatch) {
+  lh::ExecutorSpec host;  // default-constructed: kHost
+  EXPECT_EQ(host.kind(), lh::ExecutorKind::kHost);
+  EXPECT_NO_THROW(host.host());
+  EXPECT_THROW(host.threaded(), rxc::ConfigError);
+  EXPECT_THROW(host.cell(), rxc::ConfigError);
 
-  spec = lh::ExecutorSpec{};
-  spec.kind = lh::ExecutorKind::kThreaded;
-  spec.threads = 4;
-  spec.llp_ways = 4;  // a kSpe knob
-  EXPECT_THROW(spec.validate(), rxc::ConfigError);
+  lh::ExecutorSpec threaded = lh::ExecutorSpec::threaded_spec();
+  EXPECT_EQ(threaded.kind(), lh::ExecutorKind::kThreaded);
+  EXPECT_NO_THROW(threaded.threaded());
+  EXPECT_THROW(threaded.host(), rxc::ConfigError);
 
-  spec = lh::ExecutorSpec{};
-  spec.kind = lh::ExecutorKind::kSpe;
-  spec.threads = 4;  // a kThreaded knob
-  EXPECT_THROW(spec.validate(), rxc::ConfigError);
-
-  spec = lh::ExecutorSpec{};
-  spec.kind = lh::ExecutorKind::kHost;
-  spec.cell_unique_events = true;  // a kSpe knob
-  EXPECT_THROW(spec.validate(), rxc::ConfigError);
-
-  spec = lh::ExecutorSpec{};
-  spec.kind = lh::ExecutorKind::kThreaded;
-  spec.chunk_patterns = 128;  // its own knob: fine
-  EXPECT_NO_THROW(spec.validate());
-  spec.kind = lh::ExecutorKind::kHost;
-  EXPECT_THROW(spec.validate(), rxc::ConfigError);
+  lh::ExecutorSpec cell = lh::ExecutorSpec::cell_spec();
+  EXPECT_EQ(cell.kind(), lh::ExecutorKind::kSpe);
+  EXPECT_NO_THROW(cell.cell());
+  EXPECT_THROW(cell.threaded(), rxc::ConfigError);
 
   // ConfigError is a refinement of Error, so existing catch sites hold.
-  spec = lh::ExecutorSpec{};
-  spec.host_threads = 2;
-  EXPECT_THROW(spec.validate(), rxc::Error);
+  EXPECT_THROW(host.cell(), rxc::Error);
 }
 
 // --- executor factory -------------------------------------------------------
@@ -306,10 +300,9 @@ TEST(ObsFactory, MakeExecutorBuildsEveryKind) {
   ASSERT_NE(h, nullptr);
   EXPECT_NE(dynamic_cast<lh::HostExecutor*>(h.get()), nullptr);
 
-  lh::ExecutorSpec threaded;
-  threaded.kind = lh::ExecutorKind::kThreaded;
-  threaded.threads = 2;
-  const auto t = lh::make_executor(threaded);
+  lh::ThreadedOptions topt;
+  topt.threads = 2;
+  const auto t = lh::make_executor(lh::ExecutorSpec::threaded_spec(topt));
   ASSERT_NE(t, nullptr);
   EXPECT_EQ(dynamic_cast<lh::HostExecutor*>(t.get()), nullptr);
 
@@ -321,9 +314,8 @@ TEST(ObsFactory, MakeExecutorBuildsEveryKind) {
 }
 
 TEST(ObsFactory, MakeExecutorValidatesSpec) {
-  lh::ExecutorSpec spec;
-  spec.kind = lh::ExecutorKind::kSpe;
-  spec.llp_ways = 0;
+  lh::ExecutorSpec spec = lh::ExecutorSpec::cell_spec();
+  spec.cell().llp_ways = 0;
   EXPECT_THROW(lh::make_executor(spec), rxc::Error);
 }
 

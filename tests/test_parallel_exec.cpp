@@ -113,7 +113,7 @@ TEST(ParallelExec, DerivativesBitwiseIdenticalAcrossHostThreads) {
   lh::NrResult ref{};
   double ref_lnl = 0.0;
   for (const int threads : {1, 2, 8}) {
-    cell::CellMachine machine(cell::kDefaultCostParams);
+    cell::CellMachine machine;
     core::SpeExecConfig cfg;
     cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
     cfg.llp_ways = 8;

@@ -152,11 +152,11 @@ class DmaSizeSweep : public ::testing::TestWithParam<DmaSizeParam> {};
 
 TEST_P(DmaSizeSweep, SizeRuleEnforced) {
   const auto [size, legal] = GetParam();
-  cell::CostParams params;
-  cell::LocalStore ls(0);
-  cell::Mfc mfc(ls, params);
-  aligned_vector<std::byte> host(cell::kDmaMaxBytes + 64);
-  const cell::LsAddr dst = ls.alloc(cell::kDmaMaxBytes);
+  const cell::DeviceModel dev;
+  cell::LocalStore ls(dev.local_store_bytes, 0);
+  cell::Mfc mfc(ls, dev);
+  aligned_vector<std::byte> host(dev.dma_max_bytes + 64);
+  const cell::LsAddr dst = ls.alloc(dev.dma_max_bytes);
   if (legal) {
     EXPECT_NO_THROW(mfc.get(dst, host.data(), size, 0, 0.0));
   } else {

@@ -53,7 +53,7 @@ TEST(Registry, FindBackendRoundTripsEveryName) {
     const auto found = find_backend(b.name);
     ASSERT_TRUE(found.has_value()) << b.name;
     EXPECT_EQ(found->name, b.name);
-    EXPECT_EQ(found->spec.kind, b.spec.kind);
+    EXPECT_EQ(found->spec.kind(), b.spec.kind());
     EXPECT_EQ(found->tolerance.bitwise, b.tolerance.bitwise);
   }
   EXPECT_FALSE(find_backend("gpu-cuda").has_value());
@@ -83,8 +83,8 @@ TEST(Select, PinnedTableSelectionIsDeterministic) {
   for (int i = 0; i < 3; ++i) {
     const Backend winner = choose_backend(shape, pinned);
     EXPECT_EQ(winner.name, "host-simd");
-    EXPECT_EQ(winner.spec.kind, ExecutorKind::kHost);
-    EXPECT_TRUE(winner.spec.kernels.simd);
+    EXPECT_EQ(winner.spec.kind(), ExecutorKind::kHost);
+    EXPECT_TRUE(winner.spec.host().kernels.simd);
   }
   EXPECT_NE(choose_executor(shape, pinned), nullptr);
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analysis/analyze.h"
+#include "cell/device_model.h"
 #include "core/spe_executor.h"
 #include "obs/obs.h"
 #include "search/analysis.h"
@@ -260,6 +261,59 @@ TEST(DevicePool, InjectedFaultTrapsAndDeviceSurvives) {
   EXPECT_EQ(on_device.newick, fresh.newick);
 }
 
+TEST(Server, DevicePinnedJobsLandOnMatchingModels) {
+  // Heterogeneous pool: devices 0 and 2 are the paper's machine, device 1
+  // the doubled preset.  Jobs may pin a model by name (JobSpec::device);
+  // unconstrained jobs run anywhere, unsatisfiable constraints are
+  // rejected at submission instead of starving in the queue.
+  std::vector<lh::ExecutorSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    lh::ExecutorSpec s = core::cell_executor_spec(core::Stage::kOffloadAll);
+    if (i == 1)
+      s.cell().device = cell::require_device_model("cell-16spe-512k");
+    specs.push_back(std::move(s));
+  }
+  serve::Server server(specs);
+  EXPECT_TRUE(server.devices().has_model("cell-2007"));
+  EXPECT_TRUE(server.devices().has_model("cell-16spe-512k"));
+  EXPECT_FALSE(server.devices().has_model("cell-fast-eib"));
+
+  // Same workload under every pin, so completed lnLs must agree bitwise:
+  // geometry is a performance model, not a numerics model.
+  serve::JobSpec pin_big = make_spec("pin-big", 81, 1, 0);
+  pin_big.device = "cell-16spe-512k";
+  serve::JobSpec pin_small = make_spec("pin-small", 81, 1, 0);
+  pin_small.device = "cell-2007";
+  const serve::JobSpec unpinned = make_spec("unpinned", 81, 1, 0);
+  serve::JobSpec impossible = make_spec("impossible", 81, 1, 0);
+  impossible.device = "cell-fast-eib";
+
+  ASSERT_EQ(server.submit(pin_big), serve::SubmitStatus::kAccepted);
+  ASSERT_EQ(server.submit(pin_small), serve::SubmitStatus::kAccepted);
+  ASSERT_EQ(server.submit(unpinned), serve::SubmitStatus::kAccepted);
+  EXPECT_EQ(server.submit(impossible), serve::SubmitStatus::kRejected);
+  server.join();
+
+  std::map<std::string, serve::JobResult> by_id;
+  for (const auto& r : server.results()) by_id[r.id] = r;
+  ASSERT_EQ(by_id.size(), 4u);
+  for (const char* id : {"pin-big", "pin-small", "unpinned"})
+    ASSERT_EQ(by_id[id].state, serve::JobState::kCompleted) << id;
+  EXPECT_EQ(by_id["impossible"].state, serve::JobState::kRejected);
+
+  const auto model_of = [&](const char* id) {
+    return server.devices()
+        .device(by_id[id].last_device)
+        .model_name();
+  };
+  EXPECT_EQ(model_of("pin-big"), "cell-16spe-512k");
+  EXPECT_EQ(model_of("pin-small"), "cell-2007");
+
+  EXPECT_EQ(by_id["pin-big"].best_lnl, by_id["pin-small"].best_lnl);
+  EXPECT_EQ(by_id["pin-big"].best_lnl, by_id["unpinned"].best_lnl);
+  EXPECT_EQ(by_id["pin-big"].best_newick, by_id["pin-small"].best_newick);
+}
+
 TEST(DevicePool, AutoDeviceSpecsLeaseTheCalibratedWinner) {
   lh::WorkloadShape shape;
   shape.patterns = 128;
@@ -273,8 +327,8 @@ TEST(DevicePool, AutoDeviceSpecsLeaseTheCalibratedWinner) {
   const auto specs = serve::auto_device_specs(shape, 3, pinned);
   ASSERT_EQ(specs.size(), 3u);
   for (const lh::ExecutorSpec& s : specs) {
-    EXPECT_EQ(s.kind, lh::ExecutorKind::kHost);
-    EXPECT_TRUE(s.kernels.simd);
+    EXPECT_EQ(s.kind(), lh::ExecutorKind::kHost);
+    EXPECT_TRUE(s.host().kernels.simd);
   }
   serve::DevicePool host_pool(specs);
   EXPECT_FALSE(host_pool.device(0).is_cell());

@@ -44,6 +44,11 @@ cmake --build "$BUILD" -j \
 # The wall-time environment the baselines were recorded under.
 HOST_CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
 HOST_THREADS=${RXC_HOST_THREADS:-auto}
+# The virtual machine the cycle numbers describe.  The benches build their
+# simulated Cells from the default DeviceModel, i.e. the cell-2007 preset;
+# stamping the name makes baselines from different device models
+# distinguishable once benches grow --device-config flags.
+DEVICE_MODEL=${RXC_DEVICE_MODEL:-cell-2007}
 
 # --- kernels: real host wall time per kernel variant ----------------------
 # (fast enough to run in full even for --smoke; min-time flags differ across
@@ -51,7 +56,8 @@ HOST_THREADS=${RXC_HOST_THREADS:-auto}
 "$BUILD"/bench/bench_kernels \
   --benchmark_out=BENCH_kernels.json --benchmark_out_format=json \
   --benchmark_context=host_cores="$HOST_CORES" \
-  --benchmark_context=rxc_host_threads="$HOST_THREADS"
+  --benchmark_context=rxc_host_threads="$HOST_THREADS" \
+  --benchmark_context=device_model="$DEVICE_MODEL"
 
 # --- schedule: virtual time per stage/policy + parallel-backend wall time -
 # Each bench appends NDJSON lines to its own temp file; concatenate so a
@@ -68,8 +74,8 @@ else
   "$BUILD"/bench/bench_parallel --json="$TMP/parallel.json"
   "$BUILD"/bench/bench_serve --json="$TMP/serve.json"
 fi
-printf '{"table":"host-info","host_cores":%s,"rxc_host_threads":"%s"}\n' \
-  "$HOST_CORES" "$HOST_THREADS" > BENCH_schedule.json
+printf '{"table":"host-info","host_cores":%s,"rxc_host_threads":"%s","device_model":"%s"}\n' \
+  "$HOST_CORES" "$HOST_THREADS" "$DEVICE_MODEL" > BENCH_schedule.json
 cat "$TMP"/*.json >> BENCH_schedule.json
 
 echo "wrote BENCH_kernels.json and BENCH_schedule.json"

@@ -12,6 +12,10 @@
 ///   --shape-patterns N   patterns per kernel call  (default 252)
 ///   --shape-ncat N       rate categories           (default 25)
 ///   --mode cat|gamma     rate heterogeneity model  (default cat)
+///   --device-config FILE additionally score the Cell backend on this
+///                        device model (JSON, see data/devices/) as a
+///                        "cell-sim@<name>" row; repeatable/comma-separable
+///   --device NAME        same, for a named preset (e.g. cell-16spe-512k)
 ///   --out FILE           write the table here      (default stdout)
 ///
 /// The winner and per-backend scores also go to stderr for humans; stdout
@@ -19,7 +23,10 @@
 
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "cell/device_model.h"
 #include "core/spe_executor.h"
 #include "likelihood/registry.h"
 #include "support/error.h"
@@ -29,8 +36,8 @@ int main(int argc, char** argv) {
   using namespace rxc;
   try {
     const Options opt(argc, argv);
-    opt.check_known(
-        {"shape-taxa", "shape-patterns", "shape-ncat", "mode", "out"});
+    opt.check_known({"shape-taxa", "shape-patterns", "shape-ncat", "mode",
+                     "device-config", "device", "out"});
 
     // Referencing cell_executor_spec links core's SPE-factory registrar in,
     // so cell-sim is scored exactly as in the serving binary.
@@ -49,7 +56,15 @@ int main(int argc, char** argv) {
     }
     shape.validate();
 
-    const lh::CalibrationTable table = lh::calibrate(shape);
+    std::vector<std::string> device_names;
+    for (const std::string& path : opt.get_list("device-config"))
+      device_names.push_back(cell::load_device_model_file(path).name);
+    for (const std::string& name : opt.get_list("device"))
+      device_names.push_back(cell::require_device_model(name).name);
+
+    const lh::CalibrationTable table =
+        device_names.empty() ? lh::calibrate(shape)
+                             : lh::calibrate(shape, device_names);
     const lh::Backend winner = lh::choose_backend(shape, table);
     std::cerr << "shape: " << shape.describe() << "\n";
     for (const lh::CalibrationEntry& e : table.entries)

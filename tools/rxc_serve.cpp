@@ -12,6 +12,13 @@
 ///                          calibrates every registered backend against the
 ///                          --shape-* axes and leases the fastest
 ///   --stage N              kSpe: core::Stage ordinal 0..7 (default 7)
+///   --device-config FILE   simulated-Cell device model (JSON, see
+///                          data/devices/).  Repeatable (and comma-
+///                          separable): N configs round-robin across the
+///                          --devices pool slots, so a pool can lease a
+///                          heterogeneous mix.  Implies --kind spe.  Jobs
+///                          may pin a model by name via their "device"
+///                          field.
 ///   --shape-taxa N --shape-patterns N --shape-ncat N
 ///                          --kind auto: the job shape to calibrate for
 ///                          (defaults 42 / 252 / 25, the paper's 42_SC)
@@ -46,22 +53,41 @@
 
 namespace {
 
-std::vector<rxc::lh::ExecutorSpec> device_specs(const std::string& kind,
-                                                int stage, int devices,
-                                                const rxc::lh::WorkloadShape&
-                                                    shape) {
+std::vector<rxc::lh::ExecutorSpec> device_specs(
+    const std::string& kind, int stage, int devices,
+    const rxc::lh::WorkloadShape& shape,
+    const std::vector<std::string>& config_paths) {
   using namespace rxc;
   RXC_REQUIRE(devices >= 1, "--devices must be >= 1");
+  if (!config_paths.empty()) {
+    // Heterogeneous simulated-Cell pool: one model per config file,
+    // round-robined across the pool slots.
+    RXC_REQUIRE(kind == "spe",
+                "--device-config describes simulated-Cell devices; it "
+                "cannot be combined with --kind " + kind);
+    std::vector<cell::DeviceModel> models;
+    for (const std::string& path : config_paths)
+      models.push_back(cell::load_device_model_file(path));
+    std::vector<lh::ExecutorSpec> specs;
+    for (int i = 0; i < devices; ++i) {
+      lh::ExecutorSpec spec =
+          core::cell_executor_spec(static_cast<core::Stage>(stage));
+      spec.cell().device = models[static_cast<std::size_t>(i) % models.size()];
+      specs.push_back(std::move(spec));
+    }
+    return specs;
+  }
   lh::ExecutorSpec spec;
   if (kind == "auto") {
     return serve::auto_device_specs(shape, devices);
   } else if (kind == "spe") {
     spec = core::cell_executor_spec(static_cast<core::Stage>(stage));
   } else if (kind == "threaded") {
-    spec.kind = lh::ExecutorKind::kThreaded;
-    spec.threads = 2;
+    lh::ThreadedOptions topt;
+    topt.threads = 2;
+    spec = lh::ExecutorSpec::threaded_spec(topt);
   } else if (kind == "host") {
-    spec.kind = lh::ExecutorKind::kHost;
+    spec = lh::ExecutorSpec::host_spec();
   } else {
     throw Error("--kind must be spe|host|threaded|auto");
   }
@@ -87,10 +113,10 @@ int main(int argc, char** argv) {
     obs::init_from_env();
     const Options opt(argc, argv);
     opt.check_known({"jobs", "out", "devices", "kind", "stage",
-                     "queue-capacity", "max-retries", "no-preempt",
-                     "submit-retries", "fault-device", "fault-after",
-                     "summary", "shape-taxa", "shape-patterns",
-                     "shape-ncat"});
+                     "device-config", "queue-capacity", "max-retries",
+                     "no-preempt", "submit-retries", "fault-device",
+                     "fault-after", "summary", "shape-taxa",
+                     "shape-patterns", "shape-ncat"});
 
     serve::ServerConfig cfg;
     cfg.queue_capacity =
@@ -106,7 +132,8 @@ int main(int argc, char** argv) {
     serve::Server server(
         device_specs(opt.get("kind", "spe"),
                      static_cast<int>(opt.get_int("stage", 7)),
-                     static_cast<int>(opt.get_int("devices", 2)), shape),
+                     static_cast<int>(opt.get_int("devices", 2)), shape,
+                     opt.get_list("device-config")),
         cfg);
 
     if (opt.has("fault-device")) {

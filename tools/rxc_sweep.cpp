@@ -1,0 +1,164 @@
+/// rxc-sweep — one workload, many virtual machines.  Runs a single
+/// phylogenetic workload on the simulated Cell under every listed device
+/// model IN ONE PROCESS and emits a JSON table comparing them: virtual
+/// cycles, DMA stalls, SPE occupancy, and the functional log-likelihood per
+/// config.  Because the device description is data (cell::DeviceModel), a
+/// what-if architecture sweep — more SPEs, bigger local stores, a faster
+/// EIB — is a list of configs, not a recompile.
+///
+///   rxc-sweep                            # the three built-in presets
+///   rxc-sweep --device cell-2007,cell-fast-eib
+///   rxc-sweep --device-config my-machine.json --out sweep.json
+///
+/// Options:
+///   --device NAME        preset or registered model to sweep (repeatable
+///                        and comma-separable)
+///   --device-config FILE JSON device description (DeviceModel::to_string
+///                        format, see data/devices/); repeatable
+///                        (default when neither is given: every preset)
+///   --taxa N --sites N --seed N   synthetic workload (default 12/400/7)
+///   --mode cat|gamma     rate heterogeneity model  (default cat)
+///   --categories N       rate categories           (default 4)
+///   --tasks N            inference tasks           (default 1)
+///   --scheduler naive|edtlp|llp|mgps  schedule model (default edtlp)
+///   --stage N            core::Stage ordinal 0..7  (default 7)
+///   --out FILE           JSON report               (default stdout)
+///
+/// The numerics contract across the sweep: every row reports the same
+/// log-likelihoods bitwise (strip sizes, not machine geometry, shape the
+/// summation order), and the report carries "lnl_identical" so CI can
+/// assert it.  Exit 0 on success with identical lnls, 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cell/device_model.h"
+#include "core/port.h"
+#include "seq/seqgen.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace rxc;
+  try {
+    const Options opt(argc, argv);
+    opt.check_known({"device", "device-config", "taxa", "sites", "seed",
+                     "mode", "categories", "tasks", "scheduler", "stage",
+                     "out"});
+
+    // --- the device list ---------------------------------------------------
+    std::vector<cell::DeviceModel> models;
+    for (const std::string& name : opt.get_list("device"))
+      models.push_back(cell::require_device_model(name));
+    for (const std::string& path : opt.get_list("device-config"))
+      models.push_back(cell::load_device_model_file(path));
+    if (models.empty()) models = cell::device_presets();
+
+    // --- the one workload --------------------------------------------------
+    seq::SimOptions sim;
+    sim.ntaxa = static_cast<std::size_t>(opt.get_int("taxa", 12));
+    sim.nsites = static_cast<std::size_t>(opt.get_int("sites", 400));
+    sim.seed = static_cast<std::uint64_t>(opt.get_int("seed", 7));
+    const auto pa =
+        seq::PatternAlignment::compress(seq::simulate_alignment(sim).alignment);
+
+    core::CellRunConfig base;
+    base.stage = static_cast<core::Stage>(opt.get_int("stage", 7));
+    const std::string sched = opt.get("scheduler", "edtlp");
+    if (sched == "naive") {
+      base.scheduler = core::SchedulerModel::kNaiveMpi;
+      base.workers = 2;
+    } else if (sched == "edtlp") {
+      base.scheduler = core::SchedulerModel::kEdtlp;
+    } else if (sched == "llp") {
+      base.scheduler = core::SchedulerModel::kLlp;
+    } else if (sched == "mgps") {
+      base.scheduler = core::SchedulerModel::kMgps;
+    } else {
+      throw Error("--scheduler must be naive|edtlp|llp|mgps");
+    }
+    const std::string mode = opt.get("mode", "cat");
+    if (mode == "gamma") {
+      base.engine.mode = lh::RateMode::kGamma;
+    } else if (mode != "cat") {
+      throw Error("--mode must be cat|gamma");
+    }
+    base.engine.categories = static_cast<int>(opt.get_int("categories", 4));
+    const auto tasks = search::make_analysis(
+        static_cast<std::size_t>(opt.get_int("tasks", 1)), 0, 1);
+
+    // --- sweep -------------------------------------------------------------
+    JsonWriter w;
+    w.begin_object();
+    w.key("workload").begin_object();
+    w.kv("taxa", static_cast<std::uint64_t>(sim.ntaxa));
+    w.kv("sites", static_cast<std::uint64_t>(sim.nsites));
+    w.kv("patterns", static_cast<std::uint64_t>(pa.pattern_count()));
+    w.kv("tasks", static_cast<std::uint64_t>(tasks.size()));
+    w.kv("scheduler", sched);
+    w.kv("stage", static_cast<int>(base.stage));
+    w.end_object();
+    w.key("rows").begin_array();
+
+    std::vector<double> first_lnls;
+    bool lnl_identical = true;
+    for (const cell::DeviceModel& model : models) {
+      core::CellRunConfig cfg = base;
+      cfg.device = model;
+      if (cfg.scheduler == core::SchedulerModel::kLlp)
+        cfg.llp_ways = model.spe_count;
+      const core::CellRunResult run = core::run_on_cell(pa, cfg, tasks);
+
+      if (first_lnls.empty()) {
+        first_lnls = run.task_log_likelihoods;
+      } else if (run.task_log_likelihoods != first_lnls) {
+        lnl_identical = false;
+      }
+      const double occupancy =
+          run.schedule.makespan > 0
+              ? run.schedule.spe_busy /
+                    (run.schedule.makespan * model.spe_count)
+              : 0.0;
+      w.begin_object();
+      w.kv("device", model.name);
+      w.kv("spe_count", model.spe_count);
+      w.kv("local_store_bytes",
+           static_cast<std::uint64_t>(model.local_store_bytes));
+      w.kv("makespan_cycles", static_cast<double>(run.schedule.makespan));
+      w.kv("virtual_seconds", run.virtual_seconds);
+      w.kv("ppe_busy_cycles", static_cast<double>(run.schedule.ppe_busy));
+      w.kv("spe_busy_cycles", static_cast<double>(run.schedule.spe_busy));
+      w.kv("dma_stall_cycles", static_cast<double>(run.dma_stall_cycles));
+      w.kv("spe_occupancy", occupancy);
+      w.kv("signaled_offloads", run.schedule.signaled_offloads);
+      w.kv("log_likelihood", run.task_log_likelihoods.at(0));
+      w.end_object();
+      std::fprintf(stderr, "rxc-sweep: %-18s %2d SPEs  %12.0f cycles  "
+                   "occupancy %.3f\n",
+                   model.name.c_str(), model.spe_count,
+                   static_cast<double>(run.schedule.makespan), occupancy);
+    }
+    w.end_array();
+    w.kv("lnl_identical", lnl_identical);
+    w.end_object();
+
+    if (opt.has("out")) {
+      std::ofstream out(opt.get("out", ""));
+      RXC_REQUIRE(out.good(), "cannot open --out file");
+      out << w.str() << "\n";
+    } else {
+      std::cout << w.str() << "\n";
+    }
+    if (!lnl_identical)
+      std::fputs("rxc-sweep: LOG-LIKELIHOODS DIVERGED ACROSS DEVICES\n",
+                 stderr);
+    return lnl_identical ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rxc-sweep: error: %s\n", e.what());
+    return 2;
+  }
+}
