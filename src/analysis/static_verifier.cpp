@@ -1,0 +1,765 @@
+#include "analysis/static_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/json_value.h"
+
+namespace rxc::analysis {
+
+namespace {
+
+std::string hex_range(std::uint64_t lo, std::uint64_t hi) {
+  std::ostringstream os;
+  os << "[0x" << std::hex << lo << ",0x" << hi << ")";
+  return os.str();
+}
+
+struct KindName {
+  ViolationKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {ViolationKind::kReadBeforeWait, "read-before-wait"},
+    {ViolationKind::kBufferHazard, "buffer-hazard"},
+    {ViolationKind::kEaPutOverlap, "ea-put-overlap"},
+    {ViolationKind::kSignalOrder, "signal-order"},
+    {ViolationKind::kStalePartial, "stale-partial"},
+    {ViolationKind::kLocalStoreOverflow, "local-store-overflow"},
+    {ViolationKind::kTagQueueOverflow, "tag-queue-overflow"},
+    {ViolationKind::kBadTag, "bad-tag"},
+    {ViolationKind::kIllegalDma, "illegal-dma"},
+    {ViolationKind::kMailboxDeadlock, "mailbox-deadlock"},
+};
+
+[[noreturn]] void bad(const std::string& what) {
+  throw ConfigError("static report: " + what);
+}
+
+std::uint64_t as_u64(const JsonValue& v, const std::string& key) {
+  const double d = v.as_number();
+  if (d < 0 || d != std::floor(d) || d > 9e15)
+    bad("'" + key + "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+std::int64_t as_i64(const JsonValue& v, const std::string& key) {
+  const double d = v.as_number();
+  if (d != std::floor(d) || d < -9e15 || d > 9e15)
+    bad("'" + key + "' must be an integer");
+  return static_cast<std::int64_t>(d);
+}
+
+int as_int(const JsonValue& v, const std::string& key) {
+  const double d = v.as_number();
+  if (d != std::floor(d) || d < -1 || d > std::numeric_limits<int>::max())
+    bad("'" + key + "' must be an integer >= -1");
+  return static_cast<int>(d);
+}
+
+void write_finding(JsonWriter& w, const StaticFinding& f) {
+  w.begin_object();
+  w.kv("kind", violation_kind_name(f.kind));
+  w.kv("spe", f.spe);
+  w.kv("other_spe", f.other_spe);
+  w.kv("tag", f.tag);
+  w.kv("lo", f.lo);
+  w.kv("hi", f.hi);
+  w.kv("ea_range", f.ea_range);
+  w.kv("op", f.op);
+  w.kv("other_op", f.other_op);
+  w.kv("detail", f.detail);
+  w.end_object();
+}
+
+StaticFinding parse_finding(const JsonValue& v) {
+  if (!v.is_object()) bad("each finding must be a JSON object");
+  StaticFinding f;
+  bool saw_kind = false;
+  for (const auto& [key, field] : v.object) {
+    if (key == "kind") {
+      f.kind = violation_kind_from_name(field.as_string());
+      saw_kind = true;
+    } else if (key == "spe") {
+      f.spe = as_int(field, "finding." + key);
+    } else if (key == "other_spe") {
+      f.other_spe = as_int(field, "finding." + key);
+    } else if (key == "tag") {
+      f.tag = as_int(field, "finding." + key);
+    } else if (key == "lo") {
+      f.lo = as_u64(field, "finding." + key);
+    } else if (key == "hi") {
+      f.hi = as_u64(field, "finding." + key);
+    } else if (key == "ea_range") {
+      f.ea_range = field.as_bool();
+    } else if (key == "op") {
+      f.op = as_i64(field, "finding." + key);
+    } else if (key == "other_op") {
+      f.other_op = as_i64(field, "finding." + key);
+    } else if (key == "detail") {
+      f.detail = field.as_string();
+    } else {
+      bad("finding: unknown key '" + key + "'");
+    }
+  }
+  if (!saw_kind) bad("finding: missing required key 'kind'");
+  return f;
+}
+
+void parse_stats(const JsonValue& v, ProgramStats& s) {
+  if (!v.is_object()) bad("'stats' must be a JSON object");
+  for (const auto& [key, field] : v.object) {
+    if (key == "ops") {
+      s.ops = as_u64(field, "stats." + key);
+    } else if (key == "dma_ops") {
+      s.dma_ops = as_u64(field, "stats." + key);
+    } else if (key == "peak_ls_bytes") {
+      s.peak_ls_bytes = as_u64(field, "stats." + key);
+    } else if (key == "peak_ls_spe") {
+      s.peak_ls_spe = as_int(field, "stats." + key);
+    } else if (key == "peak_ls_op") {
+      s.peak_ls_op = as_i64(field, "stats." + key);
+    } else if (key == "peak_tag_depth") {
+      s.peak_tag_depth = as_u64(field, "stats." + key);
+    } else if (key == "peak_tag_spe") {
+      s.peak_tag_spe = as_int(field, "stats." + key);
+    } else if (key == "peak_tag_op") {
+      s.peak_tag_op = as_i64(field, "stats." + key);
+    } else {
+      bad("stats: unknown key '" + key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind kind) {
+  for (const KindName& k : kKindNames)
+    if (k.kind == kind) return k.name;
+  return "unknown-violation";
+}
+
+ViolationKind violation_kind_from_name(const std::string& name) {
+  for (const KindName& k : kKindNames)
+    if (name == k.name) return k.kind;
+  bad("unknown violation kind '" + name + "'");
+}
+
+std::optional<HazardKind> dynamic_counterpart(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kReadBeforeWait: return HazardKind::kReadBeforeWait;
+    case ViolationKind::kBufferHazard: return HazardKind::kBufferHazard;
+    case ViolationKind::kEaPutOverlap: return HazardKind::kEaPutOverlap;
+    case ViolationKind::kSignalOrder: return HazardKind::kSignalOrder;
+    case ViolationKind::kStalePartial: return HazardKind::kStalePartial;
+    default: return std::nullopt;
+  }
+}
+
+std::string StaticFinding::to_string() const {
+  std::ostringstream os;
+  os << "static[" << violation_kind_name(kind) << "] spe=" << spe;
+  if (other_spe >= 0 && other_spe != spe) os << " vs spe=" << other_spe;
+  if (tag >= 0) os << " tag=" << tag;
+  if (hi > lo) os << ' ' << (ea_range ? "ea" : "ls") << hex_range(lo, hi);
+  if (op >= 0) os << " op#" << op;
+  if (other_op >= 0 && other_op != op) os << " vs op#" << other_op;
+  os << ": " << detail;
+  return os.str();
+}
+
+std::string StaticReport::summary() const {
+  std::ostringstream os;
+  for (const StaticFinding& f : findings) os << f.to_string() << '\n';
+  if (total > findings.size())
+    os << "... and " << (total - findings.size())
+       << " further findings (capped at " << findings.size() << ")\n";
+  return os.str();
+}
+
+std::string StaticReport::to_string() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("device", device);
+  w.kv("schedule", schedule);
+  w.kv("total", total);
+  w.key("stats");
+  w.begin_object();
+  w.kv("ops", stats.ops);
+  w.kv("dma_ops", stats.dma_ops);
+  w.kv("peak_ls_bytes", stats.peak_ls_bytes);
+  w.kv("peak_ls_spe", stats.peak_ls_spe);
+  w.kv("peak_ls_op", stats.peak_ls_op);
+  w.kv("peak_tag_depth", stats.peak_tag_depth);
+  w.kv("peak_tag_spe", stats.peak_tag_spe);
+  w.kv("peak_tag_op", stats.peak_tag_op);
+  w.end_object();
+  w.key("findings");
+  w.begin_array();
+  for (const StaticFinding& f : findings) write_finding(w, f);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+StaticReport StaticReport::from_string(const std::string& text) {
+  JsonValue doc;
+  try {
+    doc = parse_json(text);
+  } catch (const ParseError& e) {
+    throw ConfigError(std::string("static report: ") + e.what());
+  }
+  if (!doc.is_object()) bad("document is not a JSON object");
+
+  StaticReport r;
+  try {
+    for (const auto& [key, v] : doc.object) {
+      if (key == "device") {
+        r.device = v.as_string();
+      } else if (key == "schedule") {
+        r.schedule = v.as_string();
+      } else if (key == "total") {
+        r.total = as_u64(v, key);
+      } else if (key == "stats") {
+        parse_stats(v, r.stats);
+      } else if (key == "findings") {
+        if (v.kind != JsonValue::Kind::kArray)
+          bad("'findings' must be a JSON array");
+        for (const JsonValue& f : v.array)
+          r.findings.push_back(parse_finding(f));
+      } else {
+        bad("unknown key '" + key + "'");
+      }
+    }
+  } catch (const ParseError& e) {
+    // Typed-accessor mismatches ("spe": "zero") are config errors at this
+    // layer: the JSON itself was well-formed.
+    throw ConfigError(std::string("static report: ") + e.what());
+  }
+  if (r.findings.size() > kMaxFindings)
+    bad("more than " + std::to_string(kMaxFindings) + " findings");
+  if (r.total < r.findings.size())
+    bad("'total' must be >= the number of findings");
+  return r;
+}
+
+namespace {
+
+/// Sequential abstract interpreter: pass 1 mirrors the RaceDetector
+/// transition system handler-for-handler over AbstractOps (op indices in
+/// place of virtual cycles as witnesses) and layers the resource proofs on
+/// top; pass 2 runs the PPE/SPE agents to a mailbox fixed point.
+class Verifier {
+ public:
+  Verifier(const cell::Program& program, const cell::DeviceModel& device)
+      : program_(program), device_(device) {}
+
+  StaticReport run(const std::string& schedule) {
+    report_.device = device_.name;
+    report_.schedule = schedule;
+    report_.stats.ops = program_.ops.size();
+    for (std::size_t i = 0; i < program_.ops.size(); ++i)
+      step(static_cast<std::int64_t>(i), program_.ops[i]);
+    finish_resources();
+    check_mailboxes();
+    return std::move(report_);
+  }
+
+ private:
+  /// One in-flight (issued, not yet tag-waited) DMA command.
+  struct Transfer {
+    int tag = 0;
+    bool is_get = false;
+    std::uint64_t ls_lo = 0, ls_hi = 0;
+    std::uint64_t ea_lo = 0, ea_hi = 0;
+    std::int64_t op = -1;
+  };
+  enum class SignalState { kIdle, kArmed, kDone };
+  struct SpeState {
+    std::vector<Transfer> outstanding;
+    SignalState signal = SignalState::kIdle;
+    std::uint64_t peak_ls = 0;  ///< worst-case local-store occupancy
+    std::int64_t peak_ls_op = -1;
+    std::uint64_t peak_depth = 0;  ///< worst-case in-flight DMA commands
+    std::int64_t peak_depth_op = -1;
+  };
+  /// Every put of the current epoch (including tag-waited ones): a wait by
+  /// the issuing SPE does not order the put against OTHER SPEs.
+  struct EpochPut {
+    int spe = 0;
+    int tag = 0;
+    std::uint64_t ea_lo = 0, ea_hi = 0;
+    std::int64_t op = -1;
+  };
+
+  static bool overlap(std::uint64_t a_lo, std::uint64_t a_hi,
+                      std::uint64_t b_lo, std::uint64_t b_hi) {
+    return a_lo < b_hi && b_lo < a_hi;
+  }
+
+  SpeState& spe_state(int spe) {
+    if (spe < 0) spe = 0;
+    if (static_cast<std::size_t>(spe) >= spes_.size())
+      spes_.resize(static_cast<std::size_t>(spe) + 1);
+    return spes_[static_cast<std::size_t>(spe)];
+  }
+
+  std::string transfer_desc(int spe, const Transfer& t) const {
+    std::ostringstream os;
+    os << "un-waited dma-" << (t.is_get ? "get" : "put") << " spe=" << spe
+       << " tag=" << t.tag << " ls" << hex_range(t.ls_lo, t.ls_hi) << " ea"
+       << hex_range(t.ea_lo, t.ea_hi);
+    return os.str();
+  }
+
+  void add(StaticFinding finding) {
+    ++report_.total;
+    if (report_.findings.size() < StaticReport::kMaxFindings)
+      report_.findings.push_back(std::move(finding));
+  }
+
+  /// Bumps SPE `spe`'s occupancy high-water mark to at least `extent`.
+  void note_occupancy(int spe, std::int64_t op, std::uint64_t extent) {
+    SpeState& st = spe_state(spe);
+    if (extent > st.peak_ls) {
+      st.peak_ls = extent;
+      st.peak_ls_op = op;
+    }
+  }
+
+  /// Mirrors Mfc::validate against the model's limits; returns false (and
+  /// records kIllegalDma / kBadTag) when the dynamic machine would have
+  /// thrown HardwareError before mutating state, so the op is not tracked.
+  bool check_dma_legal(std::int64_t i, const cell::AbstractOp& op) {
+    if (op.tag < 0 || op.tag >= device_.mfc_tag_count) {
+      StaticFinding f;
+      f.kind = ViolationKind::kBadTag;
+      f.spe = op.spe;
+      f.tag = op.tag;
+      f.op = i;
+      f.detail = op.to_string() + ": tag outside the device's [0, " +
+                 std::to_string(device_.mfc_tag_count) + ") tag groups";
+      add(std::move(f));
+      return false;
+    }
+    const char* why = nullptr;
+    const bool small_ok =
+        op.size == 1 || op.size == 2 || op.size == 4 || op.size == 8;
+    if (op.size == 0 || op.size > device_.dma_max_bytes)
+      why = "size outside (0, dma_max_bytes]";
+    else if (!small_ok && op.size % 16 != 0)
+      why = "size must be 1/2/4/8 or a multiple of 16";
+    else if (!small_ok && (op.ea % 16 != 0 || op.ls % 16 != 0))
+      why = "block transfer addresses must be 128-bit aligned";
+    else if (small_ok && (op.ea % op.size != 0 || op.ls % op.size != 0))
+      why = "small transfer not naturally aligned";
+    if (why != nullptr) {
+      StaticFinding f;
+      f.kind = ViolationKind::kIllegalDma;
+      f.spe = op.spe;
+      f.tag = op.tag;
+      f.op = i;
+      f.detail = op.to_string() + ": " + why;
+      add(std::move(f));
+      return false;
+    }
+    return true;
+  }
+
+  void track_issue(std::int64_t i, const cell::AbstractOp& op, bool is_get) {
+    SpeState& st = spe_state(op.spe);
+    st.outstanding.push_back(Transfer{op.tag, is_get, op.ls, op.ls + op.size,
+                                      op.ea, op.ea + op.size, i});
+    const auto depth = static_cast<std::uint64_t>(st.outstanding.size());
+    if (depth > st.peak_depth) {
+      st.peak_depth = depth;
+      st.peak_depth_op = i;
+    }
+    note_occupancy(op.spe, i, op.ls + op.size);
+  }
+
+  void on_dma_get(std::int64_t i, const cell::AbstractOp& op) {
+    ++report_.stats.dma_ops;
+    if (!check_dma_legal(i, op)) return;
+    const std::uint64_t ls_lo = op.ls, ls_hi = op.ls + op.size;
+    const std::uint64_t ea_lo = op.ea, ea_hi = op.ea + op.size;
+
+    // (e) The source bytes are covered by a put nobody waited on.
+    for (std::size_t s = 0; s < spes_.size(); ++s) {
+      for (const Transfer& t : spes_[s].outstanding) {
+        if (t.is_get || !overlap(ea_lo, ea_hi, t.ea_lo, t.ea_hi)) continue;
+        StaticFinding f;
+        f.kind = ViolationKind::kStalePartial;
+        f.spe = op.spe;
+        f.other_spe = static_cast<int>(s);
+        f.tag = t.tag;
+        f.lo = std::max(ea_lo, t.ea_lo);
+        f.hi = std::min(ea_hi, t.ea_hi);
+        f.ea_range = true;
+        f.op = i;
+        f.other_op = t.op;
+        f.detail = "dma-get sourcing ea" + hex_range(ea_lo, ea_hi) +
+                   " races with " + transfer_desc(static_cast<int>(s), t);
+        add(std::move(f));
+      }
+    }
+
+    // (b) The target local-store range collides with an in-flight transfer.
+    SpeState& st = spe_state(op.spe);
+    for (const Transfer& t : st.outstanding) {
+      if (!overlap(ls_lo, ls_hi, t.ls_lo, t.ls_hi)) continue;
+      StaticFinding f;
+      f.kind = ViolationKind::kBufferHazard;
+      f.spe = op.spe;
+      f.other_spe = op.spe;
+      f.tag = t.tag;
+      f.lo = std::max(ls_lo, t.ls_lo);
+      f.hi = std::min(ls_hi, t.ls_hi);
+      f.op = i;
+      f.other_op = t.op;
+      f.detail = "dma-get into ls" + hex_range(ls_lo, ls_hi) + " tag " +
+                 std::to_string(op.tag) + " races with " +
+                 transfer_desc(op.spe, t);
+      add(std::move(f));
+    }
+
+    track_issue(i, op, /*is_get=*/true);
+  }
+
+  void on_dma_put(std::int64_t i, const cell::AbstractOp& op) {
+    ++report_.stats.dma_ops;
+    if (!check_dma_legal(i, op)) return;
+    const std::uint64_t ls_lo = op.ls, ls_hi = op.ls + op.size;
+    const std::uint64_t ea_lo = op.ea, ea_hi = op.ea + op.size;
+
+    // (c) Another SPE already put to an overlapping main-memory range this
+    // epoch.
+    for (const EpochPut& p : epoch_puts_) {
+      if (p.spe == op.spe || !overlap(ea_lo, ea_hi, p.ea_lo, p.ea_hi))
+        continue;
+      StaticFinding f;
+      f.kind = ViolationKind::kEaPutOverlap;
+      f.spe = op.spe;
+      f.other_spe = p.spe;
+      f.tag = op.tag;
+      f.lo = std::max(ea_lo, p.ea_lo);
+      f.hi = std::min(ea_hi, p.ea_hi);
+      f.ea_range = true;
+      f.op = i;
+      f.other_op = p.op;
+      f.detail = "dma-put ea" + hex_range(ea_lo, ea_hi) +
+                 " races with dma-put spe=" + std::to_string(p.spe) +
+                 " tag=" + std::to_string(p.tag) + " ea" +
+                 hex_range(p.ea_lo, p.ea_hi);
+      add(std::move(f));
+    }
+
+    // (b) same-SPE get source clash / (c) same-SPE un-waited put overlap.
+    SpeState& st = spe_state(op.spe);
+    for (const Transfer& t : st.outstanding) {
+      if (t.is_get && overlap(ls_lo, ls_hi, t.ls_lo, t.ls_hi)) {
+        StaticFinding f;
+        f.kind = ViolationKind::kBufferHazard;
+        f.spe = op.spe;
+        f.other_spe = op.spe;
+        f.tag = t.tag;
+        f.lo = std::max(ls_lo, t.ls_lo);
+        f.hi = std::min(ls_hi, t.ls_hi);
+        f.op = i;
+        f.other_op = t.op;
+        f.detail = "dma-put from ls" + hex_range(ls_lo, ls_hi) + " tag " +
+                   std::to_string(op.tag) + " races with " +
+                   transfer_desc(op.spe, t);
+        add(std::move(f));
+      } else if (!t.is_get && overlap(ea_lo, ea_hi, t.ea_lo, t.ea_hi)) {
+        StaticFinding f;
+        f.kind = ViolationKind::kEaPutOverlap;
+        f.spe = op.spe;
+        f.other_spe = op.spe;
+        f.tag = t.tag;
+        f.lo = std::max(ea_lo, t.ea_lo);
+        f.hi = std::min(ea_hi, t.ea_hi);
+        f.ea_range = true;
+        f.op = i;
+        f.other_op = t.op;
+        f.detail = "dma-put ea" + hex_range(ea_lo, ea_hi) + " tag " +
+                   std::to_string(op.tag) + " races with " +
+                   transfer_desc(op.spe, t);
+        add(std::move(f));
+      }
+    }
+
+    track_issue(i, op, /*is_get=*/false);
+    epoch_puts_.push_back(EpochPut{op.spe, op.tag, ea_lo, ea_hi, i});
+  }
+
+  void on_tag_wait(std::int64_t i, const cell::AbstractOp& op) {
+    if (op.tag < 0 || op.tag >= device_.mfc_tag_count) {
+      StaticFinding f;
+      f.kind = ViolationKind::kBadTag;
+      f.spe = op.spe;
+      f.tag = op.tag;
+      f.op = i;
+      f.detail = op.to_string() + ": tag outside the device's [0, " +
+                 std::to_string(device_.mfc_tag_count) + ") tag groups";
+      add(std::move(f));
+      return;
+    }
+    SpeState& st = spe_state(op.spe);
+    std::erase_if(st.outstanding,
+                  [&op](const Transfer& t) { return t.tag == op.tag; });
+  }
+
+  void on_ls_read(std::int64_t i, const cell::AbstractOp& op) {
+    const std::uint64_t lo = op.ls, hi = op.ls + op.size;
+    SpeState& st = spe_state(op.spe);
+    for (const Transfer& t : st.outstanding) {
+      // (a) Reading bytes an un-waited inbound DMA targets; an outstanding
+      // put over the same range is benign — both sides read.
+      if (!t.is_get || !overlap(lo, hi, t.ls_lo, t.ls_hi)) continue;
+      StaticFinding f;
+      f.kind = ViolationKind::kReadBeforeWait;
+      f.spe = op.spe;
+      f.other_spe = op.spe;
+      f.tag = t.tag;
+      f.lo = std::max(lo, t.ls_lo);
+      f.hi = std::min(hi, t.ls_hi);
+      f.op = i;
+      f.other_op = t.op;
+      f.detail = "kernel read of ls" + hex_range(lo, hi) + " races with " +
+                 transfer_desc(op.spe, t);
+      add(std::move(f));
+    }
+    note_occupancy(op.spe, i, hi);
+  }
+
+  void on_ls_write(std::int64_t i, const cell::AbstractOp& op) {
+    const std::uint64_t lo = op.ls, hi = op.ls + op.size;
+    SpeState& st = spe_state(op.spe);
+    for (const Transfer& t : st.outstanding) {
+      if (!overlap(lo, hi, t.ls_lo, t.ls_hi)) continue;
+      // (b) Writing over an in-flight get's target or an un-drained put's
+      // source: the double-buffering discipline.
+      StaticFinding f;
+      f.kind = ViolationKind::kBufferHazard;
+      f.spe = op.spe;
+      f.other_spe = op.spe;
+      f.tag = t.tag;
+      f.lo = std::max(lo, t.ls_lo);
+      f.hi = std::min(hi, t.ls_hi);
+      f.op = i;
+      f.other_op = t.op;
+      f.detail = "kernel write of ls" + hex_range(lo, hi) + " races with " +
+                 transfer_desc(op.spe, t);
+      add(std::move(f));
+    }
+    note_occupancy(op.spe, i, hi);
+  }
+
+  void on_signal(std::int64_t i, const cell::AbstractOp& op) {
+    SpeState& st = spe_state(op.spe);
+    const char* violation = nullptr;
+    switch (op.signal) {
+      case cell::SignalOp::kGo:
+        if (st.signal != SignalState::kIdle)
+          violation = st.signal == SignalState::kArmed
+                          ? "command word overwritten before the SPE consumed "
+                            "the previous command"
+                          : "command word overwritten before the PPE read the "
+                            "pending completion";
+        st.signal = SignalState::kArmed;
+        break;
+      case cell::SignalOp::kComplete:
+        if (st.signal != SignalState::kArmed)
+          violation = "completion store with no armed command";
+        st.signal = SignalState::kDone;
+        break;
+      case cell::SignalOp::kRead:
+        if (st.signal != SignalState::kDone)
+          violation = "PPE read the completion word with no intervening SPE "
+                      "completion store";
+        st.signal = SignalState::kIdle;
+        break;
+    }
+    if (violation != nullptr) {
+      StaticFinding f;
+      f.kind = ViolationKind::kSignalOrder;
+      f.spe = op.spe;
+      f.other_spe = op.spe;
+      f.op = i;
+      f.detail = violation;
+      add(std::move(f));
+    }
+  }
+
+  void step(std::int64_t i, const cell::AbstractOp& op) {
+    switch (op.kind) {
+      case cell::OpKind::kDmaGet: on_dma_get(i, op); break;
+      case cell::OpKind::kDmaPut: on_dma_put(i, op); break;
+      case cell::OpKind::kTagWait: on_tag_wait(i, op); break;
+      case cell::OpKind::kLsRead: on_ls_read(i, op); break;
+      case cell::OpKind::kLsWrite: on_ls_write(i, op); break;
+      case cell::OpKind::kLsReserve:
+        note_occupancy(op.spe, i, op.size);
+        break;
+      case cell::OpKind::kMailboxWrite:
+      case cell::OpKind::kMailboxRead:
+        break;  // pass 2's job
+      case cell::OpKind::kSignal: on_signal(i, op); break;
+      case cell::OpKind::kEpoch:
+        // The PPE join is the global edge: the cross-SPE put registry
+        // resets; outstanding (un-waited) transfers survive.
+        epoch_puts_.clear();
+        break;
+    }
+  }
+
+  /// Per-SPE resource verdicts (one finding per SPE, peak witness attached)
+  /// plus the report-level stats roll-up.
+  void finish_resources() {
+    for (std::size_t s = 0; s < spes_.size(); ++s) {
+      const SpeState& st = spes_[s];
+      if (st.peak_ls > report_.stats.peak_ls_bytes) {
+        report_.stats.peak_ls_bytes = st.peak_ls;
+        report_.stats.peak_ls_spe = static_cast<int>(s);
+        report_.stats.peak_ls_op = st.peak_ls_op;
+      }
+      if (st.peak_depth > report_.stats.peak_tag_depth) {
+        report_.stats.peak_tag_depth = st.peak_depth;
+        report_.stats.peak_tag_spe = static_cast<int>(s);
+        report_.stats.peak_tag_op = st.peak_depth_op;
+      }
+      if (st.peak_ls > device_.local_store_bytes) {
+        StaticFinding f;
+        f.kind = ViolationKind::kLocalStoreOverflow;
+        f.spe = static_cast<int>(s);
+        f.op = st.peak_ls_op;
+        f.detail = "worst-case local-store occupancy " +
+                   std::to_string(st.peak_ls) + " bytes exceeds capacity " +
+                   std::to_string(device_.local_store_bytes) +
+                   " bytes (peak at: " + witness(st.peak_ls_op) + ")";
+        add(std::move(f));
+      }
+      if (st.peak_depth > static_cast<std::uint64_t>(device_.mfc_queue_depth)) {
+        StaticFinding f;
+        f.kind = ViolationKind::kTagQueueOverflow;
+        f.spe = static_cast<int>(s);
+        f.op = st.peak_depth_op;
+        f.detail = "worst-case " + std::to_string(st.peak_depth) +
+                   " in-flight DMA commands exceed the MFC queue depth " +
+                   std::to_string(device_.mfc_queue_depth) +
+                   " (peak at: " + witness(st.peak_depth_op) + ")";
+        add(std::move(f));
+      }
+    }
+  }
+
+  std::string witness(std::int64_t op) const {
+    if (op < 0 || static_cast<std::size_t>(op) >= program_.ops.size())
+      return "<none>";
+    return "op#" + std::to_string(op) + " " +
+           program_.ops[static_cast<std::size_t>(op)].to_string();
+  }
+
+  /// Pass 2: executes the PPE and SPE agents round-robin with blocking FIFO
+  /// mailbox semantics at the model's depths.  Only mailbox ops can block,
+  /// so each agent's queue is its mailbox ops in program order; a stuck
+  /// fixed point means the wait-for graph has a cycle (or a read that no
+  /// write ever feeds) — a deadlock on real silicon.
+  void check_mailboxes() {
+    struct Agent {
+      int spe = -1;  ///< -1: the PPE
+      std::vector<std::size_t> ops;
+      std::size_t pos = 0;
+    };
+    std::map<int, Agent> agents;
+    for (std::size_t i = 0; i < program_.ops.size(); ++i) {
+      const cell::AbstractOp& op = program_.ops[i];
+      if (op.kind != cell::OpKind::kMailboxWrite &&
+          op.kind != cell::OpKind::kMailboxRead)
+        continue;
+      const int who = op_runs_on_ppe(op) ? -1 : op.spe;
+      Agent& a = agents[who];
+      a.spe = who;
+      a.ops.push_back(i);
+    }
+    if (agents.empty()) return;
+
+    std::map<std::pair<int, bool>, int> occupancy;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto& [who, a] : agents) {
+        while (a.pos < a.ops.size()) {
+          const cell::AbstractOp& op = program_.ops[a.ops[a.pos]];
+          int& occ = occupancy[{op.spe, op.inbound}];
+          const int depth = op.inbound ? device_.mailbox_in_depth
+                                       : device_.mailbox_out_depth;
+          if (op.kind == cell::OpKind::kMailboxWrite) {
+            if (occ >= depth) break;
+            ++occ;
+          } else {
+            if (occ == 0) break;
+            --occ;
+          }
+          ++a.pos;
+          progress = true;
+        }
+      }
+    }
+
+    std::ostringstream blocked;
+    std::int64_t first_op = -1;
+    int first_spe = -1;
+    for (const auto& [who, a] : agents) {
+      if (a.pos >= a.ops.size()) continue;
+      const std::size_t at = a.ops[a.pos];
+      const cell::AbstractOp& op = program_.ops[at];
+      if (first_op < 0) {
+        first_op = static_cast<std::int64_t>(at);
+        first_spe = who;
+      } else {
+        blocked << "; ";
+      }
+      if (who < 0)
+        blocked << "ppe";
+      else
+        blocked << "spe " << who;
+      blocked << " blocked at op#" << at << " (" << op.to_string() << ": "
+              << (op.kind == cell::OpKind::kMailboxWrite ? "full" : "empty")
+              << ")";
+    }
+    if (first_op >= 0) {
+      StaticFinding f;
+      f.kind = ViolationKind::kMailboxDeadlock;
+      f.spe = first_spe;
+      f.op = first_op;
+      f.detail = "mailbox fixed point stuck: " + blocked.str();
+      add(std::move(f));
+    }
+  }
+
+  const cell::Program& program_;
+  const cell::DeviceModel& device_;
+  std::vector<SpeState> spes_;
+  std::vector<EpochPut> epoch_puts_;
+  StaticReport report_;
+};
+
+}  // namespace
+
+StaticReport verify_program(const cell::Program& program,
+                            const cell::DeviceModel& device,
+                            const std::string& schedule) {
+  device.validate();
+  return Verifier(program, device).run(schedule);
+}
+
+}  // namespace rxc::analysis

@@ -1,0 +1,139 @@
+#pragma once
+/// \file static_verifier.h
+/// Static schedule verifier: proves or refutes DMA/mailbox/local-store
+/// safety of a (Program, DeviceModel) pair without running anything.
+///
+/// The dynamic race detector (race_detector.h) reconstructs concurrency
+/// semantics from a *live* machine's event stream; this verifier runs the
+/// same happens-before analysis over the abstract schedule IR
+/// (cell/program.h) that core::extract_program emits — so "does this job
+/// fit this device?" becomes an admission-time question, answerable in
+/// microseconds, instead of a full simulation.  Every check has a dynamic
+/// counterpart, and the soundness contract is cross-validated both ways:
+///
+///  * the five mirrored hazard checks (read-before-wait, buffer-hazard,
+///    ea-put-overlap, signal-order, stale-partial) replicate the race
+///    detector's transition system handler-for-handler, so any program the
+///    dynamic detector would flag is flagged statically (no false
+///    negatives on cell::plant_hazard's planted classes);
+///  * local-store occupancy bounds the allocator watermark the dynamic
+///    machine would enforce with HardwareError (Fault::kLocalStoreOverflow);
+///  * MFC tag-queue depth bounds in-flight DMA commands against the
+///    model's mfc_queue_depth (the CBE's 16-entry SPU command queue — a
+///    stall silicon would take that the timing simulation does not model);
+///  * the mailbox pass executes the PPE/SPE agents to a fixed point with
+///    blocking FIFO semantics at the architected depths: stuck agents mean
+///    the wait-for graph has a cycle (dynamic counterpart: mailbox
+///    overflow/underflow HardwareError, or a real deadlock on silicon).
+///
+/// Verdicts land in StaticReport, a text-serializable mirror of
+/// AnalysisReport: strict-JSON to_string/from_string round-trips bitwise,
+/// malformed input is rxc::ConfigError (the DeviceModel parsing idiom).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/race_detector.h"
+#include "cell/device_model.h"
+#include "cell/program.h"
+
+namespace rxc::analysis {
+
+enum class ViolationKind {
+  // Static mirrors of the dynamic HazardKind classes; names match
+  // hazard_kind_name so cross-validation can compare verdicts directly.
+  kReadBeforeWait,
+  kBufferHazard,
+  kEaPutOverlap,
+  kSignalOrder,
+  kStalePartial,
+  // Static-only resource proofs (dynamic counterpart: HardwareError traps
+  // or unmodeled silicon stalls — see the file comment).
+  kLocalStoreOverflow,
+  kTagQueueOverflow,
+  kBadTag,
+  kIllegalDma,
+  kMailboxDeadlock,
+};
+
+const char* violation_kind_name(ViolationKind kind);
+/// Inverse of violation_kind_name; throws rxc::ConfigError on an unknown
+/// name (the StaticReport::from_string path).
+ViolationKind violation_kind_from_name(const std::string& name);
+/// The dynamic race-detector class a mirrored check corresponds to;
+/// nullopt for the static-only resource checks.
+std::optional<HazardKind> dynamic_counterpart(ViolationKind kind);
+
+/// One refuted property, pinned to the program op(s) that witness it.
+struct StaticFinding {
+  ViolationKind kind = ViolationKind::kBufferHazard;
+  int spe = -1;        ///< SPU of the witnessing op (-1: the PPE side)
+  int other_spe = -1;  ///< SPU of the earlier op involved (may equal spe)
+  int tag = -1;        ///< MFC tag involved (-1: none)
+  std::uint64_t lo = 0, hi = 0;  ///< byte range [lo, hi) — see ea_range
+  bool ea_range = false;  ///< range is an effective address (else LS offset)
+  std::int64_t op = -1;        ///< index of the witnessing op (-1: none)
+  std::int64_t other_op = -1;  ///< index of the earlier op (-1: none)
+  std::string detail;          ///< human diagnosis
+
+  /// "static[buffer-hazard] spe=0 tag=1 ls[0x...,0x...) op#5 vs op#3: ..."
+  std::string to_string() const;
+
+  friend bool operator==(const StaticFinding&, const StaticFinding&) = default;
+};
+
+/// Abstract-interpretation statistics: the proven worst cases, reported
+/// even when every check passes (the "what if 16 SPEs / 512 KB?" numbers).
+struct ProgramStats {
+  std::uint64_t ops = 0;
+  std::uint64_t dma_ops = 0;
+  std::uint64_t peak_ls_bytes = 0;  ///< worst-case occupancy over all SPEs
+  int peak_ls_spe = -1;
+  std::int64_t peak_ls_op = -1;  ///< op achieving the peak (the witness)
+  std::uint64_t peak_tag_depth = 0;  ///< worst-case in-flight DMA commands
+  int peak_tag_spe = -1;
+  std::int64_t peak_tag_op = -1;
+
+  friend bool operator==(const ProgramStats&, const ProgramStats&) = default;
+};
+
+/// Outcome of one static verification: empty findings == proven safe under
+/// the model.  Mirrors AnalysisReport; serializable so verdicts can ride
+/// job records, CLI reports and CI artifacts.
+struct StaticReport {
+  static constexpr std::size_t kMaxFindings = 256;
+
+  std::string device;    ///< DeviceModel::name verified against
+  std::string schedule;  ///< free-text schedule descriptor
+  std::vector<StaticFinding> findings;
+  /// Findings are capped (kMaxFindings); this is the uncapped count.
+  std::uint64_t total = 0;
+  ProgramStats stats;
+
+  bool ok() const { return total == 0; }
+
+  /// One finding per line plus a capped-count note (empty when ok) — the
+  /// AnalysisReport::to_string shape, for logs.
+  std::string summary() const;
+
+  /// Strict-JSON round trip: from_string(to_string()) == *this, bitwise.
+  std::string to_string() const;
+  /// Parses a report.  Unknown/duplicate keys, type mismatches, malformed
+  /// JSON, unknown violation kinds and out-of-range values are
+  /// rxc::ConfigError.
+  static StaticReport from_string(const std::string& text);
+
+  friend bool operator==(const StaticReport&, const StaticReport&) = default;
+};
+
+/// Statically verifies `program` against `device`.  `schedule` is a
+/// human-readable descriptor copied into the report (e.g. "stage=7
+/// llp_ways=4 np=256").  Never throws on an unsafe program — unsafety is
+/// the report's job; throws only on a malformed device model.
+StaticReport verify_program(const cell::Program& program,
+                            const cell::DeviceModel& device,
+                            const std::string& schedule = {});
+
+}  // namespace rxc::analysis

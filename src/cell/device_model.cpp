@@ -124,6 +124,8 @@ void DeviceModel::validate() const {
     bad("dma_list_max_entries must be in [1, 2^20]");
   if (mfc_tag_count < 1 || mfc_tag_count > 128)
     bad("mfc_tag_count must be in [1, 128]");
+  if (mfc_queue_depth < 1 || mfc_queue_depth > 1024)
+    bad("mfc_queue_depth must be in [1, 1024]");
   if (mailbox_in_depth < 1 || mailbox_in_depth > 1024)
     bad("mailbox_in_depth must be in [1, 1024]");
   if (mailbox_out_depth < 1 || mailbox_out_depth > 1024)
@@ -147,6 +149,7 @@ std::string DeviceModel::to_string() const {
   w.kv("dma_list_max_entries",
        static_cast<std::uint64_t>(dma_list_max_entries));
   w.kv("mfc_tag_count", static_cast<std::uint64_t>(mfc_tag_count));
+  w.kv("mfc_queue_depth", static_cast<std::uint64_t>(mfc_queue_depth));
   w.kv("mailbox_in_depth", static_cast<std::uint64_t>(mailbox_in_depth));
   w.kv("mailbox_out_depth", static_cast<std::uint64_t>(mailbox_out_depth));
   w.key("cost");
@@ -187,6 +190,8 @@ DeviceModel DeviceModel::from_string(const std::string& text) {
         m.dma_list_max_entries = as_size(v, key);
       } else if (key == "mfc_tag_count") {
         m.mfc_tag_count = as_range_int(v, key, 1, 128);
+      } else if (key == "mfc_queue_depth") {
+        m.mfc_queue_depth = as_range_int(v, key, 1, 1024);
       } else if (key == "mailbox_in_depth") {
         m.mailbox_in_depth = as_range_int(v, key, 1, 1024);
       } else if (key == "mailbox_out_depth") {

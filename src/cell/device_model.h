@@ -59,6 +59,12 @@ struct DeviceModel {
   std::size_t dma_max_bytes = 16 * 1024;
   std::size_t dma_list_max_entries = 2048;
   int mfc_tag_count = 32;
+  /// SPU command-queue depth: how many DMA commands may be in flight
+  /// (issued, not yet tag-waited) per MFC before a further enqueue would
+  /// stall the SPU.  The CBE's MFC holds 16 SPU-side entries.  The timing
+  /// simulation does not model the stall; the static verifier bounds the
+  /// schedule's worst case against it (ViolationKind::kTagQueueOverflow).
+  int mfc_queue_depth = 16;
 
   /// Architected mailbox depths: 4-entry inbound (PPE -> SPU), 1-entry
   /// outbound (SPU -> PPE).

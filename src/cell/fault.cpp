@@ -183,6 +183,61 @@ const char* race_hazard_name(RaceHazard hazard) {
   return "unknown-hazard";
 }
 
+Program hazard_program(RaceHazard hazard, const DeviceModel& device) {
+  // Where a post-reset LocalStore::alloc lands: the 16-byte-aligned top of
+  // the code image (local_store.cpp's watermark arithmetic).
+  const std::uint64_t buf = round_up(device.offload_code_bytes, kDmaAlignment);
+  Program prog;
+
+  switch (hazard) {
+    case RaceHazard::kSkippedTagWait:
+      // The double-buffering bug the paper's Opt IV must avoid: compute
+      // starts on a strip whose inbound DMA was never tag-waited.
+      prog.ls_reserve(0, buf + 64);
+      prog.dma_get(0, 0, /*ea=*/0, buf, 64);
+      prog.ls_read(0, buf, 64);
+      prog.tag_wait(0, 0);
+      break;
+    case RaceHazard::kPrematureBufferReuse:
+      // The outbound half of the same bug: the kernel rewrites a buffer
+      // while the previous strip's put is still reading it.
+      prog.ls_reserve(0, buf + 64);
+      prog.dma_put(0, 1, buf, /*ea=*/0, 64);
+      prog.ls_write(0, buf, 64);
+      prog.tag_wait(0, 1);
+      break;
+    case RaceHazard::kOverlappingEaPut:
+      // Two SPEs target the same result range inside one epoch: a broken
+      // loop-level-parallel partition (no primitive orders the two MFCs).
+      prog.ls_reserve(0, buf + 64);
+      prog.ls_reserve(1, buf + 64);
+      prog.dma_put(0, 2, buf, /*ea=*/0, 64);
+      prog.dma_put(1, 2, buf, /*ea=*/32, 64);
+      prog.tag_wait(0, 2);
+      prog.tag_wait(1, 2);
+      break;
+    case RaceHazard::kBrokenSignalOrder:
+      // Opt VI gone wrong: the PPE reads the completion word with no
+      // intervening SPE completion store ordering it.
+      prog.signal(0, SignalOp::kGo);
+      prog.signal(0, SignalOp::kRead);
+      break;
+    case RaceHazard::kStalePartialRead:
+      // Opt VII gone wrong: a consumer fetches a partial-likelihood vector
+      // whose producing put was never waited on — it may read stale bytes.
+      prog.ls_reserve(0, buf + 64);
+      prog.ls_reserve(1, buf + 64);
+      prog.dma_put(0, 3, buf, /*ea=*/0, 64);
+      prog.dma_get(1, 4, /*ea=*/0, buf, 64);
+      prog.tag_wait(0, 3);
+      prog.tag_wait(1, 4);
+      break;
+  }
+
+  prog.epoch();
+  return prog;
+}
+
 void plant_hazard(CellMachine& machine, RaceHazard hazard) {
   RXC_REQUIRE(machine.spe_count() >= 2,
               "plant_hazard needs a machine with at least 2 SPEs");
@@ -193,62 +248,57 @@ void plant_hazard(CellMachine& machine, RaceHazard hazard) {
   aligned_vector<std::byte> host(128);
   EventSink* sink = event_sink();
 
-  switch (hazard) {
-    case RaceHazard::kSkippedTagWait: {
-      // The double-buffering bug the paper's Opt IV must avoid: compute
-      // starts on a strip whose inbound DMA was never tag-waited.
-      const LsAddr buf = spe0.ls().alloc(64);
-      spe0.mfc().get(buf, host.data(), 64, 0, spe0.now());
-      if (sink != nullptr)
-        sink->on_ls_read(spe0.id(), buf, 64, spe0.now(), spe0.now());
-      spe0.wait_dma(0);
-      break;
-    }
-    case RaceHazard::kPrematureBufferReuse: {
-      // The outbound half of the same bug: the kernel rewrites a buffer
-      // while the previous strip's put is still reading it.
-      const LsAddr buf = spe0.ls().alloc(64);
-      spe0.mfc().put(host.data(), buf, 64, 1, spe0.now());
-      if (sink != nullptr)
-        sink->on_ls_write(spe0.id(), buf, 64, spe0.now(), spe0.now());
-      spe0.wait_dma(1);
-      break;
-    }
-    case RaceHazard::kOverlappingEaPut: {
-      // Two SPEs target the same result range inside one epoch: a broken
-      // loop-level-parallel partition (no primitive orders the two MFCs).
-      const LsAddr b0 = spe0.ls().alloc(64);
-      const LsAddr b1 = spe1.ls().alloc(64);
-      spe0.mfc().put(host.data(), b0, 64, 2, spe0.now());
-      spe1.mfc().put(host.data() + 32, b1, 64, 2, spe1.now());
-      spe0.wait_dma(2);
-      spe1.wait_dma(2);
-      break;
-    }
-    case RaceHazard::kBrokenSignalOrder:
-      // Opt VI gone wrong: the PPE reads the completion word with no
-      // intervening SPE completion store ordering it.
-      if (sink != nullptr) {
-        sink->on_signal(spe0.id(), SignalOp::kGo);
-        sink->on_signal(spe0.id(), SignalOp::kRead);
-      }
-      break;
-    case RaceHazard::kStalePartialRead: {
-      // Opt VII gone wrong: a consumer fetches a partial-likelihood vector
-      // whose producing put was never waited on — it may read stale bytes.
-      const LsAddr src = spe0.ls().alloc(64);
-      const LsAddr dst = spe1.ls().alloc(64);
-      spe0.mfc().put(host.data(), src, 64, 3, spe0.now());
-      spe1.mfc().get(dst, host.data(), 64, 4, spe1.now());
-      spe0.wait_dma(3);
-      spe1.wait_dma(4);
-      break;
+  // Interpret the abstract program against the live machine: DMA and tag
+  // waits through the real MFC (abstract EAs become offsets into the
+  // scratch arena), kernel windows and signal phases straight into the
+  // sink.  The static verifier consumes the same Program object, so the
+  // dynamic and static analyses are cross-validated by construction.
+  for (const AbstractOp& op : hazard_program(hazard, machine.device()).ops) {
+    Spu& spu = machine.spe(op.spe < 0 ? 0 : op.spe);
+    switch (op.kind) {
+      case OpKind::kDmaGet:
+        spu.mfc().get(static_cast<LsAddr>(op.ls), host.data() + op.ea,
+                      op.size, op.tag, spu.now());
+        break;
+      case OpKind::kDmaPut:
+        spu.mfc().put(host.data() + op.ea, static_cast<LsAddr>(op.ls),
+                      op.size, op.tag, spu.now());
+        break;
+      case OpKind::kTagWait:
+        spu.wait_dma(op.tag);
+        break;
+      case OpKind::kLsRead:
+        if (sink != nullptr)
+          sink->on_ls_read(spu.id(), static_cast<LsAddr>(op.ls), op.size,
+                           spu.now(), spu.now());
+        break;
+      case OpKind::kLsWrite:
+        if (sink != nullptr)
+          sink->on_ls_write(spu.id(), static_cast<LsAddr>(op.ls), op.size,
+                            spu.now(), spu.now());
+        break;
+      case OpKind::kLsReserve:
+        // Allocator bookkeeping only; the planted buffers sit exactly where
+        // a post-reset alloc would place them, so there is nothing to do.
+        break;
+      case OpKind::kMailboxWrite:
+        (op.inbound ? spu.inbox() : spu.outbox()).write(op.value);
+        break;
+      case OpKind::kMailboxRead:
+        (void)(op.inbound ? spu.inbox() : spu.outbox()).read();
+        break;
+      case OpKind::kSignal:
+        if (sink != nullptr) sink->on_signal(spu.id(), op.signal);
+        break;
+      case OpKind::kEpoch:
+        // Resets precede the closing join, matching the executors'
+        // per-invocation allocator discipline.
+        spe0.ls().reset();
+        spe1.ls().reset();
+        if (sink != nullptr) sink->on_epoch();
+        break;
     }
   }
-
-  spe0.ls().reset();
-  spe1.ls().reset();
-  if (sink != nullptr) sink->on_epoch();
 }
 
 }  // namespace rxc::cell

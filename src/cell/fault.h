@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cell/program.h"
 #include "cell/spu.h"
 
 namespace rxc::cell {
@@ -86,7 +87,19 @@ inline constexpr std::array<RaceHazard, 5> kAllRaceHazards = {
 
 const char* race_hazard_name(RaceHazard hazard);
 
-/// Executes the racy-but-legal sequence for `hazard` against the machine's
+/// The racy-but-legal op sequence for `hazard` as an abstract Program over
+/// SPEs 0 and 1 of the machine `device` describes.  This is the single
+/// source of truth for the planted sequences: plant_hazard interprets it
+/// against a live machine (the dynamic detector's view) and the static
+/// verifier consumes it directly — so by construction the two analyses see
+/// the same program, and "every planted class flagged both ways" is a
+/// property of the checkers, not of two hand-kept copies.  Effective
+/// addresses are offsets into a 128-byte scratch arena; local-store
+/// addresses start at the device's code-image watermark, exactly where a
+/// post-reset alloc would land.
+Program hazard_program(RaceHazard hazard, const DeviceModel& device = {});
+
+/// Executes hazard_program(hazard, machine.device()) against the machine's
 /// first SPE(s), through the same primitives the executors use (real DMA
 /// commands plus the events.h hooks for kernel windows and signals).  Every
 /// operation succeeds; the armed event sink is expected to flag the race.

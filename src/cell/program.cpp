@@ -1,0 +1,186 @@
+#include "cell/program.h"
+
+#include <sstream>
+
+namespace rxc::cell {
+
+namespace {
+
+std::string hex_range(std::uint64_t lo, std::uint64_t hi) {
+  std::ostringstream os;
+  os << "[0x" << std::hex << lo << ",0x" << hi << ")";
+  return os.str();
+}
+
+const char* signal_op_name(SignalOp op) {
+  switch (op) {
+    case SignalOp::kGo: return "go";
+    case SignalOp::kComplete: return "complete";
+    case SignalOp::kRead: return "read";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDmaGet: return "dma-get";
+    case OpKind::kDmaPut: return "dma-put";
+    case OpKind::kTagWait: return "tag-wait";
+    case OpKind::kLsRead: return "ls-read";
+    case OpKind::kLsWrite: return "ls-write";
+    case OpKind::kLsReserve: return "ls-reserve";
+    case OpKind::kMailboxWrite: return "mailbox-write";
+    case OpKind::kMailboxRead: return "mailbox-read";
+    case OpKind::kSignal: return "signal";
+    case OpKind::kEpoch: return "epoch";
+  }
+  return "unknown-op";
+}
+
+std::string AbstractOp::to_string() const {
+  std::ostringstream os;
+  os << op_kind_name(kind);
+  if (kind != OpKind::kEpoch) os << " spe=" << spe;
+  switch (kind) {
+    case OpKind::kDmaGet:
+      os << " tag=" << tag << " ea" << hex_range(ea, ea + size) << " ls"
+         << hex_range(ls, ls + size);
+      break;
+    case OpKind::kDmaPut:
+      os << " tag=" << tag << " ls" << hex_range(ls, ls + size) << " ea"
+         << hex_range(ea, ea + size);
+      break;
+    case OpKind::kTagWait:
+      os << " tag=" << tag;
+      break;
+    case OpKind::kLsRead:
+    case OpKind::kLsWrite:
+      os << " ls" << hex_range(ls, ls + size);
+      break;
+    case OpKind::kLsReserve:
+      os << " bytes=" << size;
+      break;
+    case OpKind::kMailboxWrite:
+      os << (inbound ? " inbound" : " outbound") << " value=" << value;
+      break;
+    case OpKind::kMailboxRead:
+      os << (inbound ? " inbound" : " outbound");
+      break;
+    case OpKind::kSignal:
+      os << ' ' << signal_op_name(signal);
+      break;
+    case OpKind::kEpoch:
+      break;
+  }
+  return os.str();
+}
+
+void Program::dma_get(int spe, int tag, std::uint64_t ea, std::uint64_t ls,
+                      std::uint64_t size) {
+  AbstractOp op;
+  op.kind = OpKind::kDmaGet;
+  op.spe = spe;
+  op.tag = tag;
+  op.ea = ea;
+  op.ls = ls;
+  op.size = size;
+  ops.push_back(op);
+}
+
+void Program::dma_put(int spe, int tag, std::uint64_t ls, std::uint64_t ea,
+                      std::uint64_t size) {
+  AbstractOp op;
+  op.kind = OpKind::kDmaPut;
+  op.spe = spe;
+  op.tag = tag;
+  op.ea = ea;
+  op.ls = ls;
+  op.size = size;
+  ops.push_back(op);
+}
+
+void Program::tag_wait(int spe, int tag) {
+  AbstractOp op;
+  op.kind = OpKind::kTagWait;
+  op.spe = spe;
+  op.tag = tag;
+  ops.push_back(op);
+}
+
+void Program::ls_read(int spe, std::uint64_t ls, std::uint64_t size) {
+  AbstractOp op;
+  op.kind = OpKind::kLsRead;
+  op.spe = spe;
+  op.ls = ls;
+  op.size = size;
+  ops.push_back(op);
+}
+
+void Program::ls_write(int spe, std::uint64_t ls, std::uint64_t size) {
+  AbstractOp op;
+  op.kind = OpKind::kLsWrite;
+  op.spe = spe;
+  op.ls = ls;
+  op.size = size;
+  ops.push_back(op);
+}
+
+void Program::ls_reserve(int spe, std::uint64_t size) {
+  AbstractOp op;
+  op.kind = OpKind::kLsReserve;
+  op.spe = spe;
+  op.size = size;
+  ops.push_back(op);
+}
+
+void Program::mailbox_write(int spe, bool inbound, std::uint32_t value) {
+  AbstractOp op;
+  op.kind = OpKind::kMailboxWrite;
+  op.spe = spe;
+  op.inbound = inbound;
+  op.value = value;
+  ops.push_back(op);
+}
+
+void Program::mailbox_read(int spe, bool inbound) {
+  AbstractOp op;
+  op.kind = OpKind::kMailboxRead;
+  op.spe = spe;
+  op.inbound = inbound;
+  ops.push_back(op);
+}
+
+void Program::signal(int spe, SignalOp op_phase) {
+  AbstractOp op;
+  op.kind = OpKind::kSignal;
+  op.spe = spe;
+  op.signal = op_phase;
+  ops.push_back(op);
+}
+
+void Program::epoch() {
+  AbstractOp op;
+  op.kind = OpKind::kEpoch;
+  op.spe = -1;
+  ops.push_back(op);
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  for (const AbstractOp& op : ops) os << op.to_string() << '\n';
+  return os.str();
+}
+
+bool op_runs_on_ppe(const AbstractOp& op) {
+  switch (op.kind) {
+    case OpKind::kMailboxWrite: return op.inbound;
+    case OpKind::kMailboxRead: return !op.inbound;
+    case OpKind::kSignal: return op.signal != SignalOp::kComplete;
+    case OpKind::kEpoch: return true;
+    default: return false;
+  }
+}
+
+}  // namespace rxc::cell

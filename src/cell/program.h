@@ -1,0 +1,96 @@
+#pragma once
+/// \file program.h
+/// Side-effect-free schedule IR: the abstract-op vocabulary of events.h
+/// lifted into a value.  A Program is the straight-line sequence of machine
+/// operations an executor WOULD perform for a given schedule x device-model
+/// pair — DMA commands with EA/LS ranges and tags, tag-group waits, kernel
+/// local-store access windows, mailbox round trips, direct-signal phases and
+/// PPE join epochs — recorded without touching a CellMachine.  Producers:
+/// core::extract_program (the scheduler's offload orchestration, mirrored
+/// op-for-op from the SPE executor) and cell::hazard_program (the planted
+/// race sequences).  Consumer: analysis::verify_program, which proves or
+/// refutes local-store, DMA-queue, mailbox and happens-before safety
+/// statically.
+///
+/// Conventions:
+///  * `spe` is the machine-local SPU index (0-based), not a process-unique
+///    event id — a program is always verified against one DeviceModel.
+///  * Effective addresses are abstract arena offsets, not host pointers;
+///    only byte-range overlap is meaningful, exactly as in events.h.
+///  * One op kind, kLsReserve, has no events.h counterpart: it declares the
+///    local-store allocator watermark an invocation reserves (code image +
+///    pmatrices + strip buffers), so the verifier can bound worst-case
+///    occupancy including buffers no transfer happens to touch.  Its
+///    dynamic counterpart is LocalStore::alloc throwing HardwareError (the
+///    fault trap cell::Fault::kLocalStoreOverflow exercises).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cell/events.h"
+
+namespace rxc::cell {
+
+enum class OpKind {
+  kDmaGet,        ///< main memory [ea, ea+size) -> local store [ls, ls+size)
+  kDmaPut,        ///< local store [ls, ls+size) -> main memory [ea, ea+size)
+  kTagWait,       ///< wait for tag group `tag` on `spe`
+  kLsRead,        ///< kernel reads the local-store window [ls, ls+size)
+  kLsWrite,       ///< kernel writes the local-store window [ls, ls+size)
+  kLsReserve,     ///< allocator watermark: [0, size) resident on `spe`
+  kMailboxWrite,  ///< write `value` to `spe`'s inbound/outbound mailbox
+  kMailboxRead,   ///< read from `spe`'s inbound/outbound mailbox
+  kSignal,        ///< direct-signal phase `signal` on `spe`'s channel
+  kEpoch,         ///< PPE join: the global cross-SPE happens-before edge
+};
+
+const char* op_kind_name(OpKind kind);
+
+/// One abstract machine operation.  Fields beyond `kind`/`spe` are
+/// meaningful per kind (see OpKind); unused fields stay at their defaults.
+struct AbstractOp {
+  OpKind kind = OpKind::kEpoch;
+  int spe = 0;
+  int tag = -1;
+  std::uint64_t ea = 0;
+  std::uint64_t ls = 0;
+  std::uint64_t size = 0;
+  SignalOp signal = SignalOp::kGo;
+  bool inbound = false;  ///< mailbox direction (true: PPE -> SPU)
+  std::uint32_t value = 0;
+
+  /// "dma-get spe=0 tag=1 ea[0x0,0x40) ls[0x1d400,0x1d440)" -style line.
+  std::string to_string() const;
+};
+
+/// A straight-line abstract schedule in global issue order (the order a
+/// sequential interpreter — or the race detector's event stream — would
+/// observe the ops).  Append helpers mirror the events.h hook signatures.
+struct Program {
+  std::vector<AbstractOp> ops;
+
+  void dma_get(int spe, int tag, std::uint64_t ea, std::uint64_t ls,
+               std::uint64_t size);
+  void dma_put(int spe, int tag, std::uint64_t ls, std::uint64_t ea,
+               std::uint64_t size);
+  void tag_wait(int spe, int tag);
+  void ls_read(int spe, std::uint64_t ls, std::uint64_t size);
+  void ls_write(int spe, std::uint64_t ls, std::uint64_t size);
+  void ls_reserve(int spe, std::uint64_t size);
+  void mailbox_write(int spe, bool inbound, std::uint32_t value);
+  void mailbox_read(int spe, bool inbound);
+  void signal(int spe, SignalOp op);
+  void epoch();
+
+  /// One op per line.
+  std::string to_string() const;
+};
+
+/// Which agent executes `op`, for the cross-agent wait-for analysis: the
+/// PPE performs inbound mailbox writes, outbound mailbox reads, the kGo and
+/// kRead signal phases and the join epochs; the op's SPU performs
+/// everything else.  Mirrors SpeExecutor::record's orchestration.
+bool op_runs_on_ppe(const AbstractOp& op);
+
+}  // namespace rxc::cell

@@ -1,0 +1,491 @@
+/// \file schedule_ir.cpp
+/// extract_program / extract_batch_program: the SPE executor's offload
+/// orchestration re-emitted as a side-effect-free cell::Program.  Every
+/// sequence here mirrors spe_executor.cpp op-for-op — same strip mining
+/// (strip_patterns / run_chunks quotas), same local-store layout and
+/// watermark, same DMA tag discipline and drain order, same kernel access
+/// windows, same mailbox/direct-signal record() protocol, same compound
+/// chaining and sumtable-residency rule.  tests/test_static_verifier.cpp
+/// pins the mirror with an event-stream parity check against the live
+/// executor; change one side and that test says where the other drifted.
+
+#include <algorithm>
+
+#include "core/scheduler.h"
+#include "core/trace.h"
+#include "support/aligned.h"
+#include "support/error.h"
+
+namespace rxc::core {
+namespace {
+
+/// DMA-legal byte count for a strip of `n` elements of `size` bytes
+/// (spe_executor.cpp's dma_bytes).
+constexpr std::uint64_t dma_len(std::uint64_t n, std::uint64_t size) {
+  return rxc::round_up(n * size, 16);
+}
+
+/// Mirrors cell::LocalStore's watermark allocator: 16-aligned bump starting
+/// at the code image.
+struct LsAlloc {
+  std::uint64_t base = 0;
+  std::uint64_t top = 0;
+
+  explicit LsAlloc(std::uint64_t code_bytes)
+      : base(rxc::round_up(code_bytes, 16)), top(base) {}
+  std::uint64_t alloc(std::uint64_t bytes) {
+    const std::uint64_t at = top;
+    top += rxc::round_up(bytes, 16);
+    return at;
+  }
+};
+
+/// Synthetic main-memory arena: every logical buffer gets a disjoint
+/// 16-aligned region, so overlap in the emitted program means overlap in
+/// the real executor's host buffers, not an artifact of the encoding.
+struct EaArena {
+  std::uint64_t top = 0;
+  std::uint64_t alloc(std::uint64_t bytes) {
+    const std::uint64_t at = top;
+    top += rxc::round_up(bytes, 16);
+    return at;
+  }
+};
+
+/// One kernel operand: a tip-code column (1 byte/pattern, no scale) or a
+/// partial-likelihood vector (pp bytes/pattern + an int32 scale column).
+struct Operand {
+  bool tip = false;
+  std::uint64_t values = 0;  ///< codes region (tip) or values region
+  std::uint64_t scale = 0;   ///< int32 scale column (partials only)
+};
+
+class Extractor {
+ public:
+  Extractor(const cell::DeviceModel& device, Stage stage, int llp_ways,
+            const ProgramShape& shape, std::size_t strip_bytes)
+      : device_(device),
+        toggles_(stage_toggles(stage)),
+        ways_(llp_ways),
+        shape_(shape),
+        strip_bytes_(strip_bytes) {
+    device_.validate();
+    RXC_REQUIRE(ways_ >= 1 && ways_ <= device_.spe_count,
+                "llp_ways out of range");
+    RXC_REQUIRE(shape_.patterns >= 1, "shape.patterns must be >= 1");
+    RXC_REQUIRE(shape_.categories >= 1, "shape.categories must be >= 1");
+    RXC_REQUIRE(shape_.newton_iters >= 0, "shape.newton_iters must be >= 0");
+    RXC_REQUIRE(strip_bytes_ >= 256, "strip buffer too small");
+    np_ = shape_.patterns;
+    ncat_ = static_cast<std::uint64_t>(shape_.categories);
+    pp_ = (shape_.cat_mode ? 1 : ncat_) * 32;
+
+    // The host-side buffer graph of the canonical pipeline.
+    tip_a_ = {true, arena_.alloc(np_), 0};
+    tip_b_ = {true, arena_.alloc(np_), 0};
+    partial_a_ = partial();
+    partial_b_ = partial();
+    partial_c_ = partial();
+    if (shape_.cat_mode) cat_ea_ = arena_.alloc(np_ * 4);
+    weights_ea_ = arena_.alloc(np_ * 8);
+    if (shape_.site_lnl) site_ea_ = arena_.alloc(np_ * 8);
+    sumtable_ea_ = arena_.alloc(np_ * pp_);
+  }
+
+  cell::Program run() {
+    // Tip-first mixed case, matching the kernel contract (a tip child is
+    // always child 1): tip-tip, tip-partial, partial-partial.
+    newview(tip_a_, tip_b_, partial_a_);
+    newview(tip_a_, partial_a_, partial_b_);
+    newview(partial_a_, partial_b_, partial_c_);
+    evaluate(partial_a_, partial_c_);
+    begin_compound();
+    sumtable(partial_b_, partial_c_, sumtable_ea_);
+    for (int it = 0; it < shape_.newton_iters; ++it)
+      nr_derivatives(sumtable_ea_);
+    end_compound();
+    return std::move(prog_);
+  }
+
+  cell::Program run_batch(std::size_t count) {
+    // The batcher's fallback conditions (minus the wall-clock host_threads
+    // knob, which never changes the op stream): serial per-task newviews.
+    if (count <= 1 || ways_ != 1 || !toggles_.offload_newview ||
+        device_.spe_count <= 1) {
+      for (std::size_t i = 0; i < count; ++i)
+        newview(tip_a_, tip_b_, batch_out(i));
+      return std::move(prog_);
+    }
+    // Multi-lane path: task i's payload runs on SPE i % spe_count; lanes
+    // drain their task lists independently (lane-major issue order here —
+    // any interleaving is equivalent, the lanes share no buffers), then
+    // every task records in original task order.
+    const int nspe = device_.spe_count;
+    const std::uint64_t strip = strip_patterns(pp_);
+    const int lanes = std::min<int>(nspe, static_cast<int>(count));
+    for (int lane = 0; lane < lanes; ++lane)
+      for (std::size_t i = static_cast<std::size_t>(lane); i < count;
+           i += static_cast<std::size_t>(nspe))
+        newview_payload(lane, tip_a_, tip_b_, batch_out(i), 0, np_, strip);
+    for (std::size_t i = 0; i < count; ++i)
+      record(KernelKind::kNewview, /*offloaded=*/true, /*ways=*/1,
+             static_cast<int>(i) % nspe);
+    return std::move(prog_);
+  }
+
+ private:
+  Operand partial() {
+    return Operand{false, arena_.alloc(np_ * pp_), arena_.alloc(np_ * 4)};
+  }
+
+  /// Lazily-created output slot for batch task `i` (all tasks share the tip
+  /// inputs but write disjoint partials, like distinct tree nodes).
+  Operand batch_out(std::size_t i) {
+    while (batch_outs_.size() <= i) batch_outs_.push_back(partial());
+    return batch_outs_[i];
+  }
+
+  std::uint64_t strip_patterns(std::uint64_t pattern_bytes) const {
+    return std::max<std::uint64_t>(16,
+                                   strip_bytes_ / pattern_bytes / 16 * 16);
+  }
+
+  // --- record(): the PPE side of one invocation ---------------------------
+
+  /// offload_ppe_cycles' signaling decision: inside a compound only the
+  /// first invocation signals; continuations chain SPE-side.
+  bool next_signaled() {
+    if (in_compound_ && compound_signaled_) return false;
+    if (in_compound_) compound_signaled_ = true;
+    return true;
+  }
+
+  void begin_compound() {
+    in_compound_ = true;
+    compound_signaled_ = false;
+    sumtable_resident_ = false;
+  }
+
+  void end_compound() {
+    in_compound_ = false;
+    sumtable_resident_ = false;
+  }
+
+  /// One record() call: the mailbox round trip (or direct-signal protocol)
+  /// per cooperating SPE when the invocation was signaled, then the PPE
+  /// join epoch.  `signaled` must come from next_signaled() for offloaded
+  /// kernels and be false for PPE-executed ones.
+  void record(KernelKind kind, bool signaled, int ways, int base_spe = 0) {
+    if (signaled && !toggles_.direct_comm) {
+      for (int w = 0; w < ways; ++w) {
+        const int spe = base_spe + w;
+        prog_.mailbox_write(spe, /*inbound=*/true,
+                            static_cast<std::uint32_t>(kind));
+        prog_.mailbox_read(spe, /*inbound=*/true);
+        prog_.mailbox_write(spe, /*inbound=*/false, 1u);
+        prog_.mailbox_read(spe, /*inbound=*/false);
+      }
+    }
+    if (signaled && toggles_.direct_comm) {
+      for (int w = 0; w < ways; ++w) {
+        const int spe = base_spe + w;
+        prog_.signal(spe, cell::SignalOp::kGo);
+        prog_.signal(spe, cell::SignalOp::kComplete);
+        prog_.signal(spe, cell::SignalOp::kRead);
+      }
+    }
+    prog_.epoch();
+  }
+
+  void record(KernelKind kind, bool offloaded, int ways, int base_spe,
+              bool) = delete;
+
+  // --- newview ------------------------------------------------------------
+
+  void newview_payload(int spe, const Operand& in1, const Operand& in2,
+                       const Operand& out, std::uint64_t lo, std::uint64_t n,
+                       std::uint64_t strip) {
+    LsAlloc ls(device_.offload_code_bytes);
+    const std::uint64_t pm_bytes = ncat_ * 128;
+    ls.alloc(pm_bytes);  // pm1 — built in place, no machine events
+    ls.alloc(pm_bytes);  // pm2
+
+    const int nbuf = toggles_.double_buffer ? 2 : 1;
+    struct Buffers {
+      std::uint64_t in1, sc1, in2, sc2, cat, out, outsc;
+    };
+    Buffers buf[2] = {};
+    for (int b = 0; b < nbuf; ++b) {
+      buf[b].in1 =
+          in1.tip ? ls.alloc(dma_len(strip, 1)) : ls.alloc(strip * pp_);
+      buf[b].sc1 = !in1.tip ? ls.alloc(dma_len(strip, 4)) : 0;
+      buf[b].in2 =
+          in2.tip ? ls.alloc(dma_len(strip, 1)) : ls.alloc(strip * pp_);
+      buf[b].sc2 = !in2.tip ? ls.alloc(dma_len(strip, 4)) : 0;
+      buf[b].cat = shape_.cat_mode ? ls.alloc(dma_len(strip, 4)) : 0;
+      buf[b].out = ls.alloc(strip * pp_);
+      buf[b].outsc = ls.alloc(dma_len(strip, 4));
+    }
+    prog_.ls_reserve(spe, ls.top);
+
+    const std::uint64_t nstrips = (n + strip - 1) / strip;
+    const auto issue = [&](std::uint64_t s) {
+      const std::uint64_t base = lo + s * strip;
+      const std::uint64_t cnt = std::min(strip, lo + n - base);
+      const Buffers& b = buf[s % nbuf];
+      const int tag = static_cast<int>(s % nbuf);
+      if (in1.tip) {
+        prog_.dma_get(spe, tag, in1.values + base, b.in1, dma_len(cnt, 1));
+      } else {
+        prog_.dma_get(spe, tag, in1.values + base * pp_, b.in1, cnt * pp_);
+        prog_.dma_get(spe, tag, in1.scale + base * 4, b.sc1,
+                      dma_len(cnt, 4));
+      }
+      if (in2.tip) {
+        prog_.dma_get(spe, tag, in2.values + base, b.in2, dma_len(cnt, 1));
+      } else {
+        prog_.dma_get(spe, tag, in2.values + base * pp_, b.in2, cnt * pp_);
+        prog_.dma_get(spe, tag, in2.scale + base * 4, b.sc2,
+                      dma_len(cnt, 4));
+      }
+      if (shape_.cat_mode)
+        prog_.dma_get(spe, tag, cat_ea_ + base * 4, b.cat, dma_len(cnt, 4));
+    };
+
+    issue(0);
+    for (std::uint64_t s = 0; s < nstrips; ++s) {
+      if (toggles_.double_buffer) {
+        if (s + 1 < nstrips) issue(s + 1);
+      } else if (s > 0) {
+        issue(s);
+      }
+      const int tag = static_cast<int>(s % nbuf);
+      const int out_tag = 2 + static_cast<int>(s % nbuf);
+      prog_.tag_wait(spe, tag);
+      if (s >= static_cast<std::uint64_t>(nbuf)) prog_.tag_wait(spe, out_tag);
+
+      const std::uint64_t base = lo + s * strip;
+      const std::uint64_t cnt = std::min(strip, lo + n - base);
+      const Buffers& b = buf[s % nbuf];
+
+      prog_.ls_read(spe, b.in1, in1.tip ? dma_len(cnt, 1) : cnt * pp_);
+      if (!in1.tip) prog_.ls_read(spe, b.sc1, dma_len(cnt, 4));
+      prog_.ls_read(spe, b.in2, in2.tip ? dma_len(cnt, 1) : cnt * pp_);
+      if (!in2.tip) prog_.ls_read(spe, b.sc2, dma_len(cnt, 4));
+      if (shape_.cat_mode) prog_.ls_read(spe, b.cat, dma_len(cnt, 4));
+      prog_.ls_write(spe, b.out, cnt * pp_);
+      prog_.ls_write(spe, b.outsc, dma_len(cnt, 4));
+
+      prog_.dma_put(spe, out_tag, b.out, out.values + base * pp_, cnt * pp_);
+      prog_.dma_put(spe, out_tag, b.outsc, out.scale + base * 4,
+                    dma_len(cnt, 4));
+    }
+    prog_.tag_wait(spe, 2);
+    prog_.tag_wait(spe, 3);
+  }
+
+  void newview(const Operand& in1, const Operand& in2, const Operand& out) {
+    if (!toggles_.offload_newview) {
+      record(KernelKind::kNewview, /*signaled=*/false, 1);
+      return;
+    }
+    const std::uint64_t quota = rxc::round_up(
+        (np_ + static_cast<std::uint64_t>(ways_) - 1) /
+            static_cast<std::uint64_t>(ways_),
+        16);
+    const std::uint64_t strip = strip_patterns(pp_);
+    int active = 0;
+    while (active < ways_ &&
+           static_cast<std::uint64_t>(active) * quota < np_)
+      ++active;
+    for (int w = 0; w < active; ++w) {
+      const std::uint64_t lo = static_cast<std::uint64_t>(w) * quota;
+      const std::uint64_t n = std::min(quota, np_ - lo);
+      newview_payload(w, in1, in2, out, lo, n, strip);
+    }
+    record(KernelKind::kNewview, next_signaled(), ways_);
+  }
+
+  // --- evaluate -----------------------------------------------------------
+
+  void evaluate(const Operand& in1, const Operand& in2) {
+    if (!toggles_.offload_rest) {
+      record(KernelKind::kEvaluate, /*signaled=*/false, 1);
+      return;
+    }
+    const int spe = 0;  // evaluate never loop-parallelizes (ways = 1)
+    const std::uint64_t strip = strip_patterns(pp_);
+    LsAlloc ls(device_.offload_code_bytes);
+    ls.alloc(ncat_ * 128);  // pm
+    const std::uint64_t in1b =
+        in1.tip ? ls.alloc(dma_len(strip, 1)) : ls.alloc(strip * pp_);
+    const std::uint64_t sc1 = !in1.tip ? ls.alloc(dma_len(strip, 4)) : 0;
+    const std::uint64_t in2b = ls.alloc(strip * pp_);
+    const std::uint64_t sc2 = !in2.tip ? ls.alloc(dma_len(strip, 4)) : 0;
+    const std::uint64_t wts = ls.alloc(dma_len(strip, 8));
+    const std::uint64_t catb =
+        shape_.cat_mode ? ls.alloc(dma_len(strip, 4)) : 0;
+    const std::uint64_t site =
+        shape_.site_lnl ? ls.alloc(dma_len(strip, 8)) : 0;
+    prog_.ls_reserve(spe, ls.top);
+
+    const std::uint64_t nstrips = (np_ + strip - 1) / strip;
+    for (std::uint64_t s = 0; s < nstrips; ++s) {
+      const std::uint64_t base = s * strip;
+      const std::uint64_t cnt = std::min(strip, np_ - base);
+      if (in1.tip) {
+        prog_.dma_get(spe, 0, in1.values + base, in1b, dma_len(cnt, 1));
+      } else {
+        prog_.dma_get(spe, 0, in1.values + base * pp_, in1b, cnt * pp_);
+        prog_.dma_get(spe, 0, in1.scale + base * 4, sc1, dma_len(cnt, 4));
+      }
+      prog_.dma_get(spe, 0, in2.values + base * pp_, in2b, cnt * pp_);
+      if (!in2.tip)
+        prog_.dma_get(spe, 0, in2.scale + base * 4, sc2, dma_len(cnt, 4));
+      prog_.dma_get(spe, 0, weights_ea_ + base * 8, wts, dma_len(cnt, 8));
+      if (shape_.cat_mode)
+        prog_.dma_get(spe, 0, cat_ea_ + base * 4, catb, dma_len(cnt, 4));
+      prog_.tag_wait(spe, 0);
+      if (shape_.site_lnl && s > 0) prog_.tag_wait(spe, 1);
+
+      prog_.ls_read(spe, in1b, in1.tip ? dma_len(cnt, 1) : cnt * pp_);
+      if (!in1.tip) prog_.ls_read(spe, sc1, dma_len(cnt, 4));
+      prog_.ls_read(spe, in2b, cnt * pp_);
+      if (!in2.tip) prog_.ls_read(spe, sc2, dma_len(cnt, 4));
+      prog_.ls_read(spe, wts, dma_len(cnt, 8));
+      if (shape_.cat_mode) prog_.ls_read(spe, catb, dma_len(cnt, 4));
+      if (shape_.site_lnl) prog_.ls_write(spe, site, dma_len(cnt, 8));
+
+      if (shape_.site_lnl)
+        prog_.dma_put(spe, 1, site, site_ea_ + base * 8, dma_len(cnt, 8));
+    }
+    prog_.tag_wait(spe, 1);
+    record(KernelKind::kEvaluate, next_signaled(), 1);
+  }
+
+  // --- sumtable + Newton iterations (the makenewz compound) ---------------
+
+  void sumtable(const Operand& in1, const Operand& in2, std::uint64_t out) {
+    if (!toggles_.offload_rest) {
+      record(KernelKind::kSumtable, /*signaled=*/false, 1);
+      return;
+    }
+    const int spe = 0;
+    const std::uint64_t strip = strip_patterns(pp_);
+    LsAlloc ls(device_.offload_code_bytes);
+    const std::uint64_t in1b =
+        in1.tip ? ls.alloc(dma_len(strip, 1)) : ls.alloc(strip * pp_);
+    const std::uint64_t in2b = ls.alloc(strip * pp_);
+    const std::uint64_t outb = ls.alloc(strip * pp_);
+    prog_.ls_reserve(spe, ls.top);
+
+    const std::uint64_t nstrips = (np_ + strip - 1) / strip;
+    for (std::uint64_t s = 0; s < nstrips; ++s) {
+      const std::uint64_t base = s * strip;
+      const std::uint64_t cnt = std::min(strip, np_ - base);
+      if (in1.tip) {
+        prog_.dma_get(spe, 0, in1.values + base, in1b, dma_len(cnt, 1));
+      } else {
+        prog_.dma_get(spe, 0, in1.values + base * pp_, in1b, cnt * pp_);
+      }
+      prog_.dma_get(spe, 0, in2.values + base * pp_, in2b, cnt * pp_);
+      prog_.tag_wait(spe, 0);
+      if (s > 0) prog_.tag_wait(spe, 1);
+
+      prog_.ls_read(spe, in1b, in1.tip ? dma_len(cnt, 1) : cnt * pp_);
+      prog_.ls_read(spe, in2b, cnt * pp_);
+      prog_.ls_write(spe, outb, cnt * pp_);
+
+      prog_.dma_put(spe, 1, outb, out + base * pp_, cnt * pp_);
+    }
+    prog_.tag_wait(spe, 1);
+
+    // §5.2.7: when the whole sumtable (plus weights and categories) fits in
+    // the local store, the offloaded makenewz keeps it there and the Newton
+    // iterations run DMA-free.
+    const std::uint64_t resident_bytes =
+        np_ * pp_ + dma_len(np_, 8) + dma_len(np_, 4);
+    sumtable_resident_ =
+        in_compound_ && resident_bytes + 4096 < device_.ls_data_bytes();
+    record(KernelKind::kSumtable, next_signaled(), 1);
+  }
+
+  void nr_derivatives(std::uint64_t sumtable_ea) {
+    if (!toggles_.offload_rest) {
+      record(KernelKind::kNrDerivatives, /*signaled=*/false, 1);
+      return;
+    }
+    if (sumtable_resident_) {
+      // Pure SPU compute over the resident sumtable: no DMA, no windows —
+      // just the (unsignaled) compound continuation's join.
+      record(KernelKind::kNrDerivatives, next_signaled(), 1);
+      return;
+    }
+    const int spe = 0;
+    const std::uint64_t strip = strip_patterns(pp_);
+    LsAlloc ls(device_.offload_code_bytes);
+    const std::uint64_t st = ls.alloc(strip * pp_);
+    const std::uint64_t wts = ls.alloc(dma_len(strip, 8));
+    const std::uint64_t catb =
+        shape_.cat_mode ? ls.alloc(dma_len(strip, 4)) : 0;
+    prog_.ls_reserve(spe, ls.top);
+
+    const std::uint64_t nstrips = (np_ + strip - 1) / strip;
+    for (std::uint64_t s = 0; s < nstrips; ++s) {
+      const std::uint64_t base = s * strip;
+      const std::uint64_t cnt = std::min(strip, np_ - base);
+      prog_.dma_get(spe, 0, sumtable_ea + base * pp_, st, cnt * pp_);
+      prog_.dma_get(spe, 0, weights_ea_ + base * 8, wts, dma_len(cnt, 8));
+      if (shape_.cat_mode)
+        prog_.dma_get(spe, 0, cat_ea_ + base * 4, catb, dma_len(cnt, 4));
+      prog_.tag_wait(spe, 0);
+
+      prog_.ls_read(spe, st, cnt * pp_);
+      prog_.ls_read(spe, wts, dma_len(cnt, 8));
+      if (shape_.cat_mode) prog_.ls_read(spe, catb, dma_len(cnt, 4));
+    }
+    record(KernelKind::kNrDerivatives, next_signaled(), 1);
+  }
+
+  cell::DeviceModel device_;
+  StageToggles toggles_;
+  int ways_ = 1;
+  ProgramShape shape_;
+  std::uint64_t strip_bytes_ = 2048;
+
+  std::uint64_t np_ = 0;
+  std::uint64_t ncat_ = 0;
+  std::uint64_t pp_ = 0;
+
+  EaArena arena_;
+  Operand tip_a_, tip_b_, partial_a_, partial_b_, partial_c_;
+  std::uint64_t cat_ea_ = 0;
+  std::uint64_t weights_ea_ = 0;
+  std::uint64_t site_ea_ = 0;
+  std::uint64_t sumtable_ea_ = 0;
+  std::vector<Operand> batch_outs_;
+
+  bool in_compound_ = false;
+  bool compound_signaled_ = false;
+  bool sumtable_resident_ = false;
+
+  cell::Program prog_;
+};
+
+}  // namespace
+
+cell::Program extract_program(const cell::DeviceModel& device, Stage stage,
+                              int llp_ways, const ProgramShape& shape,
+                              std::size_t strip_bytes) {
+  return Extractor(device, stage, llp_ways, shape, strip_bytes).run();
+}
+
+cell::Program extract_batch_program(const cell::DeviceModel& device,
+                                    Stage stage, std::size_t count,
+                                    int llp_ways, const ProgramShape& shape,
+                                    std::size_t strip_bytes) {
+  return Extractor(device, stage, llp_ways, shape, strip_bytes)
+      .run_batch(count);
+}
+
+}  // namespace rxc::core

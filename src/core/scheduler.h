@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "cell/device_model.h"
+#include "cell/program.h"
 #include "cell/timeline.h"
+#include "core/stage.h"
 #include "core/trace.h"
 
 namespace rxc::core {
@@ -64,5 +66,46 @@ struct ScheduleResult {
 ScheduleResult schedule_traces(const cell::DeviceModel& device,
                                const std::vector<const TaskTrace*>& tasks,
                                const ScheduleConfig& config);
+
+// --- static schedule extraction (schedule_ir.cpp) ---------------------------
+
+/// Workload shape of the canonical offload pipeline extract_program models:
+/// three chained newview() calls (tip-tip, tip-partial, partial-partial),
+/// one evaluate() over the root partials, and one makenewz compound
+/// (sumtable + Newton iterations) — one instance of every DMA/mailbox/
+/// signal pattern the SPE executor can emit.
+struct ProgramShape {
+  std::size_t patterns = 256;  ///< alignment patterns (np)
+  int categories = 4;          ///< rate categories (ncat)
+  bool cat_mode = false;       ///< CAT (per-pattern category array) vs GAMMA
+  bool site_lnl = false;       ///< evaluate also streams per-site lnl out
+  int newton_iters = 2;        ///< nr_derivatives calls inside the compound
+};
+
+/// The abstract Program the SPE executor WOULD execute for the canonical
+/// pipeline at `stage` with `llp_ways` cooperating SPEs on `device` — the
+/// executor's orchestration (strip mining, buffer layout, tag discipline,
+/// mailbox/signal round trips, compound chaining, local-store watermarks)
+/// mirrored op-for-op without touching a CellMachine.  Effective addresses
+/// are offsets into a synthetic arena of disjoint 16-aligned regions.
+/// Non-offloaded kernels contribute only their PPE join epoch.  Feed the
+/// result to analysis::verify_program to prove the schedule fits the
+/// device.  Throws rxc::Error on shapes/ways illegal for the device
+/// (llp_ways outside [1, spe_count], zero patterns/categories).
+cell::Program extract_program(const cell::DeviceModel& device, Stage stage,
+                              int llp_ways, const ProgramShape& shape = {},
+                              std::size_t strip_bytes = 2048);
+
+/// The abstract Program for a newview_batch() of `count` independent
+/// tip-tip invocations: payloads round-robined across the device's SPEs
+/// (task i on SPE i % spe_count, lane-major issue order), records in task
+/// order — the batcher's multi-lane path.  Falls back to the serial
+/// per-task sequence exactly when the batcher would (count <= 1,
+/// llp_ways != 1, newview not offloaded, or a single-SPE device).
+cell::Program extract_batch_program(const cell::DeviceModel& device,
+                                    Stage stage, std::size_t count,
+                                    int llp_ways = 1,
+                                    const ProgramShape& shape = {},
+                                    std::size_t strip_bytes = 2048);
 
 }  // namespace rxc::core

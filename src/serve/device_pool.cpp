@@ -13,6 +13,7 @@ Device::Device(int id, lh::ExecutorSpec spec) : id_(id) {
   if (cell_) {
     spec.cell().unique_events = true;
     model_name_ = spec.cell().device.name;
+    cell_opts_ = spec.cell();
   }
   exec_ = lh::make_executor(spec);
 }

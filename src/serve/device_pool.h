@@ -42,6 +42,13 @@ class Device {
   /// empty for host/threaded devices.  Jobs carrying a `device` constraint
   /// are placed only on devices whose model name matches.
   const std::string& model_name() const { return model_name_; }
+  /// The pinned Cell schedule options (device model, stage, llp_ways, strip
+  /// budget) this device was built from; nullptr for host/threaded devices.
+  /// What the server's static admission check extracts the abstract
+  /// schedule program from (ServerConfig::verify_admission).
+  const lh::CellOptions* cell_options() const {
+    return cell_opts_ ? &*cell_opts_ : nullptr;
+  }
   lh::KernelExecutor& executor() { return *exec_; }
 
   /// Called by the server once per checkpoint step leased to this device:
@@ -63,6 +70,7 @@ class Device {
   int id_;
   bool cell_ = false;
   std::string model_name_;
+  std::optional<lh::CellOptions> cell_opts_;
   std::unique_ptr<lh::KernelExecutor> exec_;
 
   std::mutex mu_;  ///< guards the fault plan (armed from other threads)

@@ -66,6 +66,11 @@ struct JobResult {
   std::string id;
   JobState state = JobState::kQueued;
   std::string error;  ///< kFailed/kRejected diagnosis
+  /// When the job was rejected by static admission verification
+  /// (ServerConfig::verify_admission): the serialized
+  /// analysis::StaticReport refuting the schedule on the first candidate
+  /// device, so the client sees the exact violations.  Empty otherwise.
+  std::string static_report;
 
   double best_lnl = 0.0;       ///< kCompleted: best inference (or task 0)
   std::string best_newick;

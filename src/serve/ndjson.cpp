@@ -69,6 +69,8 @@ std::string job_result_to_json(const JobResult& result) {
   w.kv("id", result.id);
   w.kv("state", job_state_name(result.state));
   if (!result.error.empty()) w.kv("error", result.error);
+  if (!result.static_report.empty())
+    w.key("static_report").raw(result.static_report);
   if (result.state == JobState::kCompleted) {
     w.kv("best_lnl", result.best_lnl);
     w.kv("best_newick", result.best_newick);

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "analysis/static_verifier.h"
+#include "core/scheduler.h"
 #include "io/phylip.h"
 #include "obs/obs.h"
 #include "search/analysis.h"
@@ -62,6 +64,13 @@ struct Server::Job {
 
   JobState state = JobState::kQueued;
   std::string error;
+  /// Refuting StaticReport text when admission verification rejected the
+  /// job; empty otherwise.
+  std::string static_report;
+  /// Admissible-device bitmap (indexed by device id), filled by
+  /// Server::admit.  Empty = every device may take the job (verification
+  /// disabled).
+  std::vector<char> device_ok;
   int retries = 0;
   int preemptions = 0;
   int last_device = -1;
@@ -82,6 +91,7 @@ struct Server::Job {
     r.id = spec.id;
     r.state = state;
     r.error = error;
+    r.static_report = static_report;
     r.best_lnl = best_lnl;
     r.best_newick = best_newick;
     r.tasks_total = tasks.size();
@@ -158,6 +168,7 @@ SubmitStatus Server::submit(const JobSpec& spec) {
     job->compile();
     RXC_REQUIRE(spec.device.empty() || pool_.has_model(spec.device),
                 "job spec: no pooled device has model '" + spec.device + "'");
+    if (config_.verify_admission) admit(*job);
   } catch (const Error& e) {
     job->state = JobState::kRejected;
     job->error = e.what();
@@ -197,6 +208,56 @@ SubmitStatus Server::submit(const JobSpec& spec) {
   depth.set(static_cast<double>(queue_.depth()));
   obs::mark("serve.submit", "serve");
   return SubmitStatus::kAccepted;
+}
+
+void Server::admit(Job& job) {
+  static obs::Counter& reroutes = obs::counter("serve.jobs.verify_reroutes");
+  RXC_REQUIRE(job.pa.has_value(), "admit: job must be compiled first");
+  const std::size_t patterns = job.pa->pattern_count();
+  job.device_ok.assign(static_cast<std::size_t>(pool_.size()), 1);
+  std::string refutation;
+  int admissible = 0;
+  for (int i = 0; i < pool_.size(); ++i) {
+    Device& device = pool_.device(i);
+    if (!job.spec.device.empty() &&
+        job.spec.device != device.model_name()) {
+      // Model-name constraint, not a verification verdict: the worker
+      // already skips these; keep the bitmap consistent anyway.
+      job.device_ok[static_cast<std::size_t>(i)] = 0;
+      continue;
+    }
+    const lh::CellOptions* cell = device.cell_options();
+    if (cell == nullptr) {
+      ++admissible;  // host/threaded device: no schedule program to refute
+      continue;
+    }
+    core::ProgramShape shape;
+    shape.patterns = patterns;
+    shape.categories = job.spec.categories;
+    shape.cat_mode = job.spec.rate_mode == "cat";
+    const analysis::StaticReport report = analysis::verify_program(
+        core::extract_program(cell->device,
+                              static_cast<core::Stage>(cell->stage),
+                              cell->llp_ways, shape, cell->strip_bytes),
+        cell->device,
+        "job=" + job.spec.id + " stage=" + std::to_string(cell->stage) +
+            " llp_ways=" + std::to_string(cell->llp_ways) +
+            " patterns=" + std::to_string(shape.patterns));
+    if (report.ok()) {
+      ++admissible;
+      continue;
+    }
+    // Reroute: this device can never run the job safely; others may.
+    job.device_ok[static_cast<std::size_t>(i)] = 0;
+    reroutes.add();
+    if (refutation.empty()) refutation = report.to_string();
+  }
+  if (admissible == 0) {
+    job.static_report = refutation;
+    throw Error(
+        "job spec: schedule failed static verification on every candidate "
+        "device (see static_report)");
+  }
 }
 
 void Server::close() {
@@ -267,10 +328,15 @@ void Server::finalize(Job& job, JobState state, const std::string& error) {
 void Server::worker(Device& device) {
   while (auto popped = queue_.pop()) {
     Job& job = **popped;
-    if (!job.spec.device.empty() && job.spec.device != device.model_name()) {
-      // Device-model constraint this worker cannot satisfy: hand the job
-      // back for a matching device (submission guaranteed one exists) and
-      // pause briefly so a lone mismatched worker doesn't spin hot.
+    const bool vetoed =
+        !job.device_ok.empty() &&
+        !job.device_ok[static_cast<std::size_t>(device.id())];
+    if (vetoed ||
+        (!job.spec.device.empty() && job.spec.device != device.model_name())) {
+      // Device-model constraint or static-verification veto this worker
+      // cannot satisfy: hand the job back for an admissible device
+      // (submission guaranteed one exists) and pause briefly so a lone
+      // mismatched worker doesn't spin hot.
       static obs::Counter& skips = obs::counter("serve.jobs.device_skips");
       skips.add();
       queue_.requeue(job.spec.priority, &job);

@@ -7,7 +7,13 @@
 ///
 ///  * admission — bounded queue, priority-ordered, backpressure on full
 ///    (EDTLP's oversubscription bound: accept enough work to keep every
-///    device busy, refuse the rest loudly);
+///    device busy, refuse the rest loudly).  Before a job queues, its
+///    schedule is verified STATICALLY against every candidate device
+///    (analysis::verify_program over the abstract program
+///    core::extract_program emits for that device's pinned Cell options):
+///    devices the proof fails on are excluded from placement, and a job
+///    with no admissible device is rejected at submit with the refuting
+///    StaticReport attached — unsafe work never reaches a lease;
 ///  * placement — any idle device takes the highest-priority waiting job;
 ///    jobs are not pinned, so after a preemption or fault a job usually
 ///    resumes on a DIFFERENT device (MGPS's dynamic SPE sharing, at job
@@ -61,6 +67,10 @@ struct ServerConfig {
   double retry_backoff_ms = 0.5;
   /// Yield running jobs to strictly-higher-priority waiters.
   bool preempt = true;
+  /// Statically verify each job's schedule against every candidate Cell
+  /// device at submit (see the admission bullet above).  Host/threaded
+  /// devices have no schedule program and always pass.
+  bool verify_admission = true;
   /// When > 0, terminal results are also streamed into result_channel().
   /// Best-effort: if the channel is full the notification is dropped (the
   /// results() map is always authoritative) — a slow consumer must never
@@ -118,6 +128,10 @@ class Server {
  private:
   struct Job;  // compiled job, internal to server.cpp
 
+  /// Static admission verification (config_.verify_admission): fills the
+  /// job's admissible-device set; throws rxc::Error (with the refuting
+  /// report stashed on the job) when no device passes.
+  void admit(Job& job);
   void worker(Device& device);
   void run_lease(Job& job, Device& device);
   void finalize(Job& job, JobState state, const std::string& error = {});

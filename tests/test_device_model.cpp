@@ -26,6 +26,7 @@ TEST(DeviceModel, DefaultsAreThePapersMachine) {
   EXPECT_EQ(dev.dma_max_bytes, 16u * 1024u);
   EXPECT_EQ(dev.dma_list_max_entries, 2048u);
   EXPECT_EQ(dev.mfc_tag_count, 32);
+  EXPECT_EQ(dev.mfc_queue_depth, 16);  // the CBE's 16-entry SPU command queue
   EXPECT_EQ(dev.mailbox_in_depth, 4);
   EXPECT_EQ(dev.mailbox_out_depth, 1);
   EXPECT_NO_THROW(dev.validate());
@@ -108,6 +109,10 @@ INSTANTIATE_TEST_SUITE_P(
         BadConfig{"too_many_spes", "{\"name\": \"x\", \"spe_count\": 65}"},
         BadConfig{"negative_depth",
                   "{\"name\": \"x\", \"mailbox_in_depth\": -1}"},
+        BadConfig{"zero_mfc_queue",
+                  "{\"name\": \"x\", \"mfc_queue_depth\": 0}"},
+        BadConfig{"huge_mfc_queue",
+                  "{\"name\": \"x\", \"mfc_queue_depth\": 4096}"},
         BadConfig{"code_exceeds_store",
                   "{\"name\": \"x\", \"local_store_bytes\": 65536, "
                   "\"offload_code_bytes\": 65536}"},

@@ -120,6 +120,9 @@ std::pair<double, std::string> direct_best(const serve::JobSpec& spec) {
 
 // --- AdmissionQueue ---------------------------------------------------------
 
+// NOLINTBEGIN(bugprone-unchecked-optional-access): pop().value() throwing
+// bad_optional_access on an unexpectedly empty queue IS the failure signal
+// these assertions rely on — gtest reports the throw as the test failure.
 TEST(Admission, PriorityOrderFifoWithinClass) {
   serve::AdmissionQueue<int> q(8);
   EXPECT_TRUE(q.try_submit(0, 1));
@@ -168,6 +171,7 @@ TEST(Admission, CloseEndsStreamButRequeueRevives) {
   EXPECT_EQ(q.pop().value(), 3);
   EXPECT_FALSE(q.pop().has_value());  // closed and drained
 }
+// NOLINTEND(bugprone-unchecked-optional-access)
 
 // --- NDJSON -----------------------------------------------------------------
 

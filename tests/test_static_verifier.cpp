@@ -1,0 +1,657 @@
+// Static schedule verifier suite.  The load-bearing guarantees:
+//
+//  * soundness vs the dynamic detector — every planted-hazard class the
+//    race detector flags at runtime is flagged statically on the SAME
+//    Program (cell::hazard_program is the shared source of truth), with the
+//    verdict kinds mapped 1:1 via dynamic_counterpart;
+//  * zero false positives — the canonical offload pipeline extracted for
+//    every stage x llp_ways x device preset (both rate modes, batched and
+//    serial) proves clean;
+//  * the resource proofs — local-store occupancy, MFC queue depth, tag
+//    range, DMA legality and mailbox progress — refute exactly the
+//    schedules that violate them, with peak witnesses reported;
+//  * extraction fidelity — the abstract program core::extract_program emits
+//    matches the live SPE executor's machine-event stream op-for-op;
+//  * the report is a faithful value — to_string/from_string round-trips
+//    bitwise, malformed input is ConfigError;
+//  * serving admission — an unverifiable job is rejected at submit with the
+//    refuting StaticReport attached, while verified jobs on the same pool
+//    complete bitwise-identically to pre-verifier behavior.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/race_detector.h"
+#include "analysis/static_verifier.h"
+#include "cell/device_model.h"
+#include "cell/events.h"
+#include "cell/fault.h"
+#include "cell/program.h"
+#include "cell/spu.h"
+#include "core/scheduler.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "likelihood/executor.h"
+#include "serve/server.h"
+#include "support/aligned.h"
+#include "support/error.h"
+#include "workload.h"
+
+using namespace rxc;
+using analysis::StaticReport;
+using analysis::ViolationKind;
+using cell::DeviceModel;
+using cell::OpKind;
+using cell::Program;
+using core::ProgramShape;
+using core::Stage;
+
+namespace {
+
+// --- cross-validation against the dynamic detector --------------------------
+
+analysis::HazardKind dynamic_kind(cell::RaceHazard hazard) {
+  switch (hazard) {
+    case cell::RaceHazard::kSkippedTagWait:
+      return analysis::HazardKind::kReadBeforeWait;
+    case cell::RaceHazard::kPrematureBufferReuse:
+      return analysis::HazardKind::kBufferHazard;
+    case cell::RaceHazard::kOverlappingEaPut:
+      return analysis::HazardKind::kEaPutOverlap;
+    case cell::RaceHazard::kBrokenSignalOrder:
+      return analysis::HazardKind::kSignalOrder;
+    case cell::RaceHazard::kStalePartialRead:
+      return analysis::HazardKind::kStalePartial;
+  }
+  return analysis::HazardKind::kReadBeforeWait;
+}
+
+TEST(StaticVerifier, FlagsEveryPlantedHazardClass) {
+  // 100% of the dynamic detector's planted classes, statically, on the
+  // exact Program plant_hazard interprets — no false negatives by
+  // construction, and exactly one finding each (precision, not just recall).
+  const DeviceModel dev;
+  for (const cell::RaceHazard hazard : cell::kAllRaceHazards) {
+    const StaticReport report =
+        analysis::verify_program(cell::hazard_program(hazard, dev), dev,
+                                 cell::race_hazard_name(hazard));
+    ASSERT_EQ(report.total, 1u)
+        << cell::race_hazard_name(hazard) << "\n" << report.summary();
+    const auto counterpart =
+        analysis::dynamic_counterpart(report.findings[0].kind);
+    ASSERT_TRUE(counterpart.has_value())
+        << report.findings[0].to_string();
+    EXPECT_EQ(*counterpart, dynamic_kind(hazard))
+        << report.findings[0].to_string();
+  }
+}
+
+TEST(StaticVerifier, AgreesWithTheDynamicDetectorOnEveryPlant) {
+  // The teeth: run BOTH analyses over each planted class and require the
+  // same verdict kind.  Static consumes hazard_program directly; dynamic
+  // watches plant_hazard interpret that same program on a live machine.
+  for (const cell::RaceHazard hazard : cell::kAllRaceHazards) {
+    analysis::RaceDetector detector(/*fatal=*/false);
+    cell::set_event_sink(&detector);
+    cell::CellMachine machine;
+    cell::plant_hazard(machine, hazard);
+    cell::set_event_sink(nullptr);
+    const analysis::AnalysisReport dynamic = detector.report();
+    ASSERT_EQ(dynamic.total, 1u) << cell::race_hazard_name(hazard);
+
+    const StaticReport statically = analysis::verify_program(
+        cell::hazard_program(hazard, machine.device()), machine.device());
+    ASSERT_EQ(statically.total, 1u) << cell::race_hazard_name(hazard);
+    const auto counterpart =
+        analysis::dynamic_counterpart(statically.findings[0].kind);
+    ASSERT_TRUE(counterpart.has_value());
+    EXPECT_EQ(*counterpart, dynamic.findings[0].kind)
+        << "static: " << statically.findings[0].to_string()
+        << "\ndynamic: " << dynamic.findings[0].to_string();
+  }
+}
+
+// --- zero false positives over clean schedules ------------------------------
+
+TEST(StaticVerifier, CleanSchedulesProveSafeOnEveryPresetStageAndWays) {
+  for (const DeviceModel& dev : cell::device_presets()) {
+    for (int s = 0; s <= static_cast<int>(Stage::kOffloadAll); ++s) {
+      for (const int ways : {1, 2, dev.spe_count}) {
+        for (const bool cat : {false, true}) {
+          ProgramShape shape;
+          shape.cat_mode = cat;
+          shape.site_lnl = cat;  // exercise the site-lnl stream on one mode
+          const StaticReport report = analysis::verify_program(
+              core::extract_program(dev, static_cast<Stage>(s), ways, shape),
+              dev);
+          EXPECT_TRUE(report.ok())
+              << dev.name << " stage=" << s << " ways=" << ways
+              << " cat=" << cat << "\n" << report.summary();
+          if (s >= 1) {  // any offload at all => DMA traffic was modeled
+            EXPECT_GT(report.stats.dma_ops, 0u);
+            EXPECT_GT(report.stats.peak_ls_bytes, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StaticVerifier, AwkwardShapesStayClean) {
+  // Pattern counts off the strip granularity, single patterns, deep CAT
+  // tables, many Newton iterations — the shapes that stress the strip/way
+  // arithmetic mirrored from the executor.
+  const DeviceModel dev;
+  for (const std::size_t np : {std::size_t{1}, std::size_t{17},
+                               std::size_t{1000}, std::size_t{4096}}) {
+    for (const int ncat : {1, 4, 25}) {
+      ProgramShape shape;
+      shape.patterns = np;
+      shape.categories = ncat;
+      shape.site_lnl = true;
+      shape.newton_iters = 5;
+      const StaticReport report = analysis::verify_program(
+          core::extract_program(dev, Stage::kOffloadAll, 4, shape), dev);
+      EXPECT_TRUE(report.ok()) << "np=" << np << " ncat=" << ncat << "\n"
+                               << report.summary();
+    }
+  }
+}
+
+TEST(StaticVerifier, BatchProgramsProveSafe) {
+  // Multi-lane batch (one task per SPE round-robin) and every serial
+  // fallback trigger: the batcher must never introduce a hazard.
+  for (const DeviceModel& dev : cell::device_presets()) {
+    const StaticReport multi = analysis::verify_program(
+        core::extract_batch_program(dev, Stage::kOffloadAll, 37), dev);
+    EXPECT_TRUE(multi.ok()) << dev.name << "\n" << multi.summary();
+    EXPECT_GT(multi.stats.dma_ops, 0u);
+  }
+  const DeviceModel dev;
+  for (const auto& [count, ways] :
+       std::vector<std::pair<std::size_t, int>>{{1, 1}, {5, 2}}) {
+    const StaticReport serial = analysis::verify_program(
+        core::extract_batch_program(dev, Stage::kOffloadAll, count, ways),
+        dev);
+    EXPECT_TRUE(serial.ok())
+        << "count=" << count << " ways=" << ways << "\n" << serial.summary();
+  }
+}
+
+TEST(StaticVerifier, RejectsIllegalShapes) {
+  const DeviceModel dev;
+  EXPECT_THROW(core::extract_program(dev, Stage::kOffloadAll, 0), Error);
+  EXPECT_THROW(
+      core::extract_program(dev, Stage::kOffloadAll, dev.spe_count + 1),
+      Error);
+  ProgramShape shape;
+  shape.patterns = 0;
+  EXPECT_THROW(core::extract_program(dev, Stage::kOffloadAll, 1, shape),
+               Error);
+}
+
+// --- resource proofs --------------------------------------------------------
+
+TEST(StaticVerifier, LocalStoreOverflowIsRefutedWithPeakWitness) {
+  // Shrink the local store below the double-buffered working set: the
+  // worst-case occupancy proof must fail and name the op achieving the
+  // peak, exactly what LocalStore::alloc would trap at runtime.
+  DeviceModel dev;
+  dev.name = "cell-tiny-ls";
+  dev.local_store_bytes = 128 * 1024;  // code image 117 KB leaves ~11 KB
+  const StaticReport report = analysis::verify_program(
+      core::extract_program(dev, Stage::kOffloadAll, 1), dev);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.findings[0].kind, ViolationKind::kLocalStoreOverflow);
+  EXPECT_FALSE(analysis::dynamic_counterpart(report.findings[0].kind));
+  EXPECT_GT(report.stats.peak_ls_bytes, dev.local_store_bytes);
+  EXPECT_GE(report.stats.peak_ls_op, 0);  // the witness op is pinned
+  EXPECT_NE(report.findings[0].detail.find("exceeds capacity"),
+            std::string::npos)
+      << report.findings[0].detail;
+}
+
+TEST(StaticVerifier, TagQueueDepthIsBoundedAgainstTheModel) {
+  // Double-buffered GAMMA partial-partial strips keep 12 DMA commands in
+  // flight; a 16-deep MFC queue (the CBE's) proves safe, an 8-deep one is
+  // refuted — a stall class the timing simulation does not even model.
+  DeviceModel dev;
+  dev.name = "cell-shallow-queue";
+  dev.mfc_queue_depth = 8;
+  const StaticReport deep = analysis::verify_program(
+      core::extract_program(dev, Stage::kOffloadAll, 1), dev);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.findings[0].kind, ViolationKind::kTagQueueOverflow);
+  EXPECT_GT(deep.stats.peak_tag_depth, 8u);
+
+  // Single-buffered stages never exceed one strip's worth of commands.
+  const StaticReport shallow = analysis::verify_program(
+      core::extract_program(dev, Stage::kIntCond, 1), dev);
+  EXPECT_TRUE(shallow.ok()) << shallow.summary();
+}
+
+TEST(StaticVerifier, IllegalDmaAndBadTagsAreRefuted) {
+  const DeviceModel dev;
+  Program prog;
+  prog.dma_get(0, 40, 0, 0x1d400, 64);  // tag outside [0, 32)
+  prog.dma_get(0, 0, 0, 0x1d400, 24);   // size neither small nor 16-aligned
+  prog.dma_get(0, 1, 8, 0x1d400, 64);   // block transfer, EA % 16 != 0
+  prog.dma_get(0, 2, 0, 0x1d400, 0);    // zero-size transfer
+  prog.epoch();
+  const StaticReport report = analysis::verify_program(prog, dev);
+  ASSERT_EQ(report.total, 4u) << report.summary();
+  EXPECT_EQ(report.findings[0].kind, ViolationKind::kBadTag);
+  EXPECT_EQ(report.findings[1].kind, ViolationKind::kIllegalDma);
+  EXPECT_EQ(report.findings[2].kind, ViolationKind::kIllegalDma);
+  EXPECT_EQ(report.findings[3].kind, ViolationKind::kIllegalDma);
+}
+
+TEST(StaticVerifier, MailboxWaitForCyclesAreDeadlocks) {
+  const DeviceModel dev;
+  {
+    // SPE reads its inbound mailbox but no PPE write ever arrives.
+    Program prog;
+    prog.mailbox_read(0, /*inbound=*/true);
+    const StaticReport report = analysis::verify_program(prog, dev);
+    ASSERT_EQ(report.total, 1u) << report.summary();
+    EXPECT_EQ(report.findings[0].kind, ViolationKind::kMailboxDeadlock);
+    EXPECT_NE(report.findings[0].detail.find("empty"), std::string::npos);
+  }
+  {
+    // PPE writes a fifth command into the 4-deep inbound FIFO that no SPE
+    // ever drains.
+    Program prog;
+    for (int i = 0; i < 5; ++i) prog.mailbox_write(0, /*inbound=*/true, 7);
+    const StaticReport report = analysis::verify_program(prog, dev);
+    ASSERT_EQ(report.total, 1u) << report.summary();
+    EXPECT_EQ(report.findings[0].kind, ViolationKind::kMailboxDeadlock);
+    EXPECT_NE(report.findings[0].detail.find("full"), std::string::npos);
+  }
+  {
+    // The executor's actual handshake drains in any interleaving: clean.
+    Program prog;
+    prog.mailbox_write(0, true, 0);
+    prog.mailbox_read(0, true);
+    prog.mailbox_write(0, false, 1);
+    prog.mailbox_read(0, false);
+    EXPECT_TRUE(analysis::verify_program(prog, dev).ok());
+  }
+}
+
+// --- extraction fidelity vs the live executor -------------------------------
+
+/// Records every machine event as an AbstractOp, in global issue order.
+/// With host_threads=1 the executor runs ways sequentially, so the stream
+/// is deterministic and directly comparable to the extracted program.
+class RecordingSink : public cell::EventSink {
+ public:
+  std::vector<cell::AbstractOp> ops;
+
+  void on_dma_get(int spe, int tag, std::uintptr_t ea, cell::LsAddr ls,
+                  std::size_t size, cell::VCycles, cell::VCycles) override {
+    push(OpKind::kDmaGet, spe, tag, ea, ls, size);
+  }
+  void on_dma_put(int spe, int tag, cell::LsAddr ls, std::uintptr_t ea,
+                  std::size_t size, cell::VCycles, cell::VCycles) override {
+    push(OpKind::kDmaPut, spe, tag, ea, ls, size);
+  }
+  void on_tag_wait(int spe, int tag, cell::VCycles) override {
+    push(OpKind::kTagWait, spe, tag, 0, 0, 0);
+  }
+  void on_ls_read(int spe, cell::LsAddr ls, std::size_t size, cell::VCycles,
+                  cell::VCycles) override {
+    push(OpKind::kLsRead, spe, -1, 0, ls, size);
+  }
+  void on_ls_write(int spe, cell::LsAddr ls, std::size_t size, cell::VCycles,
+                   cell::VCycles) override {
+    push(OpKind::kLsWrite, spe, -1, 0, ls, size);
+  }
+  void on_mailbox(int spe, bool inbound, bool write,
+                  std::uint32_t value) override {
+    cell::AbstractOp op;
+    op.kind = write ? OpKind::kMailboxWrite : OpKind::kMailboxRead;
+    op.spe = spe;
+    op.inbound = inbound;
+    op.value = value;
+    ops.push_back(op);
+  }
+  void on_signal(int spe, cell::SignalOp signal) override {
+    cell::AbstractOp op;
+    op.kind = OpKind::kSignal;
+    op.spe = spe;
+    op.signal = signal;
+    ops.push_back(op);
+  }
+  void on_epoch() override {
+    cell::AbstractOp op;
+    op.kind = OpKind::kEpoch;
+    op.spe = -1;
+    ops.push_back(op);
+  }
+
+ private:
+  void push(OpKind kind, int spe, int tag, std::uint64_t ea, std::uint64_t ls,
+            std::uint64_t size) {
+    cell::AbstractOp op;
+    op.kind = kind;
+    op.spe = spe;
+    op.tag = tag;
+    op.ea = ea;
+    op.ls = ls;
+    op.size = size;
+    ops.push_back(op);
+  }
+};
+
+/// Field-wise comparison per kind: everything except effective addresses
+/// (the extractor uses a synthetic arena) and mailbox-read values (the
+/// machine reports what was read, the IR does not model data).
+bool ops_equal(const cell::AbstractOp& a, const cell::AbstractOp& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case OpKind::kDmaGet:
+    case OpKind::kDmaPut:
+      return a.spe == b.spe && a.tag == b.tag && a.ls == b.ls &&
+             a.size == b.size;
+    case OpKind::kTagWait:
+      return a.spe == b.spe && a.tag == b.tag;
+    case OpKind::kLsRead:
+    case OpKind::kLsWrite:
+      return a.spe == b.spe && a.ls == b.ls && a.size == b.size;
+    case OpKind::kMailboxWrite:
+      return a.spe == b.spe && a.inbound == b.inbound && a.value == b.value;
+    case OpKind::kMailboxRead:
+      return a.spe == b.spe && a.inbound == b.inbound;
+    case OpKind::kSignal:
+      return a.spe == b.spe && a.signal == b.signal;
+    case OpKind::kEpoch:
+      return true;
+    case OpKind::kLsReserve:
+      return false;  // never appears in a machine stream
+  }
+  return false;
+}
+
+TEST(StaticVerifier, ExtractedProgramMatchesTheExecutorEventStream) {
+  // The mirror pin: run the canonical pipeline (tip-tip, tip-partial,
+  // partial-partial newviews; evaluate; makenewz compound) on the live SPE
+  // executor and require the recorded machine events to equal the
+  // extracted program op-for-op.  Any drift between schedule_ir.cpp and
+  // spe_executor.cpp fails here with the first diverging op.
+  using conformance::Workload;
+  using conformance::WorkloadSpec;
+
+  for (const Stage stage : {Stage::kOffloadNewview, Stage::kDoubleBuffer,
+                            Stage::kDirectComm, Stage::kOffloadAll}) {
+    for (const int ways : {1, 3}) {
+      for (const bool cat : {false, true}) {
+        WorkloadSpec spec;
+        spec.seed = 0xd1ce;
+        spec.mode = cat ? lh::RateMode::kCat : lh::RateMode::kGamma;
+        spec.ncat = cat ? 5 : 4;
+        spec.np = 230;  // several strips per way, final strip ragged
+        spec.tip1 = spec.tip2 = true;
+        const Workload wl(spec);
+        const std::size_t padded = wl.padded_np();
+        const std::size_t stride = wl.stride();
+
+        aligned_vector<double> pa_v(padded * stride), pb_v(padded * stride),
+            pc_v(padded * stride), site(padded), sumtab(padded * stride);
+        aligned_vector<std::int32_t> pa_s(padded), pb_s(padded), pc_s(padded);
+
+        lh::ExecutorSpec espec = core::cell_executor_spec(stage, ways);
+        espec.cell().host_threads = 1;  // sequential ways: global op order
+        const auto exec = lh::make_executor(espec);
+
+        RecordingSink rec;
+        cell::set_event_sink(&rec);
+        lh::NewviewTask nv1 = wl.newview_task(pa_v.data(), pa_s.data());
+        exec->newview(nv1);
+        lh::NewviewTask nv2 = nv1;  // tip-partial: tip stays child 1
+        nv2.partial2 = {pa_v.data(), pa_s.data()};
+        nv2.tip2 = {};
+        nv2.out = pb_v.data();
+        nv2.scale_out = pb_s.data();
+        exec->newview(nv2);
+        lh::NewviewTask nv3 = nv2;  // partial-partial
+        nv3.partial1 = {pa_v.data(), pa_s.data()};
+        nv3.tip1 = {};
+        nv3.partial2 = {pb_v.data(), pb_s.data()};
+        nv3.out = pc_v.data();
+        nv3.scale_out = pc_s.data();
+        exec->newview(nv3);
+        lh::EvaluateTask ev = wl.evaluate_task(site.data());
+        ev.tip1 = {};
+        ev.partial1 = {pa_v.data(), pa_s.data()};
+        ev.partial2 = {pc_v.data(), pc_s.data()};
+        (void)exec->evaluate(ev);
+        exec->begin_compound();
+        lh::SumtableTask st = wl.sumtable_task(sumtab.data());
+        st.tip1 = {};
+        st.partial1 = {pb_v.data(), nullptr};
+        st.partial2 = {pc_v.data(), nullptr};
+        exec->sumtable(st);
+        (void)exec->nr_derivatives(wl.nr_task(sumtab.data(), wl.spec().t));
+        (void)exec->nr_derivatives(wl.nr_task(sumtab.data(), wl.spec().t));
+        exec->end_compound();
+        cell::set_event_sink(nullptr);
+
+        ProgramShape shape;
+        shape.patterns = spec.np;
+        shape.categories = spec.ncat;
+        shape.cat_mode = cat;
+        shape.site_lnl = true;
+        shape.newton_iters = 2;
+        const Program prog = core::extract_program(
+            espec.cell().device, stage, ways, shape);
+
+        std::vector<cell::AbstractOp> expected;
+        for (const cell::AbstractOp& op : prog.ops)
+          if (op.kind != OpKind::kLsReserve) expected.push_back(op);
+
+        const std::string label = "stage=" +
+                                  std::to_string(static_cast<int>(stage)) +
+                                  " ways=" + std::to_string(ways) +
+                                  " cat=" + std::to_string(cat);
+        ASSERT_EQ(rec.ops.size(), expected.size()) << label;
+        for (std::size_t i = 0; i < expected.size(); ++i)
+          ASSERT_TRUE(ops_equal(rec.ops[i], expected[i]))
+              << label << " op#" << i << "\n  machine:   "
+              << rec.ops[i].to_string() << "\n  extracted: "
+              << expected[i].to_string();
+      }
+    }
+  }
+}
+
+// --- report round trip & malformed input ------------------------------------
+
+TEST(StaticReportTest, RoundTripsBitwise) {
+  DeviceModel shallow;
+  shallow.name = "cell-shallow-queue";
+  shallow.mfc_queue_depth = 8;
+  const DeviceModel clean_dev;
+  for (const StaticReport& report :
+       {analysis::verify_program(
+            core::extract_program(shallow, Stage::kOffloadAll, 2), shallow,
+            "stage=7 llp_ways=2"),
+        analysis::verify_program(
+            core::extract_program(clean_dev, Stage::kOffloadAll, 1),
+            clean_dev, "stage=7 llp_ways=1")}) {
+    const StaticReport back = StaticReport::from_string(report.to_string());
+    EXPECT_TRUE(back == report) << report.to_string();
+    EXPECT_EQ(back.to_string(), report.to_string());
+  }
+}
+
+TEST(StaticReportTest, SummaryNamesEveryFindingAndOkIsEmpty) {
+  DeviceModel dev;
+  dev.mfc_queue_depth = 8;
+  const StaticReport bad = analysis::verify_program(
+      core::extract_program(dev, Stage::kOffloadAll, 1), dev);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.summary().find("tag-queue-overflow"), std::string::npos)
+      << bad.summary();
+  const StaticReport good = analysis::verify_program(
+      core::extract_program(DeviceModel{}, Stage::kOffloadAll, 1),
+      DeviceModel{});
+  EXPECT_TRUE(good.ok());
+  EXPECT_TRUE(good.summary().empty());
+}
+
+TEST(StaticReportTest, KindNamesRoundTripAndRejectUnknowns) {
+  for (const ViolationKind kind :
+       {ViolationKind::kReadBeforeWait, ViolationKind::kBufferHazard,
+        ViolationKind::kEaPutOverlap, ViolationKind::kSignalOrder,
+        ViolationKind::kStalePartial, ViolationKind::kLocalStoreOverflow,
+        ViolationKind::kTagQueueOverflow, ViolationKind::kBadTag,
+        ViolationKind::kIllegalDma, ViolationKind::kMailboxDeadlock}) {
+    EXPECT_EQ(analysis::violation_kind_from_name(
+                  analysis::violation_kind_name(kind)),
+              kind);
+  }
+  EXPECT_THROW(analysis::violation_kind_from_name("warp-hazard"),
+               ConfigError);
+}
+
+struct BadReport {
+  const char* label;
+  const char* text;
+};
+
+class StaticReportRejects : public ::testing::TestWithParam<BadReport> {};
+
+TEST_P(StaticReportRejects, WithConfigError) {
+  EXPECT_THROW(StaticReport::from_string(GetParam().text), ConfigError)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedTable, StaticReportRejects,
+    ::testing::Values(
+        BadReport{"not_json", "device: x"},
+        BadReport{"truncated", "{\"device\": \"x\", \"total\": "},
+        BadReport{"not_an_object", "[1, 2]"},
+        BadReport{"unknown_key", "{\"device\": \"x\", \"verdicts\": 1}"},
+        BadReport{"duplicate_key", "{\"device\": \"x\", \"device\": \"y\"}"},
+        BadReport{"total_wrong_type", "{\"total\": \"none\"}"},
+        BadReport{"total_negative", "{\"total\": -1}"},
+        BadReport{"total_fractional", "{\"total\": 1.5}"},
+        BadReport{"total_below_findings",
+                  "{\"total\": 0, \"findings\": [{\"kind\": \"bad-tag\"}]}"},
+        BadReport{"findings_not_array", "{\"findings\": 3}"},
+        BadReport{"finding_not_object", "{\"findings\": [7]}"},
+        BadReport{"finding_missing_kind", "{\"findings\": [{\"spe\": 0}]}"},
+        BadReport{"finding_unknown_kind",
+                  "{\"findings\": [{\"kind\": \"warp-hazard\"}]}"},
+        BadReport{"finding_unknown_key",
+                  "{\"findings\": [{\"kind\": \"bad-tag\", \"wat\": 1}]}"},
+        BadReport{"finding_spe_wrong_type",
+                  "{\"findings\": [{\"kind\": \"bad-tag\", \"spe\": \"z\"}]}"},
+        BadReport{"finding_spe_below_minus_one",
+                  "{\"findings\": [{\"kind\": \"bad-tag\", \"spe\": -2}]}"},
+        BadReport{"stats_not_object", "{\"stats\": []}"},
+        BadReport{"stats_unknown_key", "{\"stats\": {\"peak\": 1}}"},
+        BadReport{"stats_negative_ops", "{\"stats\": {\"ops\": -3}}"}),
+    [](const auto& inf) { return std::string(inf.param.label); });
+
+// --- serving admission ------------------------------------------------------
+
+serve::JobSpec admission_spec(const std::string& id) {
+  serve::JobSpec spec;
+  spec.id = id;
+  spec.workload.sim_taxa = 6;
+  spec.workload.sim_sites = 60;
+  spec.workload.sim_seed = 11;
+  spec.model = "jc";
+  spec.rate_mode = "cat";
+  spec.categories = 2;
+  spec.inferences = 1;
+  spec.seed = 1;
+  spec.max_rounds = 1;
+  return spec;
+}
+
+/// A device model no schedule can verify against: a 1-deep MFC queue makes
+/// any multi-get strip overflow statically, while the functional simulator
+/// (which does not model queue stalls) would still run it happily — the
+/// sharpest possible admission test.
+DeviceModel unverifiable_model() {
+  DeviceModel dev;
+  dev.name = "cell-one-slot-queue";
+  dev.mfc_queue_depth = 1;
+  return dev;
+}
+
+TEST(ServeAdmission, UnverifiableJobIsRejectedWithTheReportAttached) {
+  std::vector<lh::ExecutorSpec> specs;
+  specs.push_back(core::cell_executor_spec(Stage::kOffloadAll));
+  lh::ExecutorSpec bad = core::cell_executor_spec(Stage::kOffloadAll);
+  bad.cell().device = unverifiable_model();
+  specs.push_back(std::move(bad));
+  serve::Server server(specs);
+
+  // Pinned to the unverifiable device: no admissible placement exists.
+  serve::JobSpec doomed = admission_spec("doomed");
+  doomed.device = "cell-one-slot-queue";
+  EXPECT_EQ(server.submit(doomed), serve::SubmitStatus::kRejected);
+
+  // Unconstrained on the same pool: rerouted around the refuted device.
+  const serve::JobSpec fine = admission_spec("fine");
+  ASSERT_EQ(server.submit(fine), serve::SubmitStatus::kAccepted);
+  server.join();
+
+  const auto doomed_r = server.result("doomed");
+  ASSERT_TRUE(doomed_r.has_value());
+  EXPECT_EQ(doomed_r->state, serve::JobState::kRejected);
+  EXPECT_NE(doomed_r->error.find("static verification"), std::string::npos)
+      << doomed_r->error;
+  ASSERT_FALSE(doomed_r->static_report.empty());
+  const StaticReport attached =
+      StaticReport::from_string(doomed_r->static_report);
+  ASSERT_GT(attached.total, 0u);
+  EXPECT_EQ(attached.findings[0].kind, ViolationKind::kTagQueueOverflow);
+  EXPECT_EQ(attached.device, "cell-one-slot-queue");
+
+  const auto fine_r = server.result("fine");
+  ASSERT_TRUE(fine_r.has_value());
+  ASSERT_EQ(fine_r->state, serve::JobState::kCompleted);
+  EXPECT_EQ(server.devices().device(fine_r->last_device).model_name(),
+            "cell-2007");
+  EXPECT_TRUE(fine_r->static_report.empty());
+}
+
+TEST(ServeAdmission, VerifiedJobsCompleteIdenticallyToPreVerifierBehavior) {
+  // The verifier must be pure admission control: a job that passes has to
+  // produce bitwise the result it produced before the hook existed (here:
+  // the same server with verification disabled).
+  const serve::JobSpec spec = admission_spec("job");
+  serve::JobResult with, without;
+  {
+    serve::Server server(
+        {core::cell_executor_spec(Stage::kOffloadAll)});  // verify on
+    ASSERT_EQ(server.submit(spec), serve::SubmitStatus::kAccepted);
+    server.join();
+    with = *server.result("job");
+  }
+  {
+    serve::ServerConfig config;
+    config.verify_admission = false;
+    serve::Server server({core::cell_executor_spec(Stage::kOffloadAll)},
+                         config);
+    ASSERT_EQ(server.submit(spec), serve::SubmitStatus::kAccepted);
+    server.join();
+    without = *server.result("job");
+  }
+  ASSERT_EQ(with.state, serve::JobState::kCompleted);
+  ASSERT_EQ(without.state, serve::JobState::kCompleted);
+  EXPECT_EQ(with.best_lnl, without.best_lnl);  // bitwise
+  EXPECT_EQ(with.best_newick, without.best_newick);
+  EXPECT_EQ(with.tasks_completed, without.tasks_completed);
+}
+
+}  // namespace

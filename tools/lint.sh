@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # Static-analysis driver: clang-tidy over the whole compilation database.
 #
-#   tools/lint.sh [build-dir] [-- extra clang-tidy args...]
+#   tools/lint.sh [--require] [build-dir] [-- extra clang-tidy args...]
 #
 # Builds (or reuses) a compile_commands.json, then runs clang-tidy with the
 # repo-root .clang-tidy profile over every first-party translation unit.
 # Exits non-zero on any diagnostic from the WarningsAsErrors set, so CI can
-# gate on it.  Degrades gracefully: missing clang-tidy is a skip (exit 0
-# with a notice), not a failure, because the sanitizer matrix provides the
-# dynamic half of the net on toolchains without clang.
+# gate on it.  Degrades gracefully by default: missing clang-tidy is a skip
+# (exit 0 with a notice), not a failure, because the sanitizer matrix
+# provides the dynamic half of the net on toolchains without clang.  With
+# --require a missing clang-tidy is a hard failure instead — CI passes it so
+# a runner-image change can never silently turn the lint gate into a no-op.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+require=0
+if [[ "${1:-}" == "--require" ]]; then
+  require=1
+  shift
+fi
 build_dir="${1:-$repo_root/build-lint}"
 shift || true
 extra_args=()
@@ -22,6 +29,10 @@ fi
 
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  if [[ "$require" -eq 1 ]]; then
+    echo "lint.sh: $tidy_bin not found and --require was given" >&2
+    exit 1
+  fi
   echo "lint.sh: $tidy_bin not found; skipping static analysis" >&2
   echo "lint.sh: install clang-tidy (or set CLANG_TIDY) to enable" >&2
   exit 0
@@ -34,8 +45,10 @@ if [[ ! -f "$build_dir/compile_commands.json" ]]; then
 fi
 
 # First-party TUs only: generated/third-party code is not ours to lint.
+# (The benchmark directory is `bench/`, not `benches/` — the old glob
+# silently linted nothing there; tools/ holds first-party CLIs too.)
 mapfile -t sources < <(cd "$repo_root" && \
-  find src tests examples benches -name '*.cpp' 2>/dev/null | sort)
+  find src tests examples bench tools -name '*.cpp' 2>/dev/null | sort)
 if [[ ${#sources[@]} -eq 0 ]]; then
   echo "lint.sh: no sources found" >&2
   exit 1
@@ -43,9 +56,12 @@ fi
 
 echo "lint.sh: ${#sources[@]} translation units, profile $repo_root/.clang-tidy"
 status=0
-if command -v run-clang-tidy >/dev/null 2>&1; then
-  # The parallel driver when available (ships with clang-tools).
-  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+# Prefer the parallel driver matching the pinned binary's version suffix
+# (clang-tools installs run-clang-tidy-NN next to clang-tidy-NN).
+run_tidy="run-clang-tidy${tidy_bin##*clang-tidy}"
+command -v "$run_tidy" >/dev/null 2>&1 || run_tidy=run-clang-tidy
+if command -v "$run_tidy" >/dev/null 2>&1; then
+  "$run_tidy" -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
     "${extra_args[@]}" "${sources[@]/#/$repo_root/}" || status=$?
 else
   for src in "${sources[@]}"; do

@@ -1,8 +1,9 @@
 /// rxc-sweep — one workload, many virtual machines.  Runs a single
 /// phylogenetic workload on the simulated Cell under every listed device
 /// model IN ONE PROCESS and emits a JSON table comparing them: virtual
-/// cycles, DMA stalls, SPE occupancy, and the functional log-likelihood per
-/// config.  Because the device description is data (cell::DeviceModel), a
+/// cycles, DMA stalls, SPE occupancy, the functional log-likelihood, and a
+/// `verified` column carrying the static admission verdict (rxc-verify's
+/// analysis::verify_program over the extracted schedule program) per config.  Because the device description is data (cell::DeviceModel), a
 /// what-if architecture sweep — more SPEs, bigger local stores, a faster
 /// EIB — is a list of configs, not a recompile.
 ///
@@ -35,8 +36,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_verifier.h"
 #include "cell/device_model.h"
 #include "core/port.h"
+#include "core/scheduler.h"
 #include "seq/seqgen.h"
 #include "support/error.h"
 #include "support/json.h"
@@ -111,6 +114,19 @@ int main(int argc, char** argv) {
       cfg.device = model;
       if (cfg.scheduler == core::SchedulerModel::kLlp)
         cfg.llp_ways = model.spe_count;
+
+      // Static admission verdict for the same schedule × device pair: the
+      // abstract program the executor would run, proven against the model
+      // (see rxc-verify for the standalone tool).
+      core::ProgramShape shape;
+      shape.patterns = pa.pattern_count();
+      shape.categories = base.engine.categories;
+      shape.cat_mode = mode != "gamma";
+      const analysis::StaticReport verdict = analysis::verify_program(
+          core::extract_program(model, cfg.stage, cfg.llp_ways, shape), model,
+          "sweep stage=" + std::to_string(static_cast<int>(cfg.stage)) +
+              " llp_ways=" + std::to_string(cfg.llp_ways));
+
       const core::CellRunResult run = core::run_on_cell(pa, cfg, tasks);
 
       if (first_lnls.empty()) {
@@ -136,11 +152,15 @@ int main(int argc, char** argv) {
       w.kv("spe_occupancy", occupancy);
       w.kv("signaled_offloads", run.schedule.signaled_offloads);
       w.kv("log_likelihood", run.task_log_likelihoods.at(0));
+      w.kv("verified", verdict.ok());
+      w.kv("static_violations", verdict.total);
       w.end_object();
       std::fprintf(stderr, "rxc-sweep: %-18s %2d SPEs  %12.0f cycles  "
-                   "occupancy %.3f\n",
+                   "occupancy %.3f  %s\n",
                    model.name.c_str(), model.spe_count,
-                   static_cast<double>(run.schedule.makespan), occupancy);
+                   static_cast<double>(run.schedule.makespan), occupancy,
+                   verdict.ok() ? "verified" : "UNVERIFIED");
+      if (!verdict.ok()) std::fputs(verdict.summary().c_str(), stderr);
     }
     w.end_array();
     w.kv("lnl_identical", lnl_identical);

@@ -1,0 +1,141 @@
+/// rxc-verify — static admission check for a schedule × device pair.
+/// Extracts the abstract Program the SPE executor would run for the given
+/// schedule configuration (core::extract_program), verifies it against each
+/// listed device model (analysis::verify_program), and emits the
+/// StaticReport verdicts as JSON — no simulation, no workload, just the
+/// proof.  The exit status encodes the verdict so CI can gate on it.
+///
+///   rxc-verify                                   # stage 7 on every preset
+///   rxc-verify --device-config my-machine.json --stage 4 --llp-ways 2
+///   rxc-verify --stage all --out report.json     # sweep all eight stages
+///
+/// Options:
+///   --device NAME        preset or registered model (repeatable)
+///   --device-config FILE JSON device description; repeatable
+///                        (default when neither is given: every preset)
+///   --stage N|all        core::Stage ordinal 0..7, or every stage
+///                        (default 7)
+///   --llp-ways N|max     cooperating SPEs per offloaded loop; "max" uses
+///                        each device's full SPE count  (default 1)
+///   --patterns N         alignment patterns            (default 256)
+///   --categories N       rate categories               (default 4)
+///   --mode cat|gamma     rate heterogeneity model      (default gamma)
+///   --site-lnl           evaluate streams per-site lnl back
+///   --newton N           Newton iterations in the compound (default 2)
+///   --strip-bytes N      strip buffer budget           (default 2048)
+///   --batch N            verify a newview_batch program of N tasks
+///                        instead of the canonical pipeline
+///   --out FILE           JSON report                   (default stdout)
+///
+/// Exit status: 0 when every (stage, device) pair verifies clean, 1 when
+/// any report carries violations, 2 on usage or configuration errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/static_verifier.h"
+#include "cell/device_model.h"
+#include "core/scheduler.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace rxc;
+  try {
+    const Options opt(argc, argv);
+    opt.check_known({"device", "device-config", "stage", "llp-ways",
+                     "patterns", "categories", "mode", "site-lnl", "newton",
+                     "strip-bytes", "batch", "out"});
+
+    std::vector<cell::DeviceModel> models;
+    for (const std::string& name : opt.get_list("device"))
+      models.push_back(cell::require_device_model(name));
+    for (const std::string& path : opt.get_list("device-config"))
+      models.push_back(cell::load_device_model_file(path));
+    if (models.empty()) models = cell::device_presets();
+
+    std::vector<core::Stage> stages;
+    const std::string stage_arg = opt.get("stage", "7");
+    if (stage_arg == "all") {
+      for (int s = 0; s <= static_cast<int>(core::Stage::kOffloadAll); ++s)
+        stages.push_back(static_cast<core::Stage>(s));
+    } else {
+      const std::int64_t s = opt.get_int("stage", 7);
+      RXC_REQUIRE(s >= 0 && s <= static_cast<int>(core::Stage::kOffloadAll),
+                  "--stage must be 0..7 or 'all'");
+      stages.push_back(static_cast<core::Stage>(s));
+    }
+
+    core::ProgramShape shape;
+    shape.patterns = static_cast<std::size_t>(opt.get_int("patterns", 256));
+    shape.categories = static_cast<int>(opt.get_int("categories", 4));
+    const std::string mode = opt.get("mode", "gamma");
+    if (mode == "cat") {
+      shape.cat_mode = true;
+    } else if (mode != "gamma") {
+      throw Error("--mode must be cat|gamma");
+    }
+    shape.site_lnl = opt.get_bool("site-lnl", false);
+    shape.newton_iters = static_cast<int>(opt.get_int("newton", 2));
+    const auto strip_bytes =
+        static_cast<std::size_t>(opt.get_int("strip-bytes", 2048));
+    const std::int64_t batch = opt.get_int("batch", 0);
+    const std::string ways_arg = opt.get("llp-ways", "1");
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("reports").begin_array();
+    std::uint64_t violations = 0;
+    for (const cell::DeviceModel& model : models) {
+      const int ways = ways_arg == "max"
+                           ? model.spe_count
+                           : static_cast<int>(opt.get_int("llp-ways", 1));
+      for (core::Stage stage : stages) {
+        const cell::Program program =
+            batch > 0 ? core::extract_batch_program(
+                            model, stage, static_cast<std::size_t>(batch),
+                            ways, shape, strip_bytes)
+                      : core::extract_program(model, stage, ways, shape,
+                                              strip_bytes);
+        std::string desc = "stage=" + std::to_string(static_cast<int>(stage)) +
+                           " llp_ways=" + std::to_string(ways) +
+                           " patterns=" + std::to_string(shape.patterns) +
+                           " mode=" + (shape.cat_mode ? "cat" : "gamma");
+        if (batch > 0) desc += " batch=" + std::to_string(batch);
+        const analysis::StaticReport report =
+            analysis::verify_program(program, model, desc);
+        violations += report.total;
+        w.raw(report.to_string());
+        std::fprintf(stderr,
+                     "rxc-verify: %-18s stage=%d ways=%d  %s  "
+                     "(peak ls %llu B, tag depth %llu)\n",
+                     model.name.c_str(), static_cast<int>(stage), ways,
+                     report.ok() ? "OK" : "VIOLATIONS",
+                     static_cast<unsigned long long>(
+                         report.stats.peak_ls_bytes),
+                     static_cast<unsigned long long>(
+                         report.stats.peak_tag_depth));
+        if (!report.ok()) std::fputs(report.summary().c_str(), stderr);
+      }
+    }
+    w.end_array();
+    w.kv("total_violations", violations);
+    w.end_object();
+
+    if (opt.has("out")) {
+      std::ofstream out(opt.get("out", ""));
+      RXC_REQUIRE(out.good(), "cannot open --out file");
+      out << w.str() << "\n";
+    } else {
+      std::cout << w.str() << "\n";
+    }
+    return violations == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rxc-verify: error: %s\n", e.what());
+    return 2;
+  }
+}
