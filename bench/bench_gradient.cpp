@@ -1,0 +1,230 @@
+/// \file bench_gradient.cpp
+/// The tentpole perf claim of the all-branch gradient: ONE linear-time
+/// sweep (LikelihoodEngine::branch_gradient — batched directed-partial
+/// refresh + one fused edge-gradient batch) replaces N per-edge makenewz
+/// loops.  Each case measures, from the same cold-cache state on the
+/// 42-taxon workload:
+///
+///   sweep          one branch_gradient() call
+///   loop-derivs    per-edge prepare_branch + branch_derivatives at the
+///                  same branch lengths — identical math, so its d1/d2
+///                  must match the sweep bitwise (checked here); the ratio
+///                  isolates what batching/fusion alone buys
+///   loop-makenewz  per-edge optimize_branch (the Newton loops the sweep
+///                  replaces in whole-tree smoothing); every accepted step
+///                  invalidates outward partials, so the per-edge pass
+///                  pays O(N) recompute per edge where the sweep pays O(N)
+///                  total — this ratio is the gated >= 3x claim
+///
+/// Two clocks: the cell-2007 case reports deterministic virtual cycles
+/// (gate-stable on any runner); the host cases report wall seconds (gated
+/// only on multi-core runners — see tools/bench_gate.py).
+///
+/// Flags: --smoke (single rep), --json[=FILE] NDJSON for tools/bench.sh.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "likelihood/engine.h"
+#include "likelihood/registry.h"
+#include "support/rng.h"
+#include "table_common.h"
+#include "tree/tree.h"
+
+namespace rxc::bench {
+namespace {
+
+struct GradientCase {
+  const char* name;
+  const char* clock;  ///< "virtual_cycles" or "wall_s"
+  lh::KernelExecutor* exec;
+  core::CellExecutor* cell;  ///< non-null when clock is virtual
+};
+
+struct Measurement {
+  double sweep = 0.0;
+  double loop_derivs = 0.0;
+  double loop_makenewz = 0.0;
+  bool derivs_bitwise = true;
+};
+
+/// Times `body` on the case's clock: virtual serial cycles from the Cell
+/// trace, wall seconds otherwise.
+template <class Body>
+double timed(const GradientCase& c, const Body& body) {
+  if (c.cell != nullptr) {
+    c.cell->begin_task();
+    body();
+    return c.cell->take_trace().serial_cycles();
+  }
+  rxc::Stopwatch wall;
+  body();
+  return wall.seconds();
+}
+
+/// Best-of-`reps` timing, re-cooling the engine's caches before each rep so
+/// every rep pays the same directed-partial refresh the first one does.
+template <class Body>
+double best_of(const GradientCase& c, int reps, lh::LikelihoodEngine& eng,
+               const Body& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    eng.invalidate_all();
+    const double t = timed(c, body);
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+Measurement measure(const GradientCase& c, const seq::PatternAlignment& pa,
+                    const tree::Tree& base_tree, int reps) {
+  Measurement m;
+  const lh::EngineConfig cfg;  // GTR + CAT-25, the paper's configuration
+
+  // --- sweep: one branch_gradient() from cold ---------------------------
+  tree::Tree tree_a = base_tree;
+  lh::LikelihoodEngine eng_a(pa, cfg);
+  eng_a.set_tree(&tree_a);
+  eng_a.set_executor(c.exec);
+  std::vector<lh::EdgeGradient> grads;
+  m.sweep = best_of(c, reps, eng_a, [&] { grads = eng_a.branch_gradient(); });
+
+  // --- loop-derivs: same derivatives via per-edge sumtable + nr ----------
+  tree::Tree tree_b = base_tree;
+  lh::LikelihoodEngine eng_b(pa, cfg);
+  eng_b.set_tree(&tree_b);
+  eng_b.set_executor(c.exec);
+  m.loop_derivs = best_of(c, reps, eng_b, [&] {
+    for (const lh::EdgeGradient& g : grads) {
+      eng_b.prepare_branch(g.edge);
+      (void)eng_b.branch_derivatives(g.t);
+    }
+  });
+  // Correctness ride-along (post-timing, caches already warm): the per-edge
+  // two-step path must reproduce the sweep's derivatives bitwise.
+  for (const lh::EdgeGradient& g : grads) {
+    eng_b.prepare_branch(g.edge);
+    const lh::NrResult ref = eng_b.branch_derivatives(g.t);
+    if (ref.d1 != g.d1 || ref.d2 != g.d2) m.derivs_bitwise = false;
+  }
+
+  // --- loop-makenewz: per-edge Newton optimization (mutates lengths, so a
+  // fresh tree copy per rep keeps every rep's iteration counts identical) --
+  for (int r = 0; r < reps; ++r) {
+    tree::Tree tree_c = base_tree;
+    lh::LikelihoodEngine eng_c(pa, cfg);
+    eng_c.set_tree(&tree_c);
+    eng_c.set_executor(c.exec);
+    const double t = timed(c, [&] {
+      for (std::size_t e = 0; e < tree_c.edge_slots(); ++e)
+        if (tree_c.edge_alive(static_cast<int>(e)))
+          (void)eng_c.optimize_branch(static_cast<int>(e));
+    });
+    if (r == 0 || t < m.loop_makenewz) m.loop_makenewz = t;
+  }
+  return m;
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  JsonReport json = JsonReport::from_args(argc, argv);
+  const int reps = smoke ? 1 : 3;
+
+  const auto sim = seq::make_42sc();
+  const auto pa = seq::PatternAlignment::compress(sim.alignment);
+  Rng rng(0x42ADE);
+  const tree::Tree base_tree =
+      tree::Tree::random_topology(pa.taxon_count(), rng, 0.08);
+  std::size_t edges = 0;
+  for (std::size_t e = 0; e < base_tree.edge_slots(); ++e)
+    if (base_tree.edge_alive(static_cast<int>(e))) ++edges;
+
+  // cell-2007 at offload-all: the virtual-cycle clock.
+  core::SpeExecConfig cell_cfg;
+  cell_cfg.toggles = core::stage_toggles(core::Stage::kOffloadAll);
+  core::CellExecutor cell_exec(cell_cfg);
+
+  // The measured host backend: wall clock.
+  const auto threaded = lh::find_backend("host-threaded");
+  RXC_REQUIRE(threaded.has_value(), "host-threaded backend not registered");
+  const auto threaded_exec = lh::make_executor(threaded->spec);
+
+  const GradientCase cases[] = {
+      {"cell-2007", "virtual_cycles", &cell_exec, &cell_exec},
+      {"host-threaded", "wall_s", threaded_exec.get(), nullptr},
+  };
+
+  std::printf("=== all-branch gradient: one sweep vs N per-edge loops "
+              "(%s workload) ===\n", smoke ? "smoke" : "full");
+  std::printf("(workload: synthetic 42_SC, %zu taxa x %zu sites, %zu "
+              "patterns, %zu edges; auto host threads: %d)\n",
+              pa.taxon_count(), pa.site_count(), pa.pattern_count(), edges,
+              host_thread_count());
+  std::printf("%-14s %-14s %14s %14s %14s %9s %9s %s\n", "case", "clock",
+              "sweep", "loop-derivs", "loop-makenewz", "x-derivs",
+              "x-makenewz", "bitwise");
+
+  JsonWriter jw;
+  jw.begin_object()
+      .kv("table", "gradient")
+      .kv("smoke", smoke)
+      .kv("taxa", static_cast<double>(pa.taxon_count()))
+      .kv("patterns", static_cast<double>(pa.pattern_count()))
+      .kv("edges", static_cast<double>(edges))
+      .key("rows")
+      .begin_array();
+
+  int failures = 0;
+  for (const GradientCase& c : cases) {
+    const Measurement m = measure(c, pa, base_tree, reps);
+    const double x_derivs = m.sweep > 0.0 ? m.loop_derivs / m.sweep : 0.0;
+    const double x_makenewz =
+        m.sweep > 0.0 ? m.loop_makenewz / m.sweep : 0.0;
+    if (!m.derivs_bitwise) ++failures;
+    std::printf("%-14s %-14s %14.4g %14.4g %14.4g %9.2f %9.2f %s\n", c.name,
+                c.clock, m.sweep, m.loop_derivs, m.loop_makenewz, x_derivs,
+                x_makenewz, m.derivs_bitwise ? "yes" : "NO (BUG)");
+    jw.begin_object()
+        .kv("case", c.name)
+        .kv("clock", c.clock)
+        .kv("sweep", m.sweep)
+        .kv("loop_derivs", m.loop_derivs)
+        .kv("loop_makenewz", m.loop_makenewz)
+        .kv("speedup_derivs", x_derivs)
+        .kv("speedup_makenewz", x_makenewz)
+        .kv("derivs_bitwise", m.derivs_bitwise)
+        .end_object();
+  }
+  jw.end_array().end_object();
+  json.emit(jw.str());
+
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d case(s) where the per-edge derivative loop does "
+                 "not match the sweep bitwise\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rxc::bench
+
+int main(int argc, char** argv) {
+  try {
+    return rxc::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench failed: %s\n", e.what());
+    return 1;
+  }
+}

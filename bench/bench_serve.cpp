@@ -10,6 +10,7 @@
 /// Flags: --smoke shrinks the batch and pool list for CI gates; --json[=FILE]
 /// emits one NDJSON object compatible with tools/bench.sh.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -54,8 +55,9 @@ int run(int argc, char** argv) {
               smoke ? "smoke" : "full", jobs);
   std::printf("(simulated-Cell devices, stage 7; host cores here: %d)\n",
               host_thread_count());
-  std::printf("%-8s %10s %10s %10s %10s %12s\n", "devices", "wall[s]",
-              "jobs/s", "retries", "preempts", "speedup-vs-1");
+  std::printf("%-8s %10s %10s %10s %10s %12s %10s %10s\n", "devices",
+              "wall[s]", "jobs/s", "retries", "preempts", "speedup-vs-1",
+              "wait[ms]", "idle-frac");
 
   JsonWriter jw;
   jw.begin_object()
@@ -86,17 +88,32 @@ int run(int argc, char** argv) {
     const double wall_s = wall.seconds();
     if (devices == 1) wall_1dev = wall_s;
 
+    // Scaling diagnosis: cumulative per-job queue wait (all waits, not just
+    // the first) against per-device idle gaps.  High wait + low idle =
+    // capacity-bound (add devices); high wait + high idle = placement or
+    // simulation-overhead bound (more devices won't help).
     int retries = 0, preemptions = 0;
+    double wait_mean = 0.0, wait_max = 0.0;
     for (const auto& r : server.results()) {
       if (r.state != serve::JobState::kCompleted) ++failures;
       retries += r.retries;
       preemptions += r.preemptions;
+      wait_mean += r.wait_ms;
+      wait_max = std::max(wait_max, r.wait_ms);
     }
     if (server.results().size() != static_cast<std::size_t>(jobs)) ++failures;
+    wait_mean /= jobs;
+    double idle_mean_ms = 0.0;
+    for (int d = 0; d < server.devices().size(); ++d)
+      idle_mean_ms += server.devices().device(d).idle_ms();
+    idle_mean_ms /= devices;
+    const double idle_frac =
+        wall_s > 0.0 ? idle_mean_ms / (wall_s * 1000.0) : 0.0;
 
     const double speedup = wall_s > 0.0 ? wall_1dev / wall_s : 0.0;
-    std::printf("%-8d %10.3f %10.1f %10d %10d %12.2f\n", devices, wall_s,
-                jobs / wall_s, retries, preemptions, speedup);
+    std::printf("%-8d %10.3f %10.1f %10d %10d %12.2f %10.2f %10.2f\n",
+                devices, wall_s, jobs / wall_s, retries, preemptions, speedup,
+                wait_mean, idle_frac);
     jw.begin_object()
         .kv("devices", devices)
         .kv("wall_s", wall_s)
@@ -104,6 +121,10 @@ int run(int argc, char** argv) {
         .kv("retries", retries)
         .kv("preemptions", preemptions)
         .kv("speedup_vs_1", speedup)
+        .kv("queue_wait_ms_mean", wait_mean)
+        .kv("queue_wait_ms_max", wait_max)
+        .kv("device_idle_ms_mean", idle_mean_ms)
+        .kv("device_idle_frac", idle_frac)
         .end_object();
   }
   jw.end_array().end_object();

@@ -75,6 +75,8 @@ class Extractor {
     RXC_REQUIRE(shape_.patterns >= 1, "shape.patterns must be >= 1");
     RXC_REQUIRE(shape_.categories >= 1, "shape.categories must be >= 1");
     RXC_REQUIRE(shape_.newton_iters >= 0, "shape.newton_iters must be >= 0");
+    RXC_REQUIRE(shape_.gradient_edges >= 0,
+                "shape.gradient_edges must be >= 0");
     RXC_REQUIRE(strip_bytes_ >= 256, "strip buffer too small");
     np_ = shape_.patterns;
     ncat_ = static_cast<std::uint64_t>(shape_.categories);
@@ -104,6 +106,11 @@ class Extractor {
     for (int it = 0; it < shape_.newton_iters; ++it)
       nr_derivatives(sumtable_ea_);
     end_compound();
+    // The all-branch gradient sweep: one fused edge_gradient invocation per
+    // edge, outside any compound, alternating tip and inner outer operands
+    // (real trees mix both).
+    for (int g = 0; g < shape_.gradient_edges; ++g)
+      edge_gradient(g % 2 == 0 ? tip_a_ : partial_a_, partial_c_);
     return std::move(prog_);
   }
 
@@ -445,6 +452,50 @@ class Extractor {
       if (shape_.cat_mode) prog_.ls_read(spe, catb, dma_len(cnt, 4));
     }
     record(KernelKind::kNrDerivatives, next_signaled(), 1);
+  }
+
+  // --- edge gradient (fused sumtable + derivative accumulation) -----------
+
+  void edge_gradient(const Operand& in1, const Operand& in2) {
+    if (!toggles_.offload_rest) {
+      record(KernelKind::kEdgeGradient, /*signaled=*/false, 1);
+      return;
+    }
+    const int spe = 0;  // edge_gradient never loop-parallelizes (ways = 1)
+    const std::uint64_t strip = strip_patterns(pp_);
+    LsAlloc ls(device_.offload_code_bytes);
+    const std::uint64_t in1b =
+        in1.tip ? ls.alloc(dma_len(strip, 1)) : ls.alloc(strip * pp_);
+    const std::uint64_t in2b = ls.alloc(strip * pp_);
+    const std::uint64_t wts = ls.alloc(dma_len(strip, 8));
+    const std::uint64_t catb =
+        shape_.cat_mode ? ls.alloc(dma_len(strip, 4)) : 0;
+    prog_.ls_reserve(spe, ls.top);
+
+    const std::uint64_t nstrips = (np_ + strip - 1) / strip;
+    for (std::uint64_t s = 0; s < nstrips; ++s) {
+      const std::uint64_t base = s * strip;
+      const std::uint64_t cnt = std::min(strip, np_ - base);
+      if (in1.tip) {
+        prog_.dma_get(spe, 0, in1.values + base, in1b, dma_len(cnt, 1));
+      } else {
+        prog_.dma_get(spe, 0, in1.values + base * pp_, in1b, cnt * pp_);
+      }
+      prog_.dma_get(spe, 0, in2.values + base * pp_, in2b, cnt * pp_);
+      prog_.dma_get(spe, 0, weights_ea_ + base * 8, wts, dma_len(cnt, 8));
+      if (shape_.cat_mode)
+        prog_.dma_get(spe, 0, cat_ea_ + base * 4, catb, dma_len(cnt, 4));
+      prog_.tag_wait(spe, 0);
+
+      // The sumtable slots live in registers and the reduction stays
+      // SPE-resident — no puts; only the reduced doubles return with the
+      // completion signal.
+      prog_.ls_read(spe, in1b, in1.tip ? dma_len(cnt, 1) : cnt * pp_);
+      prog_.ls_read(spe, in2b, cnt * pp_);
+      prog_.ls_read(spe, wts, dma_len(cnt, 8));
+      if (shape_.cat_mode) prog_.ls_read(spe, catb, dma_len(cnt, 4));
+    }
+    record(KernelKind::kEdgeGradient, next_signaled(), 1);
   }
 
   cell::DeviceModel device_;

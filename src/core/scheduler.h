@@ -80,6 +80,9 @@ struct ProgramShape {
   bool cat_mode = false;       ///< CAT (per-pattern category array) vs GAMMA
   bool site_lnl = false;       ///< evaluate also streams per-site lnl out
   int newton_iters = 2;        ///< nr_derivatives calls inside the compound
+  /// edge_gradient() invocations appended after the compound (the
+  /// all-branch gradient sweep); 0 keeps the historical program shape.
+  int gradient_edges = 0;
 };
 
 /// The abstract Program the SPE executor WOULD execute for the canonical

@@ -26,6 +26,10 @@ constexpr double kNewviewFlopsPerPattern = 56.0;
 constexpr double kEvaluateFlopsPerPattern = 36.0;
 constexpr double kSumtableFlopsPerPattern = 64.0;
 constexpr double kNrFlopsPerPattern = 24.0;
+/// The fused edge-gradient body does the sumtable math and the derivative
+/// accumulation in one pass over each pattern slot.
+constexpr double kEdgeGradientFlopsPerPattern =
+    kSumtableFlopsPerPattern + kNrFlopsPerPattern;
 /// FP work of building one transition matrix set (per category):
 /// U * diag * V as 4x4x4 multiply-adds plus the diagonal products.
 constexpr double kPmatFlopsPerCategory = 112.0;
@@ -285,6 +289,19 @@ double SpeExecutor::ppe_nr_cycles(const lh::NrTask& task) const {
       task.ctx.mode == lh::RateMode::kCat ? 1.0 : task.ctx.ncat;
   return 3.0 * task.ctx.ncat * p.ppe_exp_libm_cycles +
          np * kNrFlopsPerPattern * per_pattern * p.ppe_dp_flop_cycles +
+         np * p.ppe_log_cycles +
+         np * per_pattern * p.ppe_mem_cycles_per_pattern;
+}
+
+double SpeExecutor::ppe_edge_gradient_cycles(
+    const lh::EdgeGradientTask& task) const {
+  const auto& p = machine_->params();
+  const double np = static_cast<double>(task.np);
+  const double per_pattern =
+      task.ctx.mode == lh::RateMode::kCat ? 1.0 : task.ctx.ncat;
+  return 3.0 * task.ctx.ncat * p.ppe_exp_libm_cycles +
+         np * kEdgeGradientFlopsPerPattern * per_pattern *
+             p.ppe_dp_flop_cycles +
          np * p.ppe_log_cycles +
          np * per_pattern * p.ppe_mem_cycles_per_pattern;
 }
@@ -955,6 +972,188 @@ lh::NrResult SpeExecutor::nr_derivatives(const lh::NrTask& task) {
   return total;
 }
 
+lh::NrResult SpeExecutor::edge_gradient_mirror(
+    const lh::EdgeGradientTask& task) const {
+  const auto& ctx = task.ctx;
+  lh::EdgeGradientArgs args;
+  args.es = ctx.es;
+  args.rates = ctx.rates;
+  args.ncat = ctx.ncat;
+  args.cat = ctx.cat;
+  args.np = task.np;
+  args.tip1 = task.tip1.codes;
+  args.partial1 = task.partial1.values;
+  args.partial2 = task.partial2.values;
+  args.weights = task.weights;
+  args.t = task.t;
+  args.exp_fn = cfg_.toggles.sdk_exp ? &lh::exp_sdk : &lh::exp_libm;
+  const bool cat_mode = ctx.mode == lh::RateMode::kCat;
+  if (cfg_.toggles.vectorized) {
+    return cat_mode ? lh::edge_gradient_cat_simd(args)
+                    : lh::edge_gradient_gamma_simd(args);
+  }
+  return cat_mode ? lh::edge_gradient_cat(args)
+                  : lh::edge_gradient_gamma(args);
+}
+
+void SpeExecutor::edge_gradient_payload(const lh::EdgeGradientTask& task,
+                                        cell::Spu& spu, std::size_t lo,
+                                        std::size_t n, std::size_t strip) {
+  const auto& ctx = task.ctx;
+  const auto& p = machine_->params();
+  const int ncat = ctx.ncat;
+  const bool cat_mode = ctx.mode == lh::RateMode::kCat;
+  const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
+
+  auto& ls = spu.ls();
+  auto& mfc = spu.mfc();
+  ls.reset();
+  const LsAddr in1 = task.tip1 ? ls.alloc(dma_bytes(strip, 1))
+                               : ls.alloc(strip * pp);
+  const LsAddr in2 = ls.alloc(strip * pp);
+  const LsAddr wts = ls.alloc(dma_bytes(strip, 8));
+  const LsAddr catb = ctx.cat ? ls.alloc(dma_bytes(strip, 4)) : 0;
+
+  // The exponent table is computed once per invocation on silicon.
+  spu.charge(3.0 * ncat * spe_exp_cycles());
+
+  const std::size_t nstrips = (n + strip - 1) / strip;
+  for (std::size_t s = 0; s < nstrips; ++s) {
+    const std::size_t base = lo + s * strip;
+    const std::size_t cnt = std::min(strip, lo + n - base);
+    const std::size_t stride_d = pp / 8;
+    if (task.tip1) {
+      mfc.get(in1, task.tip1.codes + base, dma_bytes(cnt, 1), 0, spu.now());
+    } else {
+      mfc.get(in1, task.partial1.values + base * stride_d, cnt * pp, 0,
+              spu.now());
+    }
+    mfc.get(in2, task.partial2.values + base * stride_d, cnt * pp, 0,
+            spu.now());
+    mfc.get(wts, task.weights + base, dma_bytes(cnt, 8), 0, spu.now());
+    if (ctx.cat)
+      mfc.get(catb, ctx.cat + base, dma_bytes(cnt, 4), 0, spu.now());
+    spu.wait_dma(0);
+    const VCycles w0 = spu.now();
+
+    // The sumtable slots live in registers and the derivative reduction
+    // stays SPE-resident, so nothing is put back to main memory — only the
+    // three reduced doubles travel with the completion signal.
+    const double per_pattern_cats = cat_mode ? 1.0 : static_cast<double>(ncat);
+    spu.charge(
+        (spe_flop_cycles(kEdgeGradientFlopsPerPattern * per_pattern_cats) +
+         spe_log_cycles() + p.spu_ls_cycles_per_pattern) *
+        static_cast<double>(cnt));
+    if (cell::EventSink* sink = cell::event_sink()) {
+      const int id = spu.event_id();
+      const VCycles w1 = spu.now();
+      sink->on_ls_read(id, in1, task.tip1 ? dma_bytes(cnt, 1) : cnt * pp, w0,
+                       w1);
+      sink->on_ls_read(id, in2, cnt * pp, w0, w1);
+      sink->on_ls_read(id, wts, dma_bytes(cnt, 8), w0, w1);
+      if (ctx.cat) sink->on_ls_read(id, catb, dma_bytes(cnt, 4), w0, w1);
+    }
+  }
+}
+
+lh::NrResult SpeExecutor::edge_gradient(const lh::EdgeGradientTask& task) {
+  task.validate();
+  if (!cfg_.toggles.offload_rest) {
+    const lh::NrResult result = ppe_exec_.edge_gradient(task);
+    counters_ += ppe_exec_.counters();
+    ppe_exec_.reset_counters();
+    record(KernelKind::kEdgeGradient, ppe_edge_gradient_cycles(task), 0.0, 1,
+           false);
+    return result;
+  }
+
+  const auto& ctx = task.ctx;
+  const int ncat = ctx.ncat;
+  const bool cat_mode = ctx.mode == lh::RateMode::kCat;
+  const std::size_t pp = (cat_mode ? 1u : static_cast<std::size_t>(ncat)) * 32;
+  VCycles dma_stall = 0.0;
+
+  const double spe = run_chunks(
+      task.np, pp, 1,
+      [&](cell::Spu& spu, std::size_t lo, std::size_t n, std::size_t strip) {
+        edge_gradient_payload(task, spu, lo, n, strip);
+      },
+      &dma_stall);
+
+  // Functional result: whole-range from the main-memory mirror (the same
+  // fixed reduction order for every strip count and device geometry — the
+  // rxc-sweep lnl_identical contract).
+  const lh::NrResult total = edge_gradient_mirror(task);
+
+  ++counters_.edge_gradient_calls;
+  counters_.exp_calls += 3ull * ncat;
+  static obs::Counter& obs_calls = obs::counter("kernel.edge_gradient.calls");
+  static obs::Counter& obs_exps = obs::counter("kernel.exp_calls");
+  obs_calls.add();
+  obs_exps.add(3ull * ncat);
+  const double ppe_cost = offload_ppe_cycles(1);
+  record(KernelKind::kEdgeGradient, ppe_cost, spe, 1, last_offload_signaled_,
+         dma_stall);
+  return total;
+}
+
+void SpeExecutor::edge_gradient_batch(const lh::EdgeGradientTask* tasks,
+                                      std::size_t count,
+                                      lh::NrResult* results) {
+  // Same gating as newview_batch: the batch path pays off only for
+  // offloaded invocations that can spread over idle SPEs.
+  if (count <= 1 || host_threads_ <= 1 || cfg_.llp_ways != 1 ||
+      !cfg_.toggles.offload_rest || machine_->spe_count() <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = edge_gradient(tasks[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) tasks[i].validate();
+
+  const int nspe = machine_->spe_count();
+  struct TaskResult {
+    double elapsed = 0.0;
+    VCycles stall = 0.0;
+  };
+  std::vector<TaskResult> timings(count);
+  const int lanes = std::min<int>(nspe, static_cast<int>(count));
+  pool().parallel_for(
+      static_cast<std::size_t>(lanes), [&](std::size_t lane) {
+        for (std::size_t i = lane; i < count;
+             i += static_cast<std::size_t>(nspe)) {
+          const lh::EdgeGradientTask& task = tasks[i];
+          const bool cat = task.ctx.mode == lh::RateMode::kCat;
+          const std::size_t pp =
+              (cat ? 1u : static_cast<std::size_t>(task.ctx.ncat)) * 32;
+          cell::Spu& spu = machine_->spe(static_cast<int>(lane));
+          spu.mfc().set_contention(eib_factor_);
+          const VCycles start = spu.now();
+          const VCycles stall_before = spu.counters().dma_stall_cycles;
+          edge_gradient_payload(task, spu, 0, task.np, strip_patterns(pp));
+          timings[i].elapsed = spu.now() - start;
+          timings[i].stall = spu.counters().dma_stall_cycles - stall_before;
+          results[i] = edge_gradient_mirror(task);
+          spu.count_invocation();
+        }
+      });
+
+  // Trace/obs/accounting in original task order, exactly like the serial
+  // loop would have produced them.
+  for (std::size_t i = 0; i < count; ++i) {
+    const int ncat = tasks[i].ctx.ncat;
+    ++counters_.edge_gradient_calls;
+    counters_.exp_calls += 3ull * ncat;
+    static obs::Counter& obs_calls =
+        obs::counter("kernel.edge_gradient.calls");
+    static obs::Counter& obs_exps = obs::counter("kernel.exp_calls");
+    obs_calls.add();
+    obs_exps.add(3ull * ncat);
+    const double ppe_cost = offload_ppe_cycles(1);
+    record(KernelKind::kEdgeGradient, ppe_cost, timings[i].elapsed, 1,
+           last_offload_signaled_, timings[i].stall,
+           static_cast<int>(i) % nspe);
+  }
+}
+
 // --- CellExecutor: machine-owning wrapper + factory registration -------------
 
 CellExecutor::CellExecutor(SpeExecConfig config, cell::DeviceModel device)
@@ -986,6 +1185,19 @@ lh::NrResult CellExecutor::nr_derivatives(const lh::NrTask& task) {
   const lh::NrResult result = exec_.nr_derivatives(task);
   sync_counters();
   return result;
+}
+
+lh::NrResult CellExecutor::edge_gradient(const lh::EdgeGradientTask& task) {
+  const lh::NrResult result = exec_.edge_gradient(task);
+  sync_counters();
+  return result;
+}
+
+void CellExecutor::edge_gradient_batch(const lh::EdgeGradientTask* tasks,
+                                       std::size_t count,
+                                       lh::NrResult* results) {
+  exec_.edge_gradient_batch(tasks, count, results);
+  sync_counters();
 }
 
 void CellExecutor::begin_compound() { exec_.begin_compound(); }

@@ -76,6 +76,18 @@ public:
   double evaluate(const lh::EvaluateTask& task) override;
   void sumtable(const lh::SumtableTask& task) override;
   lh::NrResult nr_derivatives(const lh::NrTask& task) override;
+  /// Fused all-branch-gradient kernel.  Offloaded (stage >= offload-rest) it
+  /// streams the edge's two directed partials through local store in strips
+  /// — sumtable slots are built in registers, so unlike makenewz nothing is
+  /// DMA'd back; only the three reduced doubles return with the completion
+  /// signal.  The functional result is always computed whole-range from the
+  /// main-memory mirror (device models stay performance-only).
+  lh::NrResult edge_gradient(const lh::EdgeGradientTask& task) override;
+  /// Batch of independent edge gradients, round-robined across the
+  /// machine's SPEs exactly like newview_batch (same gating, same
+  /// original-order trace/accounting).
+  void edge_gradient_batch(const lh::EdgeGradientTask* tasks,
+                           std::size_t count, lh::NrResult* results) override;
   void begin_compound() override;
   void end_compound() override;
 
@@ -132,6 +144,15 @@ private:
                        std::size_t lo, std::size_t n, std::size_t strip,
                        std::uint64_t* scale_events);
 
+  /// One way's worth of the offloaded edge-gradient strip loop (DMA gets +
+  /// cycle charges only; the fused kernel leaves nothing to put back).
+  void edge_gradient_payload(const lh::EdgeGradientTask& task, cell::Spu& spu,
+                             std::size_t lo, std::size_t n, std::size_t strip);
+
+  /// Functional edge-gradient result from the main-memory mirror with the
+  /// configured stage toggles (exp flavour, SIMD on/off).
+  lh::NrResult edge_gradient_mirror(const lh::EdgeGradientTask& task) const;
+
   /// Lazily constructed pool for wall-clock-parallel payload execution.
   ThreadPool& pool();
 
@@ -140,6 +161,7 @@ private:
   double ppe_evaluate_cycles(const lh::EvaluateTask& task) const;
   double ppe_sumtable_cycles(const lh::SumtableTask& task) const;
   double ppe_nr_cycles(const lh::NrTask& task) const;
+  double ppe_edge_gradient_cycles(const lh::EdgeGradientTask& task) const;
 
   cell::CellMachine* machine_;
   SpeExecConfig cfg_;
@@ -180,6 +202,9 @@ public:
   double evaluate(const lh::EvaluateTask& task) override;
   void sumtable(const lh::SumtableTask& task) override;
   lh::NrResult nr_derivatives(const lh::NrTask& task) override;
+  lh::NrResult edge_gradient(const lh::EdgeGradientTask& task) override;
+  void edge_gradient_batch(const lh::EdgeGradientTask* tasks,
+                           std::size_t count, lh::NrResult* results) override;
   void begin_compound() override;
   void end_compound() override;
   void reset_counters() override;

@@ -19,6 +19,7 @@ enum class KernelKind : std::uint8_t {
   kEvaluate,
   kSumtable,
   kNrDerivatives,
+  kEdgeGradient,
 };
 
 /// One engine-level kernel invocation.
@@ -51,6 +52,7 @@ constexpr const char* kernel_kind_name(KernelKind kind) {
     case KernelKind::kEvaluate: return "evaluate";
     case KernelKind::kSumtable: return "sumtable";
     case KernelKind::kNrDerivatives: return "nr_derivatives";
+    case KernelKind::kEdgeGradient: return "edge_gradient";
   }
   return "?";
 }
@@ -58,17 +60,17 @@ constexpr const char* kernel_kind_name(KernelKind kind) {
 /// Virtual-time breakdown per kernel kind (the simulator's analogue of the
 /// paper's gprof profile: newview 76.8%, makenewz 19.2%, evaluate 2.4%).
 struct KernelProfile {
-  cell::VCycles cycles[4] = {0, 0, 0, 0};  ///< indexed by KernelKind
+  cell::VCycles cycles[5] = {0, 0, 0, 0, 0};  ///< indexed by KernelKind
 
   cell::VCycles total() const {
-    return cycles[0] + cycles[1] + cycles[2] + cycles[3];
+    return cycles[0] + cycles[1] + cycles[2] + cycles[3] + cycles[4];
   }
   double share(KernelKind kind) const {
     const cell::VCycles t = total();
     return t > 0 ? cycles[static_cast<int>(kind)] / t : 0.0;
   }
   KernelProfile& operator+=(const KernelProfile& o) {
-    for (int i = 0; i < 4; ++i) cycles[i] += o.cycles[i];
+    for (int i = 0; i < 5; ++i) cycles[i] += o.cycles[i];
     return *this;
   }
 };

@@ -153,12 +153,19 @@ void LikelihoodEngine::ensure_partial(int dir) {
     hits.add();
     return;
   }
+  ensure_partials({dir}, /*preorder=*/false);
+}
+
+void LikelihoodEngine::ensure_partials(const std::vector<int>& roots,
+                                       bool preorder) {
+  RXC_ASSERT(tree_ != nullptr);
   // Pass 1: collect the stale dirs in the exact order the sequential
-  // recursion computes them (children deepest-first, neighbor order), using
-  // `planned` the way the compute loop uses valid_.
+  // recursion computes them (children deepest-first, neighbor order, roots
+  // in request order), using `planned` the way the compute loop uses
+  // valid_.
   std::vector<int> order;
   std::vector<char> planned(valid_.size(), 0);
-  std::vector<int> stack{dir};
+  std::vector<int> stack(roots.rbegin(), roots.rend());
   while (!stack.empty()) {
     const int d = stack.back();
     if (valid_[d] || planned[d]) {
@@ -194,7 +201,10 @@ void LikelihoodEngine::ensure_partial(int dir) {
   std::vector<int> batch_dirs;
   const auto flush = [&] {
     if (batch.empty()) return;
-    exec_->newview_batch(batch.data(), batch.size());
+    if (preorder)
+      exec_->preorder_batch(batch.data(), batch.size());
+    else
+      exec_->newview_batch(batch.data(), batch.size());
     for (const int d : batch_dirs) {
       valid_[d] = 1;
       in_batch[d] = 0;
@@ -396,6 +406,115 @@ double LikelihoodEngine::optimize_all_branches(int max_passes,
     const double now = log_likelihood();
     RXC_ASSERT_MSG(now > prev - 1e-4,
                    "branch optimization decreased the likelihood");
+    if (now - prev < epsilon) return now;
+    prev = now;
+  }
+  return prev;
+}
+
+std::vector<EdgeGradient> LikelihoodEngine::branch_gradient() {
+  RXC_ASSERT(tree_ != nullptr);
+  obs::ScopedTimer span("engine.branch_gradient", "engine");
+
+  // One linear-time plan: the union of both directed partials of every
+  // alive edge covers the post-order (inward) sweep AND the pre-order
+  // (outward, root-ward) sweep — an outward partial dir(u, e) is an
+  // ordinary newview whose children are the sibling's inward partial and
+  // the parent's outward partial, so the two-pass planner level-schedules
+  // the whole tree into independent preorder_batch submissions.
+  std::vector<int> edges;
+  std::vector<int> roots;
+  for (std::size_t e = 0; e < tree_->edge_slots(); ++e) {
+    const int edge = static_cast<int>(e);
+    if (!tree_->edge_alive(edge)) continue;
+    edges.push_back(edge);
+    const auto [u, v] = tree_->edge_nodes(edge);
+    if (!tree_->is_tip(u)) roots.push_back(tree_->dir_index(u, edge));
+    if (!tree_->is_tip(v)) roots.push_back(tree_->dir_index(v, edge));
+  }
+  ensure_partials(roots, /*preorder=*/true);
+
+  // One fused edge-gradient batch over every edge — the O(N) sweep that
+  // replaces N per-edge sumtable + Newton-derivative loops.
+  std::vector<EdgeGradientTask> tasks;
+  tasks.reserve(edges.size());
+  for (const int edge : edges) {
+    auto [u, v] = tree_->edge_nodes(edge);
+    if (tree_->is_tip(v)) std::swap(u, v);
+    RXC_ASSERT_MSG(!tree_->is_tip(v), "branch_gradient: tip-tip edge");
+    EdgeGradientTask task;
+    task.ctx = context();
+    task.np = np_;
+    if (tree_->is_tip(u)) {
+      task.tip1.codes = pa_->row(u);
+    } else {
+      task.partial1.values = partial_ptr(tree_->dir_index(u, edge));
+    }
+    task.partial2.values = partial_ptr(tree_->dir_index(v, edge));
+    task.weights = weights_.data();
+    task.t = std::clamp(tree_->branch_length(edge), kMinBranch, kMaxBranch);
+    tasks.push_back(task);
+  }
+  std::vector<NrResult> results(tasks.size());
+  exec_->edge_gradient_batch(tasks.data(), tasks.size(), results.data());
+
+  std::vector<EdgeGradient> out(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const int edge = edges[i];
+    auto [u, v] = tree_->edge_nodes(edge);
+    if (tree_->is_tip(v)) std::swap(u, v);
+    EdgeGradient& g = out[i];
+    g.edge = edge;
+    g.t = tasks[i].t;
+    g.lnl = results[i].lnl;
+    g.d1 = results[i].d1;
+    g.d2 = results[i].d2;
+    // The kernel's lnl excludes the (t-independent) scaling corrections;
+    // fold them in so callers get the absolute log-likelihood.
+    const std::int32_t* sv = scale_ptr(tree_->dir_index(v, edge));
+    const std::int32_t* su =
+        tree_->is_tip(u) ? nullptr : scale_ptr(tree_->dir_index(u, edge));
+    for (std::size_t p = 0; p < np_; ++p) {
+      const double count = static_cast<double>(sv[p] + (su ? su[p] : 0));
+      g.lnl -= count * weights_[p] * kLogScaleFactor;
+    }
+  }
+  return out;
+}
+
+double LikelihoodEngine::smooth_branches(int max_passes, double epsilon) {
+  obs::ScopedTimer span("engine.smooth_branches", "engine");
+  double prev = log_likelihood();
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const std::vector<EdgeGradient> grads = branch_gradient();
+    std::vector<std::pair<int, double>> applied;  // (edge, old length)
+    std::vector<int> polish;  // per-edge makenewz fallback queue
+    for (const EdgeGradient& g : grads) {
+      if (g.d2 >= 0.0) {  // non-concave: a Newton step is not a max step
+        polish.push_back(g.edge);
+        continue;
+      }
+      const double t_new =
+          std::clamp(g.t - g.d1 / g.d2, kMinBranch, kMaxBranch);
+      if (std::fabs(t_new - g.t) < 1e-10 * (1.0 + g.t)) continue;
+      applied.emplace_back(g.edge, g.t);
+      tree_->set_branch_length(g.edge, t_new);
+    }
+    // Every branch may have moved, so every partial is suspect.
+    if (!applied.empty()) invalidate_all();
+    double now = applied.empty() ? prev : log_likelihood();
+    if (now < prev) {
+      // The simultaneous Newton step overshot (edges are not independent):
+      // revert and polish the moved edges one at a time instead.
+      for (const auto& [edge, t] : applied) tree_->set_branch_length(edge, t);
+      invalidate_all();
+      for (const auto& [edge, t] : applied) polish.push_back(edge);
+      now = prev;
+    }
+    for (const int edge : polish) (void)optimize_branch(edge);
+    if (!polish.empty()) now = log_likelihood();
+    RXC_ASSERT_MSG(now > prev - 1e-4,
+                   "gradient smoothing decreased the likelihood");
     if (now - prev < epsilon) return now;
     prev = now;
   }

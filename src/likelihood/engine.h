@@ -41,6 +41,15 @@ struct EngineConfig {
   void validate() const;
 };
 
+/// Per-edge result of the all-branch gradient sweep.
+struct EdgeGradient {
+  int edge = -1;
+  double t = 0.0;    ///< (clamped) branch length the derivatives refer to
+  double lnl = 0.0;  ///< absolute log-likelihood (scale corrections folded)
+  double d1 = 0.0;   ///< d lnl / d t
+  double d2 = 0.0;   ///< d^2 lnl / d t^2
+};
+
 class LikelihoodEngine {
 public:
   /// The engine keeps pointers into `pa`; it must outlive the engine.
@@ -91,6 +100,22 @@ public:
   /// Optimizes every branch, up to `max_passes` sweeps or until a sweep
   /// improves the log-likelihood by less than `epsilon`.  Returns final lnl.
   double optimize_all_branches(int max_passes = 8, double epsilon = 1e-3);
+
+  /// All-branch gradient: one linear-time sweep — every directed partial
+  /// (post-order inward plus pre-order outward) refreshed through the
+  /// batched planner, then one fused edge-gradient batch — yielding
+  /// (lnl, d1, d2) for every alive edge at its current length.  Replaces N
+  /// per-edge makenewz derivative loops with identical numerics (the fused
+  /// kernel is bitwise-equal to sumtable + nr_derivatives at one config).
+  std::vector<EdgeGradient> branch_gradient();
+
+  /// Gradient-driven whole-tree smoothing: each pass takes one Newton step
+  /// on every concave edge from a single branch_gradient() sweep; edges
+  /// with non-concave curvature — and the whole pass, should the
+  /// simultaneous step ever overshoot — fall back to per-edge
+  /// optimize_branch polish.  Same contract as optimize_all_branches
+  /// (monotone lnl, returns the final log-likelihood).
+  double smooth_branches(int max_passes = 8, double epsilon = 1e-3);
 
   /// CAT mode: assigns each pattern the palette category that maximizes its
   /// site likelihood on the current tree, then renormalizes the palette so
@@ -156,6 +181,11 @@ private:
   /// output), so a parallel backend can run them concurrently while the
   /// trace stays in the sequential order.
   void ensure_partial(int dir);
+  /// Multi-root generalization of ensure_partial: recomputes every stale
+  /// partial any of `roots` depends on, in dependency order, batched.
+  /// `preorder` routes batches through preorder_batch (the root-ward sweep
+  /// entry point) instead of newview_batch.
+  void ensure_partials(const std::vector<int>& roots, bool preorder);
   /// Builds the newview task for one partial whose children are fresh.
   NewviewTask build_newview_task(int dir);
   /// Computes one partial assuming its children are fresh.

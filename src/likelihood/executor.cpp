@@ -67,6 +67,17 @@ void NrTask::validate() const {
               "nr_derivatives: missing sumtable/weights");
 }
 
+void EdgeGradientTask::validate() const {
+  ctx.validate();
+  RXC_REQUIRE(np > 0, "edge_gradient: empty pattern range");
+  check_child(tip1, partial1, "1");
+  RXC_REQUIRE(static_cast<bool>(partial2),
+              "edge_gradient: side 2 must be inner");
+  RXC_REQUIRE(weights != nullptr, "edge_gradient: missing pattern weights");
+  RXC_REQUIRE(t >= kMinBranch && t <= kMaxBranch,
+              "edge_gradient: branch length out of range");
+}
+
 // --- host executor ----------------------------------------------------------
 
 HostExecutor::HostExecutor(KernelConfig config) : config_(config) {}
@@ -198,6 +209,37 @@ NrResult HostExecutor::nr_derivatives(const NrTask& task) {
                               : nr_derivatives_gamma(args);
   counters_.exp_calls += result.exp_calls;
   static obs::Counter& calls = obs::counter("kernel.nr.calls");
+  static obs::Counter& exps = obs::counter("kernel.exp_calls");
+  calls.add();
+  exps.add(result.exp_calls);
+  return result;
+}
+
+NrResult HostExecutor::edge_gradient(const EdgeGradientTask& task) {
+  task.validate();
+  EdgeGradientArgs args;
+  args.es = task.ctx.es;
+  args.rates = task.ctx.rates;
+  args.ncat = task.ctx.ncat;
+  args.cat = task.ctx.cat;
+  args.np = task.np;
+  args.tip1 = task.tip1.codes;
+  args.partial1 = task.partial1.values;
+  args.partial2 = task.partial2.values;
+  args.weights = task.weights;
+  args.t = task.t;
+  args.exp_fn = config_.exp_fn;
+  NrResult result;
+  if (task.ctx.mode == RateMode::kCat) {
+    result = config_.simd ? edge_gradient_cat_simd(args)
+                          : edge_gradient_cat(args);
+  } else {
+    result = config_.simd ? edge_gradient_gamma_simd(args)
+                          : edge_gradient_gamma(args);
+  }
+  ++counters_.edge_gradient_calls;
+  counters_.exp_calls += result.exp_calls;
+  static obs::Counter& calls = obs::counter("kernel.edge_gradient.calls");
   static obs::Counter& exps = obs::counter("kernel.exp_calls");
   calls.add();
   exps.add(result.exp_calls);

@@ -112,6 +112,22 @@ struct NrTask {
   void validate() const;
 };
 
+/// One edge of the all-branch gradient sweep: derivatives of the tree
+/// log-likelihood with respect to this edge's length, computed from the
+/// edge's two directed partials (outward × inward) without materializing a
+/// sumtable.  Equivalent to sumtable + one nr_derivatives at `t`, fused.
+struct EdgeGradientTask {
+  TaskContext ctx;
+  std::size_t np = 0;
+  TipView tip1;
+  PartialView partial1;  ///< scale counts unused (they cancel in d1/d2)
+  PartialView partial2;
+  const double* weights = nullptr;
+  double t = 0.0;  ///< current branch length
+
+  void validate() const;
+};
+
 class KernelExecutor {
 public:
   virtual ~KernelExecutor() = default;
@@ -128,6 +144,26 @@ public:
   /// amortize per-invocation accounting.  Default: the serial loop.
   virtual void newview_batch(const NewviewTask* tasks, std::size_t count) {
     for (std::size_t i = 0; i < count; ++i) newview(tasks[i]);
+  }
+
+  /// Executes one level of the pre-order ("outer"/root-ward) partial sweep.
+  /// Outward partials are ordinary newview results — the children are the
+  /// sibling's inward partial and the parent's outward partial — so the
+  /// default rides the newview batching path unchanged; backends may
+  /// distinguish the two sweeps for scheduling or accounting.
+  virtual void preorder_batch(const NewviewTask* tasks, std::size_t count) {
+    newview_batch(tasks, count);
+  }
+
+  /// Gradient/curvature of the log-likelihood in one edge's branch length
+  /// (fused sumtable + Newton derivative accumulation at task.t).
+  virtual NrResult edge_gradient(const EdgeGradientTask& task) = 0;
+
+  /// Batch form over independent edges; same semantics as calling
+  /// edge_gradient() in order.  Default: the serial loop.
+  virtual void edge_gradient_batch(const EdgeGradientTask* tasks,
+                                   std::size_t count, NrResult* results) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = edge_gradient(tasks[i]);
   }
 
   /// Brackets a makenewz sequence (one sumtable + its Newton iterations).
@@ -159,6 +195,7 @@ public:
   double evaluate(const EvaluateTask& task) override;
   void sumtable(const SumtableTask& task) override;
   NrResult nr_derivatives(const NrTask& task) override;
+  NrResult edge_gradient(const EdgeGradientTask& task) override;
 
 private:
   /// Grows and returns the pmatrix scratch (2 * ncat * 16 doubles).

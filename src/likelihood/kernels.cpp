@@ -14,6 +14,7 @@ KernelCounters& KernelCounters::operator+=(const KernelCounters& o) {
   evaluate_calls += o.evaluate_calls;
   sumtable_calls += o.sumtable_calls;
   nr_calls += o.nr_calls;
+  edge_gradient_calls += o.edge_gradient_calls;
   pmatrix_builds += o.pmatrix_builds;
   exp_calls += o.exp_calls;
   scale_events += o.scale_events;
@@ -303,6 +304,108 @@ NrResult nr_derivatives_gamma(const NrArgs& a) {
       const double* e = etab.data() + c * 4;
       for (int k = 0; k < 4; ++k) {
         const double lam = a.lambda[k] * a.rates[c];
+        const double term = s[k] * e[k];
+        v += term;
+        d1 += lam * term;
+        d2 += lam * lam * term;
+      }
+    }
+    v *= catw;
+    d1 *= catw;
+    d2 *= catw;
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+NrResult edge_gradient_cat(const EdgeGradientArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.rates && a.weights);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  const auto& es = *a.es;
+  NrResult r;
+  std::vector<double> etab(static_cast<std::size_t>(a.ncat) * 4);
+  for (int c = 0; c < a.ncat; ++c) {
+    etab[c * 4 + 0] = 1.0;
+    for (int k = 1; k < 4; ++k) {
+      etab[c * 4 + k] = a.exp_fn(es.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  for (std::size_t p = 0; p < a.np; ++p) {
+    // The sumtable row, built in registers — identical operation order to
+    // make_sumtable_cat, so the fused path is bitwise-equal to the
+    // two-step sumtable + nr_derivatives sequence.
+    const double* va = child_vec_cat(a.tip1, a.partial1, p);
+    const double* vb = a.partial2 + p * 4;
+    double s[4];
+    for (int k = 0; k < 4; ++k) {
+      double left = 0.0, right = 0.0;
+      for (int i = 0; i < 4; ++i) {
+        left += es.freqs[i] * va[i] * es.u[i * 4 + k];
+        right += es.v[k * 4 + i] * vb[i];
+      }
+      s[k] = left * right;
+    }
+    const int c = a.cat ? a.cat[p] : 0;
+    const double rate = a.rates[c];
+    const double* e = etab.data() + c * 4;
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const double lam = es.lambda[k] * rate;
+      const double term = s[k] * e[k];
+      v += term;
+      d1 += lam * term;
+      d2 += lam * lam * term;
+    }
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+NrResult edge_gradient_gamma(const EdgeGradientArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.rates && a.weights);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  const auto& es = *a.es;
+  const int ncat = a.ncat;
+  NrResult r;
+  std::vector<double> etab(static_cast<std::size_t>(ncat) * 4);
+  for (int c = 0; c < ncat; ++c) {
+    etab[c * 4 + 0] = 1.0;
+    for (int k = 1; k < 4; ++k) {
+      etab[c * 4 + k] = a.exp_fn(es.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  const double catw = 1.0 / static_cast<double>(ncat);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int c = 0; c < ncat; ++c) {
+      const double* va =
+          a.tip1 ? kTipTable.row(a.tip1[p])
+                 : a.partial1 + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* vb = a.partial2 + (p * static_cast<std::size_t>(ncat) + c) * 4;
+      double s[4];
+      for (int k = 0; k < 4; ++k) {
+        double left = 0.0, right = 0.0;
+        for (int i = 0; i < 4; ++i) {
+          left += es.freqs[i] * va[i] * es.u[i * 4 + k];
+          right += es.v[k * 4 + i] * vb[i];
+        }
+        s[k] = left * right;
+      }
+      const double* e = etab.data() + c * 4;
+      for (int k = 0; k < 4; ++k) {
+        const double lam = es.lambda[k] * a.rates[c];
         const double term = s[k] * e[k];
         v += term;
         d1 += lam * term;

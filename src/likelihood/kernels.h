@@ -79,6 +79,7 @@ struct KernelCounters {
   std::uint64_t evaluate_calls = 0;
   std::uint64_t sumtable_calls = 0;
   std::uint64_t nr_calls = 0;
+  std::uint64_t edge_gradient_calls = 0;
   std::uint64_t pmatrix_builds = 0;    ///< one per (matrix, invocation)
   std::uint64_t exp_calls = 0;
   std::uint64_t scale_events = 0;
@@ -201,5 +202,44 @@ struct NrResult {
 
 NrResult nr_derivatives_cat(const NrArgs& a);
 NrResult nr_derivatives_gamma(const NrArgs& a);
+
+// ---------------------------------------------------------------------
+// edge gradient (fused sumtable + derivative accumulation)
+//
+// The all-branch gradient sweep evaluates d lnl/dt (and the curvature) for
+// every edge of the tree from ONE pair of directed partials per edge — no
+// sumtable round trip through main memory and no per-edge Newton loop.  The
+// per-pattern math is exactly make_sumtable followed by nr_derivatives, in
+// the same operation order, so a fused kernel is bitwise-identical to the
+// two-step scalar path at the same KernelConfig.
+
+struct EdgeGradientArgs {
+  const model::EigenSystem* es = nullptr;
+  const double* rates = nullptr;   ///< ncat rates
+  int ncat = 1;
+  const int* cat = nullptr;        ///< CAT only
+  std::size_t np = 0;
+
+  const seq::DnaCode* tip1 = nullptr;  ///< or partial1 (canonical: tip first)
+  const double* partial1 = nullptr;
+  const double* partial2 = nullptr;    ///< always inner
+
+  const double* weights = nullptr;
+  double t = 0.0;                  ///< current branch length
+  ExpFn exp_fn = &exp_libm;
+};
+
+/// Scalar kernels: per pattern, build the 4 (or ncat*4) sumtable entries in
+/// registers and immediately accumulate lnl/d1/d2 at t.  Result semantics
+/// match nr_derivatives_* (lnl excludes scale corrections).
+NrResult edge_gradient_cat(const EdgeGradientArgs& a);
+NrResult edge_gradient_gamma(const EdgeGradientArgs& a);
+
+/// Vectorized variants (runtime dispatch like the other *_simd kernels):
+/// the sumtable row is built with the AVX2/SSE2 broadcast+FMA scheme, the
+/// derivative accumulation stays scalar — covered by the host-simd
+/// TolerancePolicy (ULP-bounded values, sum_rel reductions).
+NrResult edge_gradient_cat_simd(const EdgeGradientArgs& a);
+NrResult edge_gradient_gamma_simd(const EdgeGradientArgs& a);
 
 }  // namespace rxc::lh

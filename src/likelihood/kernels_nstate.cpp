@@ -298,4 +298,108 @@ NrResult nr_derivatives_nstate_gamma(const NrArgsN& a) {
   return r;
 }
 
+NrResult edge_gradient_nstate_cat(const EdgeGradientArgsN& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.rates && a.weights);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  const int n = a.n;
+  const auto& es = *a.es;
+  NrResult r;
+  std::vector<double> etab(static_cast<std::size_t>(a.ncat) * n);
+  for (int c = 0; c < a.ncat; ++c) {
+    etab[static_cast<std::size_t>(c) * n] = 1.0;
+    for (int k = 1; k < n; ++k) {
+      etab[static_cast<std::size_t>(c) * n + k] =
+          a.exp_fn(es.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  std::vector<double> s(n);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const double* va = child_vec(n, a.tipvec, a.tip1, a.partial1, p, n);
+    const double* vb = a.partial2 + p * n;
+    for (int k = 0; k < n; ++k) {
+      double left = 0.0, right = 0.0;
+      for (int i = 0; i < n; ++i) {
+        left += es.freqs[i] * va[i] * es.u[i * n + k];
+        right += es.v[k * n + i] * vb[i];
+      }
+      s[k] = left * right;
+    }
+    const int c = a.cat ? a.cat[p] : 0;
+    const double rate = a.rates[c];
+    const double* e = etab.data() + static_cast<std::size_t>(c) * n;
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const double lam = es.lambda[k] * rate;
+      const double term = s[k] * e[k];
+      v += term;
+      d1 += lam * term;
+      d2 += lam * lam * term;
+    }
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+NrResult edge_gradient_nstate_gamma(const EdgeGradientArgsN& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.rates && a.weights);
+  RXC_ASSERT(a.tip1 || a.partial1);
+  const int n = a.n;
+  const int ncat = a.ncat;
+  const std::size_t stride = static_cast<std::size_t>(ncat) * n;
+  const auto& es = *a.es;
+  NrResult r;
+  std::vector<double> etab(stride);
+  for (int c = 0; c < ncat; ++c) {
+    etab[static_cast<std::size_t>(c) * n] = 1.0;
+    for (int k = 1; k < n; ++k) {
+      etab[static_cast<std::size_t>(c) * n + k] =
+          a.exp_fn(es.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  const double catw = 1.0 / static_cast<double>(ncat);
+  std::vector<double> s(n);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int c = 0; c < ncat; ++c) {
+      const double* va =
+          a.tip1 ? a.tipvec + static_cast<std::size_t>(a.tip1[p]) * n
+                 : a.partial1 + p * stride + static_cast<std::size_t>(c) * n;
+      const double* vb = a.partial2 + p * stride + static_cast<std::size_t>(c) * n;
+      for (int k = 0; k < n; ++k) {
+        double left = 0.0, right = 0.0;
+        for (int i = 0; i < n; ++i) {
+          left += es.freqs[i] * va[i] * es.u[i * n + k];
+          right += es.v[k * n + i] * vb[i];
+        }
+        s[k] = left * right;
+      }
+      const double* e = etab.data() + static_cast<std::size_t>(c) * n;
+      for (int k = 0; k < n; ++k) {
+        const double lam = es.lambda[k] * a.rates[c];
+        const double term = s[k] * e[k];
+        v += term;
+        d1 += lam * term;
+        d2 += lam * lam * term;
+      }
+    }
+    v *= catw;
+    d1 *= catw;
+    d2 *= catw;
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
 }  // namespace rxc::lh

@@ -100,4 +100,27 @@ struct NrArgsN {
 NrResult nr_derivatives_nstate_cat(const NrArgsN& a);
 NrResult nr_derivatives_nstate_gamma(const NrArgsN& a);
 
+/// Fused all-branch-gradient kernel (mirrors kernels.h EdgeGradientArgs):
+/// per pattern, the n sumtable slots are built in registers exactly as
+/// make_sumtable_nstate and accumulated exactly as nr_derivatives_nstate,
+/// so results are bitwise-identical to the two-step path.
+struct EdgeGradientArgsN {
+  int n = 20;
+  const model::EigenSystemN* es = nullptr;
+  const double* rates = nullptr;
+  int ncat = 1;
+  const int* cat = nullptr;
+  std::size_t np = 0;
+  const double* tipvec = nullptr;
+  const std::uint8_t* tip1 = nullptr;
+  const double* partial1 = nullptr;
+  const double* partial2 = nullptr;
+  const double* weights = nullptr;
+  double t = 0.0;
+  ExpFn exp_fn = &exp_libm;
+};
+
+NrResult edge_gradient_nstate_cat(const EdgeGradientArgsN& a);
+NrResult edge_gradient_nstate_gamma(const EdgeGradientArgsN& a);
+
 }  // namespace rxc::lh

@@ -457,6 +457,97 @@ RXC_TARGET_AVX2 void make_sumtable_gamma(const SumtableArgs& a) {
   }
 }
 
+// The fused edge-gradient kernels build each sumtable slot with
+// sumtable_body into registers and accumulate the derivative terms with
+// the scalar nr_derivatives order — bitwise-equal to make_sumtable_*_simd
+// followed by nr_derivatives_* at the same config.
+
+RXC_TARGET_AVX2 NrResult edge_gradient_cat(const EdgeGradientArgs& a) {
+  const auto& es = *a.es;
+  alignas(32) double vt[16];
+  transpose_pmats(es.v.data(), 1, vt);
+  NrResult r;
+  alignas(32) double etab[kMaxRateCategories * 4];
+  for (int c = 0; c < a.ncat; ++c) {
+    etab[c * 4 + 0] = 1.0;
+    for (int k = 1; k < 4; ++k) {
+      etab[c * 4 + k] = a.exp_fn(es.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    alignas(32) double fva[4];
+    for (int i = 0; i < 4; ++i) fva[i] = es.freqs[i] * va[i];
+    alignas(32) double s[4];
+    sumtable_body(es.u.data(), vt, fva, a.partial2 + p * 4, s);
+    const int c = a.cat ? a.cat[p] : 0;
+    const double rate = a.rates[c];
+    const double* e = etab + c * 4;
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const double lam = es.lambda[k] * rate;
+      const double term = s[k] * e[k];
+      v += term;
+      d1 += lam * term;
+      d2 += lam * lam * term;
+    }
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+RXC_TARGET_AVX2 NrResult edge_gradient_gamma(const EdgeGradientArgs& a) {
+  const auto& es = *a.es;
+  const int ncat = a.ncat;
+  alignas(32) double vt[16];
+  transpose_pmats(es.v.data(), 1, vt);
+  NrResult r;
+  alignas(32) double etab[kMaxRateCategories * 4];
+  for (int c = 0; c < ncat; ++c) {
+    etab[c * 4 + 0] = 1.0;
+    for (int k = 1; k < 4; ++k) {
+      etab[c * 4 + k] = a.exp_fn(es.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  const double catw = 1.0 / static_cast<double>(ncat);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int c = 0; c < ncat; ++c) {
+      const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      alignas(32) double fva[4];
+      for (int i = 0; i < 4; ++i) fva[i] = es.freqs[i] * va[i];
+      alignas(32) double s[4];
+      sumtable_body(es.u.data(), vt, fva, a.partial2 + idx, s);
+      const double* e = etab + c * 4;
+      for (int k = 0; k < 4; ++k) {
+        const double lam = es.lambda[k] * a.rates[c];
+        const double term = s[k] * e[k];
+        v += term;
+        d1 += lam * term;
+        d2 += lam * lam * term;
+      }
+    }
+    v *= catw;
+    d1 *= catw;
+    d2 *= catw;
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
 }  // namespace avx2
 
 #endif  // RXC_SIMD_X86
@@ -659,6 +750,92 @@ void make_sumtable_gamma(const SumtableArgs& a) {
   }
 }
 
+NrResult edge_gradient_cat(const EdgeGradientArgs& a) {
+  const auto& es = *a.es;
+  alignas(16) double vt[16];
+  transpose_pmats(es.v.data(), 1, vt);
+  NrResult r;
+  alignas(16) double etab[kMaxRateCategories * 4];
+  for (int c = 0; c < a.ncat; ++c) {
+    etab[c * 4 + 0] = 1.0;
+    for (int k = 1; k < 4; ++k) {
+      etab[c * 4 + k] = a.exp_fn(es.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  for (std::size_t p = 0; p < a.np; ++p) {
+    const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + p * 4;
+    alignas(16) double fva[4];
+    for (int i = 0; i < 4; ++i) fva[i] = es.freqs[i] * va[i];
+    alignas(16) double s[4];
+    sumtable_body(es.u.data(), vt, fva, a.partial2 + p * 4, s);
+    const int c = a.cat ? a.cat[p] : 0;
+    const double rate = a.rates[c];
+    const double* e = etab + c * 4;
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const double lam = es.lambda[k] * rate;
+      const double term = s[k] * e[k];
+      v += term;
+      d1 += lam * term;
+      d2 += lam * lam * term;
+    }
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
+NrResult edge_gradient_gamma(const EdgeGradientArgs& a) {
+  const auto& es = *a.es;
+  const int ncat = a.ncat;
+  alignas(16) double vt[16];
+  transpose_pmats(es.v.data(), 1, vt);
+  NrResult r;
+  alignas(16) double etab[kMaxRateCategories * 4];
+  for (int c = 0; c < ncat; ++c) {
+    etab[c * 4 + 0] = 1.0;
+    for (int k = 1; k < 4; ++k) {
+      etab[c * 4 + k] = a.exp_fn(es.lambda[k] * a.rates[c] * a.t);
+      ++r.exp_calls;
+    }
+  }
+  const double catw = 1.0 / static_cast<double>(ncat);
+  for (std::size_t p = 0; p < a.np; ++p) {
+    double v = 0.0, d1 = 0.0, d2 = 0.0;
+    for (int c = 0; c < ncat; ++c) {
+      const std::size_t idx = (p * static_cast<std::size_t>(ncat) + c) * 4;
+      const double* va = a.tip1 ? kTipTable.row(a.tip1[p]) : a.partial1 + idx;
+      alignas(16) double fva[4];
+      for (int i = 0; i < 4; ++i) fva[i] = es.freqs[i] * va[i];
+      alignas(16) double s[4];
+      sumtable_body(es.u.data(), vt, fva, a.partial2 + idx, s);
+      const double* e = etab + c * 4;
+      for (int k = 0; k < 4; ++k) {
+        const double lam = es.lambda[k] * a.rates[c];
+        const double term = s[k] * e[k];
+        v += term;
+        d1 += lam * term;
+        d2 += lam * lam * term;
+      }
+    }
+    v *= catw;
+    d1 *= catw;
+    d2 *= catw;
+    if (v < 1e-300) v = 1e-300;
+    const double inv = 1.0 / v;
+    const double g1 = d1 * inv;
+    r.lnl += a.weights[p] * std::log(v);
+    r.d1 += a.weights[p] * g1;
+    r.d2 += a.weights[p] * (d2 * inv - g1 * g1);
+  }
+  return r;
+}
+
 }  // namespace sse2
 
 #endif  // RXC_SIMD_X86 && __SSE2__
@@ -720,6 +897,20 @@ void make_sumtable_gamma_simd(const SumtableArgs& a) {
   RXC_ASSERT(a.es && a.partial2 && a.out);
   RXC_SIMD_DISPATCH(make_sumtable_gamma, a)
   return make_sumtable_gamma(a);
+}
+
+NrResult edge_gradient_cat_simd(const EdgeGradientArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.rates && a.weights);
+  RXC_ASSERT(a.ncat >= 1 && a.ncat <= kMaxRateCategories);
+  RXC_SIMD_DISPATCH(edge_gradient_cat, a)
+  return edge_gradient_cat(a);
+}
+
+NrResult edge_gradient_gamma_simd(const EdgeGradientArgs& a) {
+  RXC_ASSERT(a.es && a.partial2 && a.rates && a.weights);
+  RXC_ASSERT(a.ncat >= 1 && a.ncat <= kMaxRateCategories);
+  RXC_SIMD_DISPATCH(edge_gradient_gamma, a)
+  return edge_gradient_gamma(a);
 }
 
 }  // namespace rxc::lh

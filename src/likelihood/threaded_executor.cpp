@@ -209,4 +209,50 @@ NrResult ThreadedExecutor::nr_derivatives(const NrTask& task) {
   return total;
 }
 
+NrResult ThreadedExecutor::edge_gradient(const EdgeGradientTask& task) {
+  task.validate();
+  const auto& ctx = task.ctx;
+  const std::size_t nchunks = chunk_count(task.np);
+  const std::size_t stride =
+      ctx.mode == RateMode::kCat ? 4 : static_cast<std::size_t>(ctx.ncat) * 4;
+  if (partial_.size() < nchunks) partial_.resize(nchunks);
+
+  pool_.parallel_for(nchunks, [&](std::size_t c) {
+    const auto [lo, count] = chunk_range(c, task.np, chunk_);
+    EdgeGradientArgs args;
+    args.es = ctx.es;
+    args.rates = ctx.rates;
+    args.ncat = ctx.ncat;
+    args.cat = ctx.cat ? ctx.cat + lo : nullptr;
+    args.np = count;
+    args.tip1 = task.tip1 ? task.tip1.codes + lo : nullptr;
+    args.partial1 =
+        task.partial1 ? task.partial1.values + lo * stride : nullptr;
+    args.partial2 = task.partial2.values + lo * stride;
+    args.weights = task.weights + lo;
+    args.t = task.t;
+    args.exp_fn = config_.exp_fn;
+    if (ctx.mode == RateMode::kCat) {
+      partial_[c] = config_.simd ? edge_gradient_cat_simd(args)
+                                 : edge_gradient_cat(args);
+    } else {
+      partial_[c] = config_.simd ? edge_gradient_gamma_simd(args)
+                                 : edge_gradient_gamma(args);
+    }
+  });
+
+  ++counters_.edge_gradient_calls;
+  counters_.exp_calls += 3ull * ctx.ncat;  // etab cost counted once
+  static obs::Counter& calls = obs::counter("kernel.edge_gradient.calls");
+  calls.add();
+  NrResult total;
+  total.exp_calls = 3ull * ctx.ncat;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    total.lnl += partial_[c].lnl;
+    total.d1 += partial_[c].d1;
+    total.d2 += partial_[c].d2;
+  }
+  return total;
+}
+
 }  // namespace rxc::lh

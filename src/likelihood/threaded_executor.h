@@ -28,6 +28,7 @@ public:
   double evaluate(const EvaluateTask& task) override;
   void sumtable(const SumtableTask& task) override;
   NrResult nr_derivatives(const NrTask& task) override;
+  NrResult edge_gradient(const EdgeGradientTask& task) override;
 
 private:
   /// Chunks covering np patterns — exactly np/chunk_ when chunk_ divides np

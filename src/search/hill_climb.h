@@ -100,7 +100,13 @@ SearchResult hill_climb(tree::Tree& t, Engine& eng, const SearchOptions& opt,
       const bool kept = try_prune_point(t, eng, opt, x, s, lnl, result);
       (kept ? accepted : rejected).add();
     }
-    lnl = eng.optimize_all_branches(opt.branch_passes);
+    if constexpr (requires { eng.smooth_branches(opt.branch_passes); }) {
+      lnl = opt.gradient_smoothing
+                ? eng.smooth_branches(opt.branch_passes)
+                : eng.optimize_all_branches(opt.branch_passes);
+    } else {  // engines without a gradient kernel (protein)
+      lnl = eng.optimize_all_branches(opt.branch_passes);
+    }
     ++result.rounds;
     rounds.add();
     newviews_per_round.observe(

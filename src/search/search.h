@@ -37,6 +37,14 @@ struct SearchOptions {
   double attach_brlen = 0.05;
   /// Branch-length optimization sweeps after each round.
   int branch_passes = 1;
+  /// Smooth branch lengths between SPR rounds with the gradient-driven
+  /// whole-tree Newton sweep (LikelihoodEngine::smooth_branches — one O(N)
+  /// all-branch gradient per pass) instead of per-edge makenewz loops.
+  /// Engines without a gradient kernel (protein) ignore the knob and keep
+  /// the per-edge passes.  Checkpoint-compatible: the option lives outside
+  /// the checkpoint (like every SearchOptions field) and both smoothers
+  /// preserve the monotone-lnl contract.
+  bool gradient_smoothing = false;
   /// CAT mode: run per-site rate assignment after the initial optimization.
   bool assign_site_rates = true;
 };

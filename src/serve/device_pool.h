@@ -66,6 +66,13 @@ class Device {
   std::uint64_t steps() const { return steps_; }
   std::uint64_t faults() const { return faults_; }
 
+  /// Idle-gap accounting, owned by the device's worker thread: wall time
+  /// spent between leases (blocked on the queue or skipping constrained
+  /// jobs).  Read after Server::join() — or from the worker itself — only;
+  /// the join is what publishes the final value to other threads.
+  void add_idle_ms(double ms) { idle_ms_ += ms; }
+  double idle_ms() const { return idle_ms_; }
+
  private:
   int id_;
   bool cell_ = false;
@@ -79,6 +86,7 @@ class Device {
 
   std::uint64_t steps_ = 0;   ///< worker-thread-owned
   std::uint64_t faults_ = 0;
+  double idle_ms_ = 0.0;      ///< worker-thread-owned (see add_idle_ms)
 };
 
 class DevicePool {

@@ -84,6 +84,11 @@ struct JobResult {
   double queue_ms = 0.0;  ///< submission -> first time on a device
   double run_ms = 0.0;    ///< cumulative on-device time across leases
   double total_ms = 0.0;  ///< submission -> terminal state
+  /// Cumulative queue-wait across ALL waits: submission -> first lease plus
+  /// every requeue (preemption, fault retry, device-constraint skip) ->
+  /// next lease.  queue_ms only sees the first wait; under contention the
+  /// difference is exactly the re-wait cost the scaling diagnosis needs.
+  double wait_ms = 0.0;
 };
 
 }  // namespace rxc::serve

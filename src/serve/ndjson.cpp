@@ -81,6 +81,7 @@ std::string job_result_to_json(const JobResult& result) {
   w.kv("preemptions", result.preemptions);
   w.kv("device", result.last_device);
   w.kv("queue_ms", result.queue_ms);
+  w.kv("wait_ms", result.wait_ms);
   w.kv("run_ms", result.run_ms);
   w.kv("total_ms", result.total_ms);
   w.end_object();

@@ -81,6 +81,10 @@ struct Server::Job {
   double queue_ms = 0.0;
   double run_ms = 0.0;
   double total_ms = 0.0;
+  double wait_ms = 0.0;
+  /// When the job last entered the queue (submission or any requeue); the
+  /// next lease charges wait_ms from here.
+  Clock::time_point last_enqueued;
 
   double best_lnl = 0.0;
   std::string best_newick;
@@ -102,6 +106,7 @@ struct Server::Job {
     r.queue_ms = queue_ms;
     r.run_ms = run_ms;
     r.total_ms = total_ms;
+    r.wait_ms = wait_ms;
     return r;
   }
 
@@ -180,6 +185,7 @@ SubmitStatus Server::submit(const JobSpec& spec) {
   }
 
   job->submitted = Clock::now();
+  job->last_enqueued = job->submitted;
   if (spec.deadline_ms > 0)
     job->deadline = job->submitted +
                     std::chrono::duration_cast<Clock::duration>(
@@ -326,6 +332,13 @@ void Server::finalize(Job& job, JobState state, const std::string& error) {
 }
 
 void Server::worker(Device& device) {
+  static obs::Histogram& idle_gap =
+      obs::histogram("serve.device.idle_gap_ms");
+  // Idle-gap accounting: wall time this device spends NOT running a lease —
+  // blocked in pop() or bouncing constrained jobs.  Large gaps while jobs
+  // wait (JobResult::wait_ms) point at placement/constraint problems rather
+  // than capacity ones.
+  auto idle_since = Clock::now();
   while (auto popped = queue_.pop()) {
     Job& job = **popped;
     const bool vetoed =
@@ -336,25 +349,35 @@ void Server::worker(Device& device) {
       // Device-model constraint or static-verification veto this worker
       // cannot satisfy: hand the job back for an admissible device
       // (submission guaranteed one exists) and pause briefly so a lone
-      // mismatched worker doesn't spin hot.
+      // mismatched worker doesn't spin hot.  Still idle time: the gap keeps
+      // accumulating until a lease actually starts.
       static obs::Counter& skips = obs::counter("serve.jobs.device_skips");
       skips.add();
       queue_.requeue(job.spec.priority, &job);
       std::this_thread::sleep_for(std::chrono::microseconds(100));
       continue;
     }
+    const double gap = ms_between(idle_since, Clock::now());
+    device.add_idle_ms(gap);
+    idle_gap.observe(gap);
     run_lease(job, device);
+    idle_since = Clock::now();
   }
+  device.add_idle_ms(ms_between(idle_since, Clock::now()));
 }
 
 void Server::run_lease(Job& job, Device& device) {
   static obs::Histogram& queue_ms = obs::histogram("serve.job.queue_ms");
+  static obs::Histogram& wait_ms = obs::histogram("serve.job.wait_ms");
   static obs::Counter& preemptions = obs::counter("serve.jobs.preemptions");
   static obs::Counter& retries = obs::counter("serve.jobs.retries");
   static obs::Gauge& depth = obs::gauge("serve.queue.depth");
   depth.set(static_cast<double>(queue_.depth()));
 
   const auto lease_start = Clock::now();
+  const double waited = ms_between(job.last_enqueued, lease_start);
+  job.wait_ms += waited;
+  wait_ms.observe(waited);
   if (!job.started) {
     job.started = true;
     job.queue_ms = ms_between(job.submitted, lease_start);
@@ -395,6 +418,7 @@ void Server::run_lease(Job& job, Device& device) {
       end_lease();
       job.state = JobState::kPreempted;
       publish(job);
+      job.last_enqueued = Clock::now();
       queue_.requeue(job.spec.priority, &job);
       return;
     }
@@ -422,6 +446,7 @@ void Server::run_lease(Job& job, Device& device) {
       if (backoff > 0)
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff));
+      job.last_enqueued = Clock::now();
       queue_.requeue(job.spec.priority, &job);
       return;
     }

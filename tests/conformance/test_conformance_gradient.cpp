@@ -1,0 +1,278 @@
+/// Differential conformance for the fused all-branch gradient kernel
+/// (tier2, >= 200 seeded cases).  The load-bearing guarantees:
+///
+///  * the one-sweep gradient is BITWISE-identical to the two-step makenewz
+///    derivative path (make_sumtable + nr_derivatives) on every registered
+///    backend at that backend's own KernelConfig — the fused kernel builds
+///    each sumtable slot in registers with exactly the two-step operation
+///    order, and the derivative accumulation is scalar on both paths;
+///  * the analytic derivatives agree with central finite differences of the
+///    log-likelihood in t;
+///  * the engine-level sweep (LikelihoodEngine::branch_gradient) matches
+///    per-edge prepare_branch + branch_derivatives bitwise on host
+///    backends, and is invariant across simulated-Cell device presets
+///    (geometry is a performance model, never a numerics model);
+///  * gradient-driven smoothing (smooth_branches) lands where the per-edge
+///    makenewz sweep lands.
+///
+/// Failures print the workload seed plus the RXC_CONF_SEED replay hint.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cell/device_model.h"
+#include "core/spe_executor.h"
+#include "core/stage.h"
+#include "harness.h"
+#include "likelihood/engine.h"
+#include "likelihood/registry.h"
+#include "seq/seqgen.h"
+#include "support/rng.h"
+#include "tree/tree.h"
+#include "workload.h"
+
+namespace rxc::conformance {
+namespace {
+
+std::uint64_t seed_for(std::uint64_t pair_salt, std::uint64_t i) {
+  return fixed_seed_requested() ? base_seed() : case_seed(pair_salt, i);
+}
+
+/// Two-step makenewz derivative reference on the same executor: sumtable
+/// into scratch, then nr_derivatives at `t`.
+lh::NrResult two_step(lh::KernelExecutor& exec, const Workload& wl,
+                      aligned_vector<double>& sumtab, double t) {
+  exec.sumtable(wl.sumtable_task(sumtab.data()));
+  return exec.nr_derivatives(wl.nr_task(sumtab.data(), t));
+}
+
+/// Three branch lengths per workload: the drawn t plus a shorter and a
+/// longer probe, all inside the legal range.
+std::vector<double> probe_lengths(const Workload& wl) {
+  const double t = std::clamp(wl.spec().t, lh::kMinBranch, lh::kMaxBranch);
+  return {t, std::clamp(t * 0.25, lh::kMinBranch, lh::kMaxBranch),
+          std::clamp(t * 3.0, lh::kMinBranch, lh::kMaxBranch)};
+}
+
+// ---------------------------------------------------------------------
+// One sweep == N makenewz loops, bitwise, on every registered backend.
+// 20 workloads x 3 branch lengths x >= 4 backends >= 240 cases.
+
+TEST(ConformanceGradient, MatchesMakenewzBitwiseOnEveryBackend) {
+  const std::uint64_t cases = fixed_seed_requested() ? 1 : 20;
+  const auto backends = lh::registered_backends();
+  ASSERT_GE(backends.size(), 3u);
+  std::uint64_t salt = 0x6D;
+  for (const lh::Backend& backend : backends) {
+    ++salt;
+    for (std::uint64_t i = 0; i < cases; ++i) {
+      const std::uint64_t seed = seed_for(salt, i);
+      const Workload wl(WorkloadSpec::draw(seed));
+      const auto exec = lh::make_executor(backend.spec);
+      aligned_vector<double> sumtab(wl.padded_np() * wl.stride());
+      for (const double t : probe_lengths(wl)) {
+        const lh::NrResult ref = two_step(*exec, wl, sumtab, t);
+        const lh::NrResult fused =
+            exec->edge_gradient(wl.edge_gradient_task(t));
+        // Same executor, same config: the fused kernel must not change a
+        // single bit of lnl/d1/d2 relative to the loop it replaces.
+        EXPECT_EQ(ref.lnl, fused.lnl)
+            << backend.name << " t=" << t << " [" << wl.spec().describe()
+            << "]\n"
+            << repro_hint(seed, "MatchesMakenewzBitwiseOnEveryBackend");
+        EXPECT_EQ(ref.d1, fused.d1)
+            << backend.name << " t=" << t << "\n"
+            << repro_hint(seed, "MatchesMakenewzBitwiseOnEveryBackend");
+        EXPECT_EQ(ref.d2, fused.d2)
+            << backend.name << " t=" << t << "\n"
+            << repro_hint(seed, "MatchesMakenewzBitwiseOnEveryBackend");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The analytic derivatives are derivatives: central finite differences of
+// the (two-step) log-likelihood in t reproduce d1 and d2.
+
+TEST(ConformanceGradient, MatchesCentralFiniteDifferences) {
+  const std::uint64_t cases = fixed_seed_requested() ? 1 : 60;
+  const auto exec = make_host();
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = seed_for(0xFD, i);
+    const Workload wl(WorkloadSpec::draw(seed));
+    aligned_vector<double> sumtab(wl.padded_np() * wl.stride());
+    // Probe an interior point: at the kMinBranch/kMaxBranch clamps the
+    // one-sided geometry breaks the central-difference stencil.
+    const double t = std::clamp(wl.spec().t, 0.01, 1.0);
+    const double h = 1e-6 * (1.0 + t);
+
+    const lh::NrResult g = exec->edge_gradient(wl.edge_gradient_task(t));
+    exec->sumtable(wl.sumtable_task(sumtab.data()));
+    const double lo =
+        exec->nr_derivatives(wl.nr_task(sumtab.data(), t - h)).lnl;
+    const double mid =
+        exec->nr_derivatives(wl.nr_task(sumtab.data(), t)).lnl;
+    const double hi =
+        exec->nr_derivatives(wl.nr_task(sumtab.data(), t + h)).lnl;
+
+    const double d1_fd = (hi - lo) / (2.0 * h);
+    const double d2_fd = (hi - 2.0 * mid + lo) / (h * h);
+    // Error model: cancellation roundoff eps*|lnl|/h (resp. /h^2) plus a
+    // truncation slack proportional to the derivative magnitude.
+    const double eps = 2.2e-16;
+    const double m = std::fabs(mid) + 1.0;
+    const double tol_d1 = 1e-5 * (std::fabs(g.d1) + 1.0) + 8.0 * eps * m / h;
+    const double tol_d2 =
+        1e-4 * (std::fabs(g.d2) + 1.0) + 16.0 * eps * m / (h * h);
+    EXPECT_NEAR(g.d1, d1_fd, tol_d1)
+        << "[" << wl.spec().describe() << "] t=" << t << "\n"
+        << repro_hint(seed, "MatchesCentralFiniteDifferences");
+    EXPECT_NEAR(g.d2, d2_fd, tol_d2)
+        << "[" << wl.spec().describe() << "] t=" << t << "\n"
+        << repro_hint(seed, "MatchesCentralFiniteDifferences");
+    // The kernel's lnl is the same reduction the two-step path computes.
+    EXPECT_EQ(g.lnl, mid)
+        << repro_hint(seed, "MatchesCentralFiniteDifferences");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Engine level: the whole-tree sweep vs the per-edge makenewz path.
+
+struct EngineFixture {
+  seq::PatternAlignment pa;
+  tree::Tree tree;
+
+  explicit EngineFixture(std::uint64_t seed, std::size_t ntaxa = 12)
+      : pa(make_pa(seed, ntaxa)), tree(make_tree(pa, seed)) {}
+
+  static seq::PatternAlignment make_pa(std::uint64_t seed, std::size_t n) {
+    seq::SimOptions opts;
+    opts.ntaxa = n;
+    opts.nsites = 400;
+    opts.seed = seed;
+    return seq::PatternAlignment::compress(
+        seq::simulate_alignment(opts).alignment);
+  }
+  static tree::Tree make_tree(const seq::PatternAlignment& pa,
+                              std::uint64_t seed) {
+    Rng rng(seed ^ 0x7ee);
+    return tree::Tree::random_topology(pa.taxon_count(), rng, 0.08);
+  }
+};
+
+lh::EngineConfig engine_config(bool cat, lh::KernelConfig kernels = {}) {
+  lh::EngineConfig cfg;
+  cfg.mode = cat ? lh::RateMode::kCat : lh::RateMode::kGamma;
+  cfg.categories = 4;
+  cfg.alpha = 0.7;
+  cfg.kernels = kernels;
+  return cfg;
+}
+
+TEST(ConformanceGradient, EngineSweepMatchesPerEdgeDerivatives) {
+  for (const bool cat : {true, false}) {
+    for (const bool simd : {false, true}) {
+      const std::uint64_t seed = seed_for(0xE0 + (cat ? 1 : 0), simd);
+      EngineFixture f(seed);
+      lh::KernelConfig kernels;
+      kernels.simd = simd;
+      lh::LikelihoodEngine eng(f.pa, engine_config(cat, kernels));
+      eng.set_tree(&f.tree);
+
+      const std::vector<lh::EdgeGradient> grads = eng.branch_gradient();
+      ASSERT_EQ(grads.size(), f.tree.tip_count() * 2 - 3);
+      for (const lh::EdgeGradient& g : grads) {
+        // Same partials, same config: the per-edge two-step path must
+        // reproduce the sweep's derivatives bitwise.
+        eng.prepare_branch(g.edge);
+        const lh::NrResult ref = eng.branch_derivatives(g.t);
+        EXPECT_EQ(ref.d1, g.d1)
+            << "edge " << g.edge << " cat=" << cat << " simd=" << simd;
+        EXPECT_EQ(ref.d2, g.d2)
+            << "edge " << g.edge << " cat=" << cat << " simd=" << simd;
+        // The sweep's lnl is absolute (scale corrections folded): it must
+        // agree with evaluate() at the same edge up to reduction
+        // reassociation between the two kernels.
+        const double ev = eng.evaluate(g.edge);
+        EXPECT_NEAR(g.lnl, ev, 1e-9 * (std::fabs(ev) + 1.0))
+            << "edge " << g.edge << " cat=" << cat << " simd=" << simd;
+      }
+    }
+  }
+}
+
+TEST(ConformanceGradient, EngineSweepIdenticalAcrossDevicePresets) {
+  // Geometry must never leak into numerics: the engine-level sweep on
+  // every shipped device preset is bitwise identical, and equals a host
+  // engine running the offload-all mirror config.
+  for (const bool cat : {true, false}) {
+    const std::uint64_t seed = seed_for(0xDE, cat ? 1 : 0);
+    EngineFixture f(seed);
+
+    const core::StageToggles toggles =
+        core::stage_toggles(core::Stage::kOffloadAll);
+    lh::LikelihoodEngine host_eng(f.pa,
+                                  engine_config(cat, mirror_config(toggles)));
+    host_eng.set_tree(&f.tree);
+    const std::vector<lh::EdgeGradient> ref = host_eng.branch_gradient();
+
+    for (const cell::DeviceModel& device : cell::device_presets()) {
+      lh::CellOptions opts;
+      opts.device = device;
+      opts.stage = static_cast<int>(core::Stage::kOffloadAll);
+      const auto exec =
+          lh::make_executor(lh::ExecutorSpec::cell_spec(std::move(opts)));
+      lh::LikelihoodEngine eng(f.pa, engine_config(cat));
+      eng.set_tree(&f.tree);
+      eng.set_executor(exec.get());
+
+      const std::vector<lh::EdgeGradient> got = eng.branch_gradient();
+      ASSERT_EQ(got.size(), ref.size()) << device.name;
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(got[i].edge, ref[i].edge) << device.name;
+        EXPECT_EQ(got[i].lnl, ref[i].lnl)
+            << device.name << " edge " << ref[i].edge << " cat=" << cat;
+        EXPECT_EQ(got[i].d1, ref[i].d1)
+            << device.name << " edge " << ref[i].edge << " cat=" << cat;
+        EXPECT_EQ(got[i].d2, ref[i].d2)
+            << device.name << " edge " << ref[i].edge << " cat=" << cat;
+      }
+    }
+  }
+}
+
+TEST(ConformanceGradient, SmoothBranchesLandsWhereMakenewzLands) {
+  for (const bool cat : {true, false}) {
+    const std::uint64_t seed = seed_for(0x5B, cat ? 1 : 0);
+    EngineFixture f(seed);
+    tree::Tree tree_b = f.tree;  // independent copy for the reference
+
+    lh::LikelihoodEngine a(f.pa, engine_config(cat));
+    a.set_tree(&f.tree);
+    const double before = a.log_likelihood();
+    // A smoothing pass is one O(N) sweep + one Newton step per edge, so it
+    // takes more (much cheaper) passes than full per-edge NR sweeps to
+    // converge from a random tree.
+    const double smoothed = a.smooth_branches(100, 1e-4);
+
+    lh::LikelihoodEngine b(f.pa, engine_config(cat));
+    b.set_tree(&tree_b);
+    const double per_edge = b.optimize_all_branches(100, 1e-4);
+
+    EXPECT_GE(smoothed, before - 1e-6) << "cat=" << cat;
+    // The sweep may out-optimize per-edge coordinate descent (which can
+    // stall in narrow valleys where single-edge gains vanish), but it must
+    // never land meaningfully below it.
+    EXPECT_GE(smoothed, per_edge - 0.1) << "cat=" << cat
+                                        << " before=" << before;
+  }
+}
+
+}  // namespace
+}  // namespace rxc::conformance

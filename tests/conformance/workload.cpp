@@ -230,4 +230,18 @@ lh::NrTask Workload::nr_task(const double* sumtable, double t) const {
   return task;
 }
 
+lh::EdgeGradientTask Workload::edge_gradient_task(double t) const {
+  lh::EdgeGradientTask task;
+  task.ctx = ctx();
+  task.np = spec_.np;
+  if (spec_.tip1)
+    task.tip1.codes = tip1_.data();
+  else
+    task.partial1.values = partial1_.data();
+  task.partial2.values = partial2_.data();
+  task.weights = weights_.data();
+  task.t = t;
+  return task;
+}
+
 }  // namespace rxc::conformance

@@ -76,6 +76,9 @@ public:
   lh::EvaluateTask evaluate_task(double* site_lnl_out) const;
   lh::SumtableTask sumtable_task(double* out) const;
   lh::NrTask nr_task(const double* sumtable, double t) const;
+  /// Fused gradient over the same directed partials sumtable_task streams
+  /// (tip1/partial1 child selection follows spec.tip1).
+  lh::EdgeGradientTask edge_gradient_task(double t) const;
 
 private:
   WorkloadSpec spec_;

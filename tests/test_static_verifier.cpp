@@ -125,6 +125,7 @@ TEST(StaticVerifier, CleanSchedulesProveSafeOnEveryPresetStageAndWays) {
           ProgramShape shape;
           shape.cat_mode = cat;
           shape.site_lnl = cat;  // exercise the site-lnl stream on one mode
+          shape.gradient_edges = 3;  // odd: both in1 operand flavors appear
           const StaticReport report = analysis::verify_program(
               core::extract_program(dev, static_cast<Stage>(s), ways, shape),
               dev);
@@ -154,6 +155,7 @@ TEST(StaticVerifier, AwkwardShapesStayClean) {
       shape.categories = ncat;
       shape.site_lnl = true;
       shape.newton_iters = 5;
+      shape.gradient_edges = 2;
       const StaticReport report = analysis::verify_program(
           core::extract_program(dev, Stage::kOffloadAll, 4, shape), dev);
       EXPECT_TRUE(report.ok()) << "np=" << np << " ncat=" << ncat << "\n"
@@ -438,6 +440,19 @@ TEST(StaticVerifier, ExtractedProgramMatchesTheExecutorEventStream) {
         (void)exec->nr_derivatives(wl.nr_task(sumtab.data(), wl.spec().t));
         (void)exec->nr_derivatives(wl.nr_task(sumtab.data(), wl.spec().t));
         exec->end_compound();
+        // The gradient sweep: tip/inner then inner/inner, matching the
+        // extractor's alternating in1 operand.
+        lh::EdgeGradientTask eg;
+        eg.ctx = wl.ctx();
+        eg.np = spec.np;
+        eg.weights = wl.weights();
+        eg.t = wl.spec().t;
+        eg.partial2 = {pc_v.data(), nullptr};
+        eg.tip1 = nv1.tip1;
+        (void)exec->edge_gradient(eg);
+        eg.tip1 = {};
+        eg.partial1 = {pa_v.data(), nullptr};
+        (void)exec->edge_gradient(eg);
         cell::set_event_sink(nullptr);
 
         ProgramShape shape;
@@ -446,6 +461,7 @@ TEST(StaticVerifier, ExtractedProgramMatchesTheExecutorEventStream) {
         shape.cat_mode = cat;
         shape.site_lnl = true;
         shape.newton_iters = 2;
+        shape.gradient_edges = 2;
         const Program prog = core::extract_program(
             espec.cell().device, stage, ways, shape);
 

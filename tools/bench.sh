@@ -5,8 +5,9 @@
 #                          wall time per kernel variant)
 #   BENCH_schedule.json  — NDJSON, one object per table/case: virtual cycles
 #                          per stage/policy plus wall seconds, from the
-#                          §5.2 table benches, the parallel-backend bench and
-#                          the serving-throughput bench
+#                          §5.2 table benches, the parallel-backend bench,
+#                          the serving-throughput bench and the all-branch
+#                          gradient bench
 #
 # Wall-clock numbers are meaningless without the machine they came from, so
 # both baselines carry the recording host's core count and the
@@ -39,7 +40,8 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" -j \
-  --target bench_kernels bench_table7 bench_table8 bench_parallel bench_serve
+  --target bench_kernels bench_table7 bench_table8 bench_parallel \
+  bench_serve bench_gradient
 
 # The wall-time environment the baselines were recorded under.
 HOST_CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
@@ -68,11 +70,13 @@ trap 'rm -rf "$TMP"' EXIT
 if [ "$SMOKE" = 1 ]; then
   "$BUILD"/bench/bench_parallel --smoke --json="$TMP/parallel.json"
   "$BUILD"/bench/bench_serve --smoke --json="$TMP/serve.json"
+  "$BUILD"/bench/bench_gradient --smoke --json="$TMP/gradient.json"
 else
   "$BUILD"/bench/bench_table7 --json="$TMP/table7.json"
   "$BUILD"/bench/bench_table8 --json="$TMP/table8.json"
   "$BUILD"/bench/bench_parallel --json="$TMP/parallel.json"
   "$BUILD"/bench/bench_serve --json="$TMP/serve.json"
+  "$BUILD"/bench/bench_gradient --json="$TMP/gradient.json"
 fi
 printf '{"table":"host-info","host_cores":%s,"rxc_host_threads":"%s","device_model":"%s"}\n' \
   "$HOST_CORES" "$HOST_THREADS" "$DEVICE_MODEL" > BENCH_schedule.json

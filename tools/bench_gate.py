@@ -5,6 +5,8 @@ rewrite (gather-heavy "vector" code slower than scalar) can never land
 silently again.
 
 Usage: tools/bench_gate.py [BENCH_kernels.json] [--min-speedup=1.5]
+                           [--gradient=BENCH_schedule.json]
+                           [--min-gradient-speedup=3.0]
 
 The gate SKIPS (exit 0, with the reason on stdout) rather than fails when
 the measurement cannot be trusted or is meaningless:
@@ -15,6 +17,15 @@ the measurement cannot be trusted or is meaningless:
     RXC_SIMD cap), so "simd" and "scalar" run nearly the same code.
 Both fields are recorded in the baseline's context block by tools/bench.sh
 and bench_kernels itself — the gate never guesses at the environment.
+
+--gradient additionally gates the all-branch gradient bench's NDJSON rows
+(table "gradient" inside BENCH_schedule.json): one branch_gradient() sweep
+must beat the N per-edge makenewz loops it replaces by
+--min-gradient-speedup.  The cell-2007 row is DETERMINISTIC virtual cycles,
+so it gates on every runner; wall-clock rows follow the host_cores <= 1
+skip rule above (the host-info NDJSON line carries the core count).  A
+false derivs_bitwise flag fails unconditionally — it means the fused
+kernel diverged from the two-step path it must reproduce bit-for-bit.
 """
 
 import json
@@ -40,14 +51,64 @@ def median_time(benchmarks, name):
     return statistics.median(times)
 
 
+def gate_gradient(path, min_speedup):
+    """Gates the gradient bench rows in an NDJSON schedule baseline.
+    Returns the number of failures (0 = all rows ok or skipped)."""
+    host_cores = 0
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("table") == "host-info":
+                host_cores = int(obj.get("host_cores", 0))
+            elif obj.get("table") == "gradient":
+                rows = obj.get("rows", [])
+    if not rows:
+        sys.exit(f"bench_gate: no gradient table in {path!r}")
+
+    failed = 0
+    for row in rows:
+        case = row["case"]
+        speedup = float(row["speedup_makenewz"])
+        if not row.get("derivs_bitwise", False):
+            print(f"FAIL: gradient/{case} derivs_bitwise=false (fused sweep "
+                  "diverged from the per-edge two-step derivatives)")
+            failed += 1
+            continue
+        if row["clock"] != "virtual_cycles" and host_cores <= 1:
+            print(f"bench_gate: SKIP gradient/{case} - host_cores="
+                  f"{host_cores} (wall clock on a single-core runner is "
+                  "noise-dominated; the virtual-cycle row still gates)")
+            continue
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(f"{verdict}: gradient/{case} sweep {speedup:.2f}x vs per-edge "
+              f"makenewz loops ({row['clock']}), floor {min_speedup}x")
+        if speedup < min_speedup:
+            failed += 1
+    return failed
+
+
 def main(argv):
     path = "BENCH_kernels.json"
     min_speedup = 1.5
+    gradient_path = None
+    min_gradient_speedup = 3.0
     for arg in argv[1:]:
         if arg.startswith("--min-speedup="):
             min_speedup = float(arg.split("=", 1)[1])
+        elif arg.startswith("--gradient="):
+            gradient_path = arg.split("=", 1)[1]
+        elif arg.startswith("--min-gradient-speedup="):
+            min_gradient_speedup = float(arg.split("=", 1)[1])
         else:
             path = arg
+
+    gradient_failures = 0
+    if gradient_path is not None:
+        gradient_failures = gate_gradient(gradient_path, min_gradient_speedup)
 
     with open(path) as f:
         doc = json.load(f)
@@ -57,13 +118,13 @@ def main(argv):
     if cores <= 1:
         print(f"bench_gate: SKIP - host_cores={cores} (single-core runner: "
               "timings are noise-dominated, gate verdict would be luck)")
-        return 0
+        return 1 if gradient_failures else 0
 
     level = context.get("rxc_simd_level", "unknown")
     if level != "avx2":
         print(f"bench_gate: SKIP - rxc_simd_level={level} (no AVX2 dispatch, "
               "vector and scalar paths are not meaningfully different)")
-        return 0
+        return 1 if gradient_failures else 0
 
     benchmarks = doc["benchmarks"]
     failed = False
@@ -76,7 +137,7 @@ def main(argv):
               f"({t_simd:.0f} vs {t_scalar:.0f} ns), floor {min_speedup}x")
         if speedup < min_speedup:
             failed = True
-    return 1 if failed else 0
+    return 1 if failed or gradient_failures else 0
 
 
 if __name__ == "__main__":

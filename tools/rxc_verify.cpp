@@ -22,6 +22,8 @@
 ///   --mode cat|gamma     rate heterogeneity model      (default gamma)
 ///   --site-lnl           evaluate streams per-site lnl back
 ///   --newton N           Newton iterations in the compound (default 2)
+///   --gradient N         edge_gradient sweep calls after the compound
+///                        (default 0: historical program shape)
 ///   --strip-bytes N      strip buffer budget           (default 2048)
 ///   --batch N            verify a newview_batch program of N tasks
 ///                        instead of the canonical pipeline
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
     const Options opt(argc, argv);
     opt.check_known({"device", "device-config", "stage", "llp-ways",
                      "patterns", "categories", "mode", "site-lnl", "newton",
-                     "strip-bytes", "batch", "out"});
+                     "gradient", "strip-bytes", "batch", "out"});
 
     std::vector<cell::DeviceModel> models;
     for (const std::string& name : opt.get_list("device"))
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
     }
     shape.site_lnl = opt.get_bool("site-lnl", false);
     shape.newton_iters = static_cast<int>(opt.get_int("newton", 2));
+    shape.gradient_edges = static_cast<int>(opt.get_int("gradient", 0));
     const auto strip_bytes =
         static_cast<std::size_t>(opt.get_int("strip-bytes", 2048));
     const std::int64_t batch = opt.get_int("batch", 0);
@@ -106,6 +109,8 @@ int main(int argc, char** argv) {
                            " patterns=" + std::to_string(shape.patterns) +
                            " mode=" + (shape.cat_mode ? "cat" : "gamma");
         if (batch > 0) desc += " batch=" + std::to_string(batch);
+        if (shape.gradient_edges > 0)
+          desc += " gradient=" + std::to_string(shape.gradient_edges);
         const analysis::StaticReport report =
             analysis::verify_program(program, model, desc);
         violations += report.total;
